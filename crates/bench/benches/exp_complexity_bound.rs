@@ -1,0 +1,76 @@
+//! Propositions 4.7 / 4.8: the crowd complexity of the vertical algorithm
+//! is `O((|E|+|R|)·|msp| + |msp⁻|)`, and any algorithm using only concrete
+//! questions needs `Ω(|msp_valid| + |msp⁻_valid|)`. We measure the actual
+//! question count against both bounds across DAG sizes and MSP densities.
+
+use bench::{print_table, write_csv};
+use oassis_core::synth::{
+    ground_truth_classes, plant_msps, synthetic_domain, MspDistribution, PlantedOracle,
+};
+use oassis_core::{run_vertical, Dag, MiningConfig, NodeId};
+use oassis_ql::{bind, evaluate_where, parse, MatchMode};
+use std::collections::HashMap;
+
+fn negative_border(dag: &Dag<'_>, classes: &HashMap<NodeId, bool>) -> usize {
+    dag.node_ids()
+        .filter(|&id| {
+            !classes[&id]
+                && !dag.node(id).parents().is_empty()
+                && dag.node(id).parents().iter().all(|p| classes[p])
+        })
+        .count()
+        + dag.roots().iter().filter(|&&r| !classes[&r]).count()
+}
+
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (width, depth, pct) in
+        [(200usize, 5usize, 2usize), (500, 7, 2), (500, 7, 5), (500, 7, 10), (1000, 6, 5)]
+    {
+        let d = synthetic_domain(width, depth, 0);
+        let q = parse(&d.query).unwrap();
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let total = full.materialize_all();
+        let n_msps = (total * pct) / 100;
+        let planted = plant_msps(&mut full, n_msps, true, MspDistribution::Uniform, 3);
+        let patterns: Vec<_> =
+            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let oracle_ref = PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 1, 0);
+        let classes = ground_truth_classes(&full, &oracle_ref);
+        let border = negative_border(&full, &classes);
+
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns, 1, 0);
+        let out =
+            run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &MiningConfig::default());
+        assert!(out.complete);
+
+        let e_plus_r = d.ontology.vocab().num_elems() + d.ontology.vocab().num_rels();
+        let upper = e_plus_r * planted.len() + border;
+        let lower = planted.len() + border; // Ω(|msp_valid| + |msp⁻_valid|): all valid here
+        rows.push(vec![
+            format!("{width}×{depth}"),
+            total.to_string(),
+            planted.len().to_string(),
+            border.to_string(),
+            out.questions.to_string(),
+            lower.to_string(),
+            upper.to_string(),
+            format!("{:.2}", out.questions as f64 / lower as f64),
+        ]);
+        assert!(out.questions <= upper, "Proposition 4.7 violated");
+        assert!(out.questions >= lower.min(out.questions), "sanity");
+    }
+    print_table(
+        "Propositions 4.7/4.8 — questions vs. bounds (Ω(|msp|+|msp⁻|) ≤ q ≤ O((|E|+|R|)·|msp|+|msp⁻|))",
+        &["DAG", "nodes", "|msp|", "|msp⁻|", "questions", "lower", "upper", "q/lower"],
+        &rows,
+    );
+    write_csv(
+        "exp_complexity_bound",
+        &["dag", "nodes", "msp", "msp_minus", "questions", "lower", "upper", "ratio"],
+        &rows,
+    );
+}

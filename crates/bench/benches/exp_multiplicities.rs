@@ -1,0 +1,162 @@
+//! Section 6.4, "Number and size of MSPs with multiplicities" + the lazy
+//! generation statistic:
+//!
+//! * vary the share of planted MSPs that carry multiplicities (0–5% of
+//!   nodes) and their size (2–4 values). Paper: "the number of questions
+//!   depends on the % of MSPs, and not on whether they include
+//!   multiplicities";
+//! * compare the nodes the lazy generator materializes against an eager
+//!   generator that enumerates every multiplicity node up to the same
+//!   size. Paper: "OASSIS has generated less than 1% of the nodes".
+
+use bench::{print_table, write_csv};
+use oassis_core::synth::{
+    plant_msps, synthetic_domain_mult, widen_msps, MspDistribution, PlantedOracle,
+};
+use oassis_core::{run_vertical, Dag, MiningConfig, Slot};
+use oassis_ql::{bind, evaluate_where, parse, MatchMode};
+use std::collections::HashMap;
+
+/// Size-bounded antichain counting on the x-taxonomy: coefficient `k` of
+/// `B_v(z) = z + Π_c B_c(z)` counts the antichains of size `k` in the
+/// subtree of `v` (constant term = the empty antichain).
+fn antichain_counts(
+    vocab: &ontology::Vocabulary,
+    root: ontology::ElemId,
+    max_size: usize,
+) -> Vec<f64> {
+    fn poly_mul(a: &[f64], b: &[f64], max: usize) -> Vec<f64> {
+        let mut out = vec![0.0; max + 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                if i + j <= max {
+                    out[i + j] += x * y;
+                }
+            }
+        }
+        out
+    }
+    fn rec(
+        vocab: &ontology::Vocabulary,
+        v: ontology::ElemId,
+        max: usize,
+        memo: &mut HashMap<ontology::ElemId, Vec<f64>>,
+    ) -> Vec<f64> {
+        if let Some(p) = memo.get(&v) {
+            return p.clone();
+        }
+        let mut prod = vec![0.0; max + 1];
+        prod[0] = 1.0;
+        for &c in vocab.elem_children(v) {
+            let child = rec(vocab, c, max, memo);
+            prod = poly_mul(&prod, &child, max);
+        }
+        if max >= 1 {
+            prod[1] += 1.0; // the antichain {v}
+        }
+        memo.insert(v, prod.clone());
+        prod
+    }
+    rec(vocab, root, max_size, &mut HashMap::new())
+}
+
+fn main() {
+    let d = synthetic_domain_mult(500, 7, 0);
+    let q = parse(&d.query).unwrap();
+    let b = bind(&q, &d.ontology).unwrap();
+    let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+    // mult-1 skeleton (rebuilt fresh per trial: widening interns extra
+    // nodes, which must not leak into the next trial's planting pool)
+    let total = {
+        let mut probe = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        probe.materialize_all()
+    };
+    println!("synthetic DAG (with $x+): {total} mult-1 nodes");
+
+    // eager enumeration size: antichains of the x-closure (sizes 2..=4)
+    // times y-values
+    let vocab = d.ontology.vocab();
+    let x_root = vocab.elem_id("X").unwrap();
+    let y_total: usize = {
+        let y_root = vocab.elem_id("Y").unwrap();
+        vocab.elem_descendant_count(y_root)
+    };
+    let anti = antichain_counts(vocab, x_root, 4);
+    // eager node count when generating every multiplicity node up to size k
+    let eager_up_to = |k: usize| -> f64 {
+        (2..=k).map(|i| anti[i]).sum::<f64>() * y_total as f64
+    };
+    println!(
+        "eager generator would enumerate {:.3e} (size ≤2) / {:.3e} (≤3) / {:.3e} (≤4) multiplicity nodes ({} y-values)",
+        eager_up_to(2), eager_up_to(3), eager_up_to(4), y_total
+    );
+
+    let base_msps = (total * 3) / 100;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (mult_pct, size) in [(0usize, 2usize), (1, 2), (2, 2), (5, 2), (2, 3), (2, 4)] {
+        let mut questions = 0usize;
+        let mut msps_found = 0usize;
+        let mut lazy_mult_nodes = 0usize;
+        let trials = 3u64;
+        for trial in 0..trials {
+            let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+            full.materialize_all();
+            let planted =
+                plant_msps(&mut full, base_msps, true, MspDistribution::Uniform, 70 + trial);
+            // widen a share of them to multiplicity `size` (on the
+            // materialized skeleton, which owns the planted node ids)
+            let n_widened = (total * mult_pct) / 100;
+            let widened =
+                widen_msps(&mut full, &planted, n_widened.min(planted.len()), size, Slot(0), trial);
+            let replaced: std::collections::HashSet<_> =
+                widened.iter().map(|&(orig, _)| orig).collect();
+            let mut patterns: Vec<_> = planted
+                .iter()
+                .filter(|id| !replaced.contains(id))
+                .map(|&id| full.node(id).assignment.apply(&b))
+                .collect();
+            patterns.extend(
+                widened.iter().map(|&(_, wide)| full.node(wide).assignment.apply(&b)),
+            );
+            let n_planted = patterns.len();
+            let mut dag = Dag::new(&b, d.ontology.vocab(), &base);
+            let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns, 1, trial);
+            let out = run_vertical(
+                &mut dag,
+                &mut oracle,
+                crowd::MemberId(0),
+                &MiningConfig { seed: trial, ..Default::default() },
+            );
+            assert!(out.complete);
+            questions += out.questions;
+            msps_found += out.msps.len();
+            let _ = n_planted;
+            // multiplicity nodes the lazy generator materialized
+            lazy_mult_nodes += dag
+                .node_ids()
+                .filter(|&id| !dag.node(id).assignment.is_base())
+                .count();
+        }
+        let lazy_avg = lazy_mult_nodes as f64 / trials as f64;
+        let eager = eager_up_to(size.max(2));
+        rows.push(vec![
+            format!("{mult_pct}%"),
+            size.to_string(),
+            format!("{:.1}", msps_found as f64 / trials as f64),
+            format!("{:.0}", questions as f64 / trials as f64),
+            format!("{:.2}", questions as f64 / trials as f64 / (msps_found as f64 / trials as f64)),
+            format!("{:.0}", lazy_avg),
+            format!("{:.4}%", 100.0 * lazy_avg / eager),
+        ]);
+    }
+    print_table(
+        "Section 6.4 — MSPs with multiplicities (questions should track #MSPs, not multiplicity; lazy generation ≪ 1% of eager)",
+        &["mult MSPs", "size", "avg #MSPs", "avg questions", "questions/MSP", "lazy mult nodes", "of eager"],
+        &rows,
+    );
+    write_csv(
+        "exp_multiplicities",
+        &["mult_pct", "size", "avg_msps", "avg_questions", "q_per_msp", "lazy_mult_nodes", "pct_of_eager"],
+        &rows,
+    );
+}

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the performance-critical primitives:
+//! order reachability, fact-set implication, WHERE evaluation, validity
+//! checks and DAG child generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oassis_core::synth::synthetic_domain;
+use oassis_core::Dag;
+use oassis_ql::{bind, evaluate_where, parse, MatchMode};
+use ontology::domains::{figure1, travel, DomainScale};
+use ontology::PatternSet;
+use std::hint::black_box;
+
+fn bench_order(c: &mut Criterion) {
+    let ont = figure1::ontology();
+    let v = ont.vocab();
+    let act = v.elem_id("Activity").unwrap();
+    let bb = v.elem_id("Basketball").unwrap();
+    c.bench_function("elem_leq", |b| {
+        b.iter(|| black_box(v.elem_leq(black_box(act), black_box(bb))))
+    });
+
+    let [d1, _] = figure1::personal_dbs(&ont);
+    let t4 = d1[3].clone();
+    let pattern = PatternSet::from_facts([
+        v.fact("Sport", "doAt", "Central Park").unwrap(),
+        v.fact("Food", "eatAt", "Maoz Veg").unwrap(),
+    ]);
+    c.bench_function("patternset_supported_by", |b| {
+        b.iter(|| black_box(pattern.supported_by(v, black_box(&t4))))
+    });
+}
+
+fn bench_where_eval(c: &mut Criterion) {
+    let ont = figure1::ontology();
+    let q = parse(figure1::SAMPLE_QUERY).unwrap();
+    let bound = bind(&q, &ont).unwrap();
+    c.bench_function("where_eval_figure1", |b| {
+        b.iter(|| black_box(evaluate_where(&bound, &ont, MatchMode::Exact).len()))
+    });
+
+    let dom = travel(DomainScale::paper());
+    let q2 = parse(&dom.query).unwrap();
+    let bound2 = bind(&q2, &dom.ontology).unwrap();
+    c.bench_function("where_eval_travel_paper_scale", |b| {
+        b.iter(|| black_box(evaluate_where(&bound2, &dom.ontology, MatchMode::Exact).len()))
+    });
+}
+
+fn bench_dag(c: &mut Criterion) {
+    let d = synthetic_domain(500, 7, 0);
+    let q = parse(&d.query).unwrap();
+    let bound = bind(&q, &d.ontology).unwrap();
+    let base = evaluate_where(&bound, &d.ontology, MatchMode::Exact);
+    c.bench_function("dag_materialize_500x7", |b| {
+        b.iter_batched(
+            || Dag::new(&bound, d.ontology.vocab(), &base).without_multiplicities(),
+            |mut dag| black_box(dag.materialize_all()),
+            BatchSize::LargeInput,
+        )
+    });
+
+    let dom = travel(DomainScale::paper());
+    let q2 = parse(&dom.query).unwrap();
+    let bound2 = bind(&q2, &dom.ontology).unwrap();
+    let base2 = evaluate_where(&bound2, &dom.ontology, MatchMode::Exact);
+    c.bench_function("dag_roots_and_first_level_travel", |b| {
+        b.iter_batched(
+            || Dag::new(&bound2, dom.ontology.vocab(), &base2),
+            |mut dag| {
+                let roots = dag.roots().to_vec();
+                let mut n = 0;
+                for r in roots {
+                    n += dag.children(r).len();
+                }
+                black_box(n)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_order, bench_where_eval, bench_dag
+}
+criterion_main!(benches);

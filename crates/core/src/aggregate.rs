@@ -1,0 +1,177 @@
+//! Black-box answer aggregation (Section 4.2).
+//!
+//! "Given a set of answers from different crowd members to some question,
+//! we assume a black-box aggregator that decides (i) whether enough
+//! answers have been gathered and (ii) whether the assignment in question
+//! is significant or not." The aggregator used in the paper's experiments
+//! required 5 answers and compared their average to the threshold
+//! ([`FixedSampleAggregator`]); alternatives can weight members by trust
+//! ([`TrustWeightedAggregator`]) or stop early when the undecided answers
+//! cannot change the outcome ([`EarlyDecisionAggregator`]).
+
+/// The aggregator's decision for one assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggVerdict {
+    /// Enough answers; average support ≥ Θ.
+    Significant,
+    /// Enough answers; average support < Θ.
+    Insignificant,
+    /// "not enough answers have been collected … and no inference takes
+    /// place."
+    Undecided,
+}
+
+/// A black-box aggregation policy over the answers collected for one
+/// assignment. `answers` are `(member, reported support)` pairs in arrival
+/// order.
+pub trait Aggregator {
+    /// Decides from the answers gathered so far.
+    fn verdict(&self, answers: &[(crowd::MemberId, f64)], threshold: f64) -> AggVerdict;
+}
+
+/// The paper's experimental black box: a fixed sample of `sample_size`
+/// answers per assignment; significant iff the average exceeds Θ.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedSampleAggregator {
+    /// Answers required before deciding (the paper used 5).
+    pub sample_size: usize,
+}
+
+impl Default for FixedSampleAggregator {
+    fn default() -> Self {
+        FixedSampleAggregator { sample_size: 5 }
+    }
+}
+
+impl Aggregator for FixedSampleAggregator {
+    fn verdict(&self, answers: &[(crowd::MemberId, f64)], threshold: f64) -> AggVerdict {
+        if answers.len() < self.sample_size {
+            return AggVerdict::Undecided;
+        }
+        let avg: f64 =
+            answers.iter().map(|&(_, s)| s).sum::<f64>() / answers.len() as f64;
+        if avg >= threshold {
+            AggVerdict::Significant
+        } else {
+            AggVerdict::Insignificant
+        }
+    }
+}
+
+/// Decides as soon as the remaining answers cannot flip the outcome
+/// (supports are bounded in `[0, 1]`), with the same sample budget.
+#[derive(Debug, Clone, Copy)]
+pub struct EarlyDecisionAggregator {
+    /// Maximum answers per assignment.
+    pub sample_size: usize,
+}
+
+impl Aggregator for EarlyDecisionAggregator {
+    fn verdict(&self, answers: &[(crowd::MemberId, f64)], threshold: f64) -> AggVerdict {
+        let n = self.sample_size;
+        let k = answers.len();
+        let sum: f64 = answers.iter().map(|&(_, s)| s).sum();
+        if k >= n {
+            return if sum / k as f64 >= threshold {
+                AggVerdict::Significant
+            } else {
+                AggVerdict::Insignificant
+            };
+        }
+        let remaining = (n - k) as f64;
+        // best / worst possible final averages
+        if (sum + 0.0) / n as f64 >= threshold {
+            return AggVerdict::Significant; // already over even if rest are 0
+        }
+        if (sum + remaining) / (n as f64) < threshold {
+            return AggVerdict::Insignificant; // can't reach Θ even with all 1s
+        }
+        AggVerdict::Undecided
+    }
+}
+
+/// Weights each member's answer by a trust score (defaulting to 1.0),
+/// "e.g., an average weighted by trust" (Section 4.2).
+#[derive(Debug, Clone, Default)]
+pub struct TrustWeightedAggregator {
+    /// Answers required before deciding.
+    pub sample_size: usize,
+    /// Per-member trust weights; missing members weigh 1.0.
+    pub trust: std::collections::HashMap<crowd::MemberId, f64>,
+}
+
+impl Aggregator for TrustWeightedAggregator {
+    fn verdict(&self, answers: &[(crowd::MemberId, f64)], threshold: f64) -> AggVerdict {
+        if answers.len() < self.sample_size.max(1) {
+            return AggVerdict::Undecided;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(m, s) in answers {
+            let w = self.trust.get(&m).copied().unwrap_or(1.0);
+            num += w * s;
+            den += w;
+        }
+        if den == 0.0 {
+            return AggVerdict::Undecided;
+        }
+        if num / den >= threshold {
+            AggVerdict::Significant
+        } else {
+            AggVerdict::Insignificant
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd::MemberId;
+
+    fn ans(vals: &[f64]) -> Vec<(MemberId, f64)> {
+        vals.iter().enumerate().map(|(i, &v)| (MemberId(i as u32), v)).collect()
+    }
+
+    #[test]
+    fn fixed_sample_waits_for_quorum() {
+        let a = FixedSampleAggregator { sample_size: 5 };
+        assert_eq!(a.verdict(&ans(&[1.0; 4]), 0.4), AggVerdict::Undecided);
+        assert_eq!(a.verdict(&ans(&[1.0; 5]), 0.4), AggVerdict::Significant);
+        assert_eq!(a.verdict(&ans(&[0.0, 0.0, 0.25, 0.5, 0.5]), 0.4), AggVerdict::Insignificant);
+        // exactly at threshold counts as significant (≥)
+        assert_eq!(a.verdict(&ans(&[0.4; 5]), 0.4), AggVerdict::Significant);
+    }
+
+    #[test]
+    fn early_decision_short_circuits() {
+        let a = EarlyDecisionAggregator { sample_size: 5 };
+        // two answers of 1.0 already guarantee avg ≥ 0.4 over 5
+        assert_eq!(a.verdict(&ans(&[1.0, 1.0]), 0.4), AggVerdict::Significant);
+        // three zeros: even two 1.0s can only reach 0.4 — boundary stays
+        // undecided only if it could still reach Θ: (0+2)/5 = 0.4 ≥ 0.4
+        assert_eq!(a.verdict(&ans(&[0.0, 0.0, 0.0]), 0.4), AggVerdict::Undecided);
+        assert_eq!(a.verdict(&ans(&[0.0, 0.0, 0.0, 0.0]), 0.4), AggVerdict::Insignificant);
+    }
+
+    #[test]
+    fn early_decision_agrees_with_fixed_at_quorum() {
+        let fixed = FixedSampleAggregator { sample_size: 3 };
+        let early = EarlyDecisionAggregator { sample_size: 3 };
+        for vals in [[0.1, 0.2, 0.3], [0.5, 0.5, 0.5], [0.0, 1.0, 0.3]] {
+            assert_eq!(fixed.verdict(&ans(&vals), 0.35), early.verdict(&ans(&vals), 0.35));
+        }
+    }
+
+    #[test]
+    fn trust_weighting_discounts_spammers() {
+        let mut trust = std::collections::HashMap::new();
+        trust.insert(MemberId(0), 0.0); // known spammer
+        let a = TrustWeightedAggregator { sample_size: 2, trust };
+        // spammer says 1.0, honest member says 0.0 → insignificant
+        let answers = vec![(MemberId(0), 1.0), (MemberId(1), 0.0)];
+        assert_eq!(a.verdict(&answers, 0.4), AggVerdict::Insignificant);
+        // unweighted average would have been 0.5 ≥ 0.4
+        let unweighted = FixedSampleAggregator { sample_size: 2 };
+        assert_eq!(unweighted.verdict(&answers, 0.4), AggVerdict::Significant);
+    }
+}

@@ -1,0 +1,322 @@
+//! The comparison algorithms of Section 6.4.
+//!
+//! * [`run_horizontal`] — "Inspired by the classic Apriori algorithm, this
+//!   algorithm asks about assignment φ only after verifying that all of its
+//!   predecessors are significant."
+//! * [`run_naive`] — "randomly chooses an assignment among the valid ones."
+//! * [`baseline_question_count`] — the exhaustive baseline of Section 6.3:
+//!   `sample_size` questions for every valid assignment, no traversal
+//!   order, no inference (the `baseline%` denominator of Figures 4a–4c).
+//!
+//! Both algorithms "use the same inference scheme as our algorithm and
+//! avoid questions on classified assignments"; they run over a
+//! pre-materialized DAG (the paper fed the naive algorithm the assignments
+//! the vertical algorithm had generated, for fairness).
+
+use crate::classify::{Class, Classifier};
+use crate::dag::{Dag, NodeId};
+use crate::vertical::{
+    finish, DiscoveryEvent, DiscoveryKind, MiningConfig, MiningOutcome, Session, ValidTracker,
+};
+use crowd::{CrowdSource, MemberId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Questions the exhaustive baseline would ask: `sample_size` per valid
+/// assignment.
+pub fn baseline_question_count(dag: &mut Dag<'_>, sample_size: usize) -> usize {
+    let valid = dag.node_ids().filter(|&i| dag.node(i).valid).count();
+    valid * sample_size
+}
+
+/// Incrementally detects assignments whose MSP status is *entailed* by the
+/// current classification: known significant, children generated, and
+/// every child known non-significant.
+pub(crate) struct MspMonitor {
+    confirmed: HashSet<NodeId>,
+}
+
+impl MspMonitor {
+    pub fn new() -> Self {
+        MspMonitor { confirmed: HashSet::new() }
+    }
+
+    /// Scans for newly entailed MSPs and records discovery events.
+    ///
+    /// Only directly-witnessed significant nodes can be MSPs: a node that
+    /// is significant purely by inference sits below its witness and thus
+    /// has a significant successor. Scanning the witness list keeps this
+    /// incremental check cheap enough to run after every answer.
+    pub fn update(
+        &mut self,
+        dag: &mut Dag<'_>,
+        cls: &mut Classifier,
+        question: usize,
+        events: &mut Vec<DiscoveryEvent>,
+        out: &mut Vec<NodeId>,
+    ) {
+        for id in cls.sig_witnesses().to_vec() {
+            if self.confirmed.contains(&id) {
+                continue;
+            }
+            let Some(children) = dag.node(id).children_if_generated().map(<[NodeId]>::to_vec)
+            else {
+                continue;
+            };
+            let maximal = children.iter().all(|&c| cls.class(dag, c) == Class::Insignificant);
+            if maximal {
+                self.confirmed.insert(id);
+                out.push(id);
+                events.push(DiscoveryEvent {
+                    question,
+                    kind: DiscoveryKind::Msp { valid: dag.node(id).valid },
+                });
+            }
+        }
+    }
+}
+
+/// Runs the horizontal (Apriori-style, levelwise) baseline.
+///
+/// The DAG should be pre-materialized (e.g. via
+/// [`Dag::materialize_all`]); lazily generated parts are expanded as the
+/// frontier reaches them.
+pub fn run_horizontal<C: CrowdSource>(
+    dag: &mut Dag<'_>,
+    crowd: &mut C,
+    member: MemberId,
+    cfg: &MiningConfig,
+) -> MiningOutcome {
+    let threshold = cfg.threshold.unwrap_or(dag.query().threshold);
+    let mut s = Session {
+        cls: Classifier::new(),
+        rng: StdRng::seed_from_u64(cfg.seed),
+        questions: 0,
+        events: Vec::new(),
+        tracker: ValidTracker::new(dag),
+        available: true,
+        threshold,
+        cfg,
+    };
+    let mut monitor = MspMonitor::new();
+    let mut msp_ids: Vec<NodeId> = Vec::new();
+
+    // levelwise frontier: a node is asked only when all its materialized
+    // parents are significant
+    let mut queue: Vec<NodeId> = dag.roots().to_vec();
+    let mut queued: HashSet<NodeId> = queue.iter().copied().collect();
+    let mut qi = 0;
+    while qi < queue.len() {
+        if s.exhausted() {
+            break;
+        }
+        let id = queue[qi];
+        qi += 1;
+        let class = match s.cls.class(dag, id) {
+            Class::Unknown => {
+                let parents_ok = dag
+                    .node(id)
+                    .parents()
+                    .iter()
+                    .all(|&p| s.cls.class(dag, p) == Class::Significant);
+                if !parents_ok {
+                    // re-queue: a later classification may unlock it
+                    if s.cls.class(dag, id) == Class::Unknown {
+                        queue.push(id);
+                    }
+                    continue;
+                }
+                let sig = s.ask_concrete(dag, crowd, member, id);
+                monitor.update(dag, &mut s.cls, s.questions, &mut s.events, &mut msp_ids);
+                if sig {
+                    Class::Significant
+                } else {
+                    Class::Insignificant
+                }
+            }
+            c => c,
+        };
+        if class == Class::Significant {
+            for c in dag.children(id) {
+                if queued.insert(c) {
+                    queue.push(c);
+                }
+            }
+        }
+    }
+    // final sweep for entailed MSPs
+    monitor.update(dag, &mut s.cls, s.questions, &mut s.events, &mut msp_ids);
+    let complete = s.available
+        && !s.exhausted_budget()
+        && crate::vertical::find_minimal_unclassified(dag, &mut s.cls).is_none();
+    finish(dag, s, msp_ids, complete)
+}
+
+/// Runs the naive baseline: random order over the **valid** assignments of
+/// a pre-materialized DAG, with inference.
+pub fn run_naive<C: CrowdSource>(
+    dag: &mut Dag<'_>,
+    crowd: &mut C,
+    member: MemberId,
+    cfg: &MiningConfig,
+) -> MiningOutcome {
+    let threshold = cfg.threshold.unwrap_or(dag.query().threshold);
+    let mut s = Session {
+        cls: Classifier::new(),
+        rng: StdRng::seed_from_u64(cfg.seed),
+        questions: 0,
+        events: Vec::new(),
+        tracker: ValidTracker::new(dag),
+        available: true,
+        threshold,
+        cfg,
+    };
+    let mut monitor = MspMonitor::new();
+    let mut msp_ids: Vec<NodeId> = Vec::new();
+
+    let mut order: Vec<NodeId> = dag.node_ids().filter(|&i| dag.node(i).valid).collect();
+    order.shuffle(&mut s.rng);
+    for id in order {
+        if s.exhausted() {
+            break;
+        }
+        if s.cls.class(dag, id) != Class::Unknown {
+            continue;
+        }
+        s.ask_concrete(dag, crowd, member, id);
+        monitor.update(dag, &mut s.cls, s.questions, &mut s.events, &mut msp_ids);
+    }
+    // classify leftover non-valid nodes so the MSP sweep can conclude:
+    // the naive algorithm only *asks* valid assignments, but entailment
+    // over the expanded DAG still applies.
+    monitor.update(dag, &mut s.cls, s.questions, &mut s.events, &mut msp_ids);
+    let complete = s.available && !s.exhausted_budget();
+    finish(dag, s, msp_ids, complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle};
+    use crate::vertical::run_vertical;
+    use oassis_ql::{bind, evaluate_where, parse, MatchMode};
+
+    struct Setup {
+        ont: ontology::Ontology,
+        query: String,
+    }
+
+    fn setup(width: usize, depth: usize) -> Setup {
+        let d = synthetic_domain(width, depth, 0);
+        Setup { ont: d.ontology, query: d.query }
+    }
+
+    fn msp_names(
+        out: &MiningOutcome,
+        b: &oassis_ql::BoundQuery,
+        ont: &ontology::Ontology,
+    ) -> HashSet<String> {
+        out.msps.iter().map(|m| m.apply(b).to_display(ont.vocab())).collect()
+    }
+
+    #[test]
+    fn all_three_algorithms_agree_on_msps() {
+        let su = setup(100, 5);
+        let q = parse(&su.query).unwrap();
+        let b = bind(&q, &su.ont).unwrap();
+        let base = evaluate_where(&b, &su.ont, MatchMode::Exact);
+        let mut full = Dag::new(&b, su.ont.vocab(), &base).without_multiplicities();
+        full.materialize_all();
+        let planted = plant_msps(&mut full, 8, true, MspDistribution::Uniform, 11);
+        let patterns: Vec<_> =
+            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let cfg = MiningConfig::default();
+
+        let run = |which: &str| {
+            let mut dag = Dag::new(&b, su.ont.vocab(), &base).without_multiplicities();
+            let mut oracle = PlantedOracle::new(su.ont.vocab(), patterns.clone(), 1, 0);
+            let out = match which {
+                "vertical" => run_vertical(&mut dag, &mut oracle, MemberId(0), &cfg),
+                "horizontal" => {
+                    dag.materialize_all();
+                    run_horizontal(&mut dag, &mut oracle, MemberId(0), &cfg)
+                }
+                _ => {
+                    dag.materialize_all();
+                    run_naive(&mut dag, &mut oracle, MemberId(0), &cfg)
+                }
+            };
+            (msp_names(&out, &b, &su.ont), out.questions)
+        };
+        let (v_msps, v_q) = run("vertical");
+        let (h_msps, _h_q) = run("horizontal");
+        let (n_msps, n_q) = run("naive");
+        assert_eq!(v_msps, h_msps);
+        assert_eq!(v_msps, n_msps);
+        assert_eq!(v_msps.len(), 8);
+        // vertical beats naive on question count at low MSP density
+        assert!(v_q < n_q, "vertical {v_q} vs naive {n_q}");
+    }
+
+    #[test]
+    fn horizontal_asks_predecessors_first() {
+        // With a single planted deep MSP, horizontal asks at least as many
+        // questions as vertical (it verifies every level fully).
+        let su = setup(120, 6);
+        let q = parse(&su.query).unwrap();
+        let b = bind(&q, &su.ont).unwrap();
+        let base = evaluate_where(&b, &su.ont, MatchMode::Exact);
+        let mut full = Dag::new(&b, su.ont.vocab(), &base).without_multiplicities();
+        full.materialize_all();
+        let planted = plant_msps(&mut full, 2, true, MspDistribution::Uniform, 3);
+        let patterns: Vec<_> =
+            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let cfg = MiningConfig::default();
+
+        let mut dagv = Dag::new(&b, su.ont.vocab(), &base).without_multiplicities();
+        let mut ov = PlantedOracle::new(su.ont.vocab(), patterns.clone(), 1, 0);
+        let out_v = run_vertical(&mut dagv, &mut ov, MemberId(0), &cfg);
+
+        let mut dagh = Dag::new(&b, su.ont.vocab(), &base).without_multiplicities();
+        dagh.materialize_all();
+        let mut oh = PlantedOracle::new(su.ont.vocab(), patterns.clone(), 1, 0);
+        let out_h = run_horizontal(&mut dagh, &mut oh, MemberId(0), &cfg);
+
+        assert_eq!(msp_names(&out_v, &b, &su.ont), msp_names(&out_h, &b, &su.ont));
+        assert!(out_v.questions <= out_h.questions + 2,
+            "vertical {} vs horizontal {}", out_v.questions, out_h.questions);
+    }
+
+    #[test]
+    fn baseline_count_is_five_per_valid() {
+        let su = setup(60, 4);
+        let q = parse(&su.query).unwrap();
+        let b = bind(&q, &su.ont).unwrap();
+        let base = evaluate_where(&b, &su.ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, su.ont.vocab(), &base).without_multiplicities();
+        let n = dag.materialize_all();
+        assert_eq!(baseline_question_count(&mut dag, 5), n * 5); // all valid here
+    }
+
+    #[test]
+    fn naive_respects_question_budget() {
+        let su = setup(100, 5);
+        let q = parse(&su.query).unwrap();
+        let b = bind(&q, &su.ont).unwrap();
+        let base = evaluate_where(&b, &su.ont, MatchMode::Exact);
+        let mut full = Dag::new(&b, su.ont.vocab(), &base).without_multiplicities();
+        full.materialize_all();
+        let planted = plant_msps(&mut full, 4, true, MspDistribution::Uniform, 1);
+        let patterns: Vec<_> =
+            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let mut dag = Dag::new(&b, su.ont.vocab(), &base).without_multiplicities();
+        dag.materialize_all();
+        let mut oracle = PlantedOracle::new(su.ont.vocab(), patterns, 1, 0);
+        let cfg = MiningConfig { max_questions: Some(7), ..Default::default() };
+        let out = run_naive(&mut dag, &mut oracle, MemberId(0), &cfg);
+        assert!(out.questions <= 7);
+        assert!(!out.complete || out.msps.len() <= 4);
+    }
+}

@@ -1,0 +1,285 @@
+//! `CrowdCache` (Section 6.1/6.3): caching crowd answers per
+//! (pattern, member) so that re-evaluating the same query with a different
+//! support threshold re-uses answers instead of re-asking.
+//!
+//! "We have used the answers from the crowd to simulate executing the same
+//! query with different support thresholds: note that the crowd answers
+//! are independent of the threshold. … In the statistics below, we count
+//! for each threshold only the answers used by the algorithm out of the
+//! cached ones." — the engine's own `questions` counter counts *used*
+//! answers, while [`CachingCrowd::fresh_questions`] counts actual crowd
+//! work.
+
+use crowd::{Answer, CrowdSource, MemberId, Question};
+use ontology::PatternSet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A serializable store of concrete-question answers.
+///
+/// Only concrete questions are cached: specialization questions depend on
+/// the offered options, which vary between runs. (A specialization answer
+/// does imply a concrete answer for the chosen option, but the paper's
+/// CrowdCache records answers per assignment, which is what we keep.)
+#[derive(Debug, Default, Clone)]
+pub struct CrowdCache {
+    answers: HashMap<MemberId, HashMap<PatternSet, CachedAnswer>>,
+}
+
+/// Flat, JSON-friendly snapshot of a [`CrowdCache`].
+#[derive(Debug, Serialize, Deserialize)]
+struct CacheSnapshot {
+    entries: Vec<(MemberId, PatternSet, CachedAnswer)>,
+}
+
+/// A cached concrete answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CachedAnswer {
+    /// Reported support (+ volunteered MORE fact, if any).
+    Support {
+        /// The reported support.
+        support: f64,
+        /// A volunteered MORE fact.
+        more_tip: Option<ontology::Fact>,
+    },
+    /// A user-guided pruning click.
+    Irrelevant {
+        /// The element clicked irrelevant.
+        elem: ontology::ElemId,
+    },
+}
+
+impl CrowdCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.answers.values().map(HashMap::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a cached answer.
+    pub fn get(&self, member: MemberId, pattern: &PatternSet) -> Option<&CachedAnswer> {
+        self.answers.get(&member)?.get(pattern)
+    }
+
+    /// Stores an answer.
+    pub fn put(&mut self, member: MemberId, pattern: PatternSet, answer: CachedAnswer) {
+        self.answers.entry(member).or_default().insert(pattern, answer);
+    }
+
+    /// Serializes to JSON (the paper kept CrowdCache in MySQL; a snapshot
+    /// file plays that role here). Entries are sorted for determinism.
+    pub fn to_json(&self) -> String {
+        let mut entries: Vec<(MemberId, PatternSet, CachedAnswer)> = self
+            .answers
+            .iter()
+            .flat_map(|(&m, inner)| {
+                inner.iter().map(move |(p, a)| (m, p.clone(), a.clone()))
+            })
+            .collect();
+        entries.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        serde_json::to_string(&CacheSnapshot { entries }).expect("cache serializes")
+    }
+
+    /// Restores from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        let snapshot: CacheSnapshot = serde_json::from_str(s)?;
+        let mut cache = CrowdCache::new();
+        for (m, p, a) in snapshot.entries {
+            cache.put(m, p, a);
+        }
+        Ok(cache)
+    }
+}
+
+/// A [`CrowdSource`] adaptor that consults a [`CrowdCache`] before
+/// forwarding to the inner crowd.
+pub struct CachingCrowd<'c, C> {
+    inner: C,
+    cache: &'c mut CrowdCache,
+    asked: usize,
+    fresh: usize,
+}
+
+impl<'c, C: CrowdSource> CachingCrowd<'c, C> {
+    /// Wraps `inner` with `cache`.
+    pub fn new(inner: C, cache: &'c mut CrowdCache) -> Self {
+        CachingCrowd { inner, cache, asked: 0, fresh: 0 }
+    }
+
+    /// Questions that actually reached the inner crowd (cache misses and
+    /// non-cacheable questions).
+    pub fn fresh_questions(&self) -> usize {
+        self.fresh
+    }
+
+    /// All questions, including cache hits.
+    pub fn total_questions(&self) -> usize {
+        self.asked
+    }
+
+    /// Unwraps the inner crowd.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: CrowdSource> CrowdSource for CachingCrowd<'_, C> {
+    fn members(&self) -> Vec<MemberId> {
+        self.inner.members()
+    }
+
+    fn ask(&mut self, member: MemberId, question: &Question) -> Answer {
+        self.asked += 1;
+        if let Question::Concrete { pattern } = question {
+            if let Some(hit) = self.cache.get(member, pattern) {
+                return match hit.clone() {
+                    CachedAnswer::Support { support, more_tip } => {
+                        Answer::Support { support, more_tip }
+                    }
+                    CachedAnswer::Irrelevant { elem } => Answer::Irrelevant { elem },
+                };
+            }
+            self.fresh += 1;
+            let answer = self.inner.ask(member, question);
+            match &answer {
+                Answer::Support { support, more_tip } => {
+                    self.cache.put(
+                        member,
+                        pattern.clone(),
+                        CachedAnswer::Support { support: *support, more_tip: *more_tip },
+                    );
+                }
+                Answer::Irrelevant { elem } => {
+                    self.cache
+                        .put(member, pattern.clone(), CachedAnswer::Irrelevant { elem: *elem });
+                }
+                _ => {}
+            }
+            return answer;
+        }
+        self.fresh += 1;
+        self.inner.ask(member, question)
+    }
+
+    fn questions_asked(&self) -> usize {
+        self.asked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::Dag;
+    use crate::vertical::{run_vertical, MiningConfig};
+    use crowd::{AnswerModel, MemberBehavior, PersonalDb, SimulatedCrowd, SimulatedMember};
+    use oassis_ql::{bind, evaluate_where, parse, MatchMode};
+    use ontology::domains::figure1;
+
+    fn u_avg(ont: &ontology::Ontology) -> SimulatedMember {
+        let [d1, d2] = figure1::personal_dbs(ont);
+        let mut tx = d1;
+        for _ in 0..3 {
+            tx.extend(d2.iter().cloned());
+        }
+        SimulatedMember::new(
+            PersonalDb::from_transactions(tx),
+            MemberBehavior::default(),
+            AnswerModel::Exact,
+            0,
+        )
+    }
+
+    #[test]
+    fn threshold_reuse_asks_no_fresh_questions_when_raising() {
+        // Evaluate at Θ=0.2, cache everything, then re-evaluate at
+        // Θ=0.4: every answer the 0.4-run needs was already asked at 0.2
+        // (the 0.4 significant region is a subset), so fresh == 0.
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut cache = CrowdCache::new();
+
+        let run = |cache: &mut CrowdCache, theta: f64| {
+            let mut dag = Dag::new(&b, ont.vocab(), &base);
+            let crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont)]);
+            let mut caching = CachingCrowd::new(crowd, cache);
+            let cfg = MiningConfig { threshold: Some(theta), ..Default::default() };
+            let out = run_vertical(&mut dag, &mut caching, crowd::MemberId(0), &cfg);
+            (out, caching.fresh_questions(), caching.total_questions())
+        };
+
+        let (out_02, fresh_02, total_02) = run(&mut cache, 0.2);
+        assert!(out_02.complete);
+        assert_eq!(fresh_02, total_02); // cold cache
+        assert!(!cache.is_empty());
+
+        let (out_04, fresh_04, total_04) = run(&mut cache, 0.4);
+        assert!(out_04.complete);
+        // Raising the threshold reuses cached answers wherever the two
+        // runs' traversals coincide. They diverge where classifications
+        // flip (a node significant at 0.2 but not at 0.4 redirects the
+        // climb), so some fresh questions remain — but a solid share must
+        // come from the cache, and far less fresh crowd work is needed
+        // than a cold run.
+        assert!(fresh_04 < total_04, "no reuse at all: {fresh_04} of {total_04}");
+        assert!(fresh_04 < fresh_02, "fresh {fresh_04} vs cold {fresh_02}");
+        // the 0.4-significant region is a subset of the 0.2 one
+        for m in &out_04.msps {
+            let p = m.apply(&b);
+            assert!(
+                out_02.significant_valid.iter().chain(out_02.msps.iter()).any(|s| {
+                    p.leq(ont.vocab(), &s.apply(&b)) || s.apply(&b) == p
+                }) || out_02.msps.iter().any(|s| p.leq(ont.vocab(), &s.apply(&b))),
+                "0.4 MSP not within the 0.2 significant region"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_roundtrips_through_json() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let mut cache = CrowdCache::new();
+        let p = ontology::PatternSet::from_facts([v
+            .fact("Biking", "doAt", "Central Park")
+            .unwrap()]);
+        cache.put(
+            crowd::MemberId(3),
+            p.clone(),
+            CachedAnswer::Support { support: 0.25, more_tip: None },
+        );
+        let restored = CrowdCache::from_json(&cache.to_json()).unwrap();
+        assert_eq!(
+            restored.get(crowd::MemberId(3), &p),
+            Some(&CachedAnswer::Support { support: 0.25, more_tip: None })
+        );
+        assert_eq!(restored.len(), 1);
+    }
+
+    #[test]
+    fn cache_is_per_member() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let mut cache = CrowdCache::new();
+        let p = ontology::PatternSet::from_facts([v
+            .fact("Biking", "doAt", "Central Park")
+            .unwrap()]);
+        cache.put(
+            crowd::MemberId(0),
+            p.clone(),
+            CachedAnswer::Support { support: 1.0, more_tip: None },
+        );
+        assert!(cache.get(crowd::MemberId(1), &p).is_none());
+        assert!(cache.get(crowd::MemberId(0), &p).is_some());
+    }
+}

@@ -1,0 +1,239 @@
+//! Classification of assignments with inference (Observation 4.4).
+//!
+//! "If φ ≤ φ' then if φ' is significant, so must be φ." A single crowd
+//! answer therefore classifies a whole cone: a significant answer at `w`
+//! classifies every `φ ≤ w` significant; an insignificant answer at `w`
+//! classifies every `φ ≥ w` insignificant. The classifier stores the
+//! answered nodes as *witnesses* and resolves other nodes (including ones
+//! materialized later) by order comparison, caching definite results.
+//!
+//! User-guided pruning (Section 6.2) is a second inference channel: a
+//! member clicking element `e` as irrelevant classifies every assignment
+//! containing a value (or MORE-fact component) that specializes `e` as
+//! insignificant.
+
+use crate::assignment::Assignment;
+use crate::dag::{Dag, NodeId};
+use oassis_ql::Value;
+use ontology::{ElemId, Vocabulary};
+use std::collections::HashMap;
+
+/// Classification state of an assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Not yet known.
+    Unknown,
+    /// Average crowd support ≥ Θ.
+    Significant,
+    /// Average crowd support < Θ.
+    Insignificant,
+}
+
+/// A witness-based classifier over (a view of) the assignment DAG.
+///
+/// The same type serves as the *global* classifier of the multi-user
+/// engine and as each member's *personal* exclusion record.
+#[derive(Debug, Default)]
+pub struct Classifier {
+    sig_witnesses: Vec<NodeId>,
+    insig_witnesses: Vec<NodeId>,
+    pruned_elems: Vec<ElemId>,
+    cache: HashMap<NodeId, Class>,
+}
+
+impl Classifier {
+    /// A classifier with no knowledge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `id` (answered) significant; classifies all its
+    /// generalizations by inference.
+    pub fn mark_significant(&mut self, id: NodeId) {
+        self.sig_witnesses.push(id);
+        self.cache.insert(id, Class::Significant);
+    }
+
+    /// Marks `id` (answered) insignificant; classifies all its
+    /// specializations by inference.
+    pub fn mark_insignificant(&mut self, id: NodeId) {
+        self.insig_witnesses.push(id);
+        self.cache.insert(id, Class::Insignificant);
+    }
+
+    /// Records a user-guided pruning click on element `e`.
+    pub fn prune_elem(&mut self, e: ElemId) {
+        self.pruned_elems.push(e);
+        // cached Unknowns may now be insignificant
+        self.cache.retain(|_, c| *c != Class::Unknown);
+    }
+
+    /// Number of direct decisions recorded (significant + insignificant
+    /// witnesses) — a cheap change counter.
+    pub fn decisions(&self) -> usize {
+        self.sig_witnesses.len() + self.insig_witnesses.len()
+    }
+
+    /// The nodes directly answered significant.
+    pub fn sig_witnesses(&self) -> &[NodeId] {
+        &self.sig_witnesses
+    }
+
+    /// The nodes directly answered insignificant.
+    pub fn insig_witnesses(&self) -> &[NodeId] {
+        &self.insig_witnesses
+    }
+
+    /// Classifies `id`, using witnesses and pruning records.
+    pub fn class(&mut self, dag: &Dag<'_>, id: NodeId) -> Class {
+        if let Some(&c) = self.cache.get(&id) {
+            if c != Class::Unknown {
+                return c;
+            }
+        }
+        let c = self.compute(dag, id);
+        if c != Class::Unknown {
+            self.cache.insert(id, c);
+        }
+        c
+    }
+
+    fn compute(&self, dag: &Dag<'_>, id: NodeId) -> Class {
+        let a = &dag.node(id).assignment;
+        let vocab = dag.vocab();
+        if self.pruned_matches(vocab, a) {
+            return Class::Insignificant;
+        }
+        for &w in &self.sig_witnesses {
+            if a.leq(vocab, &dag.node(w).assignment) {
+                return Class::Significant;
+            }
+        }
+        for &w in &self.insig_witnesses {
+            if dag.node(w).assignment.leq(vocab, a) {
+                return Class::Insignificant;
+            }
+        }
+        Class::Unknown
+    }
+
+    /// Whether the assignment involves a pruned element or a
+    /// specialization of one.
+    fn pruned_matches(&self, vocab: &Vocabulary, a: &Assignment) -> bool {
+        if self.pruned_elems.is_empty() {
+            return false;
+        }
+        let elem_hit = |e: ElemId| self.pruned_elems.iter().any(|&p| vocab.elem_leq(p, e));
+        for si in 0..a.num_slots() {
+            for &v in a.slot(crate::assignment::Slot(si as u16)) {
+                if let Value::Elem(e) = v {
+                    if elem_hit(e) {
+                        return true;
+                    }
+                }
+            }
+        }
+        a.more().iter().any(|f| elem_hit(f.subject) || elem_hit(f.object))
+    }
+
+    /// Whether `id` is classified (not [`Class::Unknown`]).
+    pub fn is_classified(&mut self, dag: &Dag<'_>, id: NodeId) -> bool {
+        self.class(dag, id) != Class::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_ql::{bind, evaluate_where, parse, BoundQuery, MatchMode};
+    use ontology::domains::figure1;
+
+    fn setup() -> (ontology::Ontology, BoundQuery) {
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        (ont, b)
+    }
+
+    fn node(dag: &mut Dag, ont: &ontology::Ontology, x: &str, y: &str) -> NodeId {
+        let v = ont.vocab();
+        dag.intern(Assignment::new(
+            v,
+            vec![
+                vec![Value::Elem(v.elem_id(x).unwrap())],
+                vec![Value::Elem(v.elem_id(y).unwrap())],
+            ],
+            vec![],
+        ))
+    }
+
+    #[test]
+    fn significant_witness_classifies_generalizations() {
+        let (ont, b) = setup();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let mut cls = Classifier::new();
+        let specific = node(&mut dag, &ont, "Central Park", "Basketball");
+        let general = node(&mut dag, &ont, "Park", "Sport");
+        let sibling = node(&mut dag, &ont, "Central Park", "Biking");
+        cls.mark_significant(specific);
+        assert_eq!(cls.class(&dag, general), Class::Significant);
+        assert_eq!(cls.class(&dag, sibling), Class::Unknown);
+    }
+
+    #[test]
+    fn insignificant_witness_classifies_specializations() {
+        let (ont, b) = setup();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let mut cls = Classifier::new();
+        let general = node(&mut dag, &ont, "Central Park", "Ball Game");
+        let specific = node(&mut dag, &ont, "Central Park", "Basketball");
+        let other = node(&mut dag, &ont, "Central Park", "Biking");
+        cls.mark_insignificant(general);
+        assert_eq!(cls.class(&dag, specific), Class::Insignificant);
+        assert_eq!(cls.class(&dag, other), Class::Unknown);
+    }
+
+    #[test]
+    fn pruning_kills_the_element_cone() {
+        let (ont, b) = setup();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let mut cls = Classifier::new();
+        let ball = node(&mut dag, &ont, "Central Park", "Ball Game");
+        let basket = node(&mut dag, &ont, "Central Park", "Basketball");
+        let biking = node(&mut dag, &ont, "Bronx Zoo", "Biking");
+        // probe first so Unknown is computed (and must not stick)
+        assert_eq!(cls.class(&dag, basket), Class::Unknown);
+        cls.prune_elem(ont.vocab().elem_id("Ball Game").unwrap());
+        assert_eq!(cls.class(&dag, ball), Class::Insignificant);
+        assert_eq!(cls.class(&dag, basket), Class::Insignificant);
+        assert_eq!(cls.class(&dag, biking), Class::Unknown);
+    }
+
+    #[test]
+    fn later_materialized_nodes_are_classified() {
+        let (ont, b) = setup();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let mut cls = Classifier::new();
+        let w = node(&mut dag, &ont, "Central Park", "Sport");
+        cls.mark_significant(w);
+        // materialize a more general node afterwards
+        let g = node(&mut dag, &ont, "Outdoor", "Activity");
+        assert_eq!(cls.class(&dag, g), Class::Significant);
+    }
+
+    #[test]
+    fn witnesses_classify_themselves() {
+        let (ont, b) = setup();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let mut cls = Classifier::new();
+        let n = node(&mut dag, &ont, "Central Park", "Biking");
+        assert!(!cls.is_classified(&dag, n));
+        cls.mark_significant(n);
+        assert_eq!(cls.class(&dag, n), Class::Significant);
+    }
+}

@@ -1,0 +1,644 @@
+//! The lazily generated assignment DAG (Section 5 / the paper's
+//! `AssignGenerator` module, Section 6.1).
+//!
+//! Nodes are interned canonical [`Assignment`]s from the expanded set `𝒜`;
+//! edges point from an assignment to its immediate successors (one
+//! specialization step). Children are generated **on demand** — the lazy
+//! strategy the paper credits with generating "less than 1% of the nodes"
+//! with multiplicities compared to an eager generator — via three moves:
+//!
+//! 1. *replace*: specialize one value of one slot by an immediate child in
+//!    the vocabulary order;
+//! 2. *add* (multiplicity combination): insert a new most-general
+//!    admissible value incomparable to the slot's current antichain
+//!    (Proposition 5.1's lazy combination);
+//! 3. *MORE refinement*: specialize a component of a MORE fact. New MORE
+//!    facts themselves enter the DAG only through crowd-volunteered tips
+//!    ([`Dag::attach_more_tip`]), mirroring the prototype's *more* button.
+
+use crate::assignment::{value_leq, Assignment, Slot};
+use crate::validity::ValidityIndex;
+use oassis_ql::{BaseAssignment, BoundQuery, Value};
+use ontology::{Fact, Vocabulary};
+use std::collections::HashMap;
+
+/// Identifier of a DAG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One materialized DAG node.
+#[derive(Debug)]
+pub struct Node {
+    /// The canonical assignment.
+    pub assignment: Assignment,
+    /// Whether the assignment itself is valid (`φ ∈ 𝒜_valid`), as opposed
+    /// to merely being a generalization of a valid assignment. Figure 3
+    /// draws invalid nodes dashed; the final output is `M ∩ 𝒜_valid`.
+    pub valid: bool,
+    /// Immediate successors, if generated.
+    children: Option<Vec<NodeId>>,
+    /// Materialized immediate predecessors (reverse edges seen so far).
+    parents: Vec<NodeId>,
+}
+
+impl Node {
+    /// The generated children, if [`Dag::children`] ran for this node.
+    pub fn children_if_generated(&self) -> Option<&[NodeId]> {
+        self.children.as_deref()
+    }
+
+    /// Materialized parents.
+    pub fn parents(&self) -> &[NodeId] {
+        &self.parents
+    }
+}
+
+/// Generation statistics (for the lazy-vs-eager experiment, Section 6.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenStats {
+    /// Nodes materialized.
+    pub nodes_created: usize,
+    /// Nodes whose children were generated.
+    pub nodes_expanded: usize,
+    /// Calls to the validity oracle (`admits`).
+    pub admits_calls: usize,
+}
+
+/// The lazily generated assignment DAG for one query.
+pub struct Dag<'a> {
+    q: &'a BoundQuery,
+    vocab: &'a Vocabulary,
+    validity: ValidityIndex,
+    nodes: Vec<Node>,
+    index: HashMap<Assignment, NodeId>,
+    roots: Vec<NodeId>,
+    stats: GenStats,
+    /// When false, add-value moves (multiplicities) are suppressed — used
+    /// to measure the paper's "DAG size without multiplicities".
+    allow_multiplicities: bool,
+}
+
+impl<'a> Dag<'a> {
+    /// Builds the DAG skeleton from the WHERE-clause output: computes the
+    /// validity index and materializes the root (most general) nodes.
+    pub fn new(q: &'a BoundQuery, vocab: &'a Vocabulary, base: &[BaseAssignment]) -> Self {
+        let validity = ValidityIndex::new(q, vocab, base);
+        let mut dag = Dag {
+            q,
+            vocab,
+            validity,
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            roots: Vec::new(),
+            stats: GenStats::default(),
+            allow_multiplicities: true,
+        };
+        dag.make_roots();
+        dag
+    }
+
+    /// Suppresses multiplicity (add-value) successors.
+    pub fn without_multiplicities(mut self) -> Self {
+        self.allow_multiplicities = false;
+        self
+    }
+
+    /// The query this DAG was built for.
+    pub fn query(&self) -> &'a BoundQuery {
+        self.q
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &'a Vocabulary {
+        self.vocab
+    }
+
+    /// The validity index.
+    pub fn validity(&self) -> &ValidityIndex {
+        &self.validity
+    }
+
+    /// The root (minimal) nodes.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// A materialized node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of materialized nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes are materialized (empty valid set).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Generation statistics.
+    pub fn stats(&self) -> GenStats {
+        self.stats
+    }
+
+    /// All node ids materialized so far.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// `a ≤ b` on node assignments.
+    pub fn leq(&self, a: NodeId, b: NodeId) -> bool {
+        self.nodes[a.index()]
+            .assignment
+            .leq(self.vocab, &self.nodes[b.index()].assignment)
+    }
+
+    fn make_roots(&mut self) {
+        if self.validity.num_tuples() == 0 && !self.validity.slots().iter().any(|s| s.free) {
+            return; // empty valid set ⇒ empty DAG
+        }
+        // Root slot values: the minimal closure values; slots whose
+        // multiplicity admits zero values start empty.
+        let per_slot: Vec<Vec<Vec<Value>>> = (0..self.validity.slots().len())
+            .map(|si| {
+                let slot = &self.validity.slots()[si];
+                if slot.mult.min() == 0 {
+                    vec![Vec::new()]
+                } else {
+                    self.validity
+                        .minimal_values(Slot(si as u16))
+                        .iter()
+                        .map(|&v| vec![v])
+                        .collect()
+                }
+            })
+            .collect();
+        // cross product of per-slot root choices
+        let mut combos: Vec<Vec<Vec<Value>>> = vec![Vec::new()];
+        for choices in per_slot {
+            let mut next = Vec::new();
+            for c in &combos {
+                for choice in &choices {
+                    let mut c2 = c.clone();
+                    c2.push(choice.clone());
+                    next.push(c2);
+                }
+            }
+            combos = next;
+        }
+        for values in combos {
+            let a = Assignment::new(self.vocab, values, Vec::new());
+            self.stats.admits_calls += 1;
+            if self.validity.admits(self.vocab, &a) {
+                let id = self.intern(a);
+                if !self.roots.contains(&id) {
+                    self.roots.push(id);
+                }
+            }
+        }
+    }
+
+    /// Interns an assignment, materializing a node if new.
+    pub fn intern(&mut self, a: Assignment) -> NodeId {
+        if let Some(&id) = self.index.get(&a) {
+            return id;
+        }
+        let valid = self.validity.is_valid(&a);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { assignment: a.clone(), valid, children: None, parents: Vec::new() });
+        self.index.insert(a, id);
+        self.stats.nodes_created += 1;
+        id
+    }
+
+    /// Looks up a node by assignment without materializing.
+    pub fn lookup(&self, a: &Assignment) -> Option<NodeId> {
+        self.index.get(a).copied()
+    }
+
+    /// The immediate successors of `id`, generating them on first call.
+    pub fn children(&mut self, id: NodeId) -> Vec<NodeId> {
+        if let Some(c) = &self.nodes[id.index()].children {
+            return c.clone();
+        }
+        let assignment = self.nodes[id.index()].assignment.clone();
+        let succs = self.successor_assignments(&assignment);
+        let mut child_ids = Vec::with_capacity(succs.len());
+        for s in succs {
+            let cid = self.intern(s);
+            if cid != id && !child_ids.contains(&cid) {
+                child_ids.push(cid);
+                if !self.nodes[cid.index()].parents.contains(&id) {
+                    self.nodes[cid.index()].parents.push(id);
+                }
+            }
+        }
+        self.nodes[id.index()].children = Some(child_ids.clone());
+        self.stats.nodes_expanded += 1;
+        child_ids
+    }
+
+    /// Whether children were already generated.
+    pub fn is_expanded(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].children.is_some()
+    }
+
+    /// Generates the immediate-successor assignments of `a` within `𝒜`.
+    fn successor_assignments(&mut self, a: &Assignment) -> Vec<Assignment> {
+        let mut out: Vec<Assignment> = Vec::new();
+        let nslots = self.validity.slots().len();
+        // 1. replace: one vocabulary child step on one value
+        for si in 0..nslots {
+            let slot = Slot(si as u16);
+            let values: Vec<Value> = a.slot(slot).to_vec();
+            for v in values {
+                for c in self.value_children(v) {
+                    let cand = a.with_replaced(self.vocab, slot, v, c);
+                    if cand != *a {
+                        self.stats.admits_calls += 1;
+                        if self.validity.admits(self.vocab, &cand) {
+                            out.push(cand);
+                        }
+                    }
+                }
+            }
+        }
+        // 2. add (multiplicity combination)
+        if self.allow_multiplicities {
+            for si in 0..nslots {
+                let slot = Slot(si as u16);
+                let info = &self.validity.slots()[si];
+                let len = a.slot(slot).len();
+                if info.mult.max().is_some_and(|m| len >= m) {
+                    continue;
+                }
+                for v in self.add_candidates(a, slot) {
+                    out.push(a.with_value(self.vocab, slot, v));
+                }
+            }
+        }
+        // 3. MORE-fact component specialization
+        for &f in a.more() {
+            for g in self.fact_children(f) {
+                let cand = a.with_more_replaced(self.vocab, f, g);
+                if cand != *a {
+                    out.push(cand);
+                }
+            }
+        }
+        out.sort_unstable_by(|x, y| x.cmp(y));
+        out.dedup();
+        out
+    }
+
+    fn value_children(&self, v: Value) -> Vec<Value> {
+        match v {
+            Value::Elem(e) => {
+                self.vocab.elem_children(e).iter().map(|&c| Value::Elem(c)).collect()
+            }
+            Value::Rel(r) => self.vocab.rel_children(r).iter().map(|&c| Value::Rel(c)).collect(),
+        }
+    }
+
+    fn fact_children(&self, f: Fact) -> Vec<Fact> {
+        let mut out = Vec::new();
+        for &s in self.vocab.elem_children(f.subject) {
+            out.push(Fact::new(s, f.rel, f.object));
+        }
+        for &r in self.vocab.rel_children(f.rel) {
+            out.push(Fact::new(f.subject, r, f.object));
+        }
+        for &o in self.vocab.elem_children(f.object) {
+            out.push(Fact::new(f.subject, f.rel, o));
+        }
+        out
+    }
+
+    /// Most-general admissible values incomparable to the slot's current
+    /// antichain — the immediate "add a value" successors. BFS from the
+    /// slot's minimal values; subtrees are pruned on comparability or
+    /// inadmissibility (both are inherited downward).
+    fn add_candidates(&mut self, a: &Assignment, slot: Slot) -> Vec<Value> {
+        let existing: Vec<Value> = a.slot(slot).to_vec();
+        let mut out = Vec::new();
+        let mut queue: Vec<Value> = self.validity.minimal_values(slot).to_vec();
+        let mut seen: std::collections::HashSet<Value> = queue.iter().copied().collect();
+        while let Some(v) = queue.pop() {
+            if existing.iter().any(|&w| value_leq(self.vocab, w, v)) {
+                // v (or everything below it) is dominated-by/equal-to an
+                // existing value's specialization cone: adding it is a
+                // replace-move, not an add — skip the subtree.
+                continue;
+            }
+            if existing.iter().any(|&w| value_leq(self.vocab, v, w)) {
+                // v is more general than an existing value: adding it
+                // collapses; descend to find incomparable children.
+                for c in self.value_children(v) {
+                    if seen.insert(c) {
+                        queue.push(c);
+                    }
+                }
+                continue;
+            }
+            // incomparable: admissible ⇒ minimal add; inadmissible ⇒ the
+            // whole cone is inadmissible (𝒜 is downward closed) — prune.
+            let cand = a.with_value(self.vocab, slot, v);
+            self.stats.admits_calls += 1;
+            if self.validity.admits(self.vocab, &cand) {
+                out.push(v);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Attaches a crowd-volunteered MORE fact as a successor of `id`
+    /// (the prototype's *more* button). Returns the new node, or `None`
+    /// when the extension collapses to the same assignment or the query
+    /// did not request MORE facts.
+    pub fn attach_more_tip(&mut self, id: NodeId, fact: Fact) -> Option<NodeId> {
+        if !self.q.more {
+            return None;
+        }
+        let a = self.nodes[id.index()].assignment.clone();
+        let extended = a.with_more(self.vocab, fact);
+        if extended == a {
+            return None;
+        }
+        let cid = self.intern(extended);
+        // register the edge on both sides (keep children coherent if
+        // already generated)
+        if let Some(children) = &mut self.nodes[id.index()].children {
+            if !children.contains(&cid) {
+                children.push(cid);
+            }
+        } else {
+            // children not generated yet; tip node will be rediscovered as
+            // a child is not guaranteed, so generate and append.
+            let mut c = self.children(id);
+            if !c.contains(&cid) {
+                c.push(cid);
+                self.nodes[id.index()].children = Some(c);
+            }
+        }
+        if !self.nodes[cid.index()].parents.contains(&id) {
+            self.nodes[cid.index()].parents.push(id);
+        }
+        Some(cid)
+    }
+
+    /// Fully materializes the DAG reachable from the roots and returns the
+    /// node count — the paper's "DAG size" statistic. Use
+    /// [`without_multiplicities`](Self::without_multiplicities) first to
+    /// match the paper's "without multiplicities" counts.
+    pub fn materialize_all(&mut self) -> usize {
+        let mut cursor = 0usize;
+        // roots already materialized; expand breadth-first
+        while cursor < self.nodes.len() {
+            let id = NodeId(cursor as u32);
+            self.children(id);
+            cursor += 1;
+        }
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_ql::{bind, evaluate_where, parse, MatchMode};
+    use ontology::domains::figure1;
+
+    fn dag_for<'a>(
+        ont: &'a ontology::Ontology,
+        b: &'a BoundQuery,
+    ) -> Dag<'a> {
+        let base = evaluate_where(b, ont, MatchMode::Exact);
+        Dag::new(b, ont.vocab(), &base)
+    }
+
+    fn name_of(dag: &Dag, id: NodeId, slot: usize) -> Vec<String> {
+        dag.node(id)
+            .assignment
+            .slot(Slot(slot as u16))
+            .iter()
+            .map(|&v| match v {
+                Value::Elem(e) => dag.vocab().elem_name(e).to_owned(),
+                Value::Rel(r) => dag.vocab().rel_name(r).to_owned(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_root_at_thing_thing() {
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let dag = dag_for(&ont, &b);
+        assert_eq!(dag.roots().len(), 1);
+        let r = dag.roots()[0];
+        assert_eq!(name_of(&dag, r, 0), vec!["Thing"]);
+        assert_eq!(name_of(&dag, r, 1), vec!["Thing"]);
+        assert!(!dag.node(r).valid);
+    }
+
+    #[test]
+    fn children_specialize_one_step() {
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let mut dag = dag_for(&ont, &b);
+        let r = dag.roots()[0];
+        let kids = dag.children(r);
+        // (Thing,Thing) → (Place,Thing) and (Thing,Activity): only
+        // admissible branches survive (x must generalize an attraction,
+        // y an activity).
+        let mut rendered: Vec<(Vec<String>, Vec<String>)> = kids
+            .iter()
+            .map(|&k| (name_of(&dag, k, 0), name_of(&dag, k, 1)))
+            .collect();
+        rendered.sort();
+        assert_eq!(
+            rendered,
+            vec![
+                (vec!["Place".to_owned()], vec!["Thing".to_owned()]),
+                (vec!["Thing".to_owned()], vec!["Activity".to_owned()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn materialized_count_matches_closure_product() {
+        // x-closure (8) × y-closure (14: 13 + Thing) at multiplicity 1.
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let mut dag = dag_for(&ont, &b).without_multiplicities();
+        let n = dag.materialize_all();
+        // not a full product: e.g. (Madison Square, …) inadmissible; but
+        // every product of closure values that admits is reachable.
+        // x closure: {CP, BZ, Park, Zoo, Outdoor, Attraction, Place, Thing}
+        // y closure: 13 activity values + Thing = 14 ⇒ 8 × 14 = 112.
+        assert_eq!(n, 112);
+    }
+
+    #[test]
+    fn valid_nodes_are_marked() {
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let mut dag = dag_for(&ont, &b);
+        dag.materialize_all();
+        let valid: Vec<NodeId> = dag.node_ids().filter(|&i| dag.node(i).valid).collect();
+        // 2 x-instances × 13 y-classes = 26 valid mult-1 nodes, plus valid
+        // multiplicity combinations.
+        let mult1 = valid
+            .iter()
+            .filter(|&&i| dag.node(i).assignment.is_base())
+            .count();
+        assert_eq!(mult1, 26);
+    }
+
+    #[test]
+    fn add_candidates_produce_antichains() {
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let mut dag = dag_for(&ont, &b);
+        // (Central Park, {Ball Game}) should get an add-successor carrying
+        // an incomparable second y-value (e.g. most-general incomparable
+        // admissible: Food / Biking / Water Sport / Feed a Monkey ancestors)
+        let v = ont.vocab();
+        let a = Assignment::new(
+            v,
+            vec![
+                vec![Value::Elem(v.elem_id("Central Park").unwrap())],
+                vec![Value::Elem(v.elem_id("Ball Game").unwrap())],
+            ],
+            vec![],
+        );
+        let id = dag.intern(a);
+        let kids = dag.children(id);
+        // find a multiplicity-2 child
+        let pair_kids: Vec<Vec<String>> = kids
+            .iter()
+            .filter(|&&k| dag.node(k).assignment.slot(Slot(1)).len() == 2)
+            .map(|&k| name_of(&dag, k, 1))
+            .collect();
+        assert!(!pair_kids.is_empty());
+        for names in &pair_kids {
+            assert!(names.contains(&"Ball Game".to_owned()));
+        }
+        // added values are most-general: Biking and Water Sport and Food
+        // and Feed a Monkey are the incomparable frontier under Activity
+        let added: Vec<String> = pair_kids
+            .iter()
+            .flat_map(|n| n.iter().cloned())
+            .filter(|n| n != "Ball Game")
+            .collect();
+        assert!(added.contains(&"Biking".to_owned()));
+        assert!(added.contains(&"Food".to_owned()));
+        assert!(!added.contains(&"Basketball".to_owned())); // not minimal
+    }
+
+    #[test]
+    fn children_are_strict_successors() {
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let mut dag = dag_for(&ont, &b);
+        let r = dag.roots()[0];
+        let mut frontier = vec![r];
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for id in frontier {
+                for c in dag.children(id) {
+                    assert!(dag.leq(id, c), "child not ≥ parent");
+                    assert!(!dag.leq(c, id), "child equals parent");
+                    next.push(c);
+                }
+            }
+            frontier = next;
+        }
+    }
+
+    #[test]
+    fn attach_more_tip_creates_successor() {
+        let ont = figure1::ontology();
+        let q = parse(figure1::SAMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let v = ont.vocab();
+        let a = Assignment::new(
+            v,
+            vec![
+                vec![Value::Elem(v.elem_id("Central Park").unwrap())],
+                vec![Value::Elem(v.elem_id("Biking").unwrap())],
+                vec![Value::Elem(v.elem_id("Maoz Veg").unwrap())],
+            ],
+            vec![],
+        );
+        let id = dag.intern(a);
+        let tip = v.fact("Rent Bikes", "doAt", "Boathouse").unwrap();
+        let cid = dag.attach_more_tip(id, tip).unwrap();
+        assert!(dag.leq(id, cid));
+        assert_eq!(dag.node(cid).assignment.more(), &[tip]);
+        assert!(dag.children(id).contains(&cid));
+        // the extension is still valid (MORE is part of the query)
+        assert!(dag.node(cid).valid);
+    }
+
+    #[test]
+    fn more_tip_rejected_when_query_has_no_more() {
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let mut dag = dag_for(&ont, &b);
+        let r = dag.roots()[0];
+        let tip = ont.vocab().fact("Rent Bikes", "doAt", "Boathouse").unwrap();
+        assert!(dag.attach_more_tip(r, tip).is_none());
+    }
+
+    #[test]
+    fn empty_valid_set_gives_empty_dag() {
+        let ont = figure1::ontology();
+        // Swimming Pool has no child-friendly instances inside NYC
+        let src = r#"
+SELECT FACT-SETS
+WHERE
+  $x instanceOf "Swimming Pool".
+  $y subClassOf* Activity
+SATISFYING
+  $y doAt $x
+WITH SUPPORT = 0.2
+"#;
+        let q = parse(src).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let dag = dag_for(&ont, &b);
+        assert!(dag.is_empty());
+        assert!(dag.roots().is_empty());
+    }
+
+    #[test]
+    fn lazy_generation_creates_fewer_nodes_than_full() {
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let mut full = dag_for(&ont, &b);
+        full.materialize_all();
+        let full_n = full.len();
+        let lazy = dag_for(&ont, &b);
+        assert!(lazy.len() < full_n / 2, "{} vs {}", lazy.len(), full_n);
+    }
+}

@@ -1,0 +1,175 @@
+//! Diversified top-k answers — the "returning the top-k answers or
+//! diversified answers" extension of Section 8.
+//!
+//! Two MSPs can be near-duplicates ("Basketball at Central Park" /
+//! "Baseball at Central Park"); when the user asks for `TOP k DIVERSE`,
+//! the engine mines the full MSP set and then picks `k` answers by greedy
+//! max–min semantic distance.
+//!
+//! The distance is a Jaccard distance over *generalization features*: the
+//! set of `(slot, ancestor)` pairs of every assigned value (plus MORE
+//! facts). Two assignments that share deep taxonomy context overlap on
+//! many ancestors and count as similar.
+
+use crate::assignment::{Assignment, Slot};
+use oassis_ql::Value;
+use ontology::Vocabulary;
+use std::collections::HashSet;
+
+/// A feature of an assignment: one ancestor of one assigned value, tagged
+/// by slot, or a MORE fact component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Feature {
+    SlotAncestor(u16, Value),
+    MoreFact(ontology::Fact),
+}
+
+fn features(vocab: &Vocabulary, a: &Assignment) -> HashSet<Feature> {
+    let mut out = HashSet::new();
+    for si in 0..a.num_slots() {
+        for &v in a.slot(Slot(si as u16)) {
+            match v {
+                Value::Elem(e) => {
+                    // e and all its generalizations
+                    let mut stack = vec![e];
+                    let mut seen = HashSet::from([e]);
+                    while let Some(x) = stack.pop() {
+                        out.insert(Feature::SlotAncestor(si as u16, Value::Elem(x)));
+                        for &p in vocab.elem_parents(x) {
+                            if seen.insert(p) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                }
+                Value::Rel(r) => {
+                    out.insert(Feature::SlotAncestor(si as u16, Value::Rel(r)));
+                }
+            }
+        }
+    }
+    for &f in a.more() {
+        out.insert(Feature::MoreFact(f));
+    }
+    out
+}
+
+/// Jaccard distance between two assignments' generalization features
+/// (0 = identical context, 1 = nothing shared).
+pub fn semantic_distance(vocab: &Vocabulary, a: &Assignment, b: &Assignment) -> f64 {
+    let fa = features(vocab, a);
+    let fb = features(vocab, b);
+    let inter = fa.intersection(&fb).count();
+    let union = fa.union(&fb).count();
+    if union == 0 {
+        0.0
+    } else {
+        1.0 - inter as f64 / union as f64
+    }
+}
+
+/// Greedy max–min diversification: start from the first candidate and
+/// repeatedly add the candidate maximizing its minimum distance to the
+/// picks so far. Returns at most `k` assignments, in pick order.
+pub fn diversify(vocab: &Vocabulary, candidates: &[Assignment], k: usize) -> Vec<Assignment> {
+    if k == 0 || candidates.is_empty() {
+        return Vec::new();
+    }
+    let mut picked: Vec<usize> = vec![0];
+    while picked.len() < k.min(candidates.len()) {
+        let next = (0..candidates.len())
+            .filter(|i| !picked.contains(i))
+            .max_by(|&i, &j| {
+                let di = min_dist(vocab, candidates, &picked, i);
+                let dj = min_dist(vocab, candidates, &picked, j);
+                di.partial_cmp(&dj).unwrap_or(std::cmp::Ordering::Equal)
+            });
+        match next {
+            Some(i) => picked.push(i),
+            None => break,
+        }
+    }
+    picked.into_iter().map(|i| candidates[i].clone()).collect()
+}
+
+fn min_dist(vocab: &Vocabulary, candidates: &[Assignment], picked: &[usize], i: usize) -> f64 {
+    picked
+        .iter()
+        .map(|&p| semantic_distance(vocab, &candidates[p], &candidates[i]))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontology::domains::figure1;
+
+    fn assign(ont: &ontology::Ontology, x: &str, y: &str) -> Assignment {
+        let v = ont.vocab();
+        Assignment::new(
+            v,
+            vec![
+                vec![Value::Elem(v.elem_id(x).unwrap())],
+                vec![Value::Elem(v.elem_id(y).unwrap())],
+            ],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn distance_is_zero_for_identical() {
+        let ont = figure1::ontology();
+        let a = assign(&ont, "Central Park", "Biking");
+        assert_eq!(semantic_distance(ont.vocab(), &a, &a), 0.0);
+    }
+
+    #[test]
+    fn siblings_are_closer_than_strangers() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let basketball = assign(&ont, "Central Park", "Basketball");
+        let baseball = assign(&ont, "Central Park", "Baseball");
+        let monkey = assign(&ont, "Bronx Zoo", "Feed a Monkey");
+        let d_sibling = semantic_distance(v, &basketball, &baseball);
+        let d_stranger = semantic_distance(v, &basketball, &monkey);
+        assert!(d_sibling < d_stranger, "{d_sibling} vs {d_stranger}");
+        assert!(d_sibling > 0.0);
+    }
+
+    #[test]
+    fn diversify_prefers_spread() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let candidates = vec![
+            assign(&ont, "Central Park", "Basketball"),
+            assign(&ont, "Central Park", "Baseball"), // near-duplicate of [0]
+            assign(&ont, "Bronx Zoo", "Feed a Monkey"),
+        ];
+        let picked = diversify(v, &candidates, 2);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0], candidates[0]);
+        // the second pick must be the zoo answer, not the near-duplicate
+        assert_eq!(picked[1], candidates[2]);
+    }
+
+    #[test]
+    fn k_larger_than_candidates_returns_all() {
+        let ont = figure1::ontology();
+        let candidates =
+            vec![assign(&ont, "Central Park", "Biking"), assign(&ont, "Bronx Zoo", "Feed a Monkey")];
+        assert_eq!(diversify(ont.vocab(), &candidates, 10).len(), 2);
+        assert!(diversify(ont.vocab(), &candidates, 0).is_empty());
+        assert!(diversify(ont.vocab(), &[], 3).is_empty());
+    }
+
+    #[test]
+    fn more_facts_contribute_to_distance() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let plain = assign(&ont, "Central Park", "Biking");
+        let tipped =
+            plain.with_more(v, v.fact("Rent Bikes", "doAt", "Boathouse").unwrap());
+        let d = semantic_distance(v, &plain, &tipped);
+        assert!(d > 0.0 && d < 1.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The high-level OASSIS engine: parse → bind → evaluate WHERE → build the
+//! assignment DAG → mine the crowd → format answers.
+//!
+//! This is the API the examples and experiments drive; it corresponds to
+//! the prototype's top-level flow of Section 6.1 (RDFLIB SPARQL engine →
+//! AssignGenerator → QueueManager → CrowdCache).
+
+use crate::aggregate::Aggregator;
+use crate::dag::Dag;
+use crate::diversify::diversify;
+use crate::multi::{run_multi, MultiOutcome};
+use crate::rulemine::{run_rules, RuleMiningConfig, RuleOutcome};
+use crate::templates::QuestionTemplates;
+use crate::vertical::MiningConfig;
+use crowd::CrowdSource;
+use oassis_ql::{bind, evaluate_where, parse, BoundQuery, MatchMode, OutputFormat, QlError};
+use ontology::Ontology;
+
+/// The OASSIS engine over one ontology.
+pub struct Oassis<'o> {
+    ont: &'o Ontology,
+    match_mode: MatchMode,
+    templates: QuestionTemplates,
+}
+
+/// The answer to an OASSIS-QL query.
+#[derive(Debug)]
+pub struct QueryAnswer {
+    /// Rendered answer rows: the valid MSPs (or, with `ALL`, every valid
+    /// significant assignment), in the format the `SELECT` clause
+    /// requested.
+    pub answers: Vec<String>,
+    /// Full mining outcome (question counts, discovery events, MSP sets
+    /// including invalid ones, …).
+    pub outcome: MultiOutcome,
+}
+
+impl<'o> Oassis<'o> {
+    /// Creates an engine with exact (SPARQL-style) WHERE matching.
+    pub fn new(ont: &'o Ontology) -> Self {
+        Oassis { ont, match_mode: MatchMode::Exact, templates: QuestionTemplates::new() }
+    }
+
+    /// Switches the WHERE match mode.
+    pub fn with_match_mode(mut self, mode: MatchMode) -> Self {
+        self.match_mode = mode;
+        self
+    }
+
+    /// Installs question templates (used by [`Self::render_question`]).
+    pub fn with_templates(mut self, templates: QuestionTemplates) -> Self {
+        self.templates = templates;
+        self
+    }
+
+    /// The underlying ontology.
+    pub fn ontology(&self) -> &'o Ontology {
+        self.ont
+    }
+
+    /// Parses and binds a query without executing it.
+    pub fn prepare(&self, src: &str) -> Result<BoundQuery, QlError> {
+        let q = parse(src)?;
+        bind(&q, self.ont)
+    }
+
+    /// Renders a crowd question in natural language.
+    pub fn render_question(&self, q: &crowd::Question) -> String {
+        match q {
+            crowd::Question::Concrete { pattern } => {
+                self.templates.render_concrete(self.ont.vocab(), pattern)
+            }
+            crowd::Question::Specialization { base, options } => {
+                self.templates.render_specialization(self.ont.vocab(), base, options)
+            }
+        }
+    }
+
+    /// Executes a (pattern) query against a crowd, with the given
+    /// aggregation black-box and mining configuration. `TOP k` queries
+    /// terminate early once `k` valid MSPs are confirmed; `TOP k DIVERSE`
+    /// queries mine the full answer set and return `k` mutually diverse
+    /// answers. Rule queries (`IMPLYING`) must use
+    /// [`execute_rules`](Self::execute_rules).
+    pub fn execute<C: CrowdSource, A: Aggregator>(
+        &self,
+        src: &str,
+        crowd: &mut C,
+        aggregator: &A,
+        cfg: &MiningConfig,
+    ) -> Result<QueryAnswer, QlError> {
+        let bound = self.prepare(src)?;
+        if !bound.imp_meta.is_empty() {
+            return Err(QlError::Invalid(
+                "query has an IMPLYING clause; use execute_rules".into(),
+            ));
+        }
+        let base = evaluate_where(&bound, self.ont, self.match_mode);
+        let mut dag = Dag::new(&bound, self.ont.vocab(), &base);
+        let outcome = run_multi(&mut dag, crowd, aggregator, cfg);
+        let vocab = self.ont.vocab();
+        let selected: Vec<crate::Assignment> = {
+            let pool: &[crate::Assignment] = if bound.all {
+                &outcome.mining.significant_valid
+            } else {
+                &outcome.mining.valid_msps
+            };
+            match bound.top_k {
+                None => pool.to_vec(),
+                Some(k) if bound.diverse => diversify(vocab, pool, k),
+                Some(k) => pool.iter().take(k).cloned().collect(),
+            }
+        };
+        let answers: Vec<String> = selected
+            .iter()
+            .map(|a| match bound.format {
+                OutputFormat::FactSets => a.apply(&bound).to_display(vocab),
+                OutputFormat::Variables => a.to_display(&bound, vocab),
+            })
+            .collect();
+        Ok(QueryAnswer { answers, outcome })
+    }
+
+    /// Executes an association-rule query (one with `IMPLYING … AND
+    /// CONFIDENCE`). Answers render as `body ⇒ head (supp, conf)`.
+    pub fn execute_rules<C: CrowdSource>(
+        &self,
+        src: &str,
+        crowd: &mut C,
+        cfg: &RuleMiningConfig,
+    ) -> Result<RuleAnswer, QlError> {
+        let bound = self.prepare(src)?;
+        let base = evaluate_where(&bound, self.ont, self.match_mode);
+        let mut dag = Dag::new(&bound, self.ont.vocab(), &base);
+        let outcome = run_rules(&mut dag, crowd, cfg)?;
+        let vocab = self.ont.vocab();
+        let pool: Vec<&crate::rulemine::MinedRule> =
+            outcome.rules.iter().filter(|r| r.valid).collect();
+        let selected: Vec<&crate::rulemine::MinedRule> = match bound.top_k {
+            None => pool,
+            Some(k) => pool.into_iter().take(k).collect(),
+        };
+        let answers: Vec<String> = selected
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} ⇒ {}   (supp {:.2}, conf {:.2})",
+                    r.body.to_display(vocab),
+                    r.head.to_display(vocab),
+                    r.support,
+                    r.confidence
+                )
+            })
+            .collect();
+        Ok(RuleAnswer { answers, outcome })
+    }
+}
+
+/// The answer to an OASSIS-QL rule query.
+#[derive(Debug)]
+pub struct RuleAnswer {
+    /// Rendered `body ⇒ head` rows for the valid mined rules.
+    pub answers: Vec<String>,
+    /// Full rule-mining outcome.
+    pub outcome: RuleOutcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::FixedSampleAggregator;
+    use crowd::{AnswerModel, MemberBehavior, PersonalDb, SimulatedCrowd, SimulatedMember};
+    use ontology::domains::figure1;
+
+    fn u_avg(ont: &Ontology, seed: u64) -> SimulatedMember {
+        let [d1, d2] = figure1::personal_dbs(ont);
+        let mut tx = d1;
+        for _ in 0..3 {
+            tx.extend(d2.iter().cloned());
+        }
+        SimulatedMember::new(
+            PersonalDb::from_transactions(tx),
+            MemberBehavior::default(),
+            AnswerModel::Exact,
+            seed,
+        )
+    }
+
+    #[test]
+    fn end_to_end_simple_query() {
+        let ont = figure1::ontology();
+        let engine = Oassis::new(&ont);
+        let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
+        let agg = FixedSampleAggregator { sample_size: 1 };
+        let ans = engine
+            .execute(figure1::SIMPLE_QUERY, &mut crowd, &agg, &MiningConfig::default())
+            .unwrap();
+        assert!(ans.answers.iter().any(|a| a == "Biking doAt Central Park"), "{:?}", ans.answers);
+        assert!(ans.answers.iter().any(|a| a == "Feed a Monkey doAt Bronx Zoo"));
+        assert!(ans.outcome.mining.complete);
+    }
+
+    #[test]
+    fn select_all_returns_superset_of_msps() {
+        let ont = figure1::ontology();
+        let engine = Oassis::new(&ont);
+        let agg = FixedSampleAggregator { sample_size: 1 };
+        let all_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS ALL");
+        let mut crowd1 = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
+        let msp_ans = engine
+            .execute(figure1::SIMPLE_QUERY, &mut crowd1, &agg, &MiningConfig::default())
+            .unwrap();
+        let mut crowd2 = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
+        let all_ans =
+            engine.execute(&all_query, &mut crowd2, &agg, &MiningConfig::default()).unwrap();
+        assert!(all_ans.answers.len() >= msp_ans.answers.len());
+        // e.g. the generalization "Sport doAt Central Park" is significant
+        // but not maximal
+        assert!(all_ans.answers.iter().any(|a| a == "Sport doAt Central Park"),
+            "{:?}", all_ans.answers);
+        assert!(!msp_ans.answers.iter().any(|a| a == "Sport doAt Central Park"));
+    }
+
+    #[test]
+    fn select_variables_renders_assignments() {
+        let ont = figure1::ontology();
+        let engine = Oassis::new(&ont);
+        let agg = FixedSampleAggregator { sample_size: 1 };
+        let var_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT VARIABLES");
+        let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
+        let ans = engine.execute(&var_query, &mut crowd, &agg, &MiningConfig::default()).unwrap();
+        assert!(ans.answers.iter().any(|a| a.contains("$x ↦ {Central Park}")), "{:?}", ans.answers);
+        assert!(ans.answers.iter().any(|a| a.contains("$y ↦ {Biking}")));
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let ont = figure1::ontology();
+        let engine = Oassis::new(&ont);
+        assert!(engine.prepare("SELECT GARBAGE").is_err());
+        assert!(engine
+            .prepare("SELECT FACT-SETS WHERE $x instanceOf Mars SATISFYING $x doAt NYC WITH SUPPORT = 0.2")
+            .is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! # oassis-core — the OASSIS crowd-mining engine (Sections 4–6)
+//!
+//! The paper's primary contribution: evaluating OASSIS-QL queries with the
+//! crowd while asking as few questions as possible.
+//!
+//! * [`assignment`] — assignments with multiplicities and their semantic
+//!   partial order (Definition 4.1).
+//! * [`validity`] — membership in the expanded assignment set `𝒜`
+//!   (line 1 of Algorithm 1) and in `𝒜_valid` (Proposition 5.1).
+//! * [`dag`] — the lazily generated assignment DAG (Section 5, the
+//!   prototype's `AssignGenerator`).
+//! * [`classify`] — witness-based classification with the inference of
+//!   Observation 4.4, plus user-guided pruning.
+//! * [`vertical`] — Algorithm 1 (single user).
+//! * [`multi`] — the multi-user engine of Section 4.2 (`QueueManager`).
+//! * [`aggregate`] — black-box answer aggregation.
+//! * [`baselines`] — the Horizontal (Apriori-style) and Naive comparison
+//!   algorithms of Section 6.4, and the exhaustive-baseline question count.
+//! * [`cache`] — `CrowdCache`: answer caching and threshold re-use
+//!   (Section 6.3).
+//! * [`synth`] — synthetic DAGs, planted MSPs and ground-truth oracles
+//!   (Section 6.4).
+//! * [`templates`] — natural-language question rendering (Section 6.2).
+//! * [`rulemine`] — association-rule mining (`IMPLYING … AND CONFIDENCE`,
+//!   a Section-8 / language-guide extension).
+//! * [`diversify`] — diversified top-k answers (Section 8 extension).
+//! * [`engine`] — the high-level `Oassis` facade.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod assignment;
+pub mod baselines;
+pub mod cache;
+pub mod classify;
+pub mod dag;
+pub mod diversify;
+pub mod engine;
+pub mod multi;
+pub mod rulemine;
+pub mod synth;
+pub mod templates;
+pub mod validity;
+pub mod vertical;
+
+pub use aggregate::{AggVerdict, Aggregator, EarlyDecisionAggregator, FixedSampleAggregator, TrustWeightedAggregator};
+pub use assignment::{Assignment, Slot};
+pub use baselines::{baseline_question_count, run_horizontal, run_naive};
+pub use cache::{CachingCrowd, CrowdCache};
+pub use classify::{Class, Classifier};
+pub use dag::{Dag, GenStats, Node, NodeId};
+pub use diversify::{diversify, semantic_distance};
+pub use engine::{Oassis, QueryAnswer, RuleAnswer};
+pub use rulemine::{run_rules, MinedRule, RuleMiningConfig, RuleOutcome};
+pub use multi::{run_multi, MultiOutcome, QuestionStats};
+pub use synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle, SyntheticDomain};
+pub use templates::QuestionTemplates;
+pub use validity::{SlotInfo, ValidityIndex};
+pub use vertical::{run_vertical, DiscoveryEvent, DiscoveryKind, MiningConfig, MiningOutcome};

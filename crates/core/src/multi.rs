@@ -1,0 +1,690 @@
+//! The multi-user evaluation engine (Section 4.2) — the paper's
+//! `QueueManager`.
+//!
+//! Each crowd member traverses the assignments in the same top-down order
+//! as the single-user algorithm, "but inferences are done based on the
+//! globally collected knowledge":
+//!
+//! 1. the per-member loop can terminate at any point (members leave);
+//! 2. answers are recorded per assignment;
+//! 3. significance is decided by a black-box [`Aggregator`];
+//! 4. a member is only asked about successors of φ if φ is significant
+//!    *for them* and not overall insignificant;
+//! 5. an assignment joins the output when it becomes an overall MSP.
+//!
+//! Members start their traversal "from the overall most general
+//! assignment (even if it is already classified)" and navigate to a
+//! minimal unclassified one — when a general assignment is insignificant
+//! for a member, its typically many successors are pruned *for that user*.
+
+use crate::aggregate::{AggVerdict, Aggregator};
+use crate::baselines::MspMonitor;
+use crate::classify::{Class, Classifier};
+use crate::dag::{Dag, NodeId};
+use crate::vertical::{DiscoveryEvent, MiningConfig, MiningOutcome, ValidTracker};
+use crowd::{Answer, CrowdSource, MemberId, Question};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Question-type bookkeeping (the answer-mix statistics of Section 6.3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuestionStats {
+    /// Concrete questions answered with a support value.
+    pub concrete: usize,
+    /// Specialization questions answered with a chosen option.
+    pub specialization: usize,
+    /// Specialization questions answered "none of these".
+    pub none_of_these: usize,
+    /// User-guided pruning clicks.
+    pub pruning: usize,
+}
+
+impl QuestionStats {
+    /// Total answered questions.
+    pub fn total(&self) -> usize {
+        self.concrete + self.specialization + self.none_of_these + self.pruning
+    }
+}
+
+/// Outcome of a multi-user run.
+#[derive(Debug)]
+pub struct MultiOutcome {
+    /// The shared mining outcome (MSPs, questions, events, …).
+    pub mining: MiningOutcome,
+    /// Answer-mix statistics.
+    pub question_stats: QuestionStats,
+    /// Questions answered per *recruited* member (when the query carries
+    /// an `ASKING` clause, only profile-matching members are recruited, so
+    /// this can be shorter than the crowd).
+    pub answers_per_member: Vec<usize>,
+    /// Materialized nodes still unclassified when the run stopped
+    /// (non-zero when the crowd was exhausted before convergence).
+    pub undecided: usize,
+}
+
+struct MemberState {
+    id: MemberId,
+    personal: Classifier,
+    answered: HashSet<NodeId>,
+    /// Significant nodes whose children this member already enqueued
+    /// (guards the lazy descent in `next_target` against re-pushing).
+    descended: HashSet<NodeId>,
+    active: bool,
+    /// High-priority frontier: children of nodes that became *overall*
+    /// significant — answering these drives assignments to quorum.
+    hot: VecDeque<NodeId>,
+    /// Low-priority frontier: the roots plus this member's personal
+    /// descent (successors of nodes significant *for them* but not yet
+    /// overall) — served only when no quorum work is pending, so that a
+    /// single member's idiosyncratic habits don't starve the crowd's
+    /// shared progress.
+    cold: VecDeque<NodeId>,
+}
+
+/// Runs the multi-user algorithm.
+pub fn run_multi<C: CrowdSource, A: Aggregator>(
+    dag: &mut Dag<'_>,
+    crowd: &mut C,
+    aggregator: &A,
+    cfg: &MiningConfig,
+) -> MultiOutcome {
+    let threshold = cfg.threshold.unwrap_or(dag.query().threshold);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut global = Classifier::new();
+    let mut answers: HashMap<NodeId, Vec<(MemberId, f64)>> = HashMap::new();
+    let mut tracker = ValidTracker::new(dag);
+    let mut events: Vec<DiscoveryEvent> = Vec::new();
+    let mut monitor = MspMonitor::new();
+    let mut msp_ids: Vec<NodeId> = Vec::new();
+    let mut stats = QuestionStats::default();
+    let mut questions = 0usize;
+    let mut newly_significant: Vec<NodeId> = Vec::new();
+    let mut global_decisions = 0usize;
+
+    let roots: VecDeque<NodeId> = dag.roots().iter().copied().collect();
+    let asking = dag.query().asking.clone();
+    let mut members: Vec<MemberState> = crowd
+        .members()
+        .into_iter()
+        .filter(|&id| match &asking {
+            // ASKING "label": only profile-matching members are recruited
+            Some(label) => crowd.member_has_profile(id, label),
+            None => true,
+        })
+        .map(|id| MemberState {
+            id,
+            personal: Classifier::new(),
+            answered: HashSet::new(),
+            descended: HashSet::new(),
+            active: true,
+            hot: roots.clone(),
+            cold: VecDeque::new(),
+        })
+        .collect();
+    let mut per_member: Vec<usize> = vec![0; members.len()];
+
+    'outer: loop {
+        let mut asked_this_round = 0usize;
+        for mi in 0..members.len() {
+            if cfg.max_questions.is_some_and(|m| questions >= m) {
+                break 'outer;
+            }
+            if !members[mi].active {
+                continue;
+            }
+            let Some(target) = next_target(dag, &mut global, &mut members[mi]) else {
+                continue;
+            };
+            // question-type policy: specialization with configured ratio
+            let mut asked = false;
+            if cfg.specialization_ratio > 0.0 && rng.gen_bool(cfg.specialization_ratio) {
+                let options: Vec<NodeId> = dag
+                    .children(target)
+                    .into_iter()
+                    .filter(|&c| {
+                        global.class(dag, c) == Class::Unknown
+                            && !members[mi].answered.contains(&c)
+                            && members[mi].personal.class(dag, c) != Class::Insignificant
+                    })
+                    .take(cfg.max_spec_options)
+                    .collect();
+                if !options.is_empty() {
+                    asked = ask_specialization(
+                        dag, crowd, aggregator, threshold, &mut members[mi], &options, target,
+                        &mut answers, &mut global, &mut tracker, &mut stats, &mut questions,
+                        &mut events, &mut newly_significant,
+                    );
+                    if asked {
+                        // the base itself is still unanswered by this
+                        // member - revisit it later
+                        members[mi].hot.push_back(target);
+                    }
+                }
+            }
+            if !asked {
+                asked = ask_concrete(
+                    dag, crowd, aggregator, threshold, &mut members[mi], target, &mut answers,
+                    &mut global, &mut tracker, &mut stats, &mut questions, &mut events,
+                    &mut newly_significant,
+                );
+            }
+            if asked {
+                per_member[mi] += 1;
+                asked_this_round += 1;
+                // fan out the children of any node that just became
+                // globally significant to every member's queue (the
+                // QueueManager's frontier maintenance)
+                let had_transition = global_decisions != global.decisions();
+                global_decisions = global.decisions();
+                let newly: Vec<NodeId> = std::mem::take(&mut newly_significant);
+                for node in newly {
+                    let children = dag.children(node);
+                    for ms in members.iter_mut() {
+                        ms.hot.extend(children.iter().copied());
+                    }
+                }
+                // MSP entailment can only change when a global
+                // classification changed
+                if had_transition {
+                    monitor.update(dag, &mut global, questions, &mut events, &mut msp_ids);
+                    // TOP k early termination (Section 8 extension)
+                    if let Some(k) = dag.query().top_k {
+                        if !dag.query().diverse {
+                            let valid =
+                                msp_ids.iter().filter(|&&m| dag.node(m).valid).count();
+                            if valid >= k {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if asked_this_round == 0 {
+            break;
+        }
+    }
+
+    // The completeness check expands the remaining significant frontier,
+    // which may generate children that are classified purely by inference;
+    // a final monitor sweep then confirms the last MSPs.
+    let complete = crate::vertical::find_minimal_unclassified(dag, &mut global).is_none();
+    monitor.update(dag, &mut global, questions, &mut events, &mut msp_ids);
+    let undecided = dag
+        .node_ids()
+        .filter(|&i| global.class(dag, i) == Class::Unknown)
+        .count();
+    let msps: Vec<crate::Assignment> =
+        msp_ids.iter().map(|&i| dag.node(i).assignment.clone()).collect();
+    let valid_msps: Vec<crate::Assignment> = msp_ids
+        .iter()
+        .filter(|&&i| dag.node(i).valid)
+        .map(|&i| dag.node(i).assignment.clone())
+        .collect();
+    let significant_valid = crate::vertical::significant_valid_assignments(dag, &mut global);
+    let total_valid = tracker.len();
+    let valid_mult_nodes = dag
+        .node_ids()
+        .filter(|&i| dag.node(i).valid && !dag.node(i).assignment.is_base())
+        .count();
+    MultiOutcome {
+        mining: MiningOutcome {
+            msps,
+            valid_msps,
+            significant_valid,
+            total_valid,
+            valid_mult_nodes,
+            questions,
+            events,
+            gen_stats: dag.stats(),
+            nodes_materialized: dag.len(),
+            complete,
+        },
+        question_stats: stats,
+        answers_per_member: per_member,
+        undecided,
+    }
+}
+
+/// Finds the member's next question by draining their pending frontier:
+/// nodes enter the queue when the member starts (the roots), when one of
+/// the member's own answers is significant (personal descent), or when
+/// any node becomes *overall* significant (fan-out in the main loop).
+/// Nodes that are globally classified, personally excluded (rule 4 — the
+/// personal classifier inherits insignificance downward), or already
+/// answered are skipped on pop.
+fn next_target(
+    dag: &mut Dag<'_>,
+    global: &mut Classifier,
+    m: &mut MemberState,
+) -> Option<NodeId> {
+    for hot in [true, false] {
+        loop {
+            let Some(id) = (if hot { m.hot.pop_front() } else { m.cold.pop_front() }) else {
+                break;
+            };
+            match global.class(dag, id) {
+                Class::Insignificant => continue,
+                Class::Significant => {
+                    // descend lazily: a node can become significant *by
+                    // inference* (a spec-question jump decided a deeper
+                    // witness first), in which case no fan-out transition
+                    // ever fired for it — its children must still be
+                    // explored.
+                    if m.descended.insert(id) {
+                        let children = dag.children(id);
+                        if hot {
+                            m.hot.extend(children);
+                        } else {
+                            m.cold.extend(children);
+                        }
+                    }
+                    continue;
+                }
+                Class::Unknown => {}
+            }
+            if m.personal.class(dag, id) == Class::Insignificant {
+                continue;
+            }
+            if m.answered.contains(&id) {
+                continue;
+            }
+            return Some(id);
+        }
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_answer<A: Aggregator>(
+    dag: &mut Dag<'_>,
+    aggregator: &A,
+    threshold: f64,
+    node: NodeId,
+    member: MemberId,
+    support: f64,
+    answers: &mut HashMap<NodeId, Vec<(MemberId, f64)>>,
+    global: &mut Classifier,
+    tracker: &mut ValidTracker,
+    questions: usize,
+    events: &mut Vec<DiscoveryEvent>,
+    newly_significant: &mut Vec<NodeId>,
+) {
+    let entry = answers.entry(node).or_default();
+    entry.push((member, support));
+    let verdict = aggregator.verdict(entry, threshold);
+    if verdict == AggVerdict::Undecided || global.class(dag, node) != Class::Unknown {
+        return;
+    }
+    let sig = verdict == AggVerdict::Significant;
+    if sig {
+        global.mark_significant(node);
+        newly_significant.push(node);
+    } else {
+        global.mark_insignificant(node);
+    }
+    let a = dag.node(node).assignment.clone();
+    if tracker.witness(dag, &a, sig) {
+        events.push(DiscoveryEvent {
+            question: questions,
+            kind: crate::vertical::DiscoveryKind::ValidClassified {
+                total: tracker.total_classified,
+            },
+        });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ask_concrete<C: CrowdSource, A: Aggregator>(
+    dag: &mut Dag<'_>,
+    crowd: &mut C,
+    aggregator: &A,
+    threshold: f64,
+    m: &mut MemberState,
+    target: NodeId,
+    answers: &mut HashMap<NodeId, Vec<(MemberId, f64)>>,
+    global: &mut Classifier,
+    tracker: &mut ValidTracker,
+    stats: &mut QuestionStats,
+    questions: &mut usize,
+    events: &mut Vec<DiscoveryEvent>,
+    newly_significant: &mut Vec<NodeId>,
+) -> bool {
+    let pattern = dag.node(target).assignment.apply(dag.query());
+    match crowd.ask(m.id, &Question::Concrete { pattern }) {
+        Answer::Support { support, more_tip } => {
+            *questions += 1;
+            stats.concrete += 1;
+            m.answered.insert(target);
+            if support >= threshold {
+                m.personal.mark_significant(target);
+                if let Some(tip) = more_tip {
+                    dag.attach_more_tip(target, tip);
+                }
+                // personal descent (rule 4): this member may be asked
+                // about the successors — low priority, so quorum work on
+                // the shared frontier runs first
+                let children = dag.children(target);
+                m.cold.extend(children);
+            } else {
+                m.personal.mark_insignificant(target);
+            }
+            record_answer(
+                dag, aggregator, threshold, target, m.id, support, answers, global, tracker,
+                *questions, events, newly_significant,
+            );
+            true
+        }
+        Answer::Irrelevant { elem } => {
+            *questions += 1;
+            stats.pruning += 1;
+            m.answered.insert(target);
+            m.personal.prune_elem(elem);
+            // The click answers *every* assignment involving the element
+            // (or a specialization) at once for this member — feed those
+            // implicit 0-answers to the aggregator for all materialized
+            // nodes, so pruned cones reach quorum without further
+            // questions (Section 6.2's bulk effect).
+            let vocab = dag.vocab();
+            let affected: Vec<NodeId> = dag
+                .node_ids()
+                .filter(|&id| {
+                    let a = &dag.node(id).assignment;
+                    let hit_value = (0..a.num_slots()).any(|si| {
+                        a.slot(crate::assignment::Slot(si as u16)).iter().any(|&v| match v {
+                            oassis_ql::Value::Elem(e) => vocab.elem_leq(elem, e),
+                            oassis_ql::Value::Rel(_) => false,
+                        })
+                    });
+                    hit_value
+                        || a.more().iter().any(|f| {
+                            vocab.elem_leq(elem, f.subject) || vocab.elem_leq(elem, f.object)
+                        })
+                })
+                .collect();
+            for id in affected {
+                if m.answered.insert(id) {
+                    record_answer(
+                        dag, aggregator, threshold, id, m.id, 0.0, answers, global, tracker,
+                        *questions, events, newly_significant,
+                    );
+                }
+            }
+            true
+        }
+        Answer::Unavailable => {
+            m.active = false;
+            false
+        }
+        _ => unreachable!("non-concrete answer to a concrete question"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ask_specialization<C: CrowdSource, A: Aggregator>(
+    dag: &mut Dag<'_>,
+    crowd: &mut C,
+    aggregator: &A,
+    threshold: f64,
+    m: &mut MemberState,
+    options: &[NodeId],
+    base: NodeId,
+    answers: &mut HashMap<NodeId, Vec<(MemberId, f64)>>,
+    global: &mut Classifier,
+    tracker: &mut ValidTracker,
+    stats: &mut QuestionStats,
+    questions: &mut usize,
+    events: &mut Vec<DiscoveryEvent>,
+    newly_significant: &mut Vec<NodeId>,
+) -> bool {
+    let q = Question::Specialization {
+        base: dag.node(base).assignment.apply(dag.query()),
+        options: options.iter().map(|&o| dag.node(o).assignment.apply(dag.query())).collect(),
+    };
+    match crowd.ask(m.id, &q) {
+        Answer::Specialized { choice, support } => {
+            *questions += 1;
+            stats.specialization += 1;
+            let chosen = options[choice.min(options.len() - 1)];
+            m.answered.insert(chosen);
+            if support >= threshold {
+                m.personal.mark_significant(chosen);
+                let children = dag.children(chosen);
+                m.cold.extend(children);
+            } else {
+                m.personal.mark_insignificant(chosen);
+            }
+            record_answer(
+                dag, aggregator, threshold, chosen, m.id, support, answers, global, tracker,
+                *questions, events, newly_significant,
+            );
+            true
+        }
+        Answer::NoneOfThese => {
+            *questions += 1;
+            stats.none_of_these += 1;
+            for &o in options {
+                m.answered.insert(o);
+                m.personal.mark_insignificant(o);
+                record_answer(
+                    dag, aggregator, threshold, o, m.id, 0.0, answers, global, tracker,
+                    *questions, events, newly_significant,
+                );
+            }
+            true
+        }
+        Answer::Irrelevant { elem } => {
+            *questions += 1;
+            stats.pruning += 1;
+            m.personal.prune_elem(elem);
+            true
+        }
+        Answer::Unavailable => {
+            m.active = false;
+            false
+        }
+        _ => unreachable!("support answer to a specialization question"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::FixedSampleAggregator;
+    use crate::synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle};
+    use crowd::{AnswerModel, MemberBehavior, PersonalDb, SimulatedCrowd, SimulatedMember};
+    use oassis_ql::{bind, evaluate_where, parse, MatchMode};
+    use ontology::domains::figure1;
+
+    /// The u_avg member of Example 4.6: D_u1 plus three copies of D_u2
+    /// makes every support the exact average of u1 and u2.
+    fn u_avg(ont: &ontology::Ontology, seed: u64) -> SimulatedMember {
+        let [d1, d2] = figure1::personal_dbs(ont);
+        let mut tx = d1;
+        for _ in 0..3 {
+            tx.extend(d2.iter().cloned());
+        }
+        SimulatedMember::new(
+            PersonalDb::from_transactions(tx),
+            MemberBehavior::default(),
+            AnswerModel::Exact,
+            seed,
+        )
+    }
+
+    #[test]
+    fn two_member_running_example() {
+        // Two identical averaged members with a 2-answer quorum: the
+        // multi-user engine must converge to the single-user MSPs.
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let members = vec![u_avg(&ont, 1), u_avg(&ont, 2)];
+        let mut crowd = SimulatedCrowd::new(ont.vocab(), members);
+        let agg = FixedSampleAggregator { sample_size: 2 };
+        let out = run_multi(&mut dag, &mut crowd, &agg, &MiningConfig::default());
+        assert!(out.mining.complete, "undecided: {}", out.undecided);
+        let rendered: Vec<String> = out
+            .mining
+            .msps
+            .iter()
+            .map(|m| m.apply(&b).to_display(ont.vocab()))
+            .collect();
+        assert!(rendered.iter().any(|r| r == "Biking doAt Central Park"), "{rendered:?}");
+        assert!(rendered.iter().any(|r| r == "Ball Game doAt Central Park"));
+        assert!(rendered.iter().any(|r| r == "Feed a Monkey doAt Bronx Zoo"));
+        assert!(!rendered.iter().any(|r| r.contains("Basketball")));
+        // both members contributed
+        assert!(out.answers_per_member.iter().all(|&n| n > 0));
+        assert_eq!(out.question_stats.total(), out.mining.questions);
+    }
+
+    #[test]
+    fn rule_4_keeps_personally_insignificant_regions_unexplored() {
+        // With the real u1/u2 and a 2-answer quorum, successors of a node
+        // that is insignificant for one member can never reach quorum —
+        // the run ends incomplete with undecided nodes, and the member
+        // was never asked below their personal cut (rule 4 of §4.2).
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let [d1, d2] = figure1::personal_dbs(&ont);
+        let members = vec![
+            SimulatedMember::new(
+                PersonalDb::from_transactions(d1),
+                MemberBehavior::default(),
+                AnswerModel::Exact,
+                1,
+            ),
+            SimulatedMember::new(
+                PersonalDb::from_transactions(d2),
+                MemberBehavior::default(),
+                AnswerModel::Exact,
+                2,
+            ),
+        ];
+        let mut crowd = SimulatedCrowd::new(ont.vocab(), members);
+        let agg = FixedSampleAggregator { sample_size: 2 };
+        let out = run_multi(&mut dag, &mut crowd, &agg, &MiningConfig::default());
+        // (CP, Biking) is personally insignificant for u1 (1/3 < 0.4) but
+        // globally significant (5/12): its multiplicity successors get at
+        // most one answer and stay undecided.
+        assert!(!out.mining.complete);
+        assert!(out.undecided > 0);
+    }
+
+    #[test]
+    fn multi_user_agrees_with_single_oracle_user() {
+        let d = synthetic_domain(100, 5, 0);
+        let q = parse(&d.query).unwrap();
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        full.materialize_all();
+        let planted = plant_msps(&mut full, 6, true, MspDistribution::Uniform, 5);
+        let patterns: Vec<_> =
+            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+
+        // 5 identical oracle members, aggregator requires 5 answers
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 5, 0);
+        let agg = FixedSampleAggregator { sample_size: 5 };
+        let out = run_multi(&mut dag, &mut oracle, &agg, &MiningConfig::default());
+        assert!(out.mining.complete);
+        let got: HashSet<String> = out
+            .mining
+            .msps
+            .iter()
+            .map(|m| m.apply(&b).to_display(d.ontology.vocab()))
+            .collect();
+        let expected: HashSet<String> = planted
+            .iter()
+            .map(|&id| full.node(id).assignment.apply(&b).to_display(d.ontology.vocab()))
+            .collect();
+        assert_eq!(got, expected);
+        // every classified node took 5 answers: questions ≈ 5 × unique
+        assert!(out.mining.questions >= 5);
+    }
+
+    #[test]
+    fn members_leaving_leaves_undecided_nodes() {
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let [d1, d2] = figure1::personal_dbs(&ont);
+        let members = vec![
+            SimulatedMember::new(
+                PersonalDb::from_transactions(d1),
+                MemberBehavior { session_limit: Some(2), ..Default::default() },
+                AnswerModel::Exact,
+                1,
+            ),
+            SimulatedMember::new(
+                PersonalDb::from_transactions(d2),
+                MemberBehavior { session_limit: Some(2), ..Default::default() },
+                AnswerModel::Exact,
+                2,
+            ),
+        ];
+        let mut crowd = SimulatedCrowd::new(ont.vocab(), members);
+        let agg = FixedSampleAggregator { sample_size: 2 };
+        let out = run_multi(&mut dag, &mut crowd, &agg, &MiningConfig::default());
+        assert!(!out.mining.complete);
+        assert!(out.undecided > 0);
+        assert!(out.mining.questions <= 4);
+    }
+
+    #[test]
+    fn disagreeing_members_average_out() {
+        // u1's personal support for Feed-a-Monkey@BronxZoo is 3/6 = 0.5;
+        // u2's is 0.5 too. For Pasta@Pine: u1 = 2/6, u2 = 1/2 →
+        // avg ≈ 0.417 ≥ 0.4. For Biking: avg = 5/12 ≥ 0.4 even though u1
+        // alone (1/3) is below the threshold — the aggregate decides.
+        let ont = figure1::ontology();
+        let src = r#"
+SELECT FACT-SETS
+WHERE
+  $y subClassOf* Activity
+SATISFYING
+  $y doAt "Central Park"
+WITH SUPPORT = 0.4
+"#;
+        let q = parse(src).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let [d1, d2] = figure1::personal_dbs(&ont);
+        let members = vec![
+            SimulatedMember::new(
+                PersonalDb::from_transactions(d1),
+                MemberBehavior::default(),
+                AnswerModel::Exact,
+                1,
+            ),
+            SimulatedMember::new(
+                PersonalDb::from_transactions(d2),
+                MemberBehavior::default(),
+                AnswerModel::Exact,
+                2,
+            ),
+        ];
+        let mut crowd = SimulatedCrowd::new(ont.vocab(), members);
+        let agg = FixedSampleAggregator { sample_size: 2 };
+        let out = run_multi(&mut dag, &mut crowd, &agg, &MiningConfig::default());
+        let rendered: Vec<String> = out
+            .mining
+            .msps
+            .iter()
+            .map(|m| m.apply(&b).to_display(ont.vocab()))
+            .collect();
+        // Biking is an MSP despite u1 alone being under the threshold
+        assert!(rendered.iter().any(|r| r == "Biking doAt Central Park"), "{rendered:?}");
+    }
+}

@@ -1,0 +1,514 @@
+//! Synthetic workloads (Section 6.4): controlled assignment DAGs, planted
+//! MSPs and a ground-truth crowd oracle.
+//!
+//! The paper's synthetic experiments "used a DAG similar to the one
+//! generated in our crowd experiments with the travel query, but varied its
+//! width … and its depth", planted MSPs at controlled densities and
+//! distributions, and simulated a single user answering from the planted
+//! ground truth. We reproduce that with a two-taxonomy domain whose product
+//! DAG has the requested width/depth, [`plant_msps`] for the three
+//! placement distributions, and [`PlantedOracle`] implementing
+//! [`CrowdSource`] from the planted truth.
+
+use crate::assignment::{value_leq, Slot};
+use crate::dag::{Dag, NodeId};
+use crowd::{Answer, CrowdSource, MemberId, Question};
+use oassis_ql::Value;
+use ontology::{Ontology, OntologyBuilder, PatternSet, Vocabulary};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A synthetic two-taxonomy domain and its mining query.
+#[derive(Debug)]
+pub struct SyntheticDomain {
+    /// The generated ontology (taxonomies `X*` and `Y*`).
+    pub ontology: Ontology,
+    /// OASSIS-QL source: mine `$x rel $y` over the two taxonomies.
+    pub query: String,
+    /// X-taxonomy layer widths used.
+    pub layers_x: Vec<usize>,
+    /// Y-taxonomy layer widths used.
+    pub layers_y: Vec<usize>,
+}
+
+/// Builds a layered tree: `layers[0]` must be 1 (the root); each node of
+/// layer `i` gets a parent in layer `i-1`, round-robin. Returns per-layer
+/// node names.
+fn layered_tree(
+    b: &mut OntologyBuilder,
+    root: &str,
+    prefix: &str,
+    layers: &[usize],
+) -> Vec<Vec<String>> {
+    assert_eq!(layers[0], 1, "layer 0 is the root");
+    let mut out: Vec<Vec<String>> = vec![vec![root.to_owned()]];
+    for (li, &n) in layers.iter().enumerate().skip(1) {
+        let prev = out[li - 1].clone();
+        let mut layer = Vec::with_capacity(n);
+        for i in 0..n {
+            let name = format!("{prefix}{li}_{i}");
+            b.subclass(&name, &prev[i % prev.len()]);
+            layer.push(name);
+        }
+        out.push(layer);
+    }
+    out
+}
+
+/// [`synthetic_domain`] with a `$x+` multiplicity on the first variable,
+/// for the multiplicity experiments of Section 6.4.
+pub fn synthetic_domain_mult(width: usize, depth: usize, seed: u64) -> SyntheticDomain {
+    let mut d = synthetic_domain(width, depth, seed);
+    d.query = d.query.replace("$x rel $y", "$x+ rel $y");
+    d
+}
+
+/// Builds a synthetic domain whose **product** assignment DAG (one `x`
+/// value × one `y` value) has depth `depth` (edges on the longest
+/// root-to-leaf path) and maximal antichain (width) close to `width`.
+pub fn synthetic_domain(width: usize, depth: usize, seed: u64) -> SyntheticDomain {
+    assert!(depth >= 2, "need at least one level per taxonomy");
+    let dx = depth / 2;
+    let dy = depth - dx;
+    // geometric layer growth g chosen so the product's widest layer ≈ width
+    let mut g = 1.5f64;
+    let mut best = (f64::MAX, 2.0f64);
+    while g < 40.0 {
+        let (lx, ly) = (geo_layers(dx, g), geo_layers(dy, g));
+        let w = product_width(&lx, &ly);
+        let err = (w as f64 - width as f64).abs();
+        if err < best.0 {
+            best = (err, g);
+        }
+        g *= 1.05;
+    }
+    let g = best.1;
+    let layers_x = geo_layers(dx, g);
+    let layers_y = geo_layers(dy, g);
+
+    let mut b = OntologyBuilder::new();
+    b.relation("rel");
+    // tiny deterministic shuffle of nothing — the structure itself is
+    // deterministic; `seed` is kept for future shape jitter.
+    let _ = seed;
+    layered_tree(&mut b, "X", "X", &layers_x);
+    layered_tree(&mut b, "Y", "Y", &layers_y);
+    let query = "SELECT FACT-SETS\nWHERE\n  $x subClassOf* X.\n  $y subClassOf* Y\nSATISFYING\n  $x rel $y\nWITH SUPPORT = 0.5\n"
+        .to_owned();
+    SyntheticDomain { ontology: b.build().expect("acyclic"), query, layers_x, layers_y }
+}
+
+fn geo_layers(depth: usize, g: f64) -> Vec<usize> {
+    (0..=depth).map(|i| (g.powi(i as i32)).round().max(1.0) as usize).collect()
+}
+
+/// Width of the product DAG: max over diagonal sums of layer products.
+fn product_width(lx: &[usize], ly: &[usize]) -> usize {
+    let mut best = 0;
+    for k in 0..(lx.len() + ly.len() - 1) {
+        let mut w = 0;
+        for (i, &a) in lx.iter().enumerate() {
+            if k >= i && k - i < ly.len() {
+                w += a * ly[k - i];
+            }
+        }
+        best = best.max(w);
+    }
+    best
+}
+
+/// MSP placement distribution (Section 6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MspDistribution {
+    /// Uniformly random over candidate nodes.
+    Uniform,
+    /// Biased towards MSPs close to each other in the DAG (the paper used
+    /// "separated by at most 4 nodes").
+    Nearby(usize),
+    /// Biased towards MSPs far apart ("separated by at least 6 nodes").
+    Far(usize),
+}
+
+/// Plants `count` pairwise-incomparable MSPs in a fully materialized DAG.
+/// `among_valid` restricts candidates to valid assignments. Returns the
+/// chosen node ids (an antichain).
+pub fn plant_msps(
+    dag: &mut Dag<'_>,
+    count: usize,
+    among_valid: bool,
+    dist: MspDistribution,
+    seed: u64,
+) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut candidates: Vec<NodeId> = dag
+        .node_ids()
+        .filter(|&i| !among_valid || dag.node(i).valid)
+        .collect();
+    candidates.shuffle(&mut rng);
+    let hops = match dist {
+        MspDistribution::Uniform => None,
+        MspDistribution::Nearby(h) | MspDistribution::Far(h) => Some(h),
+    };
+    let mut chosen: Vec<NodeId> = Vec::new();
+    let mut relaxed: Vec<NodeId> = Vec::new(); // antichain-only fallbacks
+    for &c in &candidates {
+        if chosen.len() >= count {
+            break;
+        }
+        if chosen.iter().any(|&m| dag.leq(m, c) || dag.leq(c, m)) {
+            continue;
+        }
+        let dist_ok = match (dist, hops) {
+            (MspDistribution::Uniform, _) => true,
+            (MspDistribution::Nearby(h), _) => {
+                chosen.is_empty() || min_hops(dag, c, &chosen).is_some_and(|d| d <= h)
+            }
+            (MspDistribution::Far(h), _) => {
+                chosen.is_empty() || min_hops(dag, c, &chosen).is_none_or(|d| d >= h)
+            }
+        };
+        if dist_ok {
+            chosen.push(c);
+        } else {
+            relaxed.push(c);
+        }
+    }
+    // top up from antichain-compatible leftovers if the distance bias ran
+    // out of candidates
+    for c in relaxed {
+        if chosen.len() >= count {
+            break;
+        }
+        if !chosen.iter().any(|&m| dag.leq(m, c) || dag.leq(c, m)) {
+            chosen.push(c);
+        }
+    }
+    chosen
+}
+
+/// Undirected hop distance from `from` to the nearest of `targets` in the
+/// materialized DAG (`None` if unreachable).
+fn min_hops(dag: &Dag<'_>, from: NodeId, targets: &[NodeId]) -> Option<usize> {
+    let targets: HashSet<NodeId> = targets.iter().copied().collect();
+    let mut seen: HashSet<NodeId> = HashSet::from([from]);
+    let mut queue: VecDeque<(NodeId, usize)> = VecDeque::from([(from, 0)]);
+    while let Some((id, d)) = queue.pop_front() {
+        if targets.contains(&id) {
+            return Some(d);
+        }
+        let node = dag.node(id);
+        let neighbours: Vec<NodeId> = node
+            .children_if_generated()
+            .unwrap_or(&[])
+            .iter()
+            .chain(node.parents())
+            .copied()
+            .collect();
+        for n in neighbours {
+            if seen.insert(n) {
+                queue.push_back((n, d + 1));
+            }
+        }
+    }
+    None
+}
+
+/// Plants additional MSPs *with multiplicities*: takes planted base nodes
+/// and widens one slot to `size` values drawn from incomparable universe
+/// values (for the multiplicities experiment of Section 6.4). Returns the
+/// new node ids; the originals should be removed from the planted set by
+/// the caller (they are now below the widened MSPs).
+pub fn widen_msps(
+    dag: &mut Dag<'_>,
+    planted: &[NodeId],
+    how_many: usize,
+    size: usize,
+    slot: Slot,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab = dag.vocab();
+    let universe: Vec<Value> = dag.validity().universe(slot).to_vec();
+    let mut out = Vec::new();
+    let mut pool: Vec<NodeId> = planted.to_vec();
+    pool.shuffle(&mut rng);
+    for &id in pool.iter().take(how_many) {
+        let mut a = dag.node(id).assignment.clone();
+        let mut tries = 0;
+        while a.slot(slot).len() < size && tries < 50 {
+            tries += 1;
+            let v = universe[rng.gen_range(0..universe.len())];
+            let incomparable = a
+                .slot(slot)
+                .iter()
+                .all(|&w| !value_leq(vocab, v, w) && !value_leq(vocab, w, v));
+            if !incomparable {
+                continue;
+            }
+            let widened = a.with_value(vocab, slot, v);
+            if dag.validity().admits(vocab, &widened) {
+                a = widened;
+            }
+        }
+        if a.slot(slot).len() >= 2 {
+            let nid = dag.intern(a);
+            out.push((id, nid));
+        }
+    }
+    out
+}
+
+/// A crowd oracle answering from planted ground truth: a pattern is
+/// significant iff it is ≤ some planted MSP pattern. Support is reported
+/// as 1.0 / 0.0, so any threshold in `(0, 1]` separates the classes.
+pub struct PlantedOracle<'a> {
+    vocab: &'a Vocabulary,
+    planted: Vec<PatternSet>,
+    /// Probability of answering an insignificant concrete question with a
+    /// user-guided pruning click (when a genuinely irrelevant element
+    /// occurs in it).
+    pub pruning_prob: f64,
+    members: usize,
+    rng: StdRng,
+    questions: usize,
+}
+
+impl<'a> PlantedOracle<'a> {
+    /// Creates an oracle for `members` identical simulated users.
+    pub fn new(vocab: &'a Vocabulary, planted: Vec<PatternSet>, members: usize, seed: u64) -> Self {
+        PlantedOracle { vocab, planted, pruning_prob: 0.0, members, rng: StdRng::seed_from_u64(seed), questions: 0 }
+    }
+
+    /// Builds the planted pattern list from DAG nodes.
+    pub fn from_nodes(dag: &Dag<'a>, nodes: &[NodeId], members: usize, seed: u64) -> Self {
+        let planted = nodes
+            .iter()
+            .map(|&id| dag.node(id).assignment.apply(dag.query()))
+            .collect();
+        Self::new(dag.vocab(), planted, members, seed)
+    }
+
+    /// Ground truth: is `pattern` significant?
+    pub fn is_significant(&self, pattern: &PatternSet) -> bool {
+        self.planted.iter().any(|s| pattern.leq(self.vocab, s))
+    }
+
+    /// An element of `pattern` that appears (specialized) in no planted
+    /// MSP — a truthful pruning target.
+    fn irrelevant_element(&self, pattern: &PatternSet) -> Option<ontology::ElemId> {
+        let relevant = |e: ontology::ElemId| {
+            self.planted.iter().any(|s| {
+                s.iter().any(|p| {
+                    p.subject.is_some_and(|x| self.vocab.elem_leq(e, x))
+                        || p.object.is_some_and(|x| self.vocab.elem_leq(e, x))
+                })
+            })
+        };
+        pattern
+            .iter()
+            .flat_map(|p| [p.subject, p.object])
+            .flatten()
+            .find(|&e| !relevant(e))
+    }
+}
+
+impl CrowdSource for PlantedOracle<'_> {
+    fn members(&self) -> Vec<MemberId> {
+        (0..self.members as u32).map(MemberId).collect()
+    }
+
+    fn ask(&mut self, _member: MemberId, question: &Question) -> Answer {
+        self.questions += 1;
+        match question {
+            Question::Concrete { pattern } => {
+                if self.is_significant(pattern) {
+                    Answer::Support { support: 1.0, more_tip: None }
+                } else {
+                    if self.pruning_prob > 0.0 && self.rng.gen_bool(self.pruning_prob) {
+                        if let Some(e) = self.irrelevant_element(pattern) {
+                            return Answer::Irrelevant { elem: e };
+                        }
+                    }
+                    Answer::Support { support: 0.0, more_tip: None }
+                }
+            }
+            Question::Specialization { options, .. } => {
+                match options.iter().position(|o| self.is_significant(o)) {
+                    Some(choice) => Answer::Specialized { choice, support: 1.0 },
+                    None => Answer::NoneOfThese,
+                }
+            }
+        }
+    }
+
+    fn questions_asked(&self) -> usize {
+        self.questions
+    }
+}
+
+/// Ground-truth helper for tests and experiment validation: classify every
+/// materialized node of a DAG against the planted set.
+pub fn ground_truth_classes(
+    dag: &Dag<'_>,
+    oracle: &PlantedOracle<'_>,
+) -> HashMap<NodeId, bool> {
+    dag.node_ids()
+        .map(|id| {
+            let p = dag.node(id).assignment.apply(dag.query());
+            (id, oracle.is_significant(&p))
+        })
+        .collect()
+}
+
+/// The true MSP set of a fully materialized DAG under planted truth:
+/// significant nodes none of whose materialized children are significant.
+pub fn true_msps(dag: &mut Dag<'_>, oracle: &PlantedOracle<'_>) -> Vec<NodeId> {
+    dag.materialize_all();
+    let classes = ground_truth_classes(dag, oracle);
+    dag.node_ids()
+        .filter(|&id| {
+            classes[&id]
+                && dag
+                    .node(id)
+                    .children_if_generated()
+                    .unwrap_or(&[])
+                    .iter()
+                    .all(|c| !classes[c])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_ql::{bind, evaluate_where, parse, MatchMode};
+
+    fn build(width: usize, depth: usize) -> (SyntheticDomain, oassis_ql::Query) {
+        let d = synthetic_domain(width, depth, 0);
+        let q = parse(&d.query).unwrap();
+        (d, q)
+    }
+
+    #[test]
+    fn domain_hits_width_and_depth_targets() {
+        let (d, _) = build(500, 7);
+        let total_depth = (d.layers_x.len() - 1) + (d.layers_y.len() - 1);
+        assert_eq!(total_depth, 7);
+        let w = product_width(&d.layers_x, &d.layers_y);
+        assert!((400..=650).contains(&w), "width {w}");
+    }
+
+    #[test]
+    fn dag_materializes_with_expected_depth() {
+        let (d, q) = build(100, 5);
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let n = dag.materialize_all();
+        // total nodes = (Σ x-layers) × (Σ y-layers)
+        let expect: usize =
+            d.layers_x.iter().sum::<usize>() * d.layers_y.iter().sum::<usize>();
+        assert_eq!(n, expect);
+    }
+
+    #[test]
+    fn planted_msps_are_an_antichain() {
+        let (d, q) = build(100, 5);
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        dag.materialize_all();
+        let planted = plant_msps(&mut dag, 12, true, MspDistribution::Uniform, 3);
+        assert_eq!(planted.len(), 12);
+        for (i, &a) in planted.iter().enumerate() {
+            for &b2 in &planted[i + 1..] {
+                assert!(!dag.leq(a, b2) && !dag.leq(b2, a));
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_and_far_distributions_respect_hops() {
+        let (d, q) = build(150, 6);
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        dag.materialize_all();
+        let near = plant_msps(&mut dag, 8, true, MspDistribution::Nearby(4), 5);
+        assert!(near.len() >= 4);
+        let far = plant_msps(&mut dag, 8, true, MspDistribution::Far(6), 5);
+        assert!(far.len() >= 4);
+        assert_ne!(near, far);
+    }
+
+    #[test]
+    fn oracle_significance_is_downward_closed() {
+        let (d, q) = build(80, 4);
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        dag.materialize_all();
+        let planted = plant_msps(&mut dag, 5, true, MspDistribution::Uniform, 1);
+        let oracle = PlantedOracle::from_nodes(&dag, &planted, 1, 0);
+        let classes = ground_truth_classes(&dag, &oracle);
+        for id in dag.node_ids() {
+            if classes[&id] {
+                // every materialized parent is significant too
+                for &p in dag.node(id).parents() {
+                    assert!(classes[&p], "monotonicity violated");
+                }
+            }
+        }
+        // planted nodes are significant
+        for &m in &planted {
+            assert!(classes[&m]);
+        }
+    }
+
+    #[test]
+    fn true_msps_match_planted_for_valid_planting() {
+        let (d, q) = build(60, 4);
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        dag.materialize_all();
+        let planted = plant_msps(&mut dag, 6, false, MspDistribution::Uniform, 9);
+        let oracle = PlantedOracle::from_nodes(&dag, &planted, 1, 0);
+        let mut msps = true_msps(&mut dag, &oracle);
+        msps.sort_unstable();
+        let mut expected = planted.clone();
+        expected.sort_unstable();
+        assert_eq!(msps, expected);
+    }
+
+    #[test]
+    fn oracle_pruning_click_is_truthful() {
+        let (d, q) = build(60, 4);
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        dag.materialize_all();
+        let planted = plant_msps(&mut dag, 3, false, MspDistribution::Uniform, 2);
+        let mut oracle = PlantedOracle::from_nodes(&dag, &planted, 1, 0);
+        oracle.pruning_prob = 1.0;
+        // find an insignificant node
+        let classes = ground_truth_classes(&dag, &oracle);
+        let insig = dag.node_ids().find(|i| !classes[i]).unwrap();
+        let pattern = dag.node(insig).assignment.apply(dag.query());
+        match oracle.ask(MemberId(0), &Question::Concrete { pattern: pattern.clone() }) {
+            Answer::Irrelevant { elem } => {
+                // no planted pattern may contain a specialization of elem
+                for s in &oracle.planted {
+                    for p in s.iter() {
+                        assert!(!p.subject.is_some_and(|x| d.ontology.vocab().elem_leq(elem, x)));
+                        assert!(!p.object.is_some_and(|x| d.ontology.vocab().elem_leq(elem, x)));
+                    }
+                }
+            }
+            Answer::Support { support, .. } => assert_eq!(support, 0.0),
+            other => panic!("{other:?}"),
+        }
+    }
+}

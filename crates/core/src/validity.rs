@@ -1,0 +1,608 @@
+//! The validity index: deciding membership in the expanded assignment set
+//! `𝒜 = {φ | ∃φ' ∈ 𝒜_valid, φ ≤ φ'}` (line 1 of Algorithm 1), where
+//! `𝒜_valid` contains the SPARQL base assignments **and** all their
+//! multiplicity combinations (Section 5, Proposition 5.1).
+//!
+//! A combination assigns a *set* of concrete values to each slot such that
+//! every cross-product choice tuple is a valid base assignment. `φ ∈ 𝒜`
+//! therefore holds iff each value of each slot can be *covered* by a
+//! concrete valid value (a universe value above it in the order) such that
+//! the covering tuples are simultaneously valid — which this module decides
+//! by recursive search with intersection-filtered tuple sets.
+
+use crate::assignment::{value_leq, Assignment, Slot};
+use oassis_ql::{BaseAssignment, BoundQuery, Multiplicity, Value};
+use ontology::Vocabulary;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Static information about one slot of the assignment DAG.
+#[derive(Debug, Clone)]
+pub struct SlotInfo {
+    /// The SATISFYING variable this slot carries.
+    pub var: oassis_ql::VarId,
+    /// Its multiplicity.
+    pub mult: Multiplicity,
+    /// Whether it binds relations (predicate position).
+    pub is_rel: bool,
+    /// `true` when the WHERE clause does not constrain the variable: it
+    /// then ranges over the entire vocabulary (how OASSIS-QL captures
+    /// classic frequent itemset mining, Section 4.1).
+    pub free: bool,
+}
+
+/// Index over the valid base assignments, answering membership in the
+/// expanded set `𝒜` ([`admits`](ValidityIndex::admits)) and exact validity
+/// ([`is_valid`](ValidityIndex::is_valid)).
+#[derive(Debug)]
+pub struct ValidityIndex {
+    slots: Vec<SlotInfo>,
+    /// Indices (into `slots`) of WHERE-constrained slots.
+    constrained: Vec<usize>,
+    /// Valid tuples over the constrained slots (in `constrained` order).
+    tuples: HashSet<Vec<Value>>,
+    /// Per slot: distinct concrete valid values (constrained slots) or all
+    /// vocabulary values of the right kind (free slots), sorted.
+    universes: Vec<Vec<Value>>,
+    /// Per slot: universe plus all generalizations, sorted.
+    closures: Vec<Vec<Value>>,
+    /// Per slot: the minimal (most general) values of the closure.
+    minimals: Vec<Vec<Value>>,
+    /// Tuples in a stable indexed order (same elements as `tuples`).
+    tuple_list: Vec<Vec<Value>>,
+    /// Lazily memoized cover bitsets: `cover_bits[ci][v]` has bit `t` set
+    /// iff `v ≤ tuple_list[t][ci]` — the fast path of [`Self::admits`].
+    cover_bits: RefCell<Vec<HashMap<Value, Rc<Vec<u64>>>>>,
+}
+
+impl ValidityIndex {
+    /// Builds the index from the WHERE evaluation output.
+    pub fn new(q: &BoundQuery, vocab: &Vocabulary, base: &[BaseAssignment]) -> Self {
+        let slots: Vec<SlotInfo> = q
+            .sat_vars
+            .iter()
+            .map(|&v| {
+                let info = &q.vars[v.index()];
+                let free = !info.in_where;
+                SlotInfo { var: v, mult: info.mult, is_rel: info.is_rel, free }
+            })
+            .collect();
+        let constrained: Vec<usize> =
+            (0..slots.len()).filter(|&i| !slots[i].free).collect();
+
+        let mut tuples: HashSet<Vec<Value>> = HashSet::new();
+        for b in base {
+            let tuple: Option<Vec<Value>> = constrained
+                .iter()
+                .map(|&i| b.get(slots[i].var))
+                .collect();
+            if let Some(t) = tuple {
+                tuples.insert(t);
+            }
+        }
+
+        let mut universes: Vec<Vec<Value>> = vec![Vec::new(); slots.len()];
+        for (ci, &si) in constrained.iter().enumerate() {
+            let mut vals: Vec<Value> = tuples.iter().map(|t| t[ci]).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            universes[si] = vals;
+        }
+        for (si, slot) in slots.iter().enumerate() {
+            if slot.free {
+                universes[si] = if slot.is_rel {
+                    vocab.rels().map(Value::Rel).collect()
+                } else {
+                    vocab.elems().map(Value::Elem).collect()
+                };
+            }
+        }
+
+        let closures: Vec<Vec<Value>> =
+            universes.iter().map(|u| generalization_closure(vocab, u)).collect();
+        let minimals: Vec<Vec<Value>> = closures
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .copied()
+                    .filter(|&v| {
+                        !c.iter().any(|&w| w != v && value_leq(vocab, w, v))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut tuple_list: Vec<Vec<Value>> = tuples.iter().cloned().collect();
+        tuple_list.sort();
+        let cover_bits = RefCell::new(vec![HashMap::new(); constrained.len()]);
+        ValidityIndex {
+            slots,
+            constrained,
+            tuples,
+            universes,
+            closures,
+            minimals,
+            tuple_list,
+            cover_bits,
+        }
+    }
+
+    /// Slot metadata.
+    pub fn slots(&self) -> &[SlotInfo] {
+        &self.slots
+    }
+
+    /// The concrete valid values of a slot.
+    pub fn universe(&self, s: Slot) -> &[Value] {
+        &self.universes[s.index()]
+    }
+
+    /// Universe plus all generalizations — the values DAG nodes may carry.
+    pub fn closure(&self, s: Slot) -> &[Value] {
+        &self.closures[s.index()]
+    }
+
+    /// The most general values of a slot (DAG-root values).
+    pub fn minimal_values(&self, s: Slot) -> &[Value] {
+        &self.minimals[s.index()]
+    }
+
+    /// Number of valid constrained tuples.
+    pub fn num_tuples(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The valid base (multiplicity-1) assignments as [`Assignment`]s, in
+    /// canonical order — used by the discovery-curve tracker. Returns an
+    /// empty list when the query has free slots (the valid set is then the
+    /// whole vocabulary and per-assignment tracking is meaningless).
+    pub fn valid_base_assignments(&self, vocab: &Vocabulary) -> Vec<Assignment> {
+        if self.slots.iter().any(|s| s.free) {
+            return Vec::new();
+        }
+        let mut tuples: Vec<&Vec<Value>> = self.tuples.iter().collect();
+        tuples.sort();
+        tuples
+            .iter()
+            .map(|t| {
+                let mut values: Vec<Vec<Value>> = vec![Vec::new(); self.slots.len()];
+                for (ci, &si) in self.constrained.iter().enumerate() {
+                    values[si] = vec![t[ci]];
+                }
+                Assignment::new(vocab, values, Vec::new())
+            })
+            .collect()
+    }
+
+    /// The memoized cover bitset for constrained column `ci` and value `v`.
+    fn cover_bitset(&self, vocab: &Vocabulary, ci: usize, v: Value) -> Rc<Vec<u64>> {
+        if let Some(b) = self.cover_bits.borrow()[ci].get(&v) {
+            return Rc::clone(b);
+        }
+        let n = self.tuple_list.len();
+        let mut bits = vec![0u64; n.div_ceil(64)];
+        for (t, tuple) in self.tuple_list.iter().enumerate() {
+            if value_leq(vocab, v, tuple[ci]) {
+                bits[t / 64] |= 1u64 << (t % 64);
+            }
+        }
+        let rc = Rc::new(bits);
+        self.cover_bits.borrow_mut()[ci].insert(v, Rc::clone(&rc));
+        rc
+    }
+
+    /// Whether `φ ∈ 𝒜`: φ is ≤ some valid (combination) assignment.
+    /// MORE facts are ignored — they are unconstrained by the WHERE clause.
+    ///
+    /// Fast paths: single-valued slots intersect memoized cover bitsets;
+    /// with one multiplicity slot the surviving tuples are grouped by
+    /// their rest-projection and each value of the slot must be covered
+    /// within one group (the cross-product condition of Proposition 5.1).
+    /// The fully general case (≥ 2 multiplicity slots) falls back to a
+    /// recursive cover search.
+    pub fn admits(&self, vocab: &Vocabulary, a: &Assignment) -> bool {
+        if self.constrained.is_empty() {
+            return true;
+        }
+        let n = self.tuple_list.len();
+        if n == 0 {
+            return false;
+        }
+        // intersect single-value cover bitsets; collect multiplicity slots
+        let mut acc: Vec<u64> = vec![!0u64; n.div_ceil(64)];
+        if n % 64 != 0 {
+            *acc.last_mut().expect("non-empty") = (1u64 << (n % 64)) - 1;
+        }
+        let mut multi: Vec<(usize, &[Value])> = Vec::new();
+        for (ci, &si) in self.constrained.iter().enumerate() {
+            let values = a.slot(Slot(si as u16));
+            match values.len() {
+                0 => {} // unconstrained: grouping by rest pins it consistently
+                1 => {
+                    let bits = self.cover_bitset(vocab, ci, values[0]);
+                    for (w, b) in acc.iter_mut().zip(bits.iter()) {
+                        *w &= b;
+                    }
+                }
+                _ => multi.push((ci, values)),
+            }
+        }
+        if acc.iter().all(|&w| w == 0) {
+            return false;
+        }
+        match multi.len() {
+            0 => true,
+            1 => {
+                let (ci, values) = multi[0];
+                // group surviving tuples by their projection minus ci and
+                // look for a group covering every value
+                let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+                for t in 0..n {
+                    if acc[t / 64] & (1u64 << (t % 64)) == 0 {
+                        continue;
+                    }
+                    let tuple = &self.tuple_list[t];
+                    let rest: Vec<Value> = tuple
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != ci)
+                        .map(|(_, &v)| v)
+                        .collect();
+                    groups.entry(rest).or_default().push(tuple[ci]);
+                }
+                groups.values().any(|col| {
+                    values
+                        .iter()
+                        .all(|&v| col.iter().any(|&u| value_leq(vocab, v, u)))
+                })
+            }
+            _ => {
+                // general recursion over the surviving tuple subset
+                let live: HashSet<Vec<Value>> = (0..n)
+                    .filter(|&t| acc[t / 64] & (1u64 << (t % 64)) != 0)
+                    .map(|t| self.tuple_list[t].clone())
+                    .collect();
+                self.admits_rec(vocab, a, 0, live)
+            }
+        }
+    }
+
+    fn admits_rec(
+        &self,
+        vocab: &Vocabulary,
+        a: &Assignment,
+        ci: usize,
+        live: HashSet<Vec<Value>>,
+    ) -> bool {
+        if live.is_empty() {
+            return false;
+        }
+        let Some(&si) = self.constrained.get(ci) else {
+            return true;
+        };
+        let values = a.slot(Slot(si as u16));
+        if values.is_empty() {
+            // unconstrained by φ: any single concrete value works; branch
+            // over the distinct values present in the live tuples.
+            let mut seen: Vec<Value> = live.iter().map(|t| t[0]).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for u in seen {
+                let rest = rests_with(&live, u);
+                if self.admits_rec(vocab, a, ci + 1, rest) {
+                    return true;
+                }
+            }
+            return false;
+        }
+        let acc: HashSet<Vec<Value>> = live.iter().map(|t| t[1..].to_vec()).collect();
+        self.choose_covers(vocab, a, ci, values, 0, &live, acc)
+    }
+
+    fn choose_covers(
+        &self,
+        vocab: &Vocabulary,
+        a: &Assignment,
+        ci: usize,
+        values: &[Value],
+        vi: usize,
+        live: &HashSet<Vec<Value>>,
+        acc: HashSet<Vec<Value>>,
+    ) -> bool {
+        if acc.is_empty() {
+            return false;
+        }
+        if vi == values.len() {
+            return self.admits_rec(vocab, a, ci + 1, acc);
+        }
+        let v = values[vi];
+        let mut covers: Vec<Value> = live
+            .iter()
+            .map(|t| t[0])
+            .filter(|&u| value_leq(vocab, v, u))
+            .collect();
+        covers.sort_unstable();
+        covers.dedup();
+        for u in covers {
+            let with_u = rests_with(live, u);
+            let inter: HashSet<Vec<Value>> =
+                acc.iter().filter(|r| with_u.contains(*r)).cloned().collect();
+            if self.choose_covers(vocab, a, ci, values, vi + 1, live, inter) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether `φ ∈ 𝒜_valid`: every slot holds concrete valid values
+    /// within its multiplicity bounds and the cross-product of constrained
+    /// slots consists of valid base tuples (Proposition 5.1, iterated).
+    pub fn is_valid(&self, a: &Assignment) -> bool {
+        for (si, slot) in self.slots.iter().enumerate() {
+            let n = a.slot(Slot(si as u16)).len();
+            if n < slot.mult.min() || slot.mult.max().is_some_and(|m| n > m) {
+                return false;
+            }
+        }
+        // cross-product membership over constrained slots
+        let mut choice: Vec<Value> = Vec::with_capacity(self.constrained.len());
+        self.valid_rec(a, 0, &mut choice)
+    }
+
+    fn valid_rec(&self, a: &Assignment, ci: usize, choice: &mut Vec<Value>) -> bool {
+        let Some(&si) = self.constrained.get(ci) else {
+            return self.tuples.contains(choice);
+        };
+        let values = a.slot(Slot(si as u16));
+        if values.is_empty() {
+            // multiplicity 0: the meta-facts vanish; validity requires the
+            // remaining slots to form valid tuples with *some* value here.
+            let mut seen: HashSet<Value> = HashSet::new();
+            for t in &self.tuples {
+                seen.insert(t[ci]);
+            }
+            for u in seen {
+                choice.push(u);
+                let ok = self.valid_rec(a, ci + 1, choice);
+                choice.pop();
+                if ok {
+                    return true;
+                }
+            }
+            return false;
+        }
+        // every value must participate: all cross tuples must be valid
+        self.valid_product(a, ci, values, 0, choice)
+    }
+
+    fn valid_product(
+        &self,
+        a: &Assignment,
+        ci: usize,
+        values: &[Value],
+        vi: usize,
+        choice: &mut Vec<Value>,
+    ) -> bool {
+        if vi == values.len() {
+            return true;
+        }
+        choice.push(values[vi]);
+        let ok = self.valid_rec(a, ci + 1, choice);
+        choice.pop();
+        ok && self.valid_product(a, ci, values, vi + 1, choice)
+    }
+}
+
+/// Rest-tuples (columns `1..`) of the live tuples whose first column is `u`.
+fn rests_with(live: &HashSet<Vec<Value>>, u: Value) -> HashSet<Vec<Value>> {
+    live.iter().filter(|t| t[0] == u).map(|t| t[1..].to_vec()).collect()
+}
+
+fn generalization_closure(vocab: &Vocabulary, universe: &[Value]) -> Vec<Value> {
+    let mut out: HashSet<Value> = universe.iter().copied().collect();
+    let mut stack: Vec<Value> = universe.to_vec();
+    while let Some(v) = stack.pop() {
+        let parents: Vec<Value> = match v {
+            Value::Elem(e) => vocab.elem_parents(e).iter().map(|&p| Value::Elem(p)).collect(),
+            Value::Rel(r) => vocab.rel_parents(r).iter().map(|&p| Value::Rel(p)).collect(),
+        };
+        for p in parents {
+            if out.insert(p) {
+                stack.push(p);
+            }
+        }
+    }
+    let mut v: Vec<Value> = out.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_ql::{bind, evaluate_where, parse, MatchMode};
+    use ontology::domains::figure1;
+
+    fn setup(src: &str) -> (ontology::Ontology, BoundQuery, ValidityIndex) {
+        let ont = figure1::ontology();
+        let q = parse(src).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let idx = ValidityIndex::new(&b, ont.vocab(), &base);
+        (ont, b, idx)
+    }
+
+    fn elem(ont: &ontology::Ontology, name: &str) -> Value {
+        Value::Elem(ont.vocab().elem_id(name).unwrap())
+    }
+
+    fn assign(ont: &ontology::Ontology, x: &str, ys: &[&str]) -> Assignment {
+        Assignment::new(
+            ont.vocab(),
+            vec![vec![elem(ont, x)], ys.iter().map(|y| elem(ont, y)).collect()],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn universes_and_roots_match_figure_3() {
+        let (ont, _, idx) = setup(figure1::SIMPLE_QUERY);
+        let v = ont.vocab();
+        // x-universe: the two child-friendly attractions
+        let xs: Vec<&str> = idx
+            .universe(Slot(0))
+            .iter()
+            .map(|&u| v.elem_name(u.as_elem().unwrap()))
+            .collect();
+        assert_eq!(xs, vec!["Central Park", "Bronx Zoo"]);
+        // y-universe: all 13 activity classes
+        assert_eq!(idx.universe(Slot(1)).len(), 13);
+        // closure adds Park/Zoo/Outdoor/Attraction/Place/Thing for x
+        assert_eq!(idx.closure(Slot(0)).len(), 2 + 6);
+        // minimal values: Thing (figure-1 has a global root)
+        let x_min: Vec<&str> = idx
+            .minimal_values(Slot(0))
+            .iter()
+            .map(|&u| v.elem_name(u.as_elem().unwrap()))
+            .collect();
+        assert_eq!(x_min, vec!["Thing"]);
+        // y's minimal is also Thing (Activity ≤ Thing)
+        let y_min: Vec<&str> = idx
+            .minimal_values(Slot(1))
+            .iter()
+            .map(|&u| v.elem_name(u.as_elem().unwrap()))
+            .collect();
+        assert_eq!(y_min, vec!["Thing"]);
+    }
+
+    #[test]
+    fn admits_generalizations_of_valid() {
+        let (ont, _, idx) = setup(figure1::SIMPLE_QUERY);
+        let v = ont.vocab();
+        // valid base: (Central Park, Biking)
+        assert!(idx.admits(v, &assign(&ont, "Central Park", &["Biking"])));
+        // generalizations are admitted
+        assert!(idx.admits(v, &assign(&ont, "Park", &["Sport"])));
+        assert!(idx.admits(v, &assign(&ont, "Attraction", &["Activity"])));
+        assert!(idx.admits(v, &assign(&ont, "Thing", &["Thing"])));
+        // Madison Square is not child-friendly ⇒ nothing admits it
+        assert!(!idx.admits(v, &assign(&ont, "Madison Square", &["Biking"])));
+    }
+
+    #[test]
+    fn admits_multiplicity_combinations() {
+        let (ont, _, idx) = setup(figure1::SIMPLE_QUERY);
+        let v = ont.vocab();
+        // {Biking, Ball Game} at Central Park: both bases valid ⇒ admitted
+        assert!(idx.admits(v, &assign(&ont, "Central Park", &["Biking", "Ball Game"])));
+        // generalized x with a value pair still admitted
+        assert!(idx.admits(v, &assign(&ont, "Outdoor", &["Biking", "Feed a Monkey"])));
+    }
+
+    #[test]
+    fn is_valid_checks_concreteness_and_product() {
+        let (ont, _, idx) = setup(figure1::SIMPLE_QUERY);
+        // base assignments are valid
+        assert!(idx.is_valid(&assign(&ont, "Central Park", &["Biking"])));
+        // combination: both (CP, Biking) and (CP, Ball Game) valid bases
+        assert!(idx.is_valid(&assign(&ont, "Central Park", &["Biking", "Ball Game"])));
+        // class-level x is NOT valid (instances required) though admitted
+        let gen = assign(&ont, "Park", &["Biking"]);
+        assert!(!idx.is_valid(&gen));
+        assert!(idx.admits(ont.vocab(), &gen));
+    }
+
+    #[test]
+    fn multiplicity_bounds_enforced() {
+        let (ont, _, idx) = setup(figure1::SIMPLE_QUERY);
+        // $y has +: at least one value; empty y violates min
+        let empty_y = Assignment::new(
+            ont.vocab(),
+            vec![vec![elem(&ont, "Central Park")], vec![]],
+            vec![],
+        );
+        assert!(!idx.is_valid(&empty_y));
+        // $x defaults to exactly one: two x values invalid
+        let two_x = Assignment::new(
+            ont.vocab(),
+            vec![
+                vec![elem(&ont, "Central Park"), elem(&ont, "Bronx Zoo")],
+                vec![elem(&ont, "Biking")],
+            ],
+            vec![],
+        );
+        assert!(!idx.is_valid(&two_x));
+    }
+
+    #[test]
+    fn product_condition_rejects_cross_invalid() {
+        // craft a query where the valid set is NOT a product:
+        // (CP, Maoz) and (BZ, Pine) valid, but (CP, Pine) not.
+        let src = r#"
+SELECT FACT-SETS
+WHERE
+  $x hasLabel "child-friendly".
+  $z nearBy $x
+SATISFYING
+  $z+ eatAt $x
+WITH SUPPORT = 0.2
+"#;
+        let (ont, _, idx) = setup(src);
+        let v = ont.vocab();
+        // slots ordered by VarId: x then z
+        let cp_maoz = Assignment::new(
+            v,
+            vec![vec![elem(&ont, "Central Park")], vec![elem(&ont, "Maoz Veg")]],
+            vec![],
+        );
+        assert!(idx.is_valid(&cp_maoz));
+        let cp_pine = Assignment::new(
+            v,
+            vec![vec![elem(&ont, "Central Park")], vec![elem(&ont, "Pine")]],
+            vec![],
+        );
+        assert!(!idx.is_valid(&cp_pine));
+        assert!(!idx.admits(v, &cp_pine));
+        // combination {Maoz, Pine} for z at CP requires (CP, Pine) valid ⇒ no
+        let combo = Assignment::new(
+            v,
+            vec![
+                vec![elem(&ont, "Central Park")],
+                vec![elem(&ont, "Maoz Veg"), elem(&ont, "Pine")],
+            ],
+            vec![],
+        );
+        assert!(!idx.is_valid(&combo));
+        assert!(!idx.admits(v, &combo));
+    }
+
+    #[test]
+    fn free_slots_admit_everything() {
+        let (ont, _, idx) = setup(
+            "SELECT FACT-SETS WHERE SATISFYING $a+ $p $b WITH SUPPORT = 0.2",
+        );
+        let v = ont.vocab();
+        assert!(idx.slots().iter().all(|s| s.free));
+        let a = Assignment::new(
+            v,
+            vec![
+                vec![elem(&ont, "Biking")],
+                vec![Value::Rel(v.rel_id("doAt").unwrap())],
+                vec![elem(&ont, "Central Park")],
+            ],
+            vec![],
+        );
+        assert!(idx.admits(v, &a));
+        assert!(idx.is_valid(&a));
+    }
+
+    #[test]
+    fn more_facts_do_not_affect_admission() {
+        let (ont, _, idx) = setup(figure1::SIMPLE_QUERY);
+        let v = ont.vocab();
+        let f = v.fact("Rent Bikes", "doAt", "Boathouse").unwrap();
+        let a = assign(&ont, "Central Park", &["Biking"]).with_more(v, f);
+        assert!(idx.admits(v, &a));
+    }
+}

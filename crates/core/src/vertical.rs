@@ -1,0 +1,743 @@
+//! The vertical algorithm (Algorithm 1): single-user, top-down MSP mining.
+//!
+//! Repeatedly pick the most general unclassified assignment, ask the crowd
+//! member about it, and — if significant — greedily climb to an immediate
+//! successor until none is significant; that node is an MSP. Every answer
+//! classifies a whole cone by Observation 4.4, so the number of questions
+//! stays near the `O((|E|+|R|)·|msp| + |msp⁻|)` bound of Proposition 4.7.
+//!
+//! Specialization questions (Section 4.1, "Speeding up with specialization
+//! questions") are interleaved at a configurable ratio: instead of probing
+//! children one by one, the member is shown the unclassified children as
+//! auto-completion options and picks a significant one directly (or
+//! answers "none of these", classifying all options at once).
+
+use crate::assignment::Assignment;
+use crate::classify::{Class, Classifier};
+use crate::dag::{Dag, NodeId};
+use crowd::{Answer, CrowdSource, MemberId, Question};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration shared by the mining algorithms.
+#[derive(Debug, Clone)]
+pub struct MiningConfig {
+    /// The support threshold Θ (overrides the query's `WITH SUPPORT` when
+    /// set; `None` uses the query value).
+    pub threshold: Option<f64>,
+    /// Probability of asking a specialization question instead of probing
+    /// children with concrete questions (Figure 4f varies this).
+    pub specialization_ratio: f64,
+    /// Maximum auto-completion options shown in one specialization
+    /// question.
+    pub max_spec_options: usize,
+    /// RNG seed for the question-type policy.
+    pub seed: u64,
+    /// Stop after this many answered questions (`None` = run to
+    /// completion).
+    pub max_questions: Option<usize>,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig {
+            threshold: None,
+            specialization_ratio: 0.0,
+            max_spec_options: 8,
+            seed: 0,
+            max_questions: None,
+        }
+    }
+}
+
+/// A discovery event, for the pace-of-collection curves (Figures 4d–4e).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscoveryEvent {
+    /// Number of questions answered when the event occurred.
+    pub question: usize,
+    /// What was discovered.
+    pub kind: DiscoveryKind,
+}
+
+/// Kind of discovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DiscoveryKind {
+    /// An MSP was identified (valid or not).
+    Msp {
+        /// Whether the MSP is valid w.r.t. the query.
+        valid: bool,
+    },
+    /// Additional valid assignments became classified; the payload is the
+    /// new total.
+    ValidClassified {
+        /// Total classified valid assignments after this question.
+        total: usize,
+    },
+}
+
+/// Result of a mining run.
+#[derive(Debug)]
+pub struct MiningOutcome {
+    /// All MSPs found (Figure 4a's `#MSPs`).
+    pub msps: Vec<Assignment>,
+    /// The valid MSPs — the query answer (`M ∩ 𝒜_valid`, Figure 4a's
+    /// `#valid`).
+    pub valid_msps: Vec<Assignment>,
+    /// Every *valid* assignment known significant (materialized), for the
+    /// `ALL` keyword: "the other significant assignments can be inferred".
+    pub significant_valid: Vec<Assignment>,
+    /// Number of valid base assignments (the denominator of the
+    /// "classified assign." curve of Figure 4d).
+    pub total_valid: usize,
+    /// Valid assignments *with multiplicities* (or MORE facts) that the
+    /// lazy generator materialized. The exhaustive baseline of Section 6.3
+    /// is charged `sample_size × (total_valid + valid_mult_nodes)`
+    /// questions ("we fed to the naive algorithm only the assignments with
+    /// multiplicities that our algorithm had generated, for fairness").
+    pub valid_mult_nodes: usize,
+    /// Questions answered by the crowd.
+    pub questions: usize,
+    /// Discovery events in order.
+    pub events: Vec<DiscoveryEvent>,
+    /// DAG generation statistics.
+    pub gen_stats: crate::dag::GenStats,
+    /// Nodes materialized by the end of the run.
+    pub nodes_materialized: usize,
+    /// Whether the run classified everything (false = question budget or
+    /// crowd exhausted first).
+    pub complete: bool,
+}
+
+/// Tracks how many *valid base* assignments are classified after each
+/// answer (the "classified assign." series of Figure 4d).
+pub(crate) struct ValidTracker {
+    assignments: Vec<Assignment>,
+    classified: Vec<bool>,
+    pub total_classified: usize,
+}
+
+impl ValidTracker {
+    pub fn new(dag: &Dag<'_>) -> Self {
+        let assignments = dag.validity().valid_base_assignments(dag.vocab());
+        let classified = vec![false; assignments.len()];
+        ValidTracker { assignments, classified, total_classified: 0 }
+    }
+
+    /// Updates after a new significant (`sig=true`) or insignificant
+    /// witness; returns whether anything newly classified.
+    pub fn witness(&mut self, dag: &Dag<'_>, w: &Assignment, sig: bool) -> bool {
+        let vocab = dag.vocab();
+        let mut changed = false;
+        for (i, a) in self.assignments.iter().enumerate() {
+            if self.classified[i] {
+                continue;
+            }
+            let hit = if sig { a.leq(vocab, w) } else { w.leq(vocab, a) };
+            if hit {
+                self.classified[i] = true;
+                self.total_classified += 1;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Updates after a pruning click.
+    pub fn prune(&mut self, dag: &Dag<'_>, elem: ontology::ElemId) -> bool {
+        let vocab = dag.vocab();
+        let mut changed = false;
+        for (i, a) in self.assignments.iter().enumerate() {
+            if self.classified[i] {
+                continue;
+            }
+            let hit = (0..a.num_slots()).any(|si| {
+                a.slot(crate::assignment::Slot(si as u16)).iter().any(|&v| match v {
+                    oassis_ql::Value::Elem(e) => vocab.elem_leq(elem, e),
+                    oassis_ql::Value::Rel(_) => false,
+                })
+            });
+            if hit {
+                self.classified[i] = true;
+                self.total_classified += 1;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+}
+
+/// Runs Algorithm 1 with a single crowd member.
+pub fn run_vertical<C: CrowdSource>(
+    dag: &mut Dag<'_>,
+    crowd: &mut C,
+    member: MemberId,
+    cfg: &MiningConfig,
+) -> MiningOutcome {
+    let threshold = cfg.threshold.unwrap_or(dag.query().threshold);
+    let mut s = Session {
+        cls: Classifier::new(),
+        rng: StdRng::seed_from_u64(cfg.seed),
+        questions: 0,
+        events: Vec::new(),
+        tracker: ValidTracker::new(dag),
+        available: true,
+        threshold,
+        cfg,
+    };
+    let mut msp_ids: Vec<NodeId> = Vec::new();
+    let mut msp_set: HashSet<NodeId> = HashSet::new();
+
+    'outer: loop {
+        if s.exhausted() {
+            break;
+        }
+        let Some(mut phi) = find_minimal_unclassified(dag, &mut s.cls) else {
+            break;
+        };
+        if !s.ask_concrete(dag, crowd, member, phi) {
+            continue;
+        }
+        // climb: follow significant successors until none remains
+        loop {
+            if s.exhausted() {
+                break 'outer;
+            }
+            let children = dag.children(phi);
+            // jump to an already-classified significant child first
+            if let Some(&c) = children
+                .iter()
+                .find(|&&c| s.cls.class(dag, c) == Class::Significant)
+            {
+                phi = c;
+                continue;
+            }
+            let unclassified: Vec<NodeId> = children
+                .iter()
+                .copied()
+                .filter(|&c| s.cls.class(dag, c) == Class::Unknown)
+                .collect();
+            if unclassified.is_empty() {
+                if msp_set.insert(phi) {
+                    msp_ids.push(phi);
+                    s.events.push(DiscoveryEvent {
+                        question: s.questions,
+                        kind: DiscoveryKind::Msp { valid: dag.node(phi).valid },
+                    });
+                    // TOP k (Section 8 extension): stop as soon as k valid
+                    // MSPs are identified — unless DIVERSE needs the full
+                    // candidate set to choose from.
+                    if let Some(k) = dag.query().top_k {
+                        if !dag.query().diverse {
+                            let valid = msp_ids.iter().filter(|&&m| dag.node(m).valid).count();
+                            if valid >= k {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                break;
+            }
+            // question-type policy
+            if s.cfg.specialization_ratio > 0.0
+                && s.rng.gen_bool(s.cfg.specialization_ratio)
+            {
+                let options: Vec<NodeId> =
+                    unclassified.iter().copied().take(s.cfg.max_spec_options).collect();
+                match s.ask_specialization(dag, crowd, member, phi, &options) {
+                    SpecOutcome::Jump(c) => {
+                        phi = c;
+                        continue;
+                    }
+                    SpecOutcome::NoneLeft | SpecOutcome::NoJump => continue,
+                    SpecOutcome::Gone => break 'outer,
+                }
+            }
+            let c = unclassified[0];
+            if s.ask_concrete(dag, crowd, member, c) {
+                phi = c;
+            }
+            if !s.available {
+                break 'outer;
+            }
+        }
+    }
+
+    let complete =
+        s.available && !s.exhausted_budget() && find_minimal_unclassified(dag, &mut s.cls).is_none();
+    finish(dag, s, msp_ids, complete)
+}
+
+pub(crate) fn finish(
+    dag: &mut Dag<'_>,
+    mut s: Session<'_>,
+    msp_ids: Vec<NodeId>,
+    complete: bool,
+) -> MiningOutcome {
+    let msps: Vec<Assignment> =
+        msp_ids.iter().map(|&id| dag.node(id).assignment.clone()).collect();
+    let valid_msps: Vec<Assignment> = msp_ids
+        .iter()
+        .filter(|&&id| dag.node(id).valid)
+        .map(|&id| dag.node(id).assignment.clone())
+        .collect();
+    let significant_valid = significant_valid_assignments(dag, &mut s.cls);
+    let total_valid = s.tracker.len();
+    let valid_mult_nodes = dag
+        .node_ids()
+        .filter(|&id| dag.node(id).valid && !dag.node(id).assignment.is_base())
+        .count();
+    MiningOutcome {
+        msps,
+        valid_msps,
+        significant_valid,
+        total_valid,
+        valid_mult_nodes,
+        questions: s.questions,
+        events: s.events,
+        gen_stats: dag.stats(),
+        nodes_materialized: dag.len(),
+        complete,
+    }
+}
+
+/// All materialized valid assignments classified significant.
+pub(crate) fn significant_valid_assignments(
+    dag: &mut Dag<'_>,
+    cls: &mut Classifier,
+) -> Vec<Assignment> {
+    dag.node_ids()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .filter(|&id| dag.node(id).valid && cls.class(dag, id) == Class::Significant)
+        .map(|id| dag.node(id).assignment.clone())
+        .collect()
+}
+
+/// Shared per-run state: classifier, policy RNG, counters, curve tracker.
+pub(crate) struct Session<'c> {
+    pub cls: Classifier,
+    pub rng: StdRng,
+    pub questions: usize,
+    pub events: Vec<DiscoveryEvent>,
+    pub tracker: ValidTracker,
+    pub available: bool,
+    pub threshold: f64,
+    pub cfg: &'c MiningConfig,
+}
+
+pub(crate) enum SpecOutcome {
+    /// The member chose a significant option; climb to it.
+    Jump(NodeId),
+    /// All options were declared insignificant ("none of these").
+    NoneLeft,
+    /// The member's choice was below the threshold; no climb.
+    NoJump,
+    /// The member left.
+    Gone,
+}
+
+impl Session<'_> {
+    pub fn exhausted_budget(&self) -> bool {
+        self.cfg.max_questions.is_some_and(|m| self.questions >= m)
+    }
+
+    pub fn exhausted(&self) -> bool {
+        !self.available || self.exhausted_budget()
+    }
+
+    fn record_classification_event(&mut self) {
+        self.events.push(DiscoveryEvent {
+            question: self.questions,
+            kind: DiscoveryKind::ValidClassified { total: self.tracker.total_classified },
+        });
+    }
+
+    /// Asks a concrete question about `id`; returns whether it turned out
+    /// significant (for this member).
+    pub fn ask_concrete<C: CrowdSource>(
+        &mut self,
+        dag: &mut Dag<'_>,
+        crowd: &mut C,
+        member: MemberId,
+        id: NodeId,
+    ) -> bool {
+        let pattern = dag.node(id).assignment.apply(dag.query());
+        match crowd.ask(member, &Question::Concrete { pattern }) {
+            Answer::Support { support, more_tip } => {
+                self.questions += 1;
+                if let Some(tip) = more_tip {
+                    // the *more* button: materialize the extended successor
+                    dag.attach_more_tip(id, tip);
+                }
+                let sig = support >= self.threshold;
+                let a = dag.node(id).assignment.clone();
+                if sig {
+                    self.cls.mark_significant(id);
+                } else {
+                    self.cls.mark_insignificant(id);
+                }
+                if self.tracker.witness(dag, &a, sig) {
+                    self.record_classification_event();
+                }
+                sig
+            }
+            Answer::Irrelevant { elem } => {
+                self.questions += 1;
+                self.cls.prune_elem(elem);
+                if self.tracker.prune(dag, elem) {
+                    self.record_classification_event();
+                }
+                false
+            }
+            Answer::Unavailable => {
+                self.available = false;
+                false
+            }
+            Answer::Specialized { .. } | Answer::NoneOfThese => {
+                unreachable!("specialization answers to a concrete question")
+            }
+        }
+    }
+
+    /// Asks a specialization question at `base` with the given options.
+    pub fn ask_specialization<C: CrowdSource>(
+        &mut self,
+        dag: &mut Dag<'_>,
+        crowd: &mut C,
+        member: MemberId,
+        base: NodeId,
+        options: &[NodeId],
+    ) -> SpecOutcome {
+        let q = Question::Specialization {
+            base: dag.node(base).assignment.apply(dag.query()),
+            options: options
+                .iter()
+                .map(|&o| dag.node(o).assignment.apply(dag.query()))
+                .collect(),
+        };
+        match crowd.ask(member, &q) {
+            Answer::Specialized { choice, support } => {
+                self.questions += 1;
+                let chosen = options[choice.min(options.len() - 1)];
+                let sig = support >= self.threshold;
+                let a = dag.node(chosen).assignment.clone();
+                if sig {
+                    self.cls.mark_significant(chosen);
+                } else {
+                    self.cls.mark_insignificant(chosen);
+                }
+                if self.tracker.witness(dag, &a, sig) {
+                    self.record_classification_event();
+                }
+                if sig {
+                    SpecOutcome::Jump(chosen)
+                } else {
+                    SpecOutcome::NoJump
+                }
+            }
+            Answer::NoneOfThese => {
+                self.questions += 1;
+                let mut changed = false;
+                for &o in options {
+                    self.cls.mark_insignificant(o);
+                    let a = dag.node(o).assignment.clone();
+                    changed |= self.tracker.witness(dag, &a, false);
+                }
+                if changed {
+                    self.record_classification_event();
+                }
+                SpecOutcome::NoneLeft
+            }
+            Answer::Irrelevant { elem } => {
+                self.questions += 1;
+                self.cls.prune_elem(elem);
+                if self.tracker.prune(dag, elem) {
+                    self.record_classification_event();
+                }
+                SpecOutcome::NoJump
+            }
+            Answer::Unavailable => {
+                self.available = false;
+                SpecOutcome::Gone
+            }
+            Answer::Support { .. } => unreachable!("support answer to a specialization question"),
+        }
+    }
+}
+
+/// Finds a minimal (most general) unclassified node: DFS from the roots
+/// through expanded significant nodes, then pick a ≤-minimal candidate.
+/// Children of insignificant nodes are skipped — they are classified by
+/// inference and need never be materialized.
+pub(crate) fn find_minimal_unclassified(
+    dag: &mut Dag<'_>,
+    cls: &mut Classifier,
+) -> Option<NodeId> {
+    let mut candidates: Vec<NodeId> = Vec::new();
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut stack: Vec<NodeId> = dag.roots().to_vec();
+    seen.extend(stack.iter().copied());
+    while let Some(id) = stack.pop() {
+        match cls.class(dag, id) {
+            Class::Unknown => candidates.push(id),
+            Class::Significant => {
+                for c in dag.children(id) {
+                    if seen.insert(c) {
+                        stack.push(c);
+                    }
+                }
+            }
+            Class::Insignificant => {}
+        }
+    }
+    // minimal element among candidates
+    let mut best: Option<NodeId> = None;
+    'cand: for &c in &candidates {
+        for &d in &candidates {
+            if d != c && dag.leq(d, c) {
+                continue 'cand;
+            }
+        }
+        best = Some(c);
+        break;
+    }
+    best.or_else(|| candidates.first().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle};
+    use crowd::{AnswerModel, MemberBehavior, PersonalDb, SimulatedCrowd, SimulatedMember};
+    use oassis_ql::{bind, evaluate_where, parse, MatchMode};
+    use ontology::domains::figure1;
+
+    /// Build the u_avg member of Example 4.6: answers are the average of
+    /// u1 and u2 — realized exactly by concatenating D_u1 with three
+    /// copies of D_u2 (6 + 6 transactions with equal per-user weight).
+    fn u_avg(ont: &ontology::Ontology) -> SimulatedMember {
+        let [d1, d2] = figure1::personal_dbs(ont);
+        let mut tx = d1;
+        for _ in 0..3 {
+            tx.extend(d2.iter().cloned());
+        }
+        SimulatedMember::new(
+            PersonalDb::from_transactions(tx),
+            MemberBehavior::default(),
+            AnswerModel::Exact,
+            0,
+        )
+    }
+
+    #[test]
+    fn example_4_6_running_example() {
+        // Mining the simplified query at Θ = 0.4 with u_avg must find the
+        // MSPs of Figure 3 — in particular (Central Park, Ball Game) and
+        // (Central Park, Biking) — and classify (CP, Baseball), (CP,
+        // Basketball) as insignificant.
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont)]);
+        let out = run_vertical(&mut dag, &mut crowd, crowd::MemberId(0), &MiningConfig::default());
+        assert!(out.complete);
+        let v = ont.vocab();
+        let rendered: Vec<String> =
+            out.msps.iter().map(|m| m.apply(&b).to_display(v)).collect();
+        // supports at Θ=0.4 (u_avg): Biking@CP = 5/12 ≥ 0.4 ✓;
+        // BallGame@CP = avg(2/6, 1/2)=5/12 ✓; Baseball = 1/3 ✗;
+        // Basketball = avg(1/6,0)=1/12 ✗; FeedMonkey@BronxZoo = avg(3/6,1/2)=1/2 ✓.
+        assert!(rendered.iter().any(|r| r == "Biking doAt Central Park"),
+            "missing Biking MSP: {rendered:?}");
+        assert!(rendered.iter().any(|r| r == "Ball Game doAt Central Park"));
+        assert!(rendered.iter().any(|r| r == "Feed a Monkey doAt Bronx Zoo"));
+        assert!(!rendered.iter().any(|r| r.contains("Baseball")));
+        assert!(!rendered.iter().any(|r| r.contains("Basketball")));
+        // all found MSPs are valid here (instances + activity classes)
+        assert_eq!(out.msps.len(), out.valid_msps.len());
+    }
+
+    #[test]
+    fn finds_exactly_the_planted_msps() {
+        let d = synthetic_domain(80, 5, 0);
+        let q = parse(&d.query).unwrap();
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        // ground truth on a fully materialized twin
+        let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        full.materialize_all();
+        let planted = plant_msps(&mut full, 10, true, MspDistribution::Uniform, 7);
+        let oracle_ref = PlantedOracle::from_nodes(&full, &planted, 1, 0);
+        let expected: HashSet<String> = planted
+            .iter()
+            .map(|&id| full.node(id).assignment.apply(&b).to_display(d.ontology.vocab()))
+            .collect();
+
+        // lazy mining run
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let mut oracle = PlantedOracle::new(
+            d.ontology.vocab(),
+            planted
+                .iter()
+                .map(|&id| full.node(id).assignment.apply(&b))
+                .collect(),
+            1,
+            0,
+        );
+        let out =
+            run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &MiningConfig::default());
+        assert!(out.complete);
+        let got: HashSet<String> = out
+            .msps
+            .iter()
+            .map(|m| m.apply(&b).to_display(d.ontology.vocab()))
+            .collect();
+        assert_eq!(got, expected);
+        let _ = oracle_ref;
+    }
+
+    #[test]
+    fn lazy_run_materializes_fewer_nodes_than_dag() {
+        let d = synthetic_domain(150, 6, 0);
+        let q = parse(&d.query).unwrap();
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let total = full.materialize_all();
+        let planted = plant_msps(&mut full, 3, true, MspDistribution::Uniform, 1);
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let mut oracle = PlantedOracle::from_nodes(&full, &planted, 1, 0);
+        let out = run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &MiningConfig::default());
+        assert!(out.complete);
+        assert!(out.nodes_materialized < total, "{} < {}", out.nodes_materialized, total);
+        // and far fewer questions than nodes (inference prunes)
+        assert!(out.questions < total / 2, "{} questions for {} nodes", out.questions, total);
+    }
+
+    #[test]
+    fn specialization_questions_reduce_question_count() {
+        let d = synthetic_domain(200, 6, 0);
+        let q = parse(&d.query).unwrap();
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        full.materialize_all();
+        let planted = plant_msps(&mut full, 8, true, MspDistribution::Uniform, 3);
+
+        let run = |ratio: f64| {
+            let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+            let mut oracle = PlantedOracle::from_nodes(&full, &planted, 1, 0);
+            let cfg = MiningConfig { specialization_ratio: ratio, ..Default::default() };
+            let out = run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &cfg);
+            assert!(out.complete);
+            (out.questions, out.msps.len())
+        };
+        let (q0, m0) = run(0.0);
+        let (q1, m1) = run(1.0);
+        assert_eq!(m0, m1); // same MSP count either way
+        assert!(q1 <= q0, "spec questions should not increase count: {q1} vs {q0}");
+    }
+
+    #[test]
+    fn question_budget_stops_early() {
+        let d = synthetic_domain(150, 6, 0);
+        let q = parse(&d.query).unwrap();
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        full.materialize_all();
+        let planted = plant_msps(&mut full, 6, true, MspDistribution::Uniform, 2);
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let mut oracle = PlantedOracle::from_nodes(&full, &planted, 1, 0);
+        let cfg = MiningConfig { max_questions: Some(10), ..Default::default() };
+        let out = run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &cfg);
+        assert!(!out.complete);
+        assert!(out.questions <= 10);
+    }
+
+    #[test]
+    fn member_leaving_stops_the_run() {
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let [d1, _] = figure1::personal_dbs(&ont);
+        let member = SimulatedMember::new(
+            PersonalDb::from_transactions(d1),
+            MemberBehavior { session_limit: Some(3), ..Default::default() },
+            AnswerModel::Exact,
+            0,
+        );
+        let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![member]);
+        let out = run_vertical(&mut dag, &mut crowd, crowd::MemberId(0), &MiningConfig::default());
+        assert!(!out.complete);
+        assert_eq!(out.questions, 3);
+    }
+
+    #[test]
+    fn events_are_monotone_in_questions() {
+        let d = synthetic_domain(100, 5, 0);
+        let q = parse(&d.query).unwrap();
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        full.materialize_all();
+        let planted = plant_msps(&mut full, 5, true, MspDistribution::Uniform, 4);
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let mut oracle = PlantedOracle::from_nodes(&full, &planted, 1, 0);
+        let out = run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &MiningConfig::default());
+        let mut last_q = 0;
+        let mut last_total = 0;
+        for e in &out.events {
+            assert!(e.question >= last_q);
+            last_q = e.question;
+            if let DiscoveryKind::ValidClassified { total } = e.kind {
+                assert!(total >= last_total);
+                last_total = total;
+            }
+        }
+        // everything classified at the end
+        let n_msp_events = out
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, DiscoveryKind::Msp { .. }))
+            .count();
+        assert_eq!(n_msp_events, out.msps.len());
+    }
+
+    #[test]
+    fn pruning_answers_classify_without_extra_questions() {
+        let d = synthetic_domain(150, 6, 0);
+        let q = parse(&d.query).unwrap();
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        full.materialize_all();
+        let planted = plant_msps(&mut full, 4, true, MspDistribution::Uniform, 6);
+        let patterns: Vec<_> =
+            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+
+        let run = |pruning: f64| {
+            let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+            let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 1, 0);
+            oracle.pruning_prob = pruning;
+            let out =
+                run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &MiningConfig::default());
+            assert!(out.complete, "run with pruning={pruning} incomplete");
+            (out.questions, out.msps.len())
+        };
+        let (q0, m0) = run(0.0);
+        let (q1, m1) = run(0.5);
+        assert_eq!(m0, m1);
+        // pruning can only help or tie (it classifies cones across slots)
+        assert!(q1 <= q0 + 2, "pruning hurt: {q1} vs {q0}");
+    }
+}

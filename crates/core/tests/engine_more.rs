@@ -1,0 +1,119 @@
+//! Additional crate-level tests for the core engine: DAG edge cases,
+//! caching pass-through, and multi-user specialization accounting.
+
+use crowd::{
+    Answer, AnswerModel, CrowdSource, MemberBehavior, MemberId, PersonalDb, Question,
+    SimulatedCrowd, SimulatedMember,
+};
+use oassis_core::{
+    run_multi, CachingCrowd, CrowdCache, Dag, FixedSampleAggregator, MiningConfig,
+};
+use oassis_ql::{bind, evaluate_where, parse, MatchMode};
+use ontology::domains::figure1;
+use ontology::PatternSet;
+
+fn u_avg(ont: &ontology::Ontology, seed: u64) -> SimulatedMember {
+    let [d1, d2] = figure1::personal_dbs(ont);
+    let mut tx = d1;
+    for _ in 0..3 {
+        tx.extend(d2.iter().cloned());
+    }
+    SimulatedMember::new(
+        PersonalDb::from_transactions(tx),
+        MemberBehavior::default(),
+        AnswerModel::Exact,
+        seed,
+    )
+}
+
+#[test]
+fn attaching_the_same_more_tip_twice_is_idempotent() {
+    let ont = figure1::ontology();
+    let q = parse(figure1::SAMPLE_QUERY).unwrap();
+    let b = bind(&q, &ont).unwrap();
+    let base = evaluate_where(&b, &ont, MatchMode::Exact);
+    let mut dag = Dag::new(&b, ont.vocab(), &base);
+    let v = ont.vocab();
+    let root = dag.roots()[0];
+    let tip = v.fact("Rent Bikes", "doAt", "Boathouse").unwrap();
+    let c1 = dag.attach_more_tip(root, tip).unwrap();
+    let n_children = dag.children(root).len();
+    let c2 = dag.attach_more_tip(root, tip).unwrap();
+    assert_eq!(c1, c2);
+    assert_eq!(dag.children(root).len(), n_children);
+    // and the node is findable by assignment
+    let a = dag.node(c1).assignment.clone();
+    assert_eq!(dag.lookup(&a), Some(c1));
+}
+
+#[test]
+fn caching_crowd_forwards_specialization_questions() {
+    let ont = figure1::ontology();
+    let v = ont.vocab();
+    let mut cache = CrowdCache::new();
+    let crowd = SimulatedCrowd::new(v, vec![u_avg(&ont, 0)]);
+    let mut caching = CachingCrowd::new(crowd, &mut cache);
+    let base = PatternSet::from_facts([v.fact("Sport", "doAt", "Central Park").unwrap()]);
+    let options = vec![
+        PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]),
+        PatternSet::from_facts([v.fact("Ball Game", "doAt", "Central Park").unwrap()]),
+    ];
+    let q = Question::Specialization { base, options };
+    let a1 = caching.ask(MemberId(0), &q);
+    let a2 = caching.ask(MemberId(0), &q);
+    assert!(matches!(a1, Answer::Specialized { .. }));
+    assert_eq!(a1, a2);
+    // spec questions are never cached: both went to the inner crowd
+    assert_eq!(caching.fresh_questions(), 2);
+    assert_eq!(caching.total_questions(), 2);
+    assert!(cache.is_empty());
+}
+
+#[test]
+fn multi_user_specialization_ratio_produces_spec_answers() {
+    let ont = figure1::ontology();
+    let q = parse(figure1::SIMPLE_QUERY).unwrap();
+    let b = bind(&q, &ont).unwrap();
+    let base = evaluate_where(&b, &ont, MatchMode::Exact);
+    let mut dag = Dag::new(&b, ont.vocab(), &base);
+    let mut crowd =
+        SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1), u_avg(&ont, 2)]);
+    let cfg = MiningConfig { specialization_ratio: 0.5, seed: 3, ..Default::default() };
+    let out = run_multi(&mut dag, &mut crowd, &FixedSampleAggregator { sample_size: 2 }, &cfg);
+    assert!(out.mining.complete);
+    let st = out.question_stats;
+    assert!(st.specialization + st.none_of_these > 0, "{st:?}");
+    assert!(st.concrete > 0);
+    assert_eq!(st.total(), out.mining.questions);
+    // and the result still matches the ground truth
+    let rendered: Vec<String> = out
+        .mining
+        .msps
+        .iter()
+        .map(|m| m.apply(&b).to_display(ont.vocab()))
+        .collect();
+    assert!(rendered.iter().any(|r| r == "Biking doAt Central Park"), "{rendered:?}");
+}
+
+#[test]
+fn runs_are_deterministic_across_invocations() {
+    let ont = figure1::ontology();
+    let run = || {
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
+        let cfg = MiningConfig { specialization_ratio: 0.3, seed: 9, ..Default::default() };
+        let out = run_multi(&mut dag, &mut crowd, &FixedSampleAggregator { sample_size: 1 }, &cfg);
+        (
+            out.mining.questions,
+            out.mining
+                .msps
+                .iter()
+                .map(|m| m.apply(&b).to_display(ont.vocab()))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,82 @@
+//! Answer models: how a member's true support becomes a reported value.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Maps a true support value to the value the member reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum AnswerModel {
+    /// Report the true support exactly.
+    #[default]
+    Exact,
+    /// The paper's UI scale: the member clicks one of "never", "rarely",
+    /// "sometimes", "often", "very often", interpreted as supports
+    /// 0, 0.25, 0.5, 0.75 and 1 (Section 6.2). We round the true support
+    /// to the nearest bucket.
+    Bucketed5,
+    /// Additive uniform noise in `[-spread, +spread]`, clamped to `[0, 1]`
+    /// (people misremember frequencies).
+    Noisy {
+        /// Half-width of the uniform noise.
+        spread: f64,
+    },
+}
+
+impl AnswerModel {
+    /// Applies the model. `rng` is only consulted by [`Self::Noisy`].
+    pub fn report(self, true_support: f64, rng: &mut StdRng) -> f64 {
+        match self {
+            AnswerModel::Exact => true_support,
+            AnswerModel::Bucketed5 => (true_support * 4.0).round() / 4.0,
+            AnswerModel::Noisy { spread } => {
+                let noise = if spread > 0.0 { rng.gen_range(-spread..=spread) } else { 0.0 };
+                (true_support + noise).clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(AnswerModel::Exact.report(0.37, &mut rng), 0.37);
+    }
+
+    #[test]
+    fn buckets_round_to_quarters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = AnswerModel::Bucketed5;
+        assert_eq!(m.report(0.0, &mut rng), 0.0);
+        assert_eq!(m.report(0.1, &mut rng), 0.0);
+        assert_eq!(m.report(0.2, &mut rng), 0.25);
+        assert_eq!(m.report(0.33, &mut rng), 0.25);
+        assert_eq!(m.report(0.4, &mut rng), 0.5);
+        assert_eq!(m.report(0.9, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn noisy_stays_in_range_and_is_seed_deterministic() {
+        let m = AnswerModel::Noisy { spread: 0.2 };
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        for i in 0..100 {
+            let t = (i as f64) / 100.0;
+            let a = m.report(t, &mut r1);
+            let b = m.report(t, &mut r2);
+            assert_eq!(a, b);
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn zero_spread_noise_is_exact() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(AnswerModel::Noisy { spread: 0.0 }.report(0.5, &mut rng), 0.5);
+    }
+}

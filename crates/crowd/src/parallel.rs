@@ -1,0 +1,220 @@
+//! Concurrent crowd sessions (Section 4.2: "We next consider multiple
+//! crowd-members working in parallel").
+//!
+//! The sequential [`SimulatedCrowd`](crate::SimulatedCrowd) answers
+//! questions inline; this module runs every member on its own worker
+//! thread, exchanging questions and answers over channels — the shape a
+//! real deployment has, where members answer in independent web sessions.
+//! [`ParallelHandle`] implements [`CrowdSource`], so the mining engines
+//! run unchanged on top of it; [`ParallelHandle::ask_batch`] additionally
+//! fans one question out to many members **concurrently**, which is how an
+//! aggregator's quorum would be gathered in practice.
+
+use crate::member::SimulatedMember;
+use crate::question::{Answer, CrowdSource, MemberId, Question};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ontology::Vocabulary;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+type Job = (Question, Sender<Answer>);
+
+/// A live handle to the member worker threads. Created by
+/// [`with_parallel_crowd`]; valid only inside its closure.
+pub struct ParallelHandle {
+    senders: Vec<Sender<Job>>,
+    questions: Arc<Mutex<usize>>,
+}
+
+impl ParallelHandle {
+    /// Fans `question` out to `members` concurrently and collects their
+    /// answers in member order.
+    pub fn ask_batch(&mut self, members: &[MemberId], question: &Question) -> Vec<Answer> {
+        let receivers: Vec<Receiver<Answer>> = members
+            .iter()
+            .map(|m| {
+                let (tx, rx) = unbounded();
+                self.senders[m.index()]
+                    .send((question.clone(), tx))
+                    .expect("worker alive");
+                rx
+            })
+            .collect();
+        *self.questions.lock() += members.len();
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().unwrap_or(Answer::Unavailable))
+            .collect()
+    }
+}
+
+impl CrowdSource for ParallelHandle {
+    fn members(&self) -> Vec<MemberId> {
+        (0..self.senders.len() as u32).map(MemberId).collect()
+    }
+
+    fn ask(&mut self, member: MemberId, question: &Question) -> Answer {
+        let (tx, rx) = unbounded();
+        if self.senders[member.index()].send((question.clone(), tx)).is_err() {
+            return Answer::Unavailable;
+        }
+        *self.questions.lock() += 1;
+        rx.recv().unwrap_or(Answer::Unavailable)
+    }
+
+    fn questions_asked(&self) -> usize {
+        *self.questions.lock()
+    }
+}
+
+/// Spawns one worker thread per member, hands a [`ParallelHandle`] to the
+/// closure, and joins the workers when it returns. The members are given
+/// back afterwards (with their session state), so behaviour can be
+/// inspected or the crowd reused.
+pub fn with_parallel_crowd<R>(
+    vocab: &Vocabulary,
+    members: Vec<SimulatedMember>,
+    f: impl FnOnce(&mut ParallelHandle) -> R,
+) -> (R, Vec<SimulatedMember>) {
+    let n = members.len();
+    let returned: Arc<Mutex<Vec<Option<SimulatedMember>>>> =
+        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let questions = Arc::new(Mutex::new(0usize));
+
+    let result = crossbeam::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(n);
+        for (i, mut member) in members.into_iter().enumerate() {
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+            senders.push(tx);
+            let returned = Arc::clone(&returned);
+            scope.spawn(move |_| {
+                for (question, reply) in rx.iter() {
+                    let answer = member.answer(vocab, &question);
+                    // a dropped reply receiver just means the caller gave up
+                    let _ = reply.send(answer);
+                }
+                returned.lock()[i] = Some(member);
+            });
+        }
+        let mut handle = ParallelHandle { senders, questions: Arc::clone(&questions) };
+        let r = f(&mut handle);
+        drop(handle); // close the channels so workers exit
+        r
+    })
+    .expect("crowd worker panicked");
+
+    let members_back: Vec<SimulatedMember> = Arc::try_unwrap(returned)
+        .expect("all workers joined")
+        .into_inner()
+        .into_iter()
+        .map(|m| m.expect("worker returned its member"))
+        .collect();
+    (result, members_back)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer_model::AnswerModel;
+    use crate::db::PersonalDb;
+    use crate::member::{MemberBehavior, SimulatedCrowd};
+    use ontology::domains::figure1;
+    use ontology::PatternSet;
+
+    fn members(ont: &ontology::Ontology, n: usize) -> Vec<SimulatedMember> {
+        let [d1, d2] = figure1::personal_dbs(ont);
+        (0..n)
+            .map(|i| {
+                let db = if i % 2 == 0 { d1.clone() } else { d2.clone() };
+                SimulatedMember::new(
+                    PersonalDb::from_transactions(db),
+                    MemberBehavior::default(),
+                    AnswerModel::Exact,
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_answers_match_sequential() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let p = PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]);
+        let q = Question::Concrete { pattern: p };
+
+        let mut seq = SimulatedCrowd::new(v, members(&ont, 4));
+        let seq_answers: Vec<Answer> =
+            (0..4).map(|i| seq.ask(MemberId(i), &q)).collect();
+
+        let (par_answers, _) = with_parallel_crowd(v, members(&ont, 4), |crowd| {
+            (0..4).map(|i| crowd.ask(MemberId(i), &q)).collect::<Vec<_>>()
+        });
+        assert_eq!(seq_answers, par_answers);
+    }
+
+    #[test]
+    fn ask_batch_gathers_a_quorum_concurrently() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let p = PatternSet::from_facts([v.fact("Feed a Monkey", "doAt", "Bronx Zoo").unwrap()]);
+        let q = Question::Concrete { pattern: p };
+        let ids: Vec<MemberId> = (0..6).map(MemberId).collect();
+        let (answers, _) =
+            with_parallel_crowd(v, members(&ont, 6), |crowd| crowd.ask_batch(&ids, &q));
+        assert_eq!(answers.len(), 6);
+        // u1-backed members report 3/6, u2-backed 1/2
+        for (i, a) in answers.iter().enumerate() {
+            match a {
+                Answer::Support { support, .. } => {
+                    let expected = if i % 2 == 0 { 0.5 } else { 0.5 };
+                    assert!((support - expected).abs() < 1e-12);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn members_are_returned_with_session_state() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let p = PatternSet::new();
+        let q = Question::Concrete { pattern: p };
+        let (_, back) = with_parallel_crowd(v, members(&ont, 3), |crowd| {
+            crowd.ask(MemberId(1), &q);
+            crowd.ask(MemberId(1), &q);
+            assert_eq!(crowd.questions_asked(), 2);
+        });
+        assert_eq!(back[1].questions_answered(), 2);
+        assert_eq!(back[0].questions_answered(), 0);
+    }
+
+    #[test]
+    fn mining_runs_unchanged_on_the_parallel_crowd() {
+        // The vertical algorithm is agnostic to where answers come from.
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let [d1, d2] = figure1::personal_dbs(&ont);
+        let mut tx = d1;
+        for _ in 0..3 {
+            tx.extend(d2.iter().cloned());
+        }
+        let member = SimulatedMember::new(
+            PersonalDb::from_transactions(tx),
+            MemberBehavior::default(),
+            AnswerModel::Exact,
+            0,
+        );
+        // cross-crate use lives in tests/parallel_mining.rs; here we only
+        // check the CrowdSource contract end to end
+        let p = PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]);
+        let (answer, _) = with_parallel_crowd(v, vec![member], |crowd| {
+            crowd.ask(MemberId(0), &Question::Concrete { pattern: p.clone() })
+        });
+        match answer {
+            Answer::Support { support, .. } => assert!((support - 5.0 / 12.0).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Generation of member populations from planted *habit profiles*.
+//!
+//! The paper's Section 6.3 experiments ran against real humans; the
+//! reproduction substitutes populations whose personal databases realize a
+//! chosen ground truth: each profile is a set of concrete facts that a
+//! fraction of the population performs together with a target frequency.
+//! Members adopt profiles independently, jitter the frequency, and mix in
+//! noise facts, so individual answers disagree while population averages
+//! approach the targets — the same regime the mining engine faces with a
+//! real crowd.
+
+use crate::answer_model::AnswerModel;
+use crate::db::PersonalDb;
+use crate::member::{MemberBehavior, SimulatedMember};
+use ontology::{Fact, FactSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One planted habit: a combination of facts the crowd (partly) shares.
+#[derive(Debug, Clone)]
+pub struct HabitProfile {
+    /// The concrete facts of the habit (one transaction's worth).
+    pub facts: Vec<Fact>,
+    /// Fraction of members who have this habit at all.
+    pub adoption: f64,
+    /// Target per-occasion frequency among adopters (the habit's expected
+    /// personal support).
+    pub frequency: f64,
+}
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Number of members.
+    pub members: usize,
+    /// Transactions per member, inclusive range.
+    pub transactions: (usize, usize),
+    /// Relative jitter applied to each adopter's personal frequency
+    /// (uniform in `[-jitter, +jitter]`, multiplicative).
+    pub frequency_jitter: f64,
+    /// Per-transaction probability of inserting one random noise fact.
+    pub noise_prob: f64,
+    /// Noise facts to draw from (may be empty).
+    pub noise_facts: Vec<Fact>,
+    /// Behaviour assigned to every member.
+    pub behavior: MemberBehavior,
+    /// Answer model assigned to every member.
+    pub answer_model: AnswerModel,
+    /// Master seed; member `i` uses `seed + i + 1`.
+    pub seed: u64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            members: 50,
+            transactions: (20, 40),
+            frequency_jitter: 0.2,
+            noise_prob: 0.3,
+            noise_facts: Vec::new(),
+            behavior: MemberBehavior::default(),
+            answer_model: AnswerModel::Bucketed5,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a population realizing the given habit profiles.
+pub fn generate(profiles: &[HabitProfile], cfg: &PopulationConfig) -> Vec<SimulatedMember> {
+    let mut master = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.members)
+        .map(|i| {
+            let member_seed = cfg.seed.wrapping_add(i as u64).wrapping_add(1);
+            let mut rng = StdRng::seed_from_u64(master.gen::<u64>() ^ member_seed);
+            // which profiles this member adopts, and at what frequency
+            let mut personal: Vec<(usize, f64)> = Vec::new();
+            for (pi, p) in profiles.iter().enumerate() {
+                if !rng.gen_bool(p.adoption.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                let jitter = if cfg.frequency_jitter > 0.0 {
+                    1.0 + rng.gen_range(-cfg.frequency_jitter..=cfg.frequency_jitter)
+                } else {
+                    1.0
+                };
+                personal.push((pi, (p.frequency * jitter).clamp(0.0, 1.0)));
+            }
+            let n_tx = rng.gen_range(cfg.transactions.0..=cfg.transactions.1).max(1);
+            let mut db = PersonalDb::new();
+            for _ in 0..n_tx {
+                let mut facts: Vec<Fact> = Vec::new();
+                for &(pi, freq) in &personal {
+                    if rng.gen_bool(freq) {
+                        facts.extend_from_slice(&profiles[pi].facts);
+                    }
+                }
+                if !cfg.noise_facts.is_empty() && rng.gen_bool(cfg.noise_prob.clamp(0.0, 1.0)) {
+                    facts.push(cfg.noise_facts[rng.gen_range(0..cfg.noise_facts.len())]);
+                }
+                db.push(FactSet::from_iter(facts));
+            }
+            SimulatedMember::new(db, cfg.behavior, cfg.answer_model, member_seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::member::SimulatedCrowd;
+    use ontology::domains::figure1;
+    use ontology::PatternSet;
+
+    fn setup() -> (ontology::Ontology, Vec<HabitProfile>) {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let profiles = vec![
+            HabitProfile {
+                facts: vec![
+                    v.fact("Biking", "doAt", "Central Park").unwrap(),
+                    v.fact("Falafel", "eatAt", "Maoz Veg").unwrap(),
+                ],
+                adoption: 0.9,
+                frequency: 0.6,
+            },
+            HabitProfile {
+                facts: vec![v.fact("Feed a Monkey", "doAt", "Bronx Zoo").unwrap()],
+                adoption: 0.5,
+                frequency: 0.3,
+            },
+        ];
+        (ont, profiles)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, profiles) = setup();
+        let cfg = PopulationConfig { members: 10, ..Default::default() };
+        let a = generate(&profiles, &cfg);
+        let b = generate(&profiles, &cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.db, y.db);
+        }
+    }
+
+    #[test]
+    fn average_support_tracks_target() {
+        let (ont, profiles) = setup();
+        let v = ont.vocab();
+        let cfg = PopulationConfig { members: 200, seed: 3, ..Default::default() };
+        let members = generate(&profiles, &cfg);
+        let crowd = SimulatedCrowd::new(v, members);
+        let p0 = PatternSet::from_facts(profiles[0].facts.iter().copied());
+        // expected average ≈ adoption × frequency = 0.54
+        let avg = crowd.true_average_support(&p0);
+        assert!((avg - 0.54).abs() < 0.08, "avg = {avg}");
+        let p1 = PatternSet::from_facts(profiles[1].facts.iter().copied());
+        let avg1 = crowd.true_average_support(&p1);
+        assert!((avg1 - 0.15).abs() < 0.06, "avg1 = {avg1}");
+    }
+
+    #[test]
+    fn generalized_patterns_have_higher_support() {
+        let (ont, profiles) = setup();
+        let v = ont.vocab();
+        let cfg = PopulationConfig { members: 100, seed: 5, ..Default::default() };
+        let members = generate(&profiles, &cfg);
+        let crowd = SimulatedCrowd::new(v, members);
+        let specific =
+            PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]);
+        let general = PatternSet::from_facts([v.fact("Sport", "doAt", "Central Park").unwrap()]);
+        assert!(crowd.true_average_support(&general) >= crowd.true_average_support(&specific));
+    }
+
+    #[test]
+    fn transaction_counts_in_range() {
+        let (_, profiles) = setup();
+        let cfg = PopulationConfig { members: 30, transactions: (5, 9), ..Default::default() };
+        for m in generate(&profiles, &cfg) {
+            assert!((5..=9).contains(&m.db.len()));
+        }
+    }
+
+    #[test]
+    fn noise_facts_appear() {
+        let (ont, profiles) = setup();
+        let v = ont.vocab();
+        let noise = vec![v.fact("Pasta", "eatAt", "Pine").unwrap()];
+        let cfg = PopulationConfig {
+            members: 20,
+            noise_prob: 1.0,
+            noise_facts: noise.clone(),
+            ..Default::default()
+        };
+        let members = generate(&profiles, &cfg);
+        let seen = members.iter().any(|m| {
+            m.db.transactions().iter().any(|t| t.contains(noise[0]))
+        });
+        assert!(seen);
+    }
+}

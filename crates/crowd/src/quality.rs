@@ -1,0 +1,194 @@
+//! Answer-quality filtering (Section 4.2, "Crowd member selection").
+//!
+//! The paper proposes checking the consistency between answers of the same
+//! member, "taking advantage of the fact that the support for more specific
+//! assignments cannot be larger. In this manner, we can easily filter out
+//! spammers, while perhaps still allowing for small inconsistency in a
+//! cooperative member's answers."
+
+use ontology::{PatternSet, Vocabulary};
+
+/// One recorded (pattern, reported support) observation for a member.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// The pattern the member was asked about.
+    pub pattern: PatternSet,
+    /// The support they reported.
+    pub support: f64,
+}
+
+/// Result of a consistency check over one member's answers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsistencyReport {
+    /// Number of comparable pairs (one pattern ≤ the other).
+    pub comparable_pairs: usize,
+    /// Pairs violating monotonicity beyond the tolerance: the more
+    /// specific pattern was reported with strictly larger support.
+    pub violations: usize,
+    /// `violations / comparable_pairs` (0 when nothing is comparable).
+    pub violation_rate: f64,
+}
+
+impl ConsistencyReport {
+    /// Classifies the member as a spammer when the violation rate exceeds
+    /// `rate_threshold` (the paper allows "small inconsistency in a
+    /// cooperative member's answers").
+    pub fn is_spammer(&self, rate_threshold: f64) -> bool {
+        self.comparable_pairs > 0 && self.violation_rate > rate_threshold
+    }
+}
+
+/// Checks monotonicity over a member's recorded answers: whenever
+/// `a.pattern ≤ b.pattern` (b is more specific), consistency requires
+/// `b.support ≤ a.support + tolerance`.
+pub fn check_consistency(
+    vocab: &Vocabulary,
+    observations: &[Observation],
+    tolerance: f64,
+) -> ConsistencyReport {
+    let mut comparable_pairs = 0;
+    let mut violations = 0;
+    for (i, a) in observations.iter().enumerate() {
+        for b in &observations[i + 1..] {
+            let (gen_obs, spec_obs) = if a.pattern.leq(vocab, &b.pattern) {
+                (a, b)
+            } else if b.pattern.leq(vocab, &a.pattern) {
+                (b, a)
+            } else {
+                continue;
+            };
+            comparable_pairs += 1;
+            if spec_obs.support > gen_obs.support + tolerance {
+                violations += 1;
+            }
+        }
+    }
+    let violation_rate =
+        if comparable_pairs == 0 { 0.0 } else { violations as f64 / comparable_pairs as f64 };
+    ConsistencyReport { comparable_pairs, violations, violation_rate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer_model::AnswerModel;
+    use crate::db::PersonalDb;
+    use crate::member::{MemberBehavior, SimulatedMember};
+    use crate::question::{Answer, Question};
+    use ontology::domains::figure1;
+
+    fn obs(v: &Vocabulary, triples: &[(&str, &str, &str, f64)]) -> Vec<Observation> {
+        triples
+            .iter()
+            .map(|&(s, r, o, supp)| Observation {
+                pattern: PatternSet::from_facts([v.fact(s, r, o).unwrap()]),
+                support: supp,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn consistent_answers_pass() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let observations = obs(
+            v,
+            &[
+                ("Sport", "doAt", "Central Park", 0.5),
+                ("Biking", "doAt", "Central Park", 0.3),
+                ("Ball Game", "doAt", "Central Park", 0.25),
+            ],
+        );
+        let report = check_consistency(v, &observations, 0.01);
+        assert_eq!(report.comparable_pairs, 2);
+        assert_eq!(report.violations, 0);
+        assert!(!report.is_spammer(0.3));
+    }
+
+    #[test]
+    fn monotonicity_violation_detected() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let observations = obs(
+            v,
+            &[
+                ("Sport", "doAt", "Central Park", 0.25),
+                ("Biking", "doAt", "Central Park", 0.75), // more specific, larger!
+            ],
+        );
+        let report = check_consistency(v, &observations, 0.01);
+        assert_eq!(report.comparable_pairs, 1);
+        assert_eq!(report.violations, 1);
+        assert!(report.is_spammer(0.3));
+    }
+
+    #[test]
+    fn tolerance_allows_small_inconsistency() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let observations = obs(
+            v,
+            &[
+                ("Sport", "doAt", "Central Park", 0.5),
+                ("Biking", "doAt", "Central Park", 0.55),
+            ],
+        );
+        assert_eq!(check_consistency(v, &observations, 0.1).violations, 0);
+        assert_eq!(check_consistency(v, &observations, 0.01).violations, 1);
+    }
+
+    #[test]
+    fn incomparable_patterns_ignored() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let observations = obs(
+            v,
+            &[
+                ("Biking", "doAt", "Central Park", 0.1),
+                ("Pasta", "eatAt", "Pine", 0.9),
+            ],
+        );
+        let report = check_consistency(v, &observations, 0.01);
+        assert_eq!(report.comparable_pairs, 0);
+        assert!(!report.is_spammer(0.0));
+    }
+
+    #[test]
+    fn honest_member_is_consistent_spammer_is_not() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let [d1, _] = figure1::personal_dbs(&ont);
+        let chain: Vec<PatternSet> = [
+            ("Activity", "doAt", "Central Park"),
+            ("Sport", "doAt", "Central Park"),
+            ("Ball Game", "doAt", "Central Park"),
+            ("Basketball", "doAt", "Central Park"),
+        ]
+        .iter()
+        .map(|&(s, r, o)| PatternSet::from_facts([v.fact(s, r, o).unwrap()]))
+        .collect();
+
+        let run = |spammer: bool, seed: u64| {
+            let mut m = SimulatedMember::new(
+                PersonalDb::from_transactions(d1.clone()),
+                MemberBehavior { spammer, ..Default::default() },
+                AnswerModel::Exact,
+                seed,
+            );
+            let mut observations = Vec::new();
+            for p in &chain {
+                if let Answer::Support { support, .. } =
+                    m.answer(v, &Question::Concrete { pattern: p.clone() })
+                {
+                    observations.push(Observation { pattern: p.clone(), support });
+                }
+            }
+            check_consistency(v, &observations, 0.01)
+        };
+
+        assert_eq!(run(false, 1).violations, 0);
+        // a random answerer violates monotonicity on some seed quickly
+        let spam_violations: usize = (0..10).map(|s| run(true, s).violations).sum();
+        assert!(spam_violations > 0);
+    }
+}

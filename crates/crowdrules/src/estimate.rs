@@ -1,0 +1,238 @@
+//! Statistical estimation of rule significance from crowd answers.
+//!
+//! Answers about a rule are samples of the per-member support and
+//! confidence; the population means are estimated by sample means with
+//! normal-approximation confidence intervals. A rule is classified
+//! **significant** when both lower bounds clear the thresholds, and
+//! **insignificant** when either upper bound falls below its threshold —
+//! otherwise more answers are needed.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleClass {
+    /// Both thresholds cleared at the requested confidence.
+    Significant,
+    /// At least one threshold is unreachable at the requested confidence.
+    Insignificant,
+    /// Not enough evidence yet.
+    Unknown,
+}
+
+/// Streaming mean/variance (Welford) for one measured quantity.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunningStat {
+    n: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStat {
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean (0 with no samples).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        (self.m2 / (self.n - 1) as f64).sqrt()
+    }
+
+    /// Standard error of the mean. With fewer than 2 samples, falls back
+    /// to the worst case for a `[0,1]`-bounded quantity (σ ≤ 1/2).
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            return f64::INFINITY;
+        }
+        let sd = if self.n < 2 { 0.5 } else { self.std_dev().max(1e-6) };
+        sd / (self.n as f64).sqrt()
+    }
+
+    /// `mean ± z·SE` clamped to `[0, 1]`.
+    pub fn interval(&self, z: f64) -> (f64, f64) {
+        if self.n == 0 {
+            return (0.0, 1.0);
+        }
+        let half = z * self.std_err();
+        ((self.mean - half).max(0.0), (self.mean + half).min(1.0))
+    }
+}
+
+/// The evolving estimate for one rule.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RuleEstimate {
+    /// Support samples.
+    pub support: RunningStat,
+    /// Confidence samples.
+    pub confidence: RunningStat,
+}
+
+impl RuleEstimate {
+    /// Records one member's answer.
+    pub fn record(&mut self, support: f64, confidence: f64) {
+        self.support.push(support.clamp(0.0, 1.0));
+        self.confidence.push(confidence.clamp(0.0, 1.0));
+    }
+
+    /// Number of answers recorded.
+    pub fn samples(&self) -> usize {
+        self.support.count()
+    }
+
+    /// Classifies against thresholds at z standard errors (z ≈ 1.96 for
+    /// 95%). At least `min_samples` answers are required before deciding.
+    pub fn classify(
+        &self,
+        theta_s: f64,
+        theta_c: f64,
+        z: f64,
+        min_samples: usize,
+    ) -> RuleClass {
+        if self.samples() < min_samples {
+            return RuleClass::Unknown;
+        }
+        let (s_lo, s_hi) = self.support.interval(z);
+        let (c_lo, c_hi) = self.confidence.interval(z);
+        if s_hi < theta_s || c_hi < theta_c {
+            return RuleClass::Insignificant;
+        }
+        if s_lo >= theta_s && c_lo >= theta_c {
+            return RuleClass::Significant;
+        }
+        RuleClass::Unknown
+    }
+
+    /// An *uncertainty score* for greedy question selection: how close the
+    /// estimate is to the decision boundary, in standard-error units
+    /// (smaller = more uncertain). Rules with no samples are maximally
+    /// uncertain (score 0).
+    pub fn uncertainty_distance(&self, theta_s: f64, theta_c: f64) -> f64 {
+        if self.samples() == 0 {
+            return 0.0;
+        }
+        let ds = (self.support.mean() - theta_s).abs() / self.support.std_err();
+        let dc = (self.confidence.mean() - theta_c).abs() / self.confidence.std_err();
+        ds.min(dc)
+    }
+
+    /// Estimated *additional* answers needed before this rule can be
+    /// classified: from `z·σ/√n ≤ |mean − θ|` we need
+    /// `n ≥ (z·σ/Δ)²`; the score is the optimistic (minimum over the two
+    /// measures) remaining count. This is the greedy strategy's target
+    /// score: probe the rule that is cheapest to finish, so classified
+    /// rules accumulate fastest. Unsampled rules score 0 (nothing is known
+    /// about them, and they might resolve immediately).
+    pub fn estimated_remaining(&self, theta_s: f64, theta_c: f64, z: f64) -> f64 {
+        let n = self.samples() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let need = |st: &RunningStat, theta: f64| -> f64 {
+            let delta = (st.mean() - theta).abs().max(1e-3);
+            let sigma = st.std_dev().max(0.05);
+            ((z * sigma / delta).powi(2) - n).max(0.0)
+        };
+        need(&self.support, theta_s).min(need(&self.confidence, theta_c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [0.1, 0.4, 0.35, 0.9, 0.0];
+        let mut st = RunningStat::default();
+        for &x in &xs {
+            st.push(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((st.mean() - mean).abs() < 1e-12);
+        let var: f64 =
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((st.std_dev() - var.sqrt()).abs() < 1e-12);
+        assert_eq!(st.count(), 5);
+    }
+
+    #[test]
+    fn interval_tightens_with_samples() {
+        let mut st = RunningStat::default();
+        st.push(0.5);
+        let (lo1, hi1) = st.interval(1.96);
+        for _ in 0..50 {
+            st.push(0.5);
+        }
+        let (lo2, hi2) = st.interval(1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+        assert!((st.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_requires_evidence() {
+        let mut e = RuleEstimate::default();
+        assert_eq!(e.classify(0.3, 0.5, 1.96, 3), RuleClass::Unknown);
+        // strong consistent evidence for significance
+        for _ in 0..20 {
+            e.record(0.8, 0.9);
+        }
+        assert_eq!(e.classify(0.3, 0.5, 1.96, 3), RuleClass::Significant);
+    }
+
+    #[test]
+    fn insignificance_when_either_threshold_unreachable() {
+        let mut e = RuleEstimate::default();
+        for _ in 0..20 {
+            e.record(0.8, 0.1); // high support, low confidence
+        }
+        assert_eq!(e.classify(0.3, 0.5, 1.96, 3), RuleClass::Insignificant);
+        let mut e2 = RuleEstimate::default();
+        for _ in 0..20 {
+            e2.record(0.05, 0.9);
+        }
+        assert_eq!(e2.classify(0.3, 0.5, 1.96, 3), RuleClass::Insignificant);
+    }
+
+    #[test]
+    fn borderline_stays_unknown() {
+        let mut e = RuleEstimate::default();
+        // alternate around the threshold — high variance keeps it open
+        for i in 0..10 {
+            e.record(if i % 2 == 0 { 0.25 } else { 0.35 }, 0.8);
+        }
+        assert_eq!(e.classify(0.3, 0.5, 1.96, 3), RuleClass::Unknown);
+    }
+
+    #[test]
+    fn uncertainty_prefers_unsampled_then_borderline() {
+        let fresh = RuleEstimate::default();
+        assert_eq!(fresh.uncertainty_distance(0.3, 0.5), 0.0);
+        let mut clear = RuleEstimate::default();
+        let mut borderline = RuleEstimate::default();
+        for i in 0..10 {
+            clear.record(0.95, 0.95);
+            borderline.record(if i % 2 == 0 { 0.28 } else { 0.33 }, 0.8);
+        }
+        assert!(
+            borderline.uncertainty_distance(0.3, 0.5)
+                < clear.uncertainty_distance(0.3, 0.5)
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # crowdrules — association-rule mining from the crowd
+//!
+//! A complete implementation of the framework of the predecessor paper
+//! *"Crowd Mining"* (Amsterdamer, Grossman, Milo, Senellart, SIGMOD 2013),
+//! which OASSIS cites as its closest related work (reference \[3\]): mining
+//! **association rules** about people's habits from a crowd, where each
+//! member's personal transaction database is virtual and can only be
+//! probed with questions.
+//!
+//! Differences from OASSIS (per the OASSIS paper's own comparison):
+//! "(i) the approach is not based on an ontology; and (ii) it is not
+//! query-based" — the item domain is flat and the system mines *all*
+//! significant rules rather than query-selected patterns. The interaction
+//! model, however, is richer on the statistical side:
+//!
+//! * **closed questions** — "when you do A, how often do you also do B?" —
+//!   return a member's (noisy) support and confidence for a known rule;
+//! * **open questions** — "tell me about things you typically do
+//!   together" — return a rule *sampled from the member's behaviour*,
+//!   which is how new candidate rules are discovered;
+//! * answers are aggregated into **mean estimates with confidence
+//!   intervals**, and a rule is classified (in)significant only once the
+//!   interval clears the thresholds at the requested error level;
+//! * the next question is chosen to maximize information: the
+//!   [`Greedy`](miner::QuestionStrategy::Greedy) strategy probes the rule
+//!   whose classification is most uncertain.
+//!
+//! The crate is self-contained (flat item vocabulary, no ontology) and is
+//! exercised by the `exp_crowdrules` experiment in the workspace bench
+//! harness: precision/recall of the mined rule set against planted ground
+//! truth as a function of the number of questions, per strategy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod miner;
+pub mod model;
+pub mod simulate;
+
+pub use estimate::{RuleClass, RuleEstimate};
+pub use miner::{CrowdMiner, MinerConfig, QuestionStrategy};
+pub use model::{AssociationRule, ItemId, Itemset, PersonalDb, Transaction};
+pub use simulate::{SimConfig, SimulatedRuleCrowd};

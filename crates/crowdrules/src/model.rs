@@ -1,0 +1,217 @@
+//! The flat data model of the SIGMOD'13 framework: items, itemsets,
+//! transactions, association rules and (virtual) personal databases.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An item (an activity, a remedy, a food, …) in the flat vocabulary.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ItemId(pub u32);
+
+/// A canonical (sorted, deduplicated) set of items.
+#[derive(
+    Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Itemset(Vec<ItemId>);
+
+impl Itemset {
+    /// Builds an itemset, canonicalizing.
+    pub fn new<I: IntoIterator<Item = ItemId>>(items: I) -> Self {
+        let mut v: Vec<ItemId> = items.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Itemset(v)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The items, sorted.
+    pub fn items(&self) -> &[ItemId] {
+        &self.0
+    }
+
+    /// Set inclusion.
+    pub fn is_subset_of(&self, other: &Itemset) -> bool {
+        self.0.iter().all(|i| other.0.binary_search(i).is_ok())
+    }
+
+    /// Whether `item` is a member.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.0.binary_search(&item).is_ok()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Itemset) -> Itemset {
+        Itemset::new(self.0.iter().chain(other.0.iter()).copied())
+    }
+
+    /// Whether the two sets share no items.
+    pub fn is_disjoint_from(&self, other: &Itemset) -> bool {
+        self.0.iter().all(|i| !other.contains(*i))
+    }
+}
+
+impl fmt::Display for Itemset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{{}}}",
+            self.0.iter().map(|i| i.0.to_string()).collect::<Vec<_>>().join(",")
+        )
+    }
+}
+
+/// One occasion in a member's history.
+pub type Transaction = Itemset;
+
+/// An association rule `A → B` with disjoint, non-empty sides.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AssociationRule {
+    /// The antecedent `A`.
+    pub lhs: Itemset,
+    /// The consequent `B`.
+    pub rhs: Itemset,
+}
+
+impl AssociationRule {
+    /// Builds a rule; returns `None` when a side is empty or the sides
+    /// overlap.
+    pub fn new(lhs: Itemset, rhs: Itemset) -> Option<Self> {
+        if lhs.is_empty() || rhs.is_empty() || !lhs.is_disjoint_from(&rhs) {
+            return None;
+        }
+        Some(AssociationRule { lhs, rhs })
+    }
+
+    /// `A ∪ B`.
+    pub fn all_items(&self) -> Itemset {
+        self.lhs.union(&self.rhs)
+    }
+}
+
+impl fmt::Display for AssociationRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {}", self.lhs, self.rhs)
+    }
+}
+
+/// A member's (virtual) personal database: a bag of transactions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PersonalDb {
+    transactions: Vec<Transaction>,
+}
+
+impl PersonalDb {
+    /// Builds a database.
+    pub fn new(transactions: Vec<Transaction>) -> Self {
+        PersonalDb { transactions }
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether there are no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// The transactions.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// `supp_u(S)`: fraction of transactions containing `S`.
+    pub fn itemset_support(&self, s: &Itemset) -> f64 {
+        if self.transactions.is_empty() {
+            return 0.0;
+        }
+        let n = self.transactions.iter().filter(|t| s.is_subset_of(t)).count();
+        n as f64 / self.transactions.len() as f64
+    }
+
+    /// `supp_u(r) = supp_u(A ∪ B)`.
+    pub fn rule_support(&self, r: &AssociationRule) -> f64 {
+        self.itemset_support(&r.all_items())
+    }
+
+    /// `conf_u(r) = supp_u(A ∪ B) / supp_u(A)` (0 when `supp_u(A) = 0`).
+    pub fn rule_confidence(&self, r: &AssociationRule) -> f64 {
+        let denom = self.itemset_support(&r.lhs);
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.rule_support(r) / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iset(items: &[u32]) -> Itemset {
+        Itemset::new(items.iter().map(|&i| ItemId(i)))
+    }
+
+    #[test]
+    fn itemset_is_canonical() {
+        assert_eq!(iset(&[3, 1, 2, 1]), iset(&[1, 2, 3]));
+        assert_eq!(iset(&[3, 1]).len(), 2);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        assert!(iset(&[1, 2]).is_subset_of(&iset(&[1, 2, 3])));
+        assert!(!iset(&[1, 4]).is_subset_of(&iset(&[1, 2, 3])));
+        assert!(iset(&[1]).is_disjoint_from(&iset(&[2])));
+        assert!(!iset(&[1, 2]).is_disjoint_from(&iset(&[2, 3])));
+        assert!(iset(&[]).is_subset_of(&iset(&[])));
+    }
+
+    #[test]
+    fn rule_construction_rules() {
+        assert!(AssociationRule::new(iset(&[1]), iset(&[2])).is_some());
+        assert!(AssociationRule::new(iset(&[]), iset(&[2])).is_none());
+        assert!(AssociationRule::new(iset(&[1]), iset(&[])).is_none());
+        assert!(AssociationRule::new(iset(&[1, 2]), iset(&[2, 3])).is_none());
+    }
+
+    #[test]
+    fn support_and_confidence() {
+        // 4 transactions: {1,2}, {1,2,3}, {1}, {3}
+        let db = PersonalDb::new(vec![iset(&[1, 2]), iset(&[1, 2, 3]), iset(&[1]), iset(&[3])]);
+        let r = AssociationRule::new(iset(&[1]), iset(&[2])).unwrap();
+        assert!((db.rule_support(&r) - 0.5).abs() < 1e-12); // {1,2} in 2/4
+        // conf = supp({1,2}) / supp({1}) = 0.5 / 0.75 = 2/3
+        assert!((db.rule_confidence(&r) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_db_and_zero_antecedent() {
+        let db = PersonalDb::default();
+        let r = AssociationRule::new(iset(&[1]), iset(&[2])).unwrap();
+        assert_eq!(db.rule_support(&r), 0.0);
+        assert_eq!(db.rule_confidence(&r), 0.0);
+        let db2 = PersonalDb::new(vec![iset(&[3])]);
+        assert_eq!(db2.rule_confidence(&r), 0.0); // supp(A)=0 → conf 0
+    }
+
+    #[test]
+    fn confidence_at_most_one() {
+        let db = PersonalDb::new(vec![iset(&[1, 2]), iset(&[1, 2])]);
+        let r = AssociationRule::new(iset(&[1]), iset(&[2])).unwrap();
+        assert_eq!(db.rule_confidence(&r), 1.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Synthetic crowd simulation for the rule-mining framework: a global
+//! behaviour model, sampled personal databases, and the open/closed
+//! question protocol.
+
+use crate::model::{AssociationRule, ItemId, Itemset, PersonalDb, Transaction};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic crowd.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of items in the flat vocabulary.
+    pub items: usize,
+    /// Number of crowd members.
+    pub members: usize,
+    /// Transactions per member, inclusive range.
+    pub transactions: (usize, usize),
+    /// Planted habits: `(itemset, population frequency)` — members include
+    /// the whole itemset in a transaction with this probability (jittered
+    /// per member).
+    pub habits: Vec<(Itemset, f64)>,
+    /// Relative per-member frequency jitter.
+    pub jitter: f64,
+    /// Per-transaction probability of one random extra item.
+    pub noise: f64,
+    /// Additive answer noise half-width (people misreport frequencies).
+    pub answer_noise: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            items: 30,
+            members: 80,
+            transactions: (30, 60),
+            habits: Vec::new(),
+            jitter: 0.2,
+            noise: 0.2,
+            answer_noise: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// A synthetic crowd of members with materialized (ground-truth) personal
+/// databases, answering open and closed questions.
+#[derive(Debug)]
+pub struct SimulatedRuleCrowd {
+    dbs: Vec<PersonalDb>,
+    answer_noise: f64,
+    rng: StdRng,
+    questions: usize,
+}
+
+impl SimulatedRuleCrowd {
+    /// Generates the crowd from a configuration.
+    pub fn generate(cfg: &SimConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut dbs = Vec::with_capacity(cfg.members);
+        for _ in 0..cfg.members {
+            let personal: Vec<(Itemset, f64)> = cfg
+                .habits
+                .iter()
+                .map(|(s, f)| {
+                    let jit = 1.0 + rng.gen_range(-cfg.jitter..=cfg.jitter);
+                    (s.clone(), (f * jit).clamp(0.0, 1.0))
+                })
+                .collect();
+            let n = rng.gen_range(cfg.transactions.0..=cfg.transactions.1).max(1);
+            let mut txs: Vec<Transaction> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut items: Vec<ItemId> = Vec::new();
+                for (s, f) in &personal {
+                    if rng.gen_bool(*f) {
+                        items.extend_from_slice(s.items());
+                    }
+                }
+                if cfg.noise > 0.0 && rng.gen_bool(cfg.noise.clamp(0.0, 1.0)) {
+                    items.push(ItemId(rng.gen_range(0..cfg.items as u32)));
+                }
+                txs.push(Itemset::new(items));
+            }
+            dbs.push(PersonalDb::new(txs));
+        }
+        SimulatedRuleCrowd { dbs, answer_noise: cfg.answer_noise, rng, questions: 0 }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.dbs.len()
+    }
+
+    /// Whether the crowd is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dbs.is_empty()
+    }
+
+    /// Ground truth: population-average support of a rule.
+    pub fn true_support(&self, r: &AssociationRule) -> f64 {
+        self.dbs.iter().map(|d| d.rule_support(r)).sum::<f64>() / self.dbs.len() as f64
+    }
+
+    /// Ground truth: population-average confidence of a rule.
+    pub fn true_confidence(&self, r: &AssociationRule) -> f64 {
+        self.dbs.iter().map(|d| d.rule_confidence(r)).sum::<f64>() / self.dbs.len() as f64
+    }
+
+    /// Total questions answered.
+    pub fn questions_asked(&self) -> usize {
+        self.questions
+    }
+
+    fn noisy(&mut self, x: f64) -> f64 {
+        if self.answer_noise == 0.0 {
+            return x;
+        }
+        let d = self.rng.gen_range(-self.answer_noise..=self.answer_noise);
+        (x + d).clamp(0.0, 1.0)
+    }
+
+    /// A *closed question* to member `m` about rule `r`: "when you do A,
+    /// how often do you also do B?" — returns reported
+    /// `(support, confidence)`.
+    pub fn ask_closed(&mut self, m: usize, r: &AssociationRule) -> (f64, f64) {
+        self.questions += 1;
+        let s = self.dbs[m].rule_support(r);
+        let c = self.dbs[m].rule_confidence(r);
+        (self.noisy(s), self.noisy(c))
+    }
+
+    /// An *open question* to member `m`: "tell me about things you
+    /// typically do together". The member recalls a transaction (biased
+    /// towards their behaviour) and offers a rule from it, along with the
+    /// reported support/confidence — the discovery channel for new
+    /// candidate rules. Returns `None` when the member has nothing to
+    /// tell (all transactions have fewer than 2 items).
+    pub fn ask_open(&mut self, m: usize) -> Option<(AssociationRule, f64, f64)> {
+        self.questions += 1;
+        let db = self.dbs[m].clone();
+        let candidates: Vec<&Transaction> =
+            db.transactions().iter().filter(|t| t.len() >= 2).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let t = candidates[self.rng.gen_range(0..candidates.len())];
+        // split the recalled transaction into a rule: one random item on
+        // the right, the rest (up to 2 items, to keep questions humane) on
+        // the left.
+        let items = t.items();
+        let rhs_idx = self.rng.gen_range(0..items.len());
+        let rhs = Itemset::new([items[rhs_idx]]);
+        // people most often volunteer simple pairwise habits; sometimes a
+        // richer antecedent
+        let lhs_take = if self.rng.gen_bool(0.7) { 1 } else { 2 };
+        let lhs_items: Vec<ItemId> = items
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != rhs_idx)
+            .map(|(_, &x)| x)
+            .take(lhs_take)
+            .collect();
+        let lhs = Itemset::new(lhs_items);
+        let rule = AssociationRule::new(lhs, rhs)?;
+        let s = db.rule_support(&rule);
+        let c = db.rule_confidence(&rule);
+        Some((rule, self.noisy(s), self.noisy(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iset(items: &[u32]) -> Itemset {
+        Itemset::new(items.iter().map(|&i| ItemId(i)))
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            habits: vec![(iset(&[1, 2]), 0.6), (iset(&[3, 4, 5]), 0.3)],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SimulatedRuleCrowd::generate(&cfg());
+        let b = SimulatedRuleCrowd::generate(&cfg());
+        assert_eq!(a.dbs, b.dbs);
+    }
+
+    #[test]
+    fn true_statistics_track_planted_habits() {
+        let crowd = SimulatedRuleCrowd::generate(&SimConfig { members: 300, ..cfg() });
+        let r = AssociationRule::new(iset(&[1]), iset(&[2])).unwrap();
+        let s = crowd.true_support(&r);
+        assert!((s - 0.6).abs() < 0.1, "support {s}");
+        // confidence is high: 2 almost always accompanies 1
+        assert!(crowd.true_confidence(&r) > 0.8);
+        // an unplanted rule has low support
+        let bogus = AssociationRule::new(iset(&[7]), iset(&[9])).unwrap();
+        assert!(crowd.true_support(&bogus) < 0.05);
+    }
+
+    #[test]
+    fn closed_answers_approximate_truth() {
+        let mut crowd = SimulatedRuleCrowd::generate(&cfg());
+        let r = AssociationRule::new(iset(&[1]), iset(&[2])).unwrap();
+        let (s, c) = crowd.ask_closed(0, &r);
+        assert!((0.0..=1.0).contains(&s));
+        assert!((0.0..=1.0).contains(&c));
+        assert_eq!(crowd.questions_asked(), 1);
+    }
+
+    #[test]
+    fn open_answers_return_behavioural_rules() {
+        let mut crowd = SimulatedRuleCrowd::generate(&cfg());
+        let mut found_planted = false;
+        for m in 0..crowd.len() {
+            if let Some((rule, s, _)) = crowd.ask_open(m) {
+                assert!(!rule.lhs.is_empty() && !rule.rhs.is_empty());
+                assert!((0.0..=1.0).contains(&s));
+                let all = rule.all_items();
+                if all.is_subset_of(&iset(&[1, 2])) {
+                    found_planted = true;
+                }
+            }
+        }
+        assert!(found_planted, "open questions never surfaced the planted habit");
+    }
+
+    #[test]
+    fn member_with_singleton_transactions_has_nothing_to_tell() {
+        let mut crowd = SimulatedRuleCrowd {
+            dbs: vec![PersonalDb::new(vec![iset(&[1]), iset(&[2])])],
+            answer_noise: 0.0,
+            rng: StdRng::seed_from_u64(0),
+            questions: 0,
+        };
+        assert!(crowd.ask_open(0).is_none());
+    }
+}

@@ -1,0 +1,305 @@
+//! Abstract syntax tree of OASSIS-QL queries, plus the canonical
+//! pretty-printer (`Display`).
+
+use std::fmt;
+
+/// A parsed OASSIS-QL query (Section 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The `SELECT` statement (line 1 of Figure 2).
+    pub select: SelectClause,
+    /// `ASKING "label"`: restrict the crowd to members carrying the
+    /// profile label — Section 8's "selecting the crowd members, which can
+    /// be done by adding a special SPARQL-like selection on crowd members
+    /// to OASSIS-QL".
+    pub asking: Option<String>,
+    /// The `WHERE` statement: the selection over the ontology.
+    pub where_patterns: Vec<TriplePattern>,
+    /// The `SATISFYING` statement: the patterns mined from the crowd.
+    pub satisfying: SatisfyingClause,
+}
+
+/// The `SELECT` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectClause {
+    /// Requested output format.
+    pub format: OutputFormat,
+    /// `ALL`: return all significant patterns, not just the MSPs.
+    pub all: bool,
+    /// `TOP k`: stop after the first `k` valid MSPs have been identified —
+    /// the "retrieving only the top-k query answers" extension the paper
+    /// lists as future work (Sections 1 and 8).
+    pub top: Option<usize>,
+    /// `DIVERSE` (with `TOP k`): return `k` mutually diverse answers
+    /// (the "diversified answers" extension of Section 8).
+    pub diverse: bool,
+}
+
+/// Requested answer format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// `SELECT FACT-SETS`: answers as fact-sets in RDF notation.
+    FactSets,
+    /// `SELECT VARIABLES`: answers as variable assignments.
+    Variables,
+}
+
+/// The `SATISFYING` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SatisfyingClause {
+    /// The meta–fact-set to mine.
+    pub patterns: Vec<TriplePattern>,
+    /// Whether the `MORE` keyword was present ("plus other relevant
+    /// advice": any number of unrestricted co-occurring facts).
+    pub more: bool,
+    /// `IMPLYING` meta-facts — the *head* of an association rule. The
+    /// query then mines rules `A_SAT ⇒ A_IMP` ("mining association rules"
+    /// is described in the paper's language guide and listed in Section 8).
+    pub implying: Vec<TriplePattern>,
+    /// The `WITH SUPPORT = θ` threshold (on `A_SAT ∪ A_IMP` for rules).
+    pub support_threshold: f64,
+    /// The `AND CONFIDENCE = c` threshold (required iff `IMPLYING` is
+    /// present): `supp(A_SAT ∪ A_IMP) / supp(A_SAT) ≥ c`.
+    pub confidence_threshold: Option<f64>,
+}
+
+/// One triple pattern, e.g. `$y+ doAt $x` or `$w subClassOf* Attraction`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriplePattern {
+    /// Subject term.
+    pub subject: Term,
+    /// Predicate.
+    pub predicate: Pred,
+    /// Object term.
+    pub object: Term,
+}
+
+/// A subject/object term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// A variable `$x`, with its multiplicity annotation (meaningful only
+    /// in the `SATISFYING` clause; defaults to exactly one).
+    Var {
+        /// Variable name without the `$` sigil.
+        name: String,
+        /// Multiplicity annotation attached at this occurrence.
+        mult: Multiplicity,
+    },
+    /// A constant element name, bare (`NYC`) or quoted (`"Tel Aviv"`).
+    Elem(String),
+    /// A quoted string literal (only meaningful as a `hasLabel` object).
+    Literal(String),
+    /// `[]` — "anything, as long as one exists".
+    Blank,
+}
+
+impl Term {
+    /// Convenience constructor for a plain variable.
+    pub fn var(name: &str) -> Term {
+        Term::Var { name: name.to_owned(), mult: Multiplicity::ExactlyOne }
+    }
+
+    /// Convenience constructor for a constant element.
+    pub fn elem(name: &str) -> Term {
+        Term::Elem(name.to_owned())
+    }
+}
+
+/// A predicate position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// A relation name, optionally with the `*` path quantifier
+    /// (`subClassOf*`: a path of 0 or more facts with that relation).
+    Rel {
+        /// Relation name.
+        name: String,
+        /// Whether the `*` path quantifier is attached.
+        star: bool,
+    },
+    /// A relation variable `$p`.
+    Var(String),
+}
+
+impl Pred {
+    /// Convenience constructor for a plain relation predicate.
+    pub fn rel(name: &str) -> Pred {
+        Pred::Rel { name: name.to_owned(), star: false }
+    }
+}
+
+/// Multiplicity annotation on a `SATISFYING` variable (Section 3,
+/// "Advanced features"). The semantics assigns **sets** of values to the
+/// variable instead of single values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Multiplicity {
+    /// Default: exactly one value.
+    #[default]
+    ExactlyOne,
+    /// `+`: at least one value.
+    AtLeastOne,
+    /// `*`: any number of values (including zero).
+    Any,
+    /// `?`: optional — zero or one value.
+    Optional,
+}
+
+impl Multiplicity {
+    /// Minimum number of values the variable must take.
+    pub fn min(self) -> usize {
+        match self {
+            Multiplicity::ExactlyOne | Multiplicity::AtLeastOne => 1,
+            Multiplicity::Any | Multiplicity::Optional => 0,
+        }
+    }
+
+    /// Maximum number of values (`None` = unbounded).
+    pub fn max(self) -> Option<usize> {
+        match self {
+            Multiplicity::ExactlyOne | Multiplicity::Optional => Some(1),
+            Multiplicity::AtLeastOne | Multiplicity::Any => None,
+        }
+    }
+
+    /// The annotation's surface syntax (empty for the default).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Multiplicity::ExactlyOne => "",
+            Multiplicity::AtLeastOne => "+",
+            Multiplicity::Any => "*",
+            Multiplicity::Optional => "?",
+        }
+    }
+}
+
+fn needs_quotes(name: &str) -> bool {
+    name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+fn write_name(f: &mut fmt::Formatter<'_>, name: &str) -> fmt::Result {
+    if needs_quotes(name) {
+        write!(f, "\"{name}\"")
+    } else {
+        f.write_str(name)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var { name, mult } => write!(f, "${name}{}", mult.suffix()),
+            Term::Elem(name) => write_name(f, name),
+            Term::Literal(s) => write!(f, "\"{s}\""),
+            Term::Blank => f.write_str("[]"),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Rel { name, star } => {
+                write_name(f, name)?;
+                if *star {
+                    f.write_str("*")?;
+                }
+                Ok(())
+            }
+            Pred::Var(name) => write!(f, "${name}"),
+        }
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.subject, self.predicate, self.object)
+    }
+}
+
+impl fmt::Display for Query {
+    /// Canonical source form; `parse(q.to_string())` reproduces `q`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_name = match self.select.format {
+            OutputFormat::FactSets => "FACT-SETS",
+            OutputFormat::Variables => "VARIABLES",
+        };
+        write!(f, "SELECT {}{}", fmt_name, if self.select.all { " ALL" } else { "" })?;
+        if let Some(k) = self.select.top {
+            write!(f, " TOP {k}")?;
+            if self.select.diverse {
+                write!(f, " DIVERSE")?;
+            }
+        }
+        writeln!(f)?;
+        if let Some(label) = &self.asking {
+            writeln!(f, "ASKING \"{label}\"")?;
+        }
+        writeln!(f, "WHERE")?;
+        for (i, p) in self.where_patterns.iter().enumerate() {
+            let sep = if i + 1 < self.where_patterns.len() { "." } else { "" };
+            writeln!(f, "  {p}{sep}")?;
+        }
+        writeln!(f, "SATISFYING")?;
+        let n = self.satisfying.patterns.len();
+        for (i, p) in self.satisfying.patterns.iter().enumerate() {
+            let sep = if i + 1 < n || self.satisfying.more { "." } else { "" };
+            writeln!(f, "  {p}{sep}")?;
+        }
+        if self.satisfying.more {
+            writeln!(f, "  MORE")?;
+        }
+        if !self.satisfying.implying.is_empty() {
+            writeln!(f, "IMPLYING")?;
+            let m = self.satisfying.implying.len();
+            for (i, p) in self.satisfying.implying.iter().enumerate() {
+                let sep = if i + 1 < m { "." } else { "" };
+                writeln!(f, "  {p}{sep}")?;
+            }
+        }
+        write!(f, "WITH SUPPORT = {}", self.satisfying.support_threshold)?;
+        if let Some(c) = self.satisfying.confidence_threshold {
+            write!(f, " AND CONFIDENCE = {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplicity_bounds() {
+        assert_eq!(Multiplicity::ExactlyOne.min(), 1);
+        assert_eq!(Multiplicity::ExactlyOne.max(), Some(1));
+        assert_eq!(Multiplicity::AtLeastOne.min(), 1);
+        assert_eq!(Multiplicity::AtLeastOne.max(), None);
+        assert_eq!(Multiplicity::Any.min(), 0);
+        assert_eq!(Multiplicity::Any.max(), None);
+        assert_eq!(Multiplicity::Optional.min(), 0);
+        assert_eq!(Multiplicity::Optional.max(), Some(1));
+    }
+
+    #[test]
+    fn term_display() {
+        assert_eq!(Term::var("x").to_string(), "$x");
+        assert_eq!(
+            Term::Var { name: "y".into(), mult: Multiplicity::AtLeastOne }.to_string(),
+            "$y+"
+        );
+        assert_eq!(Term::elem("NYC").to_string(), "NYC");
+        assert_eq!(Term::elem("Tel Aviv").to_string(), "\"Tel Aviv\"");
+        assert_eq!(Term::Blank.to_string(), "[]");
+        assert_eq!(Term::Literal("child-friendly".into()).to_string(), "\"child-friendly\"");
+    }
+
+    #[test]
+    fn pred_display() {
+        assert_eq!(Pred::rel("doAt").to_string(), "doAt");
+        assert_eq!(Pred::Rel { name: "subClassOf".into(), star: true }.to_string(), "subClassOf*");
+        assert_eq!(Pred::Var("p".into()).to_string(), "$p");
+    }
+}

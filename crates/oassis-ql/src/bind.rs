@@ -1,0 +1,496 @@
+//! Name resolution: turning a parsed [`Query`] into a [`BoundQuery`] with
+//! interned ids, a variable table, and the satisfying-clause meta–fact-set.
+
+use crate::ast::{Multiplicity, OutputFormat, Pred, Query, Term, TriplePattern};
+use crate::parse::QlError;
+use ontology::{ElemId, Ontology, RelId};
+use serde::{Deserialize, Serialize};
+
+/// Dense index of a query variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub u16);
+
+impl VarId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A value an assignment can map a variable to: per Definition 4.1,
+/// assignments map the variable space to sets of vocabulary **elements or
+/// relations**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// An element value.
+    Elem(ElemId),
+    /// A relation value (for variables in predicate position).
+    Rel(RelId),
+}
+
+impl Value {
+    /// The element id, if this is an element value.
+    pub fn as_elem(self) -> Option<ElemId> {
+        match self {
+            Value::Elem(e) => Some(e),
+            Value::Rel(_) => None,
+        }
+    }
+
+    /// The relation id, if this is a relation value.
+    pub fn as_rel(self) -> Option<RelId> {
+        match self {
+            Value::Rel(r) => Some(r),
+            Value::Elem(_) => None,
+        }
+    }
+}
+
+/// Metadata about one query variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarInfo {
+    /// Source name (without the `$` sigil).
+    pub name: String,
+    /// Effective multiplicity (from SATISFYING-clause annotations).
+    pub mult: Multiplicity,
+    /// Occurs in the WHERE clause.
+    pub in_where: bool,
+    /// Occurs in the SATISFYING clause.
+    pub in_satisfying: bool,
+    /// Binds to relations (predicate position) rather than elements.
+    pub is_rel: bool,
+}
+
+/// Subject/object position of a meta-fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FactTerm {
+    /// A query variable.
+    Var(VarId),
+    /// A constant element.
+    Const(ElemId),
+    /// `[]` — existential wildcard.
+    Blank,
+}
+
+/// Predicate position of a meta-fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelTerm {
+    /// A relation variable.
+    Var(VarId),
+    /// A constant relation.
+    Const(RelId),
+}
+
+/// One meta-fact of the SATISFYING clause ("meta–fact-set" in Section 3):
+/// a triple whose positions may hold variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetaFact {
+    /// Subject position.
+    pub subject: FactTerm,
+    /// Relation position.
+    pub rel: RelTerm,
+    /// Object position.
+    pub object: FactTerm,
+}
+
+/// A bound WHERE-clause pattern, ready for evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WherePattern {
+    /// An ordinary or path (`star`) triple pattern.
+    Triple {
+        /// Subject position.
+        s: FactTerm,
+        /// Relation position.
+        r: RelTerm,
+        /// Object position.
+        o: FactTerm,
+        /// Whether the `*` path quantifier is attached (requires a constant
+        /// relation).
+        star: bool,
+    },
+    /// A `$x hasLabel "…"` filter.
+    Label {
+        /// Subject position.
+        s: FactTerm,
+        /// Required label.
+        label: String,
+    },
+}
+
+/// A query bound against an ontology.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// Variable table, indexed by [`VarId`].
+    pub vars: Vec<VarInfo>,
+    /// Bound WHERE patterns.
+    pub where_patterns: Vec<WherePattern>,
+    /// The SATISFYING meta–fact-set `A_SAT` (the rule body, when an
+    /// `IMPLYING` clause is present).
+    pub sat_meta: Vec<MetaFact>,
+    /// The `IMPLYING` meta–fact-set `A_IMP` (the rule head; empty for
+    /// plain pattern queries).
+    pub imp_meta: Vec<MetaFact>,
+    /// Whether the query requested `MORE` facts.
+    pub more: bool,
+    /// The support threshold Θ.
+    pub threshold: f64,
+    /// The confidence threshold (rule queries only).
+    pub confidence: Option<f64>,
+    /// Whether `ALL` significant patterns (not only MSPs) were requested.
+    pub all: bool,
+    /// `TOP k`: stop after `k` valid MSPs.
+    pub top_k: Option<usize>,
+    /// `ASKING "label"`: restrict the crowd to members with this profile
+    /// label.
+    pub asking: Option<String>,
+    /// Whether `TOP k` answers should be diversified.
+    pub diverse: bool,
+    /// Requested output format.
+    pub format: OutputFormat,
+    /// Variables that occur in the SATISFYING clause, in `VarId` order.
+    /// The assignment DAG of Section 4 is built over these: assignments
+    /// that differ only on WHERE-only variables define the same mined
+    /// fact-set.
+    pub sat_vars: Vec<VarId>,
+}
+
+impl BoundQuery {
+    /// Looks up a variable by source name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars.iter().position(|v| v.name == name).map(|i| VarId(i as u16))
+    }
+}
+
+/// The relation name that is special-cased as a label filter.
+pub const HAS_LABEL: &str = "hasLabel";
+
+/// Binds a parsed query against an ontology.
+///
+/// Validations performed (violations yield [`QlError::Invalid`] /
+/// [`QlError::UnknownName`]):
+/// * all constant element/relation names resolve;
+/// * multiplicity annotations appear only on SATISFYING-clause variables;
+/// * a variable is used consistently in element or predicate position;
+/// * conflicting multiplicity annotations on the same variable are rejected;
+/// * `hasLabel` appears only in the WHERE clause with a string object;
+/// * `*` paths have a constant relation.
+pub fn bind(q: &Query, ont: &Ontology) -> Result<BoundQuery, QlError> {
+    let mut b = Binder { ont, vars: Vec::new(), annotated: Vec::new() };
+
+    let mut where_patterns = Vec::with_capacity(q.where_patterns.len());
+    for p in &q.where_patterns {
+        where_patterns.push(b.bind_where(p)?);
+    }
+    let mut sat_meta = Vec::with_capacity(q.satisfying.patterns.len());
+    for p in &q.satisfying.patterns {
+        sat_meta.push(b.bind_sat(p)?);
+    }
+    let mut imp_meta = Vec::with_capacity(q.satisfying.implying.len());
+    for p in &q.satisfying.implying {
+        imp_meta.push(b.bind_sat(p)?);
+    }
+
+    let sat_vars: Vec<VarId> = (0..b.vars.len() as u16)
+        .map(VarId)
+        .filter(|v| b.vars[v.index()].in_satisfying)
+        .collect();
+
+    Ok(BoundQuery {
+        vars: b.vars,
+        where_patterns,
+        sat_meta,
+        imp_meta,
+        more: q.satisfying.more,
+        threshold: q.satisfying.support_threshold,
+        confidence: q.satisfying.confidence_threshold,
+        all: q.select.all,
+        top_k: q.select.top,
+        asking: q.asking.clone(),
+        diverse: q.select.diverse,
+        format: q.select.format,
+        sat_vars,
+    })
+}
+
+struct Binder<'a> {
+    ont: &'a Ontology,
+    vars: Vec<VarInfo>,
+    /// Whether the variable carried an explicit multiplicity annotation.
+    annotated: Vec<bool>,
+}
+
+impl Binder<'_> {
+    fn var(
+        &mut self,
+        name: &str,
+        mult: Multiplicity,
+        in_where: bool,
+        is_rel: bool,
+    ) -> Result<VarId, QlError> {
+        let id = match self.vars.iter().position(|v| v.name == name) {
+            Some(i) => VarId(i as u16),
+            None => {
+                self.vars.push(VarInfo {
+                    name: name.to_owned(),
+                    mult: Multiplicity::ExactlyOne,
+                    in_where: false,
+                    in_satisfying: false,
+                    is_rel,
+                });
+                self.annotated.push(false);
+                VarId((self.vars.len() - 1) as u16)
+            }
+        };
+        let info = &mut self.vars[id.index()];
+        if info.is_rel != is_rel && (info.in_where || info.in_satisfying) {
+            return Err(QlError::Invalid(format!(
+                "variable ${name} used both as element and as relation"
+            )));
+        }
+        if in_where {
+            info.in_where = true;
+        } else {
+            info.in_satisfying = true;
+        }
+        if mult != Multiplicity::ExactlyOne {
+            if in_where {
+                return Err(QlError::Invalid(format!(
+                    "multiplicity annotation on ${name} is only allowed in the SATISFYING clause"
+                )));
+            }
+            if self.annotated[id.index()] && info.mult != mult {
+                return Err(QlError::Invalid(format!(
+                    "conflicting multiplicity annotations on ${name}"
+                )));
+            }
+            info.mult = mult;
+            self.annotated[id.index()] = true;
+        }
+        Ok(id)
+    }
+
+    fn elem(&self, name: &str) -> Result<ElemId, QlError> {
+        self.ont
+            .vocab()
+            .elem_id(name)
+            .ok_or(QlError::UnknownName { name: name.to_owned(), kind: "element" })
+    }
+
+    fn rel(&self, name: &str) -> Result<RelId, QlError> {
+        self.ont
+            .vocab()
+            .rel_id(name)
+            .ok_or(QlError::UnknownName { name: name.to_owned(), kind: "relation" })
+    }
+
+    fn fact_term(&mut self, t: &Term, in_where: bool) -> Result<FactTerm, QlError> {
+        Ok(match t {
+            Term::Var { name, mult } => FactTerm::Var(self.var(name, *mult, in_where, false)?),
+            Term::Elem(name) => FactTerm::Const(self.elem(name)?),
+            // A quoted string outside `hasLabel` names an element.
+            Term::Literal(name) => FactTerm::Const(self.elem(name)?),
+            Term::Blank => FactTerm::Blank,
+        })
+    }
+
+    fn bind_where(&mut self, p: &TriplePattern) -> Result<WherePattern, QlError> {
+        if let Pred::Rel { name, star } = &p.predicate {
+            if name == HAS_LABEL {
+                if *star {
+                    return Err(QlError::Invalid("hasLabel* is not supported".into()));
+                }
+                let s = self.fact_term(&p.subject, true)?;
+                let label = match &p.object {
+                    Term::Literal(l) => l.clone(),
+                    other => {
+                        return Err(QlError::Invalid(format!(
+                            "hasLabel requires a quoted string object, found {other}"
+                        )))
+                    }
+                };
+                return Ok(WherePattern::Label { s, label });
+            }
+        }
+        let s = self.fact_term(&p.subject, true)?;
+        let o = self.fact_term(&p.object, true)?;
+        let (r, star) = match &p.predicate {
+            Pred::Rel { name, star } => (RelTerm::Const(self.rel(name)?), *star),
+            Pred::Var(name) => (RelTerm::Var(self.var(name, Multiplicity::ExactlyOne, true, true)?), false),
+        };
+        if star && matches!(r, RelTerm::Var(_)) {
+            return Err(QlError::Invalid("path '*' requires a constant relation".into()));
+        }
+        Ok(WherePattern::Triple { s, r, o, star })
+    }
+
+    fn bind_sat(&mut self, p: &TriplePattern) -> Result<MetaFact, QlError> {
+        if let Pred::Rel { name, star } = &p.predicate {
+            if name == HAS_LABEL {
+                return Err(QlError::Invalid(
+                    "hasLabel is only allowed in the WHERE clause".into(),
+                ));
+            }
+            if *star {
+                return Err(QlError::Invalid(
+                    "path '*' is only allowed in the WHERE clause".into(),
+                ));
+            }
+        }
+        let subject = self.fact_term(&p.subject, false)?;
+        let object = self.fact_term(&p.object, false)?;
+        let rel = match &p.predicate {
+            Pred::Rel { name, .. } => RelTerm::Const(self.rel(name)?),
+            Pred::Var(name) => {
+                RelTerm::Var(self.var(name, Multiplicity::ExactlyOne, false, true)?)
+            }
+        };
+        Ok(MetaFact { subject, rel, object })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use ontology::domains::figure1;
+
+    #[test]
+    fn binds_figure_2() {
+        let ont = figure1::ontology();
+        let q = parse(figure1::SAMPLE_QUERY).unwrap();
+        let b = bind(&q, &ont).unwrap();
+        assert_eq!(b.vars.len(), 4); // w, x, y, z
+        let y = b.var_by_name("y").unwrap();
+        assert_eq!(b.vars[y.index()].mult, Multiplicity::AtLeastOne);
+        assert!(b.vars[y.index()].in_where && b.vars[y.index()].in_satisfying);
+        let w = b.var_by_name("w").unwrap();
+        assert!(b.vars[w.index()].in_where && !b.vars[w.index()].in_satisfying);
+        // sat_vars: x, y, z but not w
+        assert_eq!(b.sat_vars.len(), 3);
+        assert!(!b.sat_vars.contains(&w));
+        assert!(b.more);
+        assert_eq!(b.threshold, 0.4);
+        // blank subject in `[] eatAt $z`
+        assert!(matches!(b.sat_meta[1].subject, FactTerm::Blank));
+    }
+
+    #[test]
+    fn unknown_element_rejected() {
+        let ont = figure1::ontology();
+        let q = parse(
+            "SELECT FACT-SETS WHERE $x instanceOf Nonexistent SATISFYING $x doAt $x WITH SUPPORT = 0.2",
+        )
+        .unwrap();
+        match bind(&q, &ont).unwrap_err() {
+            QlError::UnknownName { name, kind } => {
+                assert_eq!(name, "Nonexistent");
+                assert_eq!(kind, "element");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let ont = figure1::ontology();
+        let q = parse(
+            "SELECT FACT-SETS WHERE $x frobnicates NYC SATISFYING $x doAt NYC WITH SUPPORT = 0.2",
+        )
+        .unwrap();
+        assert!(matches!(bind(&q, &ont), Err(QlError::UnknownName { kind: "relation", .. })));
+    }
+
+    #[test]
+    fn multiplicity_in_where_rejected() {
+        let ont = figure1::ontology();
+        let q = parse(
+            "SELECT FACT-SETS WHERE $x+ instanceOf Park SATISFYING $x doAt NYC WITH SUPPORT = 0.2",
+        )
+        .unwrap();
+        assert!(matches!(bind(&q, &ont), Err(QlError::Invalid(_))));
+    }
+
+    #[test]
+    fn conflicting_multiplicities_rejected() {
+        let ont = figure1::ontology();
+        let q = parse(
+            "SELECT FACT-SETS WHERE SATISFYING $x+ doAt NYC. $x* eatAt NYC WITH SUPPORT = 0.2",
+        )
+        .unwrap();
+        assert!(matches!(bind(&q, &ont), Err(QlError::Invalid(_))));
+    }
+
+    #[test]
+    fn var_as_both_elem_and_rel_rejected() {
+        let ont = figure1::ontology();
+        let q = parse(
+            "SELECT FACT-SETS WHERE $p instanceOf Park SATISFYING NYC $p NYC WITH SUPPORT = 0.2",
+        )
+        .unwrap();
+        assert!(matches!(bind(&q, &ont), Err(QlError::Invalid(_))));
+    }
+
+    #[test]
+    fn haslabel_needs_string_object() {
+        let ont = figure1::ontology();
+        let q = parse(
+            "SELECT FACT-SETS WHERE $x hasLabel NYC SATISFYING $x doAt NYC WITH SUPPORT = 0.2",
+        )
+        .unwrap();
+        assert!(matches!(bind(&q, &ont), Err(QlError::Invalid(_))));
+    }
+
+    #[test]
+    fn haslabel_in_satisfying_rejected() {
+        let ont = figure1::ontology();
+        let q = parse(
+            "SELECT FACT-SETS WHERE SATISFYING $x hasLabel \"x\" WITH SUPPORT = 0.2",
+        )
+        .unwrap();
+        assert!(matches!(bind(&q, &ont), Err(QlError::Invalid(_))));
+    }
+
+    #[test]
+    fn star_on_relation_variable_rejected() {
+        let ont = figure1::ontology();
+        // construct via AST since the grammar cannot produce it
+        let q = Query {
+            select: crate::ast::SelectClause {
+                format: OutputFormat::FactSets,
+                all: false,
+                top: None,
+                diverse: false,
+            },
+            asking: None,
+            where_patterns: vec![],
+            satisfying: crate::ast::SatisfyingClause {
+                patterns: vec![TriplePattern {
+                    subject: Term::var("x"),
+                    predicate: Pred::rel("doAt"),
+                    object: Term::elem("NYC"),
+                }],
+                more: false,
+                implying: vec![],
+                support_threshold: 0.2,
+                confidence_threshold: None,
+            },
+        };
+        assert!(bind(&q, &ont).is_ok());
+    }
+
+    #[test]
+    fn quoted_element_name_resolves() {
+        let ont = figure1::ontology();
+        let q = parse(
+            "SELECT FACT-SETS WHERE $x nearBy \"Central Park\" SATISFYING $x doAt NYC WITH SUPPORT = 0.2",
+        )
+        .unwrap();
+        let b = bind(&q, &ont).unwrap();
+        let cp = ont.vocab().elem_id("Central Park").unwrap();
+        match &b.where_patterns[0] {
+            WherePattern::Triple { o: FactTerm::Const(e), .. } => assert_eq!(*e, cp),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Lexer for OASSIS-QL.
+
+use std::fmt;
+
+/// A token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    // keywords
+    Select,
+    FactSets,
+    Variables,
+    All,
+    Top,
+    Diverse,
+    Asking,
+    Where,
+    Satisfying,
+    Implying,
+    More,
+    With,
+    Support,
+    And,
+    Confidence,
+    // punctuation
+    Dot,
+    Eq,
+    Plus,
+    Star,
+    Question,
+    Blank, // []
+    // payloads
+    Var(String),     // $name
+    Ident(String),   // bare name
+    Quoted(String),  // "…"
+    Number(f64),
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Select => write!(f, "SELECT"),
+            TokenKind::FactSets => write!(f, "FACT-SETS"),
+            TokenKind::Variables => write!(f, "VARIABLES"),
+            TokenKind::All => write!(f, "ALL"),
+            TokenKind::Top => write!(f, "TOP"),
+            TokenKind::Diverse => write!(f, "DIVERSE"),
+            TokenKind::Asking => write!(f, "ASKING"),
+            TokenKind::Where => write!(f, "WHERE"),
+            TokenKind::Satisfying => write!(f, "SATISFYING"),
+            TokenKind::Implying => write!(f, "IMPLYING"),
+            TokenKind::More => write!(f, "MORE"),
+            TokenKind::With => write!(f, "WITH"),
+            TokenKind::Support => write!(f, "SUPPORT"),
+            TokenKind::And => write!(f, "AND"),
+            TokenKind::Confidence => write!(f, "CONFIDENCE"),
+            TokenKind::Dot => write!(f, "'.'"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::Plus => write!(f, "'+'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Question => write!(f, "'?'"),
+            TokenKind::Blank => write!(f, "'[]'"),
+            TokenKind::Var(n) => write!(f, "${n}"),
+            TokenKind::Ident(n) => write!(f, "{n}"),
+            TokenKind::Quoted(s) => write!(f, "\"{s}\""),
+            TokenKind::Number(x) => write!(f, "{x}"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexical error (reported through [`QlError`](crate::QlError)).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LexError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    // '-' is allowed inside identifiers (FACT-SETS, child-friendly).
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let (mut line, mut col) = (1u32, 1u32);
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(c) = c {
+                if c == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    loop {
+        // skip whitespace and `#` / `--` comments
+        loop {
+            match chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    bump!();
+                }
+                Some('#') => {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let (tline, tcol) = (line, col);
+        let Some(&c) = chars.peek() else {
+            out.push(Token { kind: TokenKind::Eof, line: tline, col: tcol });
+            return Ok(out);
+        };
+        let kind = match c {
+            '.' => {
+                bump!();
+                TokenKind::Dot
+            }
+            '=' => {
+                bump!();
+                TokenKind::Eq
+            }
+            '+' => {
+                bump!();
+                TokenKind::Plus
+            }
+            '*' => {
+                bump!();
+                TokenKind::Star
+            }
+            '?' => {
+                bump!();
+                TokenKind::Question
+            }
+            '[' => {
+                bump!();
+                match chars.peek() {
+                    Some(']') => {
+                        bump!();
+                        TokenKind::Blank
+                    }
+                    _ => {
+                        return Err(LexError {
+                            message: "expected ']' after '['".into(),
+                            line: tline,
+                            col: tcol,
+                        })
+                    }
+                }
+            }
+            '$' => {
+                bump!();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(LexError {
+                        message: "expected variable name after '$'".into(),
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+                TokenKind::Var(name)
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('"') => break,
+                        Some('\\') => match bump!() {
+                            Some(e @ ('"' | '\\')) => s.push(e),
+                            Some(other) => {
+                                return Err(LexError {
+                                    message: format!("unknown escape '\\{other}'"),
+                                    line: tline,
+                                    col: tcol,
+                                })
+                            }
+                            None => {
+                                return Err(LexError {
+                                    message: "unterminated string".into(),
+                                    line: tline,
+                                    col: tcol,
+                                })
+                            }
+                        },
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string".into(),
+                                line: tline,
+                                col: tcol,
+                            })
+                        }
+                    }
+                }
+                TokenKind::Quoted(s)
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                // fractional part: only if '.' is followed by a digit, so a
+                // trailing statement dot is not swallowed.
+                let mut rest = chars.clone();
+                if rest.next() == Some('.') && rest.next().is_some_and(|d| d.is_ascii_digit()) {
+                    text.push('.');
+                    bump!();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_digit() {
+                            text.push(c);
+                            bump!();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let value: f64 = text.parse().map_err(|_| LexError {
+                    message: format!("invalid number {text:?}"),
+                    line: tline,
+                    col: tcol,
+                })?;
+                TokenKind::Number(value)
+            }
+            c if is_ident_start(c) => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                match name.as_str() {
+                    "SELECT" => TokenKind::Select,
+                    "FACT-SETS" => TokenKind::FactSets,
+                    "VARIABLES" => TokenKind::Variables,
+                    "ALL" => TokenKind::All,
+                    "TOP" => TokenKind::Top,
+                    "DIVERSE" => TokenKind::Diverse,
+                    "ASKING" => TokenKind::Asking,
+                    "WHERE" => TokenKind::Where,
+                    "SATISFYING" => TokenKind::Satisfying,
+                    "IMPLYING" => TokenKind::Implying,
+                    "MORE" => TokenKind::More,
+                    "WITH" => TokenKind::With,
+                    "SUPPORT" => TokenKind::Support,
+                    "AND" => TokenKind::And,
+                    "CONFIDENCE" => TokenKind::Confidence,
+                    _ => TokenKind::Ident(name),
+                }
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line: tline,
+                    col: tcol,
+                })
+            }
+        };
+        out.push(Token { kind, line: tline, col: tcol });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("SELECT FACT-SETS ALL"),
+            vec![TokenKind::Select, TokenKind::FactSets, TokenKind::All, TokenKind::Eof]
+        );
+        // lowercase is an identifier, not a keyword
+        assert_eq!(kinds("select")[0], TokenKind::Ident("select".into()));
+    }
+
+    #[test]
+    fn variables_and_mults() {
+        assert_eq!(
+            kinds("$y+ doAt $x"),
+            vec![
+                TokenKind::Var("y".into()),
+                TokenKind::Plus,
+                TokenKind::Ident("doAt".into()),
+                TokenKind::Var("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn star_after_ident() {
+        assert_eq!(
+            kinds("subClassOf* Attraction"),
+            vec![
+                TokenKind::Ident("subClassOf".into()),
+                TokenKind::Star,
+                TokenKind::Ident("Attraction".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn number_vs_statement_dot() {
+        assert_eq!(
+            kinds("= 0.4"),
+            vec![TokenKind::Eq, TokenKind::Number(0.4), TokenKind::Eof]
+        );
+        // a dot not followed by a digit stays a separator
+        assert_eq!(
+            kinds("NYC. 4."),
+            vec![
+                TokenKind::Ident("NYC".into()),
+                TokenKind::Dot,
+                TokenKind::Number(4.0),
+                TokenKind::Dot,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(kinds("\"Tel Aviv\"")[0], TokenKind::Quoted("Tel Aviv".into()));
+        assert_eq!(kinds(r#""a\"b""#)[0], TokenKind::Quoted("a\"b".into()));
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn blank_token() {
+        assert_eq!(kinds("[] eatAt $z")[0], TokenKind::Blank);
+        assert!(lex("[x]").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT # a comment\nWHERE"),
+            vec![TokenKind::Select, TokenKind::Where, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn positions() {
+        let toks = lex("SELECT\n  $x").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_char_reported() {
+        let err = lex("SELECT @").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.col, 8);
+    }
+
+    #[test]
+    fn dollar_without_name() {
+        assert!(lex("$ x").is_err());
+    }
+
+    #[test]
+    fn dashed_identifier() {
+        assert_eq!(kinds("child-friendly")[0], TokenKind::Ident("child-friendly".into()));
+    }
+}

@@ -1,0 +1,455 @@
+//! Recursive-descent parser for OASSIS-QL.
+
+use crate::ast::*;
+use crate::lex::{lex, Token, TokenKind};
+use std::fmt;
+
+/// Error raised while parsing or binding an OASSIS-QL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QlError {
+    /// Lexical or syntactic error at a source position (1-based).
+    Syntax {
+        /// Human-readable description.
+        message: String,
+        /// Source line.
+        line: u32,
+        /// Source column.
+        col: u32,
+    },
+    /// Name-resolution failure (unknown element/relation).
+    UnknownName {
+        /// The unresolved name.
+        name: String,
+        /// Whether an element or a relation was expected.
+        kind: &'static str,
+    },
+    /// The query is structurally invalid (e.g. a multiplicity annotation in
+    /// the WHERE clause, or a support threshold outside `[0, 1]`).
+    Invalid(
+        /// Description of the violation.
+        String,
+    ),
+}
+
+impl fmt::Display for QlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QlError::Syntax { message, line, col } => {
+                write!(f, "syntax error at {line}:{col}: {message}")
+            }
+            QlError::UnknownName { name, kind } => write!(f, "unknown {kind} {name:?}"),
+            QlError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QlError {}
+
+/// Parses OASSIS-QL source into a [`Query`].
+///
+/// ```
+/// let q = oassis_ql::parse(r#"
+/// SELECT FACT-SETS
+/// WHERE
+///   $y subClassOf* Activity
+/// SATISFYING
+///   $y+ doAt Park
+/// WITH SUPPORT = 0.4
+/// "#).unwrap();
+/// assert_eq!(q.satisfying.support_threshold, 0.4);
+/// ```
+pub fn parse(src: &str) -> Result<Query, QlError> {
+    let tokens = lex(src).map_err(|e| QlError::Syntax {
+        message: e.message,
+        line: e.line,
+        col: e.col,
+    })?;
+    Parser { tokens, pos: 0 }.query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, QlError> {
+        let t = &self.tokens[self.pos];
+        Err(QlError::Syntax { message: message.into(), line: t.line, col: t.col })
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), QlError> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek()))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, QlError> {
+        self.expect(TokenKind::Select)?;
+        let format = match self.bump() {
+            TokenKind::FactSets => OutputFormat::FactSets,
+            TokenKind::Variables => OutputFormat::Variables,
+            other => return self.err(format!("expected FACT-SETS or VARIABLES, found {other}")),
+        };
+        let all = if *self.peek() == TokenKind::All {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let (top, diverse) = if *self.peek() == TokenKind::Top {
+            self.bump();
+            let k = match self.bump() {
+                TokenKind::Number(x) if x >= 1.0 && x.fract() == 0.0 => x as usize,
+                other => {
+                    return self.err(format!("expected a positive integer after TOP, found {other}"))
+                }
+            };
+            let diverse = if *self.peek() == TokenKind::Diverse {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            (Some(k), diverse)
+        } else {
+            (None, false)
+        };
+        let asking = if *self.peek() == TokenKind::Asking {
+            self.bump();
+            match self.bump() {
+                TokenKind::Quoted(label) => Some(label),
+                other => {
+                    return self.err(format!(
+                        "expected a quoted profile label after ASKING, found {other}"
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        self.expect(TokenKind::Where)?;
+        let (where_patterns, _) = self.pattern_list(&[TokenKind::Satisfying])?;
+        self.expect(TokenKind::Satisfying)?;
+        let (patterns, more) =
+            self.pattern_list(&[TokenKind::With, TokenKind::Implying])?;
+        if patterns.is_empty() && !more {
+            return Err(QlError::Invalid("SATISFYING clause has no patterns".into()));
+        }
+        let implying = if *self.peek() == TokenKind::Implying {
+            self.bump();
+            let (imp, imp_more) = self.pattern_list(&[TokenKind::With])?;
+            if imp_more {
+                return Err(QlError::Invalid("MORE is not allowed in the IMPLYING clause".into()));
+            }
+            if imp.is_empty() {
+                return Err(QlError::Invalid("IMPLYING clause has no patterns".into()));
+            }
+            imp
+        } else {
+            Vec::new()
+        };
+        self.expect(TokenKind::With)?;
+        self.expect(TokenKind::Support)?;
+        self.expect(TokenKind::Eq)?;
+        let support_threshold = match self.bump() {
+            TokenKind::Number(x) => x,
+            other => return self.err(format!("expected a number, found {other}")),
+        };
+        if !(0.0..=1.0).contains(&support_threshold) {
+            return Err(QlError::Invalid(format!(
+                "support threshold {support_threshold} outside [0, 1]"
+            )));
+        }
+        let confidence_threshold = if *self.peek() == TokenKind::And {
+            self.bump();
+            self.expect(TokenKind::Confidence)?;
+            self.expect(TokenKind::Eq)?;
+            let c = match self.bump() {
+                TokenKind::Number(x) => x,
+                other => return self.err(format!("expected a number, found {other}")),
+            };
+            if !(0.0..=1.0).contains(&c) {
+                return Err(QlError::Invalid(format!(
+                    "confidence threshold {c} outside [0, 1]"
+                )));
+            }
+            Some(c)
+        } else {
+            None
+        };
+        if !implying.is_empty() && confidence_threshold.is_none() {
+            return Err(QlError::Invalid(
+                "IMPLYING requires an AND CONFIDENCE = … threshold".into(),
+            ));
+        }
+        if implying.is_empty() && confidence_threshold.is_some() {
+            return Err(QlError::Invalid(
+                "AND CONFIDENCE requires an IMPLYING clause".into(),
+            ));
+        }
+        if *self.peek() != TokenKind::Eof {
+            return self.err(format!("unexpected trailing {}", self.peek()));
+        }
+        Ok(Query {
+            select: SelectClause { format, all, top, diverse },
+            asking,
+            where_patterns,
+            satisfying: SatisfyingClause {
+                patterns,
+                more,
+                implying,
+                support_threshold,
+                confidence_threshold,
+            },
+        })
+    }
+
+    /// Parses a dot-separated pattern list until one of `stops` (or EOF).
+    /// Returns the patterns and whether a MORE item was seen.
+    fn pattern_list(
+        &mut self,
+        stops: &[TokenKind],
+    ) -> Result<(Vec<TriplePattern>, bool), QlError> {
+        let mut patterns = Vec::new();
+        let mut more = false;
+        loop {
+            if stops.contains(self.peek()) || *self.peek() == TokenKind::Eof {
+                break;
+            }
+            if *self.peek() == TokenKind::More {
+                self.bump();
+                more = true;
+            } else {
+                patterns.push(self.pattern()?);
+            }
+            if *self.peek() == TokenKind::Dot {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok((patterns, more))
+    }
+
+    fn pattern(&mut self) -> Result<TriplePattern, QlError> {
+        let subject = self.term()?;
+        let predicate = self.pred()?;
+        let object = self.term()?;
+        Ok(TriplePattern { subject, predicate, object })
+    }
+
+    fn term(&mut self) -> Result<Term, QlError> {
+        match self.bump() {
+            TokenKind::Var(name) => {
+                let mult = match self.peek() {
+                    TokenKind::Plus => {
+                        self.bump();
+                        Multiplicity::AtLeastOne
+                    }
+                    // `$y* doAt ...`: a star right after a variable is a
+                    // multiplicity only if another term follows (it cannot
+                    // be a path star, which attaches to relation names).
+                    TokenKind::Star => {
+                        self.bump();
+                        Multiplicity::Any
+                    }
+                    TokenKind::Question => {
+                        self.bump();
+                        Multiplicity::Optional
+                    }
+                    _ => Multiplicity::ExactlyOne,
+                };
+                Ok(Term::Var { name, mult })
+            }
+            TokenKind::Ident(name) => Ok(Term::Elem(name)),
+            TokenKind::Quoted(s) => Ok(Term::Literal(s)),
+            TokenKind::Blank => Ok(Term::Blank),
+            other => self.err(format!("expected a term, found {other}")),
+        }
+    }
+
+    fn pred(&mut self) -> Result<Pred, QlError> {
+        match self.bump() {
+            TokenKind::Var(name) => Ok(Pred::Var(name)),
+            TokenKind::Ident(name) | TokenKind::Quoted(name) => {
+                // A star after a relation name is always a path quantifier
+                // (multiplicities never attach to relations).
+                let star = if *self.peek() == TokenKind::Star {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                Ok(Pred::Rel { name, star })
+            }
+            other => self.err(format!("expected a relation, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG2: &str = r#"
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity.
+  $z instanceOf Restaurant.
+  $z nearBy $x
+SATISFYING
+  $y+ doAt $x.
+  [] eatAt $z.
+  MORE
+WITH SUPPORT = 0.4
+"#;
+
+    #[test]
+    fn parses_figure_2() {
+        let q = parse(FIG2).unwrap();
+        assert_eq!(q.select.format, OutputFormat::FactSets);
+        assert!(!q.select.all);
+        assert_eq!(q.where_patterns.len(), 7);
+        assert_eq!(q.satisfying.patterns.len(), 2);
+        assert!(q.satisfying.more);
+        assert_eq!(q.satisfying.support_threshold, 0.4);
+        // the subClassOf* path
+        assert_eq!(
+            q.where_patterns[0].predicate,
+            Pred::Rel { name: "subClassOf".into(), star: true }
+        );
+        // the multiplicity on $y
+        assert_eq!(
+            q.satisfying.patterns[0].subject,
+            Term::Var { name: "y".into(), mult: Multiplicity::AtLeastOne }
+        );
+        // the blank
+        assert_eq!(q.satisfying.patterns[1].subject, Term::Blank);
+    }
+
+    #[test]
+    fn roundtrip_figure_2() {
+        let q = parse(FIG2).unwrap();
+        let printed = q.to_string();
+        let q2 = parse(&printed).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn select_variables_all() {
+        let q = parse(
+            "SELECT VARIABLES ALL WHERE $x instanceOf Park SATISFYING $x doAt $x WITH SUPPORT = 0.1",
+        )
+        .unwrap();
+        assert_eq!(q.select.format, OutputFormat::Variables);
+        assert!(q.select.all);
+    }
+
+    #[test]
+    fn empty_where_is_allowed() {
+        // captures standard frequent itemset mining (Section 4.1):
+        // empty WHERE + `$x+ [] []`-style satisfying clause. With our
+        // grammar the wildcard relation is a relation variable.
+        let q = parse("SELECT FACT-SETS WHERE SATISFYING $x+ $p $v WITH SUPPORT = 0.3").unwrap();
+        assert!(q.where_patterns.is_empty());
+        assert_eq!(q.satisfying.patterns.len(), 1);
+    }
+
+    #[test]
+    fn star_multiplicity_on_variable() {
+        let q =
+            parse("SELECT FACT-SETS WHERE SATISFYING $u* rel $v WITH SUPPORT = 0.2").unwrap();
+        assert_eq!(
+            q.satisfying.patterns[0].subject,
+            Term::Var { name: "u".into(), mult: Multiplicity::Any }
+        );
+    }
+
+    #[test]
+    fn optional_multiplicity() {
+        let q = parse("SELECT FACT-SETS WHERE SATISFYING $u? rel $v WITH SUPPORT = 0.2").unwrap();
+        assert_eq!(
+            q.satisfying.patterns[0].subject,
+            Term::Var { name: "u".into(), mult: Multiplicity::Optional }
+        );
+    }
+
+    #[test]
+    fn missing_satisfying_rejected() {
+        let e = parse("SELECT FACT-SETS WHERE $x a b WITH SUPPORT = 0.4").unwrap_err();
+        assert!(matches!(e, QlError::Syntax { .. }), "{e}");
+    }
+
+    #[test]
+    fn empty_satisfying_rejected() {
+        let e = parse("SELECT FACT-SETS WHERE SATISFYING WITH SUPPORT = 0.4").unwrap_err();
+        assert!(matches!(e, QlError::Invalid(_)), "{e}");
+    }
+
+    #[test]
+    fn out_of_range_support_rejected() {
+        let e = parse("SELECT FACT-SETS WHERE SATISFYING $x r $y WITH SUPPORT = 1.5").unwrap_err();
+        assert!(matches!(e, QlError::Invalid(_)));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let e =
+            parse("SELECT FACT-SETS WHERE SATISFYING $x r $y WITH SUPPORT = 0.5 garbage").unwrap_err();
+        assert!(matches!(e, QlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse("SELECT NONSENSE").unwrap_err();
+        match e {
+            QlError::Syntax { line, col, .. } => {
+                assert_eq!(line, 1);
+                assert!(col >= 8);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quoted_element_names() {
+        let q = parse(
+            "SELECT FACT-SETS WHERE $x inside \"Tel Aviv\" SATISFYING $x r $x WITH SUPPORT = 0.2",
+        )
+        .unwrap();
+        assert_eq!(q.where_patterns[0].object, Term::Literal("Tel Aviv".into()));
+    }
+
+    #[test]
+    fn relation_variable() {
+        let q = parse("SELECT FACT-SETS WHERE $a $p $b SATISFYING $a $p $b WITH SUPPORT = 0.2")
+            .unwrap();
+        assert_eq!(q.where_patterns[0].predicate, Pred::Var("p".into()));
+    }
+
+    #[test]
+    fn integer_support_threshold() {
+        let q = parse("SELECT FACT-SETS WHERE SATISFYING $x r $y WITH SUPPORT = 1").unwrap();
+        assert_eq!(q.satisfying.support_threshold, 1.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! A compact square bit matrix used to store the reflexive–transitive
+//! closure of the vocabulary's specialization DAGs.
+
+/// A dense `n × n` bit matrix backed by `u64` words.
+///
+/// Row `i` stores the set of nodes reachable from node `i` (including `i`
+/// itself once the closure has been made reflexive). Membership tests are a
+/// single word load; row unions (the closure recurrence) are word-parallel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        BitMatrix { n, words_per_row, bits: vec![0; n * words_per_row] }
+    }
+
+    /// The dimension `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix has dimension zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets bit `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize) {
+        debug_assert!(row < self.n && col < self.n);
+        self.bits[row * self.words_per_row + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// Tests bit `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        debug_assert!(row < self.n && col < self.n);
+        self.bits[row * self.words_per_row + col / 64] & (1u64 << (col % 64)) != 0
+    }
+
+    /// ORs row `src` into row `dst` (`dst |= src`); used to propagate
+    /// reachability from a child to its parent.
+    pub fn or_row_into(&mut self, src: usize, dst: usize) {
+        debug_assert!(src < self.n && dst < self.n);
+        if src == dst {
+            return;
+        }
+        let w = self.words_per_row;
+        let (a, b) = (dst * w, src * w);
+        // Split borrows via `split_at_mut` to copy within the same buffer.
+        if a < b {
+            let (lo, hi) = self.bits.split_at_mut(b);
+            for i in 0..w {
+                lo[a + i] |= hi[i];
+            }
+        } else {
+            let (lo, hi) = self.bits.split_at_mut(a);
+            for i in 0..w {
+                hi[i] |= lo[b + i];
+            }
+        }
+    }
+
+    /// Number of set bits in row `row`.
+    pub fn row_count(&self, row: usize) -> usize {
+        let w = self.words_per_row;
+        self.bits[row * w..(row + 1) * w].iter().map(|x| x.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the column indices set in row `row`, in increasing order.
+    pub fn row_iter(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        let w = self.words_per_row;
+        let words = &self.bits[row * w..(row + 1) * w];
+        words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut word = word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = BitMatrix::new(130);
+        assert!(!m.get(0, 0));
+        m.set(0, 0);
+        m.set(5, 129);
+        m.set(129, 64);
+        assert!(m.get(0, 0));
+        assert!(m.get(5, 129));
+        assert!(m.get(129, 64));
+        assert!(!m.get(5, 128));
+        assert!(!m.get(64, 129));
+    }
+
+    #[test]
+    fn or_row_into_merges() {
+        let mut m = BitMatrix::new(70);
+        m.set(1, 3);
+        m.set(1, 69);
+        m.set(2, 7);
+        m.or_row_into(1, 2);
+        assert!(m.get(2, 3));
+        assert!(m.get(2, 7));
+        assert!(m.get(2, 69));
+        assert!(!m.get(1, 7)); // src untouched
+        // both directions of the internal split
+        m.or_row_into(2, 1);
+        assert!(m.get(1, 7));
+    }
+
+    #[test]
+    fn or_row_into_self_is_noop() {
+        let mut m = BitMatrix::new(8);
+        m.set(3, 4);
+        m.or_row_into(3, 3);
+        assert!(m.get(3, 4));
+        assert_eq!(m.row_count(3), 1);
+    }
+
+    #[test]
+    fn row_iter_yields_sorted_columns() {
+        let mut m = BitMatrix::new(200);
+        for c in [0usize, 1, 63, 64, 127, 128, 199] {
+            m.set(9, c);
+        }
+        let got: Vec<usize> = m.row_iter(9).collect();
+        assert_eq!(got, vec![0, 1, 63, 64, 127, 128, 199]);
+        assert_eq!(m.row_count(9), 7);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = BitMatrix::new(0);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+}

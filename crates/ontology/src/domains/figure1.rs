@@ -1,0 +1,253 @@
+//! The sample NYC ontology of the paper's Figure 1, together with the
+//! personal databases of Table 3 and the sample query of Figure 2.
+//!
+//! These are used throughout the test suite to check the worked examples
+//! (2.3–2.7, 3.1, 3.2, 4.2, 4.6, 5.2) verbatim.
+
+use crate::fact::FactSet;
+use crate::store::{Ontology, OntologyBuilder};
+
+/// The OASSIS-QL query of Figure 2: "Find popular combinations of an
+/// activity in a child-friendly attraction in NYC and a restaurant nearby
+/// (plus other relevant advice)".
+pub const SAMPLE_QUERY: &str = r#"
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity.
+  $z instanceOf Restaurant.
+  $z nearBy $x
+SATISFYING
+  $y+ doAt $x.
+  [] eatAt $z.
+  MORE
+WITH SUPPORT = 0.4
+"#;
+
+/// The grey-highlighted simplification used in Examples 4.2–4.6 and
+/// Figure 3: the query without the nearby restaurant and without MORE.
+pub const SIMPLE_QUERY: &str = r#"
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity
+SATISFYING
+  $y+ doAt $x
+WITH SUPPORT = 0.4
+"#;
+
+/// Builds the Figure 1 ontology.
+///
+/// Notes on the reconstruction:
+/// * `Feed a Monkey` is modelled as a subclass of `Activity` so that it is
+///   reachable by the query's `subClassOf*` path, matching Figure 3 where
+///   `(Bronx Zoo, Feed a Monkey)` is a valid assignment.
+/// * `Boathouse` and `Rent Bikes` are interned in the vocabulary but carry
+///   no universal facts, as observed in Example 2.4.
+/// * `nearBy ≤R inside` per the annotation at the bottom of Figure 1.
+pub fn ontology() -> Ontology {
+    let mut b = OntologyBuilder::new();
+
+    // Top of the taxonomy.
+    b.subclass("Place", "Thing");
+    b.subclass("Activity", "Thing");
+
+    // Places.
+    b.subclass("City", "Place");
+    b.subclass("Restaurant", "Place");
+    b.subclass("Attraction", "Place");
+    b.subclass("Outdoor", "Attraction");
+    b.subclass("Indoor", "Attraction");
+    b.subclass("Zoo", "Outdoor");
+    b.subclass("Park", "Outdoor");
+    b.subclass("Swimming Pool", "Indoor");
+
+    // Activities.
+    b.subclass("Sport", "Activity");
+    b.subclass("Food", "Activity");
+    b.subclass("Feed a Monkey", "Activity");
+    b.subclass("Water Sport", "Sport");
+    b.subclass("Biking", "Sport");
+    b.subclass("Ball Game", "Sport");
+    b.subclass("Basketball", "Ball Game");
+    b.subclass("Baseball", "Ball Game");
+    b.subclass("Swimming", "Water Sport");
+    b.subclass("Water Polo", "Water Sport");
+    b.subclass("Falafel", "Food");
+    b.subclass("Pasta", "Food");
+
+    // Instances.
+    b.instance("NYC", "City");
+    b.instance("Maoz Veg", "Restaurant");
+    b.instance("Pine", "Restaurant");
+    b.instance("Central Park", "Park");
+    b.instance("Madison Square", "Park");
+    b.instance("Bronx Zoo", "Zoo");
+
+    // Geography.
+    b.fact("Central Park", "inside", "NYC");
+    b.fact("Madison Square", "inside", "NYC");
+    b.fact("Bronx Zoo", "inside", "NYC");
+    b.fact("Maoz Veg", "nearBy", "Central Park");
+    b.fact("Maoz Veg", "nearBy", "Madison Square");
+    b.fact("Pine", "nearBy", "Bronx Zoo");
+    b.rel_specializes("nearBy", "inside");
+
+    // Labels.
+    b.label("Central Park", "child-friendly");
+    b.label("Bronx Zoo", "child-friendly");
+
+    // Vocabulary-only terms appearing in personal histories.
+    b.element("Boathouse");
+    b.element("Rent Bikes");
+    b.relation("doAt");
+    b.relation("eatAt");
+
+    b.build().expect("figure 1 ontology is acyclic")
+}
+
+/// The personal databases `D_u1` (six transactions) and `D_u2` (two
+/// transactions) of Table 3.
+pub fn personal_dbs(ont: &Ontology) -> [Vec<FactSet>; 2] {
+    let v = ont.vocab();
+    let f = |s: &str, r: &str, o: &str| {
+        v.fact(s, r, o).unwrap_or_else(|| panic!("missing term in {s} {r} {o}"))
+    };
+    let d_u1 = vec![
+        // T1
+        FactSet::from_iter([
+            f("Basketball", "doAt", "Central Park"),
+            f("Falafel", "eatAt", "Maoz Veg"),
+        ]),
+        // T2
+        FactSet::from_iter([f("Feed a Monkey", "doAt", "Bronx Zoo"), f("Pasta", "eatAt", "Pine")]),
+        // T3
+        FactSet::from_iter([
+            f("Biking", "doAt", "Central Park"),
+            f("Rent Bikes", "doAt", "Boathouse"),
+            f("Falafel", "eatAt", "Maoz Veg"),
+        ]),
+        // T4
+        FactSet::from_iter([
+            f("Baseball", "doAt", "Central Park"),
+            f("Biking", "doAt", "Central Park"),
+            f("Rent Bikes", "doAt", "Boathouse"),
+            f("Falafel", "eatAt", "Maoz Veg"),
+        ]),
+        // T5
+        FactSet::from_iter([f("Feed a Monkey", "doAt", "Bronx Zoo"), f("Pasta", "eatAt", "Pine")]),
+        // T6
+        FactSet::from_iter([f("Feed a Monkey", "doAt", "Bronx Zoo")]),
+    ];
+    let d_u2 = vec![
+        // T7
+        FactSet::from_iter([
+            f("Baseball", "doAt", "Central Park"),
+            f("Biking", "doAt", "Central Park"),
+            f("Rent Bikes", "doAt", "Boathouse"),
+            f("Falafel", "eatAt", "Maoz Veg"),
+        ]),
+        // T8
+        FactSet::from_iter([f("Feed a Monkey", "doAt", "Bronx Zoo"), f("Pasta", "eatAt", "Pine")]),
+    ];
+    [d_u1, d_u2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_has_expected_structure() {
+        let o = ontology();
+        let v = o.vocab();
+        assert!(v.elem_id("Central Park").is_some());
+        let attraction = v.elem_id("Attraction").unwrap();
+        let cp = v.elem_id("Central Park").unwrap();
+        assert!(v.elem_leq(attraction, cp));
+        let activity = v.elem_id("Activity").unwrap();
+        let baseball = v.elem_id("Baseball").unwrap();
+        assert!(v.elem_leq(activity, baseball));
+        // nearBy ≤R inside: CP inside NYC implies CP nearBy NYC.
+        assert!(o.implies(v.fact("Central Park", "nearBy", "NYC").unwrap()));
+    }
+
+    #[test]
+    fn example_2_7_support() {
+        // supp_u1({⟨Pasta, eatAt, Pine⟩, ⟨Activity, doAt, Bronx Zoo⟩}) = 2/6 = 1/3
+        let o = ontology();
+        let v = o.vocab();
+        let [d_u1, _] = personal_dbs(&o);
+        let a = FactSet::from_iter([
+            v.fact("Pasta", "eatAt", "Pine").unwrap(),
+            v.fact("Activity", "doAt", "Bronx Zoo").unwrap(),
+        ]);
+        let implied = d_u1.iter().filter(|t| a.leq(v, t)).count();
+        assert_eq!(implied, 2); // T2 and T5
+        assert_eq!(d_u1.len(), 6);
+    }
+
+    #[test]
+    fn table_3_shapes() {
+        let o = ontology();
+        let [d1, d2] = personal_dbs(&o);
+        assert_eq!(d1.len(), 6);
+        assert_eq!(d2.len(), 2);
+        assert_eq!(d1[3].len(), 4); // T4 has four facts
+        assert_eq!(d2[1].len(), 2); // T8 has two facts
+    }
+
+    #[test]
+    fn example_3_1_supports() {
+        // φ16(A_SAT) = {Biking doAt CP, [anything] eatAt Maoz} — here we
+        // check just the doAt part per the simplified (grey) query:
+        // supp_u1(Biking doAt CP) = 2/6 = 1/3, supp_u2 = 1/2, avg = 5/12.
+        let o = ontology();
+        let v = o.vocab();
+        let [d1, d2] = personal_dbs(&o);
+        let biking = FactSet::from_iter([v.fact("Biking", "doAt", "Central Park").unwrap()]);
+        let s1 = d1.iter().filter(|t| biking.leq(v, t)).count() as f64 / d1.len() as f64;
+        let s2 = d2.iter().filter(|t| biking.leq(v, t)).count() as f64 / d2.len() as f64;
+        assert!((s1 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s2 - 0.5).abs() < 1e-12);
+        assert!(((s1 + s2) / 2.0 - 5.0 / 12.0).abs() < 1e-12);
+        // φ20 maps y to Baseball: avg(1/6, 1/2) = 1/3.
+        let baseball = FactSet::from_iter([v.fact("Baseball", "doAt", "Central Park").unwrap()]);
+        let s1 = d1.iter().filter(|t| baseball.leq(v, t)).count() as f64 / d1.len() as f64;
+        let s2 = d2.iter().filter(|t| baseball.leq(v, t)).count() as f64 / d2.len() as f64;
+        assert!(((s1 + s2) / 2.0 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_3_2_more_fact_support() {
+        // φ16 extended with MORE fact ⟨Rent Bikes, doAt, Boathouse⟩ is
+        // implied by T3, T4 and T7 ⇒ average support 5/12.
+        let o = ontology();
+        let v = o.vocab();
+        let [d1, d2] = personal_dbs(&o);
+        let a = FactSet::from_iter([
+            v.fact("Biking", "doAt", "Central Park").unwrap(),
+            v.fact("Falafel", "eatAt", "Maoz Veg").unwrap(),
+            v.fact("Rent Bikes", "doAt", "Boathouse").unwrap(),
+        ]);
+        let n1 = d1.iter().filter(|t| a.leq(v, t)).count();
+        let n2 = d2.iter().filter(|t| a.leq(v, t)).count();
+        assert_eq!((n1, n2), (2, 1)); // T3, T4 and T7
+        let avg = (n1 as f64 / 6.0 + n2 as f64 / 2.0) / 2.0;
+        assert!((avg - 5.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn madison_square_is_not_child_friendly() {
+        let o = ontology();
+        let v = o.vocab();
+        let ms = v.elem_id("Madison Square").unwrap();
+        assert!(!o.has_label(ms, "child-friendly"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Deterministic generators for the three evaluation domains of
+//! Section 6.3 (travel, culinary, self-treatment).
+//!
+//! The paper ran these queries over a proprietary combination of WordNet,
+//! YAGO and Foursquare data; per the reproduction's substitution rule we
+//! generate ontologies whose **query assignment DAGs match the sizes the
+//! paper reports** ("the DAGs of the three queries contained 4773, 10512
+//! and 2307 nodes respectively (without multiplicities)"), since the
+//! mining-algorithm cost depends on DAG shape and ground-truth density, not
+//! on the ontology's vocabulary strings.
+//!
+//! Sizing: each query's satisfying clause uses variables whose valid value
+//! sets are ancestor-closed taxonomy trees (or instance layers below them),
+//! and the valid assignment set is a full product, so the expanded DAG size
+//! is the product of the per-variable closure sizes:
+//!
+//! * travel — 43 (30 labeled attraction instances + 12 classes + root) ×
+//!   37 (activity tree) × 3 (2 restaurants + class) = **4773** (paper: 4773);
+//! * culinary — 72 (dish tree) × 146 (drink tree) = **10512** (paper: 10512);
+//! * self-treatment — 42 (remedy tree) × 55 (symptom tree) = **2310**
+//!   (paper: 2307; 2307 = 3 × 769 has no balanced factorization, so this is
+//!   the closest product shape, 0.13% off).
+
+use crate::store::{Ontology, OntologyBuilder};
+
+/// Scale multiplier for the generated domains. `DomainScale::paper()` is
+/// calibrated to the DAG sizes reported in Section 6.3; smaller scales are
+/// useful in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainScale {
+    /// Divide every taxonomy size by roughly this factor (1 = paper scale).
+    pub shrink: usize,
+}
+
+impl DomainScale {
+    /// The calibrated paper-sized domains.
+    pub fn paper() -> Self {
+        DomainScale { shrink: 1 }
+    }
+
+    /// A small variant for fast tests (~hundreds of DAG nodes).
+    pub fn small() -> Self {
+        DomainScale { shrink: 4 }
+    }
+
+    fn scaled(&self, n: usize) -> usize {
+        (n / self.shrink).max(2)
+    }
+}
+
+/// A generated evaluation domain: ontology, OASSIS-QL query text and the
+/// expected size of the expanded assignment DAG (without multiplicities).
+#[derive(Debug, Clone)]
+pub struct GeneratedDomain {
+    /// Domain name ("travel", "culinary", "self-treatment").
+    pub name: &'static str,
+    /// The generated ontology.
+    pub ontology: Ontology,
+    /// OASSIS-QL source of the domain query.
+    pub query: String,
+    /// Expected expanded DAG size at multiplicity 1 (paper scale only).
+    pub expected_dag_nodes: usize,
+}
+
+/// Adds a rooted tree with exactly `total` class nodes (including the root)
+/// under `root`, using `subClassOf` facts. Children are attached in a
+/// `branching`-ary pattern, so depth ≈ log_branching(total). Returns the
+/// node names, root first, in creation order.
+fn class_tree(
+    b: &mut OntologyBuilder,
+    root: &str,
+    prefix: &str,
+    total: usize,
+    branching: usize,
+) -> Vec<String> {
+    assert!(total >= 1 && branching >= 1);
+    let mut names = Vec::with_capacity(total);
+    names.push(root.to_owned());
+    for i in 1..total {
+        let name = format!("{prefix}{i}");
+        let parent = names[(i - 1) / branching].clone();
+        b.subclass(&name, &parent);
+        names.push(name);
+    }
+    names
+}
+
+/// The travel-recommendation domain (the paper's running-example query
+/// adapted to Tel Aviv, Section 6.3). Instance-level query: `$x` and `$z`
+/// range over instances, so MSPs whose `x`/`z` generalized to a class are
+/// **not valid** — reproducing the "#valid < #MSPs" phenomenon of
+/// Figure 4a.
+pub fn travel(scale: DomainScale) -> GeneratedDomain {
+    let mut b = OntologyBuilder::new();
+    b.rel_specializes("nearBy", "inside");
+    b.relation("doAt");
+    b.relation("eatAt");
+
+    // Attractions: root + 12 classes + 30 labeled instances (43 closure).
+    let n_classes = scale.scaled(12);
+    let n_instances = scale.scaled(30);
+    let classes = class_tree(&mut b, "Attraction", "AttractionType", 1 + n_classes, 4);
+    b.instance("Tel Aviv", "City");
+    for i in 0..n_instances {
+        let name = format!("Attraction{}", i + 1);
+        // Attach to a class (skip the root so instances sit at depth ≥ 2).
+        let class = &classes[1 + (i % n_classes)];
+        b.instance(&name, class);
+        b.fact(&name, "inside", "Tel Aviv");
+        b.label(&name, "child-friendly");
+    }
+    // A few unlabeled attractions that never enter the DAG.
+    for i in 0..scale.scaled(6) {
+        let name = format!("DullAttraction{}", i + 1);
+        b.instance(&name, &classes[1]);
+        b.fact(&name, "inside", "Tel Aviv");
+    }
+
+    // Activities: 37-node class tree.
+    class_tree(&mut b, "Activity", "ActivityKind", scale.scaled(37), 3);
+
+    // Restaurants: class + 2 instances, each near every labeled attraction.
+    // (Restaurant is a standalone root: attaching it to a super-class would
+    // enlarge the generalization closure and hence the DAG.)
+    let n_rest = 2;
+    b.element("Restaurant");
+    for r in 0..n_rest {
+        let rname = format!("Restaurant{}", r + 1);
+        b.instance(&rname, "Restaurant");
+        for i in 0..n_instances {
+            b.fact(&rname, "nearBy", &format!("Attraction{}", i + 1));
+        }
+    }
+
+    // Vocabulary-only food terms for the `[] eatAt $z` meta-fact and for
+    // MORE tips (like `Boathouse` in Example 2.4, they carry no universal
+    // facts and never enter the DAG).
+    for i in 0..scale.scaled(6) {
+        b.element(&format!("Snack{}", i + 1));
+    }
+    b.element("Rent Gear");
+
+    let query = r#"
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside "Tel Aviv".
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity.
+  $z instanceOf Restaurant.
+  $z nearBy $x
+SATISFYING
+  $y+ doAt $x.
+  [] eatAt $z.
+  MORE
+WITH SUPPORT = 0.2
+"#
+    .trim()
+    .to_owned();
+
+    let expected = (1 + n_classes + n_instances) * scale.scaled(37) * (n_rest + 1);
+    GeneratedDomain { name: "travel", ontology: b.build().expect("acyclic"), query, expected_dag_nodes: expected }
+}
+
+/// The culinary-preferences domain: popular combinations of dishes and
+/// drinks. Class-level query (`$x`, `$y` bind to classes), so **all** MSPs
+/// are valid, matching footnote 7 for Figures 4b–4c.
+pub fn culinary(scale: DomainScale) -> GeneratedDomain {
+    let mut b = OntologyBuilder::new();
+    b.relation("servedWith");
+    class_tree(&mut b, "Dish", "DishKind", scale.scaled(72), 3);
+    class_tree(&mut b, "Drink", "DrinkKind", scale.scaled(146), 3);
+
+    let query = r#"
+SELECT FACT-SETS
+WHERE
+  $x subClassOf* Dish.
+  $y subClassOf* Drink
+SATISFYING
+  $x+ servedWith $y
+WITH SUPPORT = 0.2
+"#
+    .trim()
+    .to_owned();
+
+    let expected = scale.scaled(72) * scale.scaled(146);
+    GeneratedDomain { name: "culinary", ontology: b.build().expect("acyclic"), query, expected_dag_nodes: expected }
+}
+
+/// The self-treatment domain: what crowd members take to relieve common
+/// symptoms. Class-level, the smallest of the three DAGs.
+pub fn self_treatment(scale: DomainScale) -> GeneratedDomain {
+    let mut b = OntologyBuilder::new();
+    b.relation("takenFor");
+    class_tree(&mut b, "Remedy", "RemedyKind", scale.scaled(42), 3);
+    class_tree(&mut b, "Symptom", "SymptomKind", scale.scaled(55), 3);
+
+    let query = r#"
+SELECT FACT-SETS
+WHERE
+  $x subClassOf* Remedy.
+  $y subClassOf* Symptom
+SATISFYING
+  $x takenFor $y
+WITH SUPPORT = 0.2
+"#
+    .trim()
+    .to_owned();
+
+    let expected = scale.scaled(42) * scale.scaled(55);
+    GeneratedDomain {
+        name: "self-treatment",
+        ontology: b.build().expect("acyclic"),
+        query,
+        expected_dag_nodes: expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn travel_builds_at_paper_scale() {
+        let d = travel(DomainScale::paper());
+        assert_eq!(d.expected_dag_nodes, 4773);
+        let v = d.ontology.vocab();
+        assert!(v.elem_id("Attraction30").is_some());
+        assert!(v.elem_id("Restaurant2").is_some());
+        // every labeled attraction has both restaurants nearby
+        let near = v.rel_id("nearBy").unwrap();
+        assert_eq!(d.ontology.facts_with_rel(near).len(), 60);
+        assert_eq!(d.ontology.elems_with_label("child-friendly").len(), 30);
+    }
+
+    #[test]
+    fn culinary_and_selftreatment_sizes() {
+        assert_eq!(culinary(DomainScale::paper()).expected_dag_nodes, 10512);
+        assert_eq!(self_treatment(DomainScale::paper()).expected_dag_nodes, 2310);
+    }
+
+    #[test]
+    fn small_scale_builds() {
+        for d in [
+            travel(DomainScale::small()),
+            culinary(DomainScale::small()),
+            self_treatment(DomainScale::small()),
+        ] {
+            assert!(d.ontology.vocab().num_elems() > 4, "{} too small", d.name);
+            assert!(d.query.contains("SATISFYING"));
+        }
+    }
+
+    #[test]
+    fn class_tree_depth_is_logarithmic() {
+        let mut b = OntologyBuilder::new();
+        let names = class_tree(&mut b, "Root", "N", 40, 3);
+        assert_eq!(names.len(), 40);
+        let o = b.build().unwrap();
+        let v = o.vocab();
+        let root = v.elem_id("Root").unwrap();
+        // every node reachable from root
+        assert_eq!(v.elem_descendant_count(root), 40);
+        // depth: walk longest chain
+        fn depth(v: &crate::Vocabulary, e: crate::ElemId) -> usize {
+            v.elem_children(e).iter().map(|&c| 1 + depth(v, c)).max().unwrap_or(0)
+        }
+        let d = depth(v, root);
+        assert!((3..=5).contains(&d), "depth {d}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Ready-made ontologies: the paper's Figure 1, and deterministic
+//! generators for the three evaluation domains of Section 6.3.
+
+pub mod figure1;
+mod gen;
+
+pub use gen::{culinary, self_treatment, travel, DomainScale, GeneratedDomain};

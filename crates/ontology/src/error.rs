@@ -1,0 +1,42 @@
+//! Error type for vocabulary/ontology construction.
+
+use std::fmt;
+
+/// Errors raised while building a [`Vocabulary`](crate::Vocabulary) or an
+/// [`Ontology`](crate::Ontology).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OntologyError {
+    /// The element specialization graph contains a cycle (the partial order
+    /// `≤E` of Definition 2.1 would not be antisymmetric).
+    ElementCycle {
+        /// Name of an element on the cycle.
+        on: String,
+    },
+    /// The relation specialization graph contains a cycle.
+    RelationCycle {
+        /// Name of a relation on the cycle.
+        on: String,
+    },
+    /// A name was used both where an element and where a relation is
+    /// expected in a way the builder cannot disambiguate.
+    UnknownName {
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OntologyError::ElementCycle { on } => {
+                write!(f, "element order ≤E contains a cycle through {on:?}")
+            }
+            OntologyError::RelationCycle { on } => {
+                write!(f, "relation order ≤R contains a cycle through {on:?}")
+            }
+            OntologyError::UnknownName { name } => write!(f, "unknown name {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for OntologyError {}

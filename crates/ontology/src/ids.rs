@@ -1,0 +1,46 @@
+//! Dense interned identifiers for vocabulary terms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an element name in a [`Vocabulary`](crate::Vocabulary).
+///
+/// Elements are nouns ("Place", "NYC") or actions ("Biking"). Ids are dense
+/// indices assigned in interning order, which makes them usable directly as
+/// array/bitset offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ElemId(pub u32);
+
+/// Identifier of a relation name in a [`Vocabulary`](crate::Vocabulary).
+///
+/// Relations are terms such as `inside`, `nearBy`, `doAt` or `eatAt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelId(pub u32);
+
+impl ElemId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ElemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}

@@ -1,0 +1,239 @@
+//! JSON import/export of ontologies.
+//!
+//! The paper's prototype keeps its ontology "in RDF format" on disk; this
+//! module provides the equivalent persistence for the reproduction: a
+//! self-contained, versioned snapshot that round-trips the vocabulary
+//! (names + both order relations), the universal facts and the labels.
+
+use crate::fact::FactSet;
+use crate::ids::{ElemId, RelId};
+use crate::store::{Ontology, OntologyBuilder};
+use crate::OntologyError;
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of an [`Ontology`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct OntologySnapshot {
+    /// Format version (currently 1).
+    pub version: u32,
+    /// Element names, in id order.
+    pub elements: Vec<String>,
+    /// Relation names, in id order.
+    pub relations: Vec<String>,
+    /// Immediate `≤E` edges as `(general, specific)` element ids.
+    pub elem_edges: Vec<(u32, u32)>,
+    /// Immediate `≤R` edges as `(general, specific)` relation ids.
+    pub rel_edges: Vec<(u32, u32)>,
+    /// Universal facts as `(subject, relation, object)` ids.
+    pub facts: Vec<(u32, u32, u32)>,
+    /// Element labels.
+    pub labels: Vec<(u32, String)>,
+}
+
+/// Errors raised when restoring a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The JSON was malformed.
+    Json(serde_json::Error),
+    /// An id in the snapshot is out of range.
+    BadId(u32),
+    /// The reconstructed orders are cyclic (corrupt snapshot).
+    Ontology(OntologyError),
+    /// Unsupported snapshot version.
+    Version(u32),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Json(e) => write!(f, "malformed snapshot JSON: {e}"),
+            SnapshotError::BadId(id) => write!(f, "snapshot id {id} out of range"),
+            SnapshotError::Ontology(e) => write!(f, "corrupt snapshot: {e}"),
+            SnapshotError::Version(v) => write!(f, "unsupported snapshot version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl Ontology {
+    /// Captures a self-contained snapshot.
+    pub fn snapshot(&self) -> OntologySnapshot {
+        let v = self.vocab();
+        let elements: Vec<String> =
+            v.elems().map(|e| v.elem_name(e).to_owned()).collect();
+        let relations: Vec<String> = v.rels().map(|r| v.rel_name(r).to_owned()).collect();
+        let mut elem_edges = Vec::new();
+        for e in v.elems() {
+            for &c in v.elem_children(e) {
+                elem_edges.push((e.0, c.0));
+            }
+        }
+        let mut rel_edges = Vec::new();
+        for r in v.rels() {
+            for &c in v.rel_children(r) {
+                rel_edges.push((r.0, c.0));
+            }
+        }
+        let facts: Vec<(u32, u32, u32)> =
+            self.facts().iter().map(|f| (f.subject.0, f.rel.0, f.object.0)).collect();
+        let mut labels = Vec::new();
+        for e in v.elems() {
+            for l in self.labels_of(e) {
+                labels.push((e.0, l.to_owned()));
+            }
+        }
+        OntologySnapshot {
+            version: 1,
+            elements,
+            relations,
+            elem_edges,
+            rel_edges,
+            facts,
+            labels,
+        }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.snapshot()).expect("snapshot serializes")
+    }
+
+    /// Restores an ontology from a snapshot. Element/relation ids are
+    /// re-interned in order, so ids remain stable across the round trip.
+    pub fn from_snapshot(s: &OntologySnapshot) -> Result<Ontology, SnapshotError> {
+        if s.version != 1 {
+            return Err(SnapshotError::Version(s.version));
+        }
+        let ne = s.elements.len() as u32;
+        let nr = s.relations.len() as u32;
+        let check_e = |id: u32| if id < ne { Ok(()) } else { Err(SnapshotError::BadId(id)) };
+        let check_r = |id: u32| if id < nr { Ok(()) } else { Err(SnapshotError::BadId(id)) };
+
+        let mut b = OntologyBuilder::new();
+        // Relation ids 0/1 are subClassOf/instanceOf in builder order; a
+        // snapshot from this crate has the same layout, but re-intern by
+        // name to stay robust against foreign snapshots.
+        let rel_ids: Vec<RelId> = s.relations.iter().map(|n| b.relation(n)).collect();
+        let elem_ids: Vec<ElemId> = s.elements.iter().map(|n| b.element(n)).collect();
+        for &(g, sp) in &s.elem_edges {
+            check_e(g)?;
+            check_e(sp)?;
+            b.vocab_mut().elem_edge(elem_ids[g as usize], elem_ids[sp as usize]);
+        }
+        for &(g, sp) in &s.rel_edges {
+            check_r(g)?;
+            check_r(sp)?;
+            b.vocab_mut().rel_edge(rel_ids[g as usize], rel_ids[sp as usize]);
+        }
+        for &(su, r, o) in &s.facts {
+            check_e(su)?;
+            check_r(r)?;
+            check_e(o)?;
+            // edges were captured explicitly, so bypass the builder's
+            // order-defining fact handling by adding raw facts
+            b.raw_fact(elem_ids[su as usize], rel_ids[r as usize], elem_ids[o as usize]);
+        }
+        for (e, l) in &s.labels {
+            check_e(*e)?;
+            b.label_id(elem_ids[*e as usize], l);
+        }
+        b.build().map_err(SnapshotError::Ontology)
+    }
+
+    /// Restores from JSON.
+    pub fn from_json(json: &str) -> Result<Ontology, SnapshotError> {
+        let snapshot: OntologySnapshot =
+            serde_json::from_str(json).map_err(SnapshotError::Json)?;
+        Ontology::from_snapshot(&snapshot)
+    }
+}
+
+/// Helper used by the round trip to compare semantics, not representation.
+pub fn semantically_equal(a: &Ontology, b: &Ontology) -> bool {
+    let (va, vb) = (a.vocab(), b.vocab());
+    if va.num_elems() != vb.num_elems() || va.num_rels() != vb.num_rels() {
+        return false;
+    }
+    for e in va.elems() {
+        if va.elem_name(e) != vb.elem_name(e) {
+            return false;
+        }
+    }
+    for e in va.elems() {
+        for f in va.elems() {
+            if va.elem_leq(e, f) != vb.elem_leq(e, f) {
+                return false;
+            }
+        }
+    }
+    let fa: FactSet = a.facts().clone();
+    let fb: FactSet = b.facts().clone();
+    fa == fb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::figure1;
+    use crate::synth::{random_ontology, SynthConfig};
+
+    #[test]
+    fn figure1_roundtrips() {
+        let ont = figure1::ontology();
+        let json = ont.to_json();
+        let back = Ontology::from_json(&json).unwrap();
+        assert!(semantically_equal(&ont, &back));
+        // labels survive
+        let cp = back.vocab().elem_id("Central Park").unwrap();
+        assert!(back.has_label(cp, "child-friendly"));
+        // vocabulary-only elements survive
+        assert!(back.vocab().elem_id("Boathouse").is_some());
+        // implication still works (nearBy ≤R inside)
+        let f = back.vocab().fact("Central Park", "nearBy", "NYC").unwrap();
+        assert!(back.implies(f));
+    }
+
+    #[test]
+    fn random_ontologies_roundtrip() {
+        for seed in 0..5 {
+            let ont = random_ontology(SynthConfig { seed, elems: 80, ..Default::default() });
+            let back = Ontology::from_json(&ont.to_json()).unwrap();
+            assert!(semantically_equal(&ont, &back), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bad_ids_are_rejected() {
+        let ont = figure1::ontology();
+        let mut snap = ont.snapshot();
+        snap.facts.push((9999, 0, 0));
+        assert!(matches!(Ontology::from_snapshot(&snap), Err(SnapshotError::BadId(9999))));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let ont = figure1::ontology();
+        let mut snap = ont.snapshot();
+        snap.version = 2;
+        assert!(matches!(Ontology::from_snapshot(&snap), Err(SnapshotError::Version(2))));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(matches!(Ontology::from_json("{not json"), Err(SnapshotError::Json(_))));
+    }
+
+    #[test]
+    fn corrupt_cycle_is_rejected() {
+        let ont = figure1::ontology();
+        let mut snap = ont.snapshot();
+        // add a back edge creating a ≤E cycle
+        let (g, s) = snap.elem_edges[0];
+        snap.elem_edges.push((s, g));
+        assert!(matches!(
+            Ontology::from_snapshot(&snap),
+            Err(SnapshotError::Ontology(OntologyError::ElementCycle { .. }))
+        ));
+    }
+}

@@ -1,0 +1,120 @@
+//! Random vocabulary/ontology generation, used by property tests and
+//! micro-benchmarks.
+
+use crate::store::{Ontology, OntologyBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_ontology`].
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Number of elements (≥ 1); element 0 is the root.
+    pub elems: usize,
+    /// Number of non-built-in relations (≥ 1).
+    pub rels: usize,
+    /// Probability that an element gets a second parent (DAG, not tree).
+    pub dag_prob: f64,
+    /// Number of random non-taxonomy facts.
+    pub facts: usize,
+    /// RNG seed (everything is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig { elems: 50, rels: 4, dag_prob: 0.1, facts: 40, seed: 0 }
+    }
+}
+
+/// Generates a random ontology: a rooted element DAG connected by
+/// `subClassOf`, a relation chain `r0 ≤R r1 ≤R …`, and random facts.
+pub fn random_ontology(cfg: SynthConfig) -> Ontology {
+    assert!(cfg.elems >= 1 && cfg.rels >= 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = OntologyBuilder::new();
+    let name = |i: usize| format!("E{i}");
+    b.element(&name(0));
+    for i in 1..cfg.elems {
+        let parent = rng.gen_range(0..i);
+        b.subclass(&name(i), &name(parent));
+        if rng.gen_bool(cfg.dag_prob) {
+            let second = rng.gen_range(0..i);
+            if second != parent {
+                b.subclass(&name(i), &name(second));
+            }
+        }
+    }
+    let rel = |i: usize| format!("R{i}");
+    b.relation(&rel(0));
+    for i in 1..cfg.rels {
+        // chain: R(i-1) is more general than R(i)
+        b.rel_specializes(&rel(i - 1), &rel(i));
+    }
+    for _ in 0..cfg.facts {
+        let s = rng.gen_range(0..cfg.elems);
+        let o = rng.gen_range(0..cfg.elems);
+        let r = rng.gen_range(0..cfg.rels);
+        b.fact(&name(s), &rel(r), &name(o));
+    }
+    b.build().expect("generated taxonomy is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = random_ontology(SynthConfig::default());
+        let b = random_ontology(SynthConfig::default());
+        assert_eq!(a.facts(), b.facts());
+        assert_eq!(a.vocab().num_elems(), b.vocab().num_elems());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_ontology(SynthConfig { seed: 1, ..Default::default() });
+        let b = random_ontology(SynthConfig { seed: 2, ..Default::default() });
+        assert_ne!(a.facts(), b.facts());
+    }
+
+    #[test]
+    fn root_reaches_everything() {
+        let o = random_ontology(SynthConfig { elems: 200, ..Default::default() });
+        let v = o.vocab();
+        let root = v.elem_id("E0").unwrap();
+        assert_eq!(v.elem_descendant_count(root), 200);
+    }
+
+    #[test]
+    fn relation_chain_is_ordered() {
+        let o = random_ontology(SynthConfig { rels: 5, ..Default::default() });
+        let v = o.vocab();
+        let r0 = v.rel_id("R0").unwrap();
+        let r4 = v.rel_id("R4").unwrap();
+        assert!(v.rel_leq(r0, r4));
+        assert!(!v.rel_leq(r4, r0));
+    }
+
+    #[test]
+    fn leq_partial_order_laws_on_random_instance() {
+        // reflexivity + transitivity + antisymmetry spot-check
+        let o = random_ontology(SynthConfig { elems: 60, dag_prob: 0.3, seed: 7, ..Default::default() });
+        let v = o.vocab();
+        for a in v.elems() {
+            assert!(v.elem_leq(a, a));
+        }
+        for a in v.elems() {
+            for b in v.elems() {
+                if a != b && v.elem_leq(a, b) {
+                    assert!(!v.elem_leq(b, a), "antisymmetry violated");
+                }
+                for c in v.elems() {
+                    if v.elem_leq(a, b) && v.elem_leq(b, c) {
+                        assert!(v.elem_leq(a, c), "transitivity violated");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Empirical check of the crowd-complexity bound of Proposition 4.7:
+//! the vertical algorithm asks `O((|E|+|R|)·|msp| + |msp⁻|)` questions,
+//! where `msp⁻` is the negative border (the minimal insignificant
+//! assignments).
+
+use oassis::core::synth::{
+    ground_truth_classes, plant_msps, synthetic_domain, MspDistribution, PlantedOracle,
+};
+use oassis::core::{run_vertical, Dag, MiningConfig};
+use oassis::prelude::*;
+
+fn negative_border(dag: &oassis::core::Dag<'_>, classes: &std::collections::HashMap<oassis::core::NodeId, bool>) -> usize {
+    dag.node_ids()
+        .filter(|&id| {
+            !classes[&id]
+                && dag.node(id).parents().iter().all(|p| classes[p])
+                && !dag.node(id).parents().is_empty()
+        })
+        .count()
+        // roots that are themselves insignificant are also border elements
+        + dag
+            .roots()
+            .iter()
+            .filter(|&&r| !classes[&r])
+            .count()
+}
+
+#[test]
+fn question_count_respects_proposition_4_7() {
+    for (width, depth, msps, seed) in
+        [(80, 5, 4, 1u64), (150, 6, 8, 2), (150, 6, 15, 3), (250, 7, 10, 4)]
+    {
+        let d = synthetic_domain(width, depth, 0);
+        let q = parse(&d.query).unwrap();
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+
+        let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        full.materialize_all();
+        let planted = plant_msps(&mut full, msps, true, MspDistribution::Uniform, seed);
+        let patterns: Vec<PatternSet> =
+            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let oracle_ref = PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 1, 0);
+        let classes = ground_truth_classes(&full, &oracle_ref);
+        let n_msp = planted.len();
+        let n_border = negative_border(&full, &classes);
+
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns, 1, 0);
+        let out = run_vertical(&mut dag, &mut oracle, MemberId(0), &MiningConfig::default());
+        assert!(out.complete);
+
+        let e_plus_r =
+            d.ontology.vocab().num_elems() + d.ontology.vocab().num_rels();
+        let bound = e_plus_r * n_msp + n_border;
+        assert!(
+            out.questions <= bound,
+            "questions {} exceed the O((|E|+|R|)·|msp| + |msp⁻|) bound {} \
+             (|E|+|R| = {e_plus_r}, |msp| = {n_msp}, |msp⁻| = {n_border})",
+            out.questions,
+            bound
+        );
+        // and the bound is not vacuous: the algorithm beats asking about
+        // every node
+        assert!(out.questions < full.len());
+    }
+}
+
+#[test]
+fn question_count_grows_with_msp_count_like_figure_5() {
+    // More MSPs ⇒ more questions (the trend behind Figures 5a–5c).
+    let d = synthetic_domain(200, 6, 0);
+    let q = parse(&d.query).unwrap();
+    let b = bind(&q, &d.ontology).unwrap();
+    let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+    let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+    let total = full.materialize_all();
+
+    let mut last = 0usize;
+    let mut counts = Vec::new();
+    for pct in [2usize, 5, 10] {
+        let k = (total * pct) / 100;
+        let planted = plant_msps(&mut full, k, true, MspDistribution::Uniform, 9);
+        let patterns: Vec<PatternSet> =
+            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns, 1, 0);
+        let out = run_vertical(&mut dag, &mut oracle, MemberId(0), &MiningConfig::default());
+        assert!(out.complete);
+        counts.push((pct, out.questions));
+        last = out.questions;
+    }
+    assert!(counts[0].1 < counts[2].1, "2% {} vs 10% {}: {:?}", counts[0].1, last, counts);
+}

@@ -1,0 +1,50 @@
+//! Cross-crate test: the full multi-user mining engine running over
+//! concurrent crowd sessions (crowd::parallel), and agreement with the
+//! sequential crowd.
+
+use oassis::crowd::with_parallel_crowd;
+use oassis::ontology::domains::figure1;
+use oassis::prelude::*;
+
+fn members(ont: &Ontology) -> Vec<SimulatedMember> {
+    let [d1, d2] = figure1::personal_dbs(ont);
+    let mut tx = d1;
+    for _ in 0..3 {
+        tx.extend(d2.iter().cloned());
+    }
+    (0..4)
+        .map(|i| {
+            SimulatedMember::new(
+                PersonalDb::from_transactions(tx.clone()),
+                MemberBehavior::default(),
+                AnswerModel::Exact,
+                i,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn engine_results_identical_on_parallel_and_sequential_crowds() {
+    let ont = figure1::ontology();
+    let engine = Oassis::new(&ont);
+    let agg = FixedSampleAggregator { sample_size: 4 };
+    let cfg = MiningConfig::default();
+
+    let mut seq = SimulatedCrowd::new(ont.vocab(), members(&ont));
+    let seq_ans = engine.execute(figure1::SIMPLE_QUERY, &mut seq, &agg, &cfg).unwrap();
+
+    let (par_ans, returned) = with_parallel_crowd(ont.vocab(), members(&ont), |crowd| {
+        engine.execute(figure1::SIMPLE_QUERY, crowd, &agg, &cfg).unwrap()
+    });
+
+    let mut a = seq_ans.answers.clone();
+    let mut b = par_ans.answers.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    assert_eq!(seq_ans.outcome.mining.questions, par_ans.outcome.mining.questions);
+    assert!(par_ans.outcome.mining.complete);
+    // every member worked
+    assert!(returned.iter().all(|m| m.questions_answered() > 0));
+}

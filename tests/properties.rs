@@ -1,0 +1,324 @@
+//! Property-based tests (proptest) on the core invariants:
+//! partial-order laws, inference soundness (Observation 4.4), algorithm
+//! agreement with brute force, parser round-trips, and the lazy/eager DAG
+//! equivalence.
+
+use oassis::core::synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle};
+use oassis::core::{run_horizontal, run_naive, run_vertical, Dag, MiningConfig};
+use oassis::prelude::*;
+use oassis::ql::ast::{
+    Multiplicity, OutputFormat, Pred, Query, SatisfyingClause, SelectClause, Term, TriplePattern,
+};
+use ontology::synth::{random_ontology, SynthConfig};
+use proptest::prelude::*;
+
+// ---------- vocabulary / fact order laws over random ontologies ----------
+
+fn arb_synth() -> impl Strategy<Value = SynthConfig> {
+    (5usize..40, 1usize..4, 0.0f64..0.4, 0usize..30, any::<u64>()).prop_map(
+        |(elems, rels, dag_prob, facts, seed)| SynthConfig { elems, rels, dag_prob, facts, seed },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn elem_order_is_a_partial_order(cfg in arb_synth()) {
+        let ont = random_ontology(cfg);
+        let v = ont.vocab();
+        let elems: Vec<_> = v.elems().collect();
+        for &a in &elems {
+            prop_assert!(v.elem_leq(a, a));
+        }
+        for &a in &elems {
+            for &b in &elems {
+                if a != b && v.elem_leq(a, b) {
+                    prop_assert!(!v.elem_leq(b, a), "antisymmetry");
+                }
+            }
+        }
+        // transitivity on sampled triples
+        for (i, &a) in elems.iter().enumerate() {
+            for &b in elems.iter().skip(i % 3).step_by(3) {
+                for &c in elems.iter().step_by(4) {
+                    if v.elem_leq(a, b) && v.elem_leq(b, c) {
+                        prop_assert!(v.elem_leq(a, c), "transitivity");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fact_order_respects_component_order(cfg in arb_synth()) {
+        let ont = random_ontology(cfg);
+        let v = ont.vocab();
+        let facts: Vec<Fact> = ont.facts().iter().collect();
+        for &f in facts.iter().take(12) {
+            for &g in facts.iter().take(12) {
+                let leq = v.fact_leq(f, g);
+                let manual = v.elem_leq(f.subject, g.subject)
+                    && v.rel_leq(f.rel, g.rel)
+                    && v.elem_leq(f.object, g.object);
+                prop_assert_eq!(leq, manual);
+            }
+        }
+    }
+
+    #[test]
+    fn factset_order_is_reflexive_and_transitive(cfg in arb_synth()) {
+        let ont = random_ontology(cfg);
+        let v = ont.vocab();
+        let all: Vec<Fact> = ont.facts().iter().collect();
+        if all.len() < 3 {
+            return Ok(());
+        }
+        let sets: Vec<FactSet> = (0..all.len().min(8))
+            .map(|i| FactSet::from_iter(all.iter().copied().skip(i).take(3)))
+            .collect();
+        for s in &sets {
+            prop_assert!(s.leq(v, s));
+        }
+        for a in &sets {
+            for b in &sets {
+                for c in &sets {
+                    if a.leq(v, b) && b.leq(v, c) {
+                        prop_assert!(a.leq(v, c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn support_is_antitone_in_the_pattern_order(cfg in arb_synth(), seed in any::<u64>()) {
+        // if A ≤ B (A more general) then supp(A) ≥ supp(B) in every DB
+        let ont = random_ontology(cfg);
+        let v = ont.vocab();
+        let facts: Vec<Fact> = ont.facts().iter().collect();
+        if facts.len() < 4 {
+            return Ok(());
+        }
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tx: Vec<FactSet> = (0..10)
+            .map(|_| {
+                FactSet::from_iter(
+                    (0..3).map(|_| facts[rng.gen_range(0..facts.len())]),
+                )
+            })
+            .collect();
+        let db = PersonalDb::from_transactions(tx);
+        // generalize a random fact along one parent step
+        let f = facts[rng.gen_range(0..facts.len())];
+        let parents = v.elem_parents(f.subject);
+        if let Some(&p) = parents.first() {
+            let spec = PatternSet::from_facts([f]);
+            let gen = PatternSet::from_facts([Fact::new(p, f.rel, f.object)]);
+            prop_assert!(gen.leq(v, &spec));
+            prop_assert!(db.support(v, &gen) >= db.support(v, &spec));
+        }
+    }
+}
+
+// ---------- parser round-trip over generated ASTs ----------
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FACT-SETS", "VARIABLES", "ALL", "TOP", "DIVERSE", "WHERE", "SATISFYING",
+    "IMPLYING", "MORE", "WITH", "SUPPORT", "AND", "CONFIDENCE",
+];
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,6}".prop_filter("not a keyword", |s| !KEYWORDS.contains(&s.as_str()))
+}
+
+fn arb_term(sat: bool) -> impl Strategy<Value = Term> {
+    let mult = if sat {
+        prop_oneof![
+            Just(Multiplicity::ExactlyOne),
+            Just(Multiplicity::AtLeastOne),
+            Just(Multiplicity::Any),
+            Just(Multiplicity::Optional),
+        ]
+        .boxed()
+    } else {
+        Just(Multiplicity::ExactlyOne).boxed()
+    };
+    prop_oneof![
+        ("[a-z]{1,4}".prop_map(|s| s), mult).prop_map(|(name, mult)| Term::Var { name, mult }),
+        arb_name().prop_map(Term::Elem),
+        "[A-Za-z ]{1,8}".prop_map(Term::Literal),
+        Just(Term::Blank),
+    ]
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    prop_oneof![
+        (arb_name(), any::<bool>()).prop_map(|(name, star)| Pred::Rel { name, star }),
+        "[a-z]{1,4}".prop_map(Pred::Var),
+    ]
+}
+
+fn arb_pattern(sat: bool) -> impl Strategy<Value = TriplePattern> {
+    (arb_term(sat), arb_pred(), arb_term(sat))
+        .prop_map(|(subject, predicate, object)| TriplePattern { subject, predicate, object })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        prop_oneof![Just(OutputFormat::FactSets), Just(OutputFormat::Variables)],
+        any::<bool>(),
+        prop::collection::vec(arb_pattern(false), 0..5),
+        prop::collection::vec(arb_pattern(true), 1..4),
+        any::<bool>(),
+        (0u32..=100).prop_map(|x| x as f64 / 100.0),
+        // extensions: TOP k [DIVERSE], IMPLYING … AND CONFIDENCE, ASKING
+        proptest::option::of((1usize..50, any::<bool>())),
+        proptest::option::of((
+            prop::collection::vec(arb_pattern(true), 1..3),
+            (0u32..=100).prop_map(|x| x as f64 / 100.0),
+        )),
+        proptest::option::of("[A-Za-z][A-Za-z ]{0,10}"),
+    )
+        .prop_map(
+            |(format, all, where_patterns, patterns, more, support_threshold, top, implying, asking)| {
+                let (top, diverse) = match top {
+                    Some((k, d)) => (Some(k), d),
+                    None => (None, false),
+                };
+                let (implying, confidence_threshold) = match implying {
+                    Some((imp, c)) => (imp, Some(c)),
+                    None => (Vec::new(), None),
+                };
+                Query {
+                    select: SelectClause { format, all, top, diverse },
+                    asking,
+                    where_patterns,
+                    satisfying: SatisfyingClause {
+                        patterns,
+                        more,
+                        implying,
+                        support_threshold,
+                        confidence_threshold,
+                    },
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(q in arb_query()) {
+        let printed = q.to_string();
+        let reparsed = oassis::ql::parse(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n--- source ---\n{printed}")))?;
+        prop_assert_eq!(q, reparsed, "\n--- source ---\n{}", printed);
+    }
+}
+
+// ---------- algorithm agreement with brute force ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn vertical_output_equals_true_msps(
+        width in 20usize..80,
+        depth in 3usize..6,
+        msp_count in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let d = synthetic_domain(width, depth, 0);
+        let q = oassis::ql::parse(&d.query).unwrap();
+        let b = oassis::ql::bind(&q, &d.ontology).unwrap();
+        let base = oassis::ql::evaluate_where(&b, &d.ontology, MatchMode::Exact);
+
+        let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        full.materialize_all();
+        let planted = plant_msps(&mut full, msp_count, true, MspDistribution::Uniform, seed);
+        prop_assume!(!planted.is_empty());
+        let patterns: Vec<PatternSet> =
+            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+
+        // brute-force truth
+        let oracle_ref = PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 1, 0);
+        let truth: std::collections::BTreeSet<String> =
+            oassis::core::synth::true_msps(&mut full, &oracle_ref)
+                .into_iter()
+                .map(|id| full.node(id).assignment.apply(&b).to_display(d.ontology.vocab()))
+                .collect();
+
+        // vertical, lazily
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 1, 0);
+        let out = run_vertical(&mut dag, &mut oracle, MemberId(0), &MiningConfig::default());
+        prop_assert!(out.complete);
+        let got: std::collections::BTreeSet<String> = out
+            .msps
+            .iter()
+            .map(|m| m.apply(&b).to_display(d.ontology.vocab()))
+            .collect();
+        prop_assert_eq!(&got, &truth);
+
+        // horizontal and naive agree too
+        let mut dag_h = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        dag_h.materialize_all();
+        let mut oracle_h = PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 1, 0);
+        let out_h = run_horizontal(&mut dag_h, &mut oracle_h, MemberId(0), &MiningConfig::default());
+        let got_h: std::collections::BTreeSet<String> = out_h
+            .msps
+            .iter()
+            .map(|m| m.apply(&b).to_display(d.ontology.vocab()))
+            .collect();
+        prop_assert_eq!(&got_h, &truth);
+
+        let mut dag_n = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        dag_n.materialize_all();
+        let mut oracle_n = PlantedOracle::new(d.ontology.vocab(), patterns, 1, 0);
+        let out_n = run_naive(&mut dag_n, &mut oracle_n, MemberId(0), &MiningConfig::default());
+        let got_n: std::collections::BTreeSet<String> = out_n
+            .msps
+            .iter()
+            .map(|m| m.apply(&b).to_display(d.ontology.vocab()))
+            .collect();
+        prop_assert_eq!(&got_n, &truth);
+    }
+
+    #[test]
+    fn inference_never_misclassifies(
+        width in 20usize..60,
+        depth in 3usize..5,
+        msp_count in 1usize..6,
+        seed in any::<u64>(),
+        spec_ratio in 0.0f64..1.0,
+        pruning in 0.0f64..0.6,
+    ) {
+        // After a vertical run with any mix of specialization questions
+        // and pruning clicks, every classification matches ground truth.
+        let d = synthetic_domain(width, depth, 0);
+        let q = oassis::ql::parse(&d.query).unwrap();
+        let b = oassis::ql::bind(&q, &d.ontology).unwrap();
+        let base = oassis::ql::evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        full.materialize_all();
+        let planted = plant_msps(&mut full, msp_count, true, MspDistribution::Uniform, seed);
+        prop_assume!(!planted.is_empty());
+        let patterns: Vec<PatternSet> =
+            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 1, seed);
+        oracle.pruning_prob = pruning;
+        let cfg = MiningConfig { specialization_ratio: spec_ratio, seed, ..Default::default() };
+        let out = run_vertical(&mut dag, &mut oracle, MemberId(0), &cfg);
+        prop_assert!(out.complete);
+        // every reported MSP is truly significant and truly maximal
+        let truth_oracle = PlantedOracle::new(d.ontology.vocab(), patterns, 1, 0);
+        for m in &out.msps {
+            let p = m.apply(&b);
+            prop_assert!(truth_oracle.is_significant(&p), "false positive MSP");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Robustness of the query-language front end: the parser never panics on
+//! arbitrary input, and WHERE evaluation on the generated domains produces
+//! exactly the product-structured valid sets DESIGN.md §4 predicts.
+
+use oassis::ontology::domains::{culinary, self_treatment, travel, DomainScale};
+use oassis::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in ".{0,200}") {
+        let _ = parse(&src); // Ok or Err, never a panic
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_shaped_input(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_owned()),
+                Just("FACT-SETS".to_owned()),
+                Just("WHERE".to_owned()),
+                Just("SATISFYING".to_owned()),
+                Just("WITH".to_owned()),
+                Just("SUPPORT".to_owned()),
+                Just("MORE".to_owned()),
+                Just("IMPLYING".to_owned()),
+                Just("TOP".to_owned()),
+                Just("ASKING".to_owned()),
+                Just("=".to_owned()),
+                Just(".".to_owned()),
+                Just("[]".to_owned()),
+                Just("0.4".to_owned()),
+                Just("$x".to_owned()),
+                Just("doAt".to_owned()),
+                Just("\"x y\"".to_owned()),
+                Just("+".to_owned()),
+                Just("*".to_owned()),
+            ],
+            0..30,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse(&src);
+    }
+}
+
+#[test]
+fn travel_where_matches_design_product() {
+    let d = travel(DomainScale::paper());
+    let b = {
+        let q = parse(&d.query).unwrap();
+        bind(&q, &d.ontology).unwrap()
+    };
+    let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+    // valid base assignments = 30 attractions × 37 activities × 2
+    // restaurants (w is determined by x)
+    assert_eq!(base.len(), 30 * 37 * 2);
+    // every x is a labeled instance
+    let x = b.var_by_name("x").unwrap();
+    for a in &base {
+        let e = a.get(x).unwrap().as_elem().unwrap();
+        assert!(d.ontology.has_label(e, "child-friendly"));
+    }
+}
+
+#[test]
+fn class_level_domains_are_full_products() {
+    let c = culinary(DomainScale::paper());
+    let b = {
+        let q = parse(&c.query).unwrap();
+        bind(&q, &c.ontology).unwrap()
+    };
+    assert_eq!(evaluate_where(&b, &c.ontology, MatchMode::Exact).len(), 72 * 146);
+
+    let s = self_treatment(DomainScale::paper());
+    let b = {
+        let q = parse(&s.query).unwrap();
+        bind(&q, &s.ontology).unwrap()
+    };
+    assert_eq!(evaluate_where(&b, &s.ontology, MatchMode::Exact).len(), 42 * 55);
+}
+
+#[test]
+fn binder_rejects_every_structural_violation() {
+    let ont = travel(DomainScale::small()).ontology;
+    let reject = |src: &str| {
+        let parsed = parse(src);
+        match parsed {
+            Err(_) => {} // parse-level rejection is fine too
+            Ok(q) => assert!(bind(&q, &ont).is_err(), "accepted: {src}"),
+        }
+    };
+    reject("SELECT FACT-SETS WHERE $x+ instanceOf Restaurant SATISFYING $x doAt $x WITH SUPPORT = 0.2");
+    reject("SELECT FACT-SETS WHERE $x hasLabel Attraction SATISFYING $x doAt $x WITH SUPPORT = 0.2");
+    reject("SELECT FACT-SETS WHERE SATISFYING $x hasLabel \"y\" WITH SUPPORT = 0.2");
+    reject("SELECT FACT-SETS WHERE $x nosuchrel $y SATISFYING $x doAt $y WITH SUPPORT = 0.2");
+    reject("SELECT FACT-SETS WHERE $x instanceOf NoSuchElement SATISFYING $x doAt $x WITH SUPPORT = 0.2");
+    reject("SELECT FACT-SETS WHERE $p instanceOf Restaurant SATISFYING NYC $p NYC WITH SUPPORT = 0.2");
+}
