@@ -1,0 +1,255 @@
+//! `bench_speed` — the repo's perf-trajectory harness.
+//!
+//! Times the three Section-6.3 domain experiments (E1 travel, E2 culinary,
+//! E3 self-treatment, all at paper scale with the standard 248-member
+//! crowd) plus the Figure-5 synthetic strategy workloads, and writes
+//! `BENCH_speed.json` at the workspace root.
+//!
+//! The file keeps **two** sets of numbers: `baseline` (recorded the first
+//! time the harness runs, and kept verbatim afterwards) and `current`
+//! (overwritten on every run), along with the per-workload speedup and an
+//! outcome digest. The digest folds every mining outcome the workload
+//! produces (question counts, MSP sets, event streams), so a speedup is
+//! only trustworthy when the digests also match — optimizations must not
+//! change what the miner asks or concludes.
+//!
+//! Usage: `cargo bench --bench bench_speed` (add `--release` implicitly);
+//! to restart the trajectory, delete `BENCH_speed.json` and rerun.
+
+use bench::{bind_domain, run_domain_at};
+use oassis_core::synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle};
+use oassis_core::{run_horizontal, run_naive, run_vertical, Dag, MiningConfig};
+use oassis_ql::{bind, evaluate_where, parse, MatchMode};
+use ontology::domains::{culinary, self_treatment, travel, DomainScale};
+use ontology::json::{self, Json};
+use std::time::Instant;
+
+/// One timed workload: wall-clock plus an outcome digest.
+struct Timing {
+    name: &'static str,
+    wall_s: f64,
+    questions: usize,
+    msps: usize,
+    digest: u64,
+}
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn fnv_usize(h: &mut u64, v: usize) {
+    fnv(h, &(v as u64).to_le_bytes());
+}
+
+fn domain_workloads() -> Vec<Timing> {
+    let domains = [
+        ("E1_travel", travel(DomainScale::paper()), 12usize),
+        ("E2_culinary", culinary(DomainScale::paper()), 10),
+        ("E3_self_treatment", self_treatment(DomainScale::paper()), 6),
+    ];
+    let mut out = Vec::new();
+    for (name, domain, habits) in domains {
+        let bound = bind_domain(&domain);
+        let mut cache = oassis_core::CrowdCache::new();
+        let start = Instant::now();
+        let run = run_domain_at(
+            &domain,
+            &bound,
+            &domain.ontology,
+            &mut cache,
+            0.2,
+            248,
+            habits,
+            7,
+        );
+        let wall_s = start.elapsed().as_secs_f64();
+
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        fnv_usize(&mut digest, run.questions);
+        fnv_usize(&mut digest, run.msps);
+        fnv_usize(&mut digest, run.valid_msps);
+        fnv_usize(&mut digest, run.undecided);
+        fnv_usize(&mut digest, run.total_valid);
+        fnv_usize(&mut digest, run.nodes_materialized);
+        fnv_usize(&mut digest, usize::from(run.complete));
+        for e in &run.outcome_events {
+            fnv_usize(&mut digest, e.question);
+            fnv(&mut digest, format!("{:?}", e.kind).as_bytes());
+        }
+        println!(
+            "{name:<20} {wall_s:>8.2}s  questions={} msps={} digest={digest:016x}",
+            run.questions, run.msps
+        );
+        out.push(Timing {
+            name,
+            wall_s,
+            questions: run.questions,
+            msps: run.msps,
+            digest,
+        });
+    }
+    out
+}
+
+fn fig5_workloads() -> Vec<Timing> {
+    let d = synthetic_domain(500, 7, 0);
+    let q = parse(&d.query).unwrap();
+    let b = bind(&q, &d.ontology).unwrap();
+    let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+    let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+    let total = full.materialize_all();
+
+    let mut out = Vec::new();
+    for (name, algo) in [
+        ("fig5_vertical", 0usize),
+        ("fig5_horizontal", 1),
+        ("fig5_naive", 2),
+    ] {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let mut questions = 0usize;
+        let mut msps = 0usize;
+        let start = Instant::now();
+        for trial in 0..3u64 {
+            let n_msps = total * 5 / 100;
+            let planted = plant_msps(
+                &mut full,
+                n_msps,
+                true,
+                MspDistribution::Uniform,
+                5000 + trial,
+            );
+            let patterns: Vec<_> = planted
+                .iter()
+                .map(|&id| full.node(id).assignment.apply(&b))
+                .collect();
+            let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+            let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns, 1, trial);
+            let cfg = MiningConfig {
+                seed: trial,
+                ..Default::default()
+            };
+            let run = match algo {
+                0 => run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &cfg),
+                1 => {
+                    dag.materialize_all();
+                    run_horizontal(&mut dag, &mut oracle, crowd::MemberId(0), &cfg)
+                }
+                _ => {
+                    dag.materialize_all();
+                    run_naive(&mut dag, &mut oracle, crowd::MemberId(0), &cfg)
+                }
+            };
+            questions += run.questions;
+            msps += run.msps.len();
+            fnv_usize(&mut digest, run.questions);
+            fnv_usize(&mut digest, run.msps.len());
+            for e in &run.events {
+                fnv_usize(&mut digest, e.question);
+                fnv(&mut digest, format!("{:?}", e.kind).as_bytes());
+            }
+        }
+        let wall_s = start.elapsed().as_secs_f64();
+        println!(
+            "{name:<20} {wall_s:>8.2}s  questions={questions} msps={msps} digest={digest:016x}"
+        );
+        out.push(Timing {
+            name,
+            wall_s,
+            questions,
+            msps,
+            digest,
+        });
+    }
+    out
+}
+
+fn timings_to_json(timings: &[Timing]) -> Json {
+    Json::Obj(
+        timings
+            .iter()
+            .map(|t| {
+                (
+                    t.name.to_owned(),
+                    Json::Obj(vec![
+                        ("wall_s".into(), Json::Num((t.wall_s * 1e3).round() / 1e3)),
+                        ("questions".into(), Json::Num(t.questions as f64)),
+                        ("msps".into(), Json::Num(t.msps as f64)),
+                        ("digest".into(), Json::Str(format!("{:016x}", t.digest))),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn main() {
+    let mut timings = domain_workloads();
+    timings.extend(fig5_workloads());
+
+    let path = workspace_root().join("BENCH_speed.json");
+    let previous = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| json::parse(&s).ok());
+    let baseline = previous
+        .as_ref()
+        .and_then(|doc| doc.field("baseline").ok().cloned());
+    let current = timings_to_json(&timings);
+    let baseline = baseline.unwrap_or_else(|| {
+        println!("(no existing baseline — recording this run as the baseline)");
+        current.clone()
+    });
+
+    let mut speedups = Vec::new();
+    for t in &timings {
+        if let Ok(base) = baseline.field(t.name) {
+            let base_wall = base
+                .field("wall_s")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(f64::NAN);
+            let base_digest = base
+                .field("digest")
+                .ok()
+                .and_then(|v| v.as_str().ok().map(str::to_owned));
+            let speedup = base_wall / t.wall_s;
+            let same = base_digest.as_deref() == Some(&format!("{:016x}", t.digest));
+            println!(
+                "{:<20} speedup vs baseline: {speedup:.2}x  outcomes {}",
+                t.name,
+                if same {
+                    "identical"
+                } else {
+                    "DIFFER — speedup not comparable!"
+                }
+            );
+            speedups.push((
+                t.name.to_owned(),
+                Json::Obj(vec![
+                    (
+                        "speedup".into(),
+                        Json::Num((speedup * 100.0).round() / 100.0),
+                    ),
+                    ("outcomes_identical".into(), Json::Bool(same)),
+                ]),
+            ));
+        }
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Num(1.0)),
+        ("baseline".into(), baseline),
+        ("current".into(), current),
+        ("speedup_vs_baseline".into(), Json::Obj(speedups)),
+    ]);
+    std::fs::write(&path, format!("{doc}\n")).expect("write BENCH_speed.json");
+    println!("wrote {}", path.display());
+}

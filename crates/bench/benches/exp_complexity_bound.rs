@@ -24,9 +24,13 @@ fn negative_border(dag: &Dag<'_>, classes: &HashMap<NodeId, bool>) -> usize {
 
 fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
-    for (width, depth, pct) in
-        [(200usize, 5usize, 2usize), (500, 7, 2), (500, 7, 5), (500, 7, 10), (1000, 6, 5)]
-    {
+    for (width, depth, pct) in [
+        (200usize, 5usize, 2usize),
+        (500, 7, 2),
+        (500, 7, 5),
+        (500, 7, 10),
+        (1000, 6, 5),
+    ] {
         let d = synthetic_domain(width, depth, 0);
         let q = parse(&d.query).unwrap();
         let b = bind(&q, &d.ontology).unwrap();
@@ -35,16 +39,22 @@ fn main() {
         let total = full.materialize_all();
         let n_msps = (total * pct) / 100;
         let planted = plant_msps(&mut full, n_msps, true, MspDistribution::Uniform, 3);
-        let patterns: Vec<_> =
-            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let patterns: Vec<_> = planted
+            .iter()
+            .map(|&id| full.node(id).assignment.apply(&b))
+            .collect();
         let oracle_ref = PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 1, 0);
         let classes = ground_truth_classes(&full, &oracle_ref);
         let border = negative_border(&full, &classes);
 
         let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
         let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns, 1, 0);
-        let out =
-            run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &MiningConfig::default());
+        let out = run_vertical(
+            &mut dag,
+            &mut oracle,
+            crowd::MemberId(0),
+            &MiningConfig::default(),
+        );
         assert!(out.complete);
 
         let e_plus_r = d.ontology.vocab().num_elems() + d.ontology.vocab().num_rels();
@@ -70,7 +80,16 @@ fn main() {
     );
     write_csv(
         "exp_complexity_bound",
-        &["dag", "nodes", "msp", "msp_minus", "questions", "lower", "upper", "ratio"],
+        &[
+            "dag",
+            "nodes",
+            "msp",
+            "msp_minus",
+            "questions",
+            "lower",
+            "upper",
+            "ratio",
+        ],
         &rows,
     );
 }

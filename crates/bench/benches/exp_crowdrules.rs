@@ -26,8 +26,14 @@ fn setup(seed: u64, theta_s: f64, theta_c: f64) -> (SimulatedRuleCrowd, Vec<Asso
         (iset(&[6, 7, 8]), 0.4),
         (iset(&[9, 10]), 0.1), // below threshold
     ];
-    let cfg =
-        SimConfig { members: 200, items: 40, habits, answer_noise: 0.03, seed, ..Default::default() };
+    let cfg = SimConfig {
+        members: 200,
+        items: 40,
+        habits,
+        answer_noise: 0.03,
+        seed,
+        ..Default::default()
+    };
     let crowd = SimulatedRuleCrowd::generate(&cfg);
     let mut truth = Vec::new();
     for a in 0u32..=10 {
@@ -107,5 +113,9 @@ fn main() {
         &["strategy", "questions", "precision", "recall"],
         &rows,
     );
-    write_csv("exp_crowdrules", &["strategy", "questions", "precision", "recall"], &rows);
+    write_csv(
+        "exp_crowdrules",
+        &["strategy", "questions", "precision", "recall"],
+        &rows,
+    );
 }

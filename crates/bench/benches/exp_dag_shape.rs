@@ -36,19 +36,22 @@ fn main() {
                     MspDistribution::Uniform,
                     depth as u64 * 100 + trial,
                 );
-                let patterns: Vec<_> =
-                    planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
-                let cfg = MiningConfig { seed: trial, ..Default::default() };
+                let patterns: Vec<_> = planted
+                    .iter()
+                    .map(|&id| full.node(id).assignment.apply(&b))
+                    .collect();
+                let cfg = MiningConfig {
+                    seed: trial,
+                    ..Default::default()
+                };
 
                 let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
-                let mut oracle =
-                    PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 1, trial);
+                let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 1, trial);
                 let out_v = run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &cfg);
                 v_total += out_v.questions;
                 v20.push(questions_at_percentiles(&out_v.events, true, &[20]));
 
-                let mut dag_h =
-                    Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+                let mut dag_h = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
                 dag_h.materialize_all();
                 let mut oracle_h = PlantedOracle::new(d.ontology.vocab(), patterns, 1, trial);
                 let out_h = run_horizontal(&mut dag_h, &mut oracle_h, crowd::MemberId(0), &cfg);
@@ -68,12 +71,26 @@ fn main() {
     }
     print_table(
         "Section 6.4 — DAG shape sweep (5% MSPs; trends should stay flat)",
-        &["width", "depth", "nodes", "MSPs", "questions/MSP (vertical)", "vertical/horizontal @20%"],
+        &[
+            "width",
+            "depth",
+            "nodes",
+            "MSPs",
+            "questions/MSP (vertical)",
+            "vertical/horizontal @20%",
+        ],
         &rows,
     );
     write_csv(
         "exp_dag_shape",
-        &["width", "depth", "nodes", "msps", "questions_per_msp", "v_over_h_at20"],
+        &[
+            "width",
+            "depth",
+            "nodes",
+            "msps",
+            "questions_per_msp",
+            "v_over_h_at20",
+        ],
         &rows,
     );
 }

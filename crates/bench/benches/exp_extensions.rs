@@ -31,23 +31,37 @@ fn main() {
         for trial in 0..trials {
             let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
             let total = full.materialize_all();
-            let planted =
-                plant_msps(&mut full, total / 40, true, MspDistribution::Uniform, 11 + trial);
-            let patterns: Vec<_> =
-                planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+            let planted = plant_msps(
+                &mut full,
+                total / 40,
+                true,
+                MspDistribution::Uniform,
+                11 + trial,
+            );
+            let patterns: Vec<_> = planted
+                .iter()
+                .map(|&id| full.node(id).assignment.apply(&b))
+                .collect();
             let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
             let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns, 1, trial);
             let out = run_vertical(
                 &mut dag,
                 &mut oracle,
                 crowd::MemberId(0),
-                &MiningConfig { seed: trial, ..Default::default() },
+                &MiningConfig {
+                    seed: trial,
+                    ..Default::default()
+                },
             );
             questions += out.questions;
             found += out.valid_msps.len();
         }
         rows.push(vec![
-            if k == 0 { "full".to_owned() } else { format!("TOP {k}") },
+            if k == 0 {
+                "full".to_owned()
+            } else {
+                format!("TOP {k}")
+            },
             format!("{:.1}", found as f64 / trials as f64),
             format!("{:.0}", questions as f64 / trials as f64),
         ]);

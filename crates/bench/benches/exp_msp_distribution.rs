@@ -30,15 +30,20 @@ fn main() {
             let mut found = 0usize;
             for trial in 0..6u64 {
                 let planted = plant_msps(&mut full, n_msps, among_valid, dist, 500 + trial);
-                let patterns: Vec<_> =
-                    planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+                let patterns: Vec<_> = planted
+                    .iter()
+                    .map(|&id| full.node(id).assignment.apply(&b))
+                    .collect();
                 let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
                 let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns, 1, trial);
                 let out = run_vertical(
                     &mut dag,
                     &mut oracle,
                     crowd::MemberId(0),
-                    &MiningConfig { seed: trial, ..Default::default() },
+                    &MiningConfig {
+                        seed: trial,
+                        ..Default::default()
+                    },
                 );
                 assert!(out.complete);
                 questions += out.questions;
@@ -46,7 +51,12 @@ fn main() {
             }
             rows.push(vec![
                 dist_name.to_owned(),
-                if among_valid { "valid only" } else { "anywhere" }.to_owned(),
+                if among_valid {
+                    "valid only"
+                } else {
+                    "anywhere"
+                }
+                .to_owned(),
                 format!("{:.0}", questions as f64 / 6.0),
                 format!("{:.1}", found as f64 / 6.0),
                 format!("{:.1}", questions as f64 / found.max(1) as f64),
@@ -55,12 +65,24 @@ fn main() {
     }
     print_table(
         "Section 6.4 — MSP placement distribution (expect flat questions/MSP)",
-        &["distribution", "candidates", "avg questions", "avg MSPs", "questions/MSP"],
+        &[
+            "distribution",
+            "candidates",
+            "avg questions",
+            "avg MSPs",
+            "questions/MSP",
+        ],
         &rows,
     );
     write_csv(
         "exp_msp_distribution",
-        &["distribution", "candidates", "avg_questions", "avg_msps", "questions_per_msp"],
+        &[
+            "distribution",
+            "candidates",
+            "avg_questions",
+            "avg_msps",
+            "questions_per_msp",
+        ],
         &rows,
     );
 }

@@ -83,9 +83,7 @@ fn main() {
     };
     let anti = antichain_counts(vocab, x_root, 4);
     // eager node count when generating every multiplicity node up to size k
-    let eager_up_to = |k: usize| -> f64 {
-        (2..=k).map(|i| anti[i]).sum::<f64>() * y_total as f64
-    };
+    let eager_up_to = |k: usize| -> f64 { (2..=k).map(|i| anti[i]).sum::<f64>() * y_total as f64 };
     println!(
         "eager generator would enumerate {:.3e} (size ≤2) / {:.3e} (≤3) / {:.3e} (≤4) multiplicity nodes ({} y-values)",
         eager_up_to(2), eager_up_to(3), eager_up_to(4), y_total
@@ -101,13 +99,24 @@ fn main() {
         for trial in 0..trials {
             let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
             full.materialize_all();
-            let planted =
-                plant_msps(&mut full, base_msps, true, MspDistribution::Uniform, 70 + trial);
+            let planted = plant_msps(
+                &mut full,
+                base_msps,
+                true,
+                MspDistribution::Uniform,
+                70 + trial,
+            );
             // widen a share of them to multiplicity `size` (on the
             // materialized skeleton, which owns the planted node ids)
             let n_widened = (total * mult_pct) / 100;
-            let widened =
-                widen_msps(&mut full, &planted, n_widened.min(planted.len()), size, Slot(0), trial);
+            let widened = widen_msps(
+                &mut full,
+                &planted,
+                n_widened.min(planted.len()),
+                size,
+                Slot(0),
+                trial,
+            );
             let replaced: std::collections::HashSet<_> =
                 widened.iter().map(|&(orig, _)| orig).collect();
             let mut patterns: Vec<_> = planted
@@ -116,7 +125,9 @@ fn main() {
                 .map(|&id| full.node(id).assignment.apply(&b))
                 .collect();
             patterns.extend(
-                widened.iter().map(|&(_, wide)| full.node(wide).assignment.apply(&b)),
+                widened
+                    .iter()
+                    .map(|&(_, wide)| full.node(wide).assignment.apply(&b)),
             );
             let n_planted = patterns.len();
             let mut dag = Dag::new(&b, d.ontology.vocab(), &base);
@@ -125,7 +136,10 @@ fn main() {
                 &mut dag,
                 &mut oracle,
                 crowd::MemberId(0),
-                &MiningConfig { seed: trial, ..Default::default() },
+                &MiningConfig {
+                    seed: trial,
+                    ..Default::default()
+                },
             );
             assert!(out.complete);
             questions += out.questions;
@@ -144,7 +158,10 @@ fn main() {
             size.to_string(),
             format!("{:.1}", msps_found as f64 / trials as f64),
             format!("{:.0}", questions as f64 / trials as f64),
-            format!("{:.2}", questions as f64 / trials as f64 / (msps_found as f64 / trials as f64)),
+            format!(
+                "{:.2}",
+                questions as f64 / trials as f64 / (msps_found as f64 / trials as f64)
+            ),
             format!("{:.0}", lazy_avg),
             format!("{:.4}%", 100.0 * lazy_avg / eager),
         ]);
@@ -156,7 +173,15 @@ fn main() {
     );
     write_csv(
         "exp_multiplicities",
-        &["mult_pct", "size", "avg_msps", "avg_questions", "q_per_msp", "lazy_mult_nodes", "pct_of_eager"],
+        &[
+            "mult_pct",
+            "size",
+            "avg_msps",
+            "avg_questions",
+            "q_per_msp",
+            "lazy_mult_nodes",
+            "pct_of_eager",
+        ],
         &rows,
     );
 }

@@ -74,15 +74,28 @@ fn main() {
                     dag_nodes.to_string(),
                     run.questions.to_string(),
                     run.msps.to_string(),
-                    format!("{:.0}%", 100.0 * (qs.specialization + qs.none_of_these) as f64 / total as f64),
+                    format!(
+                        "{:.0}%",
+                        100.0 * (qs.specialization + qs.none_of_these) as f64 / total as f64
+                    ),
                     format!("{:.0}%", 100.0 * qs.none_of_these as f64 / total as f64),
                     format!("{:.0}%", 100.0 * qs.pruning as f64 / total as f64),
                 ]);
             }
         }
         print_table(
-            &format!("Figure 4 ({}) — crowd statistics per threshold", domain.name),
-            &["Θ", "#MSPs", "#valid", "#questions", "baseline%", "complete"],
+            &format!(
+                "Figure 4 ({}) — crowd statistics per threshold",
+                domain.name
+            ),
+            &[
+                "Θ",
+                "#MSPs",
+                "#valid",
+                "#questions",
+                "baseline%",
+                "complete",
+            ],
             &rows,
         );
         write_csv(
@@ -109,7 +122,15 @@ fn main() {
     );
     write_csv(
         "fig4_domain_summary",
-        &["domain", "dag_nodes", "questions", "msps", "spec_pct", "none_pct", "pruning_pct"],
+        &[
+            "domain",
+            "dag_nodes",
+            "questions",
+            "msps",
+            "spec_pct",
+            "none_pct",
+            "pruning_pct",
+        ],
         &summary_rows,
     );
 }

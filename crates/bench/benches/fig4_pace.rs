@@ -20,8 +20,16 @@ fn main() {
     ] {
         let bound = bind_domain(&domain);
         let mut cache = oassis_core::CrowdCache::new();
-        let run =
-            run_domain_at(&domain, &bound, &domain.ontology, &mut cache, 0.2, 248, habits, 7);
+        let run = run_domain_at(
+            &domain,
+            &bound,
+            &domain.ontology,
+            &mut cache,
+            0.2,
+            248,
+            habits,
+            7,
+        );
         println!(
             "\n### {} at Θ=0.2: {} questions, {} MSPs ({} valid), {} valid assignments",
             domain.name, run.questions, run.msps, run.valid_msps, run.total_valid
@@ -64,7 +72,12 @@ fn main() {
             rows.push(row);
         }
         let headers: Vec<&str> = if has_invalid {
-            vec!["% discovered", "classified assign.", "valid MSPs", "all MSPs"]
+            vec![
+                "% discovered",
+                "classified assign.",
+                "valid MSPs",
+                "all MSPs",
+            ]
         } else {
             vec!["% discovered", "classified assign.", "all MSPs"]
         };
@@ -79,7 +92,10 @@ fn main() {
         );
         write_csv(
             &format!("fig4_pace_{}", domain.name.replace('-', "_")),
-            &headers.iter().map(|h| h.replace(' ', "_")).collect::<Vec<_>>(),
+            &headers
+                .iter()
+                .map(|h| h.replace(' ', "_"))
+                .collect::<Vec<_>>(),
             &rows,
         );
 

@@ -22,7 +22,9 @@ fn main() {
     let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
     let total = full.materialize_all();
     let n_msps = total / 80; // ≈1.2% as observed in the crowd experiments
-    println!("synthetic DAG: {total} nodes (width ≈ 500, depth 7), planting {n_msps} MSPs, 6 trials");
+    println!(
+        "synthetic DAG: {total} nodes (width ≈ 500, depth 7), planting {n_msps} MSPs, 6 trials"
+    );
 
     let percents: Vec<usize> = (1..=10).map(|i| i * 10).collect();
     let configs: [(&str, f64, f64); 6] = [
@@ -40,10 +42,17 @@ fn main() {
         let mut per_trial: Vec<Vec<Option<usize>>> = Vec::new();
         let mut totals = 0usize;
         for trial in 0..6u64 {
-            let planted =
-                plant_msps(&mut full, n_msps, true, MspDistribution::Uniform, 100 + trial);
-            let patterns: Vec<_> =
-                planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+            let planted = plant_msps(
+                &mut full,
+                n_msps,
+                true,
+                MspDistribution::Uniform,
+                100 + trial,
+            );
+            let patterns: Vec<_> = planted
+                .iter()
+                .map(|&id| full.node(id).assignment.apply(&b))
+                .collect();
             let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
             let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns, 1, trial);
             oracle.pruning_prob = pruning;

@@ -40,12 +40,16 @@ fn main() {
                     MspDistribution::Uniform,
                     1000 * pct as u64 + trial,
                 );
-                let patterns: Vec<_> =
-                    planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
-                let mut dag =
-                    Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+                let patterns: Vec<_> = planted
+                    .iter()
+                    .map(|&id| full.node(id).assignment.apply(&b))
+                    .collect();
+                let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
                 let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns, 1, trial);
-                let cfg = MiningConfig { seed: trial, ..Default::default() };
+                let cfg = MiningConfig {
+                    seed: trial,
+                    ..Default::default()
+                };
                 let out = match algo {
                     "vertical" => run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &cfg),
                     "horizontal" => {

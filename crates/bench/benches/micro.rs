@@ -1,10 +1,12 @@
 //! Criterion micro-benchmarks for the performance-critical primitives:
 //! order reachability, fact-set implication, WHERE evaluation, validity
-//! checks and DAG child generation.
+//! checks, DAG child generation, and the indexed classification engine
+//! (fingerprint `leq` and posting-indexed classifier lookup vs their
+//! exact-scan references).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use oassis_core::synth::synthetic_domain;
-use oassis_core::Dag;
+use oassis_core::{Class, Classifier, Dag, NodeId};
 use oassis_ql::{bind, evaluate_where, parse, MatchMode};
 use ontology::domains::{figure1, travel, DomainScale};
 use ontology::PatternSet;
@@ -79,6 +81,88 @@ fn bench_dag(c: &mut Criterion) {
     });
 }
 
+fn bench_index(c: &mut Criterion) {
+    let d = synthetic_domain(120, 5, 1);
+    let q = parse(&d.query).unwrap();
+    let bound = bind(&q, &d.ontology).unwrap();
+    let base = evaluate_where(&bound, &d.ontology, MatchMode::Exact);
+    let vocab = d.ontology.vocab();
+    let mut dag = Dag::new(&bound, vocab, &base);
+    let mut cursor = 0usize;
+    while cursor < dag.len() && dag.len() < 2000 {
+        dag.children(NodeId(cursor as u32));
+        cursor += 1;
+    }
+    let n = dag.len();
+    let pairs: Vec<(NodeId, NodeId)> = (0..n)
+        .map(|i| {
+            (
+                NodeId((i * 7919 % n) as u32),
+                NodeId((i * 104_729 % n) as u32),
+            )
+        })
+        .collect();
+
+    // semantic order check: bitset subset test vs the per-value scan
+    c.bench_function("leq_fingerprint_pairs", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &(x, y) in &pairs {
+                hits += dag.leq(x, y) as u32;
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("leq_exact_scan_pairs", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &(x, y) in &pairs {
+                hits += dag.node(x).assignment.leq(vocab, &dag.node(y).assignment) as u32;
+            }
+            black_box(hits)
+        })
+    });
+
+    // classifier lookup on a witness load typical of a converged run:
+    // posting-indexed query vs the historical linear witness scan
+    let mark = |cls: &mut Classifier| {
+        for i in (0..n).step_by(17) {
+            cls.mark_significant(&dag, NodeId(i as u32));
+        }
+        for i in (0..n).skip(5).step_by(13) {
+            cls.mark_insignificant(&dag, NodeId(i as u32));
+        }
+    };
+    c.bench_function("classifier_query_indexed", |b| {
+        b.iter_batched(
+            || {
+                let mut cls = Classifier::new();
+                mark(&mut cls);
+                cls
+            },
+            |mut cls| {
+                let mut sig = 0u32;
+                for id in dag.node_ids() {
+                    sig += (cls.class(&dag, id) == Class::Significant) as u32;
+                }
+                black_box(sig)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let mut scan_cls = Classifier::new();
+    mark(&mut scan_cls);
+    c.bench_function("classifier_query_witness_scan", |b| {
+        b.iter(|| {
+            let mut sig = 0u32;
+            for id in dag.node_ids() {
+                sig += (scan_cls.class_by_scan(&dag, id) == Class::Significant) as u32;
+            }
+            black_box(sig)
+        })
+    });
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -89,6 +173,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_order, bench_where_eval, bench_dag
+    targets = bench_order, bench_where_eval, bench_dag, bench_index
 }
 criterion_main!(benches);

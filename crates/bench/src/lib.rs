@@ -23,8 +23,10 @@ use std::path::PathBuf;
 pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
     println!("\n== {title} ==");
     let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
-    let rows: Vec<Vec<String>> =
-        rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect();
+    let rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
     let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
     for r in &rows {
         for (i, c) in r.iter().enumerate() {
@@ -53,10 +55,21 @@ pub fn write_csv<H: Display, C: Display>(name: &str, headers: &[H], rows: &[Vec<
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
     let _ = fs::create_dir_all(&dir);
     let mut out = String::new();
-    out.push_str(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| h.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for r in rows {
-        out.push_str(&r.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &r.iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
     }
     let path = dir.join(format!("{name}.csv"));
@@ -72,7 +85,8 @@ pub fn domain_profiles(domain: &GeneratedDomain, n: usize, seed: u64) -> Vec<Hab
     let v = domain.ontology.vocab();
     let mut rng = StdRng::seed_from_u64(seed);
     let fact = |v: &ontology::Vocabulary, s: &str, r: &str, o: &str| {
-        v.fact(s, r, o).unwrap_or_else(|| panic!("domain term {s} {r} {o}"))
+        v.fact(s, r, o)
+            .unwrap_or_else(|| panic!("domain term {s} {r} {o}"))
     };
     // Distinct anchor coordinates per habit: habits sharing a place (or a
     // drink / remedy) co-occur within transactions and make value *pairs*
@@ -107,7 +121,12 @@ pub fn domain_profiles(domain: &GeneratedDomain, n: usize, seed: u64) -> Vec<Hab
                 let r = rng.gen_range(1..=2);
                 let s = rng.gen_range(1..=6);
                 let mut f = vec![
-                    fact(v, &format!("ActivityKind{k}"), "doAt", &format!("Attraction{a}")),
+                    fact(
+                        v,
+                        &format!("ActivityKind{k}"),
+                        "doAt",
+                        &format!("Attraction{a}"),
+                    ),
                     fact(v, &format!("Snack{s}"), "eatAt", &format!("Restaurant{r}")),
                 ];
                 if rng.gen_bool(0.15) {
@@ -149,10 +168,19 @@ pub fn domain_profiles(domain: &GeneratedDomain, n: usize, seed: u64) -> Vec<Hab
             _ => {
                 let r = remedy_anchors[i % remedy_anchors.len()];
                 let s = rng.gen_range(1..=54);
-                vec![fact(v, &format!("RemedyKind{r}"), "takenFor", &format!("SymptomKind{s}"))]
+                vec![fact(
+                    v,
+                    &format!("RemedyKind{r}"),
+                    "takenFor",
+                    &format!("SymptomKind{s}"),
+                )]
             }
         };
-        profiles.push(HabitProfile { facts, adoption, frequency });
+        profiles.push(HabitProfile {
+            facts,
+            adoption,
+            frequency,
+        });
     }
     profiles
 }
@@ -310,8 +338,10 @@ pub fn mean_percentiles(per_trial: &[Vec<Option<usize>>]) -> Vec<Option<f64>> {
     let cols = per_trial[0].len();
     (0..cols)
         .map(|c| {
-            let vals: Vec<f64> =
-                per_trial.iter().filter_map(|t| t[c].map(|x| x as f64)).collect();
+            let vals: Vec<f64> = per_trial
+                .iter()
+                .filter_map(|t| t[c].map(|x| x as f64))
+                .collect();
             if vals.is_empty() {
                 None
             } else {
@@ -335,7 +365,10 @@ mod tests {
     fn percentile_extraction() {
         let events: Vec<DiscoveryEvent> = [3usize, 10, 20, 40]
             .iter()
-            .map(|&q| DiscoveryEvent { question: q, kind: DiscoveryKind::Msp { valid: true } })
+            .map(|&q| DiscoveryEvent {
+                question: q,
+                kind: DiscoveryKind::Msp { valid: true },
+            })
             .collect();
         let got = questions_at_percentiles(&events, true, &[25, 50, 75, 100]);
         assert_eq!(got, vec![Some(3), Some(10), Some(20), Some(40)]);

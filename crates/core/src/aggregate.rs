@@ -48,8 +48,7 @@ impl Aggregator for FixedSampleAggregator {
         if answers.len() < self.sample_size {
             return AggVerdict::Undecided;
         }
-        let avg: f64 =
-            answers.iter().map(|&(_, s)| s).sum::<f64>() / answers.len() as f64;
+        let avg: f64 = answers.iter().map(|&(_, s)| s).sum::<f64>() / answers.len() as f64;
         if avg >= threshold {
             AggVerdict::Significant
         } else {
@@ -129,7 +128,10 @@ mod tests {
     use crowd::MemberId;
 
     fn ans(vals: &[f64]) -> Vec<(MemberId, f64)> {
-        vals.iter().enumerate().map(|(i, &v)| (MemberId(i as u32), v)).collect()
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| (MemberId(i as u32), v))
+            .collect()
     }
 
     #[test]
@@ -137,7 +139,10 @@ mod tests {
         let a = FixedSampleAggregator { sample_size: 5 };
         assert_eq!(a.verdict(&ans(&[1.0; 4]), 0.4), AggVerdict::Undecided);
         assert_eq!(a.verdict(&ans(&[1.0; 5]), 0.4), AggVerdict::Significant);
-        assert_eq!(a.verdict(&ans(&[0.0, 0.0, 0.25, 0.5, 0.5]), 0.4), AggVerdict::Insignificant);
+        assert_eq!(
+            a.verdict(&ans(&[0.0, 0.0, 0.25, 0.5, 0.5]), 0.4),
+            AggVerdict::Insignificant
+        );
         // exactly at threshold counts as significant (≥)
         assert_eq!(a.verdict(&ans(&[0.4; 5]), 0.4), AggVerdict::Significant);
     }
@@ -149,8 +154,14 @@ mod tests {
         assert_eq!(a.verdict(&ans(&[1.0, 1.0]), 0.4), AggVerdict::Significant);
         // three zeros: even two 1.0s can only reach 0.4 — boundary stays
         // undecided only if it could still reach Θ: (0+2)/5 = 0.4 ≥ 0.4
-        assert_eq!(a.verdict(&ans(&[0.0, 0.0, 0.0]), 0.4), AggVerdict::Undecided);
-        assert_eq!(a.verdict(&ans(&[0.0, 0.0, 0.0, 0.0]), 0.4), AggVerdict::Insignificant);
+        assert_eq!(
+            a.verdict(&ans(&[0.0, 0.0, 0.0]), 0.4),
+            AggVerdict::Undecided
+        );
+        assert_eq!(
+            a.verdict(&ans(&[0.0, 0.0, 0.0, 0.0]), 0.4),
+            AggVerdict::Insignificant
+        );
     }
 
     #[test]
@@ -158,7 +169,10 @@ mod tests {
         let fixed = FixedSampleAggregator { sample_size: 3 };
         let early = EarlyDecisionAggregator { sample_size: 3 };
         for vals in [[0.1, 0.2, 0.3], [0.5, 0.5, 0.5], [0.0, 1.0, 0.3]] {
-            assert_eq!(fixed.verdict(&ans(&vals), 0.35), early.verdict(&ans(&vals), 0.35));
+            assert_eq!(
+                fixed.verdict(&ans(&vals), 0.35),
+                early.verdict(&ans(&vals), 0.35)
+            );
         }
     }
 
@@ -166,7 +180,10 @@ mod tests {
     fn trust_weighting_discounts_spammers() {
         let mut trust = std::collections::HashMap::new();
         trust.insert(MemberId(0), 0.0); // known spammer
-        let a = TrustWeightedAggregator { sample_size: 2, trust };
+        let a = TrustWeightedAggregator {
+            sample_size: 2,
+            trust,
+        };
         // spammer says 1.0, honest member says 0.0 → insignificant
         let answers = vec![(MemberId(0), 1.0), (MemberId(1), 0.0)];
         assert_eq!(a.verdict(&answers, 0.4), AggVerdict::Insignificant);

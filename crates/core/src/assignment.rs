@@ -11,11 +11,10 @@
 
 use oassis_ql::{BoundQuery, FactTerm, RelTerm, Value, VarId};
 use ontology::{Fact, PatternFact, PatternSet, Vocabulary};
-use serde::{Deserialize, Serialize};
 
 /// Index of a SATISFYING variable within an assignment (the *slot*);
 /// slot `i` corresponds to `BoundQuery::sat_vars[i]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Slot(pub u16);
 
 impl Slot {
@@ -39,7 +38,7 @@ pub fn value_leq(vocab: &Vocabulary, a: Value, b: Value) -> bool {
 /// An assignment with multiplicities: per-slot canonical antichains of
 /// values plus MORE facts (themselves a canonical antichain under the fact
 /// order).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Assignment {
     /// Per-slot value sets, sorted; dominated values removed.
     values: Vec<Vec<Value>>,
@@ -50,14 +49,20 @@ pub struct Assignment {
 impl Assignment {
     /// Creates an assignment from raw per-slot value sets, canonicalizing.
     pub fn new(vocab: &Vocabulary, values: Vec<Vec<Value>>, more: Vec<Fact>) -> Self {
-        let values = values.into_iter().map(|s| canonical_values(vocab, s)).collect();
+        let values = values
+            .into_iter()
+            .map(|s| canonical_values(vocab, s))
+            .collect();
         let more = canonical_facts(vocab, more);
         Assignment { values, more }
     }
 
     /// An assignment with `slots` empty slots and no MORE facts.
     pub fn empty(slots: usize) -> Self {
-        Assignment { values: vec![Vec::new(); slots], more: Vec::new() }
+        Assignment {
+            values: vec![Vec::new(); slots],
+            more: Vec::new(),
+        }
     }
 
     /// Number of slots.
@@ -99,7 +104,10 @@ impl Assignment {
     pub fn with_replaced(&self, vocab: &Vocabulary, s: Slot, old: Value, new: Value) -> Assignment {
         let mut values = self.values.clone();
         let set = &mut values[s.index()];
-        let pos = set.iter().position(|&x| x == old).expect("old value present");
+        let pos = set
+            .iter()
+            .position(|&x| x == old)
+            .expect("old value present");
         set[pos] = new;
         Assignment::new(vocab, values, self.more.clone())
     }
@@ -108,15 +116,24 @@ impl Assignment {
     pub fn with_more(&self, vocab: &Vocabulary, f: Fact) -> Assignment {
         let mut more = self.more.clone();
         more.push(f);
-        Assignment { values: self.values.clone(), more: canonical_facts(vocab, more) }
+        Assignment {
+            values: self.values.clone(),
+            more: canonical_facts(vocab, more),
+        }
     }
 
     /// Returns a copy with MORE fact `old` replaced by `new`.
     pub fn with_more_replaced(&self, vocab: &Vocabulary, old: Fact, new: Fact) -> Assignment {
         let mut more = self.more.clone();
-        let pos = more.iter().position(|&x| x == old).expect("old fact present");
+        let pos = more
+            .iter()
+            .position(|&x| x == old)
+            .expect("old fact present");
         more[pos] = new;
-        Assignment { values: self.values.clone(), more: canonical_facts(vocab, more) }
+        Assignment {
+            values: self.values.clone(),
+            more: canonical_facts(vocab, more),
+        }
     }
 
     /// The assignment order of Definition 4.1: `self ≤ other` iff for every
@@ -124,9 +141,11 @@ impl Assignment {
     /// — and likewise for MORE facts under the fact order.
     pub fn leq(&self, vocab: &Vocabulary, other: &Assignment) -> bool {
         debug_assert_eq!(self.num_slots(), other.num_slots());
-        let slots_ok = self.values.iter().zip(&other.values).all(|(a, b)| {
-            a.iter().all(|&v| b.iter().any(|&w| value_leq(vocab, v, w)))
-        });
+        let slots_ok = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .all(|(a, b)| a.iter().all(|&v| b.iter().any(|&w| value_leq(vocab, v, w))));
         slots_ok
             && self
                 .more
@@ -180,7 +199,10 @@ impl Assignment {
         out: &mut Vec<PatternFact>,
     ) {
         let slot_of = |v: VarId| -> Option<Slot> {
-            q.sat_vars.iter().position(|&x| x == v).map(|i| Slot(i as u16))
+            q.sat_vars
+                .iter()
+                .position(|&x| x == v)
+                .map(|i| Slot(i as u16))
         };
         for mf in meta {
             // candidate component values
@@ -189,14 +211,22 @@ impl Assignment {
                 FactTerm::Const(e) => vec![Some(e)],
                 FactTerm::Var(v) => {
                     let s = slot_of(v).expect("satisfying var has a slot");
-                    self.values[s.index()].iter().filter_map(|v| v.as_elem()).map(Some).collect()
+                    self.values[s.index()]
+                        .iter()
+                        .filter_map(|v| v.as_elem())
+                        .map(Some)
+                        .collect()
                 }
             };
             let rels: Vec<Option<ontology::RelId>> = match mf.rel {
                 RelTerm::Const(r) => vec![Some(r)],
                 RelTerm::Var(v) => {
                     let s = slot_of(v).expect("satisfying var has a slot");
-                    self.values[s.index()].iter().filter_map(|v| v.as_rel()).map(Some).collect()
+                    self.values[s.index()]
+                        .iter()
+                        .filter_map(|v| v.as_rel())
+                        .map(Some)
+                        .collect()
                 }
             };
             let objects: Vec<Option<ontology::ElemId>> = match mf.object {
@@ -204,7 +234,11 @@ impl Assignment {
                 FactTerm::Const(e) => vec![Some(e)],
                 FactTerm::Var(v) => {
                     let s = slot_of(v).expect("satisfying var has a slot");
-                    self.values[s.index()].iter().filter_map(|v| v.as_elem()).map(Some).collect()
+                    self.values[s.index()]
+                        .iter()
+                        .filter_map(|v| v.as_elem())
+                        .map(Some)
+                        .collect()
                 }
             };
             // When the same variable appears in both element positions
@@ -217,10 +251,18 @@ impl Assignment {
             for (si, &s) in subjects.iter().enumerate() {
                 for &r in &rels {
                     if same_var {
-                        out.push(PatternFact { subject: s, rel: r, object: objects[si] });
+                        out.push(PatternFact {
+                            subject: s,
+                            rel: r,
+                            object: objects[si],
+                        });
                     } else {
                         for &o in &objects {
-                            out.push(PatternFact { subject: s, rel: r, object: o });
+                            out.push(PatternFact {
+                                subject: s,
+                                rel: r,
+                                object: o,
+                            });
                         }
                     }
                 }
@@ -240,11 +282,14 @@ impl Assignment {
                     Value::Rel(r) => vocab.rel_name(r).to_owned(),
                 })
                 .collect();
-            parts.push(format!("${} ↦ {{{}}}", q.vars[v.index()].name, names.join(", ")));
+            parts.push(format!(
+                "${} ↦ {{{}}}",
+                q.vars[v.index()].name,
+                names.join(", ")
+            ));
         }
         if !self.more.is_empty() {
-            let facts: Vec<String> =
-                self.more.iter().map(|&f| vocab.fact_to_string(f)).collect();
+            let facts: Vec<String> = self.more.iter().map(|&f| vocab.fact_to_string(f)).collect();
             parts.push(format!("MORE {{{}}}", facts.join(". ")));
         }
         parts.join("; ")
@@ -258,9 +303,7 @@ fn canonical_values(vocab: &Vocabulary, mut vs: Vec<Value>) -> Vec<Value> {
     let keep: Vec<Value> = vs
         .iter()
         .copied()
-        .filter(|&v| {
-            !vs.iter().any(|&w| w != v && value_leq(vocab, v, w))
-        })
+        .filter(|&v| !vs.iter().any(|&w| w != v && value_leq(vocab, v, w)))
         .collect();
     keep
 }
@@ -296,7 +339,10 @@ mod tests {
     fn assign(ont: &ontology::Ontology, x: &str, ys: &[&str]) -> Assignment {
         Assignment::new(
             ont.vocab(),
-            vec![vec![elem(ont, x)], ys.iter().map(|y| elem(ont, y)).collect()],
+            vec![
+                vec![elem(ont, x)],
+                ys.iter().map(|y| elem(ont, y)).collect(),
+            ],
             vec![],
         )
     }
@@ -305,8 +351,11 @@ mod tests {
     fn sat_vars_are_x_and_y() {
         let (_, b) = setup();
         assert_eq!(b.sat_vars.len(), 2);
-        let names: Vec<&str> =
-            b.sat_vars.iter().map(|&v| b.vars[v.index()].name.as_str()).collect();
+        let names: Vec<&str> = b
+            .sat_vars
+            .iter()
+            .map(|&v| b.vars[v.index()].name.as_str())
+            .collect();
         assert_eq!(names, vec!["x", "y"]);
     }
 
@@ -360,11 +409,7 @@ mod tests {
     fn empty_slot_is_below_everything() {
         let (ont, _) = setup();
         let v = ont.vocab();
-        let empty_y = Assignment::new(
-            v,
-            vec![vec![elem(&ont, "Central Park")], vec![]],
-            vec![],
-        );
+        let empty_y = Assignment::new(v, vec![vec![elem(&ont, "Central Park")], vec![]], vec![]);
         let with_y = assign(&ont, "Central Park", &["Biking"]);
         assert!(empty_y.leq(v, &with_y));
         assert!(!with_y.leq(v, &empty_y));
@@ -385,8 +430,11 @@ mod tests {
     #[test]
     fn apply_empty_slot_deletes_meta_fact() {
         let (ont, b) = setup();
-        let empty_y =
-            Assignment::new(ont.vocab(), vec![vec![elem(&ont, "Central Park")], vec![]], vec![]);
+        let empty_y = Assignment::new(
+            ont.vocab(),
+            vec![vec![elem(&ont, "Central Park")], vec![]],
+            vec![],
+        );
         let p = empty_y.apply(&b);
         assert!(p.is_empty()); // the only meta-fact used $y
     }
@@ -450,10 +498,8 @@ mod tests {
         // `$x likes $x` with φ(x) = {A, B} must yield {A likes A, B likes
         // B}, not the 2×2 cross product.
         let ont = figure1::ontology();
-        let q = parse(
-            "SELECT FACT-SETS WHERE SATISFYING $x+ nearBy $x WITH SUPPORT = 0.2",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT FACT-SETS WHERE SATISFYING $x+ nearBy $x WITH SUPPORT = 0.2").unwrap();
         let b = bind(&q, &ont).unwrap();
         let v = ont.vocab();
         let a = Assignment::new(

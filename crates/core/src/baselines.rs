@@ -40,7 +40,9 @@ pub(crate) struct MspMonitor {
 
 impl MspMonitor {
     pub fn new() -> Self {
-        MspMonitor { confirmed: HashSet::new() }
+        MspMonitor {
+            confirmed: HashSet::new(),
+        }
     }
 
     /// Scans for newly entailed MSPs and records discovery events.
@@ -65,13 +67,17 @@ impl MspMonitor {
             else {
                 continue;
             };
-            let maximal = children.iter().all(|&c| cls.class(dag, c) == Class::Insignificant);
+            let maximal = children
+                .iter()
+                .all(|&c| cls.class(dag, c) == Class::Insignificant);
             if maximal {
                 self.confirmed.insert(id);
                 out.push(id);
                 events.push(DiscoveryEvent {
                     question,
-                    kind: DiscoveryKind::Msp { valid: dag.node(id).valid },
+                    kind: DiscoveryKind::Msp {
+                        valid: dag.node(id).valid,
+                    },
                 });
             }
         }
@@ -210,7 +216,10 @@ mod tests {
 
     fn setup(width: usize, depth: usize) -> Setup {
         let d = synthetic_domain(width, depth, 0);
-        Setup { ont: d.ontology, query: d.query }
+        Setup {
+            ont: d.ontology,
+            query: d.query,
+        }
     }
 
     fn msp_names(
@@ -218,7 +227,10 @@ mod tests {
         b: &oassis_ql::BoundQuery,
         ont: &ontology::Ontology,
     ) -> HashSet<String> {
-        out.msps.iter().map(|m| m.apply(b).to_display(ont.vocab())).collect()
+        out.msps
+            .iter()
+            .map(|m| m.apply(b).to_display(ont.vocab()))
+            .collect()
     }
 
     #[test]
@@ -230,8 +242,10 @@ mod tests {
         let mut full = Dag::new(&b, su.ont.vocab(), &base).without_multiplicities();
         full.materialize_all();
         let planted = plant_msps(&mut full, 8, true, MspDistribution::Uniform, 11);
-        let patterns: Vec<_> =
-            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let patterns: Vec<_> = planted
+            .iter()
+            .map(|&id| full.node(id).assignment.apply(&b))
+            .collect();
         let cfg = MiningConfig::default();
 
         let run = |which: &str| {
@@ -271,8 +285,10 @@ mod tests {
         let mut full = Dag::new(&b, su.ont.vocab(), &base).without_multiplicities();
         full.materialize_all();
         let planted = plant_msps(&mut full, 2, true, MspDistribution::Uniform, 3);
-        let patterns: Vec<_> =
-            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let patterns: Vec<_> = planted
+            .iter()
+            .map(|&id| full.node(id).assignment.apply(&b))
+            .collect();
         let cfg = MiningConfig::default();
 
         let mut dagv = Dag::new(&b, su.ont.vocab(), &base).without_multiplicities();
@@ -284,9 +300,16 @@ mod tests {
         let mut oh = PlantedOracle::new(su.ont.vocab(), patterns.clone(), 1, 0);
         let out_h = run_horizontal(&mut dagh, &mut oh, MemberId(0), &cfg);
 
-        assert_eq!(msp_names(&out_v, &b, &su.ont), msp_names(&out_h, &b, &su.ont));
-        assert!(out_v.questions <= out_h.questions + 2,
-            "vertical {} vs horizontal {}", out_v.questions, out_h.questions);
+        assert_eq!(
+            msp_names(&out_v, &b, &su.ont),
+            msp_names(&out_h, &b, &su.ont)
+        );
+        assert!(
+            out_v.questions <= out_h.questions + 2,
+            "vertical {} vs horizontal {}",
+            out_v.questions,
+            out_h.questions
+        );
     }
 
     #[test]
@@ -309,12 +332,17 @@ mod tests {
         let mut full = Dag::new(&b, su.ont.vocab(), &base).without_multiplicities();
         full.materialize_all();
         let planted = plant_msps(&mut full, 4, true, MspDistribution::Uniform, 1);
-        let patterns: Vec<_> =
-            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let patterns: Vec<_> = planted
+            .iter()
+            .map(|&id| full.node(id).assignment.apply(&b))
+            .collect();
         let mut dag = Dag::new(&b, su.ont.vocab(), &base).without_multiplicities();
         dag.materialize_all();
         let mut oracle = PlantedOracle::new(su.ont.vocab(), patterns, 1, 0);
-        let cfg = MiningConfig { max_questions: Some(7), ..Default::default() };
+        let cfg = MiningConfig {
+            max_questions: Some(7),
+            ..Default::default()
+        };
         let out = run_naive(&mut dag, &mut oracle, MemberId(0), &cfg);
         assert!(out.questions <= 7);
         assert!(!out.complete || out.msps.len() <= 4);

@@ -11,8 +11,8 @@
 //! work.
 
 use crowd::{Answer, CrowdSource, MemberId, Question};
-use ontology::PatternSet;
-use serde::{Deserialize, Serialize};
+use ontology::json::{self, Json, JsonError};
+use ontology::{PatternFact, PatternSet};
 use std::collections::HashMap;
 
 /// A serializable store of concrete-question answers.
@@ -26,14 +26,8 @@ pub struct CrowdCache {
     answers: HashMap<MemberId, HashMap<PatternSet, CachedAnswer>>,
 }
 
-/// Flat, JSON-friendly snapshot of a [`CrowdCache`].
-#[derive(Debug, Serialize, Deserialize)]
-struct CacheSnapshot {
-    entries: Vec<(MemberId, PatternSet, CachedAnswer)>,
-}
-
 /// A cached concrete answer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CachedAnswer {
     /// Reported support (+ volunteered MORE fact, if any).
     Support {
@@ -72,31 +66,154 @@ impl CrowdCache {
 
     /// Stores an answer.
     pub fn put(&mut self, member: MemberId, pattern: PatternSet, answer: CachedAnswer) {
-        self.answers.entry(member).or_default().insert(pattern, answer);
+        self.answers
+            .entry(member)
+            .or_default()
+            .insert(pattern, answer);
     }
 
     /// Serializes to JSON (the paper kept CrowdCache in MySQL; a snapshot
     /// file plays that role here). Entries are sorted for determinism.
     pub fn to_json(&self) -> String {
-        let mut entries: Vec<(MemberId, PatternSet, CachedAnswer)> = self
+        let mut entries: Vec<(MemberId, &PatternSet, &CachedAnswer)> = self
             .answers
             .iter()
-            .flat_map(|(&m, inner)| {
-                inner.iter().map(move |(p, a)| (m, p.clone(), a.clone()))
+            .flat_map(|(&m, inner)| inner.iter().map(move |(p, a)| (m, p, a)))
+            .collect();
+        entries.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let entries = entries
+            .into_iter()
+            .map(|(m, p, a)| {
+                Json::Arr(vec![
+                    Json::Num(m.0 as f64),
+                    pattern_to_json(p),
+                    answer_to_json(a),
+                ])
             })
             .collect();
-        entries.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
-        serde_json::to_string(&CacheSnapshot { entries }).expect("cache serializes")
+        Json::Obj(vec![("entries".into(), Json::Arr(entries))]).to_string()
     }
 
     /// Restores from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        let snapshot: CacheSnapshot = serde_json::from_str(s)?;
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let doc = json::parse(s)?;
         let mut cache = CrowdCache::new();
-        for (m, p, a) in snapshot.entries {
-            cache.put(m, p, a);
+        for entry in doc.field("entries")?.as_arr()? {
+            let [m, p, a] = entry.as_arr()? else {
+                return Err(JsonError::shape(
+                    "expected a [member, pattern, answer] entry",
+                ));
+            };
+            cache.put(
+                MemberId(m.as_u32()?),
+                pattern_from_json(p)?,
+                answer_from_json(a)?,
+            );
         }
         Ok(cache)
+    }
+}
+
+fn opt_id_to_json(id: Option<u32>) -> Json {
+    id.map_or(Json::Null, |v| Json::Num(v as f64))
+}
+
+fn opt_id_from_json(v: &Json) -> Result<Option<u32>, JsonError> {
+    match v {
+        Json::Null => Ok(None),
+        other => other.as_u32().map(Some),
+    }
+}
+
+fn pattern_to_json(p: &PatternSet) -> Json {
+    Json::Arr(
+        p.iter()
+            .map(|f| {
+                Json::Arr(vec![
+                    opt_id_to_json(f.subject.map(|e| e.0)),
+                    opt_id_to_json(f.rel.map(|r| r.0)),
+                    opt_id_to_json(f.object.map(|e| e.0)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn pattern_from_json(v: &Json) -> Result<PatternSet, JsonError> {
+    let facts = v
+        .as_arr()?
+        .iter()
+        .map(|f| {
+            let [s, r, o] = f.as_arr()? else {
+                return Err(JsonError::shape(
+                    "expected a [subject, rel, object] pattern",
+                ));
+            };
+            Ok(PatternFact {
+                subject: opt_id_from_json(s)?.map(ontology::ElemId),
+                rel: opt_id_from_json(r)?.map(ontology::RelId),
+                object: opt_id_from_json(o)?.map(ontology::ElemId),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(PatternSet::from_iter(facts))
+}
+
+fn answer_to_json(a: &CachedAnswer) -> Json {
+    match a {
+        CachedAnswer::Support { support, more_tip } => {
+            let tip = more_tip.map_or(Json::Null, |f| {
+                Json::Arr(vec![
+                    Json::Num(f.subject.0 as f64),
+                    Json::Num(f.rel.0 as f64),
+                    Json::Num(f.object.0 as f64),
+                ])
+            });
+            Json::Obj(vec![(
+                "Support".into(),
+                Json::Obj(vec![
+                    ("support".into(), Json::Num(*support)),
+                    ("more_tip".into(), tip),
+                ]),
+            )])
+        }
+        CachedAnswer::Irrelevant { elem } => Json::Obj(vec![(
+            "Irrelevant".into(),
+            Json::Obj(vec![("elem".into(), Json::Num(elem.0 as f64))]),
+        )]),
+    }
+}
+
+fn answer_from_json(v: &Json) -> Result<CachedAnswer, JsonError> {
+    let [(tag, body)] = v.as_obj()? else {
+        return Err(JsonError::shape("expected a single-variant answer object"));
+    };
+    match tag.as_str() {
+        "Support" => {
+            let tip = match body.field("more_tip")? {
+                Json::Null => None,
+                f => {
+                    let [s, r, o] = f.as_arr()? else {
+                        return Err(JsonError::shape("expected a [s, r, o] fact"));
+                    };
+                    Some(ontology::Fact::new(
+                        ontology::ElemId(s.as_u32()?),
+                        ontology::RelId(r.as_u32()?),
+                        ontology::ElemId(o.as_u32()?),
+                    ))
+                }
+            };
+            Ok(CachedAnswer::Support {
+                support: body.field("support")?.as_f64()?,
+                more_tip: tip,
+            })
+        }
+        "Irrelevant" => Ok(CachedAnswer::Irrelevant {
+            elem: ontology::ElemId(body.field("elem")?.as_u32()?),
+        }),
+        other => Err(JsonError::shape(format!(
+            "unknown answer variant {other:?}"
+        ))),
     }
 }
 
@@ -112,7 +229,12 @@ pub struct CachingCrowd<'c, C> {
 impl<'c, C: CrowdSource> CachingCrowd<'c, C> {
     /// Wraps `inner` with `cache`.
     pub fn new(inner: C, cache: &'c mut CrowdCache) -> Self {
-        CachingCrowd { inner, cache, asked: 0, fresh: 0 }
+        CachingCrowd {
+            inner,
+            cache,
+            asked: 0,
+            fresh: 0,
+        }
     }
 
     /// Questions that actually reached the inner crowd (cache misses and
@@ -155,12 +277,18 @@ impl<C: CrowdSource> CrowdSource for CachingCrowd<'_, C> {
                     self.cache.put(
                         member,
                         pattern.clone(),
-                        CachedAnswer::Support { support: *support, more_tip: *more_tip },
+                        CachedAnswer::Support {
+                            support: *support,
+                            more_tip: *more_tip,
+                        },
                     );
                 }
                 Answer::Irrelevant { elem } => {
-                    self.cache
-                        .put(member, pattern.clone(), CachedAnswer::Irrelevant { elem: *elem });
+                    self.cache.put(
+                        member,
+                        pattern.clone(),
+                        CachedAnswer::Irrelevant { elem: *elem },
+                    );
                 }
                 _ => {}
             }
@@ -213,7 +341,10 @@ mod tests {
             let mut dag = Dag::new(&b, ont.vocab(), &base);
             let crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont)]);
             let mut caching = CachingCrowd::new(crowd, cache);
-            let cfg = MiningConfig { threshold: Some(theta), ..Default::default() };
+            let cfg = MiningConfig {
+                threshold: Some(theta),
+                ..Default::default()
+            };
             let out = run_vertical(&mut dag, &mut caching, crowd::MemberId(0), &cfg);
             (out, caching.fresh_questions(), caching.total_questions())
         };
@@ -231,15 +362,21 @@ mod tests {
         // climb), so some fresh questions remain — but a solid share must
         // come from the cache, and far less fresh crowd work is needed
         // than a cold run.
-        assert!(fresh_04 < total_04, "no reuse at all: {fresh_04} of {total_04}");
+        assert!(
+            fresh_04 < total_04,
+            "no reuse at all: {fresh_04} of {total_04}"
+        );
         assert!(fresh_04 < fresh_02, "fresh {fresh_04} vs cold {fresh_02}");
         // the 0.4-significant region is a subset of the 0.2 one
         for m in &out_04.msps {
             let p = m.apply(&b);
             assert!(
-                out_02.significant_valid.iter().chain(out_02.msps.iter()).any(|s| {
-                    p.leq(ont.vocab(), &s.apply(&b)) || s.apply(&b) == p
-                }) || out_02.msps.iter().any(|s| p.leq(ont.vocab(), &s.apply(&b))),
+                out_02
+                    .significant_valid
+                    .iter()
+                    .chain(out_02.msps.iter())
+                    .any(|s| { p.leq(ont.vocab(), &s.apply(&b)) || s.apply(&b) == p })
+                    || out_02.msps.iter().any(|s| p.leq(ont.vocab(), &s.apply(&b))),
                 "0.4 MSP not within the 0.2 significant region"
             );
         }
@@ -250,18 +387,23 @@ mod tests {
         let ont = figure1::ontology();
         let v = ont.vocab();
         let mut cache = CrowdCache::new();
-        let p = ontology::PatternSet::from_facts([v
-            .fact("Biking", "doAt", "Central Park")
-            .unwrap()]);
+        let p =
+            ontology::PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]);
         cache.put(
             crowd::MemberId(3),
             p.clone(),
-            CachedAnswer::Support { support: 0.25, more_tip: None },
+            CachedAnswer::Support {
+                support: 0.25,
+                more_tip: None,
+            },
         );
         let restored = CrowdCache::from_json(&cache.to_json()).unwrap();
         assert_eq!(
             restored.get(crowd::MemberId(3), &p),
-            Some(&CachedAnswer::Support { support: 0.25, more_tip: None })
+            Some(&CachedAnswer::Support {
+                support: 0.25,
+                more_tip: None
+            })
         );
         assert_eq!(restored.len(), 1);
     }
@@ -271,13 +413,15 @@ mod tests {
         let ont = figure1::ontology();
         let v = ont.vocab();
         let mut cache = CrowdCache::new();
-        let p = ontology::PatternSet::from_facts([v
-            .fact("Biking", "doAt", "Central Park")
-            .unwrap()]);
+        let p =
+            ontology::PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]);
         cache.put(
             crowd::MemberId(0),
             p.clone(),
-            CachedAnswer::Support { support: 1.0, more_tip: None },
+            CachedAnswer::Support {
+                support: 1.0,
+                more_tip: None,
+            },
         );
         assert!(cache.get(crowd::MemberId(1), &p).is_none());
         assert!(cache.get(crowd::MemberId(0), &p).is_some());

@@ -5,18 +5,47 @@
 //! classifies every `φ ≤ w` significant; an insignificant answer at `w`
 //! classifies every `φ ≥ w` insignificant. The classifier stores the
 //! answered nodes as *witnesses* and resolves other nodes (including ones
-//! materialized later) by order comparison, caching definite results.
+//! materialized later) by order comparison.
 //!
 //! User-guided pruning (Section 6.2) is a second inference channel: a
 //! member clicking element `e` as irrelevant classifies every assignment
 //! containing a value (or MORE-fact component) that specializes `e` as
 //! insignificant.
+//!
+//! Lookups used to be linear scans over the witness lists. They are now
+//! near-O(1) through two index structures over the DAG's closure
+//! fingerprints plus eager cone propagation:
+//!
+//! * every `mark_significant` walks the materialized *parent* edges
+//!   upward and stamps the generalization cone [`Cached::DerivedSig`];
+//!   `mark_insignificant` walks generated *child* edges downward and
+//!   stamps [`Cached::DerivedInsig`] — queries on stamped nodes skip the
+//!   witness search entirely;
+//! * nodes that materialize later (or are unreachable along materialized
+//!   edges) fall back to value-keyed inverted indexes: a significant
+//!   witness `w` is posted under every bit of its fingerprint `F(w)`, so
+//!   a query at `a` only verifies the (shortest) posting list of one of
+//!   `a`'s own value bits — a necessary condition for `F(a) ⊆ F(w)`; an
+//!   insignificant witness is posted under its first value bit, which
+//!   `F(a)` must contain for `w ≤ a` to hold;
+//! * pruning clicks accumulate in a bitset over element ids, turning the
+//!   pruned-cone test into one word-AND per slot against the elem region
+//!   of the node's fingerprint.
+//!
+//! The observable results are **identical** to the historical scan-based
+//! classifier (which survives as [`Classifier::class_by_scan`] and backs
+//! a `debug_assert` on every fresh lookup): the first `class()` query on
+//! a node decides pruned → significant → insignificant in that order
+//! with the knowledge available *at query time*, and that decision is
+//! cached permanently — later contradictory answers or pruning clicks
+//! never flip an already-queried node, exactly as before. The earlier
+//! `cache.retain(|_, c| *c != Class::Unknown)` in `prune_elem` was dead
+//! code (Unknown results were never cached) and has been removed.
 
-use crate::assignment::Assignment;
+use crate::assignment::{Assignment, Slot};
 use crate::dag::{Dag, NodeId};
 use oassis_ql::Value;
 use ontology::{ElemId, Vocabulary};
-use std::collections::HashMap;
 
 /// Classification state of an assignment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +58,20 @@ pub enum Class {
     Insignificant,
 }
 
+/// Per-node cached classification knowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cached {
+    /// Queried (or directly answered): the definite, sticky result.
+    Queried(Class),
+    /// In the generalization cone of a significant witness; the first
+    /// query still re-checks pruning (pruned wins, as in the scan order).
+    DerivedSig,
+    /// In the specialization cone of an insignificant witness; the first
+    /// query still re-checks pruning and significant witnesses (both take
+    /// precedence in the scan order).
+    DerivedInsig,
+}
+
 /// A witness-based classifier over (a view of) the assignment DAG.
 ///
 /// The same type serves as the *global* classifier of the multi-user
@@ -38,7 +81,22 @@ pub struct Classifier {
     sig_witnesses: Vec<NodeId>,
     insig_witnesses: Vec<NodeId>,
     pruned_elems: Vec<ElemId>,
-    cache: HashMap<NodeId, Class>,
+    /// Dense per-node cache, grown on demand.
+    cache: Vec<Option<Cached>>,
+    /// Bitset over [`ElemId`]s of pruning clicks.
+    pruned_words: Vec<u64>,
+    /// Significant witnesses posted under every set bit of their
+    /// fingerprint (dense over global fingerprint bits).
+    sig_postings: Vec<Vec<NodeId>>,
+    /// Insignificant witnesses posted under their first value bit.
+    insig_postings: Vec<Vec<NodeId>>,
+    /// Insignificant witnesses with no slot values (≤-bottom elements).
+    insig_bottom: Vec<NodeId>,
+    /// BFS visit stamps (one generation per propagation).
+    visit_mark: Vec<u32>,
+    visit_gen: u32,
+    /// Scratch queue for propagation.
+    queue: Vec<NodeId>,
 }
 
 impl Classifier {
@@ -47,25 +105,100 @@ impl Classifier {
         Self::default()
     }
 
+    fn ensure_node(&mut self, id: NodeId) {
+        if id.index() >= self.cache.len() {
+            self.cache.resize(id.index() + 1, None);
+            self.visit_mark.resize(id.index() + 1, 0);
+        }
+    }
+
+    fn ensure_postings(postings: &mut Vec<Vec<NodeId>>, bit: usize) {
+        if bit >= postings.len() {
+            postings.resize(bit + 1, Vec::new());
+        }
+    }
+
     /// Marks `id` (answered) significant; classifies all its
     /// generalizations by inference.
-    pub fn mark_significant(&mut self, id: NodeId) {
+    pub fn mark_significant(&mut self, dag: &Dag<'_>, id: NodeId) {
+        self.ensure_node(id);
         self.sig_witnesses.push(id);
-        self.cache.insert(id, Class::Significant);
+        let words = dag.fp_words(id);
+        for bit in crate::fingerprint::iter_bits(words) {
+            Self::ensure_postings(&mut self.sig_postings, bit);
+            self.sig_postings[bit].push(id);
+        }
+        self.cache[id.index()] = Some(Cached::Queried(Class::Significant));
+        self.propagate(dag, id, true);
     }
 
     /// Marks `id` (answered) insignificant; classifies all its
     /// specializations by inference.
-    pub fn mark_insignificant(&mut self, id: NodeId) {
+    pub fn mark_insignificant(&mut self, dag: &Dag<'_>, id: NodeId) {
+        self.ensure_node(id);
         self.insig_witnesses.push(id);
-        self.cache.insert(id, Class::Insignificant);
+        match first_value_bit(dag, id) {
+            Some(bit) => {
+                Self::ensure_postings(&mut self.insig_postings, bit);
+                self.insig_postings[bit].push(id);
+            }
+            None => self.insig_bottom.push(id),
+        }
+        self.cache[id.index()] = Some(Cached::Queried(Class::Insignificant));
+        self.propagate(dag, id, false);
+    }
+
+    /// Stamps the cone of `id` along materialized edges: parent edges for
+    /// a significant witness (generalizations), generated child edges for
+    /// an insignificant one (specializations). Queried nodes keep their
+    /// sticky result but the walk continues through them; a node already
+    /// carrying the same derived stamp terminates the branch (its cone
+    /// was stamped when it was).
+    fn propagate(&mut self, dag: &Dag<'_>, start: NodeId, sig: bool) {
+        let last = NodeId(dag.len().saturating_sub(1) as u32);
+        self.ensure_node(last);
+        self.visit_gen += 1;
+        let gen = self.visit_gen;
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.clear();
+        let neighbors = |n: NodeId| -> &[NodeId] {
+            if sig {
+                dag.node(n).parents()
+            } else {
+                dag.node(n).children_if_generated().unwrap_or(&[])
+            }
+        };
+        queue.extend_from_slice(neighbors(start));
+        while let Some(n) = queue.pop() {
+            if self.visit_mark[n.index()] == gen {
+                continue;
+            }
+            self.visit_mark[n.index()] = gen;
+            match self.cache[n.index()] {
+                None => {
+                    self.cache[n.index()] = Some(if sig {
+                        Cached::DerivedSig
+                    } else {
+                        Cached::DerivedInsig
+                    });
+                    queue.extend_from_slice(neighbors(n));
+                }
+                Some(Cached::DerivedSig) if sig => {}
+                Some(Cached::DerivedInsig) if !sig => {}
+                Some(_) => queue.extend_from_slice(neighbors(n)),
+            }
+        }
+        self.queue = queue;
     }
 
     /// Records a user-guided pruning click on element `e`.
     pub fn prune_elem(&mut self, e: ElemId) {
         self.pruned_elems.push(e);
-        // cached Unknowns may now be insignificant
-        self.cache.retain(|_, c| *c != Class::Unknown);
+        let wi = e.index() / 64;
+        if wi >= self.pruned_words.len() {
+            self.pruned_words.resize(wi + 1, 0);
+        }
+        self.pruned_words[wi] |= 1 << (e.index() % 64);
     }
 
     /// Number of direct decisions recorded (significant + insignificant
@@ -86,19 +219,138 @@ impl Classifier {
 
     /// Classifies `id`, using witnesses and pruning records.
     pub fn class(&mut self, dag: &Dag<'_>, id: NodeId) -> Class {
-        if let Some(&c) = self.cache.get(&id) {
-            if c != Class::Unknown {
-                return c;
+        self.ensure_node(id);
+        match self.cache[id.index()] {
+            Some(Cached::Queried(c)) => c,
+            Some(Cached::DerivedSig) => {
+                let c = if self.pruned_matches_node(dag, id) {
+                    Class::Insignificant
+                } else {
+                    Class::Significant
+                };
+                debug_assert_eq!(c, self.class_by_scan(dag, id));
+                self.cache[id.index()] = Some(Cached::Queried(c));
+                c
+            }
+            Some(Cached::DerivedInsig) => {
+                let c = if self.pruned_matches_node(dag, id) {
+                    Class::Insignificant
+                } else if self.sig_hit(dag, id) {
+                    Class::Significant
+                } else {
+                    Class::Insignificant
+                };
+                debug_assert_eq!(c, self.class_by_scan(dag, id));
+                self.cache[id.index()] = Some(Cached::Queried(c));
+                c
+            }
+            None => {
+                let c = if self.pruned_matches_node(dag, id) {
+                    Class::Insignificant
+                } else if self.sig_hit(dag, id) {
+                    Class::Significant
+                } else if self.insig_hit(dag, id) {
+                    Class::Insignificant
+                } else {
+                    Class::Unknown
+                };
+                debug_assert_eq!(c, self.class_by_scan(dag, id));
+                if c != Class::Unknown {
+                    self.cache[id.index()] = Some(Cached::Queried(c));
+                }
+                c
             }
         }
-        let c = self.compute(dag, id);
-        if c != Class::Unknown {
-            self.cache.insert(id, c);
-        }
-        c
     }
 
-    fn compute(&self, dag: &Dag<'_>, id: NodeId) -> Class {
+    /// Whether some significant witness `w` has `id ≤ w`, via the
+    /// posting index: `F(id) ⊆ F(w)` requires every value bit of `id` to
+    /// be set in `F(w)`, so the posting list of any one value bit is a
+    /// complete candidate set — verify the shortest. An empty posting
+    /// for any value bit refutes all witnesses at once.
+    fn sig_hit(&self, dag: &Dag<'_>, id: NodeId) -> bool {
+        if self.sig_witnesses.is_empty() {
+            return false;
+        }
+        const EMPTY: &[NodeId] = &[];
+        let space = dag.fp_space();
+        let a = &dag.node(id).assignment;
+        let mut best: Option<&[NodeId]> = None;
+        let mut has_values = false;
+        for si in 0..a.num_slots() {
+            for &v in a.slot(Slot(si as u16)) {
+                has_values = true;
+                let bit = space.value_bit(si, v);
+                let posting = self.sig_postings.get(bit).map_or(EMPTY, |p| p.as_slice());
+                if posting.is_empty() {
+                    return false;
+                }
+                if best.is_none_or(|b| posting.len() < b.len()) {
+                    best = Some(posting);
+                }
+            }
+        }
+        if !has_values {
+            // no value bits to key on (⊥-like node): scan the list
+            return self.sig_witnesses.iter().any(|&w| dag.leq(id, w));
+        }
+        best.unwrap().iter().any(|&w| dag.leq(id, w))
+    }
+
+    /// Whether some insignificant witness `w` has `w ≤ id`: `F(w) ⊆
+    /// F(id)` puts `w`'s first value bit inside `F(id)`, so walking the
+    /// set bits of `F(id)` over the postings covers all candidates;
+    /// valueless witnesses are kept aside and always checked.
+    fn insig_hit(&self, dag: &Dag<'_>, id: NodeId) -> bool {
+        if self.insig_witnesses.is_empty() {
+            return false;
+        }
+        if self.insig_bottom.iter().any(|&w| dag.leq(w, id)) {
+            return true;
+        }
+        if self.insig_postings.is_empty() {
+            return false;
+        }
+        for bit in crate::fingerprint::iter_bits(dag.fp_words(id)) {
+            if let Some(p) = self.insig_postings.get(bit) {
+                if p.iter().any(|&w| dag.leq(w, id)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether the node involves a pruned element or a specialization of
+    /// one: a pruned element `p` with `p ≤ e` for a slot value `e` is an
+    /// ancestor of `e`, i.e. a set bit in the elem region of the node's
+    /// fingerprint — one word-AND per slot. MORE-fact components are
+    /// checked against the vocabulary's ancestor rows directly.
+    fn pruned_matches_node(&self, dag: &Dag<'_>, id: NodeId) -> bool {
+        if self.pruned_elems.is_empty() {
+            return false;
+        }
+        let space = dag.fp_space();
+        let words = dag.fp_words(id);
+        for si in 0..space.num_slots() {
+            let base = si * space.words_per_slot();
+            let elem_region = &words[base..base + space.elem_words()];
+            if intersects(elem_region, &self.pruned_words) {
+                return true;
+            }
+        }
+        let vocab = dag.vocab();
+        dag.node(id).assignment.more().iter().any(|f| {
+            intersects(vocab.elem_ancestor_words(f.subject), &self.pruned_words)
+                || intersects(vocab.elem_ancestor_words(f.object), &self.pruned_words)
+        })
+    }
+
+    /// The historical witness-scan classification — the executable
+    /// specification the indexed path is checked against (and the
+    /// reference for the property tests). Computes from scratch; no
+    /// caching.
+    pub fn class_by_scan(&self, dag: &Dag<'_>, id: NodeId) -> Class {
         let a = &dag.node(id).assignment;
         let vocab = dag.vocab();
         if self.pruned_matches(vocab, a) {
@@ -118,14 +370,14 @@ impl Classifier {
     }
 
     /// Whether the assignment involves a pruned element or a
-    /// specialization of one.
+    /// specialization of one (exact scan form).
     fn pruned_matches(&self, vocab: &Vocabulary, a: &Assignment) -> bool {
         if self.pruned_elems.is_empty() {
             return false;
         }
         let elem_hit = |e: ElemId| self.pruned_elems.iter().any(|&p| vocab.elem_leq(p, e));
         for si in 0..a.num_slots() {
-            for &v in a.slot(crate::assignment::Slot(si as u16)) {
+            for &v in a.slot(Slot(si as u16)) {
                 if let Value::Elem(e) = v {
                     if elem_hit(e) {
                         return true;
@@ -133,13 +385,33 @@ impl Classifier {
                 }
             }
         }
-        a.more().iter().any(|f| elem_hit(f.subject) || elem_hit(f.object))
+        a.more()
+            .iter()
+            .any(|f| elem_hit(f.subject) || elem_hit(f.object))
     }
 
     /// Whether `id` is classified (not [`Class::Unknown`]).
     pub fn is_classified(&mut self, dag: &Dag<'_>, id: NodeId) -> bool {
         self.class(dag, id) != Class::Unknown
     }
+}
+
+/// Tests whether two bitsets of possibly different lengths intersect.
+#[inline]
+fn intersects(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).any(|(&x, &y)| x & y != 0)
+}
+
+/// The first (slot, value) bit of a node's own values, if any.
+fn first_value_bit(dag: &Dag<'_>, id: NodeId) -> Option<usize> {
+    let space = dag.fp_space();
+    let a = &dag.node(id).assignment;
+    for si in 0..a.num_slots() {
+        if let Some(&v) = a.slot(Slot(si as u16)).first() {
+            return Some(space.value_bit(si, v));
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -176,7 +448,7 @@ mod tests {
         let specific = node(&mut dag, &ont, "Central Park", "Basketball");
         let general = node(&mut dag, &ont, "Park", "Sport");
         let sibling = node(&mut dag, &ont, "Central Park", "Biking");
-        cls.mark_significant(specific);
+        cls.mark_significant(&dag, specific);
         assert_eq!(cls.class(&dag, general), Class::Significant);
         assert_eq!(cls.class(&dag, sibling), Class::Unknown);
     }
@@ -190,7 +462,7 @@ mod tests {
         let general = node(&mut dag, &ont, "Central Park", "Ball Game");
         let specific = node(&mut dag, &ont, "Central Park", "Basketball");
         let other = node(&mut dag, &ont, "Central Park", "Biking");
-        cls.mark_insignificant(general);
+        cls.mark_insignificant(&dag, general);
         assert_eq!(cls.class(&dag, specific), Class::Insignificant);
         assert_eq!(cls.class(&dag, other), Class::Unknown);
     }
@@ -219,7 +491,7 @@ mod tests {
         let mut dag = Dag::new(&b, ont.vocab(), &base);
         let mut cls = Classifier::new();
         let w = node(&mut dag, &ont, "Central Park", "Sport");
-        cls.mark_significant(w);
+        cls.mark_significant(&dag, w);
         // materialize a more general node afterwards
         let g = node(&mut dag, &ont, "Outdoor", "Activity");
         assert_eq!(cls.class(&dag, g), Class::Significant);
@@ -233,7 +505,43 @@ mod tests {
         let mut cls = Classifier::new();
         let n = node(&mut dag, &ont, "Central Park", "Biking");
         assert!(!cls.is_classified(&dag, n));
-        cls.mark_significant(n);
+        cls.mark_significant(&dag, n);
         assert_eq!(cls.class(&dag, n), Class::Significant);
+    }
+
+    #[test]
+    fn queried_results_stick_under_later_contradiction() {
+        // historical semantics: the first query's verdict is permanent;
+        // later pruning clicks or contradictory answers don't flip it
+        let (ont, b) = setup();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let mut cls = Classifier::new();
+        let w = node(&mut dag, &ont, "Central Park", "Basketball");
+        let g = node(&mut dag, &ont, "Park", "Sport");
+        cls.mark_significant(&dag, w);
+        assert_eq!(cls.class(&dag, g), Class::Significant);
+        cls.prune_elem(ont.vocab().elem_id("Sport").unwrap());
+        // g was already queried — sticks; an unqueried sibling is pruned
+        assert_eq!(cls.class(&dag, g), Class::Significant);
+        let fresh = node(&mut dag, &ont, "Bronx Zoo", "Sport");
+        assert_eq!(cls.class(&dag, fresh), Class::Insignificant);
+    }
+
+    #[test]
+    fn derived_insig_yields_to_significant_witness() {
+        // scan order: significant witnesses take precedence over
+        // insignificant inference on a first query
+        let (ont, b) = setup();
+        let base = evaluate_where(&b, &ont, MatchMode::Exact);
+        let mut dag = Dag::new(&b, ont.vocab(), &base);
+        let mut cls = Classifier::new();
+        let low = node(&mut dag, &ont, "Park", "Sport");
+        let mid = node(&mut dag, &ont, "Central Park", "Ball Game");
+        let high = node(&mut dag, &ont, "Central Park", "Basketball");
+        cls.mark_insignificant(&dag, low); // mid, high ⊇ low ⇒ insig cone
+        cls.mark_significant(&dag, high); // but high is answered significant
+        assert_eq!(cls.class(&dag, mid), Class::Significant);
+        assert_eq!(cls.class(&dag, high), Class::Significant);
     }
 }

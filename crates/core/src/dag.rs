@@ -17,6 +17,7 @@
 //!    ([`Dag::attach_more_tip`]), mirroring the prototype's *more* button.
 
 use crate::assignment::{value_leq, Assignment, Slot};
+use crate::fingerprint::{self, FingerprintSpace};
 use crate::validity::ValidityIndex;
 use oassis_ql::{BaseAssignment, BoundQuery, Value};
 use ontology::{Fact, Vocabulary};
@@ -81,9 +82,23 @@ pub struct Dag<'a> {
     index: HashMap<Assignment, NodeId>,
     roots: Vec<NodeId>,
     stats: GenStats,
+    /// Bit layout of the per-node closure fingerprints.
+    fp_space: FingerprintSpace,
+    /// Flat fingerprint storage, [`FingerprintSpace::words_per_node`]
+    /// words per node, filled at [`intern`](Self::intern).
+    fps: Vec<u64>,
+    /// One-word OR-fold summary per node (not-subset prefilter).
+    fp_summaries: Vec<u64>,
     /// When false, add-value moves (multiplicities) are suppressed — used
     /// to measure the paper's "DAG size without multiplicities".
     allow_multiplicities: bool,
+    /// Scratch buffers reused across [`children`](Self::children) /
+    /// [`add_candidates`](Self::add_candidates) calls; node expansion is
+    /// the mining inner loop, and re-allocating these per call dominated
+    /// its allocation profile.
+    scratch_succs: Vec<Assignment>,
+    scratch_queue: Vec<Value>,
+    scratch_seen: std::collections::HashSet<Value>,
 }
 
 impl<'a> Dag<'a> {
@@ -91,6 +106,7 @@ impl<'a> Dag<'a> {
     /// validity index and materializes the root (most general) nodes.
     pub fn new(q: &'a BoundQuery, vocab: &'a Vocabulary, base: &[BaseAssignment]) -> Self {
         let validity = ValidityIndex::new(q, vocab, base);
+        let fp_space = FingerprintSpace::new(vocab, validity.slots().len());
         let mut dag = Dag {
             q,
             vocab,
@@ -99,7 +115,13 @@ impl<'a> Dag<'a> {
             index: HashMap::new(),
             roots: Vec::new(),
             stats: GenStats::default(),
+            fp_space,
+            fps: Vec::new(),
+            fp_summaries: Vec::new(),
             allow_multiplicities: true,
+            scratch_succs: Vec::new(),
+            scratch_queue: Vec::new(),
+            scratch_seen: std::collections::HashSet::new(),
         };
         dag.make_roots();
         dag
@@ -156,11 +178,51 @@ impl<'a> Dag<'a> {
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
-    /// `a ≤ b` on node assignments.
+    /// The fingerprint bit layout.
+    pub fn fp_space(&self) -> &FingerprintSpace {
+        &self.fp_space
+    }
+
+    /// The closure fingerprint of a node.
+    #[inline]
+    pub fn fp_words(&self, id: NodeId) -> &[u64] {
+        let w = self.fp_space.words_per_node();
+        &self.fps[id.index() * w..(id.index() + 1) * w]
+    }
+
+    /// The one-word fingerprint summary of a node.
+    #[inline]
+    pub fn fp_summary(&self, id: NodeId) -> u64 {
+        self.fp_summaries[id.index()]
+    }
+
+    /// `a ≤ b` on node assignments: summary prefilter, then word-parallel
+    /// subset test on the slot fingerprints, then the exact MORE-fact
+    /// condition (facts are not fingerprinted).
     pub fn leq(&self, a: NodeId, b: NodeId) -> bool {
-        self.nodes[a.index()]
-            .assignment
-            .leq(self.vocab, &self.nodes[b.index()].assignment)
+        if a == b {
+            return true;
+        }
+        let res = self.fp_summaries[a.index()] & !self.fp_summaries[b.index()] == 0
+            && fingerprint::subset(self.fp_words(a), self.fp_words(b))
+            && self.more_leq(a, b);
+        debug_assert_eq!(
+            res,
+            self.nodes[a.index()]
+                .assignment
+                .leq(self.vocab, &self.nodes[b.index()].assignment)
+        );
+        res
+    }
+
+    fn more_leq(&self, a: NodeId, b: NodeId) -> bool {
+        let am = self.nodes[a.index()].assignment.more();
+        if am.is_empty() {
+            return true;
+        }
+        let bm = self.nodes[b.index()].assignment.more();
+        am.iter()
+            .all(|&f| bm.iter().any(|&g| self.vocab.fact_leq(f, g)))
     }
 
     fn make_roots(&mut self) {
@@ -215,7 +277,17 @@ impl<'a> Dag<'a> {
         }
         let valid = self.validity.is_valid(&a);
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { assignment: a.clone(), valid, children: None, parents: Vec::new() });
+        let start = self.fps.len();
+        self.fps.resize(start + self.fp_space.words_per_node(), 0);
+        self.fp_space.write(self.vocab, &a, &mut self.fps[start..]);
+        self.fp_summaries
+            .push(fingerprint::summarize(&self.fps[start..]));
+        self.nodes.push(Node {
+            assignment: a.clone(),
+            valid,
+            children: None,
+            parents: Vec::new(),
+        });
         self.index.insert(a, id);
         self.stats.nodes_created += 1;
         id
@@ -232,9 +304,10 @@ impl<'a> Dag<'a> {
             return c.clone();
         }
         let assignment = self.nodes[id.index()].assignment.clone();
-        let succs = self.successor_assignments(&assignment);
+        let mut succs = std::mem::take(&mut self.scratch_succs);
+        self.successor_assignments(&assignment, &mut succs);
         let mut child_ids = Vec::with_capacity(succs.len());
-        for s in succs {
+        for s in succs.drain(..) {
             let cid = self.intern(s);
             if cid != id && !child_ids.contains(&cid) {
                 child_ids.push(cid);
@@ -245,6 +318,7 @@ impl<'a> Dag<'a> {
         }
         self.nodes[id.index()].children = Some(child_ids.clone());
         self.stats.nodes_expanded += 1;
+        self.scratch_succs = succs;
         child_ids
     }
 
@@ -253,20 +327,21 @@ impl<'a> Dag<'a> {
         self.nodes[id.index()].children.is_some()
     }
 
-    /// Generates the immediate-successor assignments of `a` within `𝒜`.
-    fn successor_assignments(&mut self, a: &Assignment) -> Vec<Assignment> {
-        let mut out: Vec<Assignment> = Vec::new();
+    /// Generates the immediate-successor assignments of `a` within `𝒜`,
+    /// appending into the caller-provided buffer (cleared first).
+    fn successor_assignments(&mut self, a: &Assignment, out: &mut Vec<Assignment>) {
+        out.clear();
+        let vocab = self.vocab;
         let nslots = self.validity.slots().len();
         // 1. replace: one vocabulary child step on one value
         for si in 0..nslots {
             let slot = Slot(si as u16);
-            let values: Vec<Value> = a.slot(slot).to_vec();
-            for v in values {
-                for c in self.value_children(v) {
-                    let cand = a.with_replaced(self.vocab, slot, v, c);
+            for &v in a.slot(slot) {
+                for c in value_children(vocab, v) {
+                    let cand = a.with_replaced(vocab, slot, v, c);
                     if cand != *a {
                         self.stats.admits_calls += 1;
-                        if self.validity.admits(self.vocab, &cand) {
+                        if self.validity.admits(vocab, &cand) {
                             out.push(cand);
                         }
                     }
@@ -283,31 +358,21 @@ impl<'a> Dag<'a> {
                     continue;
                 }
                 for v in self.add_candidates(a, slot) {
-                    out.push(a.with_value(self.vocab, slot, v));
+                    out.push(a.with_value(vocab, slot, v));
                 }
             }
         }
         // 3. MORE-fact component specialization
         for &f in a.more() {
             for g in self.fact_children(f) {
-                let cand = a.with_more_replaced(self.vocab, f, g);
+                let cand = a.with_more_replaced(vocab, f, g);
                 if cand != *a {
                     out.push(cand);
                 }
             }
         }
-        out.sort_unstable_by(|x, y| x.cmp(y));
+        out.sort_unstable();
         out.dedup();
-        out
-    }
-
-    fn value_children(&self, v: Value) -> Vec<Value> {
-        match v {
-            Value::Elem(e) => {
-                self.vocab.elem_children(e).iter().map(|&c| Value::Elem(c)).collect()
-            }
-            Value::Rel(r) => self.vocab.rel_children(r).iter().map(|&c| Value::Rel(c)).collect(),
-        }
     }
 
     fn fact_children(&self, f: Fact) -> Vec<Fact> {
@@ -329,21 +394,26 @@ impl<'a> Dag<'a> {
     /// slot's minimal values; subtrees are pruned on comparability or
     /// inadmissibility (both are inherited downward).
     fn add_candidates(&mut self, a: &Assignment, slot: Slot) -> Vec<Value> {
-        let existing: Vec<Value> = a.slot(slot).to_vec();
+        let vocab = self.vocab;
+        let existing = a.slot(slot);
         let mut out = Vec::new();
-        let mut queue: Vec<Value> = self.validity.minimal_values(slot).to_vec();
-        let mut seen: std::collections::HashSet<Value> = queue.iter().copied().collect();
+        let mut queue = std::mem::take(&mut self.scratch_queue);
+        let mut seen = std::mem::take(&mut self.scratch_seen);
+        queue.clear();
+        seen.clear();
+        queue.extend_from_slice(self.validity.minimal_values(slot));
+        seen.extend(queue.iter().copied());
         while let Some(v) = queue.pop() {
-            if existing.iter().any(|&w| value_leq(self.vocab, w, v)) {
+            if existing.iter().any(|&w| value_leq(vocab, w, v)) {
                 // v (or everything below it) is dominated-by/equal-to an
                 // existing value's specialization cone: adding it is a
                 // replace-move, not an add — skip the subtree.
                 continue;
             }
-            if existing.iter().any(|&w| value_leq(self.vocab, v, w)) {
+            if existing.iter().any(|&w| value_leq(vocab, v, w)) {
                 // v is more general than an existing value: adding it
                 // collapses; descend to find incomparable children.
-                for c in self.value_children(v) {
+                for c in value_children(vocab, v) {
                     if seen.insert(c) {
                         queue.push(c);
                     }
@@ -352,12 +422,14 @@ impl<'a> Dag<'a> {
             }
             // incomparable: admissible ⇒ minimal add; inadmissible ⇒ the
             // whole cone is inadmissible (𝒜 is downward closed) — prune.
-            let cand = a.with_value(self.vocab, slot, v);
+            let cand = a.with_value(vocab, slot, v);
             self.stats.admits_calls += 1;
-            if self.validity.admits(self.vocab, &cand) {
+            if self.validity.admits(vocab, &cand) {
                 out.push(v);
             }
         }
+        self.scratch_queue = queue;
+        self.scratch_seen = seen;
         out.sort_unstable();
         out
     }
@@ -413,16 +485,27 @@ impl<'a> Dag<'a> {
     }
 }
 
+/// The immediate vocabulary children of a value, as an iterator borrowing
+/// only the vocabulary (no per-call `Vec`; node expansion calls this in
+/// its innermost loops).
+fn value_children(vocab: &Vocabulary, v: Value) -> impl Iterator<Item = Value> + '_ {
+    let (elems, rels): (&[_], &[_]) = match v {
+        Value::Elem(e) => (vocab.elem_children(e), &[]),
+        Value::Rel(r) => (&[], vocab.rel_children(r)),
+    };
+    elems
+        .iter()
+        .map(|&c| Value::Elem(c))
+        .chain(rels.iter().map(|&c| Value::Rel(c)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use oassis_ql::{bind, evaluate_where, parse, MatchMode};
     use ontology::domains::figure1;
 
-    fn dag_for<'a>(
-        ont: &'a ontology::Ontology,
-        b: &'a BoundQuery,
-    ) -> Dag<'a> {
+    fn dag_for<'a>(ont: &'a ontology::Ontology, b: &'a BoundQuery) -> Dag<'a> {
         let base = evaluate_where(b, ont, MatchMode::Exact);
         Dag::new(b, ont.vocab(), &base)
     }

@@ -155,8 +155,10 @@ mod tests {
     #[test]
     fn k_larger_than_candidates_returns_all() {
         let ont = figure1::ontology();
-        let candidates =
-            vec![assign(&ont, "Central Park", "Biking"), assign(&ont, "Bronx Zoo", "Feed a Monkey")];
+        let candidates = vec![
+            assign(&ont, "Central Park", "Biking"),
+            assign(&ont, "Bronx Zoo", "Feed a Monkey"),
+        ];
         assert_eq!(diversify(ont.vocab(), &candidates, 10).len(), 2);
         assert!(diversify(ont.vocab(), &candidates, 0).is_empty());
         assert!(diversify(ont.vocab(), &[], 3).is_empty());
@@ -167,8 +169,7 @@ mod tests {
         let ont = figure1::ontology();
         let v = ont.vocab();
         let plain = assign(&ont, "Central Park", "Biking");
-        let tipped =
-            plain.with_more(v, v.fact("Rent Bikes", "doAt", "Boathouse").unwrap());
+        let tipped = plain.with_more(v, v.fact("Rent Bikes", "doAt", "Boathouse").unwrap());
         let d = semantic_distance(v, &plain, &tipped);
         assert!(d > 0.0 && d < 1.0);
     }

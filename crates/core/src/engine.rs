@@ -38,7 +38,11 @@ pub struct QueryAnswer {
 impl<'o> Oassis<'o> {
     /// Creates an engine with exact (SPARQL-style) WHERE matching.
     pub fn new(ont: &'o Ontology) -> Self {
-        Oassis { ont, match_mode: MatchMode::Exact, templates: QuestionTemplates::new() }
+        Oassis {
+            ont,
+            match_mode: MatchMode::Exact,
+            templates: QuestionTemplates::new(),
+        }
     }
 
     /// Switches the WHERE match mode.
@@ -70,9 +74,9 @@ impl<'o> Oassis<'o> {
             crowd::Question::Concrete { pattern } => {
                 self.templates.render_concrete(self.ont.vocab(), pattern)
             }
-            crowd::Question::Specialization { base, options } => {
-                self.templates.render_specialization(self.ont.vocab(), base, options)
-            }
+            crowd::Question::Specialization { base, options } => self
+                .templates
+                .render_specialization(self.ont.vocab(), base, options),
         }
     }
 
@@ -193,10 +197,22 @@ mod tests {
         let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
         let agg = FixedSampleAggregator { sample_size: 1 };
         let ans = engine
-            .execute(figure1::SIMPLE_QUERY, &mut crowd, &agg, &MiningConfig::default())
+            .execute(
+                figure1::SIMPLE_QUERY,
+                &mut crowd,
+                &agg,
+                &MiningConfig::default(),
+            )
             .unwrap();
-        assert!(ans.answers.iter().any(|a| a == "Biking doAt Central Park"), "{:?}", ans.answers);
-        assert!(ans.answers.iter().any(|a| a == "Feed a Monkey doAt Bronx Zoo"));
+        assert!(
+            ans.answers.iter().any(|a| a == "Biking doAt Central Park"),
+            "{:?}",
+            ans.answers
+        );
+        assert!(ans
+            .answers
+            .iter()
+            .any(|a| a == "Feed a Monkey doAt Bronx Zoo"));
         assert!(ans.outcome.mining.complete);
     }
 
@@ -208,17 +224,32 @@ mod tests {
         let all_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS ALL");
         let mut crowd1 = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
         let msp_ans = engine
-            .execute(figure1::SIMPLE_QUERY, &mut crowd1, &agg, &MiningConfig::default())
+            .execute(
+                figure1::SIMPLE_QUERY,
+                &mut crowd1,
+                &agg,
+                &MiningConfig::default(),
+            )
             .unwrap();
         let mut crowd2 = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
-        let all_ans =
-            engine.execute(&all_query, &mut crowd2, &agg, &MiningConfig::default()).unwrap();
+        let all_ans = engine
+            .execute(&all_query, &mut crowd2, &agg, &MiningConfig::default())
+            .unwrap();
         assert!(all_ans.answers.len() >= msp_ans.answers.len());
         // e.g. the generalization "Sport doAt Central Park" is significant
         // but not maximal
-        assert!(all_ans.answers.iter().any(|a| a == "Sport doAt Central Park"),
-            "{:?}", all_ans.answers);
-        assert!(!msp_ans.answers.iter().any(|a| a == "Sport doAt Central Park"));
+        assert!(
+            all_ans
+                .answers
+                .iter()
+                .any(|a| a == "Sport doAt Central Park"),
+            "{:?}",
+            all_ans.answers
+        );
+        assert!(!msp_ans
+            .answers
+            .iter()
+            .any(|a| a == "Sport doAt Central Park"));
     }
 
     #[test]
@@ -228,8 +259,16 @@ mod tests {
         let agg = FixedSampleAggregator { sample_size: 1 };
         let var_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT VARIABLES");
         let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
-        let ans = engine.execute(&var_query, &mut crowd, &agg, &MiningConfig::default()).unwrap();
-        assert!(ans.answers.iter().any(|a| a.contains("$x ↦ {Central Park}")), "{:?}", ans.answers);
+        let ans = engine
+            .execute(&var_query, &mut crowd, &agg, &MiningConfig::default())
+            .unwrap();
+        assert!(
+            ans.answers
+                .iter()
+                .any(|a| a.contains("$x ↦ {Central Park}")),
+            "{:?}",
+            ans.answers
+        );
         assert!(ans.answers.iter().any(|a| a.contains("$y ↦ {Biking}")));
     }
 

@@ -1,0 +1,245 @@
+//! Per-slot bitset closure fingerprints for interned assignments.
+//!
+//! The semantic order of Definition 4.1 compares assignments slot by
+//! slot: `a ≤ b` iff every value of `a`'s slot is ≤ some value of `b`'s
+//! slot (plus the MORE-fact condition). Writing `Anc(v) = {x : x ≤ v}`
+//! for the ancestor closure (up-set) of a value, the slot condition is
+//! equivalent to a bitset subset test:
+//!
+//! ```text
+//! F_s(a) = ⋃_{v ∈ a_s} Anc(v)      (the slot fingerprint)
+//! a_s ≤ b_s   ⟺   F_s(a) ⊆ F_s(b)
+//! ```
+//!
+//! (⇐: each v ∈ a_s has v ∈ F_s(a) ⊆ F_s(b), so v ≤ some w ∈ b_s.
+//! ⇒: v ≤ w implies Anc(v) ⊆ Anc(w) by transitivity.)
+//!
+//! A node's fingerprint concatenates the slot fingerprints into one
+//! word-aligned bit vector — elements and relations get disjoint,
+//! word-aligned regions inside each slot, so `F(a)` is built by ORing
+//! the vocabulary's precomputed ancestor-closure rows without any bit
+//! shifting. The whole order check (minus MORE facts, which stay an
+//! exact loop — they are rare and unbounded) becomes a handful of
+//! word-parallel subset tests, with a single-word OR-fold summary as a
+//! prefilter.
+
+use crate::assignment::{Assignment, Slot};
+use oassis_ql::Value;
+use ontology::{ElemId, RelId, Vocabulary};
+
+/// Bit layout of node fingerprints for one DAG (fixed vocabulary and
+/// slot count).
+#[derive(Debug, Clone)]
+pub struct FingerprintSpace {
+    num_slots: usize,
+    elem_words: usize,
+    words_per_slot: usize,
+}
+
+impl FingerprintSpace {
+    /// Lays out `num_slots` slot regions over the vocabulary.
+    pub fn new(vocab: &Vocabulary, num_slots: usize) -> Self {
+        FingerprintSpace {
+            num_slots,
+            elem_words: vocab.elem_words(),
+            words_per_slot: vocab.elem_words() + vocab.rel_words(),
+        }
+    }
+
+    /// Number of slots laid out.
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Words per slot region (elements first, then relations).
+    #[inline]
+    pub fn words_per_slot(&self) -> usize {
+        self.words_per_slot
+    }
+
+    /// Words of the element sub-region of each slot.
+    #[inline]
+    pub fn elem_words(&self) -> usize {
+        self.elem_words
+    }
+
+    /// Total words per node fingerprint.
+    #[inline]
+    pub fn words_per_node(&self) -> usize {
+        self.num_slots * self.words_per_slot
+    }
+
+    /// Global bit of element `e` in slot `s`.
+    #[inline]
+    pub fn elem_bit(&self, s: usize, e: ElemId) -> usize {
+        s * self.words_per_slot * 64 + e.index()
+    }
+
+    /// Global bit of relation `r` in slot `s`.
+    #[inline]
+    pub fn rel_bit(&self, s: usize, r: RelId) -> usize {
+        (s * self.words_per_slot + self.elem_words) * 64 + r.index()
+    }
+
+    /// Global bit of a value in slot `s`.
+    #[inline]
+    pub fn value_bit(&self, s: usize, v: Value) -> usize {
+        match v {
+            Value::Elem(e) => self.elem_bit(s, e),
+            Value::Rel(r) => self.rel_bit(s, r),
+        }
+    }
+
+    /// Writes the fingerprint of `a` into `out` (length
+    /// [`words_per_node`](Self::words_per_node), zeroed by the caller).
+    pub fn write(&self, vocab: &Vocabulary, a: &Assignment, out: &mut [u64]) {
+        debug_assert_eq!(a.num_slots(), self.num_slots);
+        debug_assert_eq!(out.len(), self.words_per_node());
+        for si in 0..a.num_slots() {
+            let base = si * self.words_per_slot;
+            for &v in a.slot(Slot(si as u16)) {
+                match v {
+                    Value::Elem(e) => or_into(
+                        &mut out[base..base + self.elem_words],
+                        vocab.elem_ancestor_words(e),
+                    ),
+                    Value::Rel(r) => or_into(
+                        &mut out[base + self.elem_words..base + self.words_per_slot],
+                        vocab.rel_ancestor_words(r),
+                    ),
+                }
+            }
+        }
+    }
+}
+
+fn or_into(dst: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+/// Word-parallel subset test: every bit of `a` is set in `b`.
+#[inline]
+pub fn subset(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).all(|(&x, &y)| x & !y == 0)
+}
+
+/// OR-fold of all words — a one-word summary. `summarize(a) & !summarize(b)
+/// != 0` proves `a ⊄ b` (a bit position set somewhere in `a` but nowhere
+/// in `b` at that word offset modulo 64 cannot be covered), so it is a
+/// sound not-subset prefilter.
+#[inline]
+pub fn summarize(words: &[u64]) -> u64 {
+    words.iter().fold(0, |acc, &w| acc | w)
+}
+
+/// Iterates the global indices of all set bits, in increasing order.
+pub fn iter_bits(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &word)| {
+        let mut word = word;
+        std::iter::from_fn(move || {
+            if word == 0 {
+                None
+            } else {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(wi * 64 + bit)
+            }
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oassis_ql::{bind, parse};
+    use ontology::domains::figure1;
+
+    fn assign(ont: &ontology::Ontology, x: &str, ys: &[&str]) -> Assignment {
+        let v = ont.vocab();
+        Assignment::new(
+            v,
+            vec![
+                vec![Value::Elem(v.elem_id(x).unwrap())],
+                ys.iter()
+                    .map(|y| Value::Elem(v.elem_id(y).unwrap()))
+                    .collect(),
+            ],
+            vec![],
+        )
+    }
+
+    fn fp(space: &FingerprintSpace, vocab: &Vocabulary, a: &Assignment) -> Vec<u64> {
+        let mut out = vec![0u64; space.words_per_node()];
+        space.write(vocab, a, &mut out);
+        out
+    }
+
+    #[test]
+    fn subset_matches_assignment_leq() {
+        let ont = figure1::ontology();
+        let q = parse(figure1::SIMPLE_QUERY).unwrap();
+        let _b = bind(&q, &ont).unwrap();
+        let v = ont.vocab();
+        let space = FingerprintSpace::new(v, 2);
+        let samples = [
+            assign(&ont, "Central Park", &["Ball Game"]),
+            assign(&ont, "Central Park", &["Baseball"]),
+            assign(&ont, "Central Park", &["Biking"]),
+            assign(&ont, "Central Park", &["Sport"]),
+            assign(&ont, "Central Park", &["Biking", "Ball Game"]),
+            assign(&ont, "Park", &["Sport"]),
+            assign(&ont, "Bronx Zoo", &["Feed a Monkey"]),
+            Assignment::new(
+                v,
+                vec![
+                    vec![Value::Elem(v.elem_id("Central Park").unwrap())],
+                    vec![],
+                ],
+                vec![],
+            ),
+        ];
+        for a in &samples {
+            for b in &samples {
+                let fa = fp(&space, v, a);
+                let fb = fp(&space, v, b);
+                assert_eq!(
+                    subset(&fa, &fb),
+                    a.leq(v, b),
+                    "fingerprint disagrees on {a:?} ≤ {b:?}"
+                );
+                // the summary prefilter is sound
+                if summarize(&fa) & !summarize(&fb) != 0 {
+                    assert!(!a.leq(v, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_bits_are_disjoint_per_slot_and_kind() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let space = FingerprintSpace::new(v, 2);
+        let e = v.elem_id("Biking").unwrap();
+        let r = v.rel_id("doAt").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..2 {
+            assert!(seen.insert(space.elem_bit(s, e)));
+            assert!(seen.insert(space.rel_bit(s, r)));
+        }
+        // a value's own bit is always part of its fingerprint (reflexive
+        // closure), which the posting indexes rely on
+        let a = assign(&ont, "Central Park", &["Biking"]);
+        let words = fp(&space, v, &a);
+        let bit = space.elem_bit(1, e);
+        assert!(words[bit / 64] & (1 << (bit % 64)) != 0);
+        let bits: Vec<usize> = iter_bits(&words).collect();
+        assert!(bits.contains(&bit));
+        assert!(bits.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -36,6 +36,7 @@ pub mod classify;
 pub mod dag;
 pub mod diversify;
 pub mod engine;
+pub mod fingerprint;
 pub mod multi;
 pub mod rulemine;
 pub mod synth;
@@ -43,7 +44,9 @@ pub mod templates;
 pub mod validity;
 pub mod vertical;
 
-pub use aggregate::{AggVerdict, Aggregator, EarlyDecisionAggregator, FixedSampleAggregator, TrustWeightedAggregator};
+pub use aggregate::{
+    AggVerdict, Aggregator, EarlyDecisionAggregator, FixedSampleAggregator, TrustWeightedAggregator,
+};
 pub use assignment::{Assignment, Slot};
 pub use baselines::{baseline_question_count, run_horizontal, run_naive};
 pub use cache::{CachingCrowd, CrowdCache};
@@ -51,8 +54,8 @@ pub use classify::{Class, Classifier};
 pub use dag::{Dag, GenStats, Node, NodeId};
 pub use diversify::{diversify, semantic_distance};
 pub use engine::{Oassis, QueryAnswer, RuleAnswer};
-pub use rulemine::{run_rules, MinedRule, RuleMiningConfig, RuleOutcome};
 pub use multi::{run_multi, MultiOutcome, QuestionStats};
+pub use rulemine::{run_rules, MinedRule, RuleMiningConfig, RuleOutcome};
 pub use synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle, SyntheticDomain};
 pub use templates::QuestionTemplates;
 pub use validity::{SlotInfo, ValidityIndex};

@@ -79,7 +79,37 @@ struct MemberState {
     /// overall) — served only when no quorum work is pending, so that a
     /// single member's idiosyncratic habits don't starve the crowd's
     /// shared progress.
+    /// NOTE: the queues may hold duplicates (shared children of several
+    /// significant parents, re-descents, and the revisit re-push of a
+    /// specialization-question base). Deduplicating at push time is *not*
+    /// order-preserving — a re-pushed base could previously be consumed at
+    /// a mid-queue duplicate's earlier position — so duplicates are kept
+    /// and filtered on pop instead. With the classifier's cached indexed
+    /// lookups that pop-side `class()` filter is O(1), so the duplicates
+    /// cost a queue slot, not a witness scan.
     cold: VecDeque<NodeId>,
+}
+
+impl MemberState {
+    fn push_hot(&mut self, id: NodeId) {
+        self.hot.push_back(id);
+    }
+
+    fn extend_hot(&mut self, ids: impl IntoIterator<Item = NodeId>) {
+        self.hot.extend(ids);
+    }
+
+    fn extend_cold(&mut self, ids: impl IntoIterator<Item = NodeId>) {
+        self.cold.extend(ids);
+    }
+
+    fn pop(&mut self, hot: bool) -> Option<NodeId> {
+        if hot {
+            self.hot.pop_front()
+        } else {
+            self.cold.pop_front()
+        }
+    }
 }
 
 /// Runs the multi-user algorithm.
@@ -151,21 +181,42 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                     .collect();
                 if !options.is_empty() {
                     asked = ask_specialization(
-                        dag, crowd, aggregator, threshold, &mut members[mi], &options, target,
-                        &mut answers, &mut global, &mut tracker, &mut stats, &mut questions,
-                        &mut events, &mut newly_significant,
+                        dag,
+                        crowd,
+                        aggregator,
+                        threshold,
+                        &mut members[mi],
+                        &options,
+                        target,
+                        &mut answers,
+                        &mut global,
+                        &mut tracker,
+                        &mut stats,
+                        &mut questions,
+                        &mut events,
+                        &mut newly_significant,
                     );
                     if asked {
                         // the base itself is still unanswered by this
                         // member - revisit it later
-                        members[mi].hot.push_back(target);
+                        members[mi].push_hot(target);
                     }
                 }
             }
             if !asked {
                 asked = ask_concrete(
-                    dag, crowd, aggregator, threshold, &mut members[mi], target, &mut answers,
-                    &mut global, &mut tracker, &mut stats, &mut questions, &mut events,
+                    dag,
+                    crowd,
+                    aggregator,
+                    threshold,
+                    &mut members[mi],
+                    target,
+                    &mut answers,
+                    &mut global,
+                    &mut tracker,
+                    &mut stats,
+                    &mut questions,
+                    &mut events,
                     &mut newly_significant,
                 );
             }
@@ -181,7 +232,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                 for node in newly {
                     let children = dag.children(node);
                     for ms in members.iter_mut() {
-                        ms.hot.extend(children.iter().copied());
+                        ms.extend_hot(children.iter().copied());
                     }
                 }
                 // MSP entailment can only change when a global
@@ -191,8 +242,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                     // TOP k early termination (Section 8 extension)
                     if let Some(k) = dag.query().top_k {
                         if !dag.query().diverse {
-                            let valid =
-                                msp_ids.iter().filter(|&&m| dag.node(m).valid).count();
+                            let valid = msp_ids.iter().filter(|&&m| dag.node(m).valid).count();
                             if valid >= k {
                                 break 'outer;
                             }
@@ -215,8 +265,10 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
         .node_ids()
         .filter(|&i| global.class(dag, i) == Class::Unknown)
         .count();
-    let msps: Vec<crate::Assignment> =
-        msp_ids.iter().map(|&i| dag.node(i).assignment.clone()).collect();
+    let msps: Vec<crate::Assignment> = msp_ids
+        .iter()
+        .map(|&i| dag.node(i).assignment.clone())
+        .collect();
     let valid_msps: Vec<crate::Assignment> = msp_ids
         .iter()
         .filter(|&&i| dag.node(i).valid)
@@ -254,16 +306,9 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
 /// Nodes that are globally classified, personally excluded (rule 4 — the
 /// personal classifier inherits insignificance downward), or already
 /// answered are skipped on pop.
-fn next_target(
-    dag: &mut Dag<'_>,
-    global: &mut Classifier,
-    m: &mut MemberState,
-) -> Option<NodeId> {
+fn next_target(dag: &mut Dag<'_>, global: &mut Classifier, m: &mut MemberState) -> Option<NodeId> {
     for hot in [true, false] {
-        loop {
-            let Some(id) = (if hot { m.hot.pop_front() } else { m.cold.pop_front() }) else {
-                break;
-            };
+        while let Some(id) = m.pop(hot) {
             match global.class(dag, id) {
                 Class::Insignificant => continue,
                 Class::Significant => {
@@ -275,9 +320,9 @@ fn next_target(
                     if m.descended.insert(id) {
                         let children = dag.children(id);
                         if hot {
-                            m.hot.extend(children);
+                            m.extend_hot(children);
                         } else {
-                            m.cold.extend(children);
+                            m.extend_cold(children);
                         }
                     }
                     continue;
@@ -319,13 +364,12 @@ fn record_answer<A: Aggregator>(
     }
     let sig = verdict == AggVerdict::Significant;
     if sig {
-        global.mark_significant(node);
+        global.mark_significant(dag, node);
         newly_significant.push(node);
     } else {
-        global.mark_insignificant(node);
+        global.mark_insignificant(dag, node);
     }
-    let a = dag.node(node).assignment.clone();
-    if tracker.witness(dag, &a, sig) {
+    if tracker.witness(dag, node, sig) {
         events.push(DiscoveryEvent {
             question: questions,
             kind: crate::vertical::DiscoveryKind::ValidClassified {
@@ -358,7 +402,7 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
             stats.concrete += 1;
             m.answered.insert(target);
             if support >= threshold {
-                m.personal.mark_significant(target);
+                m.personal.mark_significant(dag, target);
                 if let Some(tip) = more_tip {
                     dag.attach_more_tip(target, tip);
                 }
@@ -366,13 +410,23 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
                 // about the successors — low priority, so quorum work on
                 // the shared frontier runs first
                 let children = dag.children(target);
-                m.cold.extend(children);
+                m.extend_cold(children);
             } else {
-                m.personal.mark_insignificant(target);
+                m.personal.mark_insignificant(dag, target);
             }
             record_answer(
-                dag, aggregator, threshold, target, m.id, support, answers, global, tracker,
-                *questions, events, newly_significant,
+                dag,
+                aggregator,
+                threshold,
+                target,
+                m.id,
+                support,
+                answers,
+                global,
+                tracker,
+                *questions,
+                events,
+                newly_significant,
             );
             true
         }
@@ -385,20 +439,23 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
             // (or a specialization) at once for this member — feed those
             // implicit 0-answers to the aggregator for all materialized
             // nodes, so pruned cones reach quorum without further
-            // questions (Section 6.2's bulk effect).
+            // questions (Section 6.2's bulk effect). A node holds a
+            // specialization of `elem` in some slot exactly when `elem`'s
+            // bit is set in that slot's ancestor-closure fingerprint, so
+            // the per-node test is one bit probe per slot.
             let vocab = dag.vocab();
+            let space = dag.fp_space();
+            let wps = space.words_per_slot();
+            let ebit_word = elem.index() / 64;
+            let ebit_mask = 1u64 << (elem.index() % 64);
             let affected: Vec<NodeId> = dag
                 .node_ids()
                 .filter(|&id| {
-                    let a = &dag.node(id).assignment;
-                    let hit_value = (0..a.num_slots()).any(|si| {
-                        a.slot(crate::assignment::Slot(si as u16)).iter().any(|&v| match v {
-                            oassis_ql::Value::Elem(e) => vocab.elem_leq(elem, e),
-                            oassis_ql::Value::Rel(_) => false,
-                        })
-                    });
+                    let words = dag.fp_words(id);
+                    let hit_value = (0..space.num_slots())
+                        .any(|si| words[si * wps + ebit_word] & ebit_mask != 0);
                     hit_value
-                        || a.more().iter().any(|f| {
+                        || dag.node(id).assignment.more().iter().any(|f| {
                             vocab.elem_leq(elem, f.subject) || vocab.elem_leq(elem, f.object)
                         })
                 })
@@ -406,8 +463,18 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
             for id in affected {
                 if m.answered.insert(id) {
                     record_answer(
-                        dag, aggregator, threshold, id, m.id, 0.0, answers, global, tracker,
-                        *questions, events, newly_significant,
+                        dag,
+                        aggregator,
+                        threshold,
+                        id,
+                        m.id,
+                        0.0,
+                        answers,
+                        global,
+                        tracker,
+                        *questions,
+                        events,
+                        newly_significant,
                     );
                 }
             }
@@ -440,7 +507,10 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
 ) -> bool {
     let q = Question::Specialization {
         base: dag.node(base).assignment.apply(dag.query()),
-        options: options.iter().map(|&o| dag.node(o).assignment.apply(dag.query())).collect(),
+        options: options
+            .iter()
+            .map(|&o| dag.node(o).assignment.apply(dag.query()))
+            .collect(),
     };
     match crowd.ask(m.id, &q) {
         Answer::Specialized { choice, support } => {
@@ -449,15 +519,25 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
             let chosen = options[choice.min(options.len() - 1)];
             m.answered.insert(chosen);
             if support >= threshold {
-                m.personal.mark_significant(chosen);
+                m.personal.mark_significant(dag, chosen);
                 let children = dag.children(chosen);
-                m.cold.extend(children);
+                m.extend_cold(children);
             } else {
-                m.personal.mark_insignificant(chosen);
+                m.personal.mark_insignificant(dag, chosen);
             }
             record_answer(
-                dag, aggregator, threshold, chosen, m.id, support, answers, global, tracker,
-                *questions, events, newly_significant,
+                dag,
+                aggregator,
+                threshold,
+                chosen,
+                m.id,
+                support,
+                answers,
+                global,
+                tracker,
+                *questions,
+                events,
+                newly_significant,
             );
             true
         }
@@ -466,10 +546,20 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
             stats.none_of_these += 1;
             for &o in options {
                 m.answered.insert(o);
-                m.personal.mark_insignificant(o);
+                m.personal.mark_insignificant(dag, o);
                 record_answer(
-                    dag, aggregator, threshold, o, m.id, 0.0, answers, global, tracker,
-                    *questions, events, newly_significant,
+                    dag,
+                    aggregator,
+                    threshold,
+                    o,
+                    m.id,
+                    0.0,
+                    answers,
+                    global,
+                    tracker,
+                    *questions,
+                    events,
+                    newly_significant,
                 );
             }
             true
@@ -533,7 +623,10 @@ mod tests {
             .iter()
             .map(|m| m.apply(&b).to_display(ont.vocab()))
             .collect();
-        assert!(rendered.iter().any(|r| r == "Biking doAt Central Park"), "{rendered:?}");
+        assert!(
+            rendered.iter().any(|r| r == "Biking doAt Central Park"),
+            "{rendered:?}"
+        );
         assert!(rendered.iter().any(|r| r == "Ball Game doAt Central Park"));
         assert!(rendered.iter().any(|r| r == "Feed a Monkey doAt Bronx Zoo"));
         assert!(!rendered.iter().any(|r| r.contains("Basketball")));
@@ -587,8 +680,10 @@ mod tests {
         let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
         full.materialize_all();
         let planted = plant_msps(&mut full, 6, true, MspDistribution::Uniform, 5);
-        let patterns: Vec<_> =
-            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let patterns: Vec<_> = planted
+            .iter()
+            .map(|&id| full.node(id).assignment.apply(&b))
+            .collect();
 
         // 5 identical oracle members, aggregator requires 5 answers
         let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
@@ -604,7 +699,12 @@ mod tests {
             .collect();
         let expected: HashSet<String> = planted
             .iter()
-            .map(|&id| full.node(id).assignment.apply(&b).to_display(d.ontology.vocab()))
+            .map(|&id| {
+                full.node(id)
+                    .assignment
+                    .apply(&b)
+                    .to_display(d.ontology.vocab())
+            })
             .collect();
         assert_eq!(got, expected);
         // every classified node took 5 answers: questions ≈ 5 × unique
@@ -622,13 +722,19 @@ mod tests {
         let members = vec![
             SimulatedMember::new(
                 PersonalDb::from_transactions(d1),
-                MemberBehavior { session_limit: Some(2), ..Default::default() },
+                MemberBehavior {
+                    session_limit: Some(2),
+                    ..Default::default()
+                },
                 AnswerModel::Exact,
                 1,
             ),
             SimulatedMember::new(
                 PersonalDb::from_transactions(d2),
-                MemberBehavior { session_limit: Some(2), ..Default::default() },
+                MemberBehavior {
+                    session_limit: Some(2),
+                    ..Default::default()
+                },
                 AnswerModel::Exact,
                 2,
             ),
@@ -685,6 +791,9 @@ WITH SUPPORT = 0.4
             .map(|m| m.apply(&b).to_display(ont.vocab()))
             .collect();
         // Biking is an MSP despite u1 alone being under the threshold
-        assert!(rendered.iter().any(|r| r == "Biking doAt Central Park"), "{rendered:?}");
+        assert!(
+            rendered.iter().any(|r| r == "Biking doAt Central Park"),
+            "{rendered:?}"
+        );
     }
 }

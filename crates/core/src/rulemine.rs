@@ -46,7 +46,12 @@ pub struct RuleMiningConfig {
 
 impl Default for RuleMiningConfig {
     fn default() -> Self {
-        RuleMiningConfig { support: None, confidence: None, panel_size: 5, max_questions: None }
+        RuleMiningConfig {
+            support: None,
+            confidence: None,
+            panel_size: 5,
+            max_questions: None,
+        }
     }
 }
 
@@ -88,7 +93,9 @@ pub fn run_rules<C: CrowdSource>(
 ) -> Result<RuleOutcome, QlError> {
     let q = dag.query();
     if q.imp_meta.is_empty() {
-        return Err(QlError::Invalid("run_rules requires an IMPLYING clause".into()));
+        return Err(QlError::Invalid(
+            "run_rules requires an IMPLYING clause".into(),
+        ));
     }
     let theta = cfg.support.unwrap_or(q.threshold);
     let conf_theta = cfg
@@ -98,7 +105,9 @@ pub fn run_rules<C: CrowdSource>(
 
     let members = crowd.members();
     if members.is_empty() {
-        return Err(QlError::Invalid("rule mining needs at least one crowd member".into()));
+        return Err(QlError::Invalid(
+            "rule mining needs at least one crowd member".into(),
+        ));
     }
     let panel: Vec<MemberId> = members.into_iter().take(cfg.panel_size.max(1)).collect();
 
@@ -115,8 +124,7 @@ pub fn run_rules<C: CrowdSource>(
         if state.out_of_budget() {
             break;
         }
-        let Some(mut phi) = crate::vertical::find_minimal_unclassified(dag, &mut state.cls)
-        else {
+        let Some(mut phi) = crate::vertical::find_minimal_unclassified(dag, &mut state.cls) else {
             break;
         };
         if !state.ask_support(dag, crowd, &panel, phi, theta) {
@@ -127,8 +135,9 @@ pub fn run_rules<C: CrowdSource>(
                 break;
             }
             let children = dag.children(phi);
-            if let Some(&c) =
-                children.iter().find(|&&c| state.cls.class(dag, c) == Class::Significant)
+            if let Some(&c) = children
+                .iter()
+                .find(|&&c| state.cls.class(dag, c) == Class::Significant)
             {
                 phi = c;
                 continue;
@@ -177,7 +186,11 @@ pub fn run_rules<C: CrowdSource>(
         let body = dag.node(id).assignment.apply_body(dag.query());
         let supp_full = state.avg_support(crowd, &panel, &full);
         let supp_body = state.avg_support(crowd, &panel, &body);
-        let conf = if supp_body > 0.0 { supp_full / supp_body } else { 0.0 };
+        let conf = if supp_body > 0.0 {
+            supp_full / supp_body
+        } else {
+            0.0
+        };
         if supp_full >= theta && conf >= conf_theta {
             rule_sig.insert(id, (supp_full, conf.min(1.0)));
         }
@@ -208,7 +221,11 @@ pub fn run_rules<C: CrowdSource>(
     rules.sort_by(|a, b| {
         b.valid
             .cmp(&a.valid)
-            .then(b.support.partial_cmp(&a.support).unwrap_or(std::cmp::Ordering::Equal))
+            .then(
+                b.support
+                    .partial_cmp(&a.support)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
             .then_with(|| a.assignment.cmp(&b.assignment))
     });
 
@@ -248,7 +265,12 @@ impl RuleState {
         let mut sum = 0.0;
         let mut n = 0usize;
         for &m in panel {
-            match crowd.ask(m, &Question::Concrete { pattern: pattern.clone() }) {
+            match crowd.ask(
+                m,
+                &Question::Concrete {
+                    pattern: pattern.clone(),
+                },
+            ) {
                 Answer::Support { support, .. } => {
                     self.questions += 1;
                     sum += support;
@@ -282,9 +304,9 @@ impl RuleState {
         let avg = self.avg_support(crowd, panel, &pattern);
         let sig = avg >= theta;
         if sig {
-            self.cls.mark_significant(id);
+            self.cls.mark_significant(dag, id);
         } else {
-            self.cls.mark_insignificant(id);
+            self.cls.mark_insignificant(dag, id);
         }
         sig
     }
@@ -340,7 +362,10 @@ WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
         let base = evaluate_where(&b, &ont, MatchMode::Exact);
         let mut dag = Dag::new(&b, ont.vocab(), &base);
         let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont)]);
-        let cfg = RuleMiningConfig { panel_size: 1, ..Default::default() };
+        let cfg = RuleMiningConfig {
+            panel_size: 1,
+            ..Default::default()
+        };
         let out = run_rules(&mut dag, &mut crowd, &cfg).unwrap();
         assert!(out.complete);
         assert!(!out.rules.is_empty());
@@ -348,11 +373,17 @@ WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
         // Feed a Monkey @ Bronx Zoo ⇒ eat at Pine: supp(full) = avg(2/6,1/2)
         // = 5/12 ≥ 0.3; supp(body) = avg(3/6, 1/2) = 1/2; conf = 5/6 ≥ 0.75.
         let monkey = out.rules.iter().find(|r| {
-            r.body.to_display(v).contains("Feed a Monkey doAt Bronx Zoo")
+            r.body
+                .to_display(v)
+                .contains("Feed a Monkey doAt Bronx Zoo")
         });
         let monkey = monkey.expect("monkey rule found");
         assert!(monkey.head.to_display(v).contains("eatAt Pine"));
-        assert!((monkey.confidence - 5.0 / 6.0).abs() < 1e-9, "{}", monkey.confidence);
+        assert!(
+            (monkey.confidence - 5.0 / 6.0).abs() < 1e-9,
+            "{}",
+            monkey.confidence
+        );
         assert!((monkey.support - 5.0 / 12.0).abs() < 1e-9);
         // Every reported rule clears both thresholds.
         for r in &out.rules {
@@ -371,7 +402,10 @@ WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
         let base = evaluate_where(&b, &ont, MatchMode::Exact);
         let mut dag = Dag::new(&b, ont.vocab(), &base);
         let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont)]);
-        let cfg = RuleMiningConfig { panel_size: 1, ..Default::default() };
+        let cfg = RuleMiningConfig {
+            panel_size: 1,
+            ..Default::default()
+        };
         let out = run_rules(&mut dag, &mut crowd, &cfg).unwrap();
         for r in &out.rules {
             assert!(r.confidence >= 1.0 - 1e-9);
@@ -380,9 +414,14 @@ WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
         // avg(2/6, 1/2) = 5/12, full supp 5/12.
         let v = ont.vocab();
         assert!(
-            out.rules.iter().any(|r| r.body.to_display(v).contains("Biking doAt Central Park")),
+            out.rules
+                .iter()
+                .any(|r| r.body.to_display(v).contains("Biking doAt Central Park")),
             "{:?}",
-            out.rules.iter().map(|r| r.body.to_display(v)).collect::<Vec<_>>()
+            out.rules
+                .iter()
+                .map(|r| r.body.to_display(v))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -394,7 +433,10 @@ WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
         let base = evaluate_where(&b, &ont, MatchMode::Exact);
         let mut dag = Dag::new(&b, ont.vocab(), &base);
         let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont)]);
-        let cfg = RuleMiningConfig { panel_size: 1, ..Default::default() };
+        let cfg = RuleMiningConfig {
+            panel_size: 1,
+            ..Default::default()
+        };
         let out = run_rules(&mut dag, &mut crowd, &cfg).unwrap();
         // crowd-level question count equals the engine's (no re-asks for
         // cached patterns)
@@ -420,8 +462,11 @@ WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
         let base = evaluate_where(&b, &ont, MatchMode::Exact);
         let mut dag = Dag::new(&b, ont.vocab(), &base);
         let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont)]);
-        let cfg =
-            RuleMiningConfig { panel_size: 1, max_questions: Some(5), ..Default::default() };
+        let cfg = RuleMiningConfig {
+            panel_size: 1,
+            max_questions: Some(5),
+            ..Default::default()
+        };
         let out = run_rules(&mut dag, &mut crowd, &cfg).unwrap();
         assert!(!out.complete);
         assert!(out.questions <= 6); // one panel round may finish in flight

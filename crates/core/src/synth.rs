@@ -97,11 +97,18 @@ pub fn synthetic_domain(width: usize, depth: usize, seed: u64) -> SyntheticDomai
     layered_tree(&mut b, "Y", "Y", &layers_y);
     let query = "SELECT FACT-SETS\nWHERE\n  $x subClassOf* X.\n  $y subClassOf* Y\nSATISFYING\n  $x rel $y\nWITH SUPPORT = 0.5\n"
         .to_owned();
-    SyntheticDomain { ontology: b.build().expect("acyclic"), query, layers_x, layers_y }
+    SyntheticDomain {
+        ontology: b.build().expect("acyclic"),
+        query,
+        layers_x,
+        layers_y,
+    }
 }
 
 fn geo_layers(depth: usize, g: f64) -> Vec<usize> {
-    (0..=depth).map(|i| (g.powi(i as i32)).round().max(1.0) as usize).collect()
+    (0..=depth)
+        .map(|i| (g.powi(i as i32)).round().max(1.0) as usize)
+        .collect()
 }
 
 /// Width of the product DAG: max over diagonal sums of layer products.
@@ -278,7 +285,14 @@ pub struct PlantedOracle<'a> {
 impl<'a> PlantedOracle<'a> {
     /// Creates an oracle for `members` identical simulated users.
     pub fn new(vocab: &'a Vocabulary, planted: Vec<PatternSet>, members: usize, seed: u64) -> Self {
-        PlantedOracle { vocab, planted, pruning_prob: 0.0, members, rng: StdRng::seed_from_u64(seed), questions: 0 }
+        PlantedOracle {
+            vocab,
+            planted,
+            pruning_prob: 0.0,
+            members,
+            rng: StdRng::seed_from_u64(seed),
+            questions: 0,
+        }
     }
 
     /// Builds the planted pattern list from DAG nodes.
@@ -324,19 +338,28 @@ impl CrowdSource for PlantedOracle<'_> {
         match question {
             Question::Concrete { pattern } => {
                 if self.is_significant(pattern) {
-                    Answer::Support { support: 1.0, more_tip: None }
+                    Answer::Support {
+                        support: 1.0,
+                        more_tip: None,
+                    }
                 } else {
                     if self.pruning_prob > 0.0 && self.rng.gen_bool(self.pruning_prob) {
                         if let Some(e) = self.irrelevant_element(pattern) {
                             return Answer::Irrelevant { elem: e };
                         }
                     }
-                    Answer::Support { support: 0.0, more_tip: None }
+                    Answer::Support {
+                        support: 0.0,
+                        more_tip: None,
+                    }
                 }
             }
             Question::Specialization { options, .. } => {
                 match options.iter().position(|o| self.is_significant(o)) {
-                    Some(choice) => Answer::Specialized { choice, support: 1.0 },
+                    Some(choice) => Answer::Specialized {
+                        choice,
+                        support: 1.0,
+                    },
                     None => Answer::NoneOfThese,
                 }
             }
@@ -350,10 +373,7 @@ impl CrowdSource for PlantedOracle<'_> {
 
 /// Ground-truth helper for tests and experiment validation: classify every
 /// materialized node of a DAG against the planted set.
-pub fn ground_truth_classes(
-    dag: &Dag<'_>,
-    oracle: &PlantedOracle<'_>,
-) -> HashMap<NodeId, bool> {
+pub fn ground_truth_classes(dag: &Dag<'_>, oracle: &PlantedOracle<'_>) -> HashMap<NodeId, bool> {
     dag.node_ids()
         .map(|id| {
             let p = dag.node(id).assignment.apply(dag.query());
@@ -408,8 +428,7 @@ mod tests {
         let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
         let n = dag.materialize_all();
         // total nodes = (Σ x-layers) × (Σ y-layers)
-        let expect: usize =
-            d.layers_x.iter().sum::<usize>() * d.layers_y.iter().sum::<usize>();
+        let expect: usize = d.layers_x.iter().sum::<usize>() * d.layers_y.iter().sum::<usize>();
         assert_eq!(n, expect);
     }
 
@@ -497,13 +516,22 @@ mod tests {
         let classes = ground_truth_classes(&dag, &oracle);
         let insig = dag.node_ids().find(|i| !classes[i]).unwrap();
         let pattern = dag.node(insig).assignment.apply(dag.query());
-        match oracle.ask(MemberId(0), &Question::Concrete { pattern: pattern.clone() }) {
+        match oracle.ask(
+            MemberId(0),
+            &Question::Concrete {
+                pattern: pattern.clone(),
+            },
+        ) {
             Answer::Irrelevant { elem } => {
                 // no planted pattern may contain a specialization of elem
                 for s in &oracle.planted {
                     for p in s.iter() {
-                        assert!(!p.subject.is_some_and(|x| d.ontology.vocab().elem_leq(elem, x)));
-                        assert!(!p.object.is_some_and(|x| d.ontology.vocab().elem_leq(elem, x)));
+                        assert!(!p
+                            .subject
+                            .is_some_and(|x| d.ontology.vocab().elem_leq(elem, x)));
+                        assert!(!p
+                            .object
+                            .is_some_and(|x| d.ontology.vocab().elem_leq(elem, x)));
                     }
                 }
             }

@@ -65,13 +65,15 @@ impl QuestionTemplates {
     }
 
     fn phrase(&self, vocab: &Vocabulary, p: &PatternFact) -> String {
-        let subj = p.subject.map_or("something".to_owned(), |e| {
-            humanize(vocab.elem_name(e))
-        });
+        let subj = p
+            .subject
+            .map_or("something".to_owned(), |e| humanize(vocab.elem_name(e)));
         let obj = p
             .object
             .map_or("somewhere".to_owned(), |e| vocab.elem_name(e).to_owned());
-        let rel_name = p.rel.map_or("do".to_owned(), |r| vocab.rel_name(r).to_owned());
+        let rel_name = p
+            .rel
+            .map_or("do".to_owned(), |r| vocab.rel_name(r).to_owned());
         let template = p
             .rel
             .and_then(|r| self.by_rel.get(&r).cloned())
@@ -106,8 +108,10 @@ impl QuestionTemplates {
         let base_part = base_part
             .trim_start_matches("How often do you ")
             .trim_end_matches('?');
-        let opts: Vec<String> =
-            options.iter().map(|o| self.render_concrete(vocab, o)).collect();
+        let opts: Vec<String> = options
+            .iter()
+            .map(|o| self.render_concrete(vocab, o))
+            .collect();
         format!(
             "Can you be more specific about how you {base_part}? How often do you do that? (suggestions: {})",
             opts.join(" / ")
@@ -178,7 +182,10 @@ mod tests {
             rel: v.rel_id("eatAt"),
             object: v.elem_id("Maoz Veg"),
         }]);
-        assert_eq!(t.render_concrete(v, &p), "How often do you eat something at Maoz Veg?");
+        assert_eq!(
+            t.render_concrete(v, &p),
+            "How often do you eat something at Maoz Veg?"
+        );
     }
 
     #[test]
@@ -206,7 +213,8 @@ mod tests {
         let st = self_treatment(DomainScale::small());
         let t = QuestionTemplates::self_treatment_defaults(st.ontology.vocab());
         let v = st.ontology.vocab();
-        let p = PatternSet::from_facts([v.fact("RemedyKind3", "takenFor", "SymptomKind2").unwrap()]);
+        let p =
+            PatternSet::from_facts([v.fact("RemedyKind3", "takenFor", "SymptomKind2").unwrap()]);
         assert!(t.render_concrete(v, &p).contains("to relieve SymptomKind2"));
     }
 

@@ -54,6 +54,30 @@ pub struct ValidityIndex {
     /// Lazily memoized cover bitsets: `cover_bits[ci][v]` has bit `t` set
     /// iff `v ≤ tuple_list[t][ci]` — the fast path of [`Self::admits`].
     cover_bits: RefCell<Vec<HashMap<Value, Rc<Vec<u64>>>>>,
+    /// Lazily built per-column rest-projection grouping (the
+    /// single-multiplicity-slot path of [`Self::admits`]): tuples with the
+    /// same projection minus column `ci` share a group id.
+    mult_groups: RefCell<HashMap<usize, Rc<MultGroups>>>,
+    /// Epoch-stamped scratch for the grouped cover masks (reused across
+    /// `admits` calls; node expansion calls `admits` in its inner loop).
+    group_scratch: RefCell<GroupScratch>,
+}
+
+/// Tuple-index → rest-projection group id for one multiplicity column.
+#[derive(Debug)]
+struct MultGroups {
+    group_of: Vec<u32>,
+    num: usize,
+}
+
+#[derive(Debug, Default)]
+struct GroupScratch {
+    /// Per group: bitmask of slot values covered by a surviving tuple.
+    mask: Vec<u64>,
+    /// Per group: epoch of the last `mask` write (stale masks are reset
+    /// lazily instead of clearing the whole vector each call).
+    stamp: Vec<u32>,
+    epoch: u32,
 }
 
 impl ValidityIndex {
@@ -65,18 +89,20 @@ impl ValidityIndex {
             .map(|&v| {
                 let info = &q.vars[v.index()];
                 let free = !info.in_where;
-                SlotInfo { var: v, mult: info.mult, is_rel: info.is_rel, free }
+                SlotInfo {
+                    var: v,
+                    mult: info.mult,
+                    is_rel: info.is_rel,
+                    free,
+                }
             })
             .collect();
-        let constrained: Vec<usize> =
-            (0..slots.len()).filter(|&i| !slots[i].free).collect();
+        let constrained: Vec<usize> = (0..slots.len()).filter(|&i| !slots[i].free).collect();
 
         let mut tuples: HashSet<Vec<Value>> = HashSet::new();
         for b in base {
-            let tuple: Option<Vec<Value>> = constrained
-                .iter()
-                .map(|&i| b.get(slots[i].var))
-                .collect();
+            let tuple: Option<Vec<Value>> =
+                constrained.iter().map(|&i| b.get(slots[i].var)).collect();
             if let Some(t) = tuple {
                 tuples.insert(t);
             }
@@ -99,16 +125,16 @@ impl ValidityIndex {
             }
         }
 
-        let closures: Vec<Vec<Value>> =
-            universes.iter().map(|u| generalization_closure(vocab, u)).collect();
+        let closures: Vec<Vec<Value>> = universes
+            .iter()
+            .map(|u| generalization_closure(vocab, u))
+            .collect();
         let minimals: Vec<Vec<Value>> = closures
             .iter()
             .map(|c| {
                 c.iter()
                     .copied()
-                    .filter(|&v| {
-                        !c.iter().any(|&w| w != v && value_leq(vocab, w, v))
-                    })
+                    .filter(|&v| !c.iter().any(|&w| w != v && value_leq(vocab, w, v)))
                     .collect()
             })
             .collect();
@@ -125,6 +151,8 @@ impl ValidityIndex {
             minimals,
             tuple_list,
             cover_bits,
+            mult_groups: RefCell::new(HashMap::new()),
+            group_scratch: RefCell::new(GroupScratch::default()),
         }
     }
 
@@ -211,7 +239,7 @@ impl ValidityIndex {
         }
         // intersect single-value cover bitsets; collect multiplicity slots
         let mut acc: Vec<u64> = vec![!0u64; n.div_ceil(64)];
-        if n % 64 != 0 {
+        if !n.is_multiple_of(64) {
             *acc.last_mut().expect("non-empty") = (1u64 << (n % 64)) - 1;
         }
         let mut multi: Vec<(usize, &[Value])> = Vec::new();
@@ -235,8 +263,14 @@ impl ValidityIndex {
             0 => true,
             1 => {
                 let (ci, values) = multi[0];
-                // group surviving tuples by their projection minus ci and
-                // look for a group covering every value
+                // a rest-projection group must cover every value of the
+                // slot; with ≤ 64 values this reduces to OR-ing per-value
+                // cover bitsets into per-group masks (the group ids are
+                // precomputed once per column)
+                if values.len() <= 64 {
+                    return self.admits_one_mult(vocab, ci, values, &acc);
+                }
+                // exact scan fallback for absurdly wide antichains
                 let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
                 for t in 0..n {
                     if acc[t / 64] & (1u64 << (t % 64)) == 0 {
@@ -266,6 +300,94 @@ impl ValidityIndex {
                 self.admits_rec(vocab, a, 0, live)
             }
         }
+    }
+
+    /// The single-multiplicity-slot case of [`Self::admits`], decided via
+    /// the precomputed rest-projection group index.
+    ///
+    /// Semantics (identical to the scan fallback): some group of surviving
+    /// tuples — tuples agreeing on every column but `ci` — must cover all
+    /// of the slot's `values`. `mask[g]` accumulates, per group `g`, which
+    /// values a surviving tuple of `g` covers: bit `vi` is set iff some
+    /// tuple `t` in `g` survives (`acc`) and `values[vi] ≤ t[ci]` (the
+    /// memoized cover bitset). A full mask is a covering group.
+    fn admits_one_mult(
+        &self,
+        vocab: &Vocabulary,
+        ci: usize,
+        values: &[Value],
+        acc: &[u64],
+    ) -> bool {
+        debug_assert!((1..=64).contains(&values.len()));
+        let groups = self.mult_groups_for(ci);
+        let full: u64 = if values.len() == 64 {
+            !0
+        } else {
+            (1u64 << values.len()) - 1
+        };
+        let mut scratch = self.group_scratch.borrow_mut();
+        let GroupScratch { mask, stamp, epoch } = &mut *scratch;
+        if mask.len() < groups.num {
+            mask.resize(groups.num, 0);
+            stamp.resize(groups.num, 0);
+        }
+        *epoch = epoch.wrapping_add(1);
+        if *epoch == 0 {
+            stamp.fill(0);
+            *epoch = 1;
+        }
+        for (vi, &v) in values.iter().enumerate() {
+            let bits = self.cover_bitset(vocab, ci, v);
+            let last = vi + 1 == values.len();
+            for (w, (&bv, &av)) in bits.iter().zip(acc.iter()).enumerate() {
+                let mut word = bv & av;
+                while word != 0 {
+                    let t = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let g = groups.group_of[t] as usize;
+                    if stamp[g] != *epoch {
+                        stamp[g] = *epoch;
+                        mask[g] = 0;
+                    }
+                    mask[g] |= 1u64 << vi;
+                    // masks grow monotonically, so fullness can only first
+                    // appear while the last value's bits are applied
+                    if last && mask[g] == full {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The rest-projection grouping for multiplicity column `ci`, built on
+    /// first use: tuples with equal projections minus `ci` get one id.
+    fn mult_groups_for(&self, ci: usize) -> Rc<MultGroups> {
+        if let Some(g) = self.mult_groups.borrow().get(&ci) {
+            return Rc::clone(g);
+        }
+        let mut ids: HashMap<Vec<Value>, u32> = HashMap::new();
+        let group_of: Vec<u32> = self
+            .tuple_list
+            .iter()
+            .map(|tuple| {
+                let rest: Vec<Value> = tuple
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != ci)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let next = ids.len() as u32;
+                *ids.entry(rest).or_insert(next)
+            })
+            .collect();
+        let rc = Rc::new(MultGroups {
+            group_of,
+            num: ids.len(),
+        });
+        self.mult_groups.borrow_mut().insert(ci, Rc::clone(&rc));
+        rc
     }
 
     fn admits_rec(
@@ -300,6 +422,7 @@ impl ValidityIndex {
         self.choose_covers(vocab, a, ci, values, 0, &live, acc)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn choose_covers(
         &self,
         vocab: &Vocabulary,
@@ -326,8 +449,11 @@ impl ValidityIndex {
         covers.dedup();
         for u in covers {
             let with_u = rests_with(live, u);
-            let inter: HashSet<Vec<Value>> =
-                acc.iter().filter(|r| with_u.contains(*r)).cloned().collect();
+            let inter: HashSet<Vec<Value>> = acc
+                .iter()
+                .filter(|r| with_u.contains(*r))
+                .cloned()
+                .collect();
             if self.choose_covers(vocab, a, ci, values, vi + 1, live, inter) {
                 return true;
             }
@@ -396,7 +522,10 @@ impl ValidityIndex {
 
 /// Rest-tuples (columns `1..`) of the live tuples whose first column is `u`.
 fn rests_with(live: &HashSet<Vec<Value>>, u: Value) -> HashSet<Vec<Value>> {
-    live.iter().filter(|t| t[0] == u).map(|t| t[1..].to_vec()).collect()
+    live.iter()
+        .filter(|t| t[0] == u)
+        .map(|t| t[1..].to_vec())
+        .collect()
 }
 
 fn generalization_closure(vocab: &Vocabulary, universe: &[Value]) -> Vec<Value> {
@@ -404,8 +533,16 @@ fn generalization_closure(vocab: &Vocabulary, universe: &[Value]) -> Vec<Value> 
     let mut stack: Vec<Value> = universe.to_vec();
     while let Some(v) = stack.pop() {
         let parents: Vec<Value> = match v {
-            Value::Elem(e) => vocab.elem_parents(e).iter().map(|&p| Value::Elem(p)).collect(),
-            Value::Rel(r) => vocab.rel_parents(r).iter().map(|&p| Value::Rel(p)).collect(),
+            Value::Elem(e) => vocab
+                .elem_parents(e)
+                .iter()
+                .map(|&p| Value::Elem(p))
+                .collect(),
+            Value::Rel(r) => vocab
+                .rel_parents(r)
+                .iter()
+                .map(|&p| Value::Rel(p))
+                .collect(),
         };
         for p in parents {
             if out.insert(p) {
@@ -440,7 +577,10 @@ mod tests {
     fn assign(ont: &ontology::Ontology, x: &str, ys: &[&str]) -> Assignment {
         Assignment::new(
             ont.vocab(),
-            vec![vec![elem(ont, x)], ys.iter().map(|y| elem(ont, y)).collect()],
+            vec![
+                vec![elem(ont, x)],
+                ys.iter().map(|y| elem(ont, y)).collect(),
+            ],
             vec![],
         )
     }
@@ -553,7 +693,10 @@ WITH SUPPORT = 0.2
         // slots ordered by VarId: x then z
         let cp_maoz = Assignment::new(
             v,
-            vec![vec![elem(&ont, "Central Park")], vec![elem(&ont, "Maoz Veg")]],
+            vec![
+                vec![elem(&ont, "Central Park")],
+                vec![elem(&ont, "Maoz Veg")],
+            ],
             vec![],
         );
         assert!(idx.is_valid(&cp_maoz));
@@ -579,9 +722,7 @@ WITH SUPPORT = 0.2
 
     #[test]
     fn free_slots_admit_everything() {
-        let (ont, _, idx) = setup(
-            "SELECT FACT-SETS WHERE SATISFYING $a+ $p $b WITH SUPPORT = 0.2",
-        );
+        let (ont, _, idx) = setup("SELECT FACT-SETS WHERE SATISFYING $a+ $p $b WITH SUPPORT = 0.2");
         let v = ont.vocab();
         assert!(idx.slots().iter().all(|s| s.free));
         let a = Assignment::new(

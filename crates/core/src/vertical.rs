@@ -111,56 +111,174 @@ pub struct MiningOutcome {
 
 /// Tracks how many *valid base* assignments are classified after each
 /// answer (the "classified assign." series of Figure 4d).
+///
+/// Bases are indexed by the global fingerprint bits of their (singleton)
+/// slot values, so each witness touches only the bases it can actually
+/// classify instead of scanning all of them:
+///
+/// * a significant witness `w` classifies bases `a ≤ w` — every value
+///   bit of `a` lies in `F(w)`, so walking the set bits of `F(w)` over
+///   the first-bit buckets enumerates all candidates exactly once;
+/// * an insignificant witness classifies bases above it — candidates
+///   are the bases holding a descendant of the witness value with the
+///   smallest descendant cone;
+/// * a pruning click on `e` classifies bases holding a value in `e`'s
+///   descendant cone, found the same way.
+///
+/// The hit conditions are unchanged from the original scan, so the
+/// classified set (and the Figure-4d curve) is bit-identical.
 pub(crate) struct ValidTracker {
     assignments: Vec<Assignment>,
     classified: Vec<bool>,
     pub total_classified: usize,
+    /// Per-base value bits, one per non-empty slot (bases are singleton
+    /// per constrained slot, empty elsewhere).
+    base_bits: Vec<Vec<u32>>,
+    /// Bases with no values at all (≤ everything; classified by the
+    /// first significant witness).
+    empty_bases: Vec<u32>,
+    /// First value bit → bases whose first bit it is (each base once).
+    buckets_first: Vec<Vec<u32>>,
+    /// Any value bit → bases holding it (each base once per slot).
+    buckets_all: Vec<Vec<u32>>,
 }
 
 impl ValidTracker {
     pub fn new(dag: &Dag<'_>) -> Self {
         let assignments = dag.validity().valid_base_assignments(dag.vocab());
+        let space = dag.fp_space();
+        let nbits = space.words_per_node() * 64;
+        let mut base_bits = Vec::with_capacity(assignments.len());
+        let mut empty_bases = Vec::new();
+        let mut buckets_first = vec![Vec::new(); nbits];
+        let mut buckets_all = vec![Vec::new(); nbits];
+        for (i, a) in assignments.iter().enumerate() {
+            let mut bits: Vec<u32> = Vec::new();
+            for si in 0..a.num_slots() {
+                for &v in a.slot(crate::assignment::Slot(si as u16)) {
+                    let bit = space.value_bit(si, v);
+                    bits.push(bit as u32);
+                    buckets_all[bit].push(i as u32);
+                }
+            }
+            match bits.first() {
+                Some(&b) => buckets_first[b as usize].push(i as u32),
+                None => empty_bases.push(i as u32),
+            }
+            base_bits.push(bits);
+        }
         let classified = vec![false; assignments.len()];
-        ValidTracker { assignments, classified, total_classified: 0 }
+        ValidTracker {
+            assignments,
+            classified,
+            total_classified: 0,
+            base_bits,
+            empty_bases,
+            buckets_first,
+            buckets_all,
+        }
     }
 
-    /// Updates after a new significant (`sig=true`) or insignificant
-    /// witness; returns whether anything newly classified.
-    pub fn witness(&mut self, dag: &Dag<'_>, w: &Assignment, sig: bool) -> bool {
-        let vocab = dag.vocab();
+    #[inline]
+    fn mark(&mut self, i: usize) -> bool {
+        if self.classified[i] {
+            return false;
+        }
+        self.classified[i] = true;
+        self.total_classified += 1;
+        true
+    }
+
+    /// Updates after the node `w` became a significant (`sig=true`) or
+    /// insignificant witness; returns whether anything newly classified.
+    pub fn witness(&mut self, dag: &Dag<'_>, w: NodeId, sig: bool) -> bool {
         let mut changed = false;
-        for (i, a) in self.assignments.iter().enumerate() {
-            if self.classified[i] {
-                continue;
+        if sig {
+            // bases a ≤ w: no MORE facts and singleton slots, so the
+            // condition is exactly "every base value bit is set in F(w)"
+            let words = dag.fp_words(w);
+            for bit in crate::fingerprint::iter_bits(words) {
+                for bi in 0..self.buckets_first[bit].len() {
+                    let i = self.buckets_first[bit][bi] as usize;
+                    if !self.classified[i]
+                        && self.base_bits[i]
+                            .iter()
+                            .all(|&b| word_bit(words, b as usize))
+                    {
+                        changed |= self.mark(i);
+                    }
+                }
             }
-            let hit = if sig { a.leq(vocab, w) } else { w.leq(vocab, a) };
-            if hit {
-                self.classified[i] = true;
-                self.total_classified += 1;
-                changed = true;
+            for bi in 0..self.empty_bases.len() {
+                let i = self.empty_bases[bi] as usize;
+                changed |= self.mark(i);
+            }
+        } else {
+            // bases a ≥ w: a has no MORE facts, so w must have none; each
+            // witness value must generalize the base's value in its slot.
+            // Enumerate candidates through the witness value with the
+            // smallest descendant cone, then verify exactly.
+            let assignment = &dag.node(w).assignment;
+            if !assignment.more().is_empty() {
+                return false;
+            }
+            let vocab = dag.vocab();
+            let mut pick: Option<(usize, oassis_ql::Value, usize)> = None;
+            for si in 0..assignment.num_slots() {
+                for &v in assignment.slot(crate::assignment::Slot(si as u16)) {
+                    let count = match v {
+                        oassis_ql::Value::Elem(e) => vocab.elem_descendant_count(e),
+                        oassis_ql::Value::Rel(r) => vocab.rel_descendant_count(r),
+                    };
+                    if pick.is_none_or(|(_, _, c)| count < c) {
+                        pick = Some((si, v, count));
+                    }
+                }
+            }
+            let Some((si, u, _)) = pick else {
+                // valueless witness without MORE facts is ≤ every base
+                for i in 0..self.assignments.len() {
+                    changed |= self.mark(i);
+                }
+                return changed;
+            };
+            let space = dag.fp_space();
+            let mut candidates: Vec<u32> = Vec::new();
+            match u {
+                oassis_ql::Value::Elem(e) => {
+                    for d in vocab.elem_descendants(e) {
+                        candidates.extend_from_slice(&self.buckets_all[space.elem_bit(si, d)]);
+                    }
+                }
+                oassis_ql::Value::Rel(r) => {
+                    for d in vocab.rel_descendants(r) {
+                        candidates.extend_from_slice(&self.buckets_all[space.rel_bit(si, d)]);
+                    }
+                }
+            }
+            for i in candidates {
+                let i = i as usize;
+                if !self.classified[i] && assignment.leq(vocab, &self.assignments[i]) {
+                    changed |= self.mark(i);
+                }
             }
         }
         changed
     }
 
-    /// Updates after a pruning click.
+    /// Updates after a pruning click: bases holding a value in the
+    /// pruned element's descendant cone (in any slot) are classified.
     pub fn prune(&mut self, dag: &Dag<'_>, elem: ontology::ElemId) -> bool {
+        let space = dag.fp_space();
         let vocab = dag.vocab();
         let mut changed = false;
-        for (i, a) in self.assignments.iter().enumerate() {
-            if self.classified[i] {
-                continue;
-            }
-            let hit = (0..a.num_slots()).any(|si| {
-                a.slot(crate::assignment::Slot(si as u16)).iter().any(|&v| match v {
-                    oassis_ql::Value::Elem(e) => vocab.elem_leq(elem, e),
-                    oassis_ql::Value::Rel(_) => false,
-                })
-            });
-            if hit {
-                self.classified[i] = true;
-                self.total_classified += 1;
-                changed = true;
+        for d in vocab.elem_descendants(elem) {
+            for si in 0..space.num_slots() {
+                let bit = space.elem_bit(si, d);
+                for bi in 0..self.buckets_all[bit].len() {
+                    let i = self.buckets_all[bit][bi] as usize;
+                    changed |= self.mark(i);
+                }
             }
         }
         changed
@@ -169,6 +287,12 @@ impl ValidTracker {
     pub fn len(&self) -> usize {
         self.assignments.len()
     }
+}
+
+/// Tests bit `bit` of a word slice.
+#[inline]
+fn word_bit(words: &[u64], bit: usize) -> bool {
+    words[bit / 64] & (1 << (bit % 64)) != 0
 }
 
 /// Runs Algorithm 1 with a single crowd member.
@@ -226,7 +350,9 @@ pub fn run_vertical<C: CrowdSource>(
                     msp_ids.push(phi);
                     s.events.push(DiscoveryEvent {
                         question: s.questions,
-                        kind: DiscoveryKind::Msp { valid: dag.node(phi).valid },
+                        kind: DiscoveryKind::Msp {
+                            valid: dag.node(phi).valid,
+                        },
                     });
                     // TOP k (Section 8 extension): stop as soon as k valid
                     // MSPs are identified — unless DIVERSE needs the full
@@ -243,11 +369,12 @@ pub fn run_vertical<C: CrowdSource>(
                 break;
             }
             // question-type policy
-            if s.cfg.specialization_ratio > 0.0
-                && s.rng.gen_bool(s.cfg.specialization_ratio)
-            {
-                let options: Vec<NodeId> =
-                    unclassified.iter().copied().take(s.cfg.max_spec_options).collect();
+            if s.cfg.specialization_ratio > 0.0 && s.rng.gen_bool(s.cfg.specialization_ratio) {
+                let options: Vec<NodeId> = unclassified
+                    .iter()
+                    .copied()
+                    .take(s.cfg.max_spec_options)
+                    .collect();
                 match s.ask_specialization(dag, crowd, member, phi, &options) {
                     SpecOutcome::Jump(c) => {
                         phi = c;
@@ -267,8 +394,9 @@ pub fn run_vertical<C: CrowdSource>(
         }
     }
 
-    let complete =
-        s.available && !s.exhausted_budget() && find_minimal_unclassified(dag, &mut s.cls).is_none();
+    let complete = s.available
+        && !s.exhausted_budget()
+        && find_minimal_unclassified(dag, &mut s.cls).is_none();
     finish(dag, s, msp_ids, complete)
 }
 
@@ -278,8 +406,10 @@ pub(crate) fn finish(
     msp_ids: Vec<NodeId>,
     complete: bool,
 ) -> MiningOutcome {
-    let msps: Vec<Assignment> =
-        msp_ids.iter().map(|&id| dag.node(id).assignment.clone()).collect();
+    let msps: Vec<Assignment> = msp_ids
+        .iter()
+        .map(|&id| dag.node(id).assignment.clone())
+        .collect();
     let valid_msps: Vec<Assignment> = msp_ids
         .iter()
         .filter(|&&id| dag.node(id).valid)
@@ -353,7 +483,9 @@ impl Session<'_> {
     fn record_classification_event(&mut self) {
         self.events.push(DiscoveryEvent {
             question: self.questions,
-            kind: DiscoveryKind::ValidClassified { total: self.tracker.total_classified },
+            kind: DiscoveryKind::ValidClassified {
+                total: self.tracker.total_classified,
+            },
         });
     }
 
@@ -375,13 +507,12 @@ impl Session<'_> {
                     dag.attach_more_tip(id, tip);
                 }
                 let sig = support >= self.threshold;
-                let a = dag.node(id).assignment.clone();
                 if sig {
-                    self.cls.mark_significant(id);
+                    self.cls.mark_significant(dag, id);
                 } else {
-                    self.cls.mark_insignificant(id);
+                    self.cls.mark_insignificant(dag, id);
                 }
-                if self.tracker.witness(dag, &a, sig) {
+                if self.tracker.witness(dag, id, sig) {
                     self.record_classification_event();
                 }
                 sig
@@ -425,13 +556,12 @@ impl Session<'_> {
                 self.questions += 1;
                 let chosen = options[choice.min(options.len() - 1)];
                 let sig = support >= self.threshold;
-                let a = dag.node(chosen).assignment.clone();
                 if sig {
-                    self.cls.mark_significant(chosen);
+                    self.cls.mark_significant(dag, chosen);
                 } else {
-                    self.cls.mark_insignificant(chosen);
+                    self.cls.mark_insignificant(dag, chosen);
                 }
-                if self.tracker.witness(dag, &a, sig) {
+                if self.tracker.witness(dag, chosen, sig) {
                     self.record_classification_event();
                 }
                 if sig {
@@ -444,9 +574,8 @@ impl Session<'_> {
                 self.questions += 1;
                 let mut changed = false;
                 for &o in options {
-                    self.cls.mark_insignificant(o);
-                    let a = dag.node(o).assignment.clone();
-                    changed |= self.tracker.witness(dag, &a, false);
+                    self.cls.mark_insignificant(dag, o);
+                    changed |= self.tracker.witness(dag, o, false);
                 }
                 if changed {
                     self.record_classification_event();
@@ -474,10 +603,7 @@ impl Session<'_> {
 /// through expanded significant nodes, then pick a ≤-minimal candidate.
 /// Children of insignificant nodes are skipped — they are classified by
 /// inference and need never be materialized.
-pub(crate) fn find_minimal_unclassified(
-    dag: &mut Dag<'_>,
-    cls: &mut Classifier,
-) -> Option<NodeId> {
+pub(crate) fn find_minimal_unclassified(dag: &mut Dag<'_>, cls: &mut Classifier) -> Option<NodeId> {
     let mut candidates: Vec<NodeId> = Vec::new();
     let mut seen: HashSet<NodeId> = HashSet::new();
     let mut stack: Vec<NodeId> = dag.roots().to_vec();
@@ -546,16 +672,22 @@ mod tests {
         let base = evaluate_where(&b, &ont, MatchMode::Exact);
         let mut dag = Dag::new(&b, ont.vocab(), &base);
         let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont)]);
-        let out = run_vertical(&mut dag, &mut crowd, crowd::MemberId(0), &MiningConfig::default());
+        let out = run_vertical(
+            &mut dag,
+            &mut crowd,
+            crowd::MemberId(0),
+            &MiningConfig::default(),
+        );
         assert!(out.complete);
         let v = ont.vocab();
-        let rendered: Vec<String> =
-            out.msps.iter().map(|m| m.apply(&b).to_display(v)).collect();
+        let rendered: Vec<String> = out.msps.iter().map(|m| m.apply(&b).to_display(v)).collect();
         // supports at Θ=0.4 (u_avg): Biking@CP = 5/12 ≥ 0.4 ✓;
         // BallGame@CP = avg(2/6, 1/2)=5/12 ✓; Baseball = 1/3 ✗;
         // Basketball = avg(1/6,0)=1/12 ✗; FeedMonkey@BronxZoo = avg(3/6,1/2)=1/2 ✓.
-        assert!(rendered.iter().any(|r| r == "Biking doAt Central Park"),
-            "missing Biking MSP: {rendered:?}");
+        assert!(
+            rendered.iter().any(|r| r == "Biking doAt Central Park"),
+            "missing Biking MSP: {rendered:?}"
+        );
         assert!(rendered.iter().any(|r| r == "Ball Game doAt Central Park"));
         assert!(rendered.iter().any(|r| r == "Feed a Monkey doAt Bronx Zoo"));
         assert!(!rendered.iter().any(|r| r.contains("Baseball")));
@@ -577,7 +709,12 @@ mod tests {
         let oracle_ref = PlantedOracle::from_nodes(&full, &planted, 1, 0);
         let expected: HashSet<String> = planted
             .iter()
-            .map(|&id| full.node(id).assignment.apply(&b).to_display(d.ontology.vocab()))
+            .map(|&id| {
+                full.node(id)
+                    .assignment
+                    .apply(&b)
+                    .to_display(d.ontology.vocab())
+            })
             .collect();
 
         // lazy mining run
@@ -591,8 +728,12 @@ mod tests {
             1,
             0,
         );
-        let out =
-            run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &MiningConfig::default());
+        let out = run_vertical(
+            &mut dag,
+            &mut oracle,
+            crowd::MemberId(0),
+            &MiningConfig::default(),
+        );
         assert!(out.complete);
         let got: HashSet<String> = out
             .msps
@@ -614,11 +755,26 @@ mod tests {
         let planted = plant_msps(&mut full, 3, true, MspDistribution::Uniform, 1);
         let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
         let mut oracle = PlantedOracle::from_nodes(&full, &planted, 1, 0);
-        let out = run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &MiningConfig::default());
+        let out = run_vertical(
+            &mut dag,
+            &mut oracle,
+            crowd::MemberId(0),
+            &MiningConfig::default(),
+        );
         assert!(out.complete);
-        assert!(out.nodes_materialized < total, "{} < {}", out.nodes_materialized, total);
+        assert!(
+            out.nodes_materialized < total,
+            "{} < {}",
+            out.nodes_materialized,
+            total
+        );
         // and far fewer questions than nodes (inference prunes)
-        assert!(out.questions < total / 2, "{} questions for {} nodes", out.questions, total);
+        assert!(
+            out.questions < total / 2,
+            "{} questions for {} nodes",
+            out.questions,
+            total
+        );
     }
 
     #[test]
@@ -634,7 +790,10 @@ mod tests {
         let run = |ratio: f64| {
             let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
             let mut oracle = PlantedOracle::from_nodes(&full, &planted, 1, 0);
-            let cfg = MiningConfig { specialization_ratio: ratio, ..Default::default() };
+            let cfg = MiningConfig {
+                specialization_ratio: ratio,
+                ..Default::default()
+            };
             let out = run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &cfg);
             assert!(out.complete);
             (out.questions, out.msps.len())
@@ -642,7 +801,10 @@ mod tests {
         let (q0, m0) = run(0.0);
         let (q1, m1) = run(1.0);
         assert_eq!(m0, m1); // same MSP count either way
-        assert!(q1 <= q0, "spec questions should not increase count: {q1} vs {q0}");
+        assert!(
+            q1 <= q0,
+            "spec questions should not increase count: {q1} vs {q0}"
+        );
     }
 
     #[test]
@@ -656,7 +818,10 @@ mod tests {
         let planted = plant_msps(&mut full, 6, true, MspDistribution::Uniform, 2);
         let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
         let mut oracle = PlantedOracle::from_nodes(&full, &planted, 1, 0);
-        let cfg = MiningConfig { max_questions: Some(10), ..Default::default() };
+        let cfg = MiningConfig {
+            max_questions: Some(10),
+            ..Default::default()
+        };
         let out = run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &cfg);
         assert!(!out.complete);
         assert!(out.questions <= 10);
@@ -672,12 +837,20 @@ mod tests {
         let [d1, _] = figure1::personal_dbs(&ont);
         let member = SimulatedMember::new(
             PersonalDb::from_transactions(d1),
-            MemberBehavior { session_limit: Some(3), ..Default::default() },
+            MemberBehavior {
+                session_limit: Some(3),
+                ..Default::default()
+            },
             AnswerModel::Exact,
             0,
         );
         let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![member]);
-        let out = run_vertical(&mut dag, &mut crowd, crowd::MemberId(0), &MiningConfig::default());
+        let out = run_vertical(
+            &mut dag,
+            &mut crowd,
+            crowd::MemberId(0),
+            &MiningConfig::default(),
+        );
         assert!(!out.complete);
         assert_eq!(out.questions, 3);
     }
@@ -693,7 +866,12 @@ mod tests {
         let planted = plant_msps(&mut full, 5, true, MspDistribution::Uniform, 4);
         let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
         let mut oracle = PlantedOracle::from_nodes(&full, &planted, 1, 0);
-        let out = run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &MiningConfig::default());
+        let out = run_vertical(
+            &mut dag,
+            &mut oracle,
+            crowd::MemberId(0),
+            &MiningConfig::default(),
+        );
         let mut last_q = 0;
         let mut last_total = 0;
         for e in &out.events {
@@ -722,15 +900,21 @@ mod tests {
         let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
         full.materialize_all();
         let planted = plant_msps(&mut full, 4, true, MspDistribution::Uniform, 6);
-        let patterns: Vec<_> =
-            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let patterns: Vec<_> = planted
+            .iter()
+            .map(|&id| full.node(id).assignment.apply(&b))
+            .collect();
 
         let run = |pruning: f64| {
             let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
             let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 1, 0);
             oracle.pruning_prob = pruning;
-            let out =
-                run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &MiningConfig::default());
+            let out = run_vertical(
+                &mut dag,
+                &mut oracle,
+                crowd::MemberId(0),
+                &MiningConfig::default(),
+            );
             assert!(out.complete, "run with pruning={pruning} incomplete");
             (out.questions, out.msps.len())
         };

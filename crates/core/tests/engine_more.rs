@@ -5,9 +5,7 @@ use crowd::{
     Answer, AnswerModel, CrowdSource, MemberBehavior, MemberId, PersonalDb, Question,
     SimulatedCrowd, SimulatedMember,
 };
-use oassis_core::{
-    run_multi, CachingCrowd, CrowdCache, Dag, FixedSampleAggregator, MiningConfig,
-};
+use oassis_core::{run_multi, CachingCrowd, CrowdCache, Dag, FixedSampleAggregator, MiningConfig};
 use oassis_ql::{bind, evaluate_where, parse, MatchMode};
 use ontology::domains::figure1;
 use ontology::PatternSet;
@@ -76,10 +74,18 @@ fn multi_user_specialization_ratio_produces_spec_answers() {
     let b = bind(&q, &ont).unwrap();
     let base = evaluate_where(&b, &ont, MatchMode::Exact);
     let mut dag = Dag::new(&b, ont.vocab(), &base);
-    let mut crowd =
-        SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1), u_avg(&ont, 2)]);
-    let cfg = MiningConfig { specialization_ratio: 0.5, seed: 3, ..Default::default() };
-    let out = run_multi(&mut dag, &mut crowd, &FixedSampleAggregator { sample_size: 2 }, &cfg);
+    let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1), u_avg(&ont, 2)]);
+    let cfg = MiningConfig {
+        specialization_ratio: 0.5,
+        seed: 3,
+        ..Default::default()
+    };
+    let out = run_multi(
+        &mut dag,
+        &mut crowd,
+        &FixedSampleAggregator { sample_size: 2 },
+        &cfg,
+    );
     assert!(out.mining.complete);
     let st = out.question_stats;
     assert!(st.specialization + st.none_of_these > 0, "{st:?}");
@@ -92,7 +98,10 @@ fn multi_user_specialization_ratio_produces_spec_answers() {
         .iter()
         .map(|m| m.apply(&b).to_display(ont.vocab()))
         .collect();
-    assert!(rendered.iter().any(|r| r == "Biking doAt Central Park"), "{rendered:?}");
+    assert!(
+        rendered.iter().any(|r| r == "Biking doAt Central Park"),
+        "{rendered:?}"
+    );
 }
 
 #[test]
@@ -104,8 +113,17 @@ fn runs_are_deterministic_across_invocations() {
         let base = evaluate_where(&b, &ont, MatchMode::Exact);
         let mut dag = Dag::new(&b, ont.vocab(), &base);
         let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
-        let cfg = MiningConfig { specialization_ratio: 0.3, seed: 9, ..Default::default() };
-        let out = run_multi(&mut dag, &mut crowd, &FixedSampleAggregator { sample_size: 1 }, &cfg);
+        let cfg = MiningConfig {
+            specialization_ratio: 0.3,
+            seed: 9,
+            ..Default::default()
+        };
+        let out = run_multi(
+            &mut dag,
+            &mut crowd,
+            &FixedSampleAggregator { sample_size: 1 },
+            &cfg,
+        );
         (
             out.mining.questions,
             out.mining

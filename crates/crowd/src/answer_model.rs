@@ -2,10 +2,9 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Maps a true support value to the value the member reports.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum AnswerModel {
     /// Report the true support exactly.
     #[default]
@@ -30,7 +29,11 @@ impl AnswerModel {
             AnswerModel::Exact => true_support,
             AnswerModel::Bucketed5 => (true_support * 4.0).round() / 4.0,
             AnswerModel::Noisy { spread } => {
-                let noise = if spread > 0.0 { rng.gen_range(-spread..=spread) } else { 0.0 };
+                let noise = if spread > 0.0 {
+                    rng.gen_range(-spread..=spread)
+                } else {
+                    0.0
+                };
                 (true_support + noise).clamp(0.0, 1.0)
             }
         }
@@ -77,6 +80,9 @@ mod tests {
     #[test]
     fn zero_spread_noise_is_exact() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(AnswerModel::Noisy { spread: 0.0 }.report(0.5, &mut rng), 0.5);
+        assert_eq!(
+            AnswerModel::Noisy { spread: 0.0 }.report(0.5, &mut rng),
+            0.5
+        );
     }
 }

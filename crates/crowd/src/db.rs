@@ -1,7 +1,6 @@
 //! Personal transaction databases and the support measure of Section 2.
 
 use ontology::{FactSet, PatternSet, Vocabulary};
-use serde::{Deserialize, Serialize};
 
 /// The (virtual) personal database `D_u` of one crowd member: a bag of
 /// transactions, each the fact-set of one past occasion (Table 3).
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// In the real system this database exists only in the member's memory;
 /// here it is materialized as simulation ground truth. The mining engine
 /// never touches it — it only sees [`Answer`](crate::Answer)s.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PersonalDb {
     transactions: Vec<FactSet>,
 }
@@ -126,8 +125,7 @@ mod tests {
         let [d1, _] = figure1::personal_dbs(&ont);
         let db = PersonalDb::from_transactions(d1);
         let general = PatternSet::from_facts([v.fact("Sport", "doAt", "Central Park").unwrap()]);
-        let specific =
-            PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]);
+        let specific = PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]);
         assert!(general.leq(v, &specific));
         assert!(db.support(v, &general) >= db.support(v, &specific));
     }

@@ -32,7 +32,12 @@ pub struct MemberBehavior {
 
 impl Default for MemberBehavior {
     fn default() -> Self {
-        MemberBehavior { session_limit: None, pruning_prob: 0.0, more_tip_prob: 0.0, spammer: false }
+        MemberBehavior {
+            session_limit: None,
+            pruning_prob: 0.0,
+            more_tip_prob: 0.0,
+            spammer: false,
+        }
     }
 }
 
@@ -54,7 +59,12 @@ pub struct SimulatedMember {
 
 impl SimulatedMember {
     /// Creates a member. All randomness derives from `seed`.
-    pub fn new(db: PersonalDb, behavior: MemberBehavior, answer_model: AnswerModel, seed: u64) -> Self {
+    pub fn new(
+        db: PersonalDb,
+        behavior: MemberBehavior,
+        answer_model: AnswerModel,
+        seed: u64,
+    ) -> Self {
         SimulatedMember {
             db,
             behavior,
@@ -148,9 +158,10 @@ impl SimulatedMember {
             }
         }
         match best {
-            Some((choice, s)) => {
-                Answer::Specialized { choice, support: self.answer_model.report(s, &mut self.rng) }
-            }
+            Some((choice, s)) => Answer::Specialized {
+                choice,
+                support: self.answer_model.report(s, &mut self.rng),
+            },
             None => Answer::NoneOfThese,
         }
     }
@@ -204,7 +215,11 @@ pub struct SimulatedCrowd<'a> {
 impl<'a> SimulatedCrowd<'a> {
     /// Creates a crowd.
     pub fn new(vocab: &'a Vocabulary, members: Vec<SimulatedMember>) -> Self {
-        SimulatedCrowd { vocab, members, questions: 0 }
+        SimulatedCrowd {
+            vocab,
+            members,
+            questions: 0,
+        }
     }
 
     /// Access to a member (e.g. to inspect ground truth in tests).
@@ -233,7 +248,11 @@ impl<'a> SimulatedCrowd<'a> {
         if self.members.is_empty() {
             return 0.0;
         }
-        let sum: f64 = self.members.iter().map(|m| m.db.support(self.vocab, pattern)).sum();
+        let sum: f64 = self
+            .members
+            .iter()
+            .map(|m| m.db.support(self.vocab, pattern))
+            .sum();
         sum / self.members.len() as f64
     }
 }
@@ -253,7 +272,10 @@ impl CrowdSource for SimulatedCrowd<'_> {
     }
 
     fn member_has_profile(&self, member: MemberId, label: &str) -> bool {
-        self.members[member.index()].profile.iter().any(|l| l == label)
+        self.members[member.index()]
+            .profile
+            .iter()
+            .any(|l| l == label)
     }
 }
 
@@ -286,7 +308,10 @@ mod tests {
 
     #[test]
     fn session_limit_yields_unavailable() {
-        let behavior = MemberBehavior { session_limit: Some(2), ..Default::default() };
+        let behavior = MemberBehavior {
+            session_limit: Some(2),
+            ..Default::default()
+        };
         let (ont, mut m) = u1(behavior, AnswerModel::Exact);
         let v = ont.vocab();
         let p = PatternSet::new();
@@ -300,7 +325,10 @@ mod tests {
 
     #[test]
     fn pruning_click_on_irrelevant_element() {
-        let behavior = MemberBehavior { pruning_prob: 1.0, ..Default::default() };
+        let behavior = MemberBehavior {
+            pruning_prob: 1.0,
+            ..Default::default()
+        };
         let (ont, mut m) = u1(behavior, AnswerModel::Exact);
         let v = ont.vocab();
         // u1 never swims: a question about swimming should trigger pruning.
@@ -313,7 +341,10 @@ mod tests {
 
     #[test]
     fn no_pruning_when_support_positive() {
-        let behavior = MemberBehavior { pruning_prob: 1.0, ..Default::default() };
+        let behavior = MemberBehavior {
+            pruning_prob: 1.0,
+            ..Default::default()
+        };
         let (ont, mut m) = u1(behavior, AnswerModel::Exact);
         let v = ont.vocab();
         let p = PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]);
@@ -327,7 +358,10 @@ mod tests {
     fn more_tip_is_the_boathouse() {
         // Asking u1 about biking in Central Park + falafel at Maoz: the
         // co-occurring tip is renting bikes at the Boathouse (Example 3.2).
-        let behavior = MemberBehavior { more_tip_prob: 1.0, ..Default::default() };
+        let behavior = MemberBehavior {
+            more_tip_prob: 1.0,
+            ..Default::default()
+        };
         let (ont, mut m) = u1(behavior, AnswerModel::Exact);
         let v = ont.vocab();
         let p = PatternSet::from_facts([
@@ -335,7 +369,9 @@ mod tests {
             v.fact("Falafel", "eatAt", "Maoz Veg").unwrap(),
         ]);
         match m.answer(v, &Question::Concrete { pattern: p }) {
-            Answer::Support { more_tip: Some(f), .. } => {
+            Answer::Support {
+                more_tip: Some(f), ..
+            } => {
                 assert_eq!(v.fact_to_string(f), "Rent Bikes doAt Boathouse");
             }
             other => panic!("{other:?}"),
@@ -378,7 +414,10 @@ mod tests {
 
     #[test]
     fn spammer_ignores_ground_truth() {
-        let behavior = MemberBehavior { spammer: true, ..Default::default() };
+        let behavior = MemberBehavior {
+            spammer: true,
+            ..Default::default()
+        };
         let (ont, mut m) = u1(behavior, AnswerModel::Exact);
         let v = ont.vocab();
         // ask many times about an impossible pattern; a spammer will

@@ -12,10 +12,10 @@
 
 use crate::member::SimulatedMember;
 use crate::question::{Answer, CrowdSource, MemberId, Question};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use ontology::Vocabulary;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 
 type Job = (Question, Sender<Answer>);
 
@@ -23,7 +23,7 @@ type Job = (Question, Sender<Answer>);
 /// [`with_parallel_crowd`]; valid only inside its closure.
 pub struct ParallelHandle {
     senders: Vec<Sender<Job>>,
-    questions: Arc<Mutex<usize>>,
+    questions: Arc<AtomicUsize>,
 }
 
 impl ParallelHandle {
@@ -33,14 +33,14 @@ impl ParallelHandle {
         let receivers: Vec<Receiver<Answer>> = members
             .iter()
             .map(|m| {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 self.senders[m.index()]
                     .send((question.clone(), tx))
                     .expect("worker alive");
                 rx
             })
             .collect();
-        *self.questions.lock() += members.len();
+        self.questions.fetch_add(members.len(), Ordering::Relaxed);
         receivers
             .into_iter()
             .map(|rx| rx.recv().unwrap_or(Answer::Unavailable))
@@ -54,16 +54,19 @@ impl CrowdSource for ParallelHandle {
     }
 
     fn ask(&mut self, member: MemberId, question: &Question) -> Answer {
-        let (tx, rx) = unbounded();
-        if self.senders[member.index()].send((question.clone(), tx)).is_err() {
+        let (tx, rx) = channel();
+        if self.senders[member.index()]
+            .send((question.clone(), tx))
+            .is_err()
+        {
             return Answer::Unavailable;
         }
-        *self.questions.lock() += 1;
+        self.questions.fetch_add(1, Ordering::Relaxed);
         rx.recv().unwrap_or(Answer::Unavailable)
     }
 
     fn questions_asked(&self) -> usize {
-        *self.questions.lock()
+        self.questions.load(Ordering::Relaxed)
     }
 }
 
@@ -79,33 +82,36 @@ pub fn with_parallel_crowd<R>(
     let n = members.len();
     let returned: Arc<Mutex<Vec<Option<SimulatedMember>>>> =
         Arc::new(Mutex::new((0..n).map(|_| None).collect()));
-    let questions = Arc::new(Mutex::new(0usize));
+    let questions = Arc::new(AtomicUsize::new(0));
 
-    let result = crossbeam::thread::scope(|scope| {
+    let result = std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(n);
         for (i, mut member) in members.into_iter().enumerate() {
-            let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = channel();
             senders.push(tx);
             let returned = Arc::clone(&returned);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (question, reply) in rx.iter() {
                     let answer = member.answer(vocab, &question);
                     // a dropped reply receiver just means the caller gave up
                     let _ = reply.send(answer);
                 }
-                returned.lock()[i] = Some(member);
+                returned.lock().expect("no worker panicked")[i] = Some(member);
             });
         }
-        let mut handle = ParallelHandle { senders, questions: Arc::clone(&questions) };
+        let mut handle = ParallelHandle {
+            senders,
+            questions: Arc::clone(&questions),
+        };
         let r = f(&mut handle);
         drop(handle); // close the channels so workers exit
         r
-    })
-    .expect("crowd worker panicked");
+    });
 
     let members_back: Vec<SimulatedMember> = Arc::try_unwrap(returned)
         .expect("all workers joined")
         .into_inner()
+        .expect("no worker panicked")
         .into_iter()
         .map(|m| m.expect("worker returned its member"))
         .collect();
@@ -144,11 +150,12 @@ mod tests {
         let q = Question::Concrete { pattern: p };
 
         let mut seq = SimulatedCrowd::new(v, members(&ont, 4));
-        let seq_answers: Vec<Answer> =
-            (0..4).map(|i| seq.ask(MemberId(i), &q)).collect();
+        let seq_answers: Vec<Answer> = (0..4).map(|i| seq.ask(MemberId(i), &q)).collect();
 
         let (par_answers, _) = with_parallel_crowd(v, members(&ont, 4), |crowd| {
-            (0..4).map(|i| crowd.ask(MemberId(i), &q)).collect::<Vec<_>>()
+            (0..4)
+                .map(|i| crowd.ask(MemberId(i), &q))
+                .collect::<Vec<_>>()
         });
         assert_eq!(seq_answers, par_answers);
     }

@@ -85,7 +85,9 @@ pub fn generate(profiles: &[HabitProfile], cfg: &PopulationConfig) -> Vec<Simula
                 };
                 personal.push((pi, (p.frequency * jitter).clamp(0.0, 1.0)));
             }
-            let n_tx = rng.gen_range(cfg.transactions.0..=cfg.transactions.1).max(1);
+            let n_tx = rng
+                .gen_range(cfg.transactions.0..=cfg.transactions.1)
+                .max(1);
             let mut db = PersonalDb::new();
             for _ in 0..n_tx {
                 let mut facts: Vec<Fact> = Vec::new();
@@ -135,7 +137,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (_, profiles) = setup();
-        let cfg = PopulationConfig { members: 10, ..Default::default() };
+        let cfg = PopulationConfig {
+            members: 10,
+            ..Default::default()
+        };
         let a = generate(&profiles, &cfg);
         let b = generate(&profiles, &cfg);
         for (x, y) in a.iter().zip(&b) {
@@ -147,7 +152,11 @@ mod tests {
     fn average_support_tracks_target() {
         let (ont, profiles) = setup();
         let v = ont.vocab();
-        let cfg = PopulationConfig { members: 200, seed: 3, ..Default::default() };
+        let cfg = PopulationConfig {
+            members: 200,
+            seed: 3,
+            ..Default::default()
+        };
         let members = generate(&profiles, &cfg);
         let crowd = SimulatedCrowd::new(v, members);
         let p0 = PatternSet::from_facts(profiles[0].facts.iter().copied());
@@ -163,11 +172,14 @@ mod tests {
     fn generalized_patterns_have_higher_support() {
         let (ont, profiles) = setup();
         let v = ont.vocab();
-        let cfg = PopulationConfig { members: 100, seed: 5, ..Default::default() };
+        let cfg = PopulationConfig {
+            members: 100,
+            seed: 5,
+            ..Default::default()
+        };
         let members = generate(&profiles, &cfg);
         let crowd = SimulatedCrowd::new(v, members);
-        let specific =
-            PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]);
+        let specific = PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]);
         let general = PatternSet::from_facts([v.fact("Sport", "doAt", "Central Park").unwrap()]);
         assert!(crowd.true_average_support(&general) >= crowd.true_average_support(&specific));
     }
@@ -175,7 +187,11 @@ mod tests {
     #[test]
     fn transaction_counts_in_range() {
         let (_, profiles) = setup();
-        let cfg = PopulationConfig { members: 30, transactions: (5, 9), ..Default::default() };
+        let cfg = PopulationConfig {
+            members: 30,
+            transactions: (5, 9),
+            ..Default::default()
+        };
         for m in generate(&profiles, &cfg) {
             assert!((5..=9).contains(&m.db.len()));
         }
@@ -193,9 +209,9 @@ mod tests {
             ..Default::default()
         };
         let members = generate(&profiles, &cfg);
-        let seen = members.iter().any(|m| {
-            m.db.transactions().iter().any(|t| t.contains(noise[0]))
-        });
+        let seen = members
+            .iter()
+            .any(|m| m.db.transactions().iter().any(|t| t.contains(noise[0])));
         assert!(seen);
     }
 }

@@ -63,9 +63,16 @@ pub fn check_consistency(
             }
         }
     }
-    let violation_rate =
-        if comparable_pairs == 0 { 0.0 } else { violations as f64 / comparable_pairs as f64 };
-    ConsistencyReport { comparable_pairs, violations, violation_rate }
+    let violation_rate = if comparable_pairs == 0 {
+        0.0
+    } else {
+        violations as f64 / comparable_pairs as f64
+    };
+    ConsistencyReport {
+        comparable_pairs,
+        violations,
+        violation_rate,
+    }
 }
 
 #[cfg(test)]
@@ -171,7 +178,10 @@ mod tests {
         let run = |spammer: bool, seed: u64| {
             let mut m = SimulatedMember::new(
                 PersonalDb::from_transactions(d1.clone()),
-                MemberBehavior { spammer, ..Default::default() },
+                MemberBehavior {
+                    spammer,
+                    ..Default::default()
+                },
                 AnswerModel::Exact,
                 seed,
             );
@@ -180,7 +190,10 @@ mod tests {
                 if let Answer::Support { support, .. } =
                     m.answer(v, &Question::Concrete { pattern: p.clone() })
                 {
-                    observations.push(Observation { pattern: p.clone(), support });
+                    observations.push(Observation {
+                        pattern: p.clone(),
+                        support,
+                    });
                 }
             }
             check_consistency(v, &observations, 0.01)

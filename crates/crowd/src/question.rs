@@ -1,12 +1,9 @@
 //! The question/answer protocol between the mining engine and the crowd.
 
 use ontology::{ElemId, Fact, PatternSet};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a crowd member within a [`CrowdSource`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MemberId(pub u32);
 
 impl MemberId {

@@ -7,10 +7,8 @@
 //! **insignificant** when either upper bound falls below its threshold —
 //! otherwise more answers are needed.
 
-use serde::{Deserialize, Serialize};
-
 /// Classification of a rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RuleClass {
     /// Both thresholds cleared at the requested confidence.
     Significant,
@@ -21,7 +19,7 @@ pub enum RuleClass {
 }
 
 /// Streaming mean/variance (Welford) for one measured quantity.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunningStat {
     n: usize,
     mean: f64,
@@ -61,7 +59,11 @@ impl RunningStat {
         if self.n == 0 {
             return f64::INFINITY;
         }
-        let sd = if self.n < 2 { 0.5 } else { self.std_dev().max(1e-6) };
+        let sd = if self.n < 2 {
+            0.5
+        } else {
+            self.std_dev().max(1e-6)
+        };
         sd / (self.n as f64).sqrt()
     }
 
@@ -76,7 +78,7 @@ impl RunningStat {
 }
 
 /// The evolving estimate for one rule.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RuleEstimate {
     /// Support samples.
     pub support: RunningStat,
@@ -98,13 +100,7 @@ impl RuleEstimate {
 
     /// Classifies against thresholds at z standard errors (z ≈ 1.96 for
     /// 95%). At least `min_samples` answers are required before deciding.
-    pub fn classify(
-        &self,
-        theta_s: f64,
-        theta_c: f64,
-        z: f64,
-        min_samples: usize,
-    ) -> RuleClass {
+    pub fn classify(&self, theta_s: f64, theta_c: f64, z: f64, min_samples: usize) -> RuleClass {
         if self.samples() < min_samples {
             return RuleClass::Unknown;
         }
@@ -166,8 +162,7 @@ mod tests {
         }
         let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
         assert!((st.mean() - mean).abs() < 1e-12);
-        let var: f64 =
-            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((st.std_dev() - var.sqrt()).abs() < 1e-12);
         assert_eq!(st.count(), 5);
     }
@@ -230,9 +225,6 @@ mod tests {
             clear.record(0.95, 0.95);
             borderline.record(if i % 2 == 0 { 0.28 } else { 0.33 }, 0.8);
         }
-        assert!(
-            borderline.uncertainty_distance(0.3, 0.5)
-                < clear.uncertainty_distance(0.3, 0.5)
-        );
+        assert!(borderline.uncertainty_distance(0.3, 0.5) < clear.uncertainty_distance(0.3, 0.5));
     }
 }

@@ -68,8 +68,16 @@ impl CrowdMiner {
     /// a domain expert); open questions will discover the rest.
     pub fn new(cfg: MinerConfig, seeds: Vec<AssociationRule>) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed);
-        let estimates = seeds.into_iter().map(|r| (r, RuleEstimate::default())).collect();
-        CrowdMiner { cfg, estimates, rng, questions: 0 }
+        let estimates = seeds
+            .into_iter()
+            .map(|r| (r, RuleEstimate::default()))
+            .collect();
+        CrowdMiner {
+            cfg,
+            estimates,
+            rng,
+            questions: 0,
+        }
     }
 
     /// Questions asked so far.
@@ -173,21 +181,19 @@ impl CrowdMiner {
             QuestionStrategy::Random => {
                 Some(unclassified[self.rng.gen_range(0..unclassified.len())].clone())
             }
-            QuestionStrategy::Greedy => unclassified
-                .into_iter()
-                .min_by(|a, b| {
-                    let ua = self.estimates[a].estimated_remaining(
-                        self.cfg.theta_support,
-                        self.cfg.theta_confidence,
-                        self.cfg.z,
-                    );
-                    let ub = self.estimates[b].estimated_remaining(
-                        self.cfg.theta_support,
-                        self.cfg.theta_confidence,
-                        self.cfg.z,
-                    );
-                    ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
-                }),
+            QuestionStrategy::Greedy => unclassified.into_iter().min_by(|a, b| {
+                let ua = self.estimates[a].estimated_remaining(
+                    self.cfg.theta_support,
+                    self.cfg.theta_confidence,
+                    self.cfg.z,
+                );
+                let ub = self.estimates[b].estimated_remaining(
+                    self.cfg.theta_support,
+                    self.cfg.theta_confidence,
+                    self.cfg.z,
+                );
+                ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
+            }),
         }
     }
 
@@ -200,7 +206,11 @@ impl CrowdMiner {
         }
         let tp = found.iter().filter(|r| truth.contains(r)).count() as f64;
         let precision = tp / found.len() as f64;
-        let recall = if truth.is_empty() { 1.0 } else { tp / truth.len() as f64 };
+        let recall = if truth.is_empty() {
+            1.0
+        } else {
+            tp / truth.len() as f64
+        };
         (precision, recall)
     }
 }
@@ -218,7 +228,11 @@ mod tests {
     fn planted_crowd(seed: u64) -> (SimulatedRuleCrowd, Vec<AssociationRule>) {
         let cfg = SimConfig {
             members: 150,
-            habits: vec![(iset(&[1, 2]), 0.7), (iset(&[3, 4]), 0.55), (iset(&[5, 6]), 0.05)],
+            habits: vec![
+                (iset(&[1, 2]), 0.7),
+                (iset(&[3, 4]), 0.55),
+                (iset(&[5, 6]), 0.05),
+            ],
             answer_noise: 0.02,
             seed,
             ..Default::default()
@@ -237,7 +251,11 @@ mod tests {
     fn mines_planted_rules_with_high_recall() {
         let (mut crowd, truth) = planted_crowd(42);
         let mut miner = CrowdMiner::new(
-            MinerConfig { theta_support: 0.35, theta_confidence: 0.6, ..Default::default() },
+            MinerConfig {
+                theta_support: 0.35,
+                theta_confidence: 0.6,
+                ..Default::default()
+            },
             vec![],
         );
         miner.run(&mut crowd, 600);
@@ -295,7 +313,10 @@ mod tests {
     fn pure_open_questions_still_discover() {
         let (mut crowd, _) = planted_crowd(3);
         let mut miner = CrowdMiner::new(
-            MinerConfig { open_ratio: 1.0, ..Default::default() },
+            MinerConfig {
+                open_ratio: 1.0,
+                ..Default::default()
+            },
             vec![],
         );
         miner.run(&mut crowd, 100);

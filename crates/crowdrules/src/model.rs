@@ -1,19 +1,14 @@
 //! The flat data model of the SIGMOD'13 framework: items, itemsets,
 //! transactions, association rules and (virtual) personal databases.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An item (an activity, a remedy, a food, …) in the flat vocabulary.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ItemId(pub u32);
 
 /// A canonical (sorted, deduplicated) set of items.
-#[derive(
-    Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Itemset(Vec<ItemId>);
 
 impl Itemset {
@@ -66,7 +61,11 @@ impl fmt::Display for Itemset {
         write!(
             f,
             "{{{}}}",
-            self.0.iter().map(|i| i.0.to_string()).collect::<Vec<_>>().join(",")
+            self.0
+                .iter()
+                .map(|i| i.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         )
     }
 }
@@ -75,7 +74,7 @@ impl fmt::Display for Itemset {
 pub type Transaction = Itemset;
 
 /// An association rule `A → B` with disjoint, non-empty sides.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AssociationRule {
     /// The antecedent `A`.
     pub lhs: Itemset,
@@ -106,7 +105,7 @@ impl fmt::Display for AssociationRule {
 }
 
 /// A member's (virtual) personal database: a bag of transactions.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PersonalDb {
     transactions: Vec<Transaction>,
 }
@@ -137,7 +136,11 @@ impl PersonalDb {
         if self.transactions.is_empty() {
             return 0.0;
         }
-        let n = self.transactions.iter().filter(|t| s.is_subset_of(t)).count();
+        let n = self
+            .transactions
+            .iter()
+            .filter(|t| s.is_subset_of(t))
+            .count();
         n as f64 / self.transactions.len() as f64
     }
 
@@ -191,10 +194,15 @@ mod tests {
     #[test]
     fn support_and_confidence() {
         // 4 transactions: {1,2}, {1,2,3}, {1}, {3}
-        let db = PersonalDb::new(vec![iset(&[1, 2]), iset(&[1, 2, 3]), iset(&[1]), iset(&[3])]);
+        let db = PersonalDb::new(vec![
+            iset(&[1, 2]),
+            iset(&[1, 2, 3]),
+            iset(&[1]),
+            iset(&[3]),
+        ]);
         let r = AssociationRule::new(iset(&[1]), iset(&[2])).unwrap();
         assert!((db.rule_support(&r) - 0.5).abs() < 1e-12); // {1,2} in 2/4
-        // conf = supp({1,2}) / supp({1}) = 0.5 / 0.75 = 2/3
+                                                            // conf = supp({1,2}) / supp({1}) = 0.5 / 0.75 = 2/3
         assert!((db.rule_confidence(&r) - 2.0 / 3.0).abs() < 1e-12);
     }
 

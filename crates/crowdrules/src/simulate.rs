@@ -68,7 +68,9 @@ impl SimulatedRuleCrowd {
                     (s.clone(), (f * jit).clamp(0.0, 1.0))
                 })
                 .collect();
-            let n = rng.gen_range(cfg.transactions.0..=cfg.transactions.1).max(1);
+            let n = rng
+                .gen_range(cfg.transactions.0..=cfg.transactions.1)
+                .max(1);
             let mut txs: Vec<Transaction> = Vec::with_capacity(n);
             for _ in 0..n {
                 let mut items: Vec<ItemId> = Vec::new();
@@ -84,7 +86,12 @@ impl SimulatedRuleCrowd {
             }
             dbs.push(PersonalDb::new(txs));
         }
-        SimulatedRuleCrowd { dbs, answer_noise: cfg.answer_noise, rng, questions: 0 }
+        SimulatedRuleCrowd {
+            dbs,
+            answer_noise: cfg.answer_noise,
+            rng,
+            questions: 0,
+        }
     }
 
     /// Number of members.
@@ -193,7 +200,10 @@ mod tests {
 
     #[test]
     fn true_statistics_track_planted_habits() {
-        let crowd = SimulatedRuleCrowd::generate(&SimConfig { members: 300, ..cfg() });
+        let crowd = SimulatedRuleCrowd::generate(&SimConfig {
+            members: 300,
+            ..cfg()
+        });
         let r = AssociationRule::new(iset(&[1]), iset(&[2])).unwrap();
         let s = crowd.true_support(&r);
         assert!((s - 0.6).abs() < 0.1, "support {s}");
@@ -228,7 +238,10 @@ mod tests {
                 }
             }
         }
-        assert!(found_planted, "open questions never surfaced the planted habit");
+        assert!(
+            found_planted,
+            "open questions never surfaced the planted habit"
+        );
     }
 
     #[test]

@@ -96,7 +96,10 @@ pub enum Term {
 impl Term {
     /// Convenience constructor for a plain variable.
     pub fn var(name: &str) -> Term {
-        Term::Var { name: name.to_owned(), mult: Multiplicity::ExactlyOne }
+        Term::Var {
+            name: name.to_owned(),
+            mult: Multiplicity::ExactlyOne,
+        }
     }
 
     /// Convenience constructor for a constant element.
@@ -123,7 +126,10 @@ pub enum Pred {
 impl Pred {
     /// Convenience constructor for a plain relation predicate.
     pub fn rel(name: &str) -> Pred {
-        Pred::Rel { name: name.to_owned(), star: false }
+        Pred::Rel {
+            name: name.to_owned(),
+            star: false,
+        }
     }
 }
 
@@ -226,7 +232,12 @@ impl fmt::Display for Query {
             OutputFormat::FactSets => "FACT-SETS",
             OutputFormat::Variables => "VARIABLES",
         };
-        write!(f, "SELECT {}{}", fmt_name, if self.select.all { " ALL" } else { "" })?;
+        write!(
+            f,
+            "SELECT {}{}",
+            fmt_name,
+            if self.select.all { " ALL" } else { "" }
+        )?;
         if let Some(k) = self.select.top {
             write!(f, " TOP {k}")?;
             if self.select.diverse {
@@ -239,13 +250,21 @@ impl fmt::Display for Query {
         }
         writeln!(f, "WHERE")?;
         for (i, p) in self.where_patterns.iter().enumerate() {
-            let sep = if i + 1 < self.where_patterns.len() { "." } else { "" };
+            let sep = if i + 1 < self.where_patterns.len() {
+                "."
+            } else {
+                ""
+            };
             writeln!(f, "  {p}{sep}")?;
         }
         writeln!(f, "SATISFYING")?;
         let n = self.satisfying.patterns.len();
         for (i, p) in self.satisfying.patterns.iter().enumerate() {
-            let sep = if i + 1 < n || self.satisfying.more { "." } else { "" };
+            let sep = if i + 1 < n || self.satisfying.more {
+                "."
+            } else {
+                ""
+            };
             writeln!(f, "  {p}{sep}")?;
         }
         if self.satisfying.more {
@@ -287,19 +306,33 @@ mod tests {
     fn term_display() {
         assert_eq!(Term::var("x").to_string(), "$x");
         assert_eq!(
-            Term::Var { name: "y".into(), mult: Multiplicity::AtLeastOne }.to_string(),
+            Term::Var {
+                name: "y".into(),
+                mult: Multiplicity::AtLeastOne
+            }
+            .to_string(),
             "$y+"
         );
         assert_eq!(Term::elem("NYC").to_string(), "NYC");
         assert_eq!(Term::elem("Tel Aviv").to_string(), "\"Tel Aviv\"");
         assert_eq!(Term::Blank.to_string(), "[]");
-        assert_eq!(Term::Literal("child-friendly".into()).to_string(), "\"child-friendly\"");
+        assert_eq!(
+            Term::Literal("child-friendly".into()).to_string(),
+            "\"child-friendly\""
+        );
     }
 
     #[test]
     fn pred_display() {
         assert_eq!(Pred::rel("doAt").to_string(), "doAt");
-        assert_eq!(Pred::Rel { name: "subClassOf".into(), star: true }.to_string(), "subClassOf*");
+        assert_eq!(
+            Pred::Rel {
+                name: "subClassOf".into(),
+                star: true
+            }
+            .to_string(),
+            "subClassOf*"
+        );
         assert_eq!(Pred::Var("p".into()).to_string(), "$p");
     }
 }

@@ -4,10 +4,9 @@
 use crate::ast::{Multiplicity, OutputFormat, Pred, Query, Term, TriplePattern};
 use crate::parse::QlError;
 use ontology::{ElemId, Ontology, RelId};
-use serde::{Deserialize, Serialize};
 
 /// Dense index of a query variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub u16);
 
 impl VarId {
@@ -21,7 +20,7 @@ impl VarId {
 /// A value an assignment can map a variable to: per Definition 4.1,
 /// assignments map the variable space to sets of vocabulary **elements or
 /// relations**.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// An element value.
     Elem(ElemId),
@@ -158,7 +157,10 @@ pub struct BoundQuery {
 impl BoundQuery {
     /// Looks up a variable by source name.
     pub fn var_by_name(&self, name: &str) -> Option<VarId> {
-        self.vars.iter().position(|v| v.name == name).map(|i| VarId(i as u16))
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u16))
     }
 }
 
@@ -176,7 +178,11 @@ pub const HAS_LABEL: &str = "hasLabel";
 /// * `hasLabel` appears only in the WHERE clause with a string object;
 /// * `*` paths have a constant relation.
 pub fn bind(q: &Query, ont: &Ontology) -> Result<BoundQuery, QlError> {
-    let mut b = Binder { ont, vars: Vec::new(), annotated: Vec::new() };
+    let mut b = Binder {
+        ont,
+        vars: Vec::new(),
+        annotated: Vec::new(),
+    };
 
     let mut where_patterns = Vec::with_capacity(q.where_patterns.len());
     for p in &q.where_patterns {
@@ -271,17 +277,17 @@ impl Binder<'_> {
     }
 
     fn elem(&self, name: &str) -> Result<ElemId, QlError> {
-        self.ont
-            .vocab()
-            .elem_id(name)
-            .ok_or(QlError::UnknownName { name: name.to_owned(), kind: "element" })
+        self.ont.vocab().elem_id(name).ok_or(QlError::UnknownName {
+            name: name.to_owned(),
+            kind: "element",
+        })
     }
 
     fn rel(&self, name: &str) -> Result<RelId, QlError> {
-        self.ont
-            .vocab()
-            .rel_id(name)
-            .ok_or(QlError::UnknownName { name: name.to_owned(), kind: "relation" })
+        self.ont.vocab().rel_id(name).ok_or(QlError::UnknownName {
+            name: name.to_owned(),
+            kind: "relation",
+        })
     }
 
     fn fact_term(&mut self, t: &Term, in_where: bool) -> Result<FactTerm, QlError> {
@@ -316,10 +322,15 @@ impl Binder<'_> {
         let o = self.fact_term(&p.object, true)?;
         let (r, star) = match &p.predicate {
             Pred::Rel { name, star } => (RelTerm::Const(self.rel(name)?), *star),
-            Pred::Var(name) => (RelTerm::Var(self.var(name, Multiplicity::ExactlyOne, true, true)?), false),
+            Pred::Var(name) => (
+                RelTerm::Var(self.var(name, Multiplicity::ExactlyOne, true, true)?),
+                false,
+            ),
         };
         if star && matches!(r, RelTerm::Var(_)) {
-            return Err(QlError::Invalid("path '*' requires a constant relation".into()));
+            return Err(QlError::Invalid(
+                "path '*' requires a constant relation".into(),
+            ));
         }
         Ok(WherePattern::Triple { s, r, o, star })
     }
@@ -345,7 +356,11 @@ impl Binder<'_> {
                 RelTerm::Var(self.var(name, Multiplicity::ExactlyOne, false, true)?)
             }
         };
-        Ok(MetaFact { subject, rel, object })
+        Ok(MetaFact {
+            subject,
+            rel,
+            object,
+        })
     }
 }
 
@@ -398,7 +413,13 @@ mod tests {
             "SELECT FACT-SETS WHERE $x frobnicates NYC SATISFYING $x doAt NYC WITH SUPPORT = 0.2",
         )
         .unwrap();
-        assert!(matches!(bind(&q, &ont), Err(QlError::UnknownName { kind: "relation", .. })));
+        assert!(matches!(
+            bind(&q, &ont),
+            Err(QlError::UnknownName {
+                kind: "relation",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -444,10 +465,8 @@ mod tests {
     #[test]
     fn haslabel_in_satisfying_rejected() {
         let ont = figure1::ontology();
-        let q = parse(
-            "SELECT FACT-SETS WHERE SATISFYING $x hasLabel \"x\" WITH SUPPORT = 0.2",
-        )
-        .unwrap();
+        let q = parse("SELECT FACT-SETS WHERE SATISFYING $x hasLabel \"x\" WITH SUPPORT = 0.2")
+            .unwrap();
         assert!(matches!(bind(&q, &ont), Err(QlError::Invalid(_))));
     }
 
@@ -489,7 +508,10 @@ mod tests {
         let b = bind(&q, &ont).unwrap();
         let cp = ont.vocab().elem_id("Central Park").unwrap();
         match &b.where_patterns[0] {
-            WherePattern::Triple { o: FactTerm::Const(e), .. } => assert_eq!(*e, cp),
+            WherePattern::Triple {
+                o: FactTerm::Const(e),
+                ..
+            } => assert_eq!(*e, cp),
             other => panic!("{other:?}"),
         }
     }

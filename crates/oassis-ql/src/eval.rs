@@ -114,10 +114,18 @@ impl Evaluator<'_> {
     ) {
         match p {
             WherePattern::Label { s, label } => self.match_label(*s, label, bindings, remaining),
-            WherePattern::Triple { s, r, o, star: false } => {
-                self.match_triple(*s, *r, *o, bindings, remaining)
-            }
-            WherePattern::Triple { s, r, o, star: true } => {
+            WherePattern::Triple {
+                s,
+                r,
+                o,
+                star: false,
+            } => self.match_triple(*s, *r, *o, bindings, remaining),
+            WherePattern::Triple {
+                s,
+                r,
+                o,
+                star: true,
+            } => {
                 let RelTerm::Const(rel) = *r else {
                     unreachable!("binder rejects star with relation variable")
                 };
@@ -215,8 +223,12 @@ impl Evaluator<'_> {
             // Iterate asserted facts with this relation.
             let facts: Vec<ontology::Fact> = self.ont.facts_with_rel(rel).to_vec();
             for f in facts {
-                let Some(sb) = self.accept_elem(s, f.subject, bindings) else { continue };
-                let Some(ob_pre) = self.accept_elem(o, f.object, bindings) else { continue };
+                let Some(sb) = self.accept_elem(s, f.subject, bindings) else {
+                    continue;
+                };
+                let Some(ob_pre) = self.accept_elem(o, f.object, bindings) else {
+                    continue;
+                };
                 // Bind subject first; re-check object if s and o are the
                 // same unbound variable.
                 if let Some(v) = sb {
@@ -255,7 +267,11 @@ impl Evaluator<'_> {
         self.star_cache.entry((rel, reversed)).or_insert_with(|| {
             let mut adj: HashMap<ElemId, Vec<ElemId>> = HashMap::new();
             for f in self.ont.facts_with_rel(rel) {
-                let (from, to) = if reversed { (f.object, f.subject) } else { (f.subject, f.object) };
+                let (from, to) = if reversed {
+                    (f.object, f.subject)
+                } else {
+                    (f.subject, f.object)
+                };
                 adj.entry(from).or_default().push(to);
             }
             adj
@@ -302,8 +318,12 @@ impl Evaluator<'_> {
                 },
             }
         };
-        let Some(sv) = elem_of(s, bindings) else { return };
-        let Some(ov) = elem_of(o, bindings) else { return };
+        let Some(sv) = elem_of(s, bindings) else {
+            return;
+        };
+        let Some(ov) = elem_of(o, bindings) else {
+            return;
+        };
         match (sv, ov) {
             (Some(se), Some(oe)) => {
                 if self.star_reach(rel, se, false).contains(&oe) {
@@ -384,12 +404,7 @@ mod tests {
         (b, res, ont)
     }
 
-    fn values(
-        b: &BoundQuery,
-        res: &[BaseAssignment],
-        ont: &Ontology,
-        var: &str,
-    ) -> Vec<String> {
+    fn values(b: &BoundQuery, res: &[BaseAssignment], ont: &Ontology, var: &str) -> Vec<String> {
         let v = b.var_by_name(var).unwrap();
         let mut names: Vec<String> = res
             .iter()
@@ -407,7 +422,10 @@ mod tests {
         let (b, res, ont) = eval(figure1::SAMPLE_QUERY, MatchMode::Exact);
         assert!(!res.is_empty());
         // x: child-friendly attractions inside NYC with a nearby restaurant
-        assert_eq!(values(&b, &res, &ont, "x"), vec!["Bronx Zoo", "Central Park"]);
+        assert_eq!(
+            values(&b, &res, &ont, "x"),
+            vec!["Bronx Zoo", "Central Park"]
+        );
         // z is tied to x by nearBy
         let x = b.var_by_name("x").unwrap();
         let z = b.var_by_name("z").unwrap();
@@ -462,7 +480,8 @@ mod tests {
         // matching, the more general constant Outdoor also matches as
         // subject? No — constants generalize the *pattern*, so the pattern
         // constant must be ≤ the asserted component.
-        let src = "SELECT FACT-SETS WHERE Restaurant nearBy $p SATISFYING $p doAt NYC WITH SUPPORT = 0.2";
+        let src =
+            "SELECT FACT-SETS WHERE Restaurant nearBy $p SATISFYING $p doAt NYC WITH SUPPORT = 0.2";
         let (_, res_exact, _) = eval(src, MatchMode::Exact);
         assert!(res_exact.is_empty()); // `Restaurant nearBy …` is not asserted
         let (b, res_sem, ont) = eval(src, MatchMode::Semantic);

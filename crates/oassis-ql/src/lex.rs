@@ -36,9 +36,9 @@ pub(crate) enum TokenKind {
     Question,
     Blank, // []
     // payloads
-    Var(String),     // $name
-    Ident(String),   // bare name
-    Quoted(String),  // "…"
+    Var(String),    // $name
+    Ident(String),  // bare name
+    Quoted(String), // "…"
     Number(f64),
     Eof,
 }
@@ -133,7 +133,11 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, LexError> {
         }
         let (tline, tcol) = (line, col);
         let Some(&c) = chars.peek() else {
-            out.push(Token { kind: TokenKind::Eof, line: tline, col: tcol });
+            out.push(Token {
+                kind: TokenKind::Eof,
+                line: tline,
+                col: tcol,
+            });
             return Ok(out);
         };
         let kind = match c {
@@ -297,7 +301,11 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 })
             }
         };
-        out.push(Token { kind, line: tline, col: tcol });
+        out.push(Token {
+            kind,
+            line: tline,
+            col: tcol,
+        });
     }
 }
 
@@ -313,7 +321,12 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             kinds("SELECT FACT-SETS ALL"),
-            vec![TokenKind::Select, TokenKind::FactSets, TokenKind::All, TokenKind::Eof]
+            vec![
+                TokenKind::Select,
+                TokenKind::FactSets,
+                TokenKind::All,
+                TokenKind::Eof
+            ]
         );
         // lowercase is an identifier, not a keyword
         assert_eq!(kinds("select")[0], TokenKind::Ident("select".into()));
@@ -367,7 +380,10 @@ mod tests {
 
     #[test]
     fn strings_and_escapes() {
-        assert_eq!(kinds("\"Tel Aviv\"")[0], TokenKind::Quoted("Tel Aviv".into()));
+        assert_eq!(
+            kinds("\"Tel Aviv\"")[0],
+            TokenKind::Quoted("Tel Aviv".into())
+        );
         assert_eq!(kinds(r#""a\"b""#)[0], TokenKind::Quoted("a\"b".into()));
         assert!(lex("\"unterminated").is_err());
     }
@@ -407,6 +423,9 @@ mod tests {
 
     #[test]
     fn dashed_identifier() {
-        assert_eq!(kinds("child-friendly")[0], TokenKind::Ident("child-friendly".into()));
+        assert_eq!(
+            kinds("child-friendly")[0],
+            TokenKind::Ident("child-friendly".into())
+        );
     }
 }

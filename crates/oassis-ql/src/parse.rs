@@ -87,7 +87,11 @@ impl Parser {
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, QlError> {
         let t = &self.tokens[self.pos];
-        Err(QlError::Syntax { message: message.into(), line: t.line, col: t.col })
+        Err(QlError::Syntax {
+            message: message.into(),
+            line: t.line,
+            col: t.col,
+        })
     }
 
     fn expect(&mut self, kind: TokenKind) -> Result<(), QlError> {
@@ -117,7 +121,9 @@ impl Parser {
             let k = match self.bump() {
                 TokenKind::Number(x) if x >= 1.0 && x.fract() == 0.0 => x as usize,
                 other => {
-                    return self.err(format!("expected a positive integer after TOP, found {other}"))
+                    return self.err(format!(
+                        "expected a positive integer after TOP, found {other}"
+                    ))
                 }
             };
             let diverse = if *self.peek() == TokenKind::Diverse {
@@ -146,8 +152,7 @@ impl Parser {
         self.expect(TokenKind::Where)?;
         let (where_patterns, _) = self.pattern_list(&[TokenKind::Satisfying])?;
         self.expect(TokenKind::Satisfying)?;
-        let (patterns, more) =
-            self.pattern_list(&[TokenKind::With, TokenKind::Implying])?;
+        let (patterns, more) = self.pattern_list(&[TokenKind::With, TokenKind::Implying])?;
         if patterns.is_empty() && !more {
             return Err(QlError::Invalid("SATISFYING clause has no patterns".into()));
         }
@@ -155,7 +160,9 @@ impl Parser {
             self.bump();
             let (imp, imp_more) = self.pattern_list(&[TokenKind::With])?;
             if imp_more {
-                return Err(QlError::Invalid("MORE is not allowed in the IMPLYING clause".into()));
+                return Err(QlError::Invalid(
+                    "MORE is not allowed in the IMPLYING clause".into(),
+                ));
             }
             if imp.is_empty() {
                 return Err(QlError::Invalid("IMPLYING clause has no patterns".into()));
@@ -207,7 +214,12 @@ impl Parser {
             return self.err(format!("unexpected trailing {}", self.peek()));
         }
         Ok(Query {
-            select: SelectClause { format, all, top, diverse },
+            select: SelectClause {
+                format,
+                all,
+                top,
+                diverse,
+            },
             asking,
             where_patterns,
             satisfying: SatisfyingClause {
@@ -222,10 +234,7 @@ impl Parser {
 
     /// Parses a dot-separated pattern list until one of `stops` (or EOF).
     /// Returns the patterns and whether a MORE item was seen.
-    fn pattern_list(
-        &mut self,
-        stops: &[TokenKind],
-    ) -> Result<(Vec<TriplePattern>, bool), QlError> {
+    fn pattern_list(&mut self, stops: &[TokenKind]) -> Result<(Vec<TriplePattern>, bool), QlError> {
         let mut patterns = Vec::new();
         let mut more = false;
         loop {
@@ -251,7 +260,11 @@ impl Parser {
         let subject = self.term()?;
         let predicate = self.pred()?;
         let object = self.term()?;
-        Ok(TriplePattern { subject, predicate, object })
+        Ok(TriplePattern {
+            subject,
+            predicate,
+            object,
+        })
     }
 
     fn term(&mut self) -> Result<Term, QlError> {
@@ -336,12 +349,18 @@ WITH SUPPORT = 0.4
         // the subClassOf* path
         assert_eq!(
             q.where_patterns[0].predicate,
-            Pred::Rel { name: "subClassOf".into(), star: true }
+            Pred::Rel {
+                name: "subClassOf".into(),
+                star: true
+            }
         );
         // the multiplicity on $y
         assert_eq!(
             q.satisfying.patterns[0].subject,
-            Term::Var { name: "y".into(), mult: Multiplicity::AtLeastOne }
+            Term::Var {
+                name: "y".into(),
+                mult: Multiplicity::AtLeastOne
+            }
         );
         // the blank
         assert_eq!(q.satisfying.patterns[1].subject, Term::Blank);
@@ -377,11 +396,13 @@ WITH SUPPORT = 0.4
 
     #[test]
     fn star_multiplicity_on_variable() {
-        let q =
-            parse("SELECT FACT-SETS WHERE SATISFYING $u* rel $v WITH SUPPORT = 0.2").unwrap();
+        let q = parse("SELECT FACT-SETS WHERE SATISFYING $u* rel $v WITH SUPPORT = 0.2").unwrap();
         assert_eq!(
             q.satisfying.patterns[0].subject,
-            Term::Var { name: "u".into(), mult: Multiplicity::Any }
+            Term::Var {
+                name: "u".into(),
+                mult: Multiplicity::Any
+            }
         );
     }
 
@@ -390,7 +411,10 @@ WITH SUPPORT = 0.4
         let q = parse("SELECT FACT-SETS WHERE SATISFYING $u? rel $v WITH SUPPORT = 0.2").unwrap();
         assert_eq!(
             q.satisfying.patterns[0].subject,
-            Term::Var { name: "u".into(), mult: Multiplicity::Optional }
+            Term::Var {
+                name: "u".into(),
+                mult: Multiplicity::Optional
+            }
         );
     }
 
@@ -414,8 +438,8 @@ WITH SUPPORT = 0.4
 
     #[test]
     fn trailing_garbage_rejected() {
-        let e =
-            parse("SELECT FACT-SETS WHERE SATISFYING $x r $y WITH SUPPORT = 0.5 garbage").unwrap_err();
+        let e = parse("SELECT FACT-SETS WHERE SATISFYING $x r $y WITH SUPPORT = 0.5 garbage")
+            .unwrap_err();
         assert!(matches!(e, QlError::Syntax { .. }));
     }
 

@@ -17,7 +17,11 @@ impl BitMatrix {
     /// Creates an all-zero `n × n` matrix.
     pub fn new(n: usize) -> Self {
         let words_per_row = n.div_ceil(64);
-        BitMatrix { n, words_per_row, bits: vec![0; n * words_per_row] }
+        BitMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
     }
 
     /// The dimension `n`.
@@ -69,10 +73,38 @@ impl BitMatrix {
         }
     }
 
+    /// The raw words of row `row` (low bit of word 0 is column 0).
+    #[inline]
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        let w = self.words_per_row;
+        &self.bits[row * w..(row + 1) * w]
+    }
+
+    /// Number of `u64` words per row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The transposed matrix: `t.get(i, j) == self.get(j, i)`. Used to
+    /// turn the descendant closure into an ancestor closure.
+    pub fn transposed(&self) -> BitMatrix {
+        let mut t = BitMatrix::new(self.n);
+        for r in 0..self.n {
+            for c in self.row_iter(r) {
+                t.set(c, r);
+            }
+        }
+        t
+    }
+
     /// Number of set bits in row `row`.
     pub fn row_count(&self, row: usize) -> usize {
         let w = self.words_per_row;
-        self.bits[row * w..(row + 1) * w].iter().map(|x| x.count_ones() as usize).sum()
+        self.bits[row * w..(row + 1) * w]
+            .iter()
+            .map(|x| x.count_ones() as usize)
+            .sum()
     }
 
     /// Iterates over the column indices set in row `row`, in increasing order.
@@ -123,7 +155,7 @@ mod tests {
         assert!(m.get(2, 7));
         assert!(m.get(2, 69));
         assert!(!m.get(1, 7)); // src untouched
-        // both directions of the internal split
+                               // both directions of the internal split
         m.or_row_into(2, 1);
         assert!(m.get(1, 7));
     }
@@ -146,6 +178,33 @@ mod tests {
         let got: Vec<usize> = m.row_iter(9).collect();
         assert_eq!(got, vec![0, 1, 63, 64, 127, 128, 199]);
         assert_eq!(m.row_count(9), 7);
+    }
+
+    #[test]
+    fn transpose_flips_coordinates() {
+        let mut m = BitMatrix::new(100);
+        m.set(3, 70);
+        m.set(70, 3);
+        m.set(5, 5);
+        let t = m.transposed();
+        assert!(t.get(70, 3));
+        assert!(t.get(3, 70));
+        assert!(t.get(5, 5));
+        assert!(!t.get(3, 5));
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn row_words_exposes_bits() {
+        let mut m = BitMatrix::new(130);
+        m.set(1, 0);
+        m.set(1, 64);
+        m.set(1, 129);
+        let w = m.row_words(1);
+        assert_eq!(w.len(), m.words_per_row());
+        assert_eq!(w[0], 1);
+        assert_eq!(w[1], 1);
+        assert_eq!(w[2], 2);
     }
 
     #[test]

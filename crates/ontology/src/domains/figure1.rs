@@ -117,7 +117,8 @@ pub fn ontology() -> Ontology {
 pub fn personal_dbs(ont: &Ontology) -> [Vec<FactSet>; 2] {
     let v = ont.vocab();
     let f = |s: &str, r: &str, o: &str| {
-        v.fact(s, r, o).unwrap_or_else(|| panic!("missing term in {s} {r} {o}"))
+        v.fact(s, r, o)
+            .unwrap_or_else(|| panic!("missing term in {s} {r} {o}"))
     };
     let d_u1 = vec![
         // T1
@@ -126,7 +127,10 @@ pub fn personal_dbs(ont: &Ontology) -> [Vec<FactSet>; 2] {
             f("Falafel", "eatAt", "Maoz Veg"),
         ]),
         // T2
-        FactSet::from_iter([f("Feed a Monkey", "doAt", "Bronx Zoo"), f("Pasta", "eatAt", "Pine")]),
+        FactSet::from_iter([
+            f("Feed a Monkey", "doAt", "Bronx Zoo"),
+            f("Pasta", "eatAt", "Pine"),
+        ]),
         // T3
         FactSet::from_iter([
             f("Biking", "doAt", "Central Park"),
@@ -141,7 +145,10 @@ pub fn personal_dbs(ont: &Ontology) -> [Vec<FactSet>; 2] {
             f("Falafel", "eatAt", "Maoz Veg"),
         ]),
         // T5
-        FactSet::from_iter([f("Feed a Monkey", "doAt", "Bronx Zoo"), f("Pasta", "eatAt", "Pine")]),
+        FactSet::from_iter([
+            f("Feed a Monkey", "doAt", "Bronx Zoo"),
+            f("Pasta", "eatAt", "Pine"),
+        ]),
         // T6
         FactSet::from_iter([f("Feed a Monkey", "doAt", "Bronx Zoo")]),
     ];
@@ -154,7 +161,10 @@ pub fn personal_dbs(ont: &Ontology) -> [Vec<FactSet>; 2] {
             f("Falafel", "eatAt", "Maoz Veg"),
         ]),
         // T8
-        FactSet::from_iter([f("Feed a Monkey", "doAt", "Bronx Zoo"), f("Pasta", "eatAt", "Pine")]),
+        FactSet::from_iter([
+            f("Feed a Monkey", "doAt", "Bronx Zoo"),
+            f("Pasta", "eatAt", "Pine"),
+        ]),
     ];
     [d_u1, d_u2]
 }

@@ -160,7 +160,12 @@ WITH SUPPORT = 0.2
     .to_owned();
 
     let expected = (1 + n_classes + n_instances) * scale.scaled(37) * (n_rest + 1);
-    GeneratedDomain { name: "travel", ontology: b.build().expect("acyclic"), query, expected_dag_nodes: expected }
+    GeneratedDomain {
+        name: "travel",
+        ontology: b.build().expect("acyclic"),
+        query,
+        expected_dag_nodes: expected,
+    }
 }
 
 /// The culinary-preferences domain: popular combinations of dishes and
@@ -185,7 +190,12 @@ WITH SUPPORT = 0.2
     .to_owned();
 
     let expected = scale.scaled(72) * scale.scaled(146);
-    GeneratedDomain { name: "culinary", ontology: b.build().expect("acyclic"), query, expected_dag_nodes: expected }
+    GeneratedDomain {
+        name: "culinary",
+        ontology: b.build().expect("acyclic"),
+        query,
+        expected_dag_nodes: expected,
+    }
 }
 
 /// The self-treatment domain: what crowd members take to relieve common
@@ -237,7 +247,10 @@ mod tests {
     #[test]
     fn culinary_and_selftreatment_sizes() {
         assert_eq!(culinary(DomainScale::paper()).expected_dag_nodes, 10512);
-        assert_eq!(self_treatment(DomainScale::paper()).expected_dag_nodes, 2310);
+        assert_eq!(
+            self_treatment(DomainScale::paper()).expected_dag_nodes,
+            2310
+        );
     }
 
     #[test]
@@ -264,7 +277,11 @@ mod tests {
         assert_eq!(v.elem_descendant_count(root), 40);
         // depth: walk longest chain
         fn depth(v: &crate::Vocabulary, e: crate::ElemId) -> usize {
-            v.elem_children(e).iter().map(|&c| 1 + depth(v, c)).max().unwrap_or(0)
+            v.elem_children(e)
+                .iter()
+                .map(|&c| 1 + depth(v, c))
+                .max()
+                .unwrap_or(0)
         }
         let d = depth(v, root);
         assert!((3..=5).contains(&d), "depth {d}");

@@ -2,13 +2,10 @@
 
 use crate::ids::{ElemId, RelId};
 use crate::vocab::Vocabulary;
-use serde::{Deserialize, Serialize};
 
 /// A fact `⟨e1, r, e2⟩ ∈ E × R × E` (Definition 2.2), e.g.
 /// `Biking doAt Central Park`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fact {
     /// The first element (RDF subject).
     pub subject: ElemId,
@@ -22,7 +19,11 @@ impl Fact {
     /// Creates a fact.
     #[inline]
     pub fn new(subject: ElemId, rel: RelId, object: ElemId) -> Self {
-        Fact { subject, rel, object }
+        Fact {
+            subject,
+            rel,
+            object,
+        }
     }
 }
 
@@ -31,9 +32,7 @@ impl Fact {
 ///
 /// Fact-sets serve three roles in the paper: the ontology's universal facts,
 /// the transactions of a personal database (Table 3), and query answers.
-#[derive(
-    Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FactSet(Vec<Fact>);
 
 impl FactSet {
@@ -43,6 +42,7 @@ impl FactSet {
     }
 
     /// Builds a fact-set from an iterator, sorting and deduplicating.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = Fact>>(iter: I) -> Self {
         let mut v: Vec<Fact> = iter.into_iter().collect();
         v.sort_unstable();

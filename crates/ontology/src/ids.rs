@@ -1,6 +1,5 @@
 //! Dense interned identifiers for vocabulary terms.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an element name in a [`Vocabulary`](crate::Vocabulary).
@@ -8,13 +7,13 @@ use std::fmt;
 /// Elements are nouns ("Place", "NYC") or actions ("Biking"). Ids are dense
 /// indices assigned in interning order, which makes them usable directly as
 /// array/bitset offsets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ElemId(pub u32);
 
 /// Identifier of a relation name in a [`Vocabulary`](crate::Vocabulary).
 ///
 /// Relations are terms such as `inside`, `nearBy`, `doAt` or `eatAt`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RelId(pub u32);
 
 impl ElemId {

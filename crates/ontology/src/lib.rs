@@ -41,6 +41,7 @@ mod store;
 mod vocab;
 
 pub mod domains;
+pub mod json;
 pub mod synth;
 
 pub use bitmat::BitMatrix;

@@ -10,12 +10,9 @@
 use crate::fact::{Fact, FactSet};
 use crate::ids::{ElemId, RelId};
 use crate::vocab::Vocabulary;
-use serde::{Deserialize, Serialize};
 
 /// A fact whose components may be wildcards (`None`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PatternFact {
     /// Subject, or `None` for `[]`.
     pub subject: Option<ElemId>,
@@ -28,7 +25,11 @@ pub struct PatternFact {
 impl PatternFact {
     /// A fully concrete pattern.
     pub fn from_fact(f: Fact) -> Self {
-        PatternFact { subject: Some(f.subject), rel: Some(f.rel), object: Some(f.object) }
+        PatternFact {
+            subject: Some(f.subject),
+            rel: Some(f.rel),
+            object: Some(f.object),
+        }
     }
 
     /// The concrete fact, if no component is a wildcard.
@@ -66,18 +67,22 @@ impl PatternFact {
 
     /// Renders the pattern, wildcards as `[]`.
     pub fn to_display(&self, vocab: &Vocabulary) -> String {
-        let s = self.subject.map_or("[]".to_owned(), |e| vocab.elem_name(e).to_owned());
-        let r = self.rel.map_or("[]".to_owned(), |r| vocab.rel_name(r).to_owned());
-        let o = self.object.map_or("[]".to_owned(), |e| vocab.elem_name(e).to_owned());
+        let s = self
+            .subject
+            .map_or("[]".to_owned(), |e| vocab.elem_name(e).to_owned());
+        let r = self
+            .rel
+            .map_or("[]".to_owned(), |r| vocab.rel_name(r).to_owned());
+        let o = self
+            .object
+            .map_or("[]".to_owned(), |e| vocab.elem_name(e).to_owned());
         format!("{s} {r} {o}")
     }
 }
 
 /// A canonical (sorted, deduplicated) set of pattern facts — the unit the
 /// crowd is asked about.
-#[derive(
-    Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PatternSet(Vec<PatternFact>);
 
 impl PatternSet {
@@ -87,6 +92,7 @@ impl PatternSet {
     }
 
     /// Builds from an iterator, canonicalizing.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = PatternFact>>(iter: I) -> Self {
         let mut v: Vec<PatternFact> = iter.into_iter().collect();
         v.sort_unstable();
@@ -128,18 +134,26 @@ impl PatternSet {
     /// Whether the transaction `t` implies (supports) this pattern-set:
     /// every pattern fact is ≤ some fact of `t`.
     pub fn supported_by(&self, vocab: &Vocabulary, t: &FactSet) -> bool {
-        self.0.iter().all(|p| t.iter().any(|g| p.leq_fact(vocab, g)))
+        self.0
+            .iter()
+            .all(|p| t.iter().any(|g| p.leq_fact(vocab, g)))
     }
 
     /// Pattern-set order (extends Definition 2.5): `self ≤ other` iff each
     /// pattern of `self` is ≤ some pattern of `other`.
     pub fn leq(&self, vocab: &Vocabulary, other: &PatternSet) -> bool {
-        self.0.iter().all(|p| other.0.iter().any(|q| p.leq(vocab, q)))
+        self.0
+            .iter()
+            .all(|p| other.0.iter().any(|q| p.leq(vocab, q)))
     }
 
     /// Renders in the paper's dotted notation.
     pub fn to_display(&self, vocab: &Vocabulary) -> String {
-        self.0.iter().map(|p| p.to_display(vocab)).collect::<Vec<_>>().join(". ")
+        self.0
+            .iter()
+            .map(|p| p.to_display(vocab))
+            .collect::<Vec<_>>()
+            .join(". ")
     }
 }
 
@@ -170,7 +184,11 @@ mod tests {
         };
         assert!(PatternSet::from_iter([p]).supported_by(v, &t));
         // [] eatAt Pine — not supported
-        let q = PatternFact { subject: None, rel: v.rel_id("eatAt"), object: v.elem_id("Pine") };
+        let q = PatternFact {
+            subject: None,
+            rel: v.rel_id("eatAt"),
+            object: v.elem_id("Pine"),
+        };
         assert!(!PatternSet::from_iter([q]).supported_by(v, &t));
     }
 
@@ -190,11 +208,14 @@ mod tests {
         let ont = figure1::ontology();
         let v = ont.vocab();
         let concrete = PatternFact::from_fact(v.fact("Biking", "doAt", "Central Park").unwrap());
-        let wild = PatternFact { subject: None, rel: v.rel_id("doAt"), object: v.elem_id("Central Park") };
+        let wild = PatternFact {
+            subject: None,
+            rel: v.rel_id("doAt"),
+            object: v.elem_id("Central Park"),
+        };
         assert!(wild.leq(v, &concrete)); // wildcard is more general
         assert!(!concrete.leq(v, &wild));
-        let generalized =
-            PatternFact::from_fact(v.fact("Sport", "doAt", "Central Park").unwrap());
+        let generalized = PatternFact::from_fact(v.fact("Sport", "doAt", "Central Park").unwrap());
         assert!(generalized.leq(v, &concrete));
     }
 
@@ -216,7 +237,11 @@ mod tests {
         let v = ont.vocab();
         let f = v.fact("Biking", "doAt", "Central Park").unwrap();
         assert_eq!(PatternFact::from_fact(f).to_fact(), Some(f));
-        let wild = PatternFact { subject: None, rel: v.rel_id("doAt"), object: None };
+        let wild = PatternFact {
+            subject: None,
+            rel: v.rel_id("doAt"),
+            object: None,
+        };
         assert_eq!(wild.to_fact(), None);
     }
 
@@ -224,7 +249,11 @@ mod tests {
     fn display_uses_brackets_for_wildcards() {
         let ont = figure1::ontology();
         let v = ont.vocab();
-        let p = PatternFact { subject: None, rel: v.rel_id("eatAt"), object: v.elem_id("Pine") };
+        let p = PatternFact {
+            subject: None,
+            rel: v.rel_id("eatAt"),
+            object: v.elem_id("Pine"),
+        };
         assert_eq!(p.to_display(v), "[] eatAt Pine");
     }
 }

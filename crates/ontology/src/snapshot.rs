@@ -7,12 +7,12 @@
 
 use crate::fact::FactSet;
 use crate::ids::{ElemId, RelId};
+use crate::json::{self, Json, JsonError};
 use crate::store::{Ontology, OntologyBuilder};
 use crate::OntologyError;
-use serde::{Deserialize, Serialize};
 
 /// A serializable snapshot of an [`Ontology`].
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OntologySnapshot {
     /// Format version (currently 1).
     pub version: u32,
@@ -34,7 +34,7 @@ pub struct OntologySnapshot {
 #[derive(Debug)]
 pub enum SnapshotError {
     /// The JSON was malformed.
-    Json(serde_json::Error),
+    Json(JsonError),
     /// An id in the snapshot is out of range.
     BadId(u32),
     /// The reconstructed orders are cyclic (corrupt snapshot).
@@ -60,8 +60,7 @@ impl Ontology {
     /// Captures a self-contained snapshot.
     pub fn snapshot(&self) -> OntologySnapshot {
         let v = self.vocab();
-        let elements: Vec<String> =
-            v.elems().map(|e| v.elem_name(e).to_owned()).collect();
+        let elements: Vec<String> = v.elems().map(|e| v.elem_name(e).to_owned()).collect();
         let relations: Vec<String> = v.rels().map(|r| v.rel_name(r).to_owned()).collect();
         let mut elem_edges = Vec::new();
         for e in v.elems() {
@@ -75,8 +74,11 @@ impl Ontology {
                 rel_edges.push((r.0, c.0));
             }
         }
-        let facts: Vec<(u32, u32, u32)> =
-            self.facts().iter().map(|f| (f.subject.0, f.rel.0, f.object.0)).collect();
+        let facts: Vec<(u32, u32, u32)> = self
+            .facts()
+            .iter()
+            .map(|f| (f.subject.0, f.rel.0, f.object.0))
+            .collect();
         let mut labels = Vec::new();
         for e in v.elems() {
             for l in self.labels_of(e) {
@@ -96,7 +98,7 @@ impl Ontology {
 
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(&self.snapshot()).expect("snapshot serializes")
+        self.snapshot().to_json().to_string()
     }
 
     /// Restores an ontology from a snapshot. Element/relation ids are
@@ -107,8 +109,20 @@ impl Ontology {
         }
         let ne = s.elements.len() as u32;
         let nr = s.relations.len() as u32;
-        let check_e = |id: u32| if id < ne { Ok(()) } else { Err(SnapshotError::BadId(id)) };
-        let check_r = |id: u32| if id < nr { Ok(()) } else { Err(SnapshotError::BadId(id)) };
+        let check_e = |id: u32| {
+            if id < ne {
+                Ok(())
+            } else {
+                Err(SnapshotError::BadId(id))
+            }
+        };
+        let check_r = |id: u32| {
+            if id < nr {
+                Ok(())
+            } else {
+                Err(SnapshotError::BadId(id))
+            }
+        };
 
         let mut b = OntologyBuilder::new();
         // Relation ids 0/1 are subClassOf/instanceOf in builder order; a
@@ -119,12 +133,14 @@ impl Ontology {
         for &(g, sp) in &s.elem_edges {
             check_e(g)?;
             check_e(sp)?;
-            b.vocab_mut().elem_edge(elem_ids[g as usize], elem_ids[sp as usize]);
+            b.vocab_mut()
+                .elem_edge(elem_ids[g as usize], elem_ids[sp as usize]);
         }
         for &(g, sp) in &s.rel_edges {
             check_r(g)?;
             check_r(sp)?;
-            b.vocab_mut().rel_edge(rel_ids[g as usize], rel_ids[sp as usize]);
+            b.vocab_mut()
+                .rel_edge(rel_ids[g as usize], rel_ids[sp as usize]);
         }
         for &(su, r, o) in &s.facts {
             check_e(su)?;
@@ -132,7 +148,11 @@ impl Ontology {
             check_e(o)?;
             // edges were captured explicitly, so bypass the builder's
             // order-defining fact handling by adding raw facts
-            b.raw_fact(elem_ids[su as usize], rel_ids[r as usize], elem_ids[o as usize]);
+            b.raw_fact(
+                elem_ids[su as usize],
+                rel_ids[r as usize],
+                elem_ids[o as usize],
+            );
         }
         for (e, l) in &s.labels {
             check_e(*e)?;
@@ -143,9 +163,119 @@ impl Ontology {
 
     /// Restores from JSON.
     pub fn from_json(json: &str) -> Result<Ontology, SnapshotError> {
-        let snapshot: OntologySnapshot =
-            serde_json::from_str(json).map_err(SnapshotError::Json)?;
+        let snapshot = OntologySnapshot::from_json(json).map_err(SnapshotError::Json)?;
         Ontology::from_snapshot(&snapshot)
+    }
+}
+
+impl OntologySnapshot {
+    /// The snapshot as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let pair = |&(a, b): &(u32, u32)| Json::Arr(vec![Json::Num(a as f64), Json::Num(b as f64)]);
+        Json::Obj(vec![
+            ("version".into(), Json::Num(self.version as f64)),
+            (
+                "elements".into(),
+                Json::Arr(self.elements.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+            (
+                "relations".into(),
+                Json::Arr(
+                    self.relations
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "elem_edges".into(),
+                Json::Arr(self.elem_edges.iter().map(pair).collect()),
+            ),
+            (
+                "rel_edges".into(),
+                Json::Arr(self.rel_edges.iter().map(pair).collect()),
+            ),
+            (
+                "facts".into(),
+                Json::Arr(
+                    self.facts
+                        .iter()
+                        .map(|&(s, r, o)| {
+                            Json::Arr(vec![
+                                Json::Num(s as f64),
+                                Json::Num(r as f64),
+                                Json::Num(o as f64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "labels".into(),
+                Json::Arr(
+                    self.labels
+                        .iter()
+                        .map(|(e, l)| Json::Arr(vec![Json::Num(*e as f64), Json::Str(l.clone())]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a snapshot from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let doc = json::parse(text)?;
+        let strings = |v: &Json| -> Result<Vec<String>, JsonError> {
+            v.as_arr()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_owned))
+                .collect()
+        };
+        let pairs = |v: &Json| -> Result<Vec<(u32, u32)>, JsonError> {
+            v.as_arr()?
+                .iter()
+                .map(|p| {
+                    let p = p.as_arr()?;
+                    match p {
+                        [a, b] => Ok((a.as_u32()?, b.as_u32()?)),
+                        _ => Err(JsonError::shape("expected a [u32, u32] pair")),
+                    }
+                })
+                .collect()
+        };
+        let facts = doc
+            .field("facts")?
+            .as_arr()?
+            .iter()
+            .map(|t| {
+                let t = t.as_arr()?;
+                match t {
+                    [s, r, o] => Ok((s.as_u32()?, r.as_u32()?, o.as_u32()?)),
+                    _ => Err(JsonError::shape("expected a [u32, u32, u32] triple")),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let labels = doc
+            .field("labels")?
+            .as_arr()?
+            .iter()
+            .map(|t| {
+                let t = t.as_arr()?;
+                match t {
+                    [e, l] => Ok((e.as_u32()?, l.as_str()?.to_owned())),
+                    _ => Err(JsonError::shape("expected a [u32, string] pair")),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(OntologySnapshot {
+            version: doc.field("version")?.as_u32()?,
+            elements: strings(doc.field("elements")?)?,
+            relations: strings(doc.field("relations")?)?,
+            elem_edges: pairs(doc.field("elem_edges")?)?,
+            rel_edges: pairs(doc.field("rel_edges")?)?,
+            facts,
+            labels,
+        })
     }
 }
 
@@ -197,7 +327,11 @@ mod tests {
     #[test]
     fn random_ontologies_roundtrip() {
         for seed in 0..5 {
-            let ont = random_ontology(SynthConfig { seed, elems: 80, ..Default::default() });
+            let ont = random_ontology(SynthConfig {
+                seed,
+                elems: 80,
+                ..Default::default()
+            });
             let back = Ontology::from_json(&ont.to_json()).unwrap();
             assert!(semantically_equal(&ont, &back), "seed {seed}");
         }
@@ -208,7 +342,10 @@ mod tests {
         let ont = figure1::ontology();
         let mut snap = ont.snapshot();
         snap.facts.push((9999, 0, 0));
-        assert!(matches!(Ontology::from_snapshot(&snap), Err(SnapshotError::BadId(9999))));
+        assert!(matches!(
+            Ontology::from_snapshot(&snap),
+            Err(SnapshotError::BadId(9999))
+        ));
     }
 
     #[test]
@@ -216,12 +353,18 @@ mod tests {
         let ont = figure1::ontology();
         let mut snap = ont.snapshot();
         snap.version = 2;
-        assert!(matches!(Ontology::from_snapshot(&snap), Err(SnapshotError::Version(2))));
+        assert!(matches!(
+            Ontology::from_snapshot(&snap),
+            Err(SnapshotError::Version(2))
+        ));
     }
 
     #[test]
     fn malformed_json_is_rejected() {
-        assert!(matches!(Ontology::from_json("{not json"), Err(SnapshotError::Json(_))));
+        assert!(matches!(
+            Ontology::from_json("{not json"),
+            Err(SnapshotError::Json(_))
+        ));
     }
 
     #[test]

@@ -53,7 +53,14 @@ impl OntologyBuilder {
         let subclass_rel = vocab.relation("subClassOf");
         let instance_rel = vocab.relation("instanceOf");
         let order_rels = HashSet::from([subclass_rel, instance_rel]);
-        OntologyBuilder { vocab, facts: Vec::new(), labels: Vec::new(), order_rels, subclass_rel, instance_rel }
+        OntologyBuilder {
+            vocab,
+            facts: Vec::new(),
+            labels: Vec::new(),
+            order_rels,
+            subclass_rel,
+            instance_rel,
+        }
     }
 
     /// Access to the underlying vocabulary builder (e.g. to intern terms
@@ -339,6 +346,9 @@ mod tests {
         let o = sample();
         let v = o.vocab();
         let boathouse = v.elem_id("Boathouse").unwrap();
-        assert!(o.facts().iter().all(|f| f.subject != boathouse && f.object != boathouse));
+        assert!(o
+            .facts()
+            .iter()
+            .all(|f| f.subject != boathouse && f.object != boathouse));
     }
 }

@@ -22,7 +22,13 @@ pub struct SynthConfig {
 
 impl Default for SynthConfig {
     fn default() -> Self {
-        SynthConfig { elems: 50, rels: 4, dag_prob: 0.1, facts: 40, seed: 0 }
+        SynthConfig {
+            elems: 50,
+            rels: 4,
+            dag_prob: 0.1,
+            facts: 40,
+            seed: 0,
+        }
     }
 }
 
@@ -56,7 +62,8 @@ pub fn random_ontology(cfg: SynthConfig) -> Ontology {
         let r = rng.gen_range(0..cfg.rels);
         b.fact(&name(s), &rel(r), &name(o));
     }
-    b.build().expect("generated taxonomy is acyclic by construction")
+    b.build()
+        .expect("generated taxonomy is acyclic by construction")
 }
 
 #[cfg(test)]
@@ -73,14 +80,23 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = random_ontology(SynthConfig { seed: 1, ..Default::default() });
-        let b = random_ontology(SynthConfig { seed: 2, ..Default::default() });
+        let a = random_ontology(SynthConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = random_ontology(SynthConfig {
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a.facts(), b.facts());
     }
 
     #[test]
     fn root_reaches_everything() {
-        let o = random_ontology(SynthConfig { elems: 200, ..Default::default() });
+        let o = random_ontology(SynthConfig {
+            elems: 200,
+            ..Default::default()
+        });
         let v = o.vocab();
         let root = v.elem_id("E0").unwrap();
         assert_eq!(v.elem_descendant_count(root), 200);
@@ -88,7 +104,10 @@ mod tests {
 
     #[test]
     fn relation_chain_is_ordered() {
-        let o = random_ontology(SynthConfig { rels: 5, ..Default::default() });
+        let o = random_ontology(SynthConfig {
+            rels: 5,
+            ..Default::default()
+        });
         let v = o.vocab();
         let r0 = v.rel_id("R0").unwrap();
         let r4 = v.rel_id("R4").unwrap();
@@ -99,7 +118,12 @@ mod tests {
     #[test]
     fn leq_partial_order_laws_on_random_instance() {
         // reflexivity + transitivity + antisymmetry spot-check
-        let o = random_ontology(SynthConfig { elems: 60, dag_prob: 0.3, seed: 7, ..Default::default() });
+        let o = random_ontology(SynthConfig {
+            elems: 60,
+            dag_prob: 0.3,
+            seed: 7,
+            ..Default::default()
+        });
         let v = o.vocab();
         for a in v.elems() {
             assert!(v.elem_leq(a, a));

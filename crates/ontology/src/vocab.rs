@@ -108,14 +108,24 @@ impl VocabularyBuilder {
     /// Validates acyclicity of both orders and computes reachability.
     pub fn freeze(self) -> Result<Vocabulary, OntologyError> {
         let (elem_children, elem_parents, elem_desc) =
-            close(self.elem_names.len(), &self.elem_edges, |i| OntologyError::ElementCycle {
-                on: self.elem_names[i].clone(),
+            close(self.elem_names.len(), &self.elem_edges, |i| {
+                OntologyError::ElementCycle {
+                    on: self.elem_names[i].clone(),
+                }
             })?;
         let (rel_children, rel_parents, rel_desc) = close(
             self.rel_names.len(),
-            &self.rel_edges.iter().map(|&(g, s)| (ElemId(g.0), ElemId(s.0))).collect::<Vec<_>>(),
-            |i| OntologyError::RelationCycle { on: self.rel_names[i].clone() },
+            &self
+                .rel_edges
+                .iter()
+                .map(|&(g, s)| (ElemId(g.0), ElemId(s.0)))
+                .collect::<Vec<_>>(),
+            |i| OntologyError::RelationCycle {
+                on: self.rel_names[i].clone(),
+            },
         )?;
+        let elem_anc = elem_desc.transposed();
+        let rel_anc = rel_desc.transposed();
         Ok(Vocabulary {
             elem_names: self.elem_names,
             elem_index: self.elem_index,
@@ -124,6 +134,7 @@ impl VocabularyBuilder {
             elem_children,
             elem_parents,
             elem_desc,
+            elem_anc,
             rel_children: rel_children
                 .into_iter()
                 .map(|v| v.into_iter().map(|e| RelId(e.0)).collect())
@@ -133,6 +144,7 @@ impl VocabularyBuilder {
                 .map(|v| v.into_iter().map(|e| RelId(e.0)).collect())
                 .collect(),
             rel_desc,
+            rel_anc,
         })
     }
 }
@@ -170,7 +182,9 @@ fn close(
         }
     }
     if topo.len() != n {
-        let on = (0..n).find(|&i| indeg[i] > 0).expect("cycle implies leftover node");
+        let on = (0..n)
+            .find(|&i| indeg[i] > 0)
+            .expect("cycle implies leftover node");
         return Err(mk_err(on));
     }
     // Closure: process in reverse topological order so every child's row is
@@ -198,9 +212,13 @@ pub struct Vocabulary {
     elem_children: Vec<Vec<ElemId>>,
     elem_parents: Vec<Vec<ElemId>>,
     elem_desc: BitMatrix,
+    /// Transpose of `elem_desc`: row `e` is the up-set `{x : x ≤E e}`.
+    elem_anc: BitMatrix,
     rel_children: Vec<Vec<RelId>>,
     rel_parents: Vec<Vec<RelId>>,
     rel_desc: BitMatrix,
+    /// Transpose of `rel_desc`: row `r` is the up-set `{x : x ≤R r}`.
+    rel_anc: BitMatrix,
 }
 
 impl Vocabulary {
@@ -292,6 +310,42 @@ impl Vocabulary {
         self.elem_desc.row_count(a.index())
     }
 
+    /// Number of descendants of `r` (including `r`).
+    pub fn rel_descendant_count(&self, r: RelId) -> usize {
+        self.rel_desc.row_count(r.index())
+    }
+
+    /// All `b` with `b ≤E a` (the reflexive–transitive *generalizations*
+    /// of `a` — its up-set), in id order.
+    pub fn elem_ancestors(&self, a: ElemId) -> impl Iterator<Item = ElemId> + '_ {
+        self.elem_anc.row_iter(a.index()).map(|i| ElemId(i as u32))
+    }
+
+    /// The up-set of element `a` as raw closure-bitset words (bit `i` set
+    /// iff `ElemId(i) ≤E a`); the backing store for order fingerprints.
+    #[inline]
+    pub fn elem_ancestor_words(&self, a: ElemId) -> &[u64] {
+        self.elem_anc.row_words(a.index())
+    }
+
+    /// The up-set of relation `r` as raw closure-bitset words.
+    #[inline]
+    pub fn rel_ancestor_words(&self, r: RelId) -> &[u64] {
+        self.rel_anc.row_words(r.index())
+    }
+
+    /// Words per element-ancestor row (`⌈|E|/64⌉`).
+    #[inline]
+    pub fn elem_words(&self) -> usize {
+        self.elem_anc.words_per_row()
+    }
+
+    /// Words per relation-ancestor row (`⌈|R|/64⌉`).
+    #[inline]
+    pub fn rel_words(&self) -> usize {
+        self.rel_anc.words_per_row()
+    }
+
     /// The fact order of Definition 2.5: `f ≤ f'` iff all three components
     /// are pairwise ≤.
     ///
@@ -307,7 +361,11 @@ impl Vocabulary {
     /// Convenience constructor for a fact from names; `None` if any name is
     /// not interned.
     pub fn fact(&self, subject: &str, rel: &str, object: &str) -> Option<Fact> {
-        Some(Fact::new(self.elem_id(subject)?, self.rel_id(rel)?, self.elem_id(object)?))
+        Some(Fact::new(
+            self.elem_id(subject)?,
+            self.rel_id(rel)?,
+            self.elem_id(object)?,
+        ))
     }
 
     /// Renders a fact in the paper's RDF-ish notation `s r o`.
@@ -378,8 +436,11 @@ mod tests {
     fn children_and_parents() {
         let v = sample();
         let sport = v.elem_id("Sport").unwrap();
-        let names: Vec<&str> =
-            v.elem_children(sport).iter().map(|&c| v.elem_name(c)).collect();
+        let names: Vec<&str> = v
+            .elem_children(sport)
+            .iter()
+            .map(|&c| v.elem_name(c))
+            .collect();
         assert_eq!(names, vec!["Biking", "Ball Game"]);
         let act = v.elem_id("Activity").unwrap();
         assert_eq!(v.elem_parents(sport), &[act]);
@@ -389,11 +450,39 @@ mod tests {
     fn descendants_iteration() {
         let v = sample();
         let sport = v.elem_id("Sport").unwrap();
-        let mut names: Vec<&str> =
-            v.elem_descendants(sport).map(|c| v.elem_name(c)).collect();
+        let mut names: Vec<&str> = v.elem_descendants(sport).map(|c| v.elem_name(c)).collect();
         names.sort_unstable();
         assert_eq!(names, vec!["Ball Game", "Basketball", "Biking", "Sport"]);
         assert_eq!(v.elem_descendant_count(sport), 4);
+    }
+
+    #[test]
+    fn ancestors_are_transposed_descendants() {
+        let v = sample();
+        for a in v.elems() {
+            for b in v.elems() {
+                assert_eq!(
+                    v.elem_leq(a, b),
+                    v.elem_ancestors(b).any(|x| x == a),
+                    "{} vs {}",
+                    v.elem_name(a),
+                    v.elem_name(b)
+                );
+            }
+        }
+        // raw words agree with the iterator
+        let bb = v.elem_id("Basketball").unwrap();
+        let act = v.elem_id("Activity").unwrap();
+        let words = v.elem_ancestor_words(bb);
+        assert_eq!(words.len(), v.elem_words());
+        assert!(words[act.index() / 64] & (1u64 << (act.index() % 64)) != 0);
+        let near = v.rel_id("nearBy").unwrap();
+        let inside = v.rel_id("inside").unwrap();
+        let rw = v.rel_ancestor_words(inside);
+        assert!(rw[near.index() / 64] & (1u64 << (near.index() % 64)) != 0);
+        assert!(
+            v.rel_ancestor_words(near)[inside.index() / 64] & (1u64 << (inside.index() % 64)) == 0
+        );
     }
 
     #[test]
@@ -440,7 +529,10 @@ mod tests {
         let mut b = VocabularyBuilder::new();
         b.rel_specializes("r", "s");
         b.rel_specializes("s", "r");
-        assert!(matches!(b.freeze(), Err(OntologyError::RelationCycle { .. })));
+        assert!(matches!(
+            b.freeze(),
+            Err(OntologyError::RelationCycle { .. })
+        ));
     }
 
     #[test]

@@ -50,7 +50,10 @@ fn main() {
     ];
     let cfg = PopulationConfig {
         members: 100,
-        behavior: MemberBehavior { session_limit: Some(60), ..Default::default() },
+        behavior: MemberBehavior {
+            session_limit: Some(60),
+            ..Default::default()
+        },
         answer_model: AnswerModel::Bucketed5,
         seed: 9,
         ..Default::default()
@@ -59,18 +62,33 @@ fn main() {
 
     let engine = Oassis::new(ont);
     println!("query:\n{}\n", domain.query);
-    let cfg_mine = MiningConfig { threshold: Some(0.25), seed: 3, ..Default::default() };
+    let cfg_mine = MiningConfig {
+        threshold: Some(0.25),
+        seed: 3,
+        ..Default::default()
+    };
     let answer = engine
-        .execute(&domain.query, &mut SimulatedCrowd::new(v, members), &FixedSampleAggregator { sample_size: 5 }, &cfg_mine)
+        .execute(
+            &domain.query,
+            &mut SimulatedCrowd::new(v, members),
+            &FixedSampleAggregator { sample_size: 5 },
+            &cfg_mine,
+        )
         .expect("query runs");
 
-    println!("{} answers used; mined menus (valid MSPs):", answer.outcome.mining.questions);
+    println!(
+        "{} answers used; mined menus (valid MSPs):",
+        answer.outcome.mining.questions
+    );
     for a in &answer.answers {
         println!("  • {a}");
     }
 
     // Class-level query: every MSP is valid (footnote 7 of the paper).
-    assert_eq!(answer.outcome.mining.msps.len(), answer.outcome.mining.valid_msps.len());
+    assert_eq!(
+        answer.outcome.mining.msps.len(),
+        answer.outcome.mining.valid_msps.len()
+    );
     let multi = answer
         .outcome
         .mining

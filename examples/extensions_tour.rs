@@ -33,12 +33,22 @@ fn main() {
     // ---- TOP k: early termination ----------------------------------
     let top_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS TOP 1");
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
-    let top = engine.execute(&top_query, &mut crowd, &agg, &MiningConfig::default()).unwrap();
+    let top = engine
+        .execute(&top_query, &mut crowd, &agg, &MiningConfig::default())
+        .unwrap();
     let mut crowd_full = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
     let full = engine
-        .execute(figure1::SIMPLE_QUERY, &mut crowd_full, &agg, &MiningConfig::default())
+        .execute(
+            figure1::SIMPLE_QUERY,
+            &mut crowd_full,
+            &agg,
+            &MiningConfig::default(),
+        )
         .unwrap();
-    println!("TOP 1 stopped after {} questions (full run: {}):", top.outcome.mining.questions, full.outcome.mining.questions);
+    println!(
+        "TOP 1 stopped after {} questions (full run: {}):",
+        top.outcome.mining.questions, full.outcome.mining.questions
+    );
     for a in &top.answers {
         println!("  • {a}");
     }
@@ -47,7 +57,9 @@ fn main() {
     let div_query =
         figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS TOP 2 DIVERSE");
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
-    let div = engine.execute(&div_query, &mut crowd, &agg, &MiningConfig::default()).unwrap();
+    let div = engine
+        .execute(&div_query, &mut crowd, &agg, &MiningConfig::default())
+        .unwrap();
     println!("\nTOP 2 DIVERSE picks answers spanning both attractions:");
     for a in &div.answers {
         println!("  • {a}");
@@ -72,9 +84,19 @@ WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
 "#;
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
     let rules = engine
-        .execute_rules(rule_src, &mut crowd, &RuleMiningConfig { panel_size: 1, ..Default::default() })
+        .execute_rules(
+            rule_src,
+            &mut crowd,
+            &RuleMiningConfig {
+                panel_size: 1,
+                ..Default::default()
+            },
+        )
         .unwrap();
-    println!("\nassociation rules (activity ⇒ nearby meal), {} questions:", rules.outcome.questions);
+    println!(
+        "\nassociation rules (activity ⇒ nearby meal), {} questions:",
+        rules.outcome.questions
+    );
     for a in &rules.answers {
         println!("  • {a}");
     }
@@ -83,13 +105,20 @@ WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
     let asking_query = figure1::SIMPLE_QUERY.replace("WHERE", "ASKING \"local\"\nWHERE");
     let members = vec![
         u_avg(&ont, 1).with_profile(&["local"]),
-        SimulatedMember::new(PersonalDb::new(), MemberBehavior::default(), AnswerModel::Exact, 2)
-            .with_profile(&["tourist"]),
+        SimulatedMember::new(
+            PersonalDb::new(),
+            MemberBehavior::default(),
+            AnswerModel::Exact,
+            2,
+        )
+        .with_profile(&["tourist"]),
         u_avg(&ont, 3).with_profile(&["local"]),
     ];
     let mut crowd = SimulatedCrowd::new(ont.vocab(), members);
     let agg2 = FixedSampleAggregator { sample_size: 2 };
-    let asked = engine.execute(&asking_query, &mut crowd, &agg2, &MiningConfig::default()).unwrap();
+    let asked = engine
+        .execute(&asking_query, &mut crowd, &agg2, &MiningConfig::default())
+        .unwrap();
     println!(
         "\nASKING \"local\" recruited {} of 3 members; answers:",
         asked.outcome.answers_per_member.len()

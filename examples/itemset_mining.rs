@@ -88,9 +88,7 @@ fn main() {
     ];
     let tx: Vec<FactSet> = raw
         .iter()
-        .map(|items| {
-            FactSet::from_iter(items.iter().map(|i| v.fact(i, "did", "it").unwrap()))
-        })
+        .map(|items| FactSet::from_iter(items.iter().map(|i| v.fact(i, "did", "it").unwrap())))
         .collect();
     let member = SimulatedMember::new(
         PersonalDb::from_transactions(tx.clone()),
@@ -105,9 +103,17 @@ fn main() {
     println!("FIM query:\n{query}");
     let engine = Oassis::new(&ont);
     let answer = engine
-        .execute(query, &mut SimulatedCrowd::new(v, vec![member]), &FixedSampleAggregator { sample_size: 1 }, &MiningConfig::default())
+        .execute(
+            query,
+            &mut SimulatedCrowd::new(v, vec![member]),
+            &FixedSampleAggregator { sample_size: 1 },
+            &MiningConfig::default(),
+        )
         .expect("query runs");
-    println!("maximal frequent fact-sets (θ = 3/8), {} questions:", answer.outcome.mining.questions);
+    println!(
+        "maximal frequent fact-sets (θ = 3/8), {} questions:",
+        answer.outcome.mining.questions
+    );
     let mut mined: Vec<String> = answer.answers.clone();
     mined.sort();
     for a in &mined {
@@ -124,8 +130,10 @@ fn main() {
     let mut reference: Vec<String> = maximal
         .iter()
         .map(|s| {
-            let mut names: Vec<&str> =
-                s.iter().map(|&i| v.elem_name(ontology::ElemId(i))).collect();
+            let mut names: Vec<&str> = s
+                .iter()
+                .map(|&i| v.elem_name(ontology::ElemId(i)))
+                .collect();
             names.sort_unstable();
             names
                 .iter()
@@ -161,9 +169,16 @@ fn main() {
         vec![],
     );
     miner.run(&mut crowd, 500);
-    println!("crowdrules: after {} questions, significant association rules:", miner.questions());
+    println!(
+        "crowdrules: after {} questions, significant association rules:",
+        miner.questions()
+    );
     for r in miner.significant_rules() {
-        println!("  • {r}   (true supp {:.2}, conf {:.2})", crowd.true_support(&r), crowd.true_confidence(&r));
+        println!(
+            "  • {r}   (true supp {:.2}, conf {:.2})",
+            crowd.true_support(&r),
+            crowd.true_confidence(&r)
+        );
     }
     let truth = vec![
         AssociationRule::new(iset(&[0]), iset(&[1])).unwrap(),

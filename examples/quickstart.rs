@@ -52,13 +52,15 @@ fn main() {
     println!("query:\n{}\n", figure1::SIMPLE_QUERY.trim());
 
     // A taste of what the crowd sees (Section 6.2's templates):
-    let engine = Oassis::new(&ont)
-        .with_templates(QuestionTemplates::travel_defaults(ont.vocab()));
+    let engine = Oassis::new(&ont).with_templates(QuestionTemplates::travel_defaults(ont.vocab()));
     let v = ont.vocab();
     let sample_q = crowd::Question::Concrete {
         pattern: PatternSet::from_facts([v.fact("Ball Game", "doAt", "Central Park").unwrap()]),
     };
-    println!("a crowd member would be asked e.g.:\n  “{}”\n", engine.render_question(&sample_q));
+    println!(
+        "a crowd member would be asked e.g.:\n  “{}”\n",
+        engine.render_question(&sample_q)
+    );
 
     // 4. Mine the crowd.
     let answer = engine
@@ -70,7 +72,10 @@ fn main() {
         )
         .expect("query parses and binds");
 
-    println!("mined {} question(s); MSPs:", answer.outcome.mining.questions);
+    println!(
+        "mined {} question(s); MSPs:",
+        answer.outcome.mining.questions
+    );
     for a in &answer.answers {
         println!("  • {a}");
     }

@@ -45,7 +45,11 @@ fn main() {
     for m in members.iter_mut().take(spammers) {
         m.behavior.spammer = true;
     }
-    println!("crowd: {} members, {} of them spammers\n", members.len(), spammers);
+    println!(
+        "crowd: {} members, {} of them spammers\n",
+        members.len(),
+        spammers
+    );
 
     // --- Step 1: screen members with the consistency check -------------
     // Ask each member a generalization chain; spammers violate
@@ -63,7 +67,10 @@ fn main() {
             if let Answer::Support { support, .. } =
                 m.answer(v, &Question::Concrete { pattern: p.clone() })
             {
-                obs.push(Observation { pattern: p.clone(), support });
+                obs.push(Observation {
+                    pattern: p.clone(),
+                    support,
+                });
             }
         }
         let report = check_consistency(v, &obs, 0.01);
@@ -87,14 +94,28 @@ fn main() {
             trust.insert(MemberId(i as u32), 0.0);
         }
     }
-    let aggregator =
-        oassis::core::TrustWeightedAggregator { sample_size: 5, trust };
+    let aggregator = oassis::core::TrustWeightedAggregator {
+        sample_size: 5,
+        trust,
+    };
     let engine = Oassis::new(ont);
-    let cfg_mine = MiningConfig { threshold: Some(0.25), seed: 1, ..Default::default() };
+    let cfg_mine = MiningConfig {
+        threshold: Some(0.25),
+        seed: 1,
+        ..Default::default()
+    };
     let answer = engine
-        .execute(&domain.query, &mut SimulatedCrowd::new(v, members.clone()), &aggregator, &cfg_mine)
+        .execute(
+            &domain.query,
+            &mut SimulatedCrowd::new(v, members.clone()),
+            &aggregator,
+            &cfg_mine,
+        )
         .expect("query runs");
-    println!("with trust weighting — {} remedies mined:", answer.answers.len());
+    println!(
+        "with trust weighting — {} remedies mined:",
+        answer.answers.len()
+    );
     for a in &answer.answers {
         println!("  • {a}");
     }

@@ -21,13 +21,21 @@ fn main() {
     let domain = travel(DomainScale::small());
     let ont = &domain.ontology;
     let v = ont.vocab();
-    println!("domain: {} — {} elements, {} facts", domain.name, v.num_elems(), ont.num_facts());
+    println!(
+        "domain: {} — {} elements, {} facts",
+        domain.name,
+        v.num_elems(),
+        ont.num_facts()
+    );
 
     // Ground truth: a handful of habits the population shares.
     let fact = |s: &str, r: &str, o: &str| v.fact(s, r, o).expect("domain term");
     let profiles = vec![
         HabitProfile {
-            facts: vec![fact("ActivityKind5", "doAt", "Attraction1"), fact("Snack1", "eatAt", "Restaurant1")],
+            facts: vec![
+                fact("ActivityKind5", "doAt", "Attraction1"),
+                fact("Snack1", "eatAt", "Restaurant1"),
+            ],
             adoption: 0.97,
             frequency: 0.7,
         },
@@ -41,7 +49,10 @@ fn main() {
             frequency: 0.45,
         },
         HabitProfile {
-            facts: vec![fact("ActivityKind3", "doAt", "Attraction4"), fact("Snack1", "eatAt", "Restaurant1")],
+            facts: vec![
+                fact("ActivityKind3", "doAt", "Attraction4"),
+                fact("Snack1", "eatAt", "Restaurant1"),
+            ],
             adoption: 0.35,
             frequency: 0.3,
         },
@@ -59,23 +70,42 @@ fn main() {
         ..Default::default()
     };
     let members = generate(&profiles, &cfg);
-    println!("crowd: {} members, ~{} questions each before leaving\n", members.len(), 40);
+    println!(
+        "crowd: {} members, ~{} questions each before leaving\n",
+        members.len(),
+        40
+    );
 
     let engine = Oassis::new(ont).with_templates(QuestionTemplates::travel_defaults(v));
     println!("query:\n{}\n", domain.query);
 
     // First evaluation at Θ = 0.2, answers flowing into the CrowdCache.
     let mut cache = CrowdCache::new();
-    let mining = MiningConfig { threshold: Some(0.2), specialization_ratio: 0.1, seed: 7, ..Default::default() };
+    let mining = MiningConfig {
+        threshold: Some(0.2),
+        specialization_ratio: 0.1,
+        seed: 7,
+        ..Default::default()
+    };
     let (answers_02, used_02, fresh_02) = {
         let crowd = SimulatedCrowd::new(v, members.clone());
         let mut caching = oassis::core::CachingCrowd::new(crowd, &mut cache);
         let ans = engine
-            .execute(&domain.query, &mut caching, &FixedSampleAggregator { sample_size: 5 }, &mining)
+            .execute(
+                &domain.query,
+                &mut caching,
+                &FixedSampleAggregator { sample_size: 5 },
+                &mining,
+            )
             .expect("query runs");
         (ans, caching.total_questions(), caching.fresh_questions())
     };
-    println!("Θ = 0.2: {} answers used ({} fresh), {} valid MSPs:", used_02, fresh_02, answers_02.answers.len());
+    println!(
+        "Θ = 0.2: {} answers used ({} fresh), {} valid MSPs:",
+        used_02,
+        fresh_02,
+        answers_02.answers.len()
+    );
     for a in answers_02.answers.iter().take(12) {
         println!("  • {a}");
     }
@@ -86,7 +116,10 @@ fn main() {
     );
 
     // Re-evaluate at Θ = 0.4 — cached answers are reused.
-    let mining_04 = MiningConfig { threshold: Some(0.4), ..mining.clone() };
+    let mining_04 = MiningConfig {
+        threshold: Some(0.4),
+        ..mining.clone()
+    };
     let (answers_04, used_04, fresh_04) = {
         let mut fresh_members = members.clone();
         for m in &mut fresh_members {
@@ -95,13 +128,20 @@ fn main() {
         let crowd = SimulatedCrowd::new(v, fresh_members);
         let mut caching = oassis::core::CachingCrowd::new(crowd, &mut cache);
         let ans = engine
-            .execute(&domain.query, &mut caching, &FixedSampleAggregator { sample_size: 5 }, &mining_04)
+            .execute(
+                &domain.query,
+                &mut caching,
+                &FixedSampleAggregator { sample_size: 5 },
+                &mining_04,
+            )
             .expect("query runs");
         (ans, caching.total_questions(), caching.fresh_questions())
     };
     println!(
         "Θ = 0.4 (from cache): {} answers used, only {} fresh crowd questions, {} valid MSPs:",
-        used_04, fresh_04, answers_04.answers.len()
+        used_04,
+        fresh_04,
+        answers_04.answers.len()
     );
     for a in answers_04.answers.iter().take(12) {
         println!("  • {a}");

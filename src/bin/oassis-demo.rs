@@ -23,7 +23,9 @@ fn usage() -> ExitCode {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() -> ExitCode {
@@ -32,7 +34,12 @@ fn main() -> ExitCode {
         Some("domains") => {
             println!("built-in domains:");
             for (name, ont, query, dag) in [
-                ("figure1", figure1::ontology(), figure1::SIMPLE_QUERY.to_owned(), 112),
+                (
+                    "figure1",
+                    figure1::ontology(),
+                    figure1::SIMPLE_QUERY.to_owned(),
+                    112,
+                ),
                 {
                     let d = travel(DomainScale::paper());
                     ("travel", d.ontology, d.query, 4773)
@@ -56,7 +63,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("parse") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let src = match std::fs::read_to_string(path) {
                 Ok(s) => s,
                 Err(e) => {
@@ -76,7 +85,9 @@ fn main() -> ExitCode {
             }
         }
         Some("export-ontology") => {
-            let (Some(domain), Some(out)) = (args.get(1), args.get(2)) else { return usage() };
+            let (Some(domain), Some(out)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
             let ont = match domain.as_str() {
                 "figure1" => figure1::ontology(),
                 "travel" => travel(DomainScale::paper()).ontology,
@@ -95,12 +106,18 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("mine") => {
-            let Some(domain) = args.get(1) else { return usage() };
-            let theta: f64 =
-                flag(&args, "--theta").and_then(|s| s.parse().ok()).unwrap_or(0.2);
-            let members: usize =
-                flag(&args, "--members").and_then(|s| s.parse().ok()).unwrap_or(60);
-            let seed: u64 = flag(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(7);
+            let Some(domain) = args.get(1) else {
+                return usage();
+            };
+            let theta: f64 = flag(&args, "--theta")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.2);
+            let members: usize = flag(&args, "--members")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(60);
+            let seed: u64 = flag(&args, "--seed")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(7);
 
             let (ont, query) = match domain.as_str() {
                 "figure1" => (figure1::ontology(), figure1::SIMPLE_QUERY.to_owned()),
@@ -132,7 +149,7 @@ fn main() -> ExitCode {
                 for _ in 0..3 {
                     tx.extend(d2.iter().cloned());
                 }
-                (0..members.max(1).min(20) as u64)
+                (0..members.clamp(1, 20) as u64)
                     .map(|i| {
                         SimulatedMember::new(
                             PersonalDb::from_transactions(tx.clone()),
@@ -203,7 +220,11 @@ fn main() -> ExitCode {
             };
 
             let engine = Oassis::new(&ont);
-            let cfg = MiningConfig { threshold: Some(theta), seed, ..Default::default() };
+            let cfg = MiningConfig {
+                threshold: Some(theta),
+                seed,
+                ..Default::default()
+            };
             let answer = match engine.execute(
                 &query,
                 &mut SimulatedCrowd::new(v, crowd_members),

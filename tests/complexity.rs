@@ -9,7 +9,10 @@ use oassis::core::synth::{
 use oassis::core::{run_vertical, Dag, MiningConfig};
 use oassis::prelude::*;
 
-fn negative_border(dag: &oassis::core::Dag<'_>, classes: &std::collections::HashMap<oassis::core::NodeId, bool>) -> usize {
+fn negative_border(
+    dag: &oassis::core::Dag<'_>,
+    classes: &std::collections::HashMap<oassis::core::NodeId, bool>,
+) -> usize {
     dag.node_ids()
         .filter(|&id| {
             !classes[&id]
@@ -27,9 +30,12 @@ fn negative_border(dag: &oassis::core::Dag<'_>, classes: &std::collections::Hash
 
 #[test]
 fn question_count_respects_proposition_4_7() {
-    for (width, depth, msps, seed) in
-        [(80, 5, 4, 1u64), (150, 6, 8, 2), (150, 6, 15, 3), (250, 7, 10, 4)]
-    {
+    for (width, depth, msps, seed) in [
+        (80, 5, 4, 1u64),
+        (150, 6, 8, 2),
+        (150, 6, 15, 3),
+        (250, 7, 10, 4),
+    ] {
         let d = synthetic_domain(width, depth, 0);
         let q = parse(&d.query).unwrap();
         let b = bind(&q, &d.ontology).unwrap();
@@ -38,8 +44,10 @@ fn question_count_respects_proposition_4_7() {
         let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
         full.materialize_all();
         let planted = plant_msps(&mut full, msps, true, MspDistribution::Uniform, seed);
-        let patterns: Vec<PatternSet> =
-            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let patterns: Vec<PatternSet> = planted
+            .iter()
+            .map(|&id| full.node(id).assignment.apply(&b))
+            .collect();
         let oracle_ref = PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 1, 0);
         let classes = ground_truth_classes(&full, &oracle_ref);
         let n_msp = planted.len();
@@ -50,8 +58,7 @@ fn question_count_respects_proposition_4_7() {
         let out = run_vertical(&mut dag, &mut oracle, MemberId(0), &MiningConfig::default());
         assert!(out.complete);
 
-        let e_plus_r =
-            d.ontology.vocab().num_elems() + d.ontology.vocab().num_rels();
+        let e_plus_r = d.ontology.vocab().num_elems() + d.ontology.vocab().num_rels();
         let bound = e_plus_r * n_msp + n_border;
         assert!(
             out.questions <= bound,
@@ -81,8 +88,10 @@ fn question_count_grows_with_msp_count_like_figure_5() {
     for pct in [2usize, 5, 10] {
         let k = (total * pct) / 100;
         let planted = plant_msps(&mut full, k, true, MspDistribution::Uniform, 9);
-        let patterns: Vec<PatternSet> =
-            planted.iter().map(|&id| full.node(id).assignment.apply(&b)).collect();
+        let patterns: Vec<PatternSet> = planted
+            .iter()
+            .map(|&id| full.node(id).assignment.apply(&b))
+            .collect();
         let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
         let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns, 1, 0);
         let out = run_vertical(&mut dag, &mut oracle, MemberId(0), &MiningConfig::default());
@@ -90,5 +99,11 @@ fn question_count_grows_with_msp_count_like_figure_5() {
         counts.push((pct, out.questions));
         last = out.questions;
     }
-    assert!(counts[0].1 < counts[2].1, "2% {} vs 10% {}: {:?}", counts[0].1, last, counts);
+    assert!(
+        counts[0].1 < counts[2].1,
+        "2% {} vs 10% {}: {:?}",
+        counts[0].1,
+        last,
+        counts
+    );
 }

@@ -43,7 +43,10 @@ fn travel_domain_end_to_end() {
         },
     );
     let engine = Oassis::new(ont);
-    let cfg = MiningConfig { threshold: Some(0.2), ..Default::default() };
+    let cfg = MiningConfig {
+        threshold: Some(0.2),
+        ..Default::default()
+    };
     let ans = engine
         .execute(
             &domain.query,
@@ -67,7 +70,10 @@ fn travel_domain_end_to_end() {
 
 #[test]
 fn class_level_domains_have_only_valid_msps() {
-    for domain in [culinary(DomainScale::small()), self_treatment(DomainScale::small())] {
+    for domain in [
+        culinary(DomainScale::small()),
+        self_treatment(DomainScale::small()),
+    ] {
         let ont = &domain.ontology;
         let v = ont.vocab();
         // simple planted habit per domain: first two universe elements
@@ -82,7 +88,12 @@ fn class_level_domains_have_only_valid_msps() {
         }];
         let members = generate(
             &profiles,
-            &PopulationConfig { members: 60, answer_model: AnswerModel::Exact, seed: 2, ..Default::default() },
+            &PopulationConfig {
+                members: 60,
+                answer_model: AnswerModel::Exact,
+                seed: 2,
+                ..Default::default()
+            },
         );
         let engine = Oassis::new(ont);
         let ans = engine
@@ -90,11 +101,19 @@ fn class_level_domains_have_only_valid_msps() {
                 &domain.query,
                 &mut SimulatedCrowd::new(v, members),
                 &FixedSampleAggregator { sample_size: 5 },
-                &MiningConfig { threshold: Some(0.25), ..Default::default() },
+                &MiningConfig {
+                    threshold: Some(0.25),
+                    ..Default::default()
+                },
             )
             .unwrap();
         let m = &ans.outcome.mining;
-        assert_eq!(m.msps.len(), m.valid_msps.len(), "{}: invalid MSPs in a class-level query", domain.name);
+        assert_eq!(
+            m.msps.len(),
+            m.valid_msps.len(),
+            "{}: invalid MSPs in a class-level query",
+            domain.name
+        );
         assert!(!m.msps.is_empty(), "{}: nothing mined", domain.name);
     }
 }
@@ -107,7 +126,10 @@ fn crowd_exhaustion_reports_incomplete() {
         &travel_profiles(ont),
         &PopulationConfig {
             members: 6,
-            behavior: MemberBehavior { session_limit: Some(3), ..Default::default() },
+            behavior: MemberBehavior {
+                session_limit: Some(3),
+                ..Default::default()
+            },
             seed: 3,
             ..Default::default()
         },
@@ -118,7 +140,10 @@ fn crowd_exhaustion_reports_incomplete() {
             &domain.query,
             &mut SimulatedCrowd::new(ont.vocab(), members),
             &FixedSampleAggregator { sample_size: 5 },
-            &MiningConfig { threshold: Some(0.2), ..Default::default() },
+            &MiningConfig {
+                threshold: Some(0.2),
+                ..Default::default()
+            },
         )
         .unwrap();
     assert!(!ans.outcome.mining.complete);
@@ -138,22 +163,38 @@ fn spammers_change_results_unless_filtered() {
     }];
     let mut members = generate(
         &profiles,
-        &PopulationConfig { members: 40, seed: 4, answer_model: AnswerModel::Exact, ..Default::default() },
+        &PopulationConfig {
+            members: 40,
+            seed: 4,
+            answer_model: AnswerModel::Exact,
+            ..Default::default()
+        },
     );
     for m in members.iter_mut().take(20) {
         m.behavior.spammer = true;
     }
     let engine = Oassis::new(ont);
-    let cfg = MiningConfig { threshold: Some(0.3), ..Default::default() };
+    let cfg = MiningConfig {
+        threshold: Some(0.3),
+        ..Default::default()
+    };
 
     // trust-weighted aggregation with perfect spammer knowledge
     let mut trust = std::collections::HashMap::new();
     for i in 0..20u32 {
         trust.insert(MemberId(i), 0.0);
     }
-    let weighted = oassis::core::TrustWeightedAggregator { sample_size: 5, trust };
+    let weighted = oassis::core::TrustWeightedAggregator {
+        sample_size: 5,
+        trust,
+    };
     let filtered = engine
-        .execute(&domain.query, &mut SimulatedCrowd::new(v, members.clone()), &weighted, &cfg)
+        .execute(
+            &domain.query,
+            &mut SimulatedCrowd::new(v, members.clone()),
+            &weighted,
+            &cfg,
+        )
         .unwrap();
     // unweighted: spam noise inflates/deflates the answer set
     for m in members.iter_mut() {
@@ -167,7 +208,11 @@ fn spammers_change_results_unless_filtered() {
             &cfg,
         )
         .unwrap();
-    assert!(filtered.answers.iter().any(|a| a.contains("RemedyKind3")), "{:#?}", filtered.answers);
+    assert!(
+        filtered.answers.iter().any(|a| a.contains("RemedyKind3")),
+        "{:#?}",
+        filtered.answers
+    );
     assert_ne!(
         filtered.answers, unfiltered.answers,
         "spam should have changed the unfiltered output"
@@ -186,7 +231,12 @@ fn cache_snapshot_survives_serialization_between_runs() {
     }];
     let members = generate(
         &profiles,
-        &PopulationConfig { members: 30, seed: 6, answer_model: AnswerModel::Exact, ..Default::default() },
+        &PopulationConfig {
+            members: 30,
+            seed: 6,
+            answer_model: AnswerModel::Exact,
+            ..Default::default()
+        },
     );
     let engine = Oassis::new(ont);
     let mut cache = CrowdCache::new();
@@ -198,7 +248,10 @@ fn cache_snapshot_survives_serialization_between_runs() {
                 &domain.query,
                 &mut caching,
                 &FixedSampleAggregator { sample_size: 5 },
-                &MiningConfig { threshold: Some(0.2), ..Default::default() },
+                &MiningConfig {
+                    threshold: Some(0.2),
+                    ..Default::default()
+                },
             )
             .unwrap();
     }
@@ -213,7 +266,10 @@ fn cache_snapshot_survives_serialization_between_runs() {
             &domain.query,
             &mut caching,
             &FixedSampleAggregator { sample_size: 5 },
-            &MiningConfig { threshold: Some(0.4), ..Default::default() },
+            &MiningConfig {
+                threshold: Some(0.4),
+                ..Default::default()
+            },
         )
         .unwrap();
     assert!(caching.fresh_questions() < caching.total_questions());

@@ -33,13 +33,20 @@ fn top_k_parses_and_limits_answers() {
     let agg = FixedSampleAggregator { sample_size: 1 };
     let top_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS TOP 1");
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
-    let top = engine.execute(&top_query, &mut crowd, &agg, &MiningConfig::default()).unwrap();
+    let top = engine
+        .execute(&top_query, &mut crowd, &agg, &MiningConfig::default())
+        .unwrap();
     assert_eq!(top.answers.len(), 1);
 
     // and it saves questions against the full run
     let mut crowd_full = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
     let full = engine
-        .execute(figure1::SIMPLE_QUERY, &mut crowd_full, &agg, &MiningConfig::default())
+        .execute(
+            figure1::SIMPLE_QUERY,
+            &mut crowd_full,
+            &agg,
+            &MiningConfig::default(),
+        )
         .unwrap();
     assert!(
         top.outcome.mining.questions < full.outcome.mining.questions,
@@ -59,7 +66,9 @@ fn top_k_diverse_spreads_answers() {
     // 2 diverse answers must span both attractions.
     let q = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS TOP 2 DIVERSE");
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
-    let ans = engine.execute(&q, &mut crowd, &agg, &MiningConfig::default()).unwrap();
+    let ans = engine
+        .execute(&q, &mut crowd, &agg, &MiningConfig::default())
+        .unwrap();
     assert_eq!(ans.answers.len(), 2);
     let joined = ans.answers.join(" | ");
     assert!(joined.contains("Central Park"), "{joined}");
@@ -87,20 +96,27 @@ IMPLYING
 WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
 "#;
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
-    let cfg = RuleMiningConfig { panel_size: 1, ..Default::default() };
+    let cfg = RuleMiningConfig {
+        panel_size: 1,
+        ..Default::default()
+    };
     let ans = engine.execute_rules(src, &mut crowd, &cfg).unwrap();
     assert!(!ans.answers.is_empty());
     assert!(
-        ans.answers.iter().any(|a| a.contains("Feed a Monkey doAt Bronx Zoo")
-            && a.contains("⇒")
-            && a.contains("eatAt Pine")),
+        ans.answers
+            .iter()
+            .any(|a| a.contains("Feed a Monkey doAt Bronx Zoo")
+                && a.contains("⇒")
+                && a.contains("eatAt Pine")),
         "{:#?}",
         ans.answers
     );
     // execute() refuses rule queries
     let agg = FixedSampleAggregator { sample_size: 1 };
     let mut crowd2 = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 2)]);
-    assert!(engine.execute(src, &mut crowd2, &agg, &MiningConfig::default()).is_err());
+    assert!(engine
+        .execute(src, &mut crowd2, &agg, &MiningConfig::default())
+        .is_err());
 }
 
 #[test]
@@ -109,7 +125,8 @@ fn extension_syntax_validations() {
     let e = parse("SELECT FACT-SETS WHERE SATISFYING $x r $y IMPLYING $x s $y WITH SUPPORT = 0.2");
     assert!(e.is_err());
     // CONFIDENCE without IMPLYING
-    let e = parse("SELECT FACT-SETS WHERE SATISFYING $x r $y WITH SUPPORT = 0.2 AND CONFIDENCE = 0.5");
+    let e =
+        parse("SELECT FACT-SETS WHERE SATISFYING $x r $y WITH SUPPORT = 0.2 AND CONFIDENCE = 0.5");
     assert!(e.is_err());
     // MORE inside IMPLYING
     let e = parse(
@@ -160,17 +177,26 @@ fn asking_clause_restricts_the_crowd() {
     let members = vec![local(1), tourist(2), local(3), tourist(4)];
     let engine = Oassis::new(&ont);
     let agg = FixedSampleAggregator { sample_size: 2 };
-    let asking_query =
-        figure1::SIMPLE_QUERY.replace("WHERE", "ASKING \"local\"\nWHERE");
+    let asking_query = figure1::SIMPLE_QUERY.replace("WHERE", "ASKING \"local\"\nWHERE");
     let q = parse(&asking_query).unwrap();
     assert_eq!(q.asking.as_deref(), Some("local"));
 
     let mut crowd = SimulatedCrowd::new(v, members.clone());
-    let ans = engine.execute(&asking_query, &mut crowd, &agg, &MiningConfig::default()).unwrap();
-    assert!(ans.answers.iter().any(|a| a == "Biking doAt Central Park"), "{:?}", ans.answers);
+    let ans = engine
+        .execute(&asking_query, &mut crowd, &agg, &MiningConfig::default())
+        .unwrap();
+    assert!(
+        ans.answers.iter().any(|a| a == "Biking doAt Central Park"),
+        "{:?}",
+        ans.answers
+    );
     // only the two locals were recruited
-    assert_eq!(ans.outcome.answers_per_member.len(), 2,
-        "recruited: {:?}", ans.outcome.answers_per_member);
+    assert_eq!(
+        ans.outcome.answers_per_member.len(),
+        2,
+        "recruited: {:?}",
+        ans.outcome.answers_per_member
+    );
     assert!(ans.outcome.answers_per_member.iter().all(|&n| n > 0));
 
     // without ASKING, the empty-history tourists dilute the average below
@@ -178,8 +204,19 @@ fn asking_clause_restricts_the_crowd() {
     let mut crowd_all = SimulatedCrowd::new(v, members);
     let agg4 = FixedSampleAggregator { sample_size: 4 };
     let all_ans = engine
-        .execute(figure1::SIMPLE_QUERY, &mut crowd_all, &agg4, &MiningConfig::default())
+        .execute(
+            figure1::SIMPLE_QUERY,
+            &mut crowd_all,
+            &agg4,
+            &MiningConfig::default(),
+        )
         .unwrap();
-    assert!(!all_ans.answers.iter().any(|a| a == "Biking doAt Central Park"),
-        "{:?}", all_ans.answers);
+    assert!(
+        !all_ans
+            .answers
+            .iter()
+            .any(|a| a == "Biking doAt Central Park"),
+        "{:?}",
+        all_ans.answers
+    );
 }

@@ -28,7 +28,10 @@ fn everyone_leaving_immediately_yields_empty_but_sane_output() {
         &profiles(&ont),
         &PopulationConfig {
             members: 10,
-            behavior: MemberBehavior { session_limit: Some(0), ..Default::default() },
+            behavior: MemberBehavior {
+                session_limit: Some(0),
+                ..Default::default()
+            },
             seed: 1,
             ..Default::default()
         },
@@ -39,7 +42,10 @@ fn everyone_leaving_immediately_yields_empty_but_sane_output() {
             figure1::SIMPLE_QUERY,
             &mut SimulatedCrowd::new(ont.vocab(), members),
             &FixedSampleAggregator { sample_size: 5 },
-            &MiningConfig { threshold: Some(0.2), ..Default::default() },
+            &MiningConfig {
+                threshold: Some(0.2),
+                ..Default::default()
+            },
         )
         .unwrap();
     assert_eq!(ans.outcome.mining.questions, 0);
@@ -52,7 +58,11 @@ fn quorum_larger_than_crowd_never_decides() {
     let ont = figure1::ontology();
     let members = generate(
         &profiles(&ont),
-        &PopulationConfig { members: 3, seed: 2, ..Default::default() },
+        &PopulationConfig {
+            members: 3,
+            seed: 2,
+            ..Default::default()
+        },
     );
     let engine = Oassis::new(&ont);
     let ans = engine
@@ -60,7 +70,10 @@ fn quorum_larger_than_crowd_never_decides() {
             figure1::SIMPLE_QUERY,
             &mut SimulatedCrowd::new(ont.vocab(), members),
             &FixedSampleAggregator { sample_size: 10 }, // unreachable quorum
-            &MiningConfig { threshold: Some(0.2), ..Default::default() },
+            &MiningConfig {
+                threshold: Some(0.2),
+                ..Default::default()
+            },
         )
         .unwrap();
     assert!(!ans.outcome.mining.complete);
@@ -78,7 +91,11 @@ fn all_spammers_produce_noise_but_never_panic() {
     let ont = figure1::ontology();
     let mut members = generate(
         &profiles(&ont),
-        &PopulationConfig { members: 20, seed: 3, ..Default::default() },
+        &PopulationConfig {
+            members: 20,
+            seed: 3,
+            ..Default::default()
+        },
     );
     for m in &mut members {
         m.behavior.spammer = true;
@@ -89,7 +106,11 @@ fn all_spammers_produce_noise_but_never_panic() {
             figure1::SIMPLE_QUERY,
             &mut SimulatedCrowd::new(ont.vocab(), members),
             &FixedSampleAggregator { sample_size: 5 },
-            &MiningConfig { threshold: Some(0.2), specialization_ratio: 0.3, ..Default::default() },
+            &MiningConfig {
+                threshold: Some(0.2),
+                specialization_ratio: 0.3,
+                ..Default::default()
+            },
         )
         .unwrap();
     // spam produces *some* classification; results are garbage but valid
@@ -105,17 +126,28 @@ fn tiny_question_budget_is_respected_end_to_end() {
     let ont = figure1::ontology();
     let members = generate(
         &profiles(&ont),
-        &PopulationConfig { members: 10, seed: 4, ..Default::default() },
+        &PopulationConfig {
+            members: 10,
+            seed: 4,
+            ..Default::default()
+        },
     );
     let engine = Oassis::new(&ont);
     for budget in [0usize, 1, 3, 7] {
         let ans = engine
             .execute(
                 figure1::SIMPLE_QUERY,
-                &mut SimulatedCrowd::new(ont.vocab(), generate(
-                    &profiles(&ont),
-                    &PopulationConfig { members: 10, seed: 4, ..Default::default() },
-                )),
+                &mut SimulatedCrowd::new(
+                    ont.vocab(),
+                    generate(
+                        &profiles(&ont),
+                        &PopulationConfig {
+                            members: 10,
+                            seed: 4,
+                            ..Default::default()
+                        },
+                    ),
+                ),
                 &FixedSampleAggregator { sample_size: 5 },
                 &MiningConfig {
                     threshold: Some(0.2),
@@ -136,7 +168,12 @@ fn semantic_match_mode_mines_end_to_end() {
     let ont = figure1::ontology();
     let members = generate(
         &profiles(&ont),
-        &PopulationConfig { members: 10, seed: 5, answer_model: AnswerModel::Exact, ..Default::default() },
+        &PopulationConfig {
+            members: 10,
+            seed: 5,
+            answer_model: AnswerModel::Exact,
+            ..Default::default()
+        },
     );
     let engine = Oassis::new(&ont).with_match_mode(MatchMode::Semantic);
     let ans = engine
@@ -144,11 +181,20 @@ fn semantic_match_mode_mines_end_to_end() {
             figure1::SIMPLE_QUERY,
             &mut SimulatedCrowd::new(ont.vocab(), members),
             &FixedSampleAggregator { sample_size: 5 },
-            &MiningConfig { threshold: Some(0.2), ..Default::default() },
+            &MiningConfig {
+                threshold: Some(0.2),
+                ..Default::default()
+            },
         )
         .unwrap();
     assert!(ans.outcome.mining.complete);
-    assert!(ans.answers.iter().any(|a| a.contains("Biking doAt Central Park")), "{:?}", ans.answers);
+    assert!(
+        ans.answers
+            .iter()
+            .any(|a| a.contains("Biking doAt Central Park")),
+        "{:?}",
+        ans.answers
+    );
 }
 
 #[test]
@@ -166,7 +212,10 @@ fn early_decision_aggregator_agrees_with_fixed_sample() {
         )
     };
     let engine = Oassis::new(&ont);
-    let cfg = MiningConfig { threshold: Some(0.2), ..Default::default() };
+    let cfg = MiningConfig {
+        threshold: Some(0.2),
+        ..Default::default()
+    };
     let fixed = engine
         .execute(
             figure1::SIMPLE_QUERY,

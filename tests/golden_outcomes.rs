@@ -1,0 +1,194 @@
+//! Bit-identity regression guard for the mining engine.
+//!
+//! Every workload below is fully deterministic (seeded RNGs, fixed
+//! ontologies); the digests were captured before the indexed
+//! classification engine landed, and the indexed code paths must
+//! reproduce them **exactly** — same questions in the same order, same
+//! MSPs, same discovery-event streams. A digest change means an
+//! optimization altered mining outcomes, which is a bug regardless of
+//! how much faster it got.
+//!
+//! If a deliberate semantic change ever invalidates these values, rerun
+//! with `cargo test --test golden_outcomes -- --nocapture` and update the
+//! constants — in the same commit as the semantic change, with a log
+//! message explaining why outcomes moved.
+
+use crowd::{AnswerModel, MemberBehavior, PersonalDb, SimulatedCrowd, SimulatedMember};
+use oassis_core::synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle};
+use oassis_core::{
+    run_multi, run_vertical, Dag, FixedSampleAggregator, MiningConfig, MiningOutcome, MultiOutcome,
+};
+use oassis_ql::{bind, evaluate_where, parse, BoundQuery, MatchMode};
+use ontology::domains::figure1;
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn fnv_usize(h: &mut u64, v: usize) {
+    fnv(h, &(v as u64).to_le_bytes());
+}
+
+/// Folds a mining outcome into a digest: counts, rendered MSPs (in
+/// discovery order) and the full event stream.
+fn digest_outcome(out: &MiningOutcome, b: &BoundQuery, vocab: &ontology::Vocabulary) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv_usize(&mut h, out.questions);
+    fnv_usize(&mut h, out.msps.len());
+    fnv_usize(&mut h, out.valid_msps.len());
+    fnv_usize(&mut h, out.significant_valid.len());
+    fnv_usize(&mut h, out.total_valid);
+    fnv_usize(&mut h, out.valid_mult_nodes);
+    fnv_usize(&mut h, out.nodes_materialized);
+    fnv_usize(&mut h, usize::from(out.complete));
+    for m in &out.msps {
+        fnv(&mut h, m.apply(b).to_display(vocab).as_bytes());
+    }
+    for e in &out.events {
+        fnv_usize(&mut h, e.question);
+        fnv(&mut h, format!("{:?}", e.kind).as_bytes());
+    }
+    h
+}
+
+fn digest_multi(out: &MultiOutcome, b: &BoundQuery, vocab: &ontology::Vocabulary) -> u64 {
+    let mut h = digest_outcome(&out.mining, b, vocab);
+    fnv_usize(&mut h, out.undecided);
+    fnv_usize(&mut h, out.question_stats.concrete);
+    fnv_usize(&mut h, out.question_stats.specialization);
+    fnv_usize(&mut h, out.question_stats.none_of_these);
+    fnv_usize(&mut h, out.question_stats.pruning);
+    for &n in &out.answers_per_member {
+        fnv_usize(&mut h, n);
+    }
+    h
+}
+
+/// Figure-1 member whose answers average u1 and u2 (Example 4.6).
+fn u_avg(ont: &ontology::Ontology, behavior: MemberBehavior, seed: u64) -> SimulatedMember {
+    let [d1, d2] = figure1::personal_dbs(ont);
+    let mut tx = d1;
+    for _ in 0..3 {
+        tx.extend(d2.iter().cloned());
+    }
+    SimulatedMember::new(
+        PersonalDb::from_transactions(tx),
+        behavior,
+        AnswerModel::Exact,
+        seed,
+    )
+}
+
+#[test]
+fn vertical_figure1_sample_query_with_pruning_and_tips() {
+    // SAMPLE_QUERY requests MORE facts, so tips exercise attach_more_tip;
+    // the pruning probability exercises Irrelevant answers end to end.
+    let ont = figure1::ontology();
+    let q = parse(figure1::SAMPLE_QUERY).unwrap();
+    let b = bind(&q, &ont).unwrap();
+    let base = evaluate_where(&b, &ont, MatchMode::Exact);
+    let mut dag = Dag::new(&b, ont.vocab(), &base);
+    let behavior = MemberBehavior {
+        pruning_prob: 0.5,
+        more_tip_prob: 0.5,
+        ..Default::default()
+    };
+    let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, behavior, 11)]);
+    let cfg = MiningConfig {
+        specialization_ratio: 0.3,
+        seed: 3,
+        ..Default::default()
+    };
+    let out = run_vertical(&mut dag, &mut crowd, crowd::MemberId(0), &cfg);
+    let d = digest_outcome(&out, &b, ont.vocab());
+    println!("vertical_figure1 digest = 0x{d:016x}");
+    assert_eq!(d, GOLDEN_VERTICAL_FIGURE1);
+}
+
+#[test]
+fn vertical_synthetic_with_specialization_questions() {
+    let dom = synthetic_domain(150, 6, 0);
+    let q = parse(&dom.query).unwrap();
+    let b = bind(&q, &dom.ontology).unwrap();
+    let base = evaluate_where(&b, &dom.ontology, MatchMode::Exact);
+    let mut full = Dag::new(&b, dom.ontology.vocab(), &base).without_multiplicities();
+    full.materialize_all();
+    let planted = plant_msps(&mut full, 8, true, MspDistribution::Uniform, 21);
+    let patterns: Vec<_> = planted
+        .iter()
+        .map(|&id| full.node(id).assignment.apply(&b))
+        .collect();
+
+    let mut dag = Dag::new(&b, dom.ontology.vocab(), &base).without_multiplicities();
+    let mut oracle = PlantedOracle::new(dom.ontology.vocab(), patterns, 1, 9);
+    oracle.pruning_prob = 0.5;
+    let cfg = MiningConfig {
+        specialization_ratio: 0.5,
+        seed: 4,
+        ..Default::default()
+    };
+    let out = run_vertical(&mut dag, &mut oracle, crowd::MemberId(0), &cfg);
+    let d = digest_outcome(&out, &b, dom.ontology.vocab());
+    println!("vertical_synthetic digest = 0x{d:016x}");
+    assert_eq!(d, GOLDEN_VERTICAL_SYNTHETIC);
+}
+
+#[test]
+fn multi_figure1_two_members() {
+    let ont = figure1::ontology();
+    let q = parse(figure1::SIMPLE_QUERY).unwrap();
+    let b = bind(&q, &ont).unwrap();
+    let base = evaluate_where(&b, &ont, MatchMode::Exact);
+    let mut dag = Dag::new(&b, ont.vocab(), &base);
+    let members = vec![
+        u_avg(&ont, MemberBehavior::default(), 1),
+        u_avg(&ont, MemberBehavior::default(), 2),
+    ];
+    let mut crowd = SimulatedCrowd::new(ont.vocab(), members);
+    let agg = FixedSampleAggregator { sample_size: 2 };
+    let out = run_multi(&mut dag, &mut crowd, &agg, &MiningConfig::default());
+    let d = digest_multi(&out, &b, ont.vocab());
+    println!("multi_figure1 digest = 0x{d:016x}");
+    assert_eq!(d, GOLDEN_MULTI_FIGURE1);
+}
+
+#[test]
+fn multi_synthetic_crowd_with_pruning_clicks() {
+    // A 6-member crowd with bucketed answers and pruning clicks over a
+    // synthetic domain: exercises the multi-user frontier queues, the
+    // aggregator quorum and the bulk pruning path of ask_concrete.
+    let dom = synthetic_domain(120, 5, 1);
+    let q = parse(&dom.query).unwrap();
+    let b = bind(&q, &dom.ontology).unwrap();
+    let base = evaluate_where(&b, &dom.ontology, MatchMode::Exact);
+    let mut full = Dag::new(&b, dom.ontology.vocab(), &base).without_multiplicities();
+    full.materialize_all();
+    let planted = plant_msps(&mut full, 6, true, MspDistribution::Uniform, 31);
+    let patterns: Vec<_> = planted
+        .iter()
+        .map(|&id| full.node(id).assignment.apply(&b))
+        .collect();
+
+    let mut dag = Dag::new(&b, dom.ontology.vocab(), &base).without_multiplicities();
+    let mut oracle = PlantedOracle::new(dom.ontology.vocab(), patterns, 6, 17);
+    oracle.pruning_prob = 0.3;
+    let agg = FixedSampleAggregator { sample_size: 3 };
+    let cfg = MiningConfig {
+        specialization_ratio: 0.25,
+        seed: 8,
+        ..Default::default()
+    };
+    let out = run_multi(&mut dag, &mut oracle, &agg, &cfg);
+    let d = digest_multi(&out, &b, dom.ontology.vocab());
+    println!("multi_synthetic digest = 0x{d:016x}");
+    assert_eq!(d, GOLDEN_MULTI_SYNTHETIC);
+}
+
+// Captured from the pre-index witness-scan engine; see module docs.
+const GOLDEN_VERTICAL_FIGURE1: u64 = 0x43da68006cc27301;
+const GOLDEN_VERTICAL_SYNTHETIC: u64 = 0xdeab91c0df65d2d8;
+const GOLDEN_MULTI_FIGURE1: u64 = 0x91d1bfe9c869b6ad;
+const GOLDEN_MULTI_SYNTHETIC: u64 = 0x4b3695f5ead79508;

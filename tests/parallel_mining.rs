@@ -32,10 +32,14 @@ fn engine_results_identical_on_parallel_and_sequential_crowds() {
     let cfg = MiningConfig::default();
 
     let mut seq = SimulatedCrowd::new(ont.vocab(), members(&ont));
-    let seq_ans = engine.execute(figure1::SIMPLE_QUERY, &mut seq, &agg, &cfg).unwrap();
+    let seq_ans = engine
+        .execute(figure1::SIMPLE_QUERY, &mut seq, &agg, &cfg)
+        .unwrap();
 
     let (par_ans, returned) = with_parallel_crowd(ont.vocab(), members(&ont), |crowd| {
-        engine.execute(figure1::SIMPLE_QUERY, crowd, &agg, &cfg).unwrap()
+        engine
+            .execute(figure1::SIMPLE_QUERY, crowd, &agg, &cfg)
+            .unwrap()
     });
 
     let mut a = seq_ans.answers.clone();
@@ -43,7 +47,10 @@ fn engine_results_identical_on_parallel_and_sequential_crowds() {
     a.sort();
     b.sort();
     assert_eq!(a, b);
-    assert_eq!(seq_ans.outcome.mining.questions, par_ans.outcome.mining.questions);
+    assert_eq!(
+        seq_ans.outcome.mining.questions,
+        par_ans.outcome.mining.questions
+    );
     assert!(par_ans.outcome.mining.complete);
     // every member worked
     assert!(returned.iter().all(|m| m.questions_answered() > 0));

@@ -16,7 +16,13 @@ use proptest::prelude::*;
 
 fn arb_synth() -> impl Strategy<Value = SynthConfig> {
     (5usize..40, 1usize..4, 0.0f64..0.4, 0usize..30, any::<u64>()).prop_map(
-        |(elems, rels, dag_prob, facts, seed)| SynthConfig { elems, rels, dag_prob, facts, seed },
+        |(elems, rels, dag_prob, facts, seed)| SynthConfig {
+            elems,
+            rels,
+            dag_prob,
+            facts,
+            seed,
+        },
     )
 }
 
@@ -125,8 +131,20 @@ proptest! {
 // ---------- parser round-trip over generated ASTs ----------
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FACT-SETS", "VARIABLES", "ALL", "TOP", "DIVERSE", "WHERE", "SATISFYING",
-    "IMPLYING", "MORE", "WITH", "SUPPORT", "AND", "CONFIDENCE",
+    "SELECT",
+    "FACT-SETS",
+    "VARIABLES",
+    "ALL",
+    "TOP",
+    "DIVERSE",
+    "WHERE",
+    "SATISFYING",
+    "IMPLYING",
+    "MORE",
+    "WITH",
+    "SUPPORT",
+    "AND",
+    "CONFIDENCE",
 ];
 
 fn arb_name() -> impl Strategy<Value = String> {
@@ -161,8 +179,13 @@ fn arb_pred() -> impl Strategy<Value = Pred> {
 }
 
 fn arb_pattern(sat: bool) -> impl Strategy<Value = TriplePattern> {
-    (arb_term(sat), arb_pred(), arb_term(sat))
-        .prop_map(|(subject, predicate, object)| TriplePattern { subject, predicate, object })
+    (arb_term(sat), arb_pred(), arb_term(sat)).prop_map(|(subject, predicate, object)| {
+        TriplePattern {
+            subject,
+            predicate,
+            object,
+        }
+    })
 }
 
 fn arb_query() -> impl Strategy<Value = Query> {
@@ -182,7 +205,17 @@ fn arb_query() -> impl Strategy<Value = Query> {
         proptest::option::of("[A-Za-z][A-Za-z ]{0,10}"),
     )
         .prop_map(
-            |(format, all, where_patterns, patterns, more, support_threshold, top, implying, asking)| {
+            |(
+                format,
+                all,
+                where_patterns,
+                patterns,
+                more,
+                support_threshold,
+                top,
+                implying,
+                asking,
+            )| {
                 let (top, diverse) = match top {
                     Some((k, d)) => (Some(k), d),
                     None => (None, false),
@@ -192,7 +225,12 @@ fn arb_query() -> impl Strategy<Value = Query> {
                     None => (Vec::new(), None),
                 };
                 Query {
-                    select: SelectClause { format, all, top, diverse },
+                    select: SelectClause {
+                        format,
+                        all,
+                        top,
+                        diverse,
+                    },
                     asking,
                     where_patterns,
                     satisfying: SatisfyingClause {

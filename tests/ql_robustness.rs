@@ -72,14 +72,20 @@ fn class_level_domains_are_full_products() {
         let q = parse(&c.query).unwrap();
         bind(&q, &c.ontology).unwrap()
     };
-    assert_eq!(evaluate_where(&b, &c.ontology, MatchMode::Exact).len(), 72 * 146);
+    assert_eq!(
+        evaluate_where(&b, &c.ontology, MatchMode::Exact).len(),
+        72 * 146
+    );
 
     let s = self_treatment(DomainScale::paper());
     let b = {
         let q = parse(&s.query).unwrap();
         bind(&q, &s.ontology).unwrap()
     };
-    assert_eq!(evaluate_where(&b, &s.ontology, MatchMode::Exact).len(), 42 * 55);
+    assert_eq!(
+        evaluate_where(&b, &s.ontology, MatchMode::Exact).len(),
+        42 * 55
+    );
 }
 
 #[test]
@@ -92,10 +98,16 @@ fn binder_rejects_every_structural_violation() {
             Ok(q) => assert!(bind(&q, &ont).is_err(), "accepted: {src}"),
         }
     };
-    reject("SELECT FACT-SETS WHERE $x+ instanceOf Restaurant SATISFYING $x doAt $x WITH SUPPORT = 0.2");
-    reject("SELECT FACT-SETS WHERE $x hasLabel Attraction SATISFYING $x doAt $x WITH SUPPORT = 0.2");
+    reject(
+        "SELECT FACT-SETS WHERE $x+ instanceOf Restaurant SATISFYING $x doAt $x WITH SUPPORT = 0.2",
+    );
+    reject(
+        "SELECT FACT-SETS WHERE $x hasLabel Attraction SATISFYING $x doAt $x WITH SUPPORT = 0.2",
+    );
     reject("SELECT FACT-SETS WHERE SATISFYING $x hasLabel \"y\" WITH SUPPORT = 0.2");
     reject("SELECT FACT-SETS WHERE $x nosuchrel $y SATISFYING $x doAt $y WITH SUPPORT = 0.2");
     reject("SELECT FACT-SETS WHERE $x instanceOf NoSuchElement SATISFYING $x doAt $x WITH SUPPORT = 0.2");
-    reject("SELECT FACT-SETS WHERE $p instanceOf Restaurant SATISFYING NYC $p NYC WITH SUPPORT = 0.2");
+    reject(
+        "SELECT FACT-SETS WHERE $p instanceOf Restaurant SATISFYING NYC $p NYC WITH SUPPORT = 0.2",
+    );
 }

@@ -51,12 +51,20 @@ fn full_figure_2_query_with_restaurants() {
             && a.contains("eatAt Maoz Veg")
             && a.contains("Rent Bikes doAt Boathouse")
     });
-    assert!(biking_with_tip, "missing the Boathouse tip: {:#?}", answer.answers);
+    assert!(
+        biking_with_tip,
+        "missing the Boathouse tip: {:#?}",
+        answer.answers
+    );
     let monkey = answer
         .answers
         .iter()
         .any(|a| a.contains("Feed a Monkey doAt Bronx Zoo") && a.contains("eatAt Pine"));
-    assert!(monkey, "missing the Bronx Zoo answer: {:#?}", answer.answers);
+    assert!(
+        monkey,
+        "missing the Bronx Zoo answer: {:#?}",
+        answer.answers
+    );
     // Baseball (1/3 < 0.4) must not appear.
     assert!(!answer.answers.iter().any(|a| a.contains("Baseball")));
 }
@@ -70,13 +78,30 @@ fn example_3_1_significance_decisions() {
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 0)]);
     let all_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS ALL");
     let answer = engine
-        .execute(&all_query, &mut crowd, &FixedSampleAggregator { sample_size: 1 }, &MiningConfig::default())
+        .execute(
+            &all_query,
+            &mut crowd,
+            &FixedSampleAggregator { sample_size: 1 },
+            &MiningConfig::default(),
+        )
         .unwrap();
-    assert!(answer.answers.iter().any(|a| a == "Biking doAt Central Park"));
-    assert!(!answer.answers.iter().any(|a| a == "Baseball doAt Central Park"));
+    assert!(answer
+        .answers
+        .iter()
+        .any(|a| a == "Biking doAt Central Park"));
+    assert!(!answer
+        .answers
+        .iter()
+        .any(|a| a == "Baseball doAt Central Park"));
     // generalizations of significant patterns are significant (ALL output)
-    assert!(answer.answers.iter().any(|a| a == "Sport doAt Central Park"));
-    assert!(answer.answers.iter().any(|a| a == "Activity doAt Central Park"));
+    assert!(answer
+        .answers
+        .iter()
+        .any(|a| a == "Sport doAt Central Park"));
+    assert!(answer
+        .answers
+        .iter()
+        .any(|a| a == "Activity doAt Central Park"));
 }
 
 #[test]
@@ -88,11 +113,18 @@ fn threshold_sweep_monotonicity_of_significant_sets() {
     let v = ont.vocab();
     let run = |theta: f64| {
         let mut crowd = SimulatedCrowd::new(v, vec![u_avg(&ont, 0)]);
-        let cfg = MiningConfig { threshold: Some(theta), ..Default::default() };
-        let all_query =
-            figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS ALL");
+        let cfg = MiningConfig {
+            threshold: Some(theta),
+            ..Default::default()
+        };
+        let all_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS ALL");
         engine
-            .execute(&all_query, &mut crowd, &FixedSampleAggregator { sample_size: 1 }, &cfg)
+            .execute(
+                &all_query,
+                &mut crowd,
+                &FixedSampleAggregator { sample_size: 1 },
+                &cfg,
+            )
             .unwrap()
     };
     let mut prev: Option<std::collections::HashSet<String>> = None;
@@ -100,7 +132,10 @@ fn threshold_sweep_monotonicity_of_significant_sets() {
         let ans = run(theta);
         let set: std::collections::HashSet<String> = ans.answers.iter().cloned().collect();
         if let Some(p) = &prev {
-            assert!(set.is_subset(p), "significant set grew when Θ rose to {theta}");
+            assert!(
+                set.is_subset(p),
+                "significant set grew when Θ rose to {theta}"
+            );
         }
         prev = Some(set);
     }
@@ -115,9 +150,17 @@ fn questions_scale_with_threshold_like_figure_4a() {
     let v = ont.vocab();
     for theta in [0.2, 0.3, 0.4, 0.5] {
         let mut crowd = SimulatedCrowd::new(v, vec![u_avg(&ont, 0)]);
-        let cfg = MiningConfig { threshold: Some(theta), ..Default::default() };
+        let cfg = MiningConfig {
+            threshold: Some(theta),
+            ..Default::default()
+        };
         let ans = engine
-            .execute(figure1::SIMPLE_QUERY, &mut crowd, &FixedSampleAggregator { sample_size: 1 }, &cfg)
+            .execute(
+                figure1::SIMPLE_QUERY,
+                &mut crowd,
+                &FixedSampleAggregator { sample_size: 1 },
+                &cfg,
+            )
             .unwrap();
         assert!(ans.outcome.mining.complete, "Θ={theta} incomplete");
         assert!(ans.outcome.mining.questions > 0);

@@ -1,0 +1,59 @@
+//! `any::<T>()` strategies for primitive types.
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one value from the whole domain.
+    fn draw(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn draw(rng: &mut TestRng) -> Self {
+        rng.gen::<u64>()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn draw(rng: &mut TestRng) -> Self {
+        rng.gen::<u32>()
+    }
+}
+
+impl Arbitrary for usize {
+    fn draw(rng: &mut TestRng) -> Self {
+        rng.gen::<u64>() as usize
+    }
+}
+
+impl Arbitrary for bool {
+    fn draw(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn draw(rng: &mut TestRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(T::draw(rng))
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

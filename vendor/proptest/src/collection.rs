@@ -1,0 +1,26 @@
+//! Collection strategies.
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// A `Vec` whose length is drawn from `len` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejection> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}

@@ -1,0 +1,166 @@
+//! Vendored, dependency-light subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the slice of `proptest` its test suites use: the [`proptest!`]
+//! macro, strategy combinators (`prop_map`, `prop_filter`, `boxed`,
+//! tuples, ranges, [`strategy::Just`], `prop_oneof!`,
+//! [`collection::vec`], [`option::of`], [`arbitrary::any`] and
+//! string-regex strategies for simple character-class patterns), plus the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: failing cases are **not shrunk** — the
+//! failing inputs are printed verbatim — and case generation is
+//! deterministic per test name, so failures always reproduce.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod string;
+
+/// Everything a test module needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Module-style access (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...)` item
+/// becomes a zero-argument test running [`test_runner::Config::cases`]
+/// generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config $cfg; $($rest)*);
+    };
+    (@with_config $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::test_runner::run_cases(
+                    stringify!($name),
+                    &config,
+                    |rng| {
+                        use $crate::strategy::Strategy as _;
+                        $(
+                            let $arg = match ($strat).gen_value(rng) {
+                                Ok(v) => v,
+                                Err(r) => return $crate::test_runner::CaseResult::Reject(r.0),
+                            };
+                        )*
+                        let inputs = format!(
+                            concat!($("  ", stringify!($arg), " = {:?}\n"),*),
+                            $(&$arg),*
+                        );
+                        let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                        match outcome {
+                            Ok(()) => $crate::test_runner::CaseResult::Pass,
+                            Err($crate::test_runner::TestCaseError::Reject(r)) =>
+                                $crate::test_runner::CaseResult::Reject(r),
+                            Err($crate::test_runner::TestCaseError::Fail(msg)) =>
+                                $crate::test_runner::CaseResult::Fail(msg, inputs),
+                        }
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// Fails the current case (without panicking the generator loop) when the
+/// condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (it is regenerated, not counted) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// A uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

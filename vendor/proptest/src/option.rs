@@ -1,0 +1,28 @@
+//! `Option` strategies.
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// `Some(value)` three times out of four, `None` otherwise (matching
+/// upstream's default Some-biased weighting).
+pub fn of<S: Strategy>(value: S) -> OptionStrategy<S> {
+    OptionStrategy { value }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    value: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<Option<S::Value>, Rejection> {
+        if rng.gen_range(0..4usize) == 0 {
+            Ok(None)
+        } else {
+            self.value.gen_value(rng).map(Some)
+        }
+    }
+}

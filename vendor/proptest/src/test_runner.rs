@@ -1,0 +1,116 @@
+//! Case generation and execution.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property failed; the test fails.
+    Fail(String),
+    /// The case was vacuous (`prop_assume!`); it is regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The deterministic generator handed to strategies. Streams are a pure
+/// function of (test name, case number), so failures always reproduce.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Wraps an explicitly seeded generator (used by internal tests).
+    pub fn from_std(rng: StdRng) -> Self {
+        TestRng(rng)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Outcome of one executed case (internal; produced by the `proptest!`
+/// expansion).
+pub enum CaseResult {
+    /// Counted towards the case budget.
+    Pass,
+    /// Regenerated without being counted.
+    Reject(String),
+    /// Fails the test: message plus rendered inputs.
+    Fail(String, String),
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` cases pass, panicking on the first
+/// failure or when rejections overwhelm generation.
+pub fn run_cases(name: &str, config: &Config, mut case: impl FnMut(&mut TestRng) -> CaseResult) {
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = (config.cases as u64).saturating_mul(16).max(1024);
+    let mut stream = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng(StdRng::seed_from_u64(
+            base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ));
+        stream += 1;
+        match case(&mut rng) {
+            CaseResult::Pass => passed += 1,
+            CaseResult::Reject(reason) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases \
+                         ({rejected} rejects for {passed} passes); last reason: {reason}"
+                    );
+                }
+            }
+            CaseResult::Fail(msg, inputs) => {
+                panic!(
+                    "proptest '{name}' failed after {passed} passing case(s)\n\
+                     {msg}\nfailing inputs:\n{inputs}"
+                );
+            }
+        }
+    }
+}
