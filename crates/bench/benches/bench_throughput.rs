@@ -1,0 +1,194 @@
+//! `bench_throughput` — the multi-query throughput harness.
+//!
+//! Runs N OASSIS-QL queries (the travel-domain query at N different
+//! support thresholds) *concurrently* over one shared immutable ontology
+//! and one shared thread-safe `SharedCrowdCache`, at pool widths 1, 2, 4
+//! and 8, and reports queries/second plus the scaling ratio versus the
+//! single-threaded run.
+//!
+//! Determinism is the headline guarantee: the crowd members are *pure*
+//! (rng-free answers), so the outcome digest of all N queries must be
+//! bit-identical at every pool width — the harness **exits non-zero** on
+//! any mismatch, which is what the CI smoke invocation checks.
+//!
+//! Results are merged into `BENCH_speed.json` under `"throughput"`,
+//! alongside the machine's `cores` count (scaling above 1.0 is only
+//! observable with >1 physical cores; the digest check is meaningful
+//! everywhere).
+//!
+//! Usage: `cargo bench -p bench --bench bench_throughput`.
+
+use bench::pure_domain_crowd;
+use oassis_core::{MiningConfig, Oassis, SharedCrowdCache};
+use ontology::domains::{travel, DomainScale};
+use ontology::json::{self, Json};
+use std::time::Instant;
+
+const THRESHOLDS: [f64; 8] = [0.16, 0.18, 0.2, 0.22, 0.24, 0.26, 0.28, 0.3];
+const MEMBERS: usize = 96;
+const HABITS: usize = 10;
+const SEED: u64 = 7;
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn fnv_usize(h: &mut u64, v: usize) {
+    fnv(h, &(v as u64).to_le_bytes());
+}
+
+/// One pool width's worth of numbers.
+struct Run {
+    threads: usize,
+    wall_s: f64,
+    qps: f64,
+    digest: u64,
+}
+
+fn run_at(threads: usize) -> Run {
+    // paper scale: the habit-profile generator's term ranges assume it
+    let domain = travel(DomainScale::paper());
+    let ont = &domain.ontology;
+    let queries: Vec<String> = THRESHOLDS
+        .iter()
+        .map(|t| {
+            domain
+                .query
+                .replace("WITH SUPPORT = 0.2", &format!("WITH SUPPORT = {t}"))
+        })
+        .collect();
+    let query_refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+
+    let engine = Oassis::new(ont).with_pool(minipool::Pool::new(threads));
+    let cache = SharedCrowdCache::default();
+    let agg = bench::paper_aggregator();
+    let cfg = MiningConfig {
+        specialization_ratio: 0.12,
+        seed: SEED,
+        ..Default::default()
+    };
+
+    let start = Instant::now();
+    let answers = engine.execute_concurrent(
+        &query_refs,
+        // every query consults the SAME crowd (same seed): the shared
+        // cache then models re-asking the same people across queries
+        |_| pure_domain_crowd(&domain, ont.vocab(), MEMBERS, HABITS, SEED),
+        &agg,
+        &cfg,
+        &cache,
+    );
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for ans in &answers {
+        let ans = ans.as_ref().expect("throughput query failed");
+        fnv_usize(&mut digest, ans.answers.len());
+        for a in &ans.answers {
+            fnv(&mut digest, a.as_bytes());
+        }
+        fnv_usize(&mut digest, ans.outcome.mining.questions);
+        fnv_usize(&mut digest, ans.outcome.mining.msps.len());
+        fnv_usize(&mut digest, ans.outcome.undecided);
+        fnv_usize(&mut digest, usize::from(ans.outcome.mining.complete));
+        for e in &ans.outcome.mining.events {
+            fnv_usize(&mut digest, e.question);
+            fnv(&mut digest, format!("{:?}", e.kind).as_bytes());
+        }
+    }
+    let qps = THRESHOLDS.len() as f64 / wall_s;
+    println!(
+        "threads={threads}  wall={wall_s:>7.3}s  qps={qps:>6.2}  cache={} answers  digest={digest:016x}",
+        cache.len()
+    );
+    Run {
+        threads,
+        wall_s,
+        qps,
+        digest,
+    }
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "{} queries over the travel domain, {MEMBERS} members, {cores} cores",
+        THRESHOLDS.len()
+    );
+
+    let runs: Vec<Run> = [1usize, 2, 4, 8].into_iter().map(run_at).collect();
+    let reference = runs[0].digest;
+    let identical = runs.iter().all(|r| r.digest == reference);
+    let qps1 = runs[0].qps;
+    for r in &runs {
+        println!(
+            "threads={}: scaling vs 1 thread = {:.2}x",
+            r.threads,
+            r.qps / qps1
+        );
+    }
+    println!(
+        "outcomes across pool widths: {}",
+        if identical {
+            "identical"
+        } else {
+            "DIFFER — parallel engine is not deterministic!"
+        }
+    );
+
+    // merge into BENCH_speed.json under "throughput"
+    let path = workspace_root().join("BENCH_speed.json");
+    let previous = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| json::parse(&s).ok());
+    let mut fields: Vec<(String, Json)> = match previous {
+        Some(Json::Obj(fields)) => fields
+            .into_iter()
+            .filter(|(k, _)| k != "throughput")
+            .collect(),
+        _ => vec![("schema".into(), Json::Num(1.0))],
+    };
+    let per_width = runs
+        .iter()
+        .map(|r| {
+            (
+                r.threads.to_string(),
+                Json::Obj(vec![
+                    ("wall_s".into(), Json::Num((r.wall_s * 1e3).round() / 1e3)),
+                    ("qps".into(), Json::Num((r.qps * 100.0).round() / 100.0)),
+                    (
+                        "scaling_vs_1".into(),
+                        Json::Num((r.qps / qps1 * 100.0).round() / 100.0),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    fields.push((
+        "throughput".into(),
+        Json::Obj(vec![
+            ("queries".into(), Json::Num(THRESHOLDS.len() as f64)),
+            ("members".into(), Json::Num(MEMBERS as f64)),
+            ("cores".into(), Json::Num(cores as f64)),
+            ("threads".into(), Json::Obj(per_width)),
+            ("digest".into(), Json::Str(format!("{reference:016x}"))),
+            ("outcomes_identical".into(), Json::Bool(identical)),
+        ]),
+    ));
+    std::fs::write(&path, format!("{}\n", Json::Obj(fields))).expect("write BENCH_speed.json");
+    println!("wrote {}", path.display());
+
+    if !identical {
+        std::process::exit(1);
+    }
+}

@@ -266,7 +266,35 @@ pub fn run_domain_at(
     habits: usize,
     seed: u64,
 ) -> DomainRun {
-    let base = evaluate_where(bound, ont, MatchMode::Exact);
+    run_domain_at_pool(
+        domain,
+        bound,
+        ont,
+        cache,
+        threshold,
+        members,
+        habits,
+        seed,
+        minipool::Pool::sequential(),
+    )
+}
+
+/// [`run_domain_at`] with an explicit fork-join pool for the mining
+/// engine's data-parallel scans. Outcomes are bit-identical at any pool
+/// width (see `tests/parallel_equivalence.rs`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_domain_at_pool(
+    domain: &GeneratedDomain,
+    bound: &BoundQuery,
+    ont: &Ontology,
+    cache: &mut oassis_core::CrowdCache,
+    threshold: f64,
+    members: usize,
+    habits: usize,
+    seed: u64,
+    pool: minipool::Pool,
+) -> DomainRun {
+    let base = oassis_ql::evaluate_where_pool(bound, ont, MatchMode::Exact, &pool);
     let mut dag = Dag::new(bound, ont.vocab(), &base);
     let crowd = domain_crowd(domain, ont.vocab(), members, habits, seed);
     let mut caching = oassis_core::CachingCrowd::new(crowd, cache);
@@ -274,6 +302,7 @@ pub fn run_domain_at(
         threshold: Some(threshold),
         specialization_ratio: 0.12, // the ratio observed in the paper's crowd
         seed,
+        pool,
         ..Default::default()
     };
     let out: MultiOutcome = run_multi(&mut dag, &mut caching, &paper_aggregator(), &cfg);
@@ -292,6 +321,61 @@ pub fn run_domain_at(
         nodes_materialized: out.mining.nodes_materialized,
         admits_calls: out.mining.gen_stats.admits_calls,
     }
+}
+
+/// FNV-1a digest of a [`DomainRun`]'s mining outcome — the equivalence
+/// currency of the perf harnesses: two runs with equal digests asked the
+/// same questions and reached the same conclusions in the same order.
+pub fn digest_domain_run(run: &DomainRun) -> u64 {
+    fn fnv(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn word(h: &mut u64, v: usize) {
+        fnv(h, &(v as u64).to_le_bytes());
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    word(&mut h, run.questions);
+    word(&mut h, run.msps);
+    word(&mut h, run.valid_msps);
+    word(&mut h, run.undecided);
+    word(&mut h, run.total_valid);
+    word(&mut h, run.nodes_materialized);
+    word(&mut h, usize::from(run.complete));
+    for e in &run.outcome_events {
+        word(&mut h, e.question);
+        fnv(&mut h, format!("{:?}", e.kind).as_bytes());
+    }
+    h
+}
+
+/// A *pure* domain crowd for concurrent workloads: same habit profiles as
+/// [`domain_crowd`] but with default behaviour (no pruning clicks, no
+/// volunteered tips, unbounded sessions) and the rng-free 5-point answer
+/// scale. Such members' answers are pure functions of the question, so a
+/// shared [`oassis_core::SharedCrowdCache`] can absorb any subset of the
+/// questions without altering the remaining answers — the property that
+/// makes concurrent multi-query outcomes independent of scheduling.
+pub fn pure_domain_crowd<'v>(
+    domain: &GeneratedDomain,
+    vocab: &'v ontology::Vocabulary,
+    members: usize,
+    habits: usize,
+    seed: u64,
+) -> SimulatedCrowd<'v> {
+    let profiles = domain_profiles(domain, habits, seed);
+    let cfg = PopulationConfig {
+        members,
+        transactions: (20, 40),
+        behavior: MemberBehavior::default(),
+        answer_model: AnswerModel::Bucketed5,
+        seed,
+        ..Default::default()
+    };
+    let members: Vec<SimulatedMember> = generate(&profiles, &cfg);
+    SimulatedCrowd::new(vocab, members)
 }
 
 /// Fully materializes a domain DAG without multiplicities (the paper's

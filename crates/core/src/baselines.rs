@@ -156,7 +156,7 @@ pub fn run_horizontal<C: CrowdSource>(
     monitor.update(dag, &mut s.cls, s.questions, &mut s.events, &mut msp_ids);
     let complete = s.available
         && !s.exhausted_budget()
-        && crate::vertical::find_minimal_unclassified(dag, &mut s.cls).is_none();
+        && crate::vertical::find_minimal_unclassified(dag, &mut s.cls, &cfg.pool).is_none();
     finish(dag, s, msp_ids, complete)
 }
 

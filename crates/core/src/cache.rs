@@ -14,6 +14,7 @@ use crowd::{Answer, CrowdSource, MemberId, Question};
 use ontology::json::{self, Json, JsonError};
 use ontology::{PatternFact, PatternSet};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// A serializable store of concrete-question answers.
 ///
@@ -300,6 +301,186 @@ impl<C: CrowdSource> CrowdSource for CachingCrowd<'_, C> {
 
     fn questions_asked(&self) -> usize {
         self.asked
+    }
+
+    fn supports_prefetch(&self) -> bool {
+        self.inner.supports_prefetch()
+    }
+
+    fn prefetch(&mut self, batch: &[(MemberId, Question)]) {
+        // cache hits never reach the inner crowd, so speculating on them
+        // would only waste worker time (and be rolled back anyway)
+        let misses: Vec<(MemberId, Question)> = batch
+            .iter()
+            .filter(|(m, q)| match q {
+                Question::Concrete { pattern } => self.cache.get(*m, pattern).is_none(),
+                _ => true,
+            })
+            .cloned()
+            .collect();
+        if !misses.is_empty() {
+            self.inner.prefetch(&misses);
+        }
+    }
+}
+
+/// A thread-safe [`CrowdCache`] for concurrent query execution
+/// ([`Oassis::execute_concurrent`](crate::Oassis::execute_concurrent)):
+/// several queries running on different threads share one answer store, so
+/// a pattern any query already asked a member about is never re-asked.
+///
+/// A single mutex guards the store. Lookups clone the cached answer out
+/// under the lock; the lock is never held across a crowd call, so worker
+/// threads only contend for the duration of a hash-map probe.
+#[derive(Debug, Default)]
+pub struct SharedCrowdCache {
+    inner: Mutex<CrowdCache>,
+}
+
+impl SharedCrowdCache {
+    /// Wraps an existing cache (use `SharedCrowdCache::default()` for an
+    /// empty one).
+    pub fn new(cache: CrowdCache) -> Self {
+        SharedCrowdCache {
+            inner: Mutex::new(cache),
+        }
+    }
+
+    /// Unwraps the inner cache.
+    pub fn into_inner(self) -> CrowdCache {
+        self.inner.into_inner().expect("cache mutex poisoned")
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache mutex poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a cached answer (cloned out under the lock).
+    pub fn get(&self, member: MemberId, pattern: &PatternSet) -> Option<CachedAnswer> {
+        self.inner
+            .lock()
+            .expect("cache mutex poisoned")
+            .get(member, pattern)
+            .cloned()
+    }
+
+    /// Stores an answer.
+    pub fn put(&self, member: MemberId, pattern: PatternSet, answer: CachedAnswer) {
+        self.inner
+            .lock()
+            .expect("cache mutex poisoned")
+            .put(member, pattern, answer)
+    }
+}
+
+/// The [`CachingCrowd`] analogue over a [`SharedCrowdCache`]: consults the
+/// shared store before forwarding to this query's own crowd. Takes `&`
+/// (not `&mut`) to the cache, so any number of concurrent queries can wrap
+/// the same store.
+pub struct SharedCachingCrowd<'c, C> {
+    inner: C,
+    cache: &'c SharedCrowdCache,
+    asked: usize,
+    fresh: usize,
+}
+
+impl<'c, C: CrowdSource> SharedCachingCrowd<'c, C> {
+    /// Wraps `inner` with the shared `cache`.
+    pub fn new(inner: C, cache: &'c SharedCrowdCache) -> Self {
+        SharedCachingCrowd {
+            inner,
+            cache,
+            asked: 0,
+            fresh: 0,
+        }
+    }
+
+    /// Questions that actually reached the inner crowd.
+    pub fn fresh_questions(&self) -> usize {
+        self.fresh
+    }
+
+    /// All questions, including cache hits.
+    pub fn total_questions(&self) -> usize {
+        self.asked
+    }
+
+    /// Unwraps the inner crowd.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: CrowdSource> CrowdSource for SharedCachingCrowd<'_, C> {
+    fn members(&self) -> Vec<MemberId> {
+        self.inner.members()
+    }
+
+    fn ask(&mut self, member: MemberId, question: &Question) -> Answer {
+        self.asked += 1;
+        if let Question::Concrete { pattern } = question {
+            if let Some(hit) = self.cache.get(member, pattern) {
+                return match hit {
+                    CachedAnswer::Support { support, more_tip } => {
+                        Answer::Support { support, more_tip }
+                    }
+                    CachedAnswer::Irrelevant { elem } => Answer::Irrelevant { elem },
+                };
+            }
+            self.fresh += 1;
+            let answer = self.inner.ask(member, question);
+            match &answer {
+                Answer::Support { support, more_tip } => {
+                    self.cache.put(
+                        member,
+                        pattern.clone(),
+                        CachedAnswer::Support {
+                            support: *support,
+                            more_tip: *more_tip,
+                        },
+                    );
+                }
+                Answer::Irrelevant { elem } => {
+                    self.cache.put(
+                        member,
+                        pattern.clone(),
+                        CachedAnswer::Irrelevant { elem: *elem },
+                    );
+                }
+                _ => {}
+            }
+            return answer;
+        }
+        self.fresh += 1;
+        self.inner.ask(member, question)
+    }
+
+    fn questions_asked(&self) -> usize {
+        self.asked
+    }
+
+    fn supports_prefetch(&self) -> bool {
+        self.inner.supports_prefetch()
+    }
+
+    fn prefetch(&mut self, batch: &[(MemberId, Question)]) {
+        let misses: Vec<(MemberId, Question)> = batch
+            .iter()
+            .filter(|(m, q)| match q {
+                Question::Concrete { pattern } => self.cache.get(*m, pattern).is_none(),
+                _ => true,
+            })
+            .cloned()
+            .collect();
+        if !misses.is_empty() {
+            self.inner.prefetch(&misses);
+        }
     }
 }
 

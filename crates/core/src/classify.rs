@@ -43,7 +43,7 @@
 //! code (Unknown results were never cached) and has been removed.
 
 use crate::assignment::{Assignment, Slot};
-use crate::dag::{Dag, NodeId};
+use crate::dag::{Dag, DagView, NodeId};
 use oassis_ql::Value;
 use ontology::{ElemId, Vocabulary};
 
@@ -220,7 +220,23 @@ impl Classifier {
     /// Classifies `id`, using witnesses and pruning records.
     pub fn class(&mut self, dag: &Dag<'_>, id: NodeId) -> Class {
         self.ensure_node(id);
-        match self.cache[id.index()] {
+        let c = self.class_frozen(&dag.view(), id);
+        // Stickiness: the first query's verdict is cached permanently,
+        // exactly as the historical classifier did.
+        if c != Class::Unknown {
+            self.cache[id.index()] = Some(Cached::Queried(c));
+        }
+        c
+    }
+
+    /// Read-only classification: the value [`Self::class`] would return,
+    /// without stamping the query cache. Because `class` is idempotent in
+    /// value (the sticky cache only memoizes, never changes, the verdict
+    /// reachable at query time), interleaving `class_frozen` and `class`
+    /// calls observes identical results — which is what lets parallel
+    /// sweeps share `&Classifier` across `minipool` workers.
+    pub fn class_frozen(&self, dag: &DagView<'_>, id: NodeId) -> Class {
+        match self.cache.get(id.index()).copied().flatten() {
             Some(Cached::Queried(c)) => c,
             Some(Cached::DerivedSig) => {
                 let c = if self.pruned_matches_node(dag, id) {
@@ -228,8 +244,7 @@ impl Classifier {
                 } else {
                     Class::Significant
                 };
-                debug_assert_eq!(c, self.class_by_scan(dag, id));
-                self.cache[id.index()] = Some(Cached::Queried(c));
+                debug_assert_eq!(c, self.class_by_scan_view(dag, id));
                 c
             }
             Some(Cached::DerivedInsig) => {
@@ -240,8 +255,7 @@ impl Classifier {
                 } else {
                     Class::Insignificant
                 };
-                debug_assert_eq!(c, self.class_by_scan(dag, id));
-                self.cache[id.index()] = Some(Cached::Queried(c));
+                debug_assert_eq!(c, self.class_by_scan_view(dag, id));
                 c
             }
             None => {
@@ -254,10 +268,7 @@ impl Classifier {
                 } else {
                     Class::Unknown
                 };
-                debug_assert_eq!(c, self.class_by_scan(dag, id));
-                if c != Class::Unknown {
-                    self.cache[id.index()] = Some(Cached::Queried(c));
-                }
+                debug_assert_eq!(c, self.class_by_scan_view(dag, id));
                 c
             }
         }
@@ -268,7 +279,7 @@ impl Classifier {
     /// be set in `F(w)`, so the posting list of any one value bit is a
     /// complete candidate set — verify the shortest. An empty posting
     /// for any value bit refutes all witnesses at once.
-    fn sig_hit(&self, dag: &Dag<'_>, id: NodeId) -> bool {
+    fn sig_hit(&self, dag: &DagView<'_>, id: NodeId) -> bool {
         if self.sig_witnesses.is_empty() {
             return false;
         }
@@ -301,7 +312,7 @@ impl Classifier {
     /// F(id)` puts `w`'s first value bit inside `F(id)`, so walking the
     /// set bits of `F(id)` over the postings covers all candidates;
     /// valueless witnesses are kept aside and always checked.
-    fn insig_hit(&self, dag: &Dag<'_>, id: NodeId) -> bool {
+    fn insig_hit(&self, dag: &DagView<'_>, id: NodeId) -> bool {
         if self.insig_witnesses.is_empty() {
             return false;
         }
@@ -326,7 +337,7 @@ impl Classifier {
     /// ancestor of `e`, i.e. a set bit in the elem region of the node's
     /// fingerprint — one word-AND per slot. MORE-fact components are
     /// checked against the vocabulary's ancestor rows directly.
-    fn pruned_matches_node(&self, dag: &Dag<'_>, id: NodeId) -> bool {
+    fn pruned_matches_node(&self, dag: &DagView<'_>, id: NodeId) -> bool {
         if self.pruned_elems.is_empty() {
             return false;
         }
@@ -351,6 +362,11 @@ impl Classifier {
     /// reference for the property tests). Computes from scratch; no
     /// caching.
     pub fn class_by_scan(&self, dag: &Dag<'_>, id: NodeId) -> Class {
+        self.class_by_scan_view(&dag.view(), id)
+    }
+
+    /// [`Self::class_by_scan`] over a [`DagView`].
+    fn class_by_scan_view(&self, dag: &DagView<'_>, id: NodeId) -> Class {
         let a = &dag.node(id).assignment;
         let vocab = dag.vocab();
         if self.pruned_matches(vocab, a) {

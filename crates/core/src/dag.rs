@@ -200,29 +200,23 @@ impl<'a> Dag<'a> {
     /// subset test on the slot fingerprints, then the exact MORE-fact
     /// condition (facts are not fingerprinted).
     pub fn leq(&self, a: NodeId, b: NodeId) -> bool {
-        if a == b {
-            return true;
-        }
-        let res = self.fp_summaries[a.index()] & !self.fp_summaries[b.index()] == 0
-            && fingerprint::subset(self.fp_words(a), self.fp_words(b))
-            && self.more_leq(a, b);
-        debug_assert_eq!(
-            res,
-            self.nodes[a.index()]
-                .assignment
-                .leq(self.vocab, &self.nodes[b.index()].assignment)
-        );
-        res
+        self.view().leq(a, b)
     }
 
-    fn more_leq(&self, a: NodeId, b: NodeId) -> bool {
-        let am = self.nodes[a.index()].assignment.more();
-        if am.is_empty() {
-            return true;
+    /// A read-only, [`Sync`] snapshot of the materialized DAG state for
+    /// cross-thread scans. The view borrows only the interior-mutability-free
+    /// parts of the DAG (nodes, fingerprints, vocabulary) — everything the
+    /// order tests and classification lookups need — and deliberately
+    /// excludes the memoized [`ValidityIndex`] caches, which is why child
+    /// *generation* stays on the owning thread.
+    pub fn view(&self) -> DagView<'_> {
+        DagView {
+            vocab: self.vocab,
+            nodes: &self.nodes,
+            fp_space: &self.fp_space,
+            fps: &self.fps,
+            fp_summaries: &self.fp_summaries,
         }
-        let bm = self.nodes[b.index()].assignment.more();
-        am.iter()
-            .all(|&f| bm.iter().any(|&g| self.vocab.fact_leq(f, g)))
     }
 
     fn make_roots(&mut self) {
@@ -482,6 +476,94 @@ impl<'a> Dag<'a> {
             cursor += 1;
         }
         self.nodes.len()
+    }
+}
+
+/// A read-only view of a [`Dag`]'s materialized nodes and fingerprints.
+///
+/// Unlike `&Dag`, a `DagView` is [`Sync`]: it borrows none of the DAG's
+/// generation-side scratch or the validity index's memoization cells, so
+/// it can be shared freely across `minipool` workers for order tests and
+/// frozen classification sweeps. It cannot expand nodes — materialization
+/// is sequential by design (interning and the validity oracle are serial).
+#[derive(Clone, Copy)]
+pub struct DagView<'d> {
+    vocab: &'d Vocabulary,
+    nodes: &'d [Node],
+    fp_space: &'d FingerprintSpace,
+    fps: &'d [u64],
+    fp_summaries: &'d [u64],
+}
+
+impl<'d> DagView<'d> {
+    /// The vocabulary.
+    pub fn vocab(&self) -> &'d Vocabulary {
+        self.vocab
+    }
+
+    /// A materialized node.
+    pub fn node(&self, id: NodeId) -> &'d Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of materialized nodes in the underlying DAG at view time.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the view covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All node ids covered by this view.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The fingerprint bit layout.
+    pub fn fp_space(&self) -> &'d FingerprintSpace {
+        self.fp_space
+    }
+
+    /// The closure fingerprint of a node.
+    #[inline]
+    pub fn fp_words(&self, id: NodeId) -> &'d [u64] {
+        let w = self.fp_space.words_per_node();
+        &self.fps[id.index() * w..(id.index() + 1) * w]
+    }
+
+    /// The one-word fingerprint summary of a node.
+    #[inline]
+    pub fn fp_summary(&self, id: NodeId) -> u64 {
+        self.fp_summaries[id.index()]
+    }
+
+    /// `a ≤ b`; same test as [`Dag::leq`] (which delegates here).
+    pub fn leq(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        let res = self.fp_summaries[a.index()] & !self.fp_summaries[b.index()] == 0
+            && fingerprint::subset(self.fp_words(a), self.fp_words(b))
+            && self.more_leq(a, b);
+        debug_assert_eq!(
+            res,
+            self.nodes[a.index()]
+                .assignment
+                .leq(self.vocab, &self.nodes[b.index()].assignment)
+        );
+        res
+    }
+
+    fn more_leq(&self, a: NodeId, b: NodeId) -> bool {
+        let am = self.nodes[a.index()].assignment.more();
+        if am.is_empty() {
+            return true;
+        }
+        let bm = self.nodes[b.index()].assignment.more();
+        am.iter()
+            .all(|&f| bm.iter().any(|&g| self.vocab.fact_leq(f, g)))
     }
 }
 

@@ -6,6 +6,7 @@
 //! AssignGenerator → QueueManager → CrowdCache).
 
 use crate::aggregate::Aggregator;
+use crate::cache::{SharedCachingCrowd, SharedCrowdCache};
 use crate::dag::Dag;
 use crate::diversify::diversify;
 use crate::multi::{run_multi, MultiOutcome};
@@ -13,7 +14,7 @@ use crate::rulemine::{run_rules, RuleMiningConfig, RuleOutcome};
 use crate::templates::QuestionTemplates;
 use crate::vertical::MiningConfig;
 use crowd::CrowdSource;
-use oassis_ql::{bind, evaluate_where, parse, BoundQuery, MatchMode, OutputFormat, QlError};
+use oassis_ql::{bind, evaluate_where_pool, parse, BoundQuery, MatchMode, OutputFormat, QlError};
 use ontology::Ontology;
 
 /// The OASSIS engine over one ontology.
@@ -21,6 +22,7 @@ pub struct Oassis<'o> {
     ont: &'o Ontology,
     match_mode: MatchMode,
     templates: QuestionTemplates,
+    pool: minipool::Pool,
 }
 
 /// The answer to an OASSIS-QL query.
@@ -42,12 +44,22 @@ impl<'o> Oassis<'o> {
             ont,
             match_mode: MatchMode::Exact,
             templates: QuestionTemplates::new(),
+            pool: minipool::Pool::sequential(),
         }
     }
 
     /// Switches the WHERE match mode.
     pub fn with_match_mode(mut self, mode: MatchMode) -> Self {
         self.match_mode = mode;
+        self
+    }
+
+    /// Installs a fork-join pool. [`Self::execute`] uses it for WHERE
+    /// evaluation; [`Self::execute_concurrent`] uses it to run whole
+    /// queries on parallel threads. Answers are bit-identical at any pool
+    /// width.
+    pub fn with_pool(mut self, pool: minipool::Pool) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -99,7 +111,7 @@ impl<'o> Oassis<'o> {
                 "query has an IMPLYING clause; use execute_rules".into(),
             ));
         }
-        let base = evaluate_where(&bound, self.ont, self.match_mode);
+        let base = evaluate_where_pool(&bound, self.ont, self.match_mode, &self.pool);
         let mut dag = Dag::new(&bound, self.ont.vocab(), &base);
         let outcome = run_multi(&mut dag, crowd, aggregator, cfg);
         let vocab = self.ont.vocab();
@@ -125,6 +137,51 @@ impl<'o> Oassis<'o> {
         Ok(QueryAnswer { answers, outcome })
     }
 
+    /// Executes `queries` concurrently over this engine's shared ontology,
+    /// one query per pool slot, all consulting (and filling) one shared
+    /// [`SharedCrowdCache`]. `make_crowd(i)` builds the `i`-th query's
+    /// crowd on whichever worker thread picks it up.
+    ///
+    /// Results come back in query order regardless of which thread ran
+    /// what. Each query's mining outcome depends only on its own crowd and
+    /// the crowd's answers, never on scheduling — provided the crowd
+    /// members are *pure* (their answers don't depend on how many
+    /// questions the shared cache absorbed; e.g. [`crowd::AnswerModel::Exact`]
+    /// or [`crowd::AnswerModel::Bucketed5`] members with default
+    /// behavior). With such crowds the answer set at any thread count is
+    /// bit-identical to running the queries one after another.
+    pub fn execute_concurrent<C, A, F>(
+        &self,
+        queries: &[&str],
+        make_crowd: F,
+        aggregator: &A,
+        cfg: &MiningConfig,
+        cache: &SharedCrowdCache,
+    ) -> Vec<Result<QueryAnswer, QlError>>
+    where
+        C: CrowdSource,
+        A: Aggregator + Sync,
+        F: Fn(usize) -> C + Sync,
+    {
+        let indices: Vec<usize> = (0..queries.len()).collect();
+        self.pool.par_map(&indices, |&i| {
+            let mut crowd = SharedCachingCrowd::new(make_crowd(i), cache);
+            // each query mines with a sequential inner pool: the
+            // parallelism budget is already spent at the query level
+            let query_cfg = MiningConfig {
+                pool: minipool::Pool::sequential(),
+                ..cfg.clone()
+            };
+            let engine = Oassis {
+                ont: self.ont,
+                match_mode: self.match_mode,
+                templates: QuestionTemplates::new(),
+                pool: minipool::Pool::sequential(),
+            };
+            engine.execute(queries[i], &mut crowd, aggregator, &query_cfg)
+        })
+    }
+
     /// Executes an association-rule query (one with `IMPLYING … AND
     /// CONFIDENCE`). Answers render as `body ⇒ head (supp, conf)`.
     pub fn execute_rules<C: CrowdSource>(
@@ -134,7 +191,7 @@ impl<'o> Oassis<'o> {
         cfg: &RuleMiningConfig,
     ) -> Result<RuleAnswer, QlError> {
         let bound = self.prepare(src)?;
-        let base = evaluate_where(&bound, self.ont, self.match_mode);
+        let base = evaluate_where_pool(&bound, self.ont, self.match_mode, &self.pool);
         let mut dag = Dag::new(&bound, self.ont.vocab(), &base);
         let outcome = run_rules(&mut dag, crowd, cfg)?;
         let vocab = self.ont.vocab();

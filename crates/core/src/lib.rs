@@ -49,7 +49,7 @@ pub use aggregate::{
 };
 pub use assignment::{Assignment, Slot};
 pub use baselines::{baseline_question_count, run_horizontal, run_naive};
-pub use cache::{CachingCrowd, CrowdCache};
+pub use cache::{CachingCrowd, CrowdCache, SharedCachingCrowd, SharedCrowdCache};
 pub use classify::{Class, Classifier};
 pub use dag::{Dag, GenStats, Node, NodeId};
 pub use diversify::{diversify, semantic_distance};

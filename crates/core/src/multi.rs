@@ -123,7 +123,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut global = Classifier::new();
     let mut answers: HashMap<NodeId, Vec<(MemberId, f64)>> = HashMap::new();
-    let mut tracker = ValidTracker::new(dag);
+    let mut tracker = ValidTracker::new(dag).with_pool(cfg.pool);
     let mut events: Vec<DiscoveryEvent> = Vec::new();
     let mut monitor = MspMonitor::new();
     let mut msp_ids: Vec<NodeId> = Vec::new();
@@ -153,8 +153,21 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
         })
         .collect();
     let mut per_member: Vec<usize> = vec![0; members.len()];
+    let speculate = crowd.supports_prefetch();
 
     'outer: loop {
+        // Speculative execution against concurrent crowds: predict each
+        // member's next question with a read-only emulation of the round
+        // and hand the batch to the source, which computes the answers on
+        // the worker threads while this coordinator thread is busy with
+        // other members. Predictions are best-effort — the source rolls
+        // back any mismatch — so outcomes are bit-identical either way.
+        if speculate {
+            let batch = predict_round(dag, &global, &members, &rng, cfg, questions);
+            if !batch.is_empty() {
+                crowd.prefetch(&batch);
+            }
+        }
         let mut asked_this_round = 0usize;
         for mi in 0..members.len() {
             if cfg.max_questions.is_some_and(|m| questions >= m) {
@@ -209,6 +222,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                     crowd,
                     aggregator,
                     threshold,
+                    &cfg.pool,
                     &mut members[mi],
                     target,
                     &mut answers,
@@ -259,12 +273,20 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
     // The completeness check expands the remaining significant frontier,
     // which may generate children that are classified purely by inference;
     // a final monitor sweep then confirms the last MSPs.
-    let complete = crate::vertical::find_minimal_unclassified(dag, &mut global).is_none();
+    let complete =
+        crate::vertical::find_minimal_unclassified(dag, &mut global, &cfg.pool).is_none();
     monitor.update(dag, &mut global, questions, &mut events, &mut msp_ids);
-    let undecided = dag
-        .node_ids()
-        .filter(|&i| global.class(dag, i) == Class::Unknown)
-        .count();
+    let undecided = {
+        // frozen sweep: no classification changes past this point, so the
+        // count shards over the read-only view
+        let view = dag.view();
+        let ids: Vec<NodeId> = dag.node_ids().collect();
+        cfg.pool
+            .par_map(&ids, |&i| global.class_frozen(&view, i) == Class::Unknown)
+            .into_iter()
+            .filter(|&u| u)
+            .count()
+    };
     let msps: Vec<crate::Assignment> = msp_ids
         .iter()
         .map(|&i| dag.node(i).assignment.clone())
@@ -274,7 +296,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
         .filter(|&&i| dag.node(i).valid)
         .map(|&i| dag.node(i).assignment.clone())
         .collect();
-    let significant_valid = crate::vertical::significant_valid_assignments(dag, &mut global);
+    let significant_valid = crate::vertical::significant_valid_assignments(dag, &global, &cfg.pool);
     let total_valid = tracker.len();
     let valid_mult_nodes = dag
         .node_ids()
@@ -297,6 +319,131 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
         answers_per_member: per_member,
         undecided,
     }
+}
+
+/// What a read-only emulation of [`next_target`] could determine.
+enum Peek {
+    /// The member's next question target.
+    Target(NodeId),
+    /// The member's frontier is exhausted — no question this round.
+    Nothing,
+    /// The emulation hit a significant node whose children are not yet
+    /// generated: the real traversal will mutate the DAG there, so the
+    /// target (for this and every later member) cannot be predicted.
+    Unpredictable,
+}
+
+/// Read-only emulation of [`next_target`]: walks the member's queues
+/// without popping, descends through significant nodes via a *virtual*
+/// descended-set, and never generates children. Value-equivalent to the
+/// real traversal whenever it returns [`Peek::Target`] and the global
+/// state does not change before the member's real turn; any divergence
+/// only costs a rolled-back speculation.
+fn peek_target(view: &crate::dag::DagView<'_>, global: &Classifier, m: &MemberState) -> Peek {
+    let mut virt_descended: HashSet<NodeId> = HashSet::new();
+    for hot in [true, false] {
+        let queue = if hot { &m.hot } else { &m.cold };
+        let mut extra: Vec<NodeId> = Vec::new();
+        let mut i = 0usize;
+        loop {
+            let id = if i < queue.len() {
+                queue[i]
+            } else if let Some(&e) = extra.get(i - queue.len()) {
+                e
+            } else {
+                break;
+            };
+            i += 1;
+            match global.class_frozen(view, id) {
+                Class::Insignificant => continue,
+                Class::Significant => {
+                    if !m.descended.contains(&id) && virt_descended.insert(id) {
+                        match view.node(id).children_if_generated() {
+                            Some(children) => extra.extend_from_slice(children),
+                            None => return Peek::Unpredictable,
+                        }
+                    }
+                    continue;
+                }
+                Class::Unknown => {}
+            }
+            if m.personal.class_frozen(view, id) == Class::Insignificant {
+                continue;
+            }
+            if m.answered.contains(&id) {
+                continue;
+            }
+            return Peek::Target(id);
+        }
+    }
+    Peek::Nothing
+}
+
+/// Predicts the questions the coming round will ask — one per member at
+/// most — by replaying the round's policy against a *clone* of the policy
+/// RNG and frozen classifier reads. The real RNG and all engine state are
+/// untouched; a wrong guess is rolled back by the crowd source.
+fn predict_round(
+    dag: &Dag<'_>,
+    global: &Classifier,
+    members: &[MemberState],
+    policy_rng: &StdRng,
+    cfg: &MiningConfig,
+    questions: usize,
+) -> Vec<(MemberId, Question)> {
+    let view = dag.view();
+    let mut rng = policy_rng.clone();
+    let mut batch: Vec<(MemberId, Question)> = Vec::new();
+    for m in members {
+        if cfg.max_questions.is_some_and(|mx| questions >= mx) {
+            break;
+        }
+        if !m.active {
+            continue;
+        }
+        let target = match peek_target(&view, global, m) {
+            Peek::Target(t) => t,
+            Peek::Nothing => continue,
+            // past this point the cloned RNG can no longer stay aligned
+            // with the real policy draws — stop predicting this round
+            Peek::Unpredictable => break,
+        };
+        let mut question: Option<Question> = None;
+        if cfg.specialization_ratio > 0.0 && rng.gen_bool(cfg.specialization_ratio) {
+            match view.node(target).children_if_generated() {
+                Some(children) => {
+                    let options: Vec<NodeId> = children
+                        .iter()
+                        .copied()
+                        .filter(|&c| {
+                            global.class_frozen(&view, c) == Class::Unknown
+                                && !m.answered.contains(&c)
+                                && m.personal.class_frozen(&view, c) != Class::Insignificant
+                        })
+                        .take(cfg.max_spec_options)
+                        .collect();
+                    if !options.is_empty() {
+                        question = Some(Question::Specialization {
+                            base: view.node(target).assignment.apply(dag.query()),
+                            options: options
+                                .iter()
+                                .map(|&o| view.node(o).assignment.apply(dag.query()))
+                                .collect(),
+                        });
+                    }
+                }
+                // the engine will generate these children on the member's
+                // real turn; the offered options can't be predicted (the
+                // RNG draw above still mirrors the real loop's draw)
+                None => continue,
+            }
+        }
+        let question = question.unwrap_or_else(|| Question::Concrete {
+            pattern: view.node(target).assignment.apply(dag.query()),
+        });
+        batch.push((m.id, question));
+    }
+    batch
 }
 
 /// Finds the member's next question by draining their pending frontier:
@@ -385,6 +532,7 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
     crowd: &mut C,
     aggregator: &A,
     threshold: f64,
+    pool: &minipool::Pool,
     m: &mut MemberState,
     target: NodeId,
     answers: &mut HashMap<NodeId, Vec<(MemberId, f64)>>,
@@ -443,23 +591,30 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
             // specialization of `elem` in some slot exactly when `elem`'s
             // bit is set in that slot's ancestor-closure fingerprint, so
             // the per-node test is one bit probe per slot.
-            let vocab = dag.vocab();
-            let space = dag.fp_space();
-            let wps = space.words_per_slot();
-            let ebit_word = elem.index() / 64;
-            let ebit_mask = 1u64 << (elem.index() % 64);
-            let affected: Vec<NodeId> = dag
-                .node_ids()
-                .filter(|&id| {
-                    let words = dag.fp_words(id);
+            let affected: Vec<NodeId> = {
+                // the per-node probe is a pure read — shard it across the
+                // pool and merge the hits back in node-id order
+                let view = dag.view();
+                let vocab = view.vocab();
+                let space = view.fp_space();
+                let wps = space.words_per_slot();
+                let ebit_word = elem.index() / 64;
+                let ebit_mask = 1u64 << (elem.index() % 64);
+                let ids: Vec<NodeId> = view.node_ids().collect();
+                let hits = pool.par_map(&ids, |&id| {
+                    let words = view.fp_words(id);
                     let hit_value = (0..space.num_slots())
                         .any(|si| words[si * wps + ebit_word] & ebit_mask != 0);
                     hit_value
-                        || dag.node(id).assignment.more().iter().any(|f| {
+                        || view.node(id).assignment.more().iter().any(|f| {
                             vocab.elem_leq(elem, f.subject) || vocab.elem_leq(elem, f.object)
                         })
-                })
-                .collect();
+                });
+                ids.into_iter()
+                    .zip(hits)
+                    .filter_map(|(id, hit)| hit.then_some(id))
+                    .collect()
+            };
             for id in affected {
                 if m.answered.insert(id) {
                     record_answer(

@@ -110,6 +110,9 @@ pub fn run_rules<C: CrowdSource>(
         ));
     }
     let panel: Vec<MemberId> = members.into_iter().take(cfg.panel_size.max(1)).collect();
+    // rule mining is panel-bounded and never the throughput bottleneck;
+    // keep its minimality checks on the sequential path
+    let pool = minipool::Pool::sequential();
 
     let mut state = RuleState {
         cls: Classifier::new(),
@@ -124,7 +127,8 @@ pub fn run_rules<C: CrowdSource>(
         if state.out_of_budget() {
             break;
         }
-        let Some(mut phi) = crate::vertical::find_minimal_unclassified(dag, &mut state.cls) else {
+        let Some(mut phi) = crate::vertical::find_minimal_unclassified(dag, &mut state.cls, &pool)
+        else {
             break;
         };
         if !state.ask_support(dag, crowd, &panel, phi, theta) {
@@ -157,7 +161,7 @@ pub fn run_rules<C: CrowdSource>(
         }
     }
     let complete = !state.out_of_budget()
-        && crate::vertical::find_minimal_unclassified(dag, &mut state.cls).is_none();
+        && crate::vertical::find_minimal_unclassified(dag, &mut state.cls, &pool).is_none();
 
     // ---- phase 2: confidence sweep over the support-significant region ----
     let mut sig_nodes: Vec<NodeId> = Vec::new();

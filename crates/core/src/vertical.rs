@@ -37,6 +37,11 @@ pub struct MiningConfig {
     /// Stop after this many answered questions (`None` = run to
     /// completion).
     pub max_questions: Option<usize>,
+    /// Fork-join pool for the engine's data-parallel scans (pruning-cone
+    /// sweeps, witness verification, final classification sweeps). The
+    /// default is sequential; any width produces bit-identical outcomes —
+    /// every parallel phase is a pure map merged in input order.
+    pub pool: minipool::Pool,
 }
 
 impl Default for MiningConfig {
@@ -47,6 +52,7 @@ impl Default for MiningConfig {
             max_spec_options: 8,
             seed: 0,
             max_questions: None,
+            pool: minipool::Pool::sequential(),
         }
     }
 }
@@ -141,6 +147,8 @@ pub(crate) struct ValidTracker {
     buckets_first: Vec<Vec<u32>>,
     /// Any value bit → bases holding it (each base once per slot).
     buckets_all: Vec<Vec<u32>>,
+    /// Pool for sharded candidate verification (sequential by default).
+    pool: minipool::Pool,
 }
 
 impl ValidTracker {
@@ -176,7 +184,17 @@ impl ValidTracker {
             empty_bases,
             buckets_first,
             buckets_all,
+            pool: minipool::Pool::sequential(),
         }
+    }
+
+    /// Shards candidate verification across `pool` (shard-and-merge: the
+    /// pure hit tests run in parallel, the marks are applied sequentially
+    /// in candidate order — the classified set is order-insensitive
+    /// anyway, since `mark` is idempotent and commutative).
+    pub fn with_pool(mut self, pool: minipool::Pool) -> Self {
+        self.pool = pool;
+        self
     }
 
     #[inline]
@@ -197,15 +215,41 @@ impl ValidTracker {
             // bases a ≤ w: no MORE facts and singleton slots, so the
             // condition is exactly "every base value bit is set in F(w)"
             let words = dag.fp_words(w);
-            for bit in crate::fingerprint::iter_bits(words) {
-                for bi in 0..self.buckets_first[bit].len() {
-                    let i = self.buckets_first[bit][bi] as usize;
-                    if !self.classified[i]
-                        && self.base_bits[i]
+            if self.pool.threads() > 1 {
+                // Shard-and-merge: every base hits at most one first-bit
+                // bucket, so the candidate list is duplicate-free and the
+                // subset tests are independent pure reads; marks are
+                // applied afterwards in candidate order.
+                let mut candidates: Vec<u32> = Vec::new();
+                for bit in crate::fingerprint::iter_bits(words) {
+                    candidates.extend(
+                        self.buckets_first[bit]
                             .iter()
-                            .all(|&b| word_bit(words, b as usize))
-                    {
-                        changed |= self.mark(i);
+                            .copied()
+                            .filter(|&i| !self.classified[i as usize]),
+                    );
+                }
+                let hits = self.pool.par_map(&candidates, |&i| {
+                    self.base_bits[i as usize]
+                        .iter()
+                        .all(|&b| word_bit(words, b as usize))
+                });
+                for (&i, hit) in candidates.iter().zip(hits) {
+                    if hit {
+                        changed |= self.mark(i as usize);
+                    }
+                }
+            } else {
+                for bit in crate::fingerprint::iter_bits(words) {
+                    for bi in 0..self.buckets_first[bit].len() {
+                        let i = self.buckets_first[bit][bi] as usize;
+                        if !self.classified[i]
+                            && self.base_bits[i]
+                                .iter()
+                                .all(|&b| word_bit(words, b as usize))
+                        {
+                            changed |= self.mark(i);
+                        }
                     }
                 }
             }
@@ -256,10 +300,25 @@ impl ValidTracker {
                     }
                 }
             }
-            for i in candidates {
-                let i = i as usize;
-                if !self.classified[i] && assignment.leq(vocab, &self.assignments[i]) {
-                    changed |= self.mark(i);
+            if self.pool.threads() > 1 {
+                // `buckets_all` may list a base once per slot; duplicate
+                // candidates verify to the same verdict and `mark` is
+                // idempotent, so the classified set is unchanged.
+                let hits = self.pool.par_map(&candidates, |&i| {
+                    let i = i as usize;
+                    !self.classified[i] && assignment.leq(vocab, &self.assignments[i])
+                });
+                for (&i, hit) in candidates.iter().zip(hits) {
+                    if hit {
+                        changed |= self.mark(i as usize);
+                    }
+                }
+            } else {
+                for i in candidates {
+                    let i = i as usize;
+                    if !self.classified[i] && assignment.leq(vocab, &self.assignments[i]) {
+                        changed |= self.mark(i);
+                    }
                 }
             }
         }
@@ -308,7 +367,7 @@ pub fn run_vertical<C: CrowdSource>(
         rng: StdRng::seed_from_u64(cfg.seed),
         questions: 0,
         events: Vec::new(),
-        tracker: ValidTracker::new(dag),
+        tracker: ValidTracker::new(dag).with_pool(cfg.pool),
         available: true,
         threshold,
         cfg,
@@ -320,7 +379,7 @@ pub fn run_vertical<C: CrowdSource>(
         if s.exhausted() {
             break;
         }
-        let Some(mut phi) = find_minimal_unclassified(dag, &mut s.cls) else {
+        let Some(mut phi) = find_minimal_unclassified(dag, &mut s.cls, &cfg.pool) else {
             break;
         };
         if !s.ask_concrete(dag, crowd, member, phi) {
@@ -396,13 +455,13 @@ pub fn run_vertical<C: CrowdSource>(
 
     let complete = s.available
         && !s.exhausted_budget()
-        && find_minimal_unclassified(dag, &mut s.cls).is_none();
+        && find_minimal_unclassified(dag, &mut s.cls, &cfg.pool).is_none();
     finish(dag, s, msp_ids, complete)
 }
 
 pub(crate) fn finish(
     dag: &mut Dag<'_>,
-    mut s: Session<'_>,
+    s: Session<'_>,
     msp_ids: Vec<NodeId>,
     complete: bool,
 ) -> MiningOutcome {
@@ -415,7 +474,7 @@ pub(crate) fn finish(
         .filter(|&&id| dag.node(id).valid)
         .map(|&id| dag.node(id).assignment.clone())
         .collect();
-    let significant_valid = significant_valid_assignments(dag, &mut s.cls);
+    let significant_valid = significant_valid_assignments(dag, &s.cls, &s.cfg.pool);
     let total_valid = s.tracker.len();
     let valid_mult_nodes = dag
         .node_ids()
@@ -436,15 +495,25 @@ pub(crate) fn finish(
 }
 
 /// All materialized valid assignments classified significant.
+///
+/// A read-only frozen sweep: classification goes through
+/// [`Classifier::class_frozen`] over a [`Dag::view`], which is
+/// value-identical to `class` but never stamps the sticky cache, so the
+/// scan shards freely across `pool` and merges in node-id order.
 pub(crate) fn significant_valid_assignments(
-    dag: &mut Dag<'_>,
-    cls: &mut Classifier,
+    dag: &Dag<'_>,
+    cls: &Classifier,
+    pool: &minipool::Pool,
 ) -> Vec<Assignment> {
-    dag.node_ids()
-        .collect::<Vec<_>>()
-        .into_iter()
-        .filter(|&id| dag.node(id).valid && cls.class(dag, id) == Class::Significant)
-        .map(|id| dag.node(id).assignment.clone())
+    let view = dag.view();
+    let ids: Vec<NodeId> = dag.node_ids().collect();
+    let hits = pool.par_map(&ids, |&id| {
+        view.node(id).valid && cls.class_frozen(&view, id) == Class::Significant
+    });
+    ids.into_iter()
+        .zip(hits)
+        .filter(|&(_, hit)| hit)
+        .map(|(id, _)| dag.node(id).assignment.clone())
         .collect()
 }
 
@@ -603,7 +672,11 @@ impl Session<'_> {
 /// through expanded significant nodes, then pick a ≤-minimal candidate.
 /// Children of insignificant nodes are skipped — they are classified by
 /// inference and need never be materialized.
-pub(crate) fn find_minimal_unclassified(dag: &mut Dag<'_>, cls: &mut Classifier) -> Option<NodeId> {
+pub(crate) fn find_minimal_unclassified(
+    dag: &mut Dag<'_>,
+    cls: &mut Classifier,
+    pool: &minipool::Pool,
+) -> Option<NodeId> {
     let mut candidates: Vec<NodeId> = Vec::new();
     let mut seen: HashSet<NodeId> = HashSet::new();
     let mut stack: Vec<NodeId> = dag.roots().to_vec();
@@ -621,17 +694,32 @@ pub(crate) fn find_minimal_unclassified(dag: &mut Dag<'_>, cls: &mut Classifier)
             Class::Insignificant => {}
         }
     }
-    // minimal element among candidates
-    let mut best: Option<NodeId> = None;
-    'cand: for &c in &candidates {
-        for &d in &candidates {
-            if d != c && dag.leq(d, c) {
-                continue 'cand;
+    // Minimal element among candidates. The parallel path computes the
+    // dominated flag of every candidate and takes the first undominated
+    // one — the same node the sequential early-exit scan returns, since
+    // both walk `candidates` in push order.
+    let best: Option<NodeId> = if pool.threads() > 1 && candidates.len() >= 32 {
+        let view = dag.view();
+        let dominated = pool.par_map(&candidates, |&c| {
+            candidates.iter().any(|&d| d != c && view.leq(d, c))
+        });
+        candidates
+            .iter()
+            .zip(&dominated)
+            .find_map(|(&c, &dom)| (!dom).then_some(c))
+    } else {
+        let mut best: Option<NodeId> = None;
+        'cand: for &c in &candidates {
+            for &d in &candidates {
+                if d != c && dag.leq(d, c) {
+                    continue 'cand;
+                }
             }
+            best = Some(c);
+            break;
         }
-        best = Some(c);
-        break;
-    }
+        best
+    };
     best.or_else(|| candidates.first().copied())
 }
 

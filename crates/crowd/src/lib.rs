@@ -44,6 +44,6 @@ mod question;
 
 pub use answer_model::AnswerModel;
 pub use db::PersonalDb;
-pub use member::{MemberBehavior, SimulatedCrowd, SimulatedMember};
+pub use member::{MemberBehavior, SessionSnapshot, SimulatedCrowd, SimulatedMember};
 pub use parallel::{with_parallel_crowd, ParallelHandle};
 pub use question::{Answer, CrowdSource, MemberId, Question};

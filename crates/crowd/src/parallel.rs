@@ -17,7 +17,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
-type Job = (Question, Sender<Answer>);
+/// A unit of work for a member worker. The question travels as an
+/// [`Arc`] so a batch fan-out allocates it once, not once per member.
+enum Job {
+    /// A real question; the answer is sent back on the channel.
+    Ask(Arc<Question>, Sender<Answer>),
+    /// A speculative question (engine prediction): the worker answers it
+    /// *now*, keeps the result pending, and rolls the member's session
+    /// state back unless the next `Ask` matches.
+    Speculate(Arc<Question>),
+}
 
 /// A live handle to the member worker threads. Created by
 /// [`with_parallel_crowd`]; valid only inside its closure.
@@ -28,14 +37,16 @@ pub struct ParallelHandle {
 
 impl ParallelHandle {
     /// Fans `question` out to `members` concurrently and collects their
-    /// answers in member order.
+    /// answers in member order. The question is cloned once per batch and
+    /// shared across the workers via [`Arc`].
     pub fn ask_batch(&mut self, members: &[MemberId], question: &Question) -> Vec<Answer> {
+        let shared = Arc::new(question.clone());
         let receivers: Vec<Receiver<Answer>> = members
             .iter()
             .map(|m| {
                 let (tx, rx) = channel();
                 self.senders[m.index()]
-                    .send((question.clone(), tx))
+                    .send(Job::Ask(Arc::clone(&shared), tx))
                     .expect("worker alive");
                 rx
             })
@@ -56,7 +67,7 @@ impl CrowdSource for ParallelHandle {
     fn ask(&mut self, member: MemberId, question: &Question) -> Answer {
         let (tx, rx) = channel();
         if self.senders[member.index()]
-            .send((question.clone(), tx))
+            .send(Job::Ask(Arc::new(question.clone()), tx))
             .is_err()
         {
             return Answer::Unavailable;
@@ -67,6 +78,22 @@ impl CrowdSource for ParallelHandle {
 
     fn questions_asked(&self) -> usize {
         self.questions.load(Ordering::Relaxed)
+    }
+
+    fn supports_prefetch(&self) -> bool {
+        true
+    }
+
+    /// Sends each predicted question to its member's worker, which
+    /// computes the answer concurrently with the engine's round. Not
+    /// counted in [`Self::questions_asked`]; a mispredicted (or unused)
+    /// speculation is rolled back worker-side, so answers and member
+    /// session state are identical to the non-speculative run.
+    fn prefetch(&mut self, batch: &[(MemberId, Question)]) {
+        for (member, question) in batch {
+            // a closed channel just means the run is over — ignore
+            let _ = self.senders[member.index()].send(Job::Speculate(Arc::new(question.clone())));
+        }
     }
 }
 
@@ -91,10 +118,45 @@ pub fn with_parallel_crowd<R>(
             senders.push(tx);
             let returned = Arc::clone(&returned);
             scope.spawn(move || {
-                for (question, reply) in rx.iter() {
-                    let answer = member.answer(vocab, &question);
-                    // a dropped reply receiver just means the caller gave up
-                    let _ = reply.send(answer);
+                // At most one speculation is in flight per member:
+                // (question, its answer, the pre-answer session state).
+                let mut pending: Option<(Arc<Question>, Answer, crate::SessionSnapshot)> = None;
+                for job in rx.iter() {
+                    match job {
+                        Job::Speculate(question) => {
+                            // A newer prediction supersedes an unconsumed
+                            // one; rewind before re-speculating.
+                            if let Some((_, _, snap)) = pending.take() {
+                                member.restore_session(snap);
+                            }
+                            let snap = member.session_snapshot();
+                            let answer = member.answer(vocab, &question);
+                            pending = Some((question, answer, snap));
+                        }
+                        Job::Ask(question, reply) => {
+                            let answer = match pending.take() {
+                                // Prediction hit: the stored answer was
+                                // computed from exactly the session state
+                                // a fresh answer would see (no real asks
+                                // intervened since the snapshot).
+                                Some((spec_q, spec_a, _)) if *spec_q == *question => spec_a,
+                                // Miss: rewind, then answer for real.
+                                Some((_, _, snap)) => {
+                                    member.restore_session(snap);
+                                    member.answer(vocab, &question)
+                                }
+                                None => member.answer(vocab, &question),
+                            };
+                            // a dropped reply receiver just means the
+                            // caller gave up
+                            let _ = reply.send(answer);
+                        }
+                    }
+                }
+                // A speculation never consumed must not leak into the
+                // member's returned session state.
+                if let Some((_, _, snap)) = pending.take() {
+                    member.restore_session(snap);
                 }
                 returned.lock().expect("no worker panicked")[i] = Some(member);
             });
@@ -170,12 +232,11 @@ mod tests {
         let (answers, _) =
             with_parallel_crowd(v, members(&ont, 6), |crowd| crowd.ask_batch(&ids, &q));
         assert_eq!(answers.len(), 6);
-        // u1-backed members report 3/6, u2-backed 1/2
-        for (i, a) in answers.iter().enumerate() {
+        // u1-backed members report 3/6, u2-backed 1/2 — both exactly 0.5
+        for a in &answers {
             match a {
                 Answer::Support { support, .. } => {
-                    let expected = if i % 2 == 0 { 0.5 } else { 0.5 };
-                    assert!((support - expected).abs() < 1e-12);
+                    assert!((support - 0.5).abs() < 1e-12);
                 }
                 other => panic!("{other:?}"),
             }
@@ -195,6 +256,82 @@ mod tests {
         });
         assert_eq!(back[1].questions_answered(), 2);
         assert_eq!(back[0].questions_answered(), 0);
+    }
+
+    /// A noisy member consumes RNG on every concrete answer, so any
+    /// speculation leak shows up as a diverging answer stream.
+    fn noisy_members(ont: &ontology::Ontology, n: usize) -> Vec<SimulatedMember> {
+        let [d1, d2] = figure1::personal_dbs(ont);
+        (0..n)
+            .map(|i| {
+                let db = if i % 2 == 0 { d1.clone() } else { d2.clone() };
+                SimulatedMember::new(
+                    PersonalDb::from_transactions(db),
+                    MemberBehavior::default(),
+                    AnswerModel::Noisy { spread: 0.2 },
+                    1000 + i as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn speculation_hits_misses_and_leftovers_preserve_the_answer_stream() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let q1 = Question::Concrete {
+            pattern: PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]),
+        };
+        let q2 = Question::Concrete {
+            pattern: PatternSet::from_facts([v
+                .fact("Feed a Monkey", "doAt", "Bronx Zoo")
+                .unwrap()]),
+        };
+        // Sequential reference stream: q1, q2, q1 to one member.
+        let mut seq = SimulatedCrowd::new(v, noisy_members(&ont, 1));
+        let expect: Vec<Answer> = [&q1, &q2, &q1]
+            .iter()
+            .map(|q| seq.ask(MemberId(0), q))
+            .collect();
+
+        let ((got, asked), back) = with_parallel_crowd(v, noisy_members(&ont, 1), |crowd| {
+            let mut got = Vec::new();
+            // hit: predict q1, ask q1
+            crowd.prefetch(&[(MemberId(0), q1.clone())]);
+            got.push(crowd.ask(MemberId(0), &q1));
+            // miss: predict q1 again, ask q2 — must roll back
+            crowd.prefetch(&[(MemberId(0), q1.clone())]);
+            got.push(crowd.ask(MemberId(0), &q2));
+            // superseded + leftover: two predictions, then ask the second
+            crowd.prefetch(&[(MemberId(0), q2.clone())]);
+            crowd.prefetch(&[(MemberId(0), q1.clone())]);
+            got.push(crowd.ask(MemberId(0), &q1));
+            // leftover never consumed before shutdown
+            crowd.prefetch(&[(MemberId(0), q2.clone())]);
+            (got, crowd.questions_asked())
+        });
+        assert_eq!(got, expect);
+        // prefetches are not questions; only the three real asks count
+        assert_eq!(asked, 3);
+        assert_eq!(back[0].questions_answered(), 3);
+    }
+
+    #[test]
+    fn prefetched_batches_match_the_sequential_quorum() {
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let q = Question::Concrete {
+            pattern: PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]),
+        };
+        let ids: Vec<MemberId> = (0..6).map(MemberId).collect();
+        let mut seq = SimulatedCrowd::new(v, noisy_members(&ont, 6));
+        let expect: Vec<Answer> = ids.iter().map(|&m| seq.ask(m, &q)).collect();
+        let (got, _) = with_parallel_crowd(v, noisy_members(&ont, 6), |crowd| {
+            let batch: Vec<(MemberId, Question)> = ids.iter().map(|&m| (m, q.clone())).collect();
+            crowd.prefetch(&batch);
+            crowd.ask_batch(&ids, &q)
+        });
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -104,4 +104,49 @@ pub trait CrowdSource {
         let _ = (member, label);
         true
     }
+
+    /// Whether [`Self::prefetch`] does anything. Engines only spend time
+    /// predicting upcoming questions when this returns `true`; the
+    /// default sequential sources gain nothing from speculation and keep
+    /// their exact historical code path.
+    fn supports_prefetch(&self) -> bool {
+        false
+    }
+
+    /// Hints that `batch` questions are *likely* (not certain) to be
+    /// asked next, one per member at most. A concurrent source may start
+    /// computing the answers speculatively; a later mismatching (or
+    /// missing) [`Self::ask`] must roll the speculation back so member
+    /// state evolves exactly as if the hint never happened. Purely a
+    /// performance channel: it must never change any answer, and it does
+    /// not count towards [`Self::questions_asked`]. Default: no-op.
+    fn prefetch(&mut self, batch: &[(MemberId, Question)]) {
+        let _ = batch;
+    }
+}
+
+impl<C: CrowdSource + ?Sized> CrowdSource for &mut C {
+    fn members(&self) -> Vec<MemberId> {
+        (**self).members()
+    }
+
+    fn ask(&mut self, member: MemberId, question: &Question) -> Answer {
+        (**self).ask(member, question)
+    }
+
+    fn questions_asked(&self) -> usize {
+        (**self).questions_asked()
+    }
+
+    fn member_has_profile(&self, member: MemberId, label: &str) -> bool {
+        (**self).member_has_profile(member, label)
+    }
+
+    fn supports_prefetch(&self) -> bool {
+        (**self).supports_prefetch()
+    }
+
+    fn prefetch(&mut self, batch: &[(MemberId, Question)]) {
+        (**self).prefetch(batch)
+    }
 }

@@ -1,0 +1,214 @@
+//! Determinism guarantee of the parallel mining engine: at **every** pool
+//! width, mining outcomes are bit-identical to the sequential engine.
+//!
+//! Every parallel phase is shard-and-merge over pure reads (WHERE fork
+//! solving, pruning-cone sweeps, witness verification, frozen final
+//! classification sweeps), merged in input order — so the thread count
+//! must never leak into what the miner asks or concludes. These tests
+//! drive a domain workload and a Figure-5-style synthetic workload across
+//! pool widths {1, 2, 4, 8} and several seeds, comparing full outcome
+//! digests (questions, MSP sets, event streams, per-member counts)
+//! against the sequential run.
+
+use bench::{bind_domain, digest_domain_run, run_domain_at_pool};
+use oassis_core::synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle};
+use oassis_core::{
+    run_multi, Dag, FixedSampleAggregator, MiningConfig, MultiOutcome, Oassis, SharedCrowdCache,
+};
+use oassis_ql::{bind, evaluate_where, parse, BoundQuery, MatchMode};
+use ontology::domains::{travel, DomainScale};
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn fnv_usize(h: &mut u64, v: usize) {
+    fnv(h, &(v as u64).to_le_bytes());
+}
+
+/// Full multi-user outcome digest (mirrors `tests/golden_outcomes.rs`).
+fn digest_multi(out: &MultiOutcome, b: &BoundQuery, vocab: &ontology::Vocabulary) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv_usize(&mut h, out.mining.questions);
+    fnv_usize(&mut h, out.mining.msps.len());
+    fnv_usize(&mut h, out.mining.valid_msps.len());
+    fnv_usize(&mut h, out.mining.significant_valid.len());
+    fnv_usize(&mut h, out.mining.total_valid);
+    fnv_usize(&mut h, out.mining.valid_mult_nodes);
+    fnv_usize(&mut h, out.mining.nodes_materialized);
+    fnv_usize(&mut h, usize::from(out.mining.complete));
+    for m in &out.mining.msps {
+        fnv(&mut h, m.apply(b).to_display(vocab).as_bytes());
+    }
+    for e in &out.mining.events {
+        fnv_usize(&mut h, e.question);
+        fnv(&mut h, format!("{:?}", e.kind).as_bytes());
+    }
+    fnv_usize(&mut h, out.undecided);
+    fnv_usize(&mut h, out.question_stats.concrete);
+    fnv_usize(&mut h, out.question_stats.specialization);
+    fnv_usize(&mut h, out.question_stats.none_of_these);
+    fnv_usize(&mut h, out.question_stats.pruning);
+    for &n in &out.answers_per_member {
+        fnv_usize(&mut h, n);
+    }
+    h
+}
+
+#[test]
+fn domain_workload_digests_match_at_every_pool_width() {
+    // The travel-domain multi-user workload (bucketed answers, pruning
+    // clicks, specialization questions, answer caching) with a smaller
+    // crowd than the paper's 248 to keep 12 runs test-sized.
+    let domain = travel(DomainScale::paper());
+    let bound = bind_domain(&domain);
+    for seed in [7u64, 8, 9] {
+        let reference = {
+            let mut cache = oassis_core::CrowdCache::new();
+            let run = run_domain_at_pool(
+                &domain,
+                &bound,
+                &domain.ontology,
+                &mut cache,
+                0.2,
+                60,
+                8,
+                seed,
+                minipool::Pool::sequential(),
+            );
+            digest_domain_run(&run)
+        };
+        for width in WIDTHS {
+            let mut cache = oassis_core::CrowdCache::new();
+            let run = run_domain_at_pool(
+                &domain,
+                &bound,
+                &domain.ontology,
+                &mut cache,
+                0.2,
+                60,
+                8,
+                seed,
+                minipool::Pool::new(width),
+            );
+            assert_eq!(
+                digest_domain_run(&run),
+                reference,
+                "seed {seed}: pool width {width} changed the domain outcome"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig5_synthetic_digests_match_at_every_pool_width() {
+    // Figure-5-style synthetic workload: planted MSPs, a 6-member oracle
+    // crowd with pruning clicks, a 3-answer quorum and specialization
+    // questions — the multi-user engine's full surface.
+    let dom = synthetic_domain(120, 5, 1);
+    let q = parse(&dom.query).unwrap();
+    let b = bind(&q, &dom.ontology).unwrap();
+    let base = evaluate_where(&b, &dom.ontology, MatchMode::Exact);
+    let mut full = Dag::new(&b, dom.ontology.vocab(), &base).without_multiplicities();
+    full.materialize_all();
+    let planted = plant_msps(&mut full, 6, true, MspDistribution::Uniform, 31);
+    let patterns: Vec<_> = planted
+        .iter()
+        .map(|&id| full.node(id).assignment.apply(&b))
+        .collect();
+
+    let run_at = |width: Option<usize>, seed: u64| -> u64 {
+        let mut dag = Dag::new(&b, dom.ontology.vocab(), &base).without_multiplicities();
+        let mut oracle = PlantedOracle::new(dom.ontology.vocab(), patterns.clone(), 6, seed + 9);
+        oracle.pruning_prob = 0.3;
+        let agg = FixedSampleAggregator { sample_size: 3 };
+        let cfg = MiningConfig {
+            specialization_ratio: 0.25,
+            seed,
+            pool: width.map_or(minipool::Pool::sequential(), minipool::Pool::new),
+            ..Default::default()
+        };
+        let out = run_multi(&mut dag, &mut oracle, &agg, &cfg);
+        digest_multi(&out, &b, dom.ontology.vocab())
+    };
+
+    for seed in [8u64, 9, 10] {
+        let reference = run_at(None, seed);
+        for width in WIDTHS {
+            assert_eq!(
+                run_at(Some(width), seed),
+                reference,
+                "seed {seed}: pool width {width} changed the synthetic outcome"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_queries_match_sequential_execution_at_every_pool_width() {
+    // N queries (same domain query at N thresholds) over one shared
+    // ontology and shared answer cache, run by execute_concurrent at pool
+    // widths 1/2/4: answers and outcome digests must not depend on the
+    // width, because the crowd members are pure (rng-free answers) and
+    // every query owns its own DAG and classifier.
+    let domain = travel(DomainScale::paper());
+    let ont = &domain.ontology;
+    let thresholds = [0.18f64, 0.22, 0.26, 0.3];
+    let queries: Vec<String> = thresholds
+        .iter()
+        .map(|t| {
+            domain
+                .query
+                .replace("WITH SUPPORT = 0.2", &format!("WITH SUPPORT = {t}"))
+        })
+        .collect();
+    let query_refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+    let agg = FixedSampleAggregator { sample_size: 5 };
+    let cfg = MiningConfig {
+        specialization_ratio: 0.12,
+        seed: 7,
+        ..Default::default()
+    };
+
+    let run_at = |width: usize| -> Vec<(Vec<String>, u64)> {
+        let engine = Oassis::new(ont).with_pool(minipool::Pool::new(width));
+        let cache = SharedCrowdCache::default();
+        let answers = engine.execute_concurrent(
+            &query_refs,
+            |_| bench::pure_domain_crowd(&domain, ont.vocab(), 40, 8, 7),
+            &agg,
+            &cfg,
+            &cache,
+        );
+        answers
+            .into_iter()
+            .map(|a| {
+                let a = a.expect("query failed");
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                fnv_usize(&mut h, a.outcome.mining.questions);
+                fnv_usize(&mut h, a.outcome.mining.msps.len());
+                fnv_usize(&mut h, a.outcome.undecided);
+                fnv_usize(&mut h, usize::from(a.outcome.mining.complete));
+                for e in &a.outcome.mining.events {
+                    fnv_usize(&mut h, e.question);
+                    fnv(&mut h, format!("{:?}", e.kind).as_bytes());
+                }
+                (a.answers, h)
+            })
+            .collect()
+    };
+
+    let reference = run_at(1);
+    for width in [2usize, 4] {
+        assert_eq!(
+            run_at(width),
+            reference,
+            "pool width {width} changed a concurrent query's outcome"
+        );
+    }
+}

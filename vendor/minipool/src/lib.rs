@@ -1,0 +1,291 @@
+//! Vendored, dependency-free fork-join worker pool.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the small slice of `rayon`-shaped API the engine actually
+//! needs: order-preserving parallel map over a slice, two-way [`join`],
+//! and a [`Pool`] handle carrying a thread count. Everything is built on
+//! [`std::thread::scope`] — no `unsafe`, no global worker threads, no
+//! work stealing.
+//!
+//! # Determinism
+//!
+//! Parallelism here never changes *what* is computed, only *where*:
+//!
+//! * [`par_map`] splits the input into `min(threads, len)` contiguous
+//!   chunks, maps each chunk independently, and concatenates the chunk
+//!   results **in input order**. The output is bit-identical to
+//!   `items.iter().map(f).collect()` for every thread count, provided
+//!   `f` is a pure function of its argument.
+//! * [`join`] always returns `(a(), b())` in that tuple order.
+//!
+//! OS scheduling therefore cannot reorder results; callers that only
+//! apply pure functions inherit sequential semantics for free. Callers
+//! that fold shared state must do so *after* the parallel section, over
+//! the order-preserved output (shard-and-merge).
+//!
+//! # Thread-count resolution
+//!
+//! [`default_threads`] resolves, in order: the `MINIPOOL_THREADS`
+//! environment variable, the process-wide override set by
+//! [`set_default_threads`], then [`std::thread::available_parallelism`].
+//! A resolved count of 1 (or tiny inputs) short-circuits to inline
+//! execution with zero thread spawns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide default thread count; 0 means "unset".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached `MINIPOOL_THREADS` environment override; 0 means "absent".
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("MINIPOOL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Sets the process-wide default thread count returned by
+/// [`default_threads`] (unless `MINIPOOL_THREADS` overrides it).
+/// Passing 0 clears the override.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// Resolves the default worker count: `MINIPOOL_THREADS` env var, then
+/// [`set_default_threads`], then the OS-reported available parallelism
+/// (1 when unknown).
+pub fn default_threads() -> usize {
+    let env = env_threads();
+    if env > 0 {
+        return env;
+    }
+    let set = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if set > 0 {
+        return set;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Inputs shorter than this are always mapped inline: spawning costs
+/// more than the work saved.
+const MIN_ITEMS_PER_THREAD: usize = 16;
+
+/// Balanced contiguous chunk lengths: `len` split into `k` parts whose
+/// sizes differ by at most one, earlier chunks larger.
+fn chunk_lens(len: usize, k: usize) -> Vec<usize> {
+    let base = len / k;
+    let rem = len % k;
+    (0..k)
+        .map(|i| base + usize::from(i < rem))
+        .filter(|&l| l > 0)
+        .collect()
+}
+
+/// Order-preserving parallel map: semantically identical to
+/// `items.iter().map(f).collect()` for any `threads`, assuming `f` is
+/// pure. Runs inline when `threads <= 1` or the input is small.
+pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let len = items.len();
+    if threads <= 1 || len < 2 * MIN_ITEMS_PER_THREAD {
+        return items.iter().map(f).collect();
+    }
+    let k = threads.min(len / MIN_ITEMS_PER_THREAD).max(1);
+    if k <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let lens = chunk_lens(len, k);
+    let mut chunks: Vec<&[T]> = Vec::with_capacity(lens.len());
+    let mut rest = items;
+    for &l in &lens {
+        let (head, tail) = rest.split_at(l);
+        chunks.push(head);
+        rest = tail;
+    }
+    let fref = &f;
+    let mut out: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks[1..]
+            .iter()
+            .map(|chunk| scope.spawn(move || chunk.iter().map(fref).collect::<Vec<U>>()))
+            .collect();
+        // The caller's thread takes the first chunk instead of idling.
+        let first: Vec<U> = chunks[0].iter().map(fref).collect();
+        let mut parts = Vec::with_capacity(chunks.len());
+        parts.push(first);
+        for h in handles {
+            match h.join() {
+                Ok(v) => parts.push(v),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+        parts
+    });
+    let mut merged = Vec::with_capacity(len);
+    for part in &mut out {
+        merged.append(part);
+    }
+    merged
+}
+
+/// Runs both closures — concurrently when `threads > 1` — and returns
+/// `(a(), b())`. The tuple order never depends on scheduling.
+pub fn join<A, B, FA, FB>(threads: usize, a: FA, b: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if threads <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    })
+}
+
+/// A fork-join handle carrying a fixed worker count, for call sites
+/// that thread a configured width through several parallel phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool that fans out across `threads` workers (1 = inline).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized by [`default_threads`].
+    pub fn from_env() -> Self {
+        Pool::new(default_threads())
+    }
+
+    /// A pool that always runs inline.
+    pub fn sequential() -> Self {
+        Pool::new(1)
+    }
+
+    /// The worker count this pool fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Order-preserving parallel map; see [`par_map`].
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        par_map(self.threads, items, f)
+    }
+
+    /// Two-way fork-join; see [`join`].
+    pub fn join<A, B, FA, FB>(&self, a: FA, b: FB) -> (A, B)
+    where
+        A: Send,
+        B: Send,
+        FA: FnOnce() -> A + Send,
+        FB: FnOnce() -> B + Send,
+    {
+        join(self.threads, a, b)
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_are_balanced_and_cover() {
+        for len in [1usize, 2, 15, 16, 33, 100, 257] {
+            for k in 1..=8usize {
+                let lens = chunk_lens(len, k);
+                assert_eq!(lens.iter().sum::<usize>(), len);
+                let max = *lens.iter().max().unwrap();
+                let min = *lens.iter().min().unwrap();
+                assert!(max - min <= 1, "len={len} k={k} lens={lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_for_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xabcd).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let got = par_map(threads, &items, |&x| x.wrapping_mul(x) ^ 0xabcd);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_tiny_inputs_inline() {
+        let items = [1u32, 2, 3];
+        assert_eq!(par_map(8, &items, |&x| x + 1), vec![2, 3, 4]);
+        let empty: [u32; 0] = [];
+        assert_eq!(par_map(8, &empty, |&x| x + 1), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn join_returns_in_tuple_order() {
+        for threads in [1, 2] {
+            let (a, b) = join(threads, || "left", || "right");
+            assert_eq!((a, b), ("left", "right"));
+        }
+    }
+
+    #[test]
+    fn pool_wraps_the_free_functions() {
+        let p = Pool::new(4);
+        assert_eq!(p.threads(), 4);
+        let items: Vec<u32> = (0..200).collect();
+        assert_eq!(
+            p.par_map(&items, |&x| x * 2),
+            items.iter().map(|&x| x * 2).collect::<Vec<_>>()
+        );
+        assert_eq!(p.join(|| 1, || 2), (1, 2));
+        assert_eq!(Pool::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_overridable() {
+        assert!(default_threads() >= 1);
+        // The env override is cached, so only exercise the setter here.
+        set_default_threads(3);
+        if env_threads() == 0 {
+            assert_eq!(default_threads(), 3);
+        }
+        set_default_threads(0);
+    }
+}
