@@ -204,6 +204,7 @@ pub fn domain_crowd<'v>(
             pruning_prob: 0.25,
             more_tip_prob: 0.05,
             spammer: false,
+            stall_every: None,
         },
         answer_model: AnswerModel::Bucketed5,
         seed,

@@ -105,6 +105,9 @@ pub fn run_horizontal<C: CrowdSource>(
         available: true,
         threshold,
         cfg,
+        manifest: Default::default(),
+        gave_up: Vec::new(),
+        gave_up_set: HashSet::new(),
     };
     let mut monitor = MspMonitor::new();
     let mut msp_ids: Vec<NodeId> = Vec::new();
@@ -114,6 +117,10 @@ pub fn run_horizontal<C: CrowdSource>(
     let mut queue: Vec<NodeId> = dag.roots().to_vec();
     let mut queued: HashSet<NodeId> = queue.iter().copied().collect();
     let mut qi = 0;
+    // consecutive re-queues without an ask; once every pending node has
+    // been re-queued with no progress (a gave-up parent stays Unknown
+    // forever) the frontier is stuck and the run degrades gracefully
+    let mut stalled = 0usize;
     while qi < queue.len() {
         if s.exhausted() {
             break;
@@ -130,10 +137,19 @@ pub fn run_horizontal<C: CrowdSource>(
                 if !parents_ok {
                     // re-queue: a later classification may unlock it
                     if s.cls.class(dag, id) == Class::Unknown {
+                        stalled += 1;
+                        if stalled > queue.len() - qi {
+                            break;
+                        }
                         queue.push(id);
                     }
                     continue;
                 }
+                if s.gave_up_set.contains(&id) {
+                    // the retry policy already gave up on this node
+                    continue;
+                }
+                stalled = 0;
                 let sig = s.ask_concrete(dag, crowd, member, id);
                 monitor.update(dag, &mut s.cls, s.questions, &mut s.events, &mut msp_ids);
                 if sig {
@@ -142,7 +158,10 @@ pub fn run_horizontal<C: CrowdSource>(
                     Class::Insignificant
                 }
             }
-            c => c,
+            c => {
+                stalled = 0;
+                c
+            }
         };
         if class == Class::Significant {
             for c in dag.children(id) {
@@ -156,7 +175,8 @@ pub fn run_horizontal<C: CrowdSource>(
     monitor.update(dag, &mut s.cls, s.questions, &mut s.events, &mut msp_ids);
     let complete = s.available
         && !s.exhausted_budget()
-        && crate::vertical::find_minimal_unclassified(dag, &mut s.cls, &cfg.pool).is_none();
+        && crate::vertical::find_minimal_unclassified(dag, &mut s.cls, &cfg.pool, &HashSet::new())
+            .is_none();
     finish(dag, s, msp_ids, complete)
 }
 
@@ -178,6 +198,9 @@ pub fn run_naive<C: CrowdSource>(
         available: true,
         threshold,
         cfg,
+        manifest: Default::default(),
+        gave_up: Vec::new(),
+        gave_up_set: HashSet::new(),
     };
     let mut monitor = MspMonitor::new();
     let mut msp_ids: Vec<NodeId> = Vec::new();
@@ -198,7 +221,13 @@ pub fn run_naive<C: CrowdSource>(
     // the naive algorithm only *asks* valid assignments, but entailment
     // over the expanded DAG still applies.
     monitor.update(dag, &mut s.cls, s.questions, &mut s.events, &mut msp_ids);
-    let complete = s.available && !s.exhausted_budget();
+    let all_resolved = {
+        let view = dag.view();
+        s.gave_up
+            .iter()
+            .all(|&id| s.cls.class_frozen(&view, id) != Class::Unknown)
+    };
+    let complete = s.available && !s.exhausted_budget() && all_resolved;
     finish(dag, s, msp_ids, complete)
 }
 

@@ -303,6 +303,10 @@ impl<C: CrowdSource> CrowdSource for CachingCrowd<'_, C> {
         self.asked
     }
 
+    fn advance_clock(&mut self, ticks: u64) {
+        self.inner.advance_clock(ticks);
+    }
+
     fn supports_prefetch(&self) -> bool {
         self.inner.supports_prefetch()
     }
@@ -463,6 +467,10 @@ impl<C: CrowdSource> CrowdSource for SharedCachingCrowd<'_, C> {
 
     fn questions_asked(&self) -> usize {
         self.asked
+    }
+
+    fn advance_clock(&mut self, ticks: u64) {
+        self.inner.advance_clock(ticks);
     }
 
     fn supports_prefetch(&self) -> bool {

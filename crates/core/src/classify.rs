@@ -217,6 +217,14 @@ impl Classifier {
         &self.insig_witnesses
     }
 
+    /// Number of user-guided pruning clicks recorded. The step-level
+    /// monotonicity checker ([`crate::invariants`]) only runs on
+    /// pruning-free classifiers, where the sticky first-query semantics
+    /// cannot produce legitimate edge contradictions.
+    pub fn pruned_clicks(&self) -> usize {
+        self.pruned_elems.len()
+    }
+
     /// Classifies `id`, using witnesses and pruning records.
     pub fn class(&mut self, dag: &Dag<'_>, id: NodeId) -> Class {
         self.ensure_node(id);

@@ -23,6 +23,7 @@ pub struct Oassis<'o> {
     match_mode: MatchMode,
     templates: QuestionTemplates,
     pool: minipool::Pool,
+    policy: Option<crowd::CrowdPolicy>,
 }
 
 /// The answer to an OASSIS-QL query.
@@ -45,7 +46,17 @@ impl<'o> Oassis<'o> {
             match_mode: MatchMode::Exact,
             templates: QuestionTemplates::new(),
             pool: minipool::Pool::sequential(),
+            policy: None,
         }
+    }
+
+    /// Installs a crowd-access policy (per-question timeout, retry cap,
+    /// deterministic backoff) that overrides the one in the
+    /// [`MiningConfig`] passed to [`Self::execute`] /
+    /// [`Self::execute_concurrent`].
+    pub fn with_policy(mut self, policy: crowd::CrowdPolicy) -> Self {
+        self.policy = Some(policy);
+        self
     }
 
     /// Switches the WHERE match mode.
@@ -113,6 +124,17 @@ impl<'o> Oassis<'o> {
         }
         let base = evaluate_where_pool(&bound, self.ont, self.match_mode, &self.pool);
         let mut dag = Dag::new(&bound, self.ont.vocab(), &base);
+        let with_policy;
+        let cfg = match self.policy {
+            Some(policy) => {
+                with_policy = MiningConfig {
+                    policy,
+                    ..cfg.clone()
+                };
+                &with_policy
+            }
+            None => cfg,
+        };
         let outcome = run_multi(&mut dag, crowd, aggregator, cfg);
         let vocab = self.ont.vocab();
         let selected: Vec<crate::Assignment> = {
@@ -177,6 +199,7 @@ impl<'o> Oassis<'o> {
                 match_mode: self.match_mode,
                 templates: QuestionTemplates::new(),
                 pool: minipool::Pool::sequential(),
+                policy: self.policy,
             };
             engine.execute(queries[i], &mut crowd, aggregator, &query_cfg)
         })

@@ -24,6 +24,10 @@
 //! * [`rulemine`] — association-rule mining (`IMPLYING … AND CONFIDENCE`,
 //!   a Section-8 / language-guide extension).
 //! * [`diversify`] — diversified top-k answers (Section 8 extension).
+//! * [`manifest`] — the crowd-access policy's retry loop and the
+//!   partial-answer manifest of degraded runs.
+//! * [`invariants`] — step-level invariant checkers for the simulation
+//!   harness (`crates/simtest`).
 //! * [`engine`] — the high-level `Oassis` facade.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +41,8 @@ pub mod dag;
 pub mod diversify;
 pub mod engine;
 pub mod fingerprint;
+pub mod invariants;
+pub mod manifest;
 pub mod multi;
 pub mod rulemine;
 pub mod synth;
@@ -54,6 +60,7 @@ pub use classify::{Class, Classifier};
 pub use dag::{Dag, GenStats, Node, NodeId};
 pub use diversify::{diversify, semantic_distance};
 pub use engine::{Oassis, QueryAnswer, RuleAnswer};
+pub use manifest::PartialManifest;
 pub use multi::{run_multi, MultiOutcome, QuestionStats};
 pub use rulemine::{run_rules, MinedRule, RuleMiningConfig, RuleOutcome};
 pub use synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle, SyntheticDomain};

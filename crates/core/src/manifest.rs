@@ -1,0 +1,68 @@
+//! Partial-answer manifests and the engine-side retry loop of the crowd
+//! access policy.
+//!
+//! When a question times out ([`Answer::NoResponse`]) the engines retry it
+//! under the run's [`CrowdPolicy`] with deterministic exponential backoff;
+//! once retries are exhausted they *give up on the question*, leave the
+//! pattern [`Unknown`](crate::Class::Unknown), and record it here. A run
+//! that hit faults therefore terminates normally with
+//! `complete == false` and a manifest listing exactly which patterns went
+//! unanswered — it never panics and never silently claims completeness.
+
+use crate::assignment::Assignment;
+use crowd::{Answer, CrowdPolicy, CrowdSource, MemberId, Question};
+
+/// What a mining run could *not* find out, and how hard it tried.
+///
+/// Empty (the default) on every fault-free run, so adding it to
+/// [`MiningOutcome`](crate::MiningOutcome) changes no existing digest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartialManifest {
+    /// Asks that timed out (including ones later answered on retry).
+    pub timeouts: usize,
+    /// Re-asks issued by the retry policy.
+    pub retries: usize,
+    /// Patterns the run gave up on that ended the run still unclassified
+    /// (deduplicated, in first-give-up order). Patterns abandoned by one
+    /// member but later classified through another member or by inference
+    /// are *not* listed — they are answered, just not by the member that
+    /// stalled.
+    pub unanswered: Vec<Assignment>,
+}
+
+impl PartialManifest {
+    /// Whether the run experienced no degradation at all.
+    pub fn is_empty(&self) -> bool {
+        self.timeouts == 0 && self.retries == 0 && self.unanswered.is_empty()
+    }
+}
+
+/// Asks `question`, retrying timeouts under `policy`: each `NoResponse`
+/// increments `timeouts`; before each retry the backoff is signalled to
+/// the source via [`CrowdSource::advance_clock`] and `retries` is
+/// incremented. Returns the first non-timeout answer, or
+/// [`Answer::NoResponse`] once the retry budget is spent (the caller then
+/// records the give-up).
+pub(crate) fn ask_with_retry<C: CrowdSource>(
+    crowd: &mut C,
+    member: MemberId,
+    question: &Question,
+    policy: &CrowdPolicy,
+    timeouts: &mut usize,
+    retries: &mut usize,
+) -> Answer {
+    let mut attempt = 0u32;
+    loop {
+        let answer = crowd.ask(member, question);
+        if !matches!(answer, Answer::NoResponse) {
+            return answer;
+        }
+        *timeouts += 1;
+        if attempt >= policy.max_retries {
+            return Answer::NoResponse;
+        }
+        crowd.advance_clock(policy.backoff(attempt));
+        *retries += 1;
+        attempt += 1;
+    }
+}

@@ -21,8 +21,9 @@ use crate::aggregate::{AggVerdict, Aggregator};
 use crate::baselines::MspMonitor;
 use crate::classify::{Class, Classifier};
 use crate::dag::{Dag, NodeId};
+use crate::manifest::{ask_with_retry, PartialManifest};
 use crate::vertical::{DiscoveryEvent, MiningConfig, MiningOutcome, ValidTracker};
-use crowd::{Answer, CrowdSource, MemberId, Question};
+use crowd::{Answer, CrowdPolicy, CrowdSource, MemberId, Question};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -90,6 +91,30 @@ struct MemberState {
     cold: VecDeque<NodeId>,
 }
 
+/// Degradation bookkeeping for the crowd-access policy: timeout/retry
+/// counters plus the nodes some member gave up on after exhausting the
+/// retry budget. A give-up only removes *that member's* vote — another
+/// member (or a later inference) can still classify the node.
+#[derive(Default)]
+struct Degradation {
+    manifest: PartialManifest,
+    gave_up: Vec<NodeId>,
+    gave_up_set: HashSet<NodeId>,
+    /// Give-ups in the current round; a round that only gave up still
+    /// made monotone progress (the member's `answered` set grew), so the
+    /// round loop must not treat it as a fixpoint.
+    gave_up_this_round: usize,
+}
+
+impl Degradation {
+    fn record_give_up(&mut self, id: NodeId) {
+        self.gave_up_this_round += 1;
+        if self.gave_up_set.insert(id) {
+            self.gave_up.push(id);
+        }
+    }
+}
+
 impl MemberState {
     fn push_hot(&mut self, id: NodeId) {
         self.hot.push_back(id);
@@ -154,6 +179,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
         .collect();
     let mut per_member: Vec<usize> = vec![0; members.len()];
     let speculate = crowd.supports_prefetch();
+    let mut deg = Degradation::default();
 
     'outer: loop {
         // Speculative execution against concurrent crowds: predict each
@@ -169,6 +195,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
             }
         }
         let mut asked_this_round = 0usize;
+        deg.gave_up_this_round = 0;
         for mi in 0..members.len() {
             if cfg.max_questions.is_some_and(|m| questions >= m) {
                 break 'outer;
@@ -198,6 +225,8 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                         crowd,
                         aggregator,
                         threshold,
+                        &cfg.policy,
+                        &mut deg,
                         &mut members[mi],
                         &options,
                         target,
@@ -223,6 +252,8 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                     aggregator,
                     threshold,
                     &cfg.pool,
+                    &cfg.policy,
+                    &mut deg,
                     &mut members[mi],
                     target,
                     &mut answers,
@@ -264,8 +295,28 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                     }
                 }
             }
+            if cfg.debug_checks {
+                if stats.total() != questions {
+                    panic!(
+                        "simulation invariant violated: question stats total {} != questions {questions}",
+                        stats.total()
+                    );
+                }
+                if let Some(mx) = cfg.max_questions {
+                    assert!(
+                        questions <= mx,
+                        "simulation invariant violated: {questions} questions exceed the budget of {mx}"
+                    );
+                }
+                if let Err(e) = crate::invariants::check_classification_monotonicity(dag, &global) {
+                    panic!("simulation invariant violated: {e}");
+                }
+                if let Err(e) = crate::invariants::check_msp_maximality(dag, &global, &msp_ids) {
+                    panic!("simulation invariant violated: {e}");
+                }
+            }
         }
-        if asked_this_round == 0 {
+        if asked_this_round == 0 && deg.gave_up_this_round == 0 {
             break;
         }
     }
@@ -274,8 +325,23 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
     // which may generate children that are classified purely by inference;
     // a final monitor sweep then confirms the last MSPs.
     let complete =
-        crate::vertical::find_minimal_unclassified(dag, &mut global, &cfg.pool).is_none();
+        crate::vertical::find_minimal_unclassified(dag, &mut global, &cfg.pool, &HashSet::new())
+            .is_none();
     monitor.update(dag, &mut global, questions, &mut events, &mut msp_ids);
+    let manifest = {
+        // frozen sweep: a gave-up node later classified through another
+        // member or by inference is answered, not missing
+        let mut manifest = deg.manifest;
+        let view = dag.view();
+        manifest.unanswered = deg
+            .gave_up
+            .iter()
+            .copied()
+            .filter(|&id| global.class_frozen(&view, id) == Class::Unknown)
+            .map(|id| view.node(id).assignment.clone())
+            .collect();
+        manifest
+    };
     let undecided = {
         // frozen sweep: no classification changes past this point, so the
         // count shards over the read-only view
@@ -314,6 +380,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
             gen_stats: dag.stats(),
             nodes_materialized: dag.len(),
             complete,
+            manifest,
         },
         question_stats: stats,
         answers_per_member: per_member,
@@ -533,6 +600,8 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
     aggregator: &A,
     threshold: f64,
     pool: &minipool::Pool,
+    policy: &CrowdPolicy,
+    deg: &mut Degradation,
     m: &mut MemberState,
     target: NodeId,
     answers: &mut HashMap<NodeId, Vec<(MemberId, f64)>>,
@@ -544,7 +613,16 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
     newly_significant: &mut Vec<NodeId>,
 ) -> bool {
     let pattern = dag.node(target).assignment.apply(dag.query());
-    match crowd.ask(m.id, &Question::Concrete { pattern }) {
+    let question = Question::Concrete { pattern };
+    let answer = ask_with_retry(
+        crowd,
+        m.id,
+        &question,
+        policy,
+        &mut deg.manifest.timeouts,
+        &mut deg.manifest.retries,
+    );
+    match answer {
         Answer::Support { support, more_tip } => {
             *questions += 1;
             stats.concrete += 1;
@@ -639,6 +717,13 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
             m.active = false;
             false
         }
+        Answer::NoResponse => {
+            // retries exhausted: this member gives up on the target
+            // (another member can still answer it); no question counted
+            m.answered.insert(target);
+            deg.record_give_up(target);
+            false
+        }
         _ => unreachable!("non-concrete answer to a concrete question"),
     }
 }
@@ -649,6 +734,8 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
     crowd: &mut C,
     aggregator: &A,
     threshold: f64,
+    policy: &CrowdPolicy,
+    deg: &mut Degradation,
     m: &mut MemberState,
     options: &[NodeId],
     base: NodeId,
@@ -667,7 +754,15 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
             .map(|&o| dag.node(o).assignment.apply(dag.query()))
             .collect(),
     };
-    match crowd.ask(m.id, &q) {
+    let answer = ask_with_retry(
+        crowd,
+        m.id,
+        &q,
+        policy,
+        &mut deg.manifest.timeouts,
+        &mut deg.manifest.retries,
+    );
+    match answer {
         Answer::Specialized { choice, support } => {
             *questions += 1;
             stats.specialization += 1;
@@ -729,6 +824,10 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
             m.active = false;
             false
         }
+        // spec timeout: nothing classified, no give-up — the caller falls
+        // back to a concrete probe of the base, whose own give-up path
+        // guarantees progress
+        Answer::NoResponse => false,
         _ => unreachable!("support answer to a specialization question"),
     }
 }

@@ -127,8 +127,12 @@ pub fn run_rules<C: CrowdSource>(
         if state.out_of_budget() {
             break;
         }
-        let Some(mut phi) = crate::vertical::find_minimal_unclassified(dag, &mut state.cls, &pool)
-        else {
+        let Some(mut phi) = crate::vertical::find_minimal_unclassified(
+            dag,
+            &mut state.cls,
+            &pool,
+            &std::collections::HashSet::new(),
+        ) else {
             break;
         };
         if !state.ask_support(dag, crowd, &panel, phi, theta) {
@@ -161,7 +165,13 @@ pub fn run_rules<C: CrowdSource>(
         }
     }
     let complete = !state.out_of_budget()
-        && crate::vertical::find_minimal_unclassified(dag, &mut state.cls, &pool).is_none();
+        && crate::vertical::find_minimal_unclassified(
+            dag,
+            &mut state.cls,
+            &pool,
+            &std::collections::HashSet::new(),
+        )
+        .is_none();
 
     // ---- phase 2: confidence sweep over the support-significant region ----
     let mut sig_nodes: Vec<NodeId> = Vec::new();
@@ -287,6 +297,8 @@ impl RuleState {
                 Answer::Unavailable => {
                     self.exhausted = true;
                 }
+                // stalled member: skip their sample, average the rest
+                Answer::NoResponse => {}
                 _ => unreachable!("non-concrete answer to a concrete question"),
             }
         }

@@ -15,7 +15,8 @@
 use crate::assignment::Assignment;
 use crate::classify::{Class, Classifier};
 use crate::dag::{Dag, NodeId};
-use crowd::{Answer, CrowdSource, MemberId, Question};
+use crate::manifest::{ask_with_retry, PartialManifest};
+use crowd::{Answer, CrowdPolicy, CrowdSource, MemberId, Question};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -42,6 +43,16 @@ pub struct MiningConfig {
     /// default is sequential; any width produces bit-identical outcomes —
     /// every parallel phase is a pure map merged in input order.
     pub pool: minipool::Pool,
+    /// Crowd-access policy: per-question timeout, retry cap, and backoff
+    /// for members that stall ([`Answer::NoResponse`]). The default never
+    /// activates on a fault-free crowd, so existing outcomes are
+    /// unchanged.
+    pub policy: CrowdPolicy,
+    /// Re-verify the step-level invariants of [`crate::invariants`] after
+    /// every answered question, panicking on the first violation. Used by
+    /// the simulation harness; off by default (pure frozen reads, so
+    /// enabling it never changes an outcome, only the running time).
+    pub debug_checks: bool,
 }
 
 impl Default for MiningConfig {
@@ -53,6 +64,8 @@ impl Default for MiningConfig {
             seed: 0,
             max_questions: None,
             pool: minipool::Pool::sequential(),
+            policy: CrowdPolicy::default(),
+            debug_checks: false,
         }
     }
 }
@@ -113,6 +126,9 @@ pub struct MiningOutcome {
     /// Whether the run classified everything (false = question budget or
     /// crowd exhausted first).
     pub complete: bool,
+    /// Degradation report: timeouts, retries, and the patterns the run
+    /// gave up on that are still unclassified. Empty on fault-free runs.
+    pub manifest: PartialManifest,
 }
 
 /// Tracks how many *valid base* assignments are classified after each
@@ -371,6 +387,9 @@ pub fn run_vertical<C: CrowdSource>(
         available: true,
         threshold,
         cfg,
+        manifest: PartialManifest::default(),
+        gave_up: Vec::new(),
+        gave_up_set: HashSet::new(),
     };
     let mut msp_ids: Vec<NodeId> = Vec::new();
     let mut msp_set: HashSet<NodeId> = HashSet::new();
@@ -379,7 +398,8 @@ pub fn run_vertical<C: CrowdSource>(
         if s.exhausted() {
             break;
         }
-        let Some(mut phi) = find_minimal_unclassified(dag, &mut s.cls, &cfg.pool) else {
+        let Some(mut phi) = find_minimal_unclassified(dag, &mut s.cls, &cfg.pool, &s.gave_up_set)
+        else {
             break;
         };
         if !s.ask_concrete(dag, crowd, member, phi) {
@@ -413,6 +433,13 @@ pub fn run_vertical<C: CrowdSource>(
                             valid: dag.node(phi).valid,
                         },
                     });
+                    if s.cfg.debug_checks {
+                        if let Err(e) =
+                            crate::invariants::check_msp_maximality(dag, &s.cls, &msp_ids)
+                        {
+                            panic!("simulation invariant violated: {e}");
+                        }
+                    }
                     // TOP k (Section 8 extension): stop as soon as k valid
                     // MSPs are identified — unless DIVERSE needs the full
                     // candidate set to choose from.
@@ -427,9 +454,23 @@ pub fn run_vertical<C: CrowdSource>(
                 }
                 break;
             }
+            // drop children the retry policy already gave up on — they
+            // stay Unknown, so the node can never be confirmed an MSP,
+            // but probing them again would loop forever
+            let askable: Vec<NodeId> = unclassified
+                .iter()
+                .copied()
+                .filter(|c| !s.gave_up_set.contains(c))
+                .collect();
+            if askable.is_empty() {
+                // every remaining child timed out past the retry budget:
+                // abandon the climb without declaring an MSP (a stalled
+                // child may well be significant)
+                break;
+            }
             // question-type policy
             if s.cfg.specialization_ratio > 0.0 && s.rng.gen_bool(s.cfg.specialization_ratio) {
-                let options: Vec<NodeId> = unclassified
+                let options: Vec<NodeId> = askable
                     .iter()
                     .copied()
                     .take(s.cfg.max_spec_options)
@@ -441,9 +482,12 @@ pub fn run_vertical<C: CrowdSource>(
                     }
                     SpecOutcome::NoneLeft | SpecOutcome::NoJump => continue,
                     SpecOutcome::Gone => break 'outer,
+                    // fall through to a concrete probe so the give-up
+                    // bookkeeping (and thus climb progress) is guaranteed
+                    SpecOutcome::TimedOut => {}
                 }
             }
-            let c = unclassified[0];
+            let c = askable[0];
             if s.ask_concrete(dag, crowd, member, c) {
                 phi = c;
             }
@@ -453,18 +497,33 @@ pub fn run_vertical<C: CrowdSource>(
         }
     }
 
+    // no skip set here: a gave-up node still unclassified must force
+    // `complete == false` (one resolved by a later inference does not)
     let complete = s.available
         && !s.exhausted_budget()
-        && find_minimal_unclassified(dag, &mut s.cls, &cfg.pool).is_none();
+        && find_minimal_unclassified(dag, &mut s.cls, &cfg.pool, &HashSet::new()).is_none();
     finish(dag, s, msp_ids, complete)
 }
 
 pub(crate) fn finish(
     dag: &mut Dag<'_>,
-    s: Session<'_>,
+    mut s: Session<'_>,
     msp_ids: Vec<NodeId>,
     complete: bool,
 ) -> MiningOutcome {
+    let mut manifest = std::mem::take(&mut s.manifest);
+    {
+        // frozen sweep: a gave-up node that another answer later
+        // classified by inference is answered, not missing
+        let view = dag.view();
+        manifest.unanswered = s
+            .gave_up
+            .iter()
+            .copied()
+            .filter(|&id| s.cls.class_frozen(&view, id) == Class::Unknown)
+            .map(|id| view.node(id).assignment.clone())
+            .collect();
+    }
     let msps: Vec<Assignment> = msp_ids
         .iter()
         .map(|&id| dag.node(id).assignment.clone())
@@ -491,6 +550,7 @@ pub(crate) fn finish(
         gen_stats: dag.stats(),
         nodes_materialized: dag.len(),
         complete,
+        manifest,
     }
 }
 
@@ -527,6 +587,11 @@ pub(crate) struct Session<'c> {
     pub available: bool,
     pub threshold: f64,
     pub cfg: &'c MiningConfig,
+    /// Timeout/retry counters accumulated by the crowd-access policy.
+    pub manifest: PartialManifest,
+    /// Nodes the retry policy gave up on, in first-give-up order.
+    pub gave_up: Vec<NodeId>,
+    pub gave_up_set: HashSet<NodeId>,
 }
 
 pub(crate) enum SpecOutcome {
@@ -538,6 +603,8 @@ pub(crate) enum SpecOutcome {
     NoJump,
     /// The member left.
     Gone,
+    /// The member stalled past the retry budget; nothing was classified.
+    TimedOut,
 }
 
 impl Session<'_> {
@@ -558,6 +625,27 @@ impl Session<'_> {
         });
     }
 
+    /// Records that the retry policy gave up on `id` (stays `Unknown`).
+    fn give_up(&mut self, id: NodeId) {
+        if self.gave_up_set.insert(id) {
+            self.gave_up.push(id);
+        }
+    }
+
+    /// Step-level invariant checks, on when `cfg.debug_checks` is set.
+    fn check_step(&self, dag: &Dag<'_>) {
+        if let Err(e) = crate::invariants::check_classification_monotonicity(dag, &self.cls) {
+            panic!("simulation invariant violated: {e}");
+        }
+        if let Some(mx) = self.cfg.max_questions {
+            assert!(
+                self.questions <= mx,
+                "simulation invariant violated: {} questions exceed the budget of {mx}",
+                self.questions
+            );
+        }
+    }
+
     /// Asks a concrete question about `id`; returns whether it turned out
     /// significant (for this member).
     pub fn ask_concrete<C: CrowdSource>(
@@ -568,7 +656,16 @@ impl Session<'_> {
         id: NodeId,
     ) -> bool {
         let pattern = dag.node(id).assignment.apply(dag.query());
-        match crowd.ask(member, &Question::Concrete { pattern }) {
+        let question = Question::Concrete { pattern };
+        let answer = ask_with_retry(
+            crowd,
+            member,
+            &question,
+            &self.cfg.policy,
+            &mut self.manifest.timeouts,
+            &mut self.manifest.retries,
+        );
+        let sig = match answer {
             Answer::Support { support, more_tip } => {
                 self.questions += 1;
                 if let Some(tip) = more_tip {
@@ -598,10 +695,19 @@ impl Session<'_> {
                 self.available = false;
                 false
             }
+            Answer::NoResponse => {
+                // retries exhausted: give up, leave the pattern Unknown
+                self.give_up(id);
+                false
+            }
             Answer::Specialized { .. } | Answer::NoneOfThese => {
                 unreachable!("specialization answers to a concrete question")
             }
+        };
+        if self.cfg.debug_checks {
+            self.check_step(dag);
         }
+        sig
     }
 
     /// Asks a specialization question at `base` with the given options.
@@ -620,7 +726,15 @@ impl Session<'_> {
                 .map(|&o| dag.node(o).assignment.apply(dag.query()))
                 .collect(),
         };
-        match crowd.ask(member, &q) {
+        let answer = ask_with_retry(
+            crowd,
+            member,
+            &q,
+            &self.cfg.policy,
+            &mut self.manifest.timeouts,
+            &mut self.manifest.retries,
+        );
+        let outcome = match answer {
             Answer::Specialized { choice, support } => {
                 self.questions += 1;
                 let chosen = options[choice.min(options.len() - 1)];
@@ -663,19 +777,30 @@ impl Session<'_> {
                 self.available = false;
                 SpecOutcome::Gone
             }
+            // no give-up here: the caller falls back to a concrete probe
+            // of the first option, whose own give-up guarantees progress
+            Answer::NoResponse => SpecOutcome::TimedOut,
             Answer::Support { .. } => unreachable!("support answer to a specialization question"),
+        };
+        if self.cfg.debug_checks {
+            self.check_step(dag);
         }
+        outcome
     }
 }
 
 /// Finds a minimal (most general) unclassified node: DFS from the roots
 /// through expanded significant nodes, then pick a ≤-minimal candidate.
 /// Children of insignificant nodes are skipped — they are classified by
-/// inference and need never be materialized.
+/// inference and need never be materialized. Nodes in `skip` (ones the
+/// retry policy gave up on) are not offered as candidates; completeness
+/// checks pass an empty set so a gave-up node still forces
+/// `complete == false`.
 pub(crate) fn find_minimal_unclassified(
     dag: &mut Dag<'_>,
     cls: &mut Classifier,
     pool: &minipool::Pool,
+    skip: &HashSet<NodeId>,
 ) -> Option<NodeId> {
     let mut candidates: Vec<NodeId> = Vec::new();
     let mut seen: HashSet<NodeId> = HashSet::new();
@@ -683,7 +808,11 @@ pub(crate) fn find_minimal_unclassified(
     seen.extend(stack.iter().copied());
     while let Some(id) = stack.pop() {
         match cls.class(dag, id) {
-            Class::Unknown => candidates.push(id),
+            Class::Unknown => {
+                if !skip.contains(&id) {
+                    candidates.push(id);
+                }
+            }
             Class::Significant => {
                 for c in dag.children(id) {
                     if seen.insert(c) {

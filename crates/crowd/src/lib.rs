@@ -29,7 +29,10 @@
 //!   Section 4.2: support of a more specific pattern can never exceed that
 //!   of a more general one;
 //! * [`parallel`] — members as concurrent worker-thread sessions
-//!   (Section 4.2's "multiple crowd-members working in parallel").
+//!   (Section 4.2's "multiple crowd-members working in parallel");
+//! * [`CrowdPolicy`] — the crowd-access policy layer (per-question
+//!   timeout, capped retry with deterministic backoff) that lets the
+//!   engines degrade gracefully when answers never arrive.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +41,7 @@ mod answer_model;
 mod db;
 mod member;
 pub mod parallel;
+mod policy;
 pub mod population;
 pub mod quality;
 mod question;
@@ -46,4 +50,5 @@ pub use answer_model::AnswerModel;
 pub use db::PersonalDb;
 pub use member::{MemberBehavior, SessionSnapshot, SimulatedCrowd, SimulatedMember};
 pub use parallel::{with_parallel_crowd, ParallelHandle};
+pub use policy::CrowdPolicy;
 pub use question::{Answer, CrowdSource, MemberId, Question};

@@ -28,6 +28,13 @@ pub struct MemberBehavior {
     /// A spammer answers uniformly at random, ignoring their database
     /// (used to exercise the quality filter of Section 4.2).
     pub spammer: bool,
+    /// Every `k`-th question *received* goes unanswered within the
+    /// engine's timeout ([`Answer::NoResponse`]): the member stalls but
+    /// stays in the session, so a retry under a
+    /// [`CrowdPolicy`](crate::CrowdPolicy) succeeds. Stalled questions do
+    /// not count against [`session_limit`](Self::session_limit) — the
+    /// member never saw them through. `None` = never stalls.
+    pub stall_every: Option<usize>,
 }
 
 impl Default for MemberBehavior {
@@ -37,6 +44,7 @@ impl Default for MemberBehavior {
             pruning_prob: 0.0,
             more_tip_prob: 0.0,
             spammer: false,
+            stall_every: None,
         }
     }
 }
@@ -55,6 +63,7 @@ pub struct SimulatedMember {
     pub profile: Vec<String>,
     rng: StdRng,
     questions_answered: usize,
+    asks_seen: usize,
 }
 
 impl SimulatedMember {
@@ -72,6 +81,7 @@ impl SimulatedMember {
             profile: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             questions_answered: 0,
+            asks_seen: 0,
         }
     }
 
@@ -97,6 +107,7 @@ impl SimulatedMember {
         SessionSnapshot {
             rng: self.rng.clone(),
             questions_answered: self.questions_answered,
+            asks_seen: self.asks_seen,
         }
     }
 
@@ -104,12 +115,14 @@ impl SimulatedMember {
     pub fn restore_session(&mut self, snapshot: SessionSnapshot) {
         self.rng = snapshot.rng;
         self.questions_answered = snapshot.questions_answered;
+        self.asks_seen = snapshot.asks_seen;
     }
 
     /// Resets the per-session question counter (a member returning for a
     /// new query).
     pub fn reset_session(&mut self) {
         self.questions_answered = 0;
+        self.asks_seen = 0;
     }
 
     /// Answers a question against the member's ground truth.
@@ -117,6 +130,12 @@ impl SimulatedMember {
         if let Some(limit) = self.behavior.session_limit {
             if self.questions_answered >= limit {
                 return Answer::Unavailable;
+            }
+        }
+        self.asks_seen += 1;
+        if let Some(k) = self.behavior.stall_every {
+            if k > 0 && self.asks_seen.is_multiple_of(k) {
+                return Answer::NoResponse;
             }
         }
         self.questions_answered += 1;
@@ -230,6 +249,7 @@ impl SimulatedMember {
 pub struct SessionSnapshot {
     rng: StdRng,
     questions_answered: usize,
+    asks_seen: usize,
 }
 
 /// A crowd of simulated members sharing a vocabulary, implementing
@@ -463,6 +483,24 @@ mod tests {
             }
         }
         assert!(saw_nonzero);
+    }
+
+    #[test]
+    fn stalling_member_recovers_on_retry() {
+        let behavior = MemberBehavior {
+            stall_every: Some(2),
+            ..Default::default()
+        };
+        let (ont, mut m) = u1(behavior, AnswerModel::Exact);
+        let v = ont.vocab();
+        let p = PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]);
+        let q = Question::Concrete { pattern: p };
+        // 1st ask answers, 2nd stalls, the retry (3rd ask) answers again —
+        // and the stall never counts against the session limit
+        assert!(matches!(m.answer(v, &q), Answer::Support { .. }));
+        assert!(matches!(m.answer(v, &q), Answer::NoResponse));
+        assert!(matches!(m.answer(v, &q), Answer::Support { .. }));
+        assert_eq!(m.questions_answered(), 2);
     }
 
     #[test]

@@ -335,6 +335,57 @@ mod tests {
     }
 
     #[test]
+    fn stalls_survive_speculation_rollback() {
+        // A stalling member periodically returns NoResponse; the stall
+        // counter is part of the session snapshot, so speculation hits,
+        // misses and leftovers must reproduce the exact sequential stream
+        // of Support/NoResponse answers.
+        let ont = figure1::ontology();
+        let v = ont.vocab();
+        let make = || {
+            let [d1, _] = figure1::personal_dbs(&ont);
+            vec![SimulatedMember::new(
+                PersonalDb::from_transactions(d1),
+                MemberBehavior {
+                    stall_every: Some(2),
+                    ..Default::default()
+                },
+                AnswerModel::Exact,
+                9,
+            )]
+        };
+        let q1 = Question::Concrete {
+            pattern: PatternSet::from_facts([v.fact("Biking", "doAt", "Central Park").unwrap()]),
+        };
+        let q2 = Question::Concrete {
+            pattern: PatternSet::from_facts([v
+                .fact("Feed a Monkey", "doAt", "Bronx Zoo")
+                .unwrap()]),
+        };
+        let mut seq = SimulatedCrowd::new(v, make());
+        let expect: Vec<Answer> = [&q1, &q2, &q1, &q2]
+            .iter()
+            .map(|q| seq.ask(MemberId(0), q))
+            .collect();
+        assert!(expect.contains(&Answer::NoResponse));
+
+        let (got, _) = with_parallel_crowd(v, make(), |crowd| {
+            let mut got = Vec::new();
+            // hit on an answer, hit on a stall
+            crowd.prefetch(&[(MemberId(0), q1.clone())]);
+            got.push(crowd.ask(MemberId(0), &q1));
+            crowd.prefetch(&[(MemberId(0), q2.clone())]);
+            got.push(crowd.ask(MemberId(0), &q2));
+            // miss across a stall boundary — must roll the counter back
+            crowd.prefetch(&[(MemberId(0), q2.clone())]);
+            got.push(crowd.ask(MemberId(0), &q1));
+            got.push(crowd.ask(MemberId(0), &q2));
+            got
+        });
+        assert_eq!(got, expect);
+    }
+
+    #[test]
     fn mining_runs_unchanged_on_the_parallel_crowd() {
         // The vertical algorithm is agnostic to where answers come from.
         let ont = figure1::ontology();

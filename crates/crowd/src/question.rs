@@ -81,6 +81,12 @@ pub enum Answer {
     /// can be terminated at any point if the user does not wish to answer
     /// more questions").
     Unavailable,
+    /// No answer arrived within the per-question timeout of the engine's
+    /// [`CrowdPolicy`](crate::CrowdPolicy). Transient: the member is still
+    /// in the session and may answer a retry — unlike
+    /// [`Answer::Unavailable`], this must never deactivate the member.
+    /// Never cached (there is nothing to cache).
+    NoResponse,
 }
 
 /// A source of crowd answers. The production implementation would be a
@@ -123,6 +129,15 @@ pub trait CrowdSource {
     fn prefetch(&mut self, batch: &[(MemberId, Question)]) {
         let _ = batch;
     }
+
+    /// Notifies the source that the engine is waiting `ticks` logical
+    /// clock ticks (retry backoff of the [`CrowdPolicy`](crate::CrowdPolicy)).
+    /// Simulated sources advance their event clock so delayed answers can
+    /// arrive; real sources (and the default) ignore it — wall-clock
+    /// waiting belongs to the transport, not the protocol.
+    fn advance_clock(&mut self, ticks: u64) {
+        let _ = ticks;
+    }
 }
 
 impl<C: CrowdSource + ?Sized> CrowdSource for &mut C {
@@ -148,5 +163,9 @@ impl<C: CrowdSource + ?Sized> CrowdSource for &mut C {
 
     fn prefetch(&mut self, batch: &[(MemberId, Question)]) {
         (**self).prefetch(batch)
+    }
+
+    fn advance_clock(&mut self, ticks: u64) {
+        (**self).advance_clock(ticks)
     }
 }

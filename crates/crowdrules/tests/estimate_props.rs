@@ -1,0 +1,118 @@
+//! Property tests for the rule-significance estimator
+//! (`crowdrules::estimate`): interval sanity, sample-count monotonicity,
+//! and empirical coverage of the configured confidence level.
+
+use crowdrules::estimate::{RuleClass, RuleEstimate, RunningStat};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn stat_of(samples: &[f64]) -> RunningStat {
+    let mut st = RunningStat::default();
+    for &x in samples {
+        st.push(x.clamp(0.0, 1.0));
+    }
+    st
+}
+
+proptest! {
+    /// `interval` is always an ordered pair bracketing the mean, inside
+    /// `[0, 1]`.
+    #[test]
+    fn interval_bounds_are_ordered(
+        samples in prop::collection::vec(0.0f64..=1.0, 1..40),
+        z in 0.0f64..4.0,
+    ) {
+        let st = stat_of(&samples);
+        let (lo, hi) = st.interval(z);
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= st.mean() + 1e-12);
+        prop_assert!(st.mean() <= hi + 1e-12);
+    }
+
+    /// More evidence never widens the interval: replicating the whole
+    /// sample set keeps the mean and shrinks (or keeps) the half-width,
+    /// and appending a sample at the current mean does the same.
+    #[test]
+    fn interval_is_monotone_in_sample_count(
+        samples in prop::collection::vec(0.0f64..=1.0, 2..30),
+        reps in 2usize..5,
+    ) {
+        let st = stat_of(&samples);
+        let (lo, hi) = st.interval(1.96);
+
+        let mut replicated = Vec::new();
+        for _ in 0..reps {
+            replicated.extend_from_slice(&samples);
+        }
+        let st_rep = stat_of(&replicated);
+        let (lo_r, hi_r) = st_rep.interval(1.96);
+        prop_assert!((st_rep.mean() - st.mean()).abs() < 1e-9);
+        prop_assert!(hi_r - lo_r <= (hi - lo) + 1e-9,
+            "replicating samples widened the interval: {:?} -> {:?}",
+            (lo, hi), (lo_r, hi_r));
+
+        let mut st_more = st;
+        st_more.push(st.mean());
+        let (lo_m, hi_m) = st_more.interval(1.96);
+        prop_assert!(hi_m - lo_m <= (hi - lo) + 1e-9,
+            "a mean-valued sample widened the interval");
+    }
+
+    /// The classifier never contradicts overwhelming one-sided evidence,
+    /// and `Unknown` is the only possible verdict below `min_samples`.
+    #[test]
+    fn classify_respects_min_samples_and_clear_evidence(
+        n in 1usize..60,
+        min_samples in 1usize..20,
+    ) {
+        let mut e = RuleEstimate::default();
+        for _ in 0..n {
+            e.record(0.95, 0.05);
+        }
+        let class = e.classify(0.5, 0.5, 1.96, min_samples);
+        if n < min_samples {
+            prop_assert_eq!(class, RuleClass::Unknown);
+        } else {
+            // confidence evidence (0.05 ≪ 0.5) is decisively negative
+            prop_assert_eq!(class, RuleClass::Insignificant);
+        }
+    }
+}
+
+/// Empirical coverage: on synthetic Bernoulli-mixture data with a known
+/// population mean, the 95% interval contains the true mean at well
+/// above the worst-case rate the normal approximation admits. The RNG is
+/// fixed-seeded, so the observed rate is exact and stable.
+#[test]
+fn interval_covers_the_true_mean_at_the_configured_rate() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let trials = 400;
+    let n = 60;
+    let mut covered = 0;
+    for _ in 0..trials {
+        let p: f64 = rng.gen_range(0.2..0.8);
+        let mut st = RunningStat::default();
+        for _ in 0..n {
+            // a Bernoulli habit blurred by reporting noise, like the
+            // bucketed answer models upstream
+            let x = if rng.gen_bool(p) { 1.0 } else { 0.0 };
+            let noise: f64 = rng.gen_range(-0.05..0.05);
+            st.push((x + noise).clamp(0.0, 1.0));
+        }
+        let (lo, hi) = st.interval(1.96);
+        if (lo..=hi).contains(&p) {
+            covered += 1;
+        }
+    }
+    let rate = f64::from(covered) / f64::from(trials);
+    assert!(
+        rate >= 0.85,
+        "95% interval covered the true mean in only {rate:.3} of trials"
+    );
+    assert!(
+        rate <= 1.0 - f64::EPSILON || covered == trials,
+        "sanity: rate in [0,1]"
+    );
+}

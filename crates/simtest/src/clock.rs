@@ -1,0 +1,47 @@
+//! The logical event clock driving a simulated crowd session.
+//!
+//! One tick per question asked; the engine's retry backoff advances the
+//! clock through [`CrowdSource::advance_clock`](crowd::CrowdSource::advance_clock),
+//! so fault windows (delays, absences) interact with the
+//! [`CrowdPolicy`](crowd::CrowdPolicy) deterministically — no wall-clock
+//! time anywhere.
+
+/// A monotone logical clock. Ticks are abstract: the simulation advances
+/// it by one per ask and by the policy's backoff between retries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogicalClock {
+    now: u64,
+}
+
+impl LogicalClock {
+    /// A clock at tick zero.
+    pub fn new() -> Self {
+        LogicalClock::default()
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances by `ticks` and returns the new time.
+    pub fn advance(&mut self, ticks: u64) -> u64 {
+        self.now = self.now.saturating_add(ticks);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone_and_saturating() {
+        let mut c = LogicalClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(3), 3);
+        assert_eq!(c.advance(0), 3);
+        c.advance(u64::MAX);
+        assert_eq!(c.now(), u64::MAX);
+    }
+}

@@ -1,0 +1,33 @@
+//! Deterministic crowd-simulation subsystem (FoundationDB-style).
+//!
+//! Everything in a simulated session is a pure function of one `u64`
+//! seed: the synthetic world (a planted-MSP assignment DAG), the crowd
+//! (a pure oracle answering from planted truth), the fault [`Schedule`]
+//! (drops, bounded delays, contradictions, member churn, absences) and
+//! the engine's RNG. A [`LogicalClock`] replaces wall-clock time, so
+//! the engine's [`CrowdPolicy`](crowd::CrowdPolicy) timeout/retry/backoff
+//! machinery interacts with fault windows reproducibly.
+//!
+//! * [`schedule`] — the fault model and its one-line replayable grammar.
+//! * [`faulty`] — [`FaultyCrowd`], the schedule-driven crowd wrapper,
+//!   and the [`SimTrace`] determinism digest.
+//! * [`harness`] — [`run_seed`]: differential oracles across all four
+//!   engines and pool widths {1, 2, 4, 8}, graceful-degradation and
+//!   budget checks, and bit-identical-replay verification.
+//! * [`shrink`] — ddmin-style minimization of failing schedules to a
+//!   1-minimal, replayable counterexample.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod faulty;
+pub mod harness;
+pub mod schedule;
+pub mod shrink;
+
+pub use clock::LogicalClock;
+pub use faulty::{FaultyCrowd, SimTrace, TraceEntry};
+pub use harness::{run_corpus, run_seed, run_with_schedule, shrink_failure, SimConfig, SimReport};
+pub use schedule::{FaultEvent, FaultKind, Schedule};
+pub use shrink::shrink as shrink_schedule;

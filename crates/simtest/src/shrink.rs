@@ -1,0 +1,97 @@
+//! Schedule shrinking: minimize a failing fault schedule to the smallest
+//! event subset that still reproduces the failure.
+//!
+//! A ddmin-style greedy reducer: repeatedly try removing chunks of
+//! events (halving chunk sizes down to single events) and keep any
+//! removal under which the failure predicate still holds, looping to a
+//! fixpoint. Because schedule replay is deterministic, the predicate is
+//! a pure function of the schedule and the result is reproducible; the
+//! shrunk schedule's [`Schedule::to_line`] is the one-line replayable
+//! counterexample reported to the user.
+
+use crate::schedule::Schedule;
+
+/// Shrinks `schedule` while `fails` keeps returning `true`. The returned
+/// schedule still fails (it is only ever replaced by a smaller failing
+/// one) and is 1-minimal: removing any single remaining event makes the
+/// failure disappear.
+pub fn shrink<F: FnMut(&Schedule) -> bool>(schedule: &Schedule, mut fails: F) -> Schedule {
+    debug_assert!(fails(schedule), "shrink() needs a failing schedule");
+    let mut best = schedule.clone();
+    loop {
+        let before = best.events.len();
+        let mut chunk = (best.events.len() / 2).max(1);
+        while chunk >= 1 {
+            let mut start = 0;
+            while start < best.events.len() {
+                let mut candidate = best.clone();
+                let end = (start + chunk).min(candidate.events.len());
+                candidate.events.drain(start..end);
+                if fails(&candidate) {
+                    best = candidate;
+                    // re-test the same offset: the next chunk slid into it
+                } else {
+                    start += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if best.events.len() == before {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FaultEvent, FaultKind};
+
+    fn sched(n: usize) -> Schedule {
+        Schedule {
+            events: (0..n)
+                .map(|i| FaultEvent {
+                    at: i as u64,
+                    member: 0,
+                    kind: FaultKind::Drop,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // failure iff the event at tick 13 is present
+        let fails = |s: &Schedule| s.events.iter().any(|e| e.at == 13);
+        let out = shrink(&sched(40), fails);
+        assert_eq!(out.events.len(), 1);
+        assert_eq!(out.events[0].at, 13);
+    }
+
+    #[test]
+    fn shrinks_conjunctions_to_minimal_pairs() {
+        // failure needs both tick 3 and tick 17
+        let fails = |s: &Schedule| {
+            s.events.iter().any(|e| e.at == 3) && s.events.iter().any(|e| e.at == 17)
+        };
+        let out = shrink(&sched(30), fails);
+        assert_eq!(out.events.len(), 2);
+        let ticks: Vec<u64> = out.events.iter().map(|e| e.at).collect();
+        assert_eq!(ticks, vec![3, 17]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let fails = |s: &Schedule| s.events.len() >= 3;
+        let out = shrink(&sched(24), fails);
+        assert_eq!(out.events.len(), 3);
+        for i in 0..out.events.len() {
+            let mut smaller = out.clone();
+            smaller.events.remove(i);
+            assert!(!fails(&smaller));
+        }
+    }
+}

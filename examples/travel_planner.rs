@@ -64,6 +64,7 @@ fn main() {
             pruning_prob: 0.25,
             more_tip_prob: 0.3,
             spammer: false,
+            stall_every: None,
         },
         answer_model: AnswerModel::Bucketed5,
         seed: 42,

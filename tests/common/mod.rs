@@ -1,0 +1,68 @@
+//! Shared population/member builders for the integration tests.
+//!
+//! Each test binary compiles this module independently, so helpers a
+//! given binary does not use are expected dead code.
+#![allow(dead_code)]
+
+use oassis::crowd::population::HabitProfile;
+use oassis::ontology::domains::figure1;
+use oassis::prelude::*;
+
+/// The Figure-1 habit mix used across the failure-injection scenarios:
+/// a biking-in-Central-Park majority habit and a zoo minority habit.
+pub fn figure1_profiles(ont: &Ontology) -> Vec<HabitProfile> {
+    let v = ont.vocab();
+    vec![
+        HabitProfile {
+            facts: vec![v.fact("Biking", "doAt", "Central Park").unwrap()],
+            adoption: 0.9,
+            frequency: 0.6,
+        },
+        HabitProfile {
+            facts: vec![v.fact("Feed a Monkey", "doAt", "Bronx Zoo").unwrap()],
+            adoption: 0.85,
+            frequency: 0.5,
+        },
+    ]
+}
+
+/// The travel-domain habit mix of the end-to-end scenarios: two profile
+/// groups with distinct activity/snack pairings.
+pub fn travel_profiles(ont: &Ontology) -> Vec<HabitProfile> {
+    let v = ont.vocab();
+    let fact = |s: &str, r: &str, o: &str| v.fact(s, r, o).expect("domain term");
+    vec![
+        HabitProfile {
+            facts: vec![
+                fact("ActivityKind5", "doAt", "Attraction1"),
+                fact("Snack1", "eatAt", "Restaurant1"),
+            ],
+            adoption: 0.95,
+            frequency: 0.6,
+        },
+        HabitProfile {
+            facts: vec![
+                fact("ActivityKind7", "doAt", "Attraction2"),
+                fact("Snack2", "eatAt", "Restaurant2"),
+            ],
+            adoption: 0.7,
+            frequency: 0.45,
+        },
+    ]
+}
+
+/// The paper's "average user" over the Figure-1 personal DBs (three
+/// copies of db1 plus db2), answering exactly.
+pub fn figure1_avg_member(ont: &Ontology, seed: u64) -> SimulatedMember {
+    let [d1, d2] = figure1::personal_dbs(ont);
+    let mut tx = d1;
+    for _ in 0..3 {
+        tx.extend(d2.iter().cloned());
+    }
+    SimulatedMember::new(
+        PersonalDb::from_transactions(tx),
+        MemberBehavior::default(),
+        AnswerModel::Exact,
+        seed,
+    )
+}

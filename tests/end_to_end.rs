@@ -6,28 +6,8 @@ use oassis::crowd::population::{generate, HabitProfile, PopulationConfig};
 use oassis::ontology::domains::{culinary, self_treatment, travel, DomainScale};
 use oassis::prelude::*;
 
-fn travel_profiles(ont: &Ontology) -> Vec<HabitProfile> {
-    let v = ont.vocab();
-    let fact = |s: &str, r: &str, o: &str| v.fact(s, r, o).expect("domain term");
-    vec![
-        HabitProfile {
-            facts: vec![
-                fact("ActivityKind5", "doAt", "Attraction1"),
-                fact("Snack1", "eatAt", "Restaurant1"),
-            ],
-            adoption: 0.95,
-            frequency: 0.6,
-        },
-        HabitProfile {
-            facts: vec![
-                fact("ActivityKind7", "doAt", "Attraction2"),
-                fact("Snack2", "eatAt", "Restaurant2"),
-            ],
-            adoption: 0.7,
-            frequency: 0.45,
-        },
-    ]
-}
+mod common;
+use common::travel_profiles;
 
 #[test]
 fn travel_domain_end_to_end() {

@@ -1,25 +1,12 @@
 //! Failure injection across the stack: flaky members, spam, undecidable
 //! aggregation, question budgets, and recovery via cached answers.
 
-use oassis::crowd::population::{generate, HabitProfile, PopulationConfig};
+use oassis::crowd::population::{generate, PopulationConfig};
 use oassis::ontology::domains::figure1;
 use oassis::prelude::*;
 
-fn profiles(ont: &Ontology) -> Vec<HabitProfile> {
-    let v = ont.vocab();
-    vec![
-        HabitProfile {
-            facts: vec![v.fact("Biking", "doAt", "Central Park").unwrap()],
-            adoption: 0.9,
-            frequency: 0.6,
-        },
-        HabitProfile {
-            facts: vec![v.fact("Feed a Monkey", "doAt", "Bronx Zoo").unwrap()],
-            adoption: 0.85,
-            frequency: 0.5,
-        },
-    ]
-}
+mod common;
+use common::figure1_profiles as profiles;
 
 #[test]
 fn everyone_leaving_immediately_yields_empty_but_sane_output() {

@@ -187,8 +187,68 @@ fn multi_synthetic_crowd_with_pruning_clicks() {
     assert_eq!(d, GOLDEN_MULTI_SYNTHETIC);
 }
 
+/// The crowd-rules miner (the only engine path previously without a
+/// golden guard): a planted-habit synthetic crowd, a fixed question
+/// budget, and a digest over the final candidate/estimate state.
+#[test]
+fn golden_crowdrules_miner() {
+    use crowdrules::{
+        AssociationRule, CrowdMiner, ItemId, Itemset, MinerConfig, SimConfig, SimulatedRuleCrowd,
+    };
+    let iset = |items: &[u32]| Itemset::new(items.iter().map(|&i| ItemId(i)));
+    let sim = SimConfig {
+        members: 120,
+        habits: vec![
+            (iset(&[1, 2]), 0.7),
+            (iset(&[3, 4]), 0.55),
+            (iset(&[5, 6]), 0.05),
+        ],
+        answer_noise: 0.02,
+        seed: 11,
+        ..Default::default()
+    };
+    let mut crowd = SimulatedRuleCrowd::generate(&sim);
+    let mut miner = CrowdMiner::new(
+        MinerConfig {
+            theta_support: 0.35,
+            theta_confidence: 0.6,
+            seed: 11,
+            ..Default::default()
+        },
+        vec![AssociationRule::new(iset(&[1]), iset(&[2])).unwrap()],
+    );
+    miner.run(&mut crowd, 500);
+
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv_usize(&mut h, miner.questions());
+    fnv_usize(&mut h, crowd.questions_asked());
+    fnv_usize(&mut h, miner.candidates());
+    let mut significant: Vec<String> = miner
+        .significant_rules()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    significant.sort();
+    for r in &significant {
+        fnv(&mut h, r.as_bytes());
+    }
+    let mut open: Vec<String> = miner
+        .open_candidates()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    open.sort();
+    for r in &open {
+        fnv(&mut h, r.as_bytes());
+    }
+    println!("crowdrules_miner digest = 0x{h:016x}");
+    assert_eq!(h, GOLDEN_CROWDRULES_MINER);
+}
+
 // Captured from the pre-index witness-scan engine; see module docs.
 const GOLDEN_VERTICAL_FIGURE1: u64 = 0x43da68006cc27301;
 const GOLDEN_VERTICAL_SYNTHETIC: u64 = 0xdeab91c0df65d2d8;
 const GOLDEN_MULTI_FIGURE1: u64 = 0x91d1bfe9c869b6ad;
 const GOLDEN_MULTI_SYNTHETIC: u64 = 0x4b3695f5ead79508;
+// Captured when the crowd-rules miner gained its golden guard.
+const GOLDEN_CROWDRULES_MINER: u64 = 0xa5dbb6fba9ce7cd6;

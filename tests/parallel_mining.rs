@@ -1,10 +1,12 @@
 //! Cross-crate test: the full multi-user mining engine running over
-//! concurrent crowd sessions (crowd::parallel), and agreement with the
-//! sequential crowd.
+//! concurrent crowd sessions (crowd::parallel), agreement with the
+//! sequential crowd, and graceful degradation of the engine entry points
+//! (`execute`, `execute_concurrent`) under simulated fault schedules.
 
 use oassis::crowd::with_parallel_crowd;
 use oassis::ontology::domains::figure1;
 use oassis::prelude::*;
+use simtest::{FaultyCrowd, Schedule};
 
 fn members(ont: &Ontology) -> Vec<SimulatedMember> {
     let [d1, d2] = figure1::personal_dbs(ont);
@@ -54,4 +56,113 @@ fn engine_results_identical_on_parallel_and_sequential_crowds() {
     assert!(par_ans.outcome.mining.complete);
     // every member worked
     assert!(returned.iter().all(|m| m.questions_answered() > 0));
+}
+
+#[test]
+fn execute_degrades_gracefully_under_fault_schedules() {
+    // Drops, absences, a timed-out delay and a mid-query departure hit
+    // the Figure-1 crowd; the engine must not panic, must keep the
+    // answered subset truthful, and must report the degradation in the
+    // partial-answer manifest instead of claiming completeness.
+    let ont = figure1::ontology();
+    let engine = Oassis::new(&ont).with_policy(oassis::crowd::CrowdPolicy::default());
+    let agg = FixedSampleAggregator { sample_size: 4 };
+    let cfg = MiningConfig::default();
+
+    let fault_free = {
+        let mut crowd = SimulatedCrowd::new(ont.vocab(), members(&ont));
+        let mut ans = engine
+            .execute(figure1::SIMPLE_QUERY, &mut crowd, &agg, &cfg)
+            .unwrap();
+        ans.answers.sort();
+        ans
+    };
+
+    let schedule = Schedule::parse("d0@0,d0@1,d0@2,y1@0(9),a2@1(5),x3@2").unwrap();
+    let mut faulty = FaultyCrowd::new(
+        SimulatedCrowd::new(ont.vocab(), members(&ont)),
+        &schedule,
+        4,
+    );
+    let mut ans = engine
+        .execute(figure1::SIMPLE_QUERY, &mut faulty, &agg, &cfg)
+        .unwrap();
+    ans.answers.sort();
+
+    for a in &ans.answers {
+        assert!(
+            fault_free.answers.contains(a),
+            "faulty run invented answer {a:?}"
+        );
+    }
+    let out = &ans.outcome.mining;
+    assert!(
+        out.manifest.timeouts > 0,
+        "the schedule's drops must surface as timeouts"
+    );
+    if !out.manifest.unanswered.is_empty() {
+        assert!(!out.complete, "unanswered patterns but complete == true");
+    }
+}
+
+#[test]
+fn execute_concurrent_is_width_independent_under_fault_schedules() {
+    // Two thresholds of the same query, each crowd wrapped in the same
+    // fault schedule: outcomes (answers, questions, manifest counters)
+    // must not depend on the pool width, and replaying must be
+    // bit-identical.
+    let ont = figure1::ontology();
+    let agg = FixedSampleAggregator { sample_size: 4 };
+    let cfg = MiningConfig::default();
+    let queries = [
+        figure1::SIMPLE_QUERY.replace("WITH SUPPORT = 0.4", "WITH SUPPORT = 0.3"),
+        figure1::SIMPLE_QUERY.to_owned(),
+    ];
+    let query_refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+    let schedule = Schedule::parse("d1@0,a0@2(4),c2@3").unwrap();
+
+    let run_at = |width: usize| -> Vec<(Vec<String>, usize, usize, usize, bool)> {
+        let engine = Oassis::new(&ont)
+            .with_policy(oassis::crowd::CrowdPolicy::default())
+            .with_pool(minipool::Pool::new(width));
+        let cache = oassis::core::SharedCrowdCache::default();
+        engine
+            .execute_concurrent(
+                &query_refs,
+                |_| {
+                    FaultyCrowd::new(
+                        SimulatedCrowd::new(ont.vocab(), members(&ont)),
+                        &schedule,
+                        4,
+                    )
+                },
+                &agg,
+                &cfg,
+                &cache,
+            )
+            .into_iter()
+            .map(|r| {
+                let a = r.expect("query failed under faults");
+                let mut answers = a.answers;
+                answers.sort();
+                let m = &a.outcome.mining;
+                (
+                    answers,
+                    m.questions,
+                    m.manifest.timeouts,
+                    m.manifest.retries,
+                    m.complete,
+                )
+            })
+            .collect()
+    };
+
+    let reference = run_at(1);
+    for width in [2usize, 4] {
+        assert_eq!(
+            run_at(width),
+            reference,
+            "pool width {width} changed a faulty concurrent outcome"
+        );
+    }
 }

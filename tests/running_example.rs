@@ -4,19 +4,8 @@
 use oassis::ontology::domains::figure1;
 use oassis::prelude::*;
 
-fn u_avg(ont: &Ontology, seed: u64) -> SimulatedMember {
-    let [d1, d2] = figure1::personal_dbs(ont);
-    let mut tx = d1;
-    for _ in 0..3 {
-        tx.extend(d2.iter().cloned());
-    }
-    SimulatedMember::new(
-        PersonalDb::from_transactions(tx),
-        MemberBehavior::default(),
-        AnswerModel::Exact,
-        seed,
-    )
-}
+mod common;
+use common::figure1_avg_member as u_avg;
 
 #[test]
 fn full_figure_2_query_with_restaurants() {
