@@ -1,0 +1,300 @@
+//! Comment- and string-aware source splitter.
+//!
+//! The registry is unreachable, so there is no `syn` here: rules match
+//! against a line-oriented view of the source where string/char-literal
+//! *contents* are blanked out (the delimiting quotes survive, so token
+//! boundaries stay visible) and comments are routed to a parallel
+//! per-line channel. Rules that look for code tokens scan `code`;
+//! rules that look for annotations (`// SAFETY:`, `// PANIC-OK:`,
+//! `// audit: allow(...)`) scan `comments`. Line numbering is shared,
+//! 1-based via [`Scanned::line`].
+//!
+//! Handled: line comments, nested block comments, doc comments,
+//! string literals with escapes, raw strings `r#"…"#` (any hash
+//! count), byte and raw-byte strings, char/byte-char literals, and
+//! the char-literal/lifetime ambiguity (`'a'` vs `'a`).
+
+/// One source file split into per-line code and comment channels.
+#[derive(Debug, Clone)]
+pub struct Scanned {
+    /// Code text per line: comments removed, literal contents blanked.
+    pub code: Vec<String>,
+    /// Comment text per line (without `//` / `/*` markers), `""` if none.
+    pub comments: Vec<String>,
+}
+
+impl Scanned {
+    /// Number of lines in the file.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Code of 1-based `line`, or `""` out of range.
+    pub fn line(&self, line: usize) -> &str {
+        line.checked_sub(1)
+            .and_then(|i| self.code.get(i))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Comment of 1-based `line`, or `""` out of range.
+    pub fn comment(&self, line: usize) -> &str {
+        line.checked_sub(1)
+            .and_then(|i| self.comments.get(i))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Whether the 1-based line holds only whitespace and/or comment
+    /// text (no code). Blank lines count as comment-only so annotation
+    /// lookup can walk an annotated comment block upward.
+    pub fn is_comment_only(&self, line: usize) -> bool {
+        self.line(line).trim().is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    /// Nested block comments: depth.
+    BlockComment(u32),
+    /// Inside `"…"`; bool = next char is escaped.
+    Str(bool),
+    /// Inside `r##"…"##`; number of `#`s.
+    RawStr(u32),
+    /// Inside `'…'`; bool = next char is escaped.
+    CharLit(bool),
+}
+
+/// Splits `src` into per-line code and comment channels.
+pub fn scan(src: &str) -> Scanned {
+    let mut code = Vec::new();
+    let mut comments = Vec::new();
+    let mut code_line = String::new();
+    let mut comment_line = String::new();
+    let mut state = State::Normal;
+
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A line comment always ends at the newline; every other
+            // state carries across (block comments, raw strings and
+            // ordinary strings may span lines).
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            code.push(std::mem::take(&mut code_line));
+            comments.push(std::mem::take(&mut comment_line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied().unwrap_or('\0');
+                if c == '/' && next == '/' {
+                    state = State::LineComment;
+                    i += 2;
+                    // Skip the optional doc-comment marker.
+                    if chars.get(i) == Some(&'/') || chars.get(i) == Some(&'!') {
+                        i += 1;
+                    }
+                } else if c == '/' && next == '*' {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code_line.push('"');
+                    state = State::Str(false);
+                    i += 1;
+                } else if c == 'r' && (next == '"' || next == '#') && !prev_is_ident(&code_line) {
+                    // Raw string r"…" / r#"…"# (an identifier ending in
+                    // `r` like `var` followed by `"` cannot occur in
+                    // valid Rust, but guard anyway).
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        code_line.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        // `r#ident` raw identifier — plain code.
+                        code_line.push(c);
+                        i += 1;
+                    }
+                } else if c == 'b' && next == '"' && !prev_is_ident(&code_line) {
+                    code_line.push('"');
+                    state = State::Str(false);
+                    i += 2;
+                } else if c == 'b'
+                    && next == 'r'
+                    && !prev_is_ident(&code_line)
+                    && matches!(chars.get(i + 2), Some('"') | Some('#'))
+                {
+                    let mut hashes = 0u32;
+                    let mut j = i + 2;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        code_line.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        code_line.push(c);
+                        i += 1;
+                    }
+                } else if c == 'b' && next == '\'' && !prev_is_ident(&code_line) {
+                    code_line.push('\'');
+                    state = State::CharLit(false);
+                    i += 2;
+                } else if c == '\'' {
+                    // Char literal or lifetime. `'x'` / `'\n'` are
+                    // literals; `'a` followed by a non-quote is a
+                    // lifetime and stays in the code channel.
+                    let n1 = chars.get(i + 1).copied().unwrap_or('\0');
+                    let n2 = chars.get(i + 2).copied().unwrap_or('\0');
+                    if n1 == '\\' || n2 == '\'' {
+                        code_line.push('\'');
+                        state = State::CharLit(false);
+                        i += 1;
+                    } else {
+                        code_line.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code_line.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment_line.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied().unwrap_or('\0');
+                if c == '*' && next == '/' {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment_line.push(c);
+                    i += 1;
+                }
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    state = State::Str(false);
+                } else if c == '\\' {
+                    state = State::Str(true);
+                } else if c == '"' {
+                    code_line.push('"');
+                    state = State::Normal;
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        code_line.push('"');
+                        state = State::Normal;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::CharLit(escaped) => {
+                if escaped {
+                    state = State::CharLit(false);
+                } else if c == '\\' {
+                    state = State::CharLit(true);
+                } else if c == '\'' {
+                    code_line.push('\'');
+                    state = State::Normal;
+                }
+                i += 1;
+            }
+        }
+    }
+    if !code_line.is_empty() || !comment_line.is_empty() {
+        code.push(code_line);
+        comments.push(comment_line);
+    }
+    Scanned { code, comments }
+}
+
+fn prev_is_ident(code_line: &str) -> bool {
+    code_line
+        .chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = scan("let x = 1; // trailing\n/* block\nstill */ let y = 2;\n");
+        assert_eq!(s.line(1), "let x = 1; ");
+        assert_eq!(s.comment(1), " trailing");
+        assert_eq!(s.line(2), "");
+        assert_eq!(s.comment(2), " block");
+        assert_eq!(s.line(3), " let y = 2;");
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_quotes() {
+        let s = scan("let s = \"// not a comment [0]\"; s.push('x');\n");
+        assert_eq!(s.line(1), "let s = \"\"; s.push('');");
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let s = scan("let r = r#\"has \"quotes\" and // stuff\"#;\nfn f<'a>(x: &'a str) {}\n");
+        assert_eq!(s.line(1), "let r = \"\";");
+        assert_eq!(s.line(2), "fn f<'a>(x: &'a str) {}");
+    }
+
+    #[test]
+    fn nested_block_comments_and_doc_comments() {
+        let s = scan("/* outer /* inner */ still */ code();\n/// SAFETY: doc\n");
+        assert_eq!(s.line(1), " code();");
+        assert!(s.comment(2).contains("SAFETY: doc"));
+    }
+
+    #[test]
+    fn char_literal_with_quote_and_escape() {
+        let s = scan("let q = '\"'; let n = '\\n'; let l: &'static str = \"x\";\n");
+        assert_eq!(
+            s.line(1),
+            "let q = ''; let n = ''; let l: &'static str = \"\";"
+        );
+    }
+}

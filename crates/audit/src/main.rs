@@ -1,0 +1,97 @@
+//! The `audit` binary: run the workspace pass, print findings as
+//! `file:line rule message`, write `AUDIT.json`, exit non-zero on any
+//! unsuppressed finding.
+//!
+//! ```text
+//! cargo run -p audit --release             # write AUDIT.json, gate on findings
+//! cargo run -p audit --release -- --check  # also fail if AUDIT.json drifted
+//! cargo run -p audit --release -- --root <dir> --json <file>
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json_path = args.next().map(PathBuf::from),
+            "--check" => check = true,
+            "--help" | "-h" => {
+                eprintln!("usage: audit [--root DIR] [--json FILE] [--check]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("audit: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| audit::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("audit: no workspace root found (looked for Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match audit::audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    let unsafe_total: usize = report.unsafe_census.values().sum();
+    let suppressed_total: usize = report.rule_counts.values().map(|c| c.suppressed).sum();
+    eprintln!(
+        "audit: {} files, {} open finding(s), {} suppressed, {} unsafe site(s)",
+        report.files_scanned,
+        report.findings.len(),
+        suppressed_total,
+        unsafe_total,
+    );
+
+    let json = report.to_json();
+    let json_path = json_path.unwrap_or_else(|| root.join("AUDIT.json"));
+    if check {
+        match std::fs::read_to_string(&json_path) {
+            Ok(on_disk) if on_disk == json => {}
+            Ok(_) => {
+                eprintln!(
+                    "audit: {} drifted from the scanned tree (re-run `cargo run -p audit \
+                     --release` and commit the result)",
+                    json_path.display()
+                );
+                return ExitCode::from(1);
+            }
+            Err(e) => {
+                eprintln!("audit: cannot read {}: {e}", json_path.display());
+                return ExitCode::from(1);
+            }
+        }
+    } else if let Err(e) = std::fs::write(&json_path, &json) {
+        eprintln!("audit: cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

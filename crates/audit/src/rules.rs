@@ -1,0 +1,602 @@
+//! The rule catalogue: D1–D5.
+//!
+//! Each rule takes the scanned file, its scope facts and (for D1) the
+//! statement segmentation, and returns raw findings; the orchestrator
+//! in `lib.rs` then applies the suppression grammar. The analyses are
+//! deliberately token-level heuristics — no type information exists
+//! without `syn` — tuned so that every firing is either a genuine
+//! invariant risk or a one-line, documented suppression. DESIGN.md §11
+//! records the exact patterns and their known blind spots.
+
+use crate::lexer::Scanned;
+use crate::scope::FileScope;
+use crate::segment::{stmts_in_block, Stmt};
+use crate::suppress;
+
+/// One raw rule firing (pre-suppression).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RawFinding {
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id (`D1`…`D5`, `SUP`).
+    pub rule: &'static str,
+    /// Human message (no file:line prefix; the printer adds it).
+    pub message: String,
+}
+
+fn finding(line: usize, rule: &'static str, message: impl Into<String>) -> RawFinding {
+    RawFinding {
+        line,
+        rule,
+        message: message.into(),
+    }
+}
+
+/// Whether `needle` occurs in `hay` delimited by non-identifier chars.
+pub fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !hay[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
+}
+
+// ---------------------------------------------------------------- D1
+
+/// Crates whose engine code must not leak hash-iteration order.
+const D1_CRATES: [&str; 3] = ["core", "crowd", "simtest"];
+
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Tokens that make an iteration order-*sensitive* when present in the
+/// same statement or loop body: growing an ordered collection, feeding
+/// a hasher, or writing output.
+const ORDER_SINKS: [&str; 9] = [
+    ".push(",
+    ".push_str(",
+    ".extend(",
+    ".append(",
+    ".write_u64(",
+    ".write_u32(",
+    ".write_usize(",
+    "write!(",
+    "writeln!(",
+];
+
+/// Chain terminals that are order-insensitive by construction.
+const ORDER_FREE_TERMINALS: [&str; 12] = [
+    ".count()",
+    ".sum(",
+    ".sum::",
+    ".product(",
+    ".min(",
+    ".min_by",
+    ".max(",
+    ".max_by",
+    ".all(",
+    ".any(",
+    ".contains(",
+    ".len()",
+];
+
+/// D1 — hash-order leaks: iteration over a `HashMap`/`HashSet` in
+/// `crates/{core,crowd,simtest}` whose results feed collection pushes,
+/// digests/output, or collected vectors must be sorted (or collected
+/// into a `BTree*`/re-keyed hash container, or sorted immediately
+/// after) — otherwise it needs an `// audit: allow(D1, …)`.
+pub fn d1(scope: &FileScope, stmts: &[Stmt]) -> Vec<RawFinding> {
+    if scope.is_test_file
+        || !D1_CRATES.contains(&scope.crate_name.as_str())
+        || !scope.path.contains("/src/")
+    {
+        return Vec::new();
+    }
+    let names = hash_typed_names(stmts);
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (si, st) in stmts.iter().enumerate() {
+        if scope.is_test_line(st.first_line) {
+            continue;
+        }
+        let Some(name) = hash_iteration_in(&st.text, &names) else {
+            continue;
+        };
+        let is_for_header =
+            st.text.starts_with("for ") && st.text.contains(" in ") && st.text.ends_with('{');
+        if is_for_header {
+            let Some(close) = st.body_close_line else {
+                continue;
+            };
+            let body: Vec<&Stmt> = stmts_in_block(stmts, st.first_line, close).collect();
+            let sink = body
+                .iter()
+                .any(|b| ORDER_SINKS.iter().any(|s| b.text.contains(s)));
+            if sink && !sinks_sorted_after(&body, stmts, close) {
+                out.push(finding(
+                    st.first_line,
+                    "D1",
+                    format!(
+                        "iteration over hash-ordered `{name}` feeds an order-sensitive \
+                         sink in the loop body; sort the keys first or annotate \
+                         `audit: allow(D1, ...)`"
+                    ),
+                ));
+            }
+        } else {
+            if ORDER_FREE_TERMINALS.iter().any(|t| st.text.contains(t)) {
+                continue;
+            }
+            let collects = st.text.contains(".collect");
+            let pushes = ORDER_SINKS.iter().any(|s| st.text.contains(s));
+            if !collects && !pushes {
+                continue;
+            }
+            // Collecting back into an unordered or sorted container is
+            // order-free.
+            if collects
+                && (st.text.contains("BTree")
+                    || st.text.contains("HashMap")
+                    || st.text.contains("HashSet"))
+            {
+                continue;
+            }
+            if collects && sorted_in_next_stmts(st, stmts, si) {
+                continue;
+            }
+            out.push(finding(
+                st.first_line,
+                "D1",
+                format!(
+                    "hash-ordered iteration of `{name}` reaches an ordered \
+                     result (collect/push) without sorting; sort or annotate \
+                     `audit: allow(D1, ...)`"
+                ),
+            ));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Identifiers declared (or typed) as `HashMap`/`HashSet` anywhere in
+/// the file: `let` bindings, struct fields and fn params.
+fn hash_typed_names(stmts: &[Stmt]) -> Vec<String> {
+    let mut names = Vec::new();
+    for st in stmts {
+        let t = &st.text;
+        if !t.contains("HashMap") && !t.contains("HashSet") {
+            continue;
+        }
+        // `let [mut] NAME …` where the hash type is the *binding's*
+        // type annotation (before the `=`) or its constructor (right
+        // after the `=`) — a hash literal buried deeper in the
+        // initializer (e.g. a struct field inside a `map` closure)
+        // does not make the binding hash-typed.
+        if let Some(rest) = t.strip_prefix("let ") {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            let (before_eq, after_eq) = match rest.split_once('=') {
+                Some((b, a)) => (b, a.trim_start()),
+                None => (rest, ""),
+            };
+            let annotated = before_eq.contains("HashMap") || before_eq.contains("HashSet");
+            let constructed = ["HashMap", "HashSet", "std::collections::Hash"]
+                .iter()
+                .any(|p| after_eq.starts_with(p));
+            if annotated || constructed {
+                if let Some(name) = leading_ident(rest) {
+                    push_unique(&mut names, name);
+                }
+            }
+        }
+        // `NAME: [&]['a ][mut ][std::collections::]Hash{Map,Set}` —
+        // struct fields and fn params.
+        for marker in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(p) = t[from..].find(marker) {
+                let abs = from + p;
+                if let Some(name) = ident_before_colon(&t[..abs]) {
+                    push_unique(&mut names, name);
+                }
+                from = abs + marker.len();
+            }
+        }
+    }
+    names
+}
+
+fn push_unique(names: &mut Vec<String>, name: String) {
+    if !name.is_empty() && !names.contains(&name) {
+        names.push(name);
+    }
+}
+
+fn leading_ident(s: &str) -> Option<String> {
+    let ident: String = s
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!ident.is_empty()).then_some(ident)
+}
+
+/// Walks back over `&`, lifetimes, `mut` and path prefixes from just
+/// before a `Hash{Map,Set}` occurrence; returns the identifier before
+/// the `:` if the shape is a type ascription.
+fn ident_before_colon(prefix: &str) -> Option<String> {
+    let mut rest = prefix.trim_end();
+    loop {
+        if let Some(r) = rest.strip_suffix("std::collections::") {
+            rest = r.trim_end();
+        } else if let Some(r) = rest.strip_suffix("collections::") {
+            rest = r.trim_end();
+        } else if let Some(r) = rest.strip_suffix("mut") {
+            // Only strip `mut` as a whole word.
+            if r.ends_with(|c: char| c.is_alphanumeric() || c == '_') {
+                break;
+            }
+            rest = r.trim_end();
+        } else if let Some(r) = rest.strip_suffix('&') {
+            rest = r.trim_end();
+        } else if let Some(apos) = rest.rfind('\'') {
+            // A trailing lifetime like `&'a `.
+            let (head, tail) = rest.split_at(apos);
+            if tail.len() > 1 && tail[1..].chars().all(|c| c.is_alphanumeric() || c == '_') {
+                rest = head.trim_end();
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    let rest = rest.strip_suffix(':')?.trim_end();
+    let ident: String = rest
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    (!ident.is_empty() && !ident.chars().next().unwrap().is_numeric()).then_some(ident)
+}
+
+/// Finds `NAME.iter()`-style hash iteration (or `for _ in [&]NAME`) in
+/// a statement; returns the matched name.
+fn hash_iteration_in(text: &str, names: &[String]) -> Option<String> {
+    for name in names {
+        let mut from = 0;
+        while let Some(p) = find_word_at(text, name, from) {
+            let after = &text[p + name.len()..];
+            // `NAME.method(` with an iteration method.
+            if let Some(rest) = after.strip_prefix('.') {
+                if ITER_METHODS
+                    .iter()
+                    .any(|m| rest.starts_with(&format!("{m}(")))
+                {
+                    return Some(name.clone());
+                }
+            }
+            // `for pat in [&][mut ][self.]NAME {` / `.. in NAME.iter() ..`
+            // (bare-name form: name directly followed by `{` or end).
+            let before = text[..p].trim_end();
+            let before = before.strip_suffix("self.").unwrap_or(before).trim_end();
+            if (before.ends_with(" in") || before.ends_with("in &") || before.ends_with("&mut"))
+                && (after.trim_start().starts_with('{') || after.trim().is_empty())
+            {
+                return Some(name.clone());
+            }
+            from = p + name.len();
+        }
+    }
+    None
+}
+
+/// Word-boundary find of `name` starting at `from`; also accepts a
+/// `self.` prefix (struct fields).
+fn find_word_at(text: &str, name: &str, from: usize) -> Option<usize> {
+    let mut start = from;
+    while let Some(pos) = text[start..].find(name) {
+        let abs = start + pos;
+        let before = text[..abs].chars().next_back();
+        let before_ok = match before {
+            None => true,
+            Some('.') => text[..abs].ends_with("self."),
+            Some(c) => !(c.is_alphanumeric() || c == '_'),
+        };
+        let after = abs + name.len();
+        let after_ok = !text[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        start = after;
+    }
+    None
+}
+
+/// Whether every `V.push(..)` receiver in the loop body is sorted
+/// within a few statements after the loop closes.
+fn sinks_sorted_after(body: &[&Stmt], all: &[Stmt], close_line: usize) -> bool {
+    let mut receivers: Vec<String> = Vec::new();
+    for b in body {
+        for sink in ORDER_SINKS {
+            if let Some(p) = b.text.find(sink) {
+                let recv: String = b.text[..p]
+                    .chars()
+                    .rev()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect::<String>()
+                    .chars()
+                    .rev()
+                    .collect();
+                if recv.is_empty() {
+                    // A macro sink (`write!`) has no sortable receiver.
+                    return false;
+                }
+                receivers.push(recv);
+            }
+        }
+    }
+    if receivers.is_empty() {
+        return false;
+    }
+    receivers.iter().all(|r| {
+        all.iter()
+            .filter(|s| s.first_line > close_line && s.first_line <= close_line + 6)
+            .any(|s| s.text.contains(&format!("{r}.sort")))
+    })
+}
+
+/// Whether the `let` binding of a collect-statement is `.sort`-ed in
+/// one of the next three statements.
+fn sorted_in_next_stmts(st: &Stmt, all: &[Stmt], si: usize) -> bool {
+    let Some(rest) = st.text.strip_prefix("let ") else {
+        return false;
+    };
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let Some(name) = leading_ident(rest) else {
+        return false;
+    };
+    all.iter()
+        .skip(si + 1)
+        .take(3)
+        .any(|s| s.text.contains(&format!("{name}.sort")))
+}
+
+// ---------------------------------------------------------------- D2
+
+/// D2 — nondeterminism sources banned outside `crates/bench` and test
+/// code: wall clocks, OS entropy, environment reads.
+pub fn d2(scope: &FileScope, scanned: &Scanned) -> Vec<RawFinding> {
+    if scope.is_test_file || scope.crate_name == "bench" {
+        return Vec::new();
+    }
+    const BANNED_WORDS: [&str; 3] = ["SystemTime", "Instant", "thread_rng"];
+    // `env::var` also catches `env::var_os` and `env::vars` as
+    // substrings; `env::args` (argv) is user input, not ambient state,
+    // and stays allowed.
+    const BANNED_PATHS: [&str; 1] = ["env::var"];
+    let mut out = Vec::new();
+    for (i, line) in scanned.code.iter().enumerate() {
+        let line_no = i + 1;
+        if scope.is_test_line(line_no) {
+            continue;
+        }
+        for w in BANNED_WORDS {
+            if contains_word(line, w) {
+                out.push(finding(
+                    line_no,
+                    "D2",
+                    format!("nondeterminism source `{w}` outside bench/test code"),
+                ));
+            }
+        }
+        for p in BANNED_PATHS {
+            if line.contains(p) {
+                out.push(finding(
+                    line_no,
+                    "D2",
+                    format!("environment read `{p}` outside bench/test code"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- D3
+
+/// An `unsafe` site (for the census) — the keyword introducing a
+/// block, fn, impl or trait.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// 1-based line of the `unsafe` keyword.
+    pub line: usize,
+    /// Whether a `// SAFETY:` justification covers it.
+    pub justified: bool,
+}
+
+/// D3 — unsafe inventory: every `unsafe` keyword (all crates,
+/// including vendor and tests) must carry a non-empty `// SAFETY:`
+/// comment on the same line or the comment block above. Returns the
+/// findings plus every site for the per-crate census.
+pub fn d3(scanned: &Scanned) -> (Vec<RawFinding>, Vec<UnsafeSite>) {
+    let mut out = Vec::new();
+    let mut sites = Vec::new();
+    for (i, line) in scanned.code.iter().enumerate() {
+        let line_no = i + 1;
+        if !contains_word(line, "unsafe") {
+            continue;
+        }
+        let justified = suppress::has_marker(scanned, "SAFETY:", line_no);
+        sites.push(UnsafeSite {
+            line: line_no,
+            justified,
+        });
+        if !justified {
+            out.push(finding(
+                line_no,
+                "D3",
+                "`unsafe` without a `// SAFETY:` justification",
+            ));
+        }
+    }
+    (out, sites)
+}
+
+// ---------------------------------------------------------------- D4
+
+/// Engine files whose non-test panic surface must be justified.
+const D4_FILES: [&str; 7] = [
+    "crates/core/src/engine.rs",
+    "crates/core/src/multi.rs",
+    "crates/core/src/vertical.rs",
+    "crates/core/src/classify.rs",
+    "crates/core/src/manifest.rs",
+    "crates/crowd/src/policy.rs",
+    "crates/crowd/src/parallel.rs",
+];
+
+/// Explicit, intentional panic contexts: an assertion line is already
+/// declared panic surface, so indexing inside it needs no second
+/// annotation.
+const ASSERT_MACROS: [&str; 5] = [
+    "assert!(",
+    "assert_eq!(",
+    "assert_ne!(",
+    "debug_assert",
+    "unreachable!(",
+];
+
+/// D4 — panic surface: `unwrap`/`expect`/slice indexing in the named
+/// engine files (non-test code) requires `// PANIC-OK: reason`.
+pub fn d4(scope: &FileScope, scanned: &Scanned) -> Vec<RawFinding> {
+    if !D4_FILES.contains(&scope.path.as_str()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, line) in scanned.code.iter().enumerate() {
+        let line_no = i + 1;
+        if scope.is_test_line(line_no) || ASSERT_MACROS.iter().any(|m| line.contains(m)) {
+            continue;
+        }
+        let mut kinds: Vec<&str> = Vec::new();
+        for pat in [".unwrap()", ".unwrap_err()"] {
+            if line.contains(pat) {
+                kinds.push("unwrap");
+                break;
+            }
+        }
+        for pat in [".expect(", ".expect_err("] {
+            if line.contains(pat) {
+                kinds.push("expect");
+                break;
+            }
+        }
+        if has_index_expr(line) {
+            kinds.push("slice indexing");
+        }
+        if kinds.is_empty() {
+            continue;
+        }
+        if suppress::has_marker(scanned, "PANIC-OK:", line_no) {
+            continue;
+        }
+        for kind in kinds {
+            out.push(finding(
+                line_no,
+                "D4",
+                format!("{kind} in engine code without a `// PANIC-OK:` justification"),
+            ));
+        }
+    }
+    out
+}
+
+/// An index expression: `[` directly preceded by an identifier char,
+/// `)` or `]`. Attributes (`#[...]`), macros (`vec![`), array types
+/// (`[u64; 4]`) and slice patterns don't match.
+fn has_index_expr(line: &str) -> bool {
+    let mut prev = '\0';
+    for c in line.chars() {
+        if c == '[' && (prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+            return true;
+        }
+        prev = c;
+    }
+    false
+}
+
+// ---------------------------------------------------------------- D5
+
+/// The agreed crate-root lint set (DESIGN.md §11): overflow/`Result`
+/// misuse denied everywhere; unsafe either forbidden outright or — in
+/// crates that need it — gated by `unsafe_op_in_unsafe_fn`.
+pub const D5_MUST_USE: &str = "#![deny(unused_must_use)]";
+/// Required when the crate has no `unsafe` at all.
+pub const D5_FORBID_UNSAFE: &str = "#![forbid(unsafe_code)]";
+/// Required (instead of the forbid) when the crate contains `unsafe`.
+pub const D5_UNSAFE_OP: &str = "#![deny(unsafe_op_in_unsafe_fn)]";
+
+/// D5 — lint hygiene on crate roots: the root must carry
+/// `#![deny(unused_must_use)]`, plus `#![forbid(unsafe_code)]` when
+/// the crate is unsafe-free or `#![deny(unsafe_op_in_unsafe_fn)]`
+/// when it is not.
+pub fn d5(scope: &FileScope, scanned: &Scanned, crate_has_unsafe: bool) -> Vec<RawFinding> {
+    if !scope.is_crate_root {
+        return Vec::new();
+    }
+    let joined = scanned.code.join("\n");
+    let mut out = Vec::new();
+    if !joined.contains(D5_MUST_USE) {
+        out.push(finding(
+            1,
+            "D5",
+            format!("crate root missing `{D5_MUST_USE}`"),
+        ));
+    }
+    if crate_has_unsafe {
+        if !joined.contains(D5_UNSAFE_OP) {
+            out.push(finding(
+                1,
+                "D5",
+                format!("crate with unsafe code missing `{D5_UNSAFE_OP}`"),
+            ));
+        }
+    } else if !joined.contains(D5_FORBID_UNSAFE) {
+        out.push(finding(
+            1,
+            "D5",
+            format!("unsafe-free crate root missing `{D5_FORBID_UNSAFE}`"),
+        ));
+    }
+    out
+}

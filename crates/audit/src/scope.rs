@@ -1,0 +1,166 @@
+//! Where a file sits in the workspace, and which of its lines are test
+//! code.
+//!
+//! Scope is what keeps the rules honest: D2 (nondeterminism) and D4
+//! (panic surface) apply to engine code but not to tests, benches or
+//! examples, while D3 (unsafe hygiene) applies everywhere including
+//! vendored shims. Paths are workspace-relative with `/` separators.
+
+use crate::lexer::Scanned;
+
+/// Workspace-relative location facts about one file.
+#[derive(Debug, Clone)]
+pub struct FileScope {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Crate the file belongs to (`core`, `crowd`, `minipool`,
+    /// `oassis` for the root package, `workspace-tests` for root
+    /// `tests/`).
+    pub crate_name: String,
+    /// Whole file is test/bench/example code (path-derived).
+    pub is_test_file: bool,
+    /// File is a vendored shim (`vendor/...`).
+    pub is_vendor: bool,
+    /// File is a crate root (`src/lib.rs` of some member, or the root
+    /// package's `src/lib.rs`).
+    pub is_crate_root: bool,
+    /// Per-line flags (1-based via [`FileScope::is_test_line`]):
+    /// inside a `#[cfg(test)]` item.
+    cfg_test_lines: Vec<bool>,
+}
+
+impl FileScope {
+    /// Builds scope facts for `path` (workspace-relative) over its
+    /// scanned source.
+    pub fn new(path: &str, scanned: &Scanned) -> FileScope {
+        let path = path.replace('\\', "/");
+        let parts: Vec<&str> = path.split('/').collect();
+        let crate_name = match parts.as_slice() {
+            ["crates", name, ..] => (*name).to_string(),
+            ["vendor", name, ..] => (*name).to_string(),
+            ["tests", ..] => "workspace-tests".to_string(),
+            ["examples", ..] => "oassis".to_string(),
+            _ => "oassis".to_string(),
+        };
+        let is_test_file = parts
+            .iter()
+            .any(|p| matches!(*p, "tests" | "benches" | "examples"));
+        let is_vendor = parts.first() == Some(&"vendor");
+        let is_crate_root = path == "src/lib.rs"
+            || (parts.len() == 4
+                && matches!(parts[0], "crates" | "vendor")
+                && parts[2] == "src"
+                && parts[3] == "lib.rs");
+        FileScope {
+            path,
+            crate_name,
+            is_test_file,
+            is_vendor,
+            is_crate_root,
+            cfg_test_lines: cfg_test_regions(scanned),
+        }
+    }
+
+    /// Whether the 1-based line is test code: a test file, or inside a
+    /// `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.is_test_file
+            || line
+                .checked_sub(1)
+                .and_then(|i| self.cfg_test_lines.get(i))
+                .copied()
+                .unwrap_or(false)
+    }
+}
+
+/// Marks the extent of every `#[cfg(test)]` item: from the attribute
+/// to the matching close brace of the first block that follows it.
+fn cfg_test_regions(s: &Scanned) -> Vec<bool> {
+    let n = s.code.len();
+    let mut flags = vec![false; n];
+    let mut li = 0usize;
+    while li < n {
+        let line = &s.code[li];
+        if !line.contains("#[cfg(test)]") {
+            li += 1;
+            continue;
+        }
+        // Walk forward to the first `{` and match braces from there.
+        let mut depth = 0i32;
+        let mut seen_open = false;
+        let mut lj = li;
+        'outer: while lj < n {
+            for c in s.code[lj].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if seen_open && depth == 0 {
+                            break 'outer;
+                        }
+                    }
+                    // `#[cfg(test)]` on a brace-less item (e.g. a
+                    // `use` or `mod foo;` declaration) covers only up
+                    // to that item's semicolon.
+                    ';' if !seen_open => break 'outer,
+                    _ => {}
+                }
+            }
+            lj += 1;
+        }
+        let end = lj.min(n - 1);
+        for f in flags.iter_mut().take(end + 1).skip(li) {
+            *f = true;
+        }
+        li = end + 1;
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    #[test]
+    fn path_classification() {
+        let s = scan("fn main() {}\n");
+        let f = FileScope::new("crates/core/src/engine.rs", &s);
+        assert_eq!(f.crate_name, "core");
+        assert!(!f.is_test_file && !f.is_vendor && !f.is_crate_root);
+        let f = FileScope::new("vendor/minipool/src/lib.rs", &s);
+        assert!(f.is_vendor && f.is_crate_root);
+        assert_eq!(f.crate_name, "minipool");
+        let f = FileScope::new("tests/golden_outcomes.rs", &s);
+        assert!(f.is_test_file);
+        let f = FileScope::new("crates/bench/benches/micro.rs", &s);
+        assert!(f.is_test_file);
+        let f = FileScope::new("src/lib.rs", &s);
+        assert!(f.is_crate_root);
+        assert_eq!(f.crate_name, "oassis");
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = scan(src);
+        let f = FileScope::new("crates/core/src/x.rs", &s);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_stops_at_semicolon() {
+        let src = "#[cfg(test)]\nuse crate::x;\nfn real() {}\n";
+        let s = scan(src);
+        let f = FileScope::new("crates/core/src/x.rs", &s);
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+}

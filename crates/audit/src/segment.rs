@@ -1,0 +1,177 @@
+//! Statement and block segmentation over the comment-stripped code
+//! channel.
+//!
+//! Rules that reason about data flow (D1's iteration→sink analysis)
+//! need more than single lines: a `for` header can span lines, and a
+//! loop body is everything up to the matching close brace. This module
+//! cuts the code channel into flat [`Stmt`]s — text between `;`, `{`
+//! and `}` at bracket depth 0 — and records the matching close line of
+//! every `{` so rules can scan a block's extent without re-parsing.
+
+use crate::lexer::Scanned;
+
+/// A flat statement: the text between separators, with its line span.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// Statement text with line breaks collapsed to single spaces.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub first_line: usize,
+    /// 1-based line of the last character.
+    pub last_line: usize,
+    /// When the statement is a block header (`for … {`, `fn … {`,
+    /// `match … {` …): the 1-based line of the matching `}`.
+    pub body_close_line: Option<usize>,
+}
+
+/// Segments the code channel of `s` into statements.
+pub fn statements(s: &Scanned) -> Vec<Stmt> {
+    let mut out: Vec<Stmt> = Vec::new();
+    let mut text = String::new();
+    let mut first_line = 0usize;
+    // Open-brace stack: indices into `out` of header statements whose
+    // close line is still unknown.
+    let mut open_headers: Vec<Option<usize>> = Vec::new();
+    let mut paren_depth = 0i32;
+
+    for (li, line) in s.code.iter().enumerate() {
+        let line_no = li + 1;
+        for c in line.chars() {
+            match c {
+                '(' | '[' => paren_depth += 1,
+                ')' | ']' => paren_depth -= 1,
+                _ => {}
+            }
+            let is_sep = matches!(c, ';' | '{' | '}') && paren_depth <= 0;
+            if !is_sep {
+                if text.trim().is_empty() && !c.is_whitespace() {
+                    first_line = line_no;
+                    text.clear();
+                }
+                text.push(c);
+                continue;
+            }
+            match c {
+                ';' => {
+                    text.push(';');
+                    flush(&mut out, &mut text, &mut first_line, line_no, None);
+                }
+                '{' => {
+                    let header_idx = if text.trim().is_empty() {
+                        None
+                    } else {
+                        text.push('{');
+                        flush(&mut out, &mut text, &mut first_line, line_no, None);
+                        Some(out.len() - 1)
+                    };
+                    open_headers.push(header_idx);
+                }
+                '}' => {
+                    if !text.trim().is_empty() {
+                        flush(&mut out, &mut text, &mut first_line, line_no, None);
+                    } else {
+                        text.clear();
+                    }
+                    if let Some(Some(idx)) = open_headers.pop() {
+                        out[idx].body_close_line = Some(line_no);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        if !text.trim().is_empty() {
+            text.push(' ');
+        }
+    }
+    if !text.trim().is_empty() {
+        let last = s.code.len();
+        flush(&mut out, &mut text, &mut first_line, last, None);
+    }
+    out
+}
+
+fn flush(
+    out: &mut Vec<Stmt>,
+    text: &mut String,
+    first_line: &mut usize,
+    last_line: usize,
+    body_close_line: Option<usize>,
+) {
+    let t = std::mem::take(text);
+    // Collapse whitespace runs (multi-line statements fold to one
+    // space-separated line) so rule patterns can match on plain text.
+    let normalized = t.split_whitespace().collect::<Vec<_>>().join(" ");
+    if normalized.is_empty() {
+        return;
+    }
+    let fl = if *first_line == 0 {
+        last_line
+    } else {
+        *first_line
+    };
+    out.push(Stmt {
+        text: normalized,
+        first_line: fl,
+        last_line,
+        body_close_line,
+    });
+    *first_line = 0;
+}
+
+/// Statements whose span starts strictly inside `(open_line, close_line)`.
+pub fn stmts_in_block(
+    stmts: &[Stmt],
+    open_line: usize,
+    close_line: usize,
+) -> impl Iterator<Item = &Stmt> {
+    stmts
+        .iter()
+        .filter(move |st| st.first_line > open_line && st.first_line < close_line)
+        .filter(move |st| st.last_line <= close_line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    #[test]
+    fn splits_on_semicolons_and_braces() {
+        let s = scan("let a = 1;\nfor x in ys {\n    a += x;\n}\n");
+        let st = statements(&s);
+        assert_eq!(st.len(), 3);
+        assert_eq!(st[0].text, "let a = 1;");
+        assert_eq!(st[1].text, "for x in ys {");
+        assert_eq!(st[1].first_line, 2);
+        assert_eq!(st[1].body_close_line, Some(4));
+        assert_eq!(st[2].text, "a += x;");
+    }
+
+    #[test]
+    fn multiline_chain_is_one_statement() {
+        let s = scan("let v: Vec<_> = m\n    .keys()\n    .cloned()\n    .collect();\n");
+        let st = statements(&s);
+        assert_eq!(st.len(), 1);
+        assert!(st[0].text.contains(".keys() .cloned() .collect();"));
+        assert_eq!((st[0].first_line, st[0].last_line), (1, 4));
+    }
+
+    #[test]
+    fn braces_inside_parens_do_not_split() {
+        let s = scan("call(|| { inner(); });\nnext();\n");
+        let st = statements(&s);
+        assert_eq!(st.len(), 2);
+        assert!(st[0].text.starts_with("call"));
+    }
+
+    #[test]
+    fn block_membership() {
+        let s = scan("for x in ys {\n    one();\n    two();\n}\nafter();\n");
+        let st = statements(&s);
+        let hdr = &st[0];
+        let inner: Vec<_> = stmts_in_block(&st, hdr.first_line, hdr.body_close_line.unwrap())
+            .map(|s| s.text.as_str())
+            .collect();
+        assert_eq!(inner, vec!["one();", "two();"]);
+    }
+}

@@ -1,0 +1,165 @@
+//! The inline suppression grammar and annotation lookup.
+//!
+//! Every exemption is a grepable, reviewed decision:
+//!
+//! * `// audit: allow(D1, reason…)` — suppresses rule `D1` on the same
+//!   line, or (when the comment stands alone) on the next code line.
+//! * `// audit: allow-file(D2, reason…)` — suppresses rule `D2` for
+//!   the whole file (placed near the top, typically on vendored shims).
+//! * `// SAFETY: …` — justifies an `unsafe` on the same line or on the
+//!   comment block immediately above (rule D3).
+//! * `// PANIC-OK: …` — justifies an `unwrap`/`expect`/index on the
+//!   same line or the comment block immediately above (rule D4).
+//!
+//! A suppression without a reason string is itself a finding (`SUP`):
+//! the grammar is the audit trail, so an empty reason defeats the
+//! point.
+
+use crate::lexer::Scanned;
+
+/// One parsed `audit: allow(...)` / `allow-file(...)` marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suppression {
+    /// 1-based line the marker sits on.
+    pub line: usize,
+    /// Rule id the marker names (e.g. `"D1"`).
+    pub rule: String,
+    /// Justification text after the comma (trimmed; may be empty —
+    /// that is reported as a `SUP` finding).
+    pub reason: String,
+    /// `allow-file` (whole file) vs `allow` (line-scoped).
+    pub file_wide: bool,
+}
+
+/// Parses every suppression marker in the comment channel.
+///
+/// A marker must *start* its comment (`// audit: allow(...)`, possibly
+/// as a trailing comment after code) — prose that merely quotes the
+/// grammar, like this sentence, is not a marker.
+pub fn collect(s: &Scanned) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (i, comment) in s.comments.iter().enumerate() {
+        let line = i + 1;
+        let Some(tail) = comment.trim_start().strip_prefix("audit:") else {
+            continue;
+        };
+        let tail = tail.trim_start();
+        let file_wide = tail.starts_with("allow-file(");
+        let open = if file_wide {
+            "allow-file("
+        } else if tail.starts_with("allow(") {
+            "allow("
+        } else {
+            continue;
+        };
+        let body = &tail[open.len()..];
+        let Some(close) = body.find(')') else {
+            continue;
+        };
+        let inner = &body[..close];
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim().to_string(), why.trim().to_string()),
+            None => (inner.trim().to_string(), String::new()),
+        };
+        out.push(Suppression {
+            line,
+            rule,
+            reason,
+            file_wide,
+        });
+    }
+    out
+}
+
+/// Whether a finding of `rule` at 1-based `line` is covered by one of
+/// the parsed suppressions. Returns the index of the matching
+/// suppression so callers can mark it used.
+pub fn matches(sups: &[Suppression], s: &Scanned, rule: &str, line: usize) -> Option<usize> {
+    // File-wide first.
+    if let Some(i) = sups.iter().position(|x| x.file_wide && x.rule == rule) {
+        return Some(i);
+    }
+    // Same line, or a stand-alone comment block immediately above.
+    let mut covered = vec![line];
+    let mut l = line;
+    while l > 1 && s.is_comment_only(l - 1) {
+        l -= 1;
+        covered.push(l);
+    }
+    sups.iter()
+        .position(|x| !x.file_wide && x.rule == rule && covered.contains(&x.line))
+}
+
+/// Whether `marker` (e.g. `"SAFETY:"`, `"PANIC-OK:"`) annotates the
+/// 1-based `line`: same-line comment or the stand-alone comment block
+/// immediately above. The marker must be followed by a non-empty
+/// justification.
+pub fn has_marker(s: &Scanned, marker: &str, line: usize) -> bool {
+    let check = |l: usize| -> bool {
+        let c = s.comment(l);
+        c.find(marker)
+            .map(|p| !c[p + marker.len()..].trim().is_empty())
+            .unwrap_or(false)
+    };
+    if check(line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 && s.is_comment_only(l - 1) {
+        l -= 1;
+        if check(l) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    #[test]
+    fn parses_allow_and_allow_file() {
+        let s = scan(
+            "// audit: allow-file(D2, vendored bench shim measures wall time)\n\
+             let t = now(); // audit: allow(D2, test-only helper)\n\
+             // audit: allow(D4)\n",
+        );
+        let sups = collect(&s);
+        assert_eq!(sups.len(), 3);
+        assert!(sups[0].file_wide);
+        assert_eq!(sups[0].rule, "D2");
+        assert_eq!(sups[1].line, 2);
+        assert_eq!(sups[1].reason, "test-only helper");
+        assert_eq!(sups[2].rule, "D4");
+        assert!(sups[2].reason.is_empty());
+    }
+
+    #[test]
+    fn line_scope_covers_same_line_and_next_code_line() {
+        let s = scan(
+            "// audit: allow(D1, keys sorted downstream)\n\
+             for k in m.keys() { v.push(k); }\n\
+             for k in m.keys() { v.push(k); }\n",
+        );
+        let sups = collect(&s);
+        assert_eq!(matches(&sups, &s, "D1", 2), Some(0));
+        assert_eq!(matches(&sups, &s, "D1", 3), None);
+        assert_eq!(matches(&sups, &s, "D2", 2), None);
+    }
+
+    #[test]
+    fn marker_lookup_walks_comment_block() {
+        let s = scan(
+            "// SAFETY: pointer is valid for the scope's lifetime\n\
+             // (checked by the caller)\n\
+             unsafe { deref(p) }\n\
+             unsafe { deref(q) }\n",
+        );
+        assert!(has_marker(&s, "SAFETY:", 3));
+        assert!(!has_marker(&s, "SAFETY:", 4));
+        let empty = scan("// SAFETY:\nunsafe { x() }\n");
+        assert!(!has_marker(&empty, "SAFETY:", 2));
+    }
+}

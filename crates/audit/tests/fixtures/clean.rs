@@ -1,0 +1,30 @@
+// Every rule-adjacent shape done right: sorted hash iteration,
+// re-keyed collects, order-free terminals. Must produce zero findings
+// under the virtual path crates/core/src/engine.rs.
+use std::collections::{HashMap, HashSet};
+
+pub fn sorted_keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+pub fn rekeyed(s: &HashSet<u32>) -> HashSet<u32> {
+    s.iter().map(|x| x + 1).collect::<HashSet<u32>>()
+}
+
+pub fn rekeyed_btree(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let ordered: std::collections::BTreeMap<u32, u32> =
+        m.iter().map(|(k, v)| (*k, *v)).collect();
+    ordered.into_keys().collect()
+}
+
+pub fn order_free(m: &HashMap<u32, u32>) -> usize {
+    m.values().filter(|v| **v > 0).count()
+}
+
+pub fn checked_access(v: &[u32], o: Option<u32>) -> u32 {
+    let a = o.unwrap_or(0);
+    let b = v.first().copied().unwrap_or_default();
+    a + b
+}

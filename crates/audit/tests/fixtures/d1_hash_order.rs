@@ -1,0 +1,23 @@
+// Planted D1 violations: hash-ordered iteration feeding collection
+// pushes, a digest, and a returned vector. Audited under the virtual
+// path crates/core/src/planted.rs — never compiled.
+use std::collections::{HashMap, HashSet};
+
+pub fn leak_for_loop(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _) in m.iter() {
+        out.push(*k);
+    }
+    out
+}
+
+pub fn leak_digest(m: &HashMap<u32, u32>, h: &mut Fnv) -> u64 {
+    for (k, v) in m.iter() {
+        h.write_u64(((*k as u64) << 32) | *v as u64);
+    }
+    h.finish()
+}
+
+pub fn leak_returned_vec(s: &HashSet<u32>) -> Vec<u32> {
+    s.iter().copied().collect()
+}

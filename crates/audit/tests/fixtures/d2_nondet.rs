@@ -1,0 +1,9 @@
+// Planted D2 violations: every banned nondeterminism source once.
+// Audited under the virtual path crates/core/src/planted.rs.
+pub fn nondet() -> u64 {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+    let mut r = rand::thread_rng();
+    let e = std::env::var("OASSIS_SEED");
+    0
+}

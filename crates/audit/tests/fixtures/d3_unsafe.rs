@@ -1,0 +1,10 @@
+// Planted D3 material: one naked `unsafe`, one justified. The census
+// must count both. Audited under vendor/minipool/src/planted.rs.
+pub fn naked(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn justified(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is valid, aligned and live.
+    unsafe { *p }
+}

@@ -1,0 +1,11 @@
+// Planted D4 violations: unwrap, expect and slice indexing in engine
+// code, plus one justified index. Audited under the virtual path
+// crates/core/src/engine.rs.
+pub fn panics(v: &[u32], o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = v.iter().next().expect("non-empty");
+    let c = v[0];
+    // PANIC-OK: index 1 bounded by the caller contract (len >= 2).
+    let d = v[1];
+    a + b + c + d
+}

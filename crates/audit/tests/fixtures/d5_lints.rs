@@ -1,0 +1,4 @@
+//! A crate root missing the agreed lint set (audited under the
+//! virtual path crates/planted/src/lib.rs).
+
+pub fn f() {}

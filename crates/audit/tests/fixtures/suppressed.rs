@@ -1,0 +1,20 @@
+// One violation per rule, each covered by the suppression grammar —
+// zero findings expected, four reasoned suppressions in the
+// inventory. Audited under the virtual path crates/core/src/engine.rs.
+// audit: allow-file(D2, demo - this fixture exercises the file-wide grammar)
+use std::collections::HashMap;
+
+pub fn all_suppressed(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    // audit: allow(D1, demo - downstream consumer is order-insensitive)
+    for (k, _) in m.iter() {
+        out.push(*k);
+    }
+    let _t = std::time::Instant::now();
+    let _first = out.first().unwrap(); // audit: allow(D4, demo - non-empty by construction)
+    out
+}
+
+pub fn spicy(p: *const u32) -> u32 {
+    unsafe { *p } // audit: allow(D3, demo - safety argued in the module docs)
+}

@@ -1,0 +1,193 @@
+//! Fixture-based rule tests: one planted violation per rule (D1–D5),
+//! a clean file, and a fully suppressed file. Fixtures live in
+//! `tests/fixtures/` (excluded from the workspace walk — they are
+//! planted violations, not code) and are audited in-process under
+//! virtual engine paths so every scope gate is exercised.
+
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
+use audit::audit_source;
+
+/// `(rule, line)` pairs of the unsuppressed findings.
+fn fired(path: &str, src: &str) -> Vec<(String, usize)> {
+    audit_source(path, src, None)
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line))
+        .collect()
+}
+
+#[test]
+fn d1_fires_on_push_digest_and_returned_vec() {
+    let src = include_str!("fixtures/d1_hash_order.rs");
+    let got = fired("crates/core/src/planted.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("D1".to_string(), 8),
+            ("D1".to_string(), 15),
+            ("D1".to_string(), 22),
+        ],
+        "D1 must fire on the for-push loop, the digest loop and the returned collect"
+    );
+}
+
+#[test]
+fn d1_is_scoped_to_engine_crates() {
+    let src = include_str!("fixtures/d1_hash_order.rs");
+    assert!(
+        fired("crates/ontology/src/planted.rs", src).is_empty(),
+        "D1 only covers crates/{{core,crowd,simtest}}"
+    );
+    assert!(
+        fired("crates/core/tests/planted.rs", src).is_empty(),
+        "test code is exempt from D1"
+    );
+}
+
+#[test]
+fn d2_fires_on_every_nondeterminism_source() {
+    let src = include_str!("fixtures/d2_nondet.rs");
+    let got = fired("crates/core/src/planted.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("D2".to_string(), 4),
+            ("D2".to_string(), 5),
+            ("D2".to_string(), 6),
+            ("D2".to_string(), 7),
+        ],
+        "D2 must fire on Instant, SystemTime, thread_rng and env::var"
+    );
+    assert!(
+        fired("crates/bench/src/planted.rs", src).is_empty(),
+        "crates/bench is exempt from D2"
+    );
+    assert!(
+        fired("tests/planted.rs", src).is_empty(),
+        "test code is exempt from D2"
+    );
+}
+
+#[test]
+fn d3_fires_on_naked_unsafe_and_counts_the_census() {
+    let src = include_str!("fixtures/d3_unsafe.rs");
+    let fa = audit_source("vendor/minipool/src/planted.rs", src, None);
+    let got: Vec<(String, usize)> = fa
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![("D3".to_string(), 4)],
+        "the naked unsafe fires; the SAFETY-commented one does not"
+    );
+    assert_eq!(fa.unsafe_count, 2, "census counts justified sites too");
+}
+
+#[test]
+fn d4_fires_on_unwrap_expect_and_indexing() {
+    let src = include_str!("fixtures/d4_panic.rs");
+    let got = fired("crates/core/src/engine.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("D4".to_string(), 5),
+            ("D4".to_string(), 6),
+            ("D4".to_string(), 7),
+        ],
+        "unwrap@5, expect@6, index@7 fire; the PANIC-OK index@10 does not"
+    );
+    assert!(
+        fired("crates/core/src/diversify.rs", src).is_empty(),
+        "D4 only covers the named engine files"
+    );
+}
+
+#[test]
+fn d5_fires_on_a_bare_crate_root() {
+    let src = include_str!("fixtures/d5_lints.rs");
+    let got = fired("crates/planted/src/lib.rs", src);
+    assert_eq!(
+        got,
+        vec![("D5".to_string(), 1), ("D5".to_string(), 1)],
+        "missing deny(unused_must_use) and missing forbid(unsafe_code) both fire"
+    );
+    assert!(
+        fired("crates/planted/src/other.rs", src).is_empty(),
+        "D5 only covers crate roots"
+    );
+    // A crate root that carries the agreed set is clean.
+    let good = "#![forbid(unsafe_code)]\n#![deny(unused_must_use)]\npub fn f() {}\n";
+    assert!(fired("crates/planted/src/lib.rs", good).is_empty());
+    // An unsafe-using crate swaps the forbid for unsafe_op_in_unsafe_fn.
+    let unsafe_root = "#![deny(unsafe_op_in_unsafe_fn)]\n#![deny(unused_must_use)]\n\
+                       pub fn g(p: *const u8) -> u8 {\n    // SAFETY: caller contract.\n    \
+                       unsafe { *p }\n}\n";
+    assert!(fired("crates/planted/src/lib.rs", unsafe_root).is_empty());
+}
+
+#[test]
+fn clean_fixture_produces_zero_findings() {
+    let src = include_str!("fixtures/clean.rs");
+    let fa = audit_source("crates/core/src/engine.rs", src, None);
+    assert!(
+        fa.findings.is_empty(),
+        "clean fixture must not fire: {:?}",
+        fa.findings
+    );
+    assert!(fa.suppressed.is_empty() && fa.suppressions.is_empty());
+}
+
+#[test]
+fn suppressed_fixture_round_trips_the_grammar() {
+    let src = include_str!("fixtures/suppressed.rs");
+    let fa = audit_source("crates/core/src/engine.rs", src, None);
+    assert!(
+        fa.findings.is_empty(),
+        "every planted violation is suppressed: {:?}",
+        fa.findings
+    );
+    // One suppressed finding per rule D1–D4.
+    let mut rules: Vec<&str> = fa.suppressed.iter().map(|f| f.rule.as_str()).collect();
+    rules.sort();
+    assert_eq!(rules, vec!["D1", "D2", "D3", "D4"]);
+    // The inventory round-trips rule, scope and reason, and every
+    // marker is used.
+    let inv: Vec<(String, bool, bool)> = fa
+        .suppressions
+        .iter()
+        .map(|s| (s.rule.clone(), s.file_wide, s.used))
+        .collect();
+    assert_eq!(
+        inv,
+        vec![
+            ("D2".to_string(), true, true),
+            ("D1".to_string(), false, true),
+            ("D4".to_string(), false, true),
+            ("D3".to_string(), false, true),
+        ]
+    );
+    assert!(
+        fa.suppressions
+            .iter()
+            .all(|s| s.reason.starts_with("demo - ")),
+        "reasons survive parsing verbatim"
+    );
+}
+
+#[test]
+fn malformed_suppressions_are_findings() {
+    let src = "use std::time::Instant; // audit: allow(D2)\n";
+    let got = fired("crates/core/src/planted.rs", src);
+    assert_eq!(
+        got,
+        vec![("D2".to_string(), 1), ("SUP".to_string(), 1)],
+        "a reason-less suppression does not suppress, and is itself reported"
+    );
+    let src = "let x = 1; // audit: allow(D9, made-up rule)\n";
+    let got = fired("crates/core/src/planted.rs", src);
+    assert_eq!(got, vec![("SUP".to_string(), 1)]);
+}

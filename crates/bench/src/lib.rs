@@ -4,6 +4,7 @@
 //! EXPERIMENTS.md for the experiment ↔ figure mapping).
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 
 use crowd::population::{generate, HabitProfile, PopulationConfig};
 use crowd::{AnswerModel, MemberBehavior, SimulatedCrowd, SimulatedMember};

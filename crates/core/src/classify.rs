@@ -126,8 +126,10 @@ impl Classifier {
         let words = dag.fp_words(id);
         for bit in crate::fingerprint::iter_bits(words) {
             Self::ensure_postings(&mut self.sig_postings, bit);
+            // PANIC-OK: ensure_postings just resized past `bit`.
             self.sig_postings[bit].push(id);
         }
+        // PANIC-OK: ensure_node(id) at function entry sized the cache.
         self.cache[id.index()] = Some(Cached::Queried(Class::Significant));
         self.propagate(dag, id, true);
     }
@@ -140,10 +142,12 @@ impl Classifier {
         match first_value_bit(dag, id) {
             Some(bit) => {
                 Self::ensure_postings(&mut self.insig_postings, bit);
+                // PANIC-OK: ensure_postings just resized past `bit`.
                 self.insig_postings[bit].push(id);
             }
             None => self.insig_bottom.push(id),
         }
+        // PANIC-OK: ensure_node(id) at function entry sized the cache.
         self.cache[id.index()] = Some(Cached::Queried(Class::Insignificant));
         self.propagate(dag, id, false);
     }
@@ -170,12 +174,17 @@ impl Classifier {
         };
         queue.extend_from_slice(neighbors(start));
         while let Some(n) = queue.pop() {
+            // PANIC-OK: ensure_node(last) above sized visit_mark and
+            // cache to dag.len(); every queued id is a node of this dag.
             if self.visit_mark[n.index()] == gen {
                 continue;
             }
+            // PANIC-OK: in bounds per the ensure_node(last) call above.
             self.visit_mark[n.index()] = gen;
+            // PANIC-OK: in bounds per the ensure_node(last) call above.
             match self.cache[n.index()] {
                 None => {
+                    // PANIC-OK: in bounds per ensure_node(last) above.
                     self.cache[n.index()] = Some(if sig {
                         Cached::DerivedSig
                     } else {
@@ -198,6 +207,7 @@ impl Classifier {
         if wi >= self.pruned_words.len() {
             self.pruned_words.resize(wi + 1, 0);
         }
+        // PANIC-OK: the resize above guarantees `wi` is in bounds.
         self.pruned_words[wi] |= 1 << (e.index() % 64);
     }
 
@@ -232,6 +242,7 @@ impl Classifier {
         // Stickiness: the first query's verdict is cached permanently,
         // exactly as the historical classifier did.
         if c != Class::Unknown {
+            // PANIC-OK: ensure_node(id) at function entry sized the cache.
             self.cache[id.index()] = Some(Cached::Queried(c));
         }
         c
@@ -313,7 +324,11 @@ impl Classifier {
             // no value bits to key on (⊥-like node): scan the list
             return self.sig_witnesses.iter().any(|&w| dag.leq(id, w));
         }
-        best.unwrap().iter().any(|&w| dag.leq(id, w))
+        // PANIC-OK: has_values means the loop above either returned
+        // early on an empty posting or recorded one in `best`.
+        best.expect("value bits present but no posting recorded")
+            .iter()
+            .any(|&w| dag.leq(id, w))
     }
 
     /// Whether some insignificant witness `w` has `w ≤ id`: `F(w) ⊆
@@ -353,6 +368,9 @@ impl Classifier {
         let words = dag.fp_words(id);
         for si in 0..space.num_slots() {
             let base = si * space.words_per_slot();
+            // PANIC-OK: fingerprint layout fixes words.len() at
+            // num_slots * words_per_slot with elem_words <= words_per_slot,
+            // so every per-slot element region is in bounds.
             let elem_region = &words[base..base + space.elem_words()];
             if intersects(elem_region, &self.pruned_words) {
                 return true;

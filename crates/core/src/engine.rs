@@ -201,6 +201,7 @@ impl<'o> Oassis<'o> {
                 pool: minipool::Pool::sequential(),
                 policy: self.policy,
             };
+            // PANIC-OK: `i` ranges over 0..queries.len() by construction.
             engine.execute(queries[i], &mut crowd, aggregator, &query_cfg)
         })
     }

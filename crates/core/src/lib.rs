@@ -30,6 +30,7 @@
 //!   harness (`crates/simtest`).
 //! * [`engine`] — the high-level `Oassis` facade.
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 pub mod aggregate;

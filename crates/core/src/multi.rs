@@ -200,9 +200,11 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
             if cfg.max_questions.is_some_and(|m| questions >= m) {
                 break 'outer;
             }
+            // PANIC-OK: `mi` ranges over 0..members.len() by construction.
             if !members[mi].active {
                 continue;
             }
+            // PANIC-OK: `mi` is in bounds, as above.
             let Some(target) = next_target(dag, &mut global, &mut members[mi]) else {
                 continue;
             };
@@ -214,7 +216,9 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                     .into_iter()
                     .filter(|&c| {
                         global.class(dag, c) == Class::Unknown
+                            // PANIC-OK: `mi` is in bounds, as above.
                             && !members[mi].answered.contains(&c)
+                            // PANIC-OK: `mi` is in bounds, as above.
                             && members[mi].personal.class(dag, c) != Class::Insignificant
                     })
                     .take(cfg.max_spec_options)
@@ -227,6 +231,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                         threshold,
                         &cfg.policy,
                         &mut deg,
+                        // PANIC-OK: `mi` is in bounds, as above.
                         &mut members[mi],
                         &options,
                         target,
@@ -241,6 +246,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                     if asked {
                         // the base itself is still unanswered by this
                         // member - revisit it later
+                        // PANIC-OK: `mi` is in bounds, as above.
                         members[mi].push_hot(target);
                     }
                 }
@@ -254,6 +260,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                     &cfg.pool,
                     &cfg.policy,
                     &mut deg,
+                    // PANIC-OK: `mi` is in bounds, as above.
                     &mut members[mi],
                     target,
                     &mut answers,
@@ -266,6 +273,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                 );
             }
             if asked {
+                // PANIC-OK: per_member was sized to members.len().
                 per_member[mi] += 1;
                 asked_this_round += 1;
                 // fan out the children of any node that just became
@@ -414,6 +422,7 @@ fn peek_target(view: &crate::dag::DagView<'_>, global: &Classifier, m: &MemberSt
         let mut i = 0usize;
         loop {
             let id = if i < queue.len() {
+                // PANIC-OK: guarded by `i < queue.len()` just above.
                 queue[i]
             } else if let Some(&e) = extra.get(i - queue.len()) {
                 e
@@ -681,8 +690,11 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
                 let ids: Vec<NodeId> = view.node_ids().collect();
                 let hits = pool.par_map(&ids, |&id| {
                     let words = view.fp_words(id);
-                    let hit_value = (0..space.num_slots())
-                        .any(|si| words[si * wps + ebit_word] & ebit_mask != 0);
+                    let hit_value = (0..space.num_slots()).any(|si| {
+                        // PANIC-OK: fingerprint layout fixes words.len() at
+                        // num_slots * wps with ebit_word < elem_words <= wps.
+                        words[si * wps + ebit_word] & ebit_mask != 0
+                    });
                     hit_value
                         || view.node(id).assignment.more().iter().any(|f| {
                             vocab.elem_leq(elem, f.subject) || vocab.elem_leq(elem, f.object)
@@ -766,6 +778,8 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
         Answer::Specialized { choice, support } => {
             *questions += 1;
             stats.specialization += 1;
+            // PANIC-OK: callers pass a non-empty options slice and the
+            // clamp keeps any crowd-supplied choice in bounds.
             let chosen = options[choice.min(options.len() - 1)];
             m.answered.insert(chosen);
             if support >= threshold {

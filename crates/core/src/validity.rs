@@ -484,10 +484,14 @@ impl ValidityIndex {
         if values.is_empty() {
             // multiplicity 0: the meta-facts vanish; validity requires the
             // remaining slots to form valid tuples with *some* value here.
-            let mut seen: HashSet<Value> = HashSet::new();
-            for t in &self.tuples {
-                seen.insert(t[ci]);
-            }
+            // Deterministic candidate order: hash-set iteration order
+            // must not decide which branch the existential search
+            // explores first (the result is the same either way, but
+            // the work done — and any future trace of it — would not
+            // be reproducible).
+            let mut seen: Vec<Value> = self.tuples.iter().map(|t| t[ci]).collect();
+            seen.sort_unstable();
+            seen.dedup();
             for u in seen {
                 choice.push(u);
                 let ok = self.valid_rec(a, ci + 1, choice);
@@ -525,7 +529,7 @@ fn rests_with(live: &HashSet<Vec<Value>>, u: Value) -> HashSet<Vec<Value>> {
     live.iter()
         .filter(|t| t[0] == u)
         .map(|t| t[1..].to_vec())
-        .collect()
+        .collect::<HashSet<Vec<Value>>>()
 }
 
 fn generalization_closure(vocab: &Vocabulary, universe: &[Value]) -> Vec<Value> {

@@ -182,10 +182,13 @@ impl ValidTracker {
                 for &v in a.slot(crate::assignment::Slot(si as u16)) {
                     let bit = space.value_bit(si, v);
                     bits.push(bit as u32);
+                    // PANIC-OK: both bucket tables were sized to nbits
+                    // and every value bit is below words_per_node * 64.
                     buckets_all[bit].push(i as u32);
                 }
             }
             match bits.first() {
+                // PANIC-OK: `b` is a value bit below nbits, as above.
                 Some(&b) => buckets_first[b as usize].push(i as u32),
                 None => empty_bases.push(i as u32),
             }
@@ -215,9 +218,12 @@ impl ValidTracker {
 
     #[inline]
     fn mark(&mut self, i: usize) -> bool {
+        // PANIC-OK: callers pass base indices drawn from the bucket
+        // tables or 0..assignments.len(); classified has that length.
         if self.classified[i] {
             return false;
         }
+        // PANIC-OK: in bounds, as above.
         self.classified[i] = true;
         self.total_classified += 1;
         true
@@ -239,13 +245,16 @@ impl ValidTracker {
                 let mut candidates: Vec<u32> = Vec::new();
                 for bit in crate::fingerprint::iter_bits(words) {
                     candidates.extend(
+                        // PANIC-OK: iter_bits yields bits below nbits.
                         self.buckets_first[bit]
                             .iter()
                             .copied()
+                            // PANIC-OK: bucket entries are base indices.
                             .filter(|&i| !self.classified[i as usize]),
                     );
                 }
                 let hits = self.pool.par_map(&candidates, |&i| {
+                    // PANIC-OK: candidates hold base indices, as above.
                     self.base_bits[i as usize]
                         .iter()
                         .all(|&b| word_bit(words, b as usize))
@@ -257,9 +266,13 @@ impl ValidTracker {
                 }
             } else {
                 for bit in crate::fingerprint::iter_bits(words) {
+                    // PANIC-OK: iter_bits yields bits below nbits.
                     for bi in 0..self.buckets_first[bit].len() {
+                        // PANIC-OK: `bit` and `bi` are loop-bounded.
                         let i = self.buckets_first[bit][bi] as usize;
+                        // PANIC-OK: bucket entries are base indices.
                         if !self.classified[i]
+                            // PANIC-OK: `i` is a base index, as above.
                             && self.base_bits[i]
                                 .iter()
                                 .all(|&b| word_bit(words, b as usize))
@@ -270,6 +283,7 @@ impl ValidTracker {
                 }
             }
             for bi in 0..self.empty_bases.len() {
+                // PANIC-OK: `bi` is loop-bounded by the length.
                 let i = self.empty_bases[bi] as usize;
                 changed |= self.mark(i);
             }
@@ -307,11 +321,13 @@ impl ValidTracker {
             match u {
                 oassis_ql::Value::Elem(e) => {
                     for d in vocab.elem_descendants(e) {
+                        // PANIC-OK: elem_bit is below nbits by layout.
                         candidates.extend_from_slice(&self.buckets_all[space.elem_bit(si, d)]);
                     }
                 }
                 oassis_ql::Value::Rel(r) => {
                     for d in vocab.rel_descendants(r) {
+                        // PANIC-OK: rel_bit is below nbits by layout.
                         candidates.extend_from_slice(&self.buckets_all[space.rel_bit(si, d)]);
                     }
                 }
@@ -322,6 +338,7 @@ impl ValidTracker {
                 // idempotent, so the classified set is unchanged.
                 let hits = self.pool.par_map(&candidates, |&i| {
                     let i = i as usize;
+                    // PANIC-OK: bucket entries are base indices.
                     !self.classified[i] && assignment.leq(vocab, &self.assignments[i])
                 });
                 for (&i, hit) in candidates.iter().zip(hits) {
@@ -332,6 +349,7 @@ impl ValidTracker {
             } else {
                 for i in candidates {
                     let i = i as usize;
+                    // PANIC-OK: bucket entries are base indices.
                     if !self.classified[i] && assignment.leq(vocab, &self.assignments[i]) {
                         changed |= self.mark(i);
                     }
@@ -350,7 +368,9 @@ impl ValidTracker {
         for d in vocab.elem_descendants(elem) {
             for si in 0..space.num_slots() {
                 let bit = space.elem_bit(si, d);
+                // PANIC-OK: elem_bit is below nbits by layout.
                 for bi in 0..self.buckets_all[bit].len() {
+                    // PANIC-OK: `bit` and `bi` are loop-bounded.
                     let i = self.buckets_all[bit][bi] as usize;
                     changed |= self.mark(i);
                 }
@@ -367,6 +387,8 @@ impl ValidTracker {
 /// Tests bit `bit` of a word slice.
 #[inline]
 fn word_bit(words: &[u64], bit: usize) -> bool {
+    // PANIC-OK: callers pass fingerprint value bits, which lie below
+    // words.len() * 64 by the fingerprint-space layout.
     words[bit / 64] & (1 << (bit % 64)) != 0
 }
 
@@ -487,6 +509,7 @@ pub fn run_vertical<C: CrowdSource>(
                     SpecOutcome::TimedOut => {}
                 }
             }
+            // PANIC-OK: the is_empty check above guarantees an element.
             let c = askable[0];
             if s.ask_concrete(dag, crowd, member, c) {
                 phi = c;
@@ -737,6 +760,8 @@ impl Session<'_> {
         let outcome = match answer {
             Answer::Specialized { choice, support } => {
                 self.questions += 1;
+                // PANIC-OK: callers pass a non-empty options slice and
+                // the clamp keeps any crowd-supplied choice in bounds.
                 let chosen = options[choice.min(options.len() - 1)];
                 let sig = support >= self.threshold;
                 if sig {

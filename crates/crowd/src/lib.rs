@@ -35,6 +35,7 @@
 //!   engines degrade gracefully when answers never arrive.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod answer_model;

@@ -45,8 +45,11 @@ impl ParallelHandle {
             .iter()
             .map(|m| {
                 let (tx, rx) = channel();
+                // PANIC-OK: one sender per member id by construction.
                 self.senders[m.index()]
                     .send(Job::Ask(Arc::clone(&shared), tx))
+                    // PANIC-OK: workers only exit when the handle drops,
+                    // which cannot happen inside this batch call.
                     .expect("worker alive");
                 rx
             })
@@ -66,6 +69,7 @@ impl CrowdSource for ParallelHandle {
 
     fn ask(&mut self, member: MemberId, question: &Question) -> Answer {
         let (tx, rx) = channel();
+        // PANIC-OK: one sender per member id by construction.
         if self.senders[member.index()]
             .send(Job::Ask(Arc::new(question.clone()), tx))
             .is_err()
@@ -92,6 +96,7 @@ impl CrowdSource for ParallelHandle {
     fn prefetch(&mut self, batch: &[(MemberId, Question)]) {
         for (member, question) in batch {
             // a closed channel just means the run is over — ignore
+            // PANIC-OK: one sender per member id by construction.
             let _ = self.senders[member.index()].send(Job::Speculate(Arc::new(question.clone())));
         }
     }
@@ -158,6 +163,8 @@ pub fn with_parallel_crowd<R>(
                 if let Some((_, _, snap)) = pending.take() {
                     member.restore_session(snap);
                 }
+                // PANIC-OK: lock poisoning propagates a sibling worker's
+                // panic; slot `i` exists because the vec was pre-sized.
                 returned.lock().expect("no worker panicked")[i] = Some(member);
             });
         }
@@ -171,10 +178,14 @@ pub fn with_parallel_crowd<R>(
     });
 
     let members_back: Vec<SimulatedMember> = Arc::try_unwrap(returned)
+        // PANIC-OK: the scope joined every worker, so this Arc is the
+        // sole remaining reference.
         .expect("all workers joined")
         .into_inner()
+        // PANIC-OK: lock poisoning propagates a worker panic.
         .expect("no worker panicked")
         .into_iter()
+        // PANIC-OK: every worker fills its slot before returning.
         .map(|m| m.expect("worker returned its member"))
         .collect();
     (result, members_back)

@@ -31,6 +31,7 @@
 //! truth as a function of the number of questions, per strategy.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 pub mod estimate;

@@ -33,6 +33,7 @@
 //!   Definition 2.5 (`φ(A_WHERE) ≤ O`).
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 pub mod ast;

@@ -29,6 +29,7 @@
 //! once when the vocabulary is frozen.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod bitmat;

@@ -18,6 +18,7 @@
 //!   1-minimal, replayable counterexample.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 pub mod clock;

@@ -46,6 +46,7 @@
 //! | [`rules`] | the SIGMOD'13 association-rule crowd-mining framework (the paper's reference \[3\]) |
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 
 pub use crowd;
 pub use oassis_core as core;

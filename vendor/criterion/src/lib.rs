@@ -7,6 +7,11 @@
 //! Timing is plain wall-clock sampling — no outlier analysis, no plots,
 //! no saved baselines — reported as mean ± stddev over the sample.
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
+// audit: allow-file(D2, vendored wall-clock bench shim - timing is this crate's entire purpose and it never feeds mining outcomes)
+
 use std::time::{Duration, Instant};
 
 /// Per-iteration timing loop handed to benchmark closures.

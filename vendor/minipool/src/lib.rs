@@ -32,6 +32,7 @@
 //! execution with zero thread spawns.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -44,6 +45,7 @@ static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 fn env_threads() -> usize {
     static ENV: OnceLock<usize> = OnceLock::new();
     *ENV.get_or_init(|| {
+        // audit: allow(D2, thread-count knob only - par_map/join results are order-preserving and bit-identical at every width by construction)
         std::env::var("MINIPOOL_THREADS")
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())

@@ -12,6 +12,9 @@
 //! failing inputs are printed verbatim — and case generation is
 //! deterministic per test name, so failures always reproduce.
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
 pub mod strategy;
 pub mod test_runner;
 

@@ -9,6 +9,9 @@
 //! upstream, but every consumer in this repo only relies on streams being
 //! deterministic per seed, which this shim guarantees.
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
 /// A source of random 64-bit words.
 pub trait RngCore {
     /// The next 64 random bits.
