@@ -70,7 +70,7 @@ impl std::fmt::Display for Finding {
 }
 
 /// The known rule ids (used to validate suppression markers).
-pub const RULE_IDS: [&str; 5] = ["D1", "D2", "D3", "D4", "D5"];
+pub const RULE_IDS: [&str; 6] = ["D1", "D2", "D3", "D4", "D5", "D6"];
 
 /// The audit result of a single source file.
 #[derive(Debug, Clone, Default)]
@@ -103,6 +103,7 @@ pub fn audit_source(path: &str, src: &str, crate_has_unsafe: Option<bool>) -> Fi
     raw.extend(rules::d4(&scope, &scanned));
     let has_unsafe = crate_has_unsafe.unwrap_or(!unsafe_sites.is_empty());
     raw.extend(rules::d5(&scope, &scanned, has_unsafe));
+    raw.extend(rules::d6(&scope, &scanned));
 
     let sups = suppress::collect(&scanned);
     let mut used = vec![false; sups.len()];

@@ -1,4 +1,4 @@
-//! The rule catalogue: D1–D5.
+//! The rule catalogue: D1–D6.
 //!
 //! Each rule takes the scanned file, its scope facts and (for D1) the
 //! statement segmentation, and returns raw findings; the orchestrator
@@ -18,7 +18,7 @@ use crate::suppress;
 pub struct RawFinding {
     /// 1-based line.
     pub line: usize,
-    /// Rule id (`D1`…`D5`, `SUP`).
+    /// Rule id (`D1`…`D6`, `SUP`).
     pub rule: &'static str,
     /// Human message (no file:line prefix; the printer adds it).
     pub message: String,
@@ -597,6 +597,47 @@ pub fn d5(scope: &FileScope, scanned: &Scanned, crate_has_unsafe: bool) -> Vec<R
             "D5",
             format!("unsafe-free crate root missing `{D5_FORBID_UNSAFE}`"),
         ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------- D6
+
+/// The wrappers' home: the only non-test file allowed to reference
+/// the deprecated entry points (it defines them and routes them
+/// through `run`).
+const D6_HOME: &str = "crates/core/src/engine.rs";
+
+/// The deprecated `Oassis` entry points, kept compiling for
+/// downstream code but closed to new call sites (DESIGN.md §12.1).
+const D6_DEPRECATED: [&str; 3] = [".execute(", ".execute_concurrent(", ".execute_rules("];
+
+/// D6 — deprecated entry points: non-test code outside `engine.rs`
+/// must go through `Oassis::run` instead of the frozen wrapper
+/// methods. (String literals are blanked by the lexer, so quoting a
+/// method name in a message never fires.)
+pub fn d6(scope: &FileScope, scanned: &Scanned) -> Vec<RawFinding> {
+    if scope.is_test_file || scope.path == D6_HOME {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, line) in scanned.code.iter().enumerate() {
+        let line_no = i + 1;
+        if scope.is_test_line(line_no) {
+            continue;
+        }
+        for pat in D6_DEPRECATED {
+            if line.contains(pat) {
+                out.push(finding(
+                    line_no,
+                    "D6",
+                    format!(
+                        "deprecated entry point `{}` — use `Oassis::run` (DESIGN.md §12.1)",
+                        &pat[1..pat.len() - 1]
+                    ),
+                ));
+            }
+        }
     }
     out
 }

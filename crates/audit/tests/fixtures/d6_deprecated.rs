@@ -1,0 +1,11 @@
+// Planted D6 violations: calls to the deprecated `Oassis` entry
+// points outside their home in engine.rs. The string literal and the
+// `run` call must not fire.
+pub fn legacy_calls(engine: &Oassis, crowd: &mut C) {
+    let a = engine.execute(SRC, crowd, &agg, &cfg);
+    let b = engine.execute_concurrent(&srcs, make, &cache, &agg, &cfg);
+    let c = engine.execute_rules(SRC, crowd, &rcfg);
+    let msg = "call .execute( somewhere else";
+    let ok = engine.run(&request, binding, &agg);
+    let _ = (a, b, c, msg, ok);
+}

@@ -1,4 +1,4 @@
-//! Fixture-based rule tests: one planted violation per rule (D1–D5),
+//! Fixture-based rule tests: one planted violation per rule (D1–D6),
 //! a clean file, and a fully suppressed file. Fixtures live in
 //! `tests/fixtures/` (excluded from the workspace walk — they are
 //! planted violations, not code) and are audited in-process under
@@ -127,6 +127,30 @@ fn d5_fires_on_a_bare_crate_root() {
                        pub fn g(p: *const u8) -> u8 {\n    // SAFETY: caller contract.\n    \
                        unsafe { *p }\n}\n";
     assert!(fired("crates/planted/src/lib.rs", unsafe_root).is_empty());
+}
+
+#[test]
+fn d6_fires_on_deprecated_entry_points() {
+    let src = include_str!("fixtures/d6_deprecated.rs");
+    let got = fired("crates/bench/src/planted.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("D6".to_string(), 5),
+            ("D6".to_string(), 6),
+            ("D6".to_string(), 7),
+        ],
+        "execute@5, execute_concurrent@6, execute_rules@7 fire; the \
+         string literal and the `run` call do not"
+    );
+    assert!(
+        fired("crates/core/src/engine.rs", src).is_empty(),
+        "the wrappers' home file is exempt from D6"
+    );
+    assert!(
+        fired("crates/core/tests/planted.rs", src).is_empty(),
+        "test code is exempt from D6 (legacy-surface tests stay)"
+    );
 }
 
 #[test]

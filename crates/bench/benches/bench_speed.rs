@@ -25,7 +25,7 @@
 //! Usage: `cargo bench --bench bench_speed` (add `--release` implicitly);
 //! to restart the trajectory, delete `BENCH_speed.json` and rerun.
 
-use bench::{bind_domain, digest_domain_run, run_domain_at};
+use bench::{bind_domain, digest_domain_run, run_domain_at, run_domain_at_traced};
 use oassis_core::synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle};
 use oassis_core::{run_horizontal, run_naive, run_vertical, Dag, MiningConfig};
 use oassis_ql::{bind, evaluate_where, parse, MatchMode};
@@ -217,6 +217,63 @@ fn timings_to_json(timings: &[Timing]) -> Json {
     )
 }
 
+/// One instrumented (untimed) pass of the E3 workload with a recording
+/// [`telemetry::TelemetrySink`]: per-phase span totals and engine
+/// counters become the `"telemetry"` section of `BENCH_speed.json`.
+/// Kept separate from the timed repetitions so sink overhead never
+/// pollutes the wall-clock numbers; the outcome digest is returned so
+/// `main` can assert that recording is outcome-neutral.
+fn telemetry_section() -> (Json, u64) {
+    let domain = self_treatment(DomainScale::paper());
+    let bound = bind_domain(&domain);
+    let mut cache = oassis_core::CrowdCache::new();
+    let sink = telemetry::TelemetrySink::shared();
+    let tele = telemetry::Telemetry::recording(&sink);
+    let run = run_domain_at_traced(
+        &domain,
+        &bound,
+        &domain.ontology,
+        &mut cache,
+        0.2,
+        248,
+        6,
+        7,
+        minipool::Pool::sequential(),
+        &tele,
+    );
+    let digest = digest_domain_run(&run);
+    let snap = sink.snapshot();
+    let spans = Json::Obj(
+        snap.spans
+            .iter()
+            .map(|(k, t)| {
+                (
+                    k.clone(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::Num(t.count as f64)),
+                        ("ticks".into(), Json::Num(t.ticks as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let counters = Json::Obj(
+        snap.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+            .collect(),
+    );
+    let section = Json::Obj(vec![
+        ("workload".into(), Json::Str("E3_self_treatment".into())),
+        ("digest".into(), Json::Str(format!("{digest:016x}"))),
+        ("events".into(), Json::Num(snap.events as f64)),
+        ("last_tick".into(), Json::Num(snap.last_tick as f64)),
+        ("spans".into(), spans),
+        ("counters".into(), counters),
+    ]);
+    (section, digest)
+}
+
 fn workspace_root() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -228,6 +285,22 @@ fn main() {
     let mut timings = domain_workloads();
     timings.extend(fig5_workloads());
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // instrumented pass: recording telemetry must not perturb outcomes
+    let (telemetry_json, traced_digest) = telemetry_section();
+    let e3_digest = timings
+        .iter()
+        .find(|t| t.name == "E3_self_treatment")
+        .map(|t| t.digest);
+    let recording_neutral = e3_digest == Some(traced_digest);
+    println!(
+        "telemetry-instrumented E3 digest {traced_digest:016x}: {}",
+        if recording_neutral {
+            "identical to the timed run"
+        } else {
+            "DIFFERS from the timed run — recording perturbed the outcome!"
+        }
+    );
 
     let path = workspace_root().join("BENCH_speed.json");
     let previous = std::fs::read_to_string(&path)
@@ -252,7 +325,14 @@ fn main() {
             .filter(|(k, _)| {
                 !matches!(
                     k.as_str(),
-                    "schema" | "baseline" | "current" | "speedup_vs_baseline" | "history" | "cores"
+                    "schema"
+                        | "baseline"
+                        | "current"
+                        | "speedup_vs_baseline"
+                        | "history"
+                        | "cores"
+                        | "repeats"
+                        | "telemetry"
                 )
             })
             .cloned()
@@ -317,6 +397,7 @@ fn main() {
         ("current".into(), current),
         ("speedup_vs_baseline".into(), Json::Obj(speedups)),
         ("history".into(), Json::Arr(history)),
+        ("telemetry".into(), telemetry_json),
     ];
     fields.extend(extra_fields);
     let doc = Json::Obj(fields);
@@ -325,6 +406,10 @@ fn main() {
 
     if !all_identical {
         eprintln!("outcome digests changed vs baseline — failing the smoke run");
+        std::process::exit(1);
+    }
+    if !recording_neutral {
+        eprintln!("recording telemetry changed the E3 outcome — failing the smoke run");
         std::process::exit(1);
     }
 }

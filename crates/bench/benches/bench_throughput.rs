@@ -19,7 +19,7 @@
 //! Usage: `cargo bench -p bench --bench bench_throughput`.
 
 use bench::pure_domain_crowd;
-use oassis_core::{MiningConfig, Oassis, SharedCrowdCache};
+use oassis_core::{CrowdBinding, MiningConfig, Oassis, QueryRequest, SharedCrowdCache};
 use ontology::domains::{travel, DomainScale};
 use ontology::json::{self, Json};
 use std::time::Instant;
@@ -71,16 +71,22 @@ fn run_at(threads: usize) -> Run {
         ..Default::default()
     };
 
+    let req = QueryRequest::batch(&query_refs).with_mining(cfg);
     let start = Instant::now();
-    let answers = engine.execute_concurrent(
-        &query_refs,
-        // every query consults the SAME crowd (same seed): the shared
-        // cache then models re-asking the same people across queries
-        |_| pure_domain_crowd(&domain, ont.vocab(), MEMBERS, HABITS, SEED),
-        &agg,
-        &cfg,
-        &cache,
-    );
+    let answers = engine
+        .run(
+            &req,
+            // every query consults the SAME crowd (same seed): the shared
+            // cache then models re-asking the same people across queries
+            CrowdBinding::per_query(
+                |_| pure_domain_crowd(&domain, ont.vocab(), MEMBERS, HABITS, SEED),
+                &cache,
+            ),
+            &agg,
+        )
+        .expect("throughput batch request accepted")
+        .into_batch()
+        .expect("batch request yields per-query results");
     let wall_s = start.elapsed().as_secs_f64();
 
     let mut digest = 0xcbf2_9ce4_8422_2325u64;

@@ -296,6 +296,37 @@ pub fn run_domain_at_pool(
     seed: u64,
     pool: minipool::Pool,
 ) -> DomainRun {
+    run_domain_at_traced(
+        domain,
+        bound,
+        ont,
+        cache,
+        threshold,
+        members,
+        habits,
+        seed,
+        pool,
+        &telemetry::Telemetry::off(),
+    )
+}
+
+/// [`run_domain_at_pool`] with a telemetry handle attached to the mining
+/// engine, so the perf harness can record per-phase span totals and
+/// engine counters for one instrumented (untimed) pass. With
+/// `Telemetry::off()` this is exactly [`run_domain_at_pool`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_domain_at_traced(
+    domain: &GeneratedDomain,
+    bound: &BoundQuery,
+    ont: &Ontology,
+    cache: &mut oassis_core::CrowdCache,
+    threshold: f64,
+    members: usize,
+    habits: usize,
+    seed: u64,
+    pool: minipool::Pool,
+    tele: &telemetry::Telemetry,
+) -> DomainRun {
     let base = oassis_ql::evaluate_where_pool(bound, ont, MatchMode::Exact, &pool);
     let mut dag = Dag::new(bound, ont.vocab(), &base);
     let crowd = domain_crowd(domain, ont.vocab(), members, habits, seed);
@@ -305,6 +336,7 @@ pub fn run_domain_at_pool(
         specialization_ratio: 0.12, // the ratio observed in the paper's crowd
         seed,
         pool,
+        telemetry: tele.clone(),
         ..Default::default()
     };
     let out: MultiOutcome = run_multi(&mut dag, &mut caching, &paper_aggregator(), &cfg);

@@ -96,18 +96,21 @@ pub fn run_horizontal<C: CrowdSource>(
     cfg: &MiningConfig,
 ) -> MiningOutcome {
     let threshold = cfg.threshold.unwrap_or(dag.query().threshold);
+    let root = cfg.telemetry.span("mine.horizontal");
+    let tele = root.tele().clone();
     let mut s = Session {
         cls: Classifier::new(),
         rng: StdRng::seed_from_u64(cfg.seed),
         questions: 0,
         events: Vec::new(),
-        tracker: ValidTracker::new(dag),
+        tracker: ValidTracker::new(dag).with_telemetry(tele.clone()),
         available: true,
         threshold,
         cfg,
         manifest: Default::default(),
         gave_up: Vec::new(),
         gave_up_set: HashSet::new(),
+        tele,
     };
     let mut monitor = MspMonitor::new();
     let mut msp_ids: Vec<NodeId> = Vec::new();
@@ -189,18 +192,21 @@ pub fn run_naive<C: CrowdSource>(
     cfg: &MiningConfig,
 ) -> MiningOutcome {
     let threshold = cfg.threshold.unwrap_or(dag.query().threshold);
+    let root = cfg.telemetry.span("mine.naive");
+    let tele = root.tele().clone();
     let mut s = Session {
         cls: Classifier::new(),
         rng: StdRng::seed_from_u64(cfg.seed),
         questions: 0,
         events: Vec::new(),
-        tracker: ValidTracker::new(dag),
+        tracker: ValidTracker::new(dag).with_telemetry(tele.clone()),
         available: true,
         threshold,
         cfg,
         manifest: Default::default(),
         gave_up: Vec::new(),
         gave_up_set: HashSet::new(),
+        tele,
     };
     let mut monitor = MspMonitor::new();
     let mut msp_ids: Vec<NodeId> = Vec::new();

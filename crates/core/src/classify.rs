@@ -97,6 +97,10 @@ pub struct Classifier {
     visit_gen: u32,
     /// Scratch queue for propagation.
     queue: Vec<NodeId>,
+    /// [`Self::class`] calls answered straight from the sticky cache.
+    cache_hits: u64,
+    /// [`Self::class`] calls that had to consult witnesses/pruning.
+    cache_misses: u64,
 }
 
 impl Classifier {
@@ -235,9 +239,21 @@ impl Classifier {
         self.pruned_elems.len()
     }
 
+    /// Sticky-cache hit/miss totals over all [`Self::class`] calls, for
+    /// the telemetry flush at the end of a run.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
+    }
+
     /// Classifies `id`, using witnesses and pruning records.
     pub fn class(&mut self, dag: &Dag<'_>, id: NodeId) -> Class {
         self.ensure_node(id);
+        // PANIC-OK: ensure_node(id) at function entry sized the cache.
+        if matches!(self.cache[id.index()], Some(Cached::Queried(_))) {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
+        }
         let c = self.class_frozen(&dag.view(), id);
         // Stickiness: the first query's verdict is cached permanently,
         // exactly as the historical classifier did.

@@ -4,6 +4,17 @@
 //! This is the API the examples and experiments drive; it corresponds to
 //! the prototype's top-level flow of Section 6.1 (RDFLIB SPARQL engine →
 //! AssignGenerator → QueueManager → CrowdCache).
+//!
+//! # The single entry point
+//!
+//! [`Oassis::run`] executes any request — a pattern query, a rule query
+//! (`IMPLYING … AND CONFIDENCE`), or a batch of concurrent queries —
+//! described by a [`QueryRequest`] with [`ExecuteOptions`], against a
+//! [`CrowdBinding`], and returns a [`QueryOutcome`]. Errors unify under
+//! [`OassisError`]. The historical entry points `execute`,
+//! `execute_concurrent` and `execute_rules` remain as thin wrappers
+//! (flagged by audit rule D6 outside test code) so existing callers
+//! compile unchanged.
 
 use crate::aggregate::Aggregator;
 use crate::cache::{SharedCachingCrowd, SharedCrowdCache};
@@ -16,6 +27,234 @@ use crate::vertical::MiningConfig;
 use crowd::CrowdSource;
 use oassis_ql::{bind, evaluate_where_pool, parse, BoundQuery, MatchMode, OutputFormat, QlError};
 use ontology::Ontology;
+use std::path::PathBuf;
+
+/// Unified error type of the public engine surface.
+#[derive(Debug)]
+pub enum OassisError {
+    /// Query-language error: parse, bind, or semantic validation.
+    Ql(QlError),
+    /// Crowd-side error: the request and the crowd binding don't fit
+    /// (e.g. a batch request with a single shared crowd).
+    Crowd(String),
+    /// Invalid resource budget (question budget, support threshold).
+    Budget(String),
+    /// Telemetry error: a trace was requested without a recording sink,
+    /// or writing the trace failed.
+    Telemetry(String),
+}
+
+impl std::fmt::Display for OassisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OassisError::Ql(e) => write!(f, "query error: {e}"),
+            OassisError::Crowd(m) => write!(f, "crowd error: {m}"),
+            OassisError::Budget(m) => write!(f, "budget error: {m}"),
+            OassisError::Telemetry(m) => write!(f, "telemetry error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OassisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OassisError::Ql(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QlError> for OassisError {
+    fn from(e: QlError) -> Self {
+        OassisError::Ql(e)
+    }
+}
+
+impl OassisError {
+    /// Collapses back to the legacy [`QlError`] surface (used by the
+    /// deprecated wrapper entry points, whose signatures are frozen).
+    pub fn into_ql(self) -> QlError {
+        match self {
+            OassisError::Ql(e) => e,
+            other => QlError::Invalid(other.to_string()),
+        }
+    }
+}
+
+/// Options governing one [`QueryRequest`].
+#[derive(Debug, Clone, Default)]
+pub struct ExecuteOptions {
+    /// Mining configuration for pattern queries (threshold override,
+    /// question-type policy, pool, crowd-access policy, telemetry handle).
+    pub mining: MiningConfig,
+    /// Rule-mining configuration, used when the query has an `IMPLYING`
+    /// clause.
+    pub rules: RuleMiningConfig,
+    /// Where to write the JSONL telemetry trace after the run. Requires a
+    /// recording sink on `mining.telemetry`; rejected with
+    /// [`OassisError::Telemetry`] otherwise.
+    pub trace_path: Option<PathBuf>,
+}
+
+/// A declarative description of one engine invocation: one query (pattern
+/// or rule) or a batch of concurrently executed pattern queries, plus the
+/// [`ExecuteOptions`] to run them under.
+#[derive(Debug, Clone)]
+pub struct QueryRequest<'q> {
+    queries: Vec<&'q str>,
+    options: ExecuteOptions,
+}
+
+impl<'q> QueryRequest<'q> {
+    /// A request for a single query (pattern or rule — dispatched on the
+    /// presence of an `IMPLYING` clause).
+    pub fn new(src: &'q str) -> Self {
+        QueryRequest {
+            queries: vec![src],
+            options: ExecuteOptions::default(),
+        }
+    }
+
+    /// A request executing `queries` concurrently (one pool slot each)
+    /// against per-query crowds sharing one answer cache; requires a
+    /// [`CrowdBinding::PerQuery`] binding.
+    pub fn batch(queries: &[&'q str]) -> Self {
+        QueryRequest {
+            queries: queries.to_vec(),
+            options: ExecuteOptions::default(),
+        }
+    }
+
+    /// Replaces the full option block.
+    pub fn with_options(mut self, options: ExecuteOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the mining configuration.
+    pub fn with_mining(mut self, mining: MiningConfig) -> Self {
+        self.options.mining = mining;
+        self
+    }
+
+    /// Sets the rule-mining configuration.
+    pub fn with_rules(mut self, rules: RuleMiningConfig) -> Self {
+        self.options.rules = rules;
+        self
+    }
+
+    /// Requests a JSONL trace dump after the run (requires a recording
+    /// sink on the mining telemetry handle).
+    pub fn with_trace_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.options.trace_path = Some(path.into());
+        self
+    }
+
+    /// The query sources in the request.
+    pub fn queries(&self) -> &[&'q str] {
+        &self.queries
+    }
+
+    /// The options the request runs under.
+    pub fn options(&self) -> &ExecuteOptions {
+        &self.options
+    }
+}
+
+/// How [`Oassis::run`] reaches the crowd.
+pub enum CrowdBinding<'c, C, F = fn(usize) -> C> {
+    /// One shared crowd source, asked directly (single queries).
+    Single(&'c mut C),
+    /// A per-query crowd factory plus a shared answer cache (batch
+    /// requests; also accepted for single queries, which use `make(0)`).
+    PerQuery {
+        /// Builds the `i`-th query's crowd on whichever worker thread
+        /// picks it up.
+        make: F,
+        /// The cache every per-query crowd consults and fills.
+        cache: &'c SharedCrowdCache,
+    },
+}
+
+impl<'c, C: CrowdSource> CrowdBinding<'c, C, fn(usize) -> C> {
+    /// Binds one crowd source directly (pins the unused factory type so
+    /// plain `run` calls infer).
+    pub fn single(crowd: &'c mut C) -> Self {
+        CrowdBinding::Single(crowd)
+    }
+}
+
+impl<'c, C: CrowdSource, F: Fn(usize) -> C> CrowdBinding<'c, C, F> {
+    /// Binds a per-query crowd factory and a shared answer cache.
+    pub fn per_query(make: F, cache: &'c SharedCrowdCache) -> Self {
+        CrowdBinding::PerQuery { make, cache }
+    }
+}
+
+/// What a [`QueryRequest`] produced.
+// One QueryOutcome exists per run and is consumed immediately by an
+// `into_*` accessor — the variant size skew never multiplies across a
+// collection, and boxing would put an allocation on every answer.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum QueryOutcome {
+    /// A pattern query's rendered answers and mining outcome.
+    Patterns(QueryAnswer),
+    /// A rule query's rendered rules and outcome.
+    Rules(RuleAnswer),
+    /// Per-query results of a batch request, in query order.
+    Batch(Vec<Result<QueryAnswer, OassisError>>),
+}
+
+impl QueryOutcome {
+    /// The pattern answer, if this was a single pattern query.
+    pub fn as_patterns(&self) -> Option<&QueryAnswer> {
+        match self {
+            QueryOutcome::Patterns(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The rule answer, if this was a rule query.
+    pub fn as_rules(&self) -> Option<&RuleAnswer> {
+        match self {
+            QueryOutcome::Rules(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The per-query results, if this was a batch request.
+    pub fn as_batch(&self) -> Option<&[Result<QueryAnswer, OassisError>]> {
+        match self {
+            QueryOutcome::Batch(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Consumes into the pattern answer, if this was a pattern query.
+    pub fn into_patterns(self) -> Option<QueryAnswer> {
+        match self {
+            QueryOutcome::Patterns(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Consumes into the rule answer, if this was a rule query.
+    pub fn into_rules(self) -> Option<RuleAnswer> {
+        match self {
+            QueryOutcome::Rules(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Consumes into the batch results, if this was a batch request.
+    pub fn into_batch(self) -> Option<Vec<Result<QueryAnswer, OassisError>>> {
+        match self {
+            QueryOutcome::Batch(v) => Some(v),
+            _ => None,
+        }
+    }
+}
 
 /// The OASSIS engine over one ontology.
 pub struct Oassis<'o> {
@@ -86,9 +325,9 @@ impl<'o> Oassis<'o> {
     }
 
     /// Parses and binds a query without executing it.
-    pub fn prepare(&self, src: &str) -> Result<BoundQuery, QlError> {
+    pub fn prepare(&self, src: &str) -> Result<BoundQuery, OassisError> {
         let q = parse(src)?;
-        bind(&q, self.ont)
+        Ok(bind(&q, self.ont)?)
     }
 
     /// Renders a crowd question in natural language.
@@ -103,39 +342,152 @@ impl<'o> Oassis<'o> {
         }
     }
 
-    /// Executes a (pattern) query against a crowd, with the given
-    /// aggregation black-box and mining configuration. `TOP k` queries
-    /// terminate early once `k` valid MSPs are confirmed; `TOP k DIVERSE`
-    /// queries mine the full answer set and return `k` mutually diverse
-    /// answers. Rule queries (`IMPLYING`) must use
-    /// [`execute_rules`](Self::execute_rules).
-    pub fn execute<C: CrowdSource, A: Aggregator>(
+    /// Executes any [`QueryRequest`] — a pattern query, a rule query, or
+    /// a batch — against the given [`CrowdBinding`] and aggregator. The
+    /// single entry point subsuming the deprecated `execute`,
+    /// `execute_concurrent` and `execute_rules` wrappers.
+    ///
+    /// Validation performed up front:
+    /// * the request must carry at least one query;
+    /// * a zero question budget or a support threshold outside `(0, 1]`
+    ///   is rejected with [`OassisError::Budget`];
+    /// * `trace_path` without a recording telemetry sink is rejected with
+    ///   [`OassisError::Telemetry`];
+    /// * a batch request with a [`CrowdBinding::Single`] binding is
+    ///   rejected with [`OassisError::Crowd`].
+    pub fn run<C, A, F>(
+        &self,
+        req: &QueryRequest<'_>,
+        crowd: CrowdBinding<'_, C, F>,
+        aggregator: &A,
+    ) -> Result<QueryOutcome, OassisError>
+    where
+        C: CrowdSource,
+        A: Aggregator + Sync,
+        F: Fn(usize) -> C + Sync,
+    {
+        if req.queries.is_empty() {
+            return Err(OassisError::Ql(QlError::Invalid(
+                "request has no queries".into(),
+            )));
+        }
+        let mining = &req.options.mining;
+        if mining.max_questions == Some(0) {
+            return Err(OassisError::Budget(
+                "question budget is zero; the run could never ask anything".into(),
+            ));
+        }
+        if let Some(t) = mining.threshold {
+            if !(t > 0.0 && t <= 1.0) {
+                return Err(OassisError::Budget(format!(
+                    "support threshold {t} outside (0, 1]"
+                )));
+            }
+        }
+        if req.options.trace_path.is_some() && mining.telemetry.sink().is_none() {
+            return Err(OassisError::Telemetry(
+                "trace_path requires a recording telemetry sink on the mining config".into(),
+            ));
+        }
+        let outcome = if req.queries.len() > 1 {
+            match crowd {
+                CrowdBinding::PerQuery { make, cache } => QueryOutcome::Batch(self.run_batch(
+                    &req.queries,
+                    &make,
+                    aggregator,
+                    mining,
+                    cache,
+                )),
+                CrowdBinding::Single(_) => {
+                    return Err(OassisError::Crowd(
+                        "batch request needs a per-query crowd binding \
+                         (CrowdBinding::per_query)"
+                            .into(),
+                    ))
+                }
+            }
+        } else {
+            // PANIC-OK: the is_empty check above guarantees an element.
+            let src = req.queries[0];
+            let is_rule = !self.prepare(src)?.imp_meta.is_empty();
+            match crowd {
+                CrowdBinding::Single(c) => {
+                    if is_rule {
+                        QueryOutcome::Rules(self.run_rule_query(
+                            src,
+                            c,
+                            &req.options.rules,
+                            &mining.telemetry,
+                        )?)
+                    } else {
+                        QueryOutcome::Patterns(self.run_pattern_query(src, c, aggregator, mining)?)
+                    }
+                }
+                CrowdBinding::PerQuery { make, cache } => {
+                    let mut c = SharedCachingCrowd::new(make(0), cache);
+                    if is_rule {
+                        QueryOutcome::Rules(self.run_rule_query(
+                            src,
+                            &mut c,
+                            &req.options.rules,
+                            &mining.telemetry,
+                        )?)
+                    } else {
+                        QueryOutcome::Patterns(
+                            self.run_pattern_query(src, &mut c, aggregator, mining)?,
+                        )
+                    }
+                }
+            }
+        };
+        if let Some(path) = &req.options.trace_path {
+            if let Some(sink) = mining.telemetry.sink() {
+                sink.write_jsonl(path).map_err(|e| {
+                    OassisError::Telemetry(format!(
+                        "failed to write trace to {}: {e}",
+                        path.display()
+                    ))
+                })?;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Pattern-query pipeline: prepare → WHERE → DAG → multi-user mining
+    /// → selection/rendering, each phase under its own telemetry span.
+    fn run_pattern_query<C: CrowdSource, A: Aggregator>(
         &self,
         src: &str,
         crowd: &mut C,
         aggregator: &A,
         cfg: &MiningConfig,
-    ) -> Result<QueryAnswer, QlError> {
-        let bound = self.prepare(src)?;
-        if !bound.imp_meta.is_empty() {
-            return Err(QlError::Invalid(
-                "query has an IMPLYING clause; use execute_rules".into(),
-            ));
-        }
-        let base = evaluate_where_pool(&bound, self.ont, self.match_mode, &self.pool);
-        let mut dag = Dag::new(&bound, self.ont.vocab(), &base);
-        let with_policy;
-        let cfg = match self.policy {
-            Some(policy) => {
-                with_policy = MiningConfig {
-                    policy,
-                    ..cfg.clone()
-                };
-                &with_policy
-            }
-            None => cfg,
+    ) -> Result<QueryAnswer, OassisError> {
+        let root = cfg.telemetry.span("query.pattern");
+        let tele = root.tele().clone();
+        let bound = {
+            let _s = tele.span("prepare");
+            self.prepare(src)?
         };
-        let outcome = run_multi(&mut dag, crowd, aggregator, cfg);
+        if !bound.imp_meta.is_empty() {
+            return Err(OassisError::Ql(QlError::Invalid(
+                "query has an IMPLYING clause; use execute_rules".into(),
+            )));
+        }
+        let base = {
+            let _s = tele.span("where_eval");
+            evaluate_where_pool(&bound, self.ont, self.match_mode, &self.pool)
+        };
+        let mut dag = {
+            let _s = tele.span("dag_build");
+            Dag::new(&bound, self.ont.vocab(), &base)
+        };
+        let mut run_cfg = cfg.clone();
+        if let Some(policy) = self.policy {
+            run_cfg.policy = policy;
+        }
+        run_cfg.telemetry = tele.clone();
+        let outcome = run_multi(&mut dag, crowd, aggregator, &run_cfg);
+        let _s = tele.span("select");
         let vocab = self.ont.vocab();
         let selected: Vec<crate::Assignment> = {
             let pool: &[crate::Assignment] = if bound.all {
@@ -159,39 +511,34 @@ impl<'o> Oassis<'o> {
         Ok(QueryAnswer { answers, outcome })
     }
 
-    /// Executes `queries` concurrently over this engine's shared ontology,
-    /// one query per pool slot, all consulting (and filling) one shared
-    /// [`SharedCrowdCache`]. `make_crowd(i)` builds the `i`-th query's
-    /// crowd on whichever worker thread picks it up.
-    ///
-    /// Results come back in query order regardless of which thread ran
-    /// what. Each query's mining outcome depends only on its own crowd and
-    /// the crowd's answers, never on scheduling — provided the crowd
-    /// members are *pure* (their answers don't depend on how many
-    /// questions the shared cache absorbed; e.g. [`crowd::AnswerModel::Exact`]
-    /// or [`crowd::AnswerModel::Bucketed5`] members with default
-    /// behavior). With such crowds the answer set at any thread count is
-    /// bit-identical to running the queries one after another.
-    pub fn execute_concurrent<C, A, F>(
+    /// Batch pipeline: one query per pool slot over per-query crowds and
+    /// a shared answer cache. Inner queries run with telemetry *off* (the
+    /// workers' interleaving is non-deterministic); the coordinator
+    /// records deterministic per-query aggregates after the join, in
+    /// query order, so traces are bit-identical at any pool width.
+    fn run_batch<C, A, F>(
         &self,
         queries: &[&str],
-        make_crowd: F,
+        make_crowd: &F,
         aggregator: &A,
         cfg: &MiningConfig,
         cache: &SharedCrowdCache,
-    ) -> Vec<Result<QueryAnswer, QlError>>
+    ) -> Vec<Result<QueryAnswer, OassisError>>
     where
         C: CrowdSource,
         A: Aggregator + Sync,
         F: Fn(usize) -> C + Sync,
     {
+        let root = cfg.telemetry.span("batch");
+        let tele = root.tele().clone();
         let indices: Vec<usize> = (0..queries.len()).collect();
-        self.pool.par_map(&indices, |&i| {
+        let results = self.pool.par_map(&indices, |&i| {
             let mut crowd = SharedCachingCrowd::new(make_crowd(i), cache);
             // each query mines with a sequential inner pool: the
             // parallelism budget is already spent at the query level
             let query_cfg = MiningConfig {
                 pool: minipool::Pool::sequential(),
+                telemetry: telemetry::Telemetry::off(),
                 ..cfg.clone()
             };
             let engine = Oassis {
@@ -202,22 +549,49 @@ impl<'o> Oassis<'o> {
                 policy: self.policy,
             };
             // PANIC-OK: `i` ranges over 0..queries.len() by construction.
-            engine.execute(queries[i], &mut crowd, aggregator, &query_cfg)
-        })
+            engine.run_pattern_query(queries[i], &mut crowd, aggregator, &query_cfg)
+        });
+        if tele.is_enabled() {
+            tele.count("batch.queries", queries.len() as u64);
+            for r in results.iter().flatten() {
+                let q = r.outcome.mining.questions as u64;
+                tele.count("batch.queries_ok", 1);
+                tele.count("engine.questions", q);
+                tele.observe("batch.questions_per_query", q);
+            }
+        }
+        results
     }
 
-    /// Executes an association-rule query (one with `IMPLYING … AND
-    /// CONFIDENCE`). Answers render as `body ⇒ head (supp, conf)`.
-    pub fn execute_rules<C: CrowdSource>(
+    /// Rule-query pipeline: prepare → WHERE → DAG → two-phase rule
+    /// mining → rendering, each phase under its own telemetry span.
+    fn run_rule_query<C: CrowdSource>(
         &self,
         src: &str,
         crowd: &mut C,
         cfg: &RuleMiningConfig,
-    ) -> Result<RuleAnswer, QlError> {
-        let bound = self.prepare(src)?;
-        let base = evaluate_where_pool(&bound, self.ont, self.match_mode, &self.pool);
-        let mut dag = Dag::new(&bound, self.ont.vocab(), &base);
-        let outcome = run_rules(&mut dag, crowd, cfg)?;
+        telemetry: &telemetry::Telemetry,
+    ) -> Result<RuleAnswer, OassisError> {
+        let root = telemetry.span("query.rules");
+        let tele = root.tele();
+        let bound = {
+            let _s = tele.span("prepare");
+            self.prepare(src)?
+        };
+        let base = {
+            let _s = tele.span("where_eval");
+            evaluate_where_pool(&bound, self.ont, self.match_mode, &self.pool)
+        };
+        let mut dag = {
+            let _s = tele.span("dag_build");
+            Dag::new(&bound, self.ont.vocab(), &base)
+        };
+        let outcome = {
+            let _s = tele.span("mine.rules");
+            run_rules(&mut dag, crowd, cfg)?
+        };
+        tele.count("engine.questions", outcome.questions as u64);
+        let _s = tele.span("select");
         let vocab = self.ont.vocab();
         let pool: Vec<&crate::rulemine::MinedRule> =
             outcome.rules.iter().filter(|r| r.valid).collect();
@@ -238,6 +612,79 @@ impl<'o> Oassis<'o> {
             })
             .collect();
         Ok(RuleAnswer { answers, outcome })
+    }
+
+    /// Executes a (pattern) query against a crowd, with the given
+    /// aggregation black-box and mining configuration. `TOP k` queries
+    /// terminate early once `k` valid MSPs are confirmed; `TOP k DIVERSE`
+    /// queries mine the full answer set and return `k` mutually diverse
+    /// answers. Rule queries (`IMPLYING`) must use
+    /// [`execute_rules`](Self::execute_rules).
+    ///
+    /// **Deprecated**: use [`Oassis::run`] with a [`QueryRequest`] — this
+    /// thin wrapper (kept so historical callers compile unchanged) is
+    /// flagged by audit rule D6 outside test code.
+    pub fn execute<C: CrowdSource, A: Aggregator>(
+        &self,
+        src: &str,
+        crowd: &mut C,
+        aggregator: &A,
+        cfg: &MiningConfig,
+    ) -> Result<QueryAnswer, QlError> {
+        self.run_pattern_query(src, crowd, aggregator, cfg)
+            .map_err(OassisError::into_ql)
+    }
+
+    /// Executes `queries` concurrently over this engine's shared ontology,
+    /// one query per pool slot, all consulting (and filling) one shared
+    /// [`SharedCrowdCache`]. `make_crowd(i)` builds the `i`-th query's
+    /// crowd on whichever worker thread picks it up.
+    ///
+    /// Results come back in query order regardless of which thread ran
+    /// what. Each query's mining outcome depends only on its own crowd and
+    /// the crowd's answers, never on scheduling — provided the crowd
+    /// members are *pure* (their answers don't depend on how many
+    /// questions the shared cache absorbed; e.g. [`crowd::AnswerModel::Exact`]
+    /// or [`crowd::AnswerModel::Bucketed5`] members with default
+    /// behavior). With such crowds the answer set at any thread count is
+    /// bit-identical to running the queries one after another.
+    ///
+    /// **Deprecated**: use [`Oassis::run`] with [`QueryRequest::batch`]
+    /// and [`CrowdBinding::per_query`] — this thin wrapper is flagged by
+    /// audit rule D6 outside test code.
+    pub fn execute_concurrent<C, A, F>(
+        &self,
+        queries: &[&str],
+        make_crowd: F,
+        aggregator: &A,
+        cfg: &MiningConfig,
+        cache: &SharedCrowdCache,
+    ) -> Vec<Result<QueryAnswer, QlError>>
+    where
+        C: CrowdSource,
+        A: Aggregator + Sync,
+        F: Fn(usize) -> C + Sync,
+    {
+        self.run_batch(queries, &make_crowd, aggregator, cfg, cache)
+            .into_iter()
+            .map(|r| r.map_err(OassisError::into_ql))
+            .collect()
+    }
+
+    /// Executes an association-rule query (one with `IMPLYING … AND
+    /// CONFIDENCE`). Answers render as `body ⇒ head (supp, conf)`.
+    ///
+    /// **Deprecated**: use [`Oassis::run`] — rule queries dispatch on
+    /// their `IMPLYING` clause automatically. This thin wrapper is
+    /// flagged by audit rule D6 outside test code.
+    pub fn execute_rules<C: CrowdSource>(
+        &self,
+        src: &str,
+        crowd: &mut C,
+        cfg: &RuleMiningConfig,
+    ) -> Result<RuleAnswer, QlError> {
+        self.run_rule_query(src, crowd, cfg, &telemetry::Telemetry::off())
+            .map_err(OassisError::into_ql)
     }
 }
 

@@ -60,7 +60,10 @@ pub use cache::{CachingCrowd, CrowdCache, SharedCachingCrowd, SharedCrowdCache};
 pub use classify::{Class, Classifier};
 pub use dag::{Dag, GenStats, Node, NodeId};
 pub use diversify::{diversify, semantic_distance};
-pub use engine::{Oassis, QueryAnswer, RuleAnswer};
+pub use engine::{
+    CrowdBinding, ExecuteOptions, Oassis, OassisError, QueryAnswer, QueryOutcome, QueryRequest,
+    RuleAnswer,
+};
 pub use manifest::PartialManifest;
 pub use multi::{run_multi, MultiOutcome, QuestionStats};
 pub use rulemine::{run_rules, MinedRule, RuleMiningConfig, RuleOutcome};

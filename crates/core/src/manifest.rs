@@ -43,6 +43,11 @@ impl PartialManifest {
 /// incremented. Returns the first non-timeout answer, or
 /// [`Answer::NoResponse`] once the retry budget is spent (the caller then
 /// records the give-up).
+///
+/// Every ask is wrapped in a telemetry span named `"question"` whose
+/// detail is the question kind; timeouts and retries additionally emit
+/// `"timeout"` / `"retry"` marks plus `crowd.*` counters, so a recorded
+/// trace can be replayed against the run's [`PartialManifest`].
 pub(crate) fn ask_with_retry<C: CrowdSource>(
     crowd: &mut C,
     member: MemberId,
@@ -50,18 +55,34 @@ pub(crate) fn ask_with_retry<C: CrowdSource>(
     policy: &CrowdPolicy,
     timeouts: &mut usize,
     retries: &mut usize,
+    tele: &telemetry::Telemetry,
 ) -> Answer {
+    let kind = match question {
+        Question::Concrete { .. } => "concrete",
+        Question::Specialization { .. } => "specialization",
+    };
+    let span = tele.span_with("question", kind);
+    let tele = span.tele();
     let mut attempt = 0u32;
     loop {
         let answer = crowd.ask(member, question);
         if !matches!(answer, Answer::NoResponse) {
+            tele.observe("crowd.attempts_per_question", u64::from(attempt) + 1);
             return answer;
         }
         *timeouts += 1;
+        tele.mark("timeout", kind);
+        tele.count("crowd.timeouts", 1);
         if attempt >= policy.max_retries {
+            tele.count("crowd.gave_up", 1);
+            tele.observe("crowd.attempts_per_question", u64::from(attempt) + 1);
             return Answer::NoResponse;
         }
-        crowd.advance_clock(policy.backoff(attempt));
+        let backoff = policy.backoff(attempt);
+        crowd.advance_clock(backoff);
+        tele.mark("retry", kind);
+        tele.count("crowd.retries", 1);
+        tele.count("crowd.backoff_ticks", backoff);
         *retries += 1;
         attempt += 1;
     }

@@ -145,10 +145,14 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
     cfg: &MiningConfig,
 ) -> MultiOutcome {
     let threshold = cfg.threshold.unwrap_or(dag.query().threshold);
+    let root = cfg.telemetry.span("mine.multi");
+    let tele = root.tele().clone();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut global = Classifier::new();
     let mut answers: HashMap<NodeId, Vec<(MemberId, f64)>> = HashMap::new();
-    let mut tracker = ValidTracker::new(dag).with_pool(cfg.pool);
+    let mut tracker = ValidTracker::new(dag)
+        .with_pool(cfg.pool)
+        .with_telemetry(tele.clone());
     let mut events: Vec<DiscoveryEvent> = Vec::new();
     let mut monitor = MspMonitor::new();
     let mut msp_ids: Vec<NodeId> = Vec::new();
@@ -182,6 +186,8 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
     let mut deg = Degradation::default();
 
     'outer: loop {
+        let _round = tele.span("round");
+        let tele = _round.tele();
         // Speculative execution against concurrent crowds: predict each
         // member's next question with a read-only emulation of the round
         // and hand the batch to the source, which computes the answers on
@@ -191,6 +197,8 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
         if speculate {
             let batch = predict_round(dag, &global, &members, &rng, cfg, questions);
             if !batch.is_empty() {
+                tele.count("crowd.prefetch_batches", 1);
+                tele.count("crowd.prefetched_questions", batch.len() as u64);
                 crowd.prefetch(&batch);
             }
         }
@@ -242,6 +250,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                         &mut questions,
                         &mut events,
                         &mut newly_significant,
+                        tele,
                     );
                     if asked {
                         // the base itself is still unanswered by this
@@ -270,6 +279,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                     &mut questions,
                     &mut events,
                     &mut newly_significant,
+                    tele,
                 );
             }
             if asked {
@@ -376,6 +386,19 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
         .node_ids()
         .filter(|&i| dag.node(i).valid && !dag.node(i).assignment.is_base())
         .count();
+    if tele.is_enabled() {
+        let (hits, misses) = global.cache_stats();
+        tele.count("classifier.cache_hits", hits);
+        tele.count("classifier.cache_misses", misses);
+        let gs = dag.stats();
+        tele.count("dag.nodes_created", gs.nodes_created as u64);
+        tele.count("dag.nodes_expanded", gs.nodes_expanded as u64);
+        tele.count("dag.admits_calls", gs.admits_calls as u64);
+        tele.count("validity.bases_classified", tracker.total_classified as u64);
+        for &n in &per_member {
+            tele.observe("engine.answers_per_member", n as u64);
+        }
+    }
     MultiOutcome {
         mining: MiningOutcome {
             msps,
@@ -620,6 +643,7 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
     questions: &mut usize,
     events: &mut Vec<DiscoveryEvent>,
     newly_significant: &mut Vec<NodeId>,
+    tele: &telemetry::Telemetry,
 ) -> bool {
     let pattern = dag.node(target).assignment.apply(dag.query());
     let question = Question::Concrete { pattern };
@@ -630,11 +654,14 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
         policy,
         &mut deg.manifest.timeouts,
         &mut deg.manifest.retries,
+        tele,
     );
     match answer {
         Answer::Support { support, more_tip } => {
             *questions += 1;
             stats.concrete += 1;
+            tele.count("engine.questions", 1);
+            tele.count("questions.concrete", 1);
             m.answered.insert(target);
             if support >= threshold {
                 m.personal.mark_significant(dag, target);
@@ -668,6 +695,8 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
         Answer::Irrelevant { elem } => {
             *questions += 1;
             stats.pruning += 1;
+            tele.count("engine.questions", 1);
+            tele.count("questions.pruning", 1);
             m.answered.insert(target);
             m.personal.prune_elem(elem);
             // The click answers *every* assignment involving the element
@@ -758,6 +787,7 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
     questions: &mut usize,
     events: &mut Vec<DiscoveryEvent>,
     newly_significant: &mut Vec<NodeId>,
+    tele: &telemetry::Telemetry,
 ) -> bool {
     let q = Question::Specialization {
         base: dag.node(base).assignment.apply(dag.query()),
@@ -773,11 +803,14 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
         policy,
         &mut deg.manifest.timeouts,
         &mut deg.manifest.retries,
+        tele,
     );
     match answer {
         Answer::Specialized { choice, support } => {
             *questions += 1;
             stats.specialization += 1;
+            tele.count("engine.questions", 1);
+            tele.count("questions.specialization", 1);
             // PANIC-OK: callers pass a non-empty options slice and the
             // clamp keeps any crowd-supplied choice in bounds.
             let chosen = options[choice.min(options.len() - 1)];
@@ -808,6 +841,8 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
         Answer::NoneOfThese => {
             *questions += 1;
             stats.none_of_these += 1;
+            tele.count("engine.questions", 1);
+            tele.count("questions.none_of_these", 1);
             for &o in options {
                 m.answered.insert(o);
                 m.personal.mark_insignificant(dag, o);
@@ -831,6 +866,8 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
         Answer::Irrelevant { elem } => {
             *questions += 1;
             stats.pruning += 1;
+            tele.count("engine.questions", 1);
+            tele.count("questions.pruning", 1);
             m.personal.prune_elem(elem);
             true
         }

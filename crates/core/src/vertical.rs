@@ -53,6 +53,12 @@ pub struct MiningConfig {
     /// the simulation harness; off by default (pure frozen reads, so
     /// enabling it never changes an outcome, only the running time).
     pub debug_checks: bool,
+    /// Telemetry handle for the run. The default is
+    /// [`telemetry::Telemetry::off`], a no-op that records nothing and
+    /// keeps every outcome bit-identical; attach a recording sink with
+    /// [`telemetry::Telemetry::recording`] to capture spans, counters and
+    /// histograms for the run.
+    pub telemetry: telemetry::Telemetry,
 }
 
 impl Default for MiningConfig {
@@ -66,6 +72,7 @@ impl Default for MiningConfig {
             pool: minipool::Pool::sequential(),
             policy: CrowdPolicy::default(),
             debug_checks: false,
+            telemetry: telemetry::Telemetry::off(),
         }
     }
 }
@@ -165,6 +172,10 @@ pub(crate) struct ValidTracker {
     buckets_all: Vec<Vec<u32>>,
     /// Pool for sharded candidate verification (sequential by default).
     pool: minipool::Pool,
+    /// Telemetry handle (off by default). Only counters and histograms
+    /// are recorded here — never spans — so witness verification can run
+    /// from any engine without perturbing the trace tick.
+    tele: telemetry::Telemetry,
 }
 
 impl ValidTracker {
@@ -204,6 +215,7 @@ impl ValidTracker {
             buckets_first,
             buckets_all,
             pool: minipool::Pool::sequential(),
+            tele: telemetry::Telemetry::off(),
         }
     }
 
@@ -213,6 +225,12 @@ impl ValidTracker {
     /// anyway, since `mark` is idempotent and commutative).
     pub fn with_pool(mut self, pool: minipool::Pool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Attaches a telemetry handle for witness/prune counters.
+    pub fn with_telemetry(mut self, tele: telemetry::Telemetry) -> Self {
+        self.tele = tele;
         self
     }
 
@@ -232,6 +250,7 @@ impl ValidTracker {
     /// Updates after the node `w` became a significant (`sig=true`) or
     /// insignificant witness; returns whether anything newly classified.
     pub fn witness(&mut self, dag: &Dag<'_>, w: NodeId, sig: bool) -> bool {
+        self.tele.count("validity.witness_checks", 1);
         let mut changed = false;
         if sig {
             // bases a ≤ w: no MORE facts and singleton slots, so the
@@ -253,6 +272,8 @@ impl ValidTracker {
                             .filter(|&i| !self.classified[i as usize]),
                     );
                 }
+                self.tele
+                    .observe("minipool.shard_items", candidates.len() as u64);
                 let hits = self.pool.par_map(&candidates, |&i| {
                     // PANIC-OK: candidates hold base indices, as above.
                     self.base_bits[i as usize]
@@ -336,6 +357,8 @@ impl ValidTracker {
                 // `buckets_all` may list a base once per slot; duplicate
                 // candidates verify to the same verdict and `mark` is
                 // idempotent, so the classified set is unchanged.
+                self.tele
+                    .observe("minipool.shard_items", candidates.len() as u64);
                 let hits = self.pool.par_map(&candidates, |&i| {
                     let i = i as usize;
                     // PANIC-OK: bucket entries are base indices.
@@ -362,6 +385,7 @@ impl ValidTracker {
     /// Updates after a pruning click: bases holding a value in the
     /// pruned element's descendant cone (in any slot) are classified.
     pub fn prune(&mut self, dag: &Dag<'_>, elem: ontology::ElemId) -> bool {
+        self.tele.count("validity.prune_clicks", 1);
         let space = dag.fp_space();
         let vocab = dag.vocab();
         let mut changed = false;
@@ -400,18 +424,23 @@ pub fn run_vertical<C: CrowdSource>(
     cfg: &MiningConfig,
 ) -> MiningOutcome {
     let threshold = cfg.threshold.unwrap_or(dag.query().threshold);
+    let root = cfg.telemetry.span("mine.vertical");
+    let tele = root.tele().clone();
     let mut s = Session {
         cls: Classifier::new(),
         rng: StdRng::seed_from_u64(cfg.seed),
         questions: 0,
         events: Vec::new(),
-        tracker: ValidTracker::new(dag).with_pool(cfg.pool),
+        tracker: ValidTracker::new(dag)
+            .with_pool(cfg.pool)
+            .with_telemetry(tele.clone()),
         available: true,
         threshold,
         cfg,
         manifest: PartialManifest::default(),
         gave_up: Vec::new(),
         gave_up_set: HashSet::new(),
+        tele,
     };
     let mut msp_ids: Vec<NodeId> = Vec::new();
     let mut msp_set: HashSet<NodeId> = HashSet::new();
@@ -562,6 +591,19 @@ pub(crate) fn finish(
         .node_ids()
         .filter(|&id| dag.node(id).valid && !dag.node(id).assignment.is_base())
         .count();
+    if s.tele.is_enabled() {
+        let (hits, misses) = s.cls.cache_stats();
+        s.tele.count("classifier.cache_hits", hits);
+        s.tele.count("classifier.cache_misses", misses);
+        let gs = dag.stats();
+        s.tele.count("dag.nodes_created", gs.nodes_created as u64);
+        s.tele.count("dag.nodes_expanded", gs.nodes_expanded as u64);
+        s.tele.count("dag.admits_calls", gs.admits_calls as u64);
+        s.tele.count(
+            "validity.bases_classified",
+            s.tracker.total_classified as u64,
+        );
+    }
     MiningOutcome {
         msps,
         valid_msps,
@@ -615,6 +657,8 @@ pub(crate) struct Session<'c> {
     /// Nodes the retry policy gave up on, in first-give-up order.
     pub gave_up: Vec<NodeId>,
     pub gave_up_set: HashSet<NodeId>,
+    /// Telemetry handle, parented at the engine's root span.
+    pub tele: telemetry::Telemetry,
 }
 
 pub(crate) enum SpecOutcome {
@@ -646,6 +690,13 @@ impl Session<'_> {
                 total: self.tracker.total_classified,
             },
         });
+    }
+
+    /// Bumps the answered-question counters (`engine.questions` plus one
+    /// per-kind counter matching [`crate::multi::QuestionStats`] naming).
+    fn count_question(&self, kind: &'static str) {
+        self.tele.count("engine.questions", 1);
+        self.tele.count(kind, 1);
     }
 
     /// Records that the retry policy gave up on `id` (stays `Unknown`).
@@ -687,10 +738,12 @@ impl Session<'_> {
             &self.cfg.policy,
             &mut self.manifest.timeouts,
             &mut self.manifest.retries,
+            &self.tele,
         );
         let sig = match answer {
             Answer::Support { support, more_tip } => {
                 self.questions += 1;
+                self.count_question("questions.concrete");
                 if let Some(tip) = more_tip {
                     // the *more* button: materialize the extended successor
                     dag.attach_more_tip(id, tip);
@@ -708,6 +761,7 @@ impl Session<'_> {
             }
             Answer::Irrelevant { elem } => {
                 self.questions += 1;
+                self.count_question("questions.pruning");
                 self.cls.prune_elem(elem);
                 if self.tracker.prune(dag, elem) {
                     self.record_classification_event();
@@ -756,10 +810,12 @@ impl Session<'_> {
             &self.cfg.policy,
             &mut self.manifest.timeouts,
             &mut self.manifest.retries,
+            &self.tele,
         );
         let outcome = match answer {
             Answer::Specialized { choice, support } => {
                 self.questions += 1;
+                self.count_question("questions.specialization");
                 // PANIC-OK: callers pass a non-empty options slice and
                 // the clamp keeps any crowd-supplied choice in bounds.
                 let chosen = options[choice.min(options.len() - 1)];
@@ -780,6 +836,7 @@ impl Session<'_> {
             }
             Answer::NoneOfThese => {
                 self.questions += 1;
+                self.count_question("questions.none_of_these");
                 let mut changed = false;
                 for &o in options {
                     self.cls.mark_insignificant(dag, o);
@@ -792,6 +849,7 @@ impl Session<'_> {
             }
             Answer::Irrelevant { elem } => {
                 self.questions += 1;
+                self.count_question("questions.pruning");
                 self.cls.prune_elem(elem);
                 if self.tracker.prune(dag, elem) {
                     self.record_classification_event();

@@ -33,13 +33,25 @@ enum Job {
 pub struct ParallelHandle {
     senders: Vec<Sender<Job>>,
     questions: Arc<AtomicUsize>,
+    /// Telemetry handle (off by default). Only counters are bumped here —
+    /// all from the coordinator thread that owns the handle, so recorded
+    /// aggregates are deterministic.
+    tele: telemetry::Telemetry,
 }
 
 impl ParallelHandle {
+    /// Attaches a telemetry handle for fan-out/session counters.
+    pub fn set_telemetry(&mut self, tele: telemetry::Telemetry) {
+        self.tele = tele;
+    }
+
     /// Fans `question` out to `members` concurrently and collects their
     /// answers in member order. The question is cloned once per batch and
     /// shared across the workers via [`Arc`].
     pub fn ask_batch(&mut self, members: &[MemberId], question: &Question) -> Vec<Answer> {
+        self.tele.count("crowd.batches", 1);
+        self.tele
+            .count("crowd.batch_questions", members.len() as u64);
         let shared = Arc::new(question.clone());
         let receivers: Vec<Receiver<Answer>> = members
             .iter()
@@ -77,6 +89,7 @@ impl CrowdSource for ParallelHandle {
             return Answer::Unavailable;
         }
         self.questions.fetch_add(1, Ordering::Relaxed);
+        self.tele.count("crowd.asks", 1);
         rx.recv().unwrap_or(Answer::Unavailable)
     }
 
@@ -94,6 +107,7 @@ impl CrowdSource for ParallelHandle {
     /// speculation is rolled back worker-side, so answers and member
     /// session state are identical to the non-speculative run.
     fn prefetch(&mut self, batch: &[(MemberId, Question)]) {
+        self.tele.count("crowd.speculations", batch.len() as u64);
         for (member, question) in batch {
             // a closed channel just means the run is over — ignore
             // PANIC-OK: one sender per member id by construction.
@@ -171,6 +185,7 @@ pub fn with_parallel_crowd<R>(
         let mut handle = ParallelHandle {
             senders,
             questions: Arc::clone(&questions),
+            tele: telemetry::Telemetry::off(),
         };
         let r = f(&mut handle);
         drop(handle); // close the channels so workers exit

@@ -94,6 +94,10 @@ pub struct FaultyCrowd<C> {
     absent_until: std::collections::HashMap<u32, u64>,
     trace: SimTrace,
     asked: usize,
+    /// Optional telemetry handle. Only tick-neutral events (counters and
+    /// `sync_tick`) are recorded here, so attaching a sink never perturbs
+    /// the trace digest of the simulated session itself.
+    tele: telemetry::Telemetry,
 }
 
 impl<C: CrowdSource> FaultyCrowd<C> {
@@ -109,7 +113,16 @@ impl<C: CrowdSource> FaultyCrowd<C> {
             absent_until: Default::default(),
             trace: SimTrace::default(),
             asked: 0,
+            tele: telemetry::Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle; fault injections are counted under
+    /// `sim.*` and the sink's logical tick is kept in sync with the
+    /// simulation clock.
+    pub fn with_telemetry(mut self, tele: telemetry::Telemetry) -> Self {
+        self.tele = tele;
+        self
     }
 
     /// The recorded trace so far.
@@ -150,13 +163,17 @@ impl<C: CrowdSource> CrowdSource for FaultyCrowd<C> {
     fn ask(&mut self, member: MemberId, question: &Question) -> Answer {
         self.asked += 1;
         let tick = self.clock.advance(1);
+        self.tele.sync_tick(tick);
+        self.tele.count("sim.asks", 1);
         let q = describe_question(question);
         if self.departed.contains(&member.0) {
+            self.tele.count("sim.asks_after_departure", 1);
             self.trace
                 .push(tick, member, "depart", format!("{q} after-departure"));
             return Answer::Unavailable;
         }
         if self.absent_until.get(&member.0).is_some_and(|&u| tick < u) {
+            self.tele.count("sim.absent_asks", 1);
             self.trace.push(tick, member, "absent", q);
             return Answer::NoResponse;
         }
@@ -164,16 +181,21 @@ impl<C: CrowdSource> CrowdSource for FaultyCrowd<C> {
             Some(FaultKind::Drop) => {
                 // lost in transit: the inner member never sees it, so a
                 // retry can still obtain the pristine answer
+                self.tele.count("sim.drops", 1);
                 self.trace.push(tick, member, "drop", q);
                 Answer::NoResponse
             }
             Some(FaultKind::Delay(d)) if d > self.timeout_ticks => {
+                self.tele.count("sim.delays_timed_out", 1);
                 self.trace
                     .push(tick, member, "delay", format!("{q} late={d} timeout"));
                 Answer::NoResponse
             }
             Some(FaultKind::Delay(d)) => {
                 let tick = self.clock.advance(d);
+                self.tele.sync_tick(tick);
+                self.tele.count("sim.delays", 1);
+                self.tele.observe("sim.delay_ticks", d);
                 let ans = self.inner.ask(member, question);
                 self.trace.push(
                     tick,
@@ -187,6 +209,7 @@ impl<C: CrowdSource> CrowdSource for FaultyCrowd<C> {
                 // the member answers truthfully, then sends a contradictory
                 // re-answer; the engine's first-accepted-answer-wins rule
                 // means only the trace ever sees the contradiction
+                self.tele.count("sim.contradictions", 1);
                 let ans = self.inner.ask(member, question);
                 self.trace.push(
                     tick,
@@ -198,11 +221,13 @@ impl<C: CrowdSource> CrowdSource for FaultyCrowd<C> {
             }
             Some(FaultKind::Depart) => {
                 self.departed.insert(member.0);
+                self.tele.count("sim.departures", 1);
                 self.trace.push(tick, member, "depart", q);
                 Answer::Unavailable
             }
             Some(FaultKind::Absent(d)) => {
                 self.absent_until.insert(member.0, tick + d);
+                self.tele.count("sim.absences", 1);
                 self.trace
                     .push(tick, member, "absent", format!("{q} for={d}"));
                 Answer::NoResponse
@@ -232,7 +257,8 @@ impl<C: CrowdSource> CrowdSource for FaultyCrowd<C> {
     // logical clock, so speculation would only blur the trace.
 
     fn advance_clock(&mut self, ticks: u64) {
-        self.clock.advance(ticks);
+        let now = self.clock.advance(ticks);
+        self.tele.sync_tick(now);
         self.inner.advance_clock(ticks);
     }
 }

@@ -206,6 +206,7 @@ fn run_engine(
     cfg: &SimConfig,
     schedule: &Schedule,
     budget: Option<usize>,
+    tele: &telemetry::Telemetry,
 ) -> Result<EngineRun, String> {
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut dag = Dag::new(b, vocab, base).without_multiplicities();
@@ -220,7 +221,8 @@ fn run_engine(
             _ => 1,
         };
         let oracle = PlantedOracle::new(vocab, patterns.to_vec(), members, cfg.seed);
-        let mut crowd = FaultyCrowd::new(oracle, schedule, cfg.policy.timeout_ticks);
+        let mut crowd = FaultyCrowd::new(oracle, schedule, cfg.policy.timeout_ticks)
+            .with_telemetry(tele.clone());
         let mining_cfg = MiningConfig {
             specialization_ratio: 0.25,
             seed: cfg.seed,
@@ -231,6 +233,7 @@ fn run_engine(
             },
             policy: cfg.policy,
             debug_checks: true,
+            telemetry: tele.clone(),
             ..Default::default()
         };
         let out: MiningOutcome = match engine {
@@ -287,9 +290,20 @@ pub fn run_with_schedule(cfg: &SimConfig, schedule: &Schedule) -> SimReport {
     // Phase 1 — differential oracle on the fault-free schedule: every
     // engine agrees with the planted ground truth (and hence with every
     // other engine).
+    let off = telemetry::Telemetry::off();
     let mut reference: Option<EngineRun> = None;
     for &engine in &ENGINES {
-        match run_engine(engine, &b, vocab, &base, &patterns, cfg, &fault_free, None) {
+        match run_engine(
+            engine,
+            &b,
+            vocab,
+            &base,
+            &patterns,
+            cfg,
+            &fault_free,
+            None,
+            &off,
+        ) {
             Ok(run) => {
                 if run.msps != world.planted_display {
                     failures.push(format!(
@@ -325,10 +339,10 @@ pub fn run_with_schedule(cfg: &SimConfig, schedule: &Schedule) -> SimReport {
     // Phase 2 — the faulty schedule: graceful degradation + determinism.
     for &engine in &ENGINES {
         let first = run_engine(
-            engine, &b, vocab, &base, &patterns, cfg, schedule, cfg.budget,
+            engine, &b, vocab, &base, &patterns, cfg, schedule, cfg.budget, &off,
         );
         let second = run_engine(
-            engine, &b, vocab, &base, &patterns, cfg, schedule, cfg.budget,
+            engine, &b, vocab, &base, &patterns, cfg, schedule, cfg.budget, &off,
         );
         match (first, second) {
             (Ok(run), Ok(rerun)) => {
@@ -402,6 +416,38 @@ pub fn run_corpus(seeds: std::ops::Range<u64>) -> Vec<SimReport> {
             }
         })
         .collect()
+}
+
+/// Replays `seed`'s derived faulty schedule through the multi-user
+/// engine with a recording [`telemetry::TelemetrySink`] attached to both
+/// the engine and the [`FaultyCrowd`] wrapper, returning the sink.
+///
+/// The resulting trace is replayable: spans carry logical ticks synced
+/// to the simulation clock, fault injections appear as `sim.*` counters
+/// and the engine's retry machinery as `crowd.*` counters. Serialize it
+/// with [`telemetry::TelemetrySink::write_jsonl`].
+pub fn record_seed_trace(seed: u64, pool_width: usize) -> std::sync::Arc<telemetry::TelemetrySink> {
+    let cfg = SimConfig::from_seed(seed);
+    let (world, patterns) = build_world(&cfg);
+    let vocab = world.dom.ontology.vocab();
+    let q = parse(&world.dom.query).expect("synthetic query parses");
+    let b = bind(&q, &world.dom.ontology).expect("synthetic query binds");
+    let base = evaluate_where(&b, &world.dom.ontology, MatchMode::Exact);
+    let sink = telemetry::TelemetrySink::shared();
+    let tele = telemetry::Telemetry::recording(&sink);
+    run_engine(
+        EngineKind::Multi(pool_width),
+        &b,
+        vocab,
+        &base,
+        &patterns,
+        &cfg,
+        &cfg.schedule,
+        cfg.budget,
+        &tele,
+    )
+    .expect("recorded simulation run does not panic");
+    sink
 }
 
 /// If `seed` fails, shrinks its schedule to a 1-minimal failing one and

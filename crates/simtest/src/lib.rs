@@ -29,6 +29,9 @@ pub mod shrink;
 
 pub use clock::LogicalClock;
 pub use faulty::{FaultyCrowd, SimTrace, TraceEntry};
-pub use harness::{run_corpus, run_seed, run_with_schedule, shrink_failure, SimConfig, SimReport};
+pub use harness::{
+    record_seed_trace, run_corpus, run_seed, run_with_schedule, shrink_failure, SimConfig,
+    SimReport,
+};
 pub use schedule::{FaultEvent, FaultKind, Schedule};
 pub use shrink::shrink as shrink_schedule;

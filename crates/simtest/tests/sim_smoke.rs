@@ -7,7 +7,7 @@
 //! one-line replayable schedule before being reported. The nightly job
 //! widens the corpus via the `SIM_SEEDS` environment variable.
 
-use simtest::{run_corpus, run_seed, run_with_schedule, Schedule, SimConfig};
+use simtest::{record_seed_trace, run_corpus, run_seed, run_with_schedule, Schedule, SimConfig};
 
 /// Seed range: `0..SIM_SEEDS` (default 12 — sized for the push-CI
 /// budget).
@@ -65,6 +65,47 @@ fn heavy_fault_load_degrades_gracefully() {
         schedule.to_line(),
         report.failures.join("; ")
     );
+}
+
+/// Records one faulty multi-user run with a live telemetry sink, checks
+/// the trace is well-formed and replayable, and writes it as a JSONL
+/// artifact (CI uploads it; `SIM_TRACE_OUT` overrides the location).
+#[test]
+fn recorded_fault_trace_is_deterministic_and_lands_on_disk() {
+    let sink = record_seed_trace(5, 2);
+    let events = sink.events();
+    assert!(!events.is_empty(), "recording run produced no trace events");
+    // the engine root span is present and ticks never go backwards
+    let mut last_tick = 0u64;
+    let mut saw_root = false;
+    for e in &events {
+        assert!(e.tick() >= last_tick, "tick went backwards at {e:?}");
+        last_tick = e.tick();
+        if let telemetry::TraceEvent::SpanStart { name, .. } = e {
+            saw_root |= name == "mine.multi";
+        }
+    }
+    assert!(saw_root, "missing mine.multi root span");
+    assert!(sink.counter("sim.asks") > 0, "no simulated asks counted");
+
+    // bit-identical replay of the recorded trace
+    let again = record_seed_trace(5, 2);
+    assert_eq!(sink.to_jsonl(), again.to_jsonl(), "recorded trace drifted");
+
+    // pool width must not perturb the recorded trace either
+    let wide = record_seed_trace(5, 8);
+    assert_eq!(
+        sink.to_jsonl(),
+        wide.to_jsonl(),
+        "trace depends on pool width"
+    );
+
+    let path = std::env::var("SIM_TRACE_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("sim-trace.jsonl")
+        });
+    sink.write_jsonl(&path).expect("trace artifact written");
 }
 
 #[test]

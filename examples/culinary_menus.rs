@@ -67,14 +67,16 @@ fn main() {
         seed: 3,
         ..Default::default()
     };
+    let request = QueryRequest::new(&domain.query).with_mining(cfg_mine);
     let answer = engine
-        .execute(
-            &domain.query,
-            &mut SimulatedCrowd::new(v, members),
+        .run(
+            &request,
+            CrowdBinding::single(&mut SimulatedCrowd::new(v, members)),
             &FixedSampleAggregator { sample_size: 5 },
-            &cfg_mine,
         )
-        .expect("query runs");
+        .expect("query runs")
+        .into_patterns()
+        .expect("pattern query");
 
     println!(
         "{} answers used; mined menus (valid MSPs):",

@@ -34,16 +34,23 @@ fn main() {
     let top_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS TOP 1");
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
     let top = engine
-        .execute(&top_query, &mut crowd, &agg, &MiningConfig::default())
+        .run(
+            &QueryRequest::new(&top_query),
+            CrowdBinding::single(&mut crowd),
+            &agg,
+        )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     let mut crowd_full = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
     let full = engine
-        .execute(
-            figure1::SIMPLE_QUERY,
-            &mut crowd_full,
+        .run(
+            &QueryRequest::new(figure1::SIMPLE_QUERY),
+            CrowdBinding::single(&mut crowd_full),
             &agg,
-            &MiningConfig::default(),
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     println!(
         "TOP 1 stopped after {} questions (full run: {}):",
@@ -58,7 +65,13 @@ fn main() {
         figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS TOP 2 DIVERSE");
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
     let div = engine
-        .execute(&div_query, &mut crowd, &agg, &MiningConfig::default())
+        .run(
+            &QueryRequest::new(&div_query),
+            CrowdBinding::single(&mut crowd),
+            &agg,
+        )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     println!("\nTOP 2 DIVERSE picks answers spanning both attractions:");
     for a in &div.answers {
@@ -83,15 +96,18 @@ IMPLYING
 WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
 "#;
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
+    // `run` dispatches on the IMPLYING clause — no separate entry point
     let rules = engine
-        .execute_rules(
-            rule_src,
-            &mut crowd,
-            &RuleMiningConfig {
+        .run(
+            &QueryRequest::new(rule_src).with_rules(RuleMiningConfig {
                 panel_size: 1,
                 ..Default::default()
-            },
+            }),
+            CrowdBinding::single(&mut crowd),
+            &agg,
         )
+        .unwrap()
+        .into_rules()
         .unwrap();
     println!(
         "\nassociation rules (activity ⇒ nearby meal), {} questions:",
@@ -117,7 +133,13 @@ WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
     let mut crowd = SimulatedCrowd::new(ont.vocab(), members);
     let agg2 = FixedSampleAggregator { sample_size: 2 };
     let asked = engine
-        .execute(&asking_query, &mut crowd, &agg2, &MiningConfig::default())
+        .run(
+            &QueryRequest::new(&asking_query),
+            CrowdBinding::single(&mut crowd),
+            &agg2,
+        )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     println!(
         "\nASKING \"local\" recruited {} of 3 members; answers:",

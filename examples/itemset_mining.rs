@@ -102,14 +102,16 @@ fn main() {
     let query = "SELECT FACT-SETS\nWHERE\nSATISFYING\n  $x+ did it\nWITH SUPPORT = 0.375\n";
     println!("FIM query:\n{query}");
     let engine = Oassis::new(&ont);
+    let request = QueryRequest::new(query);
     let answer = engine
-        .execute(
-            query,
-            &mut SimulatedCrowd::new(v, vec![member]),
+        .run(
+            &request,
+            CrowdBinding::single(&mut SimulatedCrowd::new(v, vec![member])),
             &FixedSampleAggregator { sample_size: 1 },
-            &MiningConfig::default(),
         )
-        .expect("query runs");
+        .expect("query runs")
+        .into_patterns()
+        .expect("pattern query");
     println!(
         "maximal frequent fact-sets (θ = 3/8), {} questions:",
         answer.outcome.mining.questions

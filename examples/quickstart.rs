@@ -63,14 +63,16 @@ fn main() {
     );
 
     // 4. Mine the crowd.
+    let request = QueryRequest::new(figure1::SIMPLE_QUERY);
     let answer = engine
-        .execute(
-            figure1::SIMPLE_QUERY,
-            &mut crowd,
+        .run(
+            &request,
+            CrowdBinding::single(&mut crowd),
             &FixedSampleAggregator { sample_size: 2 },
-            &MiningConfig::default(),
         )
-        .expect("query parses and binds");
+        .expect("query parses and binds")
+        .into_patterns()
+        .expect("pattern query yields a pattern answer");
 
     println!(
         "mined {} question(s); MSPs:",

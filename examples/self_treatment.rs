@@ -104,14 +104,16 @@ fn main() {
         seed: 1,
         ..Default::default()
     };
+    let request = QueryRequest::new(&domain.query).with_mining(cfg_mine);
     let answer = engine
-        .execute(
-            &domain.query,
-            &mut SimulatedCrowd::new(v, members.clone()),
+        .run(
+            &request,
+            CrowdBinding::single(&mut SimulatedCrowd::new(v, members.clone())),
             &aggregator,
-            &cfg_mine,
         )
-        .expect("query runs");
+        .expect("query runs")
+        .into_patterns()
+        .expect("pattern query");
     println!(
         "with trust weighting — {} remedies mined:",
         answer.answers.len()
@@ -125,13 +127,14 @@ fn main() {
         m.reset_session();
     }
     let naive_answer = engine
-        .execute(
-            &domain.query,
-            &mut SimulatedCrowd::new(v, members),
+        .run(
+            &request,
+            CrowdBinding::single(&mut SimulatedCrowd::new(v, members)),
             &FixedSampleAggregator { sample_size: 5 },
-            &cfg_mine,
         )
-        .expect("query runs");
+        .expect("query runs")
+        .into_patterns()
+        .expect("pattern query");
     println!(
         "\nwithout the filter the spam inflates the answer set: {} vs {} MSPs",
         naive_answer.answers.len(),

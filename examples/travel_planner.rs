@@ -88,17 +88,19 @@ fn main() {
         seed: 7,
         ..Default::default()
     };
+    let request = QueryRequest::new(&domain.query).with_mining(mining.clone());
     let (answers_02, used_02, fresh_02) = {
         let crowd = SimulatedCrowd::new(v, members.clone());
         let mut caching = oassis::core::CachingCrowd::new(crowd, &mut cache);
         let ans = engine
-            .execute(
-                &domain.query,
-                &mut caching,
+            .run(
+                &request,
+                CrowdBinding::single(&mut caching),
                 &FixedSampleAggregator { sample_size: 5 },
-                &mining,
             )
-            .expect("query runs");
+            .expect("query runs")
+            .into_patterns()
+            .expect("pattern query");
         (ans, caching.total_questions(), caching.fresh_questions())
     };
     println!(
@@ -121,6 +123,7 @@ fn main() {
         threshold: Some(0.4),
         ..mining.clone()
     };
+    let request_04 = QueryRequest::new(&domain.query).with_mining(mining_04);
     let (answers_04, used_04, fresh_04) = {
         let mut fresh_members = members.clone();
         for m in &mut fresh_members {
@@ -129,13 +132,14 @@ fn main() {
         let crowd = SimulatedCrowd::new(v, fresh_members);
         let mut caching = oassis::core::CachingCrowd::new(crowd, &mut cache);
         let ans = engine
-            .execute(
-                &domain.query,
-                &mut caching,
+            .run(
+                &request_04,
+                CrowdBinding::single(&mut caching),
                 &FixedSampleAggregator { sample_size: 5 },
-                &mining_04,
             )
-            .expect("query runs");
+            .expect("query runs")
+            .into_patterns()
+            .expect("pattern query");
         (ans, caching.total_questions(), caching.fresh_questions())
     };
     println!(

@@ -225,13 +225,13 @@ fn main() -> ExitCode {
                 seed,
                 ..Default::default()
             };
-            let answer = match engine.execute(
-                &query,
-                &mut SimulatedCrowd::new(v, crowd_members),
+            let request = QueryRequest::new(&query).with_mining(cfg);
+            let answer = match engine.run(
+                &request,
+                CrowdBinding::single(&mut SimulatedCrowd::new(v, crowd_members)),
                 &FixedSampleAggregator { sample_size: 5 },
-                &cfg,
             ) {
-                Ok(a) => a,
+                Ok(outcome) => outcome.into_patterns().expect("pattern query"),
                 Err(e) => {
                     eprintln!("query failed: {e}");
                     return ExitCode::FAILURE;

@@ -26,12 +26,13 @@
 //! // the query of Figure 2 (simplified): activities at child-friendly
 //! // NYC attractions, mined at support threshold 0.4
 //! let engine = Oassis::new(&ont);
-//! let answer = engine.execute(
-//!     oassis::ontology::domains::figure1::SIMPLE_QUERY,
-//!     &mut crowd,
-//!     &FixedSampleAggregator { sample_size: 1 },
-//!     &MiningConfig::default(),
-//! ).unwrap();
+//! let request = QueryRequest::new(oassis::ontology::domains::figure1::SIMPLE_QUERY);
+//! let answer = engine
+//!     .run(&request, CrowdBinding::single(&mut crowd),
+//!          &FixedSampleAggregator { sample_size: 1 })
+//!     .unwrap()
+//!     .into_patterns()
+//!     .unwrap();
 //! assert!(answer.answers.iter().any(|a| a == "Biking doAt Central Park"));
 //! ```
 //!
@@ -52,24 +53,34 @@ pub use crowd;
 pub use oassis_core as core;
 pub use oassis_ql as ql;
 pub use ontology;
+pub use telemetry;
 
 /// The SIGMOD'13 companion framework (`crowdrules`).
 pub use crowdrules as rules;
 
 /// Convenient glob-import surface for applications.
+///
+/// Covers the single-entry query API ([`Oassis::run`](crate::core::Oassis::run)
+/// with [`QueryRequest`](crate::core::QueryRequest) /
+/// [`CrowdBinding`](crate::core::CrowdBinding)), its error and outcome
+/// types, the telemetry handles, and the crowd/ontology vocabulary most
+/// applications need.
 pub mod prelude {
     pub use crate::core::{
         run_horizontal, run_multi, run_naive, run_vertical, Assignment, Class, Classifier,
-        CrowdCache, Dag, EarlyDecisionAggregator, FixedSampleAggregator, MiningConfig,
-        MiningOutcome, MultiOutcome, Oassis, PlantedOracle, QueryAnswer, QuestionTemplates,
+        CrowdBinding, CrowdCache, Dag, EarlyDecisionAggregator, ExecuteOptions,
+        FixedSampleAggregator, MiningConfig, MiningOutcome, MultiOutcome, Oassis, OassisError,
+        PlantedOracle, QueryAnswer, QueryOutcome, QueryRequest, QuestionTemplates, RuleAnswer,
+        RuleMiningConfig, SharedCrowdCache,
     };
     pub use crate::ql::{bind, evaluate_where, parse, BoundQuery, MatchMode, Value};
     pub use crowd::{
-        Answer, AnswerModel, CrowdSource, MemberBehavior, MemberId, PersonalDb, Question,
-        SimulatedCrowd, SimulatedMember,
+        Answer, AnswerModel, CrowdPolicy, CrowdSource, MemberBehavior, MemberId, PersonalDb,
+        Question, SimulatedCrowd, SimulatedMember,
     };
     pub use ontology::{
         Fact, FactSet, Ontology, OntologyBuilder, PatternFact, PatternSet, Vocabulary,
         VocabularyBuilder,
     };
+    pub use telemetry::{NoopSink, Telemetry, TelemetrySink};
 }
