@@ -25,9 +25,15 @@
 //! Usage: `cargo bench --bench bench_speed` (add `--release` implicitly);
 //! to restart the trajectory, delete `BENCH_speed.json` and rerun.
 
-use bench::{bind_domain, digest_domain_run, run_domain_at, run_domain_at_traced};
-use oassis_core::synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle};
-use oassis_core::{run_horizontal, run_naive, run_vertical, Dag, MiningConfig};
+use bench::{
+    bind_domain, digest_domain_run, run_domain_at, run_domain_at_batched, run_domain_at_traced,
+};
+use oassis_core::synth::{
+    plant_msps, stress_domain, synthetic_domain, MspDistribution, PlantedOracle,
+};
+use oassis_core::{
+    run_horizontal, run_multi, run_naive, run_vertical, Dag, FixedSampleAggregator, MiningConfig,
+};
 use oassis_ql::{bind, evaluate_where, parse, MatchMode};
 use ontology::domains::{culinary, self_treatment, travel, DomainScale};
 use ontology::json::{self, Json};
@@ -274,6 +280,138 @@ fn telemetry_section() -> (Json, u64) {
     (section, digest)
 }
 
+/// `batched` section: questions / rounds / wall-clock of the question-
+/// batch planner at widths 1/2/4/8 on the E1 travel workload and on a
+/// 10⁶-assignment stress ontology. The width-1 E1 run must reproduce the
+/// timed E1 digest bit-for-bit (the planner's fast path *is* the
+/// unbatched algorithm); the stress runs use a noise-free planted oracle,
+/// so their MSP sets must agree at every width.
+fn batched_section(e1_digest: Option<u64>) -> Json {
+    let mut entries: Vec<(String, Json)> = Vec::new();
+
+    let domain = travel(DomainScale::paper());
+    let bound = bind_domain(&domain);
+    for k in [1usize, 2, 4, 8] {
+        let mut cache = oassis_core::CrowdCache::new();
+        let start = Instant::now();
+        let run = run_domain_at_batched(
+            &domain,
+            &bound,
+            &domain.ontology,
+            &mut cache,
+            0.2,
+            248,
+            12,
+            7,
+            minipool::Pool::sequential(),
+            k,
+            &telemetry::Telemetry::off(),
+        );
+        let wall = start.elapsed().as_secs_f64();
+        if k == 1 {
+            let d = digest_domain_run(&run);
+            assert_eq!(
+                Some(d),
+                e1_digest,
+                "batch width 1 changed the E1 outcome digest — the planner's \
+                 fast path must be bit-identical to the unbatched engine"
+            );
+        }
+        println!(
+            "batched E1_travel k={k}   {wall:>8.3}s  questions={} rounds={} msps={}",
+            run.questions, run.rounds, run.msps
+        );
+        entries.push((
+            format!("E1_travel_k{k}"),
+            Json::Obj(vec![
+                ("wall_s".into(), Json::Num((wall * 1e3).round() / 1e3)),
+                ("questions".into(), Json::Num(run.questions as f64)),
+                ("rounds".into(), Json::Num(run.rounds as f64)),
+                ("msps".into(), Json::Num(run.msps as f64)),
+            ]),
+        ));
+    }
+
+    // 10⁶-assignment stress ontology: mining stays lazy, so the planted
+    // cone — not the full product DAG — bounds the work; what the arena
+    // layout and the planner are up against here is breadth (wide child
+    // spans, long posting lists), not raw node count.
+    let d = stress_domain(1_000_000, 8);
+    let assignments = d.layers_x.iter().sum::<usize>() * d.layers_y.iter().sum::<usize>();
+    let q = parse(&d.query).unwrap();
+    let b = bind(&q, &d.ontology).unwrap();
+    let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+    // plant MSP patterns by bounded lazy descent — materializing all 10⁶
+    // assignments just to sample a handful would dwarf the measurement
+    let mut patterns: Vec<_> = Vec::new();
+    {
+        let mut scout = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let root = scout.roots()[0];
+        let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for i in 0..8usize {
+            let mut id = root;
+            for step in 0..5usize {
+                let span = scout.ensure_children(id);
+                let children = scout.child_slice(span);
+                if children.is_empty() {
+                    break;
+                }
+                id = children[(i * 3 + step) % children.len()];
+            }
+            let pattern = scout.node(id).assignment.apply(&b);
+            if seen.insert(pattern.to_display(d.ontology.vocab())) {
+                patterns.push(pattern);
+            }
+        }
+    }
+    let mut reference_msps: Option<std::collections::BTreeSet<String>> = None;
+    for k in [1usize, 2, 4, 8] {
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns.clone(), 40, 11);
+        let agg = FixedSampleAggregator { sample_size: 3 };
+        let cfg = MiningConfig {
+            specialization_ratio: 0.12,
+            seed: 11,
+            batch_width: k,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let out = run_multi(&mut dag, &mut oracle, &agg, &cfg);
+        let wall = start.elapsed().as_secs_f64();
+        let msps: std::collections::BTreeSet<String> = out
+            .mining
+            .msps
+            .iter()
+            .map(|m| m.apply(&b).to_display(d.ontology.vocab()))
+            .collect();
+        match &reference_msps {
+            None => reference_msps = Some(msps),
+            Some(r) => assert_eq!(
+                &msps, r,
+                "stress workload: batch width {k} changed the MSP set"
+            ),
+        }
+        println!(
+            "batched stress_1e6 k={k}  {wall:>8.3}s  questions={} rounds={} msps={} nodes={}",
+            out.mining.questions,
+            out.rounds,
+            out.mining.msps.len(),
+            out.mining.nodes_materialized
+        );
+        entries.push((
+            format!("stress_1e6_k{k}"),
+            Json::Obj(vec![
+                ("wall_s".into(), Json::Num((wall * 1e3).round() / 1e3)),
+                ("questions".into(), Json::Num(out.mining.questions as f64)),
+                ("rounds".into(), Json::Num(out.rounds as f64)),
+                ("msps".into(), Json::Num(out.mining.msps.len() as f64)),
+            ]),
+        ));
+    }
+    entries.push(("stress_assignments".into(), Json::Num(assignments as f64)));
+    Json::Obj(entries)
+}
+
 fn workspace_root() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -302,10 +440,36 @@ fn main() {
         }
     );
 
+    // the planner sweep (E1 and the 10⁶ stress ontology at widths
+    // 1/2/4/8); panics if width 1 is not digest-neutral on E1
+    let e1_digest = timings
+        .iter()
+        .find(|t| t.name == "E1_travel")
+        .map(|t| t.digest);
+    let batched_json = batched_section(e1_digest);
+
     let path = workspace_root().join("BENCH_speed.json");
     let previous = std::fs::read_to_string(&path)
         .ok()
         .and_then(|s| json::parse(&s).ok());
+    // perf ratchet: E1 must stay within 25% of the committed current
+    // wall-clock (CI runs this harness against the checked-in file)
+    let e1_gate = previous
+        .as_ref()
+        .and_then(|doc| doc.field("current").ok())
+        .and_then(|c| c.field("E1_travel").ok())
+        .and_then(|e| e.field("wall_s").ok())
+        .and_then(|w| w.as_f64().ok())
+        .and_then(|prev_wall| {
+            let cur = timings.iter().find(|t| t.name == "E1_travel")?.wall_s;
+            println!(
+                "E1_travel perf gate: {cur:.3}s vs committed {prev_wall:.3}s \
+                 (limit {:.3}s)",
+                prev_wall * 1.25
+            );
+            Some(cur > prev_wall * 1.25)
+        })
+        .unwrap_or(false);
     let baseline = previous
         .as_ref()
         .and_then(|doc| doc.field("baseline").ok().cloned());
@@ -333,6 +497,7 @@ fn main() {
                         | "cores"
                         | "repeats"
                         | "telemetry"
+                        | "batched"
                 )
             })
             .cloned()
@@ -398,6 +563,7 @@ fn main() {
         ("speedup_vs_baseline".into(), Json::Obj(speedups)),
         ("history".into(), Json::Arr(history)),
         ("telemetry".into(), telemetry_json),
+        ("batched".into(), batched_json),
     ];
     fields.extend(extra_fields);
     let doc = Json::Obj(fields);
@@ -410,6 +576,10 @@ fn main() {
     }
     if !recording_neutral {
         eprintln!("recording telemetry changed the E3 outcome — failing the smoke run");
+        std::process::exit(1);
+    }
+    if e1_gate {
+        eprintln!("E1_travel regressed more than 25% over the committed wall-clock — failing the smoke run");
         std::process::exit(1);
     }
 }

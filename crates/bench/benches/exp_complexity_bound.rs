@@ -15,8 +15,8 @@ fn negative_border(dag: &Dag<'_>, classes: &HashMap<NodeId, bool>) -> usize {
     dag.node_ids()
         .filter(|&id| {
             !classes[&id]
-                && !dag.node(id).parents().is_empty()
-                && dag.node(id).parents().iter().all(|p| classes[p])
+                && dag.parents(id).next().is_some()
+                && dag.parents(id).all(|p| classes[&p])
         })
         .count()
         + dag.roots().iter().filter(|&&r| !classes[&r]).count()

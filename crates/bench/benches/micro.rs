@@ -163,6 +163,51 @@ fn bench_index(c: &mut Criterion) {
     });
 }
 
+/// Arena-layout ≤ on the paper-scale travel DAG — the classification hot
+/// path's dominant primitive. `dag.leq` walks the contiguous closure-
+/// fingerprint arena (dense u32 ids, one flat word slice per node);
+/// the reference is the per-value assignment scan it replaced.
+fn bench_arena_leq(c: &mut Criterion) {
+    let dom = travel(DomainScale::paper());
+    let q = parse(&dom.query).unwrap();
+    let bound = bind(&q, &dom.ontology).unwrap();
+    let base = evaluate_where(&bound, &dom.ontology, MatchMode::Exact);
+    let vocab = dom.ontology.vocab();
+    let mut dag = Dag::new(&bound, vocab, &base);
+    let mut cursor = 0usize;
+    while cursor < dag.len() && dag.len() < 6000 {
+        dag.children(NodeId(cursor as u32));
+        cursor += 1;
+    }
+    let n = dag.len();
+    let pairs: Vec<(NodeId, NodeId)> = (0..4096)
+        .map(|i| {
+            (
+                NodeId((i * 7919 % n) as u32),
+                NodeId((i * 104_729 % n) as u32),
+            )
+        })
+        .collect();
+    c.bench_function("arena_leq_travel", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &(x, y) in &pairs {
+                hits += dag.leq(x, y) as u32;
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("arena_leq_exact_scan_travel", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &(x, y) in &pairs {
+                hits += dag.node(x).assignment.leq(vocab, &dag.node(y).assignment) as u32;
+            }
+            black_box(hits)
+        })
+    });
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -173,6 +218,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_order, bench_where_eval, bench_dag, bench_index
+    targets = bench_order, bench_where_eval, bench_dag, bench_index, bench_arena_leq
 }
 criterion_main!(benches);

@@ -242,6 +242,10 @@ pub struct DomainRun {
     pub nodes_materialized: usize,
     /// Validity-oracle calls (lazy-generation cost measure).
     pub admits_calls: usize,
+    /// Rounds in which at least one question was asked (deliberately
+    /// excluded from [`digest_domain_run`]: the round count is what
+    /// batching is *supposed* to change).
+    pub rounds: usize,
 }
 
 /// Binds a domain's query.
@@ -327,6 +331,28 @@ pub fn run_domain_at_traced(
     pool: minipool::Pool,
     tele: &telemetry::Telemetry,
 ) -> DomainRun {
+    run_domain_at_batched(
+        domain, bound, ont, cache, threshold, members, habits, seed, pool, 1, tele,
+    )
+}
+
+/// [`run_domain_at_traced`] with an explicit question-batch width for the
+/// planner (`batch_width = 1` is the unbatched algorithm and what every
+/// other entry point uses; see `MiningConfig::batch_width`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_domain_at_batched(
+    domain: &GeneratedDomain,
+    bound: &BoundQuery,
+    ont: &Ontology,
+    cache: &mut oassis_core::CrowdCache,
+    threshold: f64,
+    members: usize,
+    habits: usize,
+    seed: u64,
+    pool: minipool::Pool,
+    batch_width: usize,
+    tele: &telemetry::Telemetry,
+) -> DomainRun {
     let base = oassis_ql::evaluate_where_pool(bound, ont, MatchMode::Exact, &pool);
     let mut dag = Dag::new(bound, ont.vocab(), &base);
     let crowd = domain_crowd(domain, ont.vocab(), members, habits, seed);
@@ -336,6 +362,7 @@ pub fn run_domain_at_traced(
         specialization_ratio: 0.12, // the ratio observed in the paper's crowd
         seed,
         pool,
+        batch_width,
         telemetry: tele.clone(),
         ..Default::default()
     };
@@ -354,6 +381,7 @@ pub fn run_domain_at_traced(
         total_valid: out.mining.total_valid,
         nodes_materialized: out.mining.nodes_materialized,
         admits_calls: out.mining.gen_stats.admits_calls,
+        rounds: out.rounds,
     }
 }
 

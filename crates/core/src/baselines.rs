@@ -35,13 +35,23 @@ pub fn baseline_question_count(dag: &mut Dag<'_>, sample_size: usize) -> usize {
 /// current classification: known significant, children generated, and
 /// every child known non-significant.
 pub(crate) struct MspMonitor {
-    confirmed: HashSet<NodeId>,
+    /// High-water mark into the classifier's append-only witness list —
+    /// witnesses past this index have not been copied into `pending` yet.
+    seen: usize,
+    /// Directly-witnessed significant nodes not yet confirmed as MSPs,
+    /// kept in witness order so confirmation events fire in the same
+    /// order as a full witness-list rescan would emit them. The second
+    /// field is a resume index into the child list: children before it
+    /// were already seen `Insignificant`, which is sticky, so a re-check
+    /// picks up where the last one stopped instead of rescanning.
+    pending: Vec<(NodeId, u32)>,
 }
 
 impl MspMonitor {
     pub fn new() -> Self {
         MspMonitor {
-            confirmed: HashSet::new(),
+            seen: 0,
+            pending: Vec::new(),
         }
     }
 
@@ -49,8 +59,10 @@ impl MspMonitor {
     ///
     /// Only directly-witnessed significant nodes can be MSPs: a node that
     /// is significant purely by inference sits below its witness and thus
-    /// has a significant successor. Scanning the witness list keeps this
-    /// incremental check cheap enough to run after every answer.
+    /// has a significant successor. Each witness enters `pending` once (the
+    /// witness list is append-only and duplicate-free) and leaves it when
+    /// confirmed, so an update touches only the unconfirmed tail instead
+    /// of rescanning — and reallocating — the whole witness list.
     pub fn update(
         &mut self,
         dag: &mut Dag<'_>,
@@ -59,28 +71,53 @@ impl MspMonitor {
         events: &mut Vec<DiscoveryEvent>,
         out: &mut Vec<NodeId>,
     ) {
-        for id in cls.sig_witnesses().to_vec() {
-            if self.confirmed.contains(&id) {
-                continue;
-            }
-            let Some(children) = dag.node(id).children_if_generated().map(<[NodeId]>::to_vec)
-            else {
-                continue;
-            };
-            let maximal = children
-                .iter()
-                .all(|&c| cls.class(dag, c) == Class::Insignificant);
-            if maximal {
-                self.confirmed.insert(id);
-                out.push(id);
-                events.push(DiscoveryEvent {
-                    question,
-                    kind: DiscoveryKind::Msp {
-                        valid: dag.node(id).valid,
-                    },
-                });
-            }
+        let witnesses = cls.sig_witnesses();
+        if self.seen < witnesses.len() {
+            // PANIC-OK: `seen` only advances to a previously observed
+            // witness-list length, and the list is append-only.
+            self.pending
+                .extend(witnesses[self.seen..].iter().map(|&w| (w, 0u32)));
+            self.seen = witnesses.len();
         }
+        let dag = &*dag;
+        self.pending.retain_mut(|(id, resume)| {
+            let id = *id;
+            let Some(children) = dag.children_if_generated(id) else {
+                return true;
+            };
+            let mut i = *resume as usize;
+            while let Some(&c) = children.get(i) {
+                // `class` (not `class_frozen`): the scan must *stamp* each
+                // child it inspects, exactly as the historical rescan did —
+                // stickiness makes the stamping order observable. The
+                // cached fast path is a no-op for already-stamped children.
+                let cl = match cls.cached_queried(c) {
+                    Some(cl) => cl,
+                    None => cls.class(dag, c),
+                };
+                match cl {
+                    Class::Insignificant => i += 1,
+                    // A queried Significant child is sticky: this witness
+                    // can never become maximal — and the historical rescan
+                    // would short-circuit here on every later update
+                    // without stamping anything new, so dropping it is
+                    // observation-identical.
+                    Class::Significant => return false,
+                    Class::Unknown => {
+                        *resume = i as u32;
+                        return true;
+                    }
+                }
+            }
+            out.push(id);
+            events.push(DiscoveryEvent {
+                question,
+                kind: DiscoveryKind::Msp {
+                    valid: dag.node(id).valid,
+                },
+            });
+            false
+        });
     }
 }
 
@@ -133,10 +170,8 @@ pub fn run_horizontal<C: CrowdSource>(
         let class = match s.cls.class(dag, id) {
             Class::Unknown => {
                 let parents_ok = dag
-                    .node(id)
-                    .parents()
-                    .iter()
-                    .all(|&p| s.cls.class(dag, p) == Class::Significant);
+                    .parents(id)
+                    .all(|p| s.cls.class(dag, p) == Class::Significant);
                 if !parents_ok {
                     // re-queue: a later classification may unlock it
                     if s.cls.class(dag, id) == Class::Unknown {

@@ -90,6 +90,11 @@ pub struct Classifier {
     sig_postings: Vec<Vec<NodeId>>,
     /// Insignificant witnesses posted under their first value bit.
     insig_postings: Vec<Vec<NodeId>>,
+    /// Presence bitset over posting bits: bit `b` set iff
+    /// `insig_postings[b]` is non-empty. Word-aligned with the fingerprint
+    /// layout, so [`Self::insig_hit`] AND-masks whole words of `F(id)`
+    /// against it instead of enumerating every set bit.
+    insig_bits: Vec<u64>,
     /// Insignificant witnesses with no slot values (≤-bottom elements).
     insig_bottom: Vec<NodeId>,
     /// BFS visit stamps (one generation per propagation).
@@ -101,6 +106,19 @@ pub struct Classifier {
     cache_hits: u64,
     /// [`Self::class`] calls that had to consult witnesses/pruning.
     cache_misses: u64,
+    /// Knowledge epoch: bumped by every witness or pruning addition. An
+    /// un-stamped node's classification can only change when knowledge
+    /// grows, so an `Unknown` computed at the current epoch is still
+    /// `Unknown` — [`Self::class`] memoizes that in `unknown_at`.
+    knowledge_epoch: u32,
+    /// Per node: epoch at which [`Self::class`] last computed `Unknown`
+    /// (`u32::MAX` = never).
+    unknown_at: Vec<u32>,
+    /// Skip eager cone propagation on `mark_*`. The derived stamps only
+    /// accelerate lookups (the posting indexes compute the same values),
+    /// so a classifier with few lookups per mark — a member's personal
+    /// exclusion record — comes out ahead without the propagation walks.
+    lazy: bool,
 }
 
 impl Classifier {
@@ -109,10 +127,20 @@ impl Classifier {
         Self::default()
     }
 
+    /// A classifier that skips eager cone propagation — same observable
+    /// results, tuned for many marks and few lookups (personal records).
+    pub fn new_lazy() -> Self {
+        Self {
+            lazy: true,
+            ..Self::default()
+        }
+    }
+
     fn ensure_node(&mut self, id: NodeId) {
         if id.index() >= self.cache.len() {
             self.cache.resize(id.index() + 1, None);
             self.visit_mark.resize(id.index() + 1, 0);
+            self.unknown_at.resize(id.index() + 1, u32::MAX);
         }
     }
 
@@ -126,6 +154,7 @@ impl Classifier {
     /// generalizations by inference.
     pub fn mark_significant(&mut self, dag: &Dag<'_>, id: NodeId) {
         self.ensure_node(id);
+        self.knowledge_epoch += 1;
         self.sig_witnesses.push(id);
         let words = dag.fp_words(id);
         for bit in crate::fingerprint::iter_bits(words) {
@@ -142,12 +171,19 @@ impl Classifier {
     /// specializations by inference.
     pub fn mark_insignificant(&mut self, dag: &Dag<'_>, id: NodeId) {
         self.ensure_node(id);
+        self.knowledge_epoch += 1;
         self.insig_witnesses.push(id);
         match first_value_bit(dag, id) {
             Some(bit) => {
                 Self::ensure_postings(&mut self.insig_postings, bit);
                 // PANIC-OK: ensure_postings just resized past `bit`.
                 self.insig_postings[bit].push(id);
+                let wi = bit / 64;
+                if wi >= self.insig_bits.len() {
+                    self.insig_bits.resize(wi + 1, 0);
+                }
+                // PANIC-OK: the resize above guarantees `wi` is in bounds.
+                self.insig_bits[wi] |= 1 << (bit % 64);
             }
             None => self.insig_bottom.push(id),
         }
@@ -163,20 +199,23 @@ impl Classifier {
     /// carrying the same derived stamp terminates the branch (its cone
     /// was stamped when it was).
     fn propagate(&mut self, dag: &Dag<'_>, start: NodeId, sig: bool) {
+        if self.lazy {
+            return;
+        }
         let last = NodeId(dag.len().saturating_sub(1) as u32);
         self.ensure_node(last);
         self.visit_gen += 1;
         let gen = self.visit_gen;
         let mut queue = std::mem::take(&mut self.queue);
         queue.clear();
-        let neighbors = |n: NodeId| -> &[NodeId] {
+        let push_neighbors = |queue: &mut Vec<NodeId>, n: NodeId| {
             if sig {
-                dag.node(n).parents()
+                queue.extend(dag.parents(n));
             } else {
-                dag.node(n).children_if_generated().unwrap_or(&[])
+                queue.extend_from_slice(dag.children_if_generated(n).unwrap_or(&[]));
             }
         };
-        queue.extend_from_slice(neighbors(start));
+        push_neighbors(&mut queue, start);
         while let Some(n) = queue.pop() {
             // PANIC-OK: ensure_node(last) above sized visit_mark and
             // cache to dag.len(); every queued id is a node of this dag.
@@ -194,11 +233,11 @@ impl Classifier {
                     } else {
                         Cached::DerivedInsig
                     });
-                    queue.extend_from_slice(neighbors(n));
+                    push_neighbors(&mut queue, n);
                 }
                 Some(Cached::DerivedSig) if sig => {}
                 Some(Cached::DerivedInsig) if !sig => {}
-                Some(_) => queue.extend_from_slice(neighbors(n)),
+                Some(_) => push_neighbors(&mut queue, n),
             }
         }
         self.queue = queue;
@@ -206,6 +245,7 @@ impl Classifier {
 
     /// Records a user-guided pruning click on element `e`.
     pub fn prune_elem(&mut self, e: ElemId) {
+        self.knowledge_epoch += 1;
         self.pruned_elems.push(e);
         let wi = e.index() / 64;
         if wi >= self.pruned_words.len() {
@@ -256,12 +296,30 @@ impl Classifier {
         }
         let c = self.class_frozen(&dag.view(), id);
         // Stickiness: the first query's verdict is cached permanently,
-        // exactly as the historical classifier did.
+        // exactly as the historical classifier did. An Unknown result is
+        // memoized against the current knowledge epoch instead — it stays
+        // Unknown until the next witness or pruning click arrives.
         if c != Class::Unknown {
             // PANIC-OK: ensure_node(id) at function entry sized the cache.
             self.cache[id.index()] = Some(Cached::Queried(c));
+        } else {
+            // PANIC-OK: ensure_node(id) at function entry sized unknown_at.
+            self.unknown_at[id.index()] = self.knowledge_epoch;
         }
         c
+    }
+
+    /// Fast path for hot pop-side filters: the sticky verdict if `id` was
+    /// already queried, else `None` (meaning the caller must fall back to
+    /// [`Self::class`]). A `Queried` entry is permanent, so this is
+    /// value-identical to `class` whenever it returns `Some` — it only
+    /// skips the hit/miss accounting and the view construction.
+    #[inline]
+    pub fn cached_queried(&self, id: NodeId) -> Option<Class> {
+        match self.cache.get(id.index()).copied().flatten() {
+            Some(Cached::Queried(c)) => Some(c),
+            _ => None,
+        }
     }
 
     /// Read-only classification: the value [`Self::class`] would return,
@@ -294,6 +352,12 @@ impl Classifier {
                 c
             }
             None => {
+                if self.unknown_at.get(id.index()).copied() == Some(self.knowledge_epoch) {
+                    // Unknown was computed at this very epoch and nothing
+                    // has been learned since — still Unknown.
+                    debug_assert_eq!(Class::Unknown, self.class_by_scan_view(dag, id));
+                    return Class::Unknown;
+                }
                 let c = if self.pruned_matches_node(dag, id) {
                     Class::Insignificant
                 } else if self.sig_hit(dag, id) {
@@ -361,9 +425,19 @@ impl Classifier {
         if self.insig_postings.is_empty() {
             return false;
         }
-        for bit in crate::fingerprint::iter_bits(dag.fp_words(id)) {
-            if let Some(p) = self.insig_postings.get(bit) {
-                if p.iter().any(|&w| dag.leq(w, id)) {
+        // Walk only the bits of F(id) that actually carry a non-empty
+        // posting, by AND-masking against the presence bitset a word at a
+        // time — same candidate set (and order) as enumerating every bit.
+        let words = dag.fp_words(id);
+        for (wi, &w) in words.iter().enumerate().take(self.insig_bits.len()) {
+            // PANIC-OK: `take` bounds `wi` by insig_bits.len().
+            let mut live = w & self.insig_bits[wi];
+            while live != 0 {
+                let bit = wi * 64 + live.trailing_zeros() as usize;
+                live &= live - 1;
+                // PANIC-OK: `bit`'s presence flag is set, so the posting
+                // list exists and is non-empty.
+                if self.insig_postings[bit].iter().any(|&w| dag.leq(w, id)) {
                     return true;
                 }
             }

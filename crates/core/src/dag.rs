@@ -35,7 +35,9 @@ impl NodeId {
     }
 }
 
-/// One materialized DAG node.
+/// One materialized DAG node. Edges live outside the node in flat
+/// struct-of-arrays arenas ([`Dag::children_if_generated`],
+/// [`Dag::parents`]); the node itself carries only the per-node payload.
 #[derive(Debug)]
 pub struct Node {
     /// The canonical assignment.
@@ -44,21 +46,56 @@ pub struct Node {
     /// to merely being a generalization of a valid assignment. Figure 3
     /// draws invalid nodes dashed; the final output is `M ∩ 𝒜_valid`.
     pub valid: bool,
-    /// Immediate successors, if generated.
-    children: Option<Vec<NodeId>>,
-    /// Materialized immediate predecessors (reverse edges seen so far).
-    parents: Vec<NodeId>,
 }
 
-impl Node {
-    /// The generated children, if [`Dag::children`] ran for this node.
-    pub fn children_if_generated(&self) -> Option<&[NodeId]> {
-        self.children.as_deref()
-    }
+/// Sentinel for "no entry" in the edge arenas (spans and block links).
+const NONE32: u32 = u32::MAX;
 
-    /// Materialized parents.
-    pub fn parents(&self) -> &[NodeId] {
-        &self.parents
+/// Parents per unrolled block of the parent arena. Parent lists are
+/// append-only and interleave across nodes (every expansion registers the
+/// expanding node as parent of each child), so contiguous CSR spans are
+/// impossible without relocation — unrolled linked blocks keep appends
+/// O(1) while still walking flat memory six entries at a time.
+const PAR_BLOCK: usize = 6;
+
+#[derive(Debug)]
+struct ParentBlock {
+    items: [NodeId; PAR_BLOCK],
+    len: u32,
+    next: u32,
+}
+
+/// In-order iterator over a node's materialized parents.
+///
+/// Insertion order is preserved: classification scans short-circuit while
+/// *stamping* sticky per-node verdicts, so the order predecessors are
+/// visited in is observable — it must match the historical per-node `Vec`
+/// exactly.
+#[derive(Clone)]
+pub struct ParentsIter<'d> {
+    blocks: &'d [ParentBlock],
+    cur: u32,
+    pos: u32,
+}
+
+impl Iterator for ParentsIter<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        while self.cur != NONE32 {
+            // PANIC-OK: block links only ever hold indices of pushed blocks.
+            let b = &self.blocks[self.cur as usize];
+            if self.pos < b.len {
+                // PANIC-OK: `len` never exceeds PAR_BLOCK.
+                let id = b.items[self.pos as usize];
+                self.pos += 1;
+                return Some(id);
+            }
+            self.cur = b.next;
+            self.pos = 0;
+        }
+        None
     }
 }
 
@@ -89,6 +126,18 @@ pub struct Dag<'a> {
     fps: Vec<u64>,
     /// One-word OR-fold summary per node (not-subset prefilter).
     fp_summaries: Vec<u64>,
+    /// Per-node `(start, len)` span into [`Self::child_edges`];
+    /// `start == NONE32` means children were not generated yet.
+    child_span: Vec<(u32, u32)>,
+    /// CSR-style flat child-edge arena. A span may be abandoned (dead
+    /// segment) when a MORE tip forces an append to a non-tail span — the
+    /// node's span then points at a relocated copy at the arena tail.
+    child_edges: Vec<NodeId>,
+    /// Per-node `(head, tail)` block indices into [`Self::parent_blocks`];
+    /// `NONE32` head means no parents recorded.
+    parent_link: Vec<(u32, u32)>,
+    /// Unrolled-linked-block parent arena (insertion order preserved).
+    parent_blocks: Vec<ParentBlock>,
     /// When false, add-value moves (multiplicities) are suppressed — used
     /// to measure the paper's "DAG size without multiplicities".
     allow_multiplicities: bool,
@@ -118,6 +167,10 @@ impl<'a> Dag<'a> {
             fp_space,
             fps: Vec::new(),
             fp_summaries: Vec::new(),
+            child_span: Vec::new(),
+            child_edges: Vec::new(),
+            parent_link: Vec::new(),
+            parent_blocks: Vec::new(),
             allow_multiplicities: true,
             scratch_succs: Vec::new(),
             scratch_queue: Vec::new(),
@@ -216,6 +269,10 @@ impl<'a> Dag<'a> {
             fp_space: &self.fp_space,
             fps: &self.fps,
             fp_summaries: &self.fp_summaries,
+            child_span: &self.child_span,
+            child_edges: &self.child_edges,
+            parent_link: &self.parent_link,
+            parent_blocks: &self.parent_blocks,
         }
     }
 
@@ -279,12 +336,70 @@ impl<'a> Dag<'a> {
         self.nodes.push(Node {
             assignment: a.clone(),
             valid,
-            children: None,
-            parents: Vec::new(),
         });
+        self.child_span.push((NONE32, 0));
+        self.parent_link.push((NONE32, NONE32));
         self.index.insert(a, id);
         self.stats.nodes_created += 1;
         id
+    }
+
+    /// The generated children of `id` as a flat arena slice, if
+    /// [`Self::children`] / [`Self::ensure_children`] ran for it.
+    #[inline]
+    pub fn children_if_generated(&self, id: NodeId) -> Option<&[NodeId]> {
+        let (s, l) = self.child_span[id.index()];
+        if s == NONE32 {
+            None
+        } else {
+            Some(&self.child_edges[s as usize..(s + l) as usize])
+        }
+    }
+
+    /// The materialized parents of `id`, in insertion order.
+    #[inline]
+    pub fn parents(&self, id: NodeId) -> ParentsIter<'_> {
+        ParentsIter {
+            blocks: &self.parent_blocks,
+            cur: self.parent_link[id.index()].0,
+            pos: 0,
+        }
+    }
+
+    /// Appends `parent` to `child`'s parent list unless already present.
+    fn add_parent(&mut self, child: NodeId, parent: NodeId) {
+        let (head, tail) = self.parent_link[child.index()];
+        if head != NONE32 {
+            let mut cur = head;
+            while cur != NONE32 {
+                // PANIC-OK: block links only hold indices of pushed blocks.
+                let b = &self.parent_blocks[cur as usize];
+                if b.items[..b.len as usize].contains(&parent) {
+                    return;
+                }
+                cur = b.next;
+            }
+            // PANIC-OK: a non-NONE32 head implies a valid tail block.
+            let tb = &mut self.parent_blocks[tail as usize];
+            if (tb.len as usize) < PAR_BLOCK {
+                tb.items[tb.len as usize] = parent;
+                tb.len += 1;
+                return;
+            }
+        }
+        let nb = self.parent_blocks.len() as u32;
+        self.parent_blocks.push(ParentBlock {
+            items: [parent; PAR_BLOCK],
+            len: 1,
+            next: NONE32,
+        });
+        if head == NONE32 {
+            self.parent_link[child.index()] = (nb, nb);
+        } else {
+            // PANIC-OK: tail is a valid block index when head is set.
+            self.parent_blocks[tail as usize].next = nb;
+            self.parent_link[child.index()].1 = nb;
+        }
     }
 
     /// Looks up a node by assignment without materializing.
@@ -293,32 +408,50 @@ impl<'a> Dag<'a> {
     }
 
     /// The immediate successors of `id`, generating them on first call.
+    ///
+    /// Compatibility wrapper that clones the arena span; hot paths use
+    /// [`Self::ensure_children`] and borrow the slice instead.
     pub fn children(&mut self, id: NodeId) -> Vec<NodeId> {
-        if let Some(c) = &self.nodes[id.index()].children {
-            return c.clone();
+        let (s, l) = self.ensure_children(id);
+        self.child_edges[s as usize..(s + l) as usize].to_vec()
+    }
+
+    /// Generates the children of `id` if needed and returns their
+    /// `(start, len)` span in the child-edge arena. The span stays valid
+    /// for the life of the DAG (a MORE-tip append may relocate it, but
+    /// only to a superset — resolve via [`Self::child_slice`] when fresh).
+    pub fn ensure_children(&mut self, id: NodeId) -> (u32, u32) {
+        let (s, l) = self.child_span[id.index()];
+        if s != NONE32 {
+            return (s, l);
         }
         let assignment = self.nodes[id.index()].assignment.clone();
         let mut succs = std::mem::take(&mut self.scratch_succs);
         self.successor_assignments(&assignment, &mut succs);
-        let mut child_ids = Vec::with_capacity(succs.len());
-        for s in succs.drain(..) {
-            let cid = self.intern(s);
-            if cid != id && !child_ids.contains(&cid) {
-                child_ids.push(cid);
-                if !self.nodes[cid.index()].parents.contains(&id) {
-                    self.nodes[cid.index()].parents.push(id);
-                }
+        let start = self.child_edges.len() as u32;
+        for a in succs.drain(..) {
+            let cid = self.intern(a);
+            if cid != id && !self.child_edges[start as usize..].contains(&cid) {
+                self.child_edges.push(cid);
+                self.add_parent(cid, id);
             }
         }
-        self.nodes[id.index()].children = Some(child_ids.clone());
+        let len = self.child_edges.len() as u32 - start;
+        self.child_span[id.index()] = (start, len);
         self.stats.nodes_expanded += 1;
         self.scratch_succs = succs;
-        child_ids
+        (start, len)
+    }
+
+    /// Resolves a span returned by [`Self::ensure_children`].
+    #[inline]
+    pub fn child_slice(&self, span: (u32, u32)) -> &[NodeId] {
+        &self.child_edges[span.0 as usize..(span.0 + span.1) as usize]
     }
 
     /// Whether children were already generated.
     pub fn is_expanded(&self, id: NodeId) -> bool {
-        self.nodes[id.index()].children.is_some()
+        self.child_span[id.index()].0 != NONE32
     }
 
     /// Generates the immediate-successor assignments of `a` within `𝒜`,
@@ -442,25 +575,32 @@ impl<'a> Dag<'a> {
             return None;
         }
         let cid = self.intern(extended);
-        // register the edge on both sides (keep children coherent if
-        // already generated)
-        if let Some(children) = &mut self.nodes[id.index()].children {
-            if !children.contains(&cid) {
-                children.push(cid);
-            }
-        } else {
-            // children not generated yet; tip node will be rediscovered as
-            // a child is not guaranteed, so generate and append.
-            let mut c = self.children(id);
-            if !c.contains(&cid) {
-                c.push(cid);
-                self.nodes[id.index()].children = Some(c);
-            }
+        // register the edge on both sides (keep children coherent whether
+        // or not they were already generated; a volunteered tip is not
+        // guaranteed to be rediscovered as a regular successor)
+        let span = self.ensure_children(id);
+        if !self.child_slice(span).contains(&cid) {
+            self.append_child(id, cid);
         }
-        if !self.nodes[cid.index()].parents.contains(&id) {
-            self.nodes[cid.index()].parents.push(id);
-        }
+        self.add_parent(cid, id);
         Some(cid)
+    }
+
+    /// Appends one child to an already-generated span. If the span is not
+    /// at the arena tail it is relocated there (the old segment becomes a
+    /// dead gap — tips are rare, contiguity of every live span is not).
+    fn append_child(&mut self, id: NodeId, cid: NodeId) {
+        let (s, l) = self.child_span[id.index()];
+        if (s + l) as usize == self.child_edges.len() {
+            self.child_edges.push(cid);
+            self.child_span[id.index()] = (s, l + 1);
+        } else {
+            let new_start = self.child_edges.len() as u32;
+            self.child_edges
+                .extend_from_within(s as usize..(s + l) as usize);
+            self.child_edges.push(cid);
+            self.child_span[id.index()] = (new_start, l + 1);
+        }
     }
 
     /// Fully materializes the DAG reachable from the roots and returns the
@@ -472,7 +612,7 @@ impl<'a> Dag<'a> {
         // roots already materialized; expand breadth-first
         while cursor < self.nodes.len() {
             let id = NodeId(cursor as u32);
-            self.children(id);
+            self.ensure_children(id);
             cursor += 1;
         }
         self.nodes.len()
@@ -493,6 +633,10 @@ pub struct DagView<'d> {
     fp_space: &'d FingerprintSpace,
     fps: &'d [u64],
     fp_summaries: &'d [u64],
+    child_span: &'d [(u32, u32)],
+    child_edges: &'d [NodeId],
+    parent_link: &'d [(u32, u32)],
+    parent_blocks: &'d [ParentBlock],
 }
 
 impl<'d> DagView<'d> {
@@ -537,6 +681,28 @@ impl<'d> DagView<'d> {
     #[inline]
     pub fn fp_summary(&self, id: NodeId) -> u64 {
         self.fp_summaries[id.index()]
+    }
+
+    /// The generated children of `id` as an arena slice, if generated at
+    /// view time.
+    #[inline]
+    pub fn children_if_generated(&self, id: NodeId) -> Option<&'d [NodeId]> {
+        let (s, l) = self.child_span[id.index()];
+        if s == NONE32 {
+            None
+        } else {
+            Some(&self.child_edges[s as usize..(s + l) as usize])
+        }
+    }
+
+    /// The materialized parents of `id`, in insertion order.
+    #[inline]
+    pub fn parents(&self, id: NodeId) -> ParentsIter<'d> {
+        ParentsIter {
+            blocks: self.parent_blocks,
+            cur: self.parent_link[id.index()].0,
+            pos: 0,
+        }
     }
 
     /// `a ≤ b`; same test as [`Dag::leq`] (which delegates here).

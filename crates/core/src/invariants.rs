@@ -29,7 +29,7 @@ pub fn check_classification_monotonicity(dag: &Dag<'_>, cls: &Classifier) -> Res
     }
     let view = dag.view();
     for id in dag.node_ids() {
-        let Some(children) = view.node(id).children_if_generated() else {
+        let Some(children) = view.children_if_generated(id) else {
             continue;
         };
         let pc = cls.class_frozen(&view, id);
@@ -68,7 +68,7 @@ pub fn check_msp_maximality(
                 cls.class_frozen(&view, m)
             ));
         }
-        let Some(children) = view.node(m).children_if_generated() else {
+        let Some(children) = view.children_if_generated(m) else {
             return Err(format!(
                 "MSP invariant violated: {m:?} confirmed before its children were generated"
             ));

@@ -62,6 +62,10 @@ pub struct MultiOutcome {
     /// Materialized nodes still unclassified when the run stopped
     /// (non-zero when the crowd was exhausted before convergence).
     pub undecided: usize,
+    /// Rounds in which at least one question was asked. With a batch
+    /// width above one, each member answers up to `batch_width` questions
+    /// per round, so fewer rounds should reach the same MSP set.
+    pub rounds: usize,
 }
 
 struct MemberState {
@@ -120,6 +124,13 @@ impl MemberState {
         self.hot.push_back(id);
     }
 
+    /// Re-queues a popped target at the *front* of the hot queue, so a
+    /// batch-planning pass that had to defer a comparable target replays
+    /// it first on the member's next turn (preserving pop order).
+    fn push_front_hot(&mut self, id: NodeId) {
+        self.hot.push_front(id);
+    }
+
     fn extend_hot(&mut self, ids: impl IntoIterator<Item = NodeId>) {
         self.hot.extend(ids);
     }
@@ -158,6 +169,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
     let mut msp_ids: Vec<NodeId> = Vec::new();
     let mut stats = QuestionStats::default();
     let mut questions = 0usize;
+    let mut rounds = 0usize;
     let mut newly_significant: Vec<NodeId> = Vec::new();
     let mut global_decisions = 0usize;
 
@@ -173,7 +185,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
         })
         .map(|id| MemberState {
             id,
-            personal: Classifier::new(),
+            personal: Classifier::new_lazy(),
             answered: HashSet::new(),
             descended: HashSet::new(),
             active: true,
@@ -212,36 +224,125 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
             if !members[mi].active {
                 continue;
             }
-            // PANIC-OK: `mi` is in bounds, as above.
-            let Some(target) = next_target(dag, &mut global, &mut members[mi]) else {
-                continue;
-            };
-            // question-type policy: specialization with configured ratio
-            let mut asked = false;
-            if cfg.specialization_ratio > 0.0 && rng.gen_bool(cfg.specialization_ratio) {
-                let options: Vec<NodeId> = dag
-                    .children(target)
-                    .into_iter()
-                    .filter(|&c| {
-                        global.class(dag, c) == Class::Unknown
+            let width = cfg.batch_width.max(1);
+            let mut planned: Vec<NodeId> = Vec::with_capacity(width);
+            if width == 1 {
+                // PANIC-OK: `mi` is in bounds, as above.
+                if let Some(t) = next_target(dag, &mut global, &mut members[mi]) {
+                    planned.push(t);
+                }
+            } else {
+                // batch planning: collect up to `width` targets forming an
+                // antichain under ≤. Comparable assignments can classify
+                // each other (an answer about one may decide the other by
+                // inference), so a comparable pop is deferred — pushed back
+                // to the *front* of the hot queue, in pop order — rather
+                // than asked redundantly in the same batch.
+                let mut deferred: Vec<NodeId> = Vec::new();
+                while planned.len() < width {
+                    // PANIC-OK: `mi` is in bounds, as above.
+                    let Some(t) = next_target(dag, &mut global, &mut members[mi]) else {
+                        break;
+                    };
+                    if planned.iter().any(|&p| dag.leq(p, t) || dag.leq(t, p)) {
+                        deferred.push(t);
+                    } else {
+                        planned.push(t);
+                    }
+                }
+                if !deferred.is_empty() {
+                    tele.count("planner.deferred", deferred.len() as u64);
+                    for &d in deferred.iter().rev() {
+                        // PANIC-OK: `mi` is in bounds, as above.
+                        members[mi].push_front_hot(d);
+                    }
+                }
+                if !planned.is_empty() {
+                    tele.count("planner.planned", planned.len() as u64);
+                }
+                if cfg.debug_checks {
+                    for (i, &a) in planned.iter().enumerate() {
+                        for &b in planned.iter().skip(i + 1) {
+                            assert!(
+                                !dag.leq(a, b) && !dag.leq(b, a),
+                                "batch planner invariant violated: planned targets \
+                                 {a:?} and {b:?} are ≤-comparable"
+                            );
+                        }
+                    }
+                }
+            }
+            for target in planned {
+                if cfg.max_questions.is_some_and(|m| questions >= m) {
+                    break 'outer;
+                }
+                // batch efficiency: an answer landing after an earlier answer
+                // of the same batch already classified its target is redundant
+                // (record_answer will ignore it)
+                let redundant = width > 1 && {
+                    let view = dag.view();
+                    global.class_frozen(&view, target) != Class::Unknown
+                };
+                // question-type policy: specialization with configured ratio
+                let mut asked = false;
+                if cfg.specialization_ratio > 0.0 && rng.gen_bool(cfg.specialization_ratio) {
+                    let span = dag.ensure_children(target);
+                    let mut options: Vec<NodeId> = Vec::new();
+                    for ci in 0..span.1 {
+                        // PANIC-OK: `ci` ranges over the span's own length.
+                        let c = dag.child_slice(span)[ci as usize];
+                        if global.class(dag, c) == Class::Unknown
+                        // PANIC-OK: `mi` is in bounds, as above.
+                        && !members[mi].answered.contains(&c)
+                        // PANIC-OK: `mi` is in bounds, as above.
+                        && members[mi].personal.class(dag, c) != Class::Insignificant
+                        {
+                            options.push(c);
+                            if options.len() >= cfg.max_spec_options {
+                                break;
+                            }
+                        }
+                    }
+                    if !options.is_empty() {
+                        asked = ask_specialization(
+                            dag,
+                            crowd,
+                            aggregator,
+                            threshold,
+                            &cfg.policy,
+                            &mut deg,
                             // PANIC-OK: `mi` is in bounds, as above.
-                            && !members[mi].answered.contains(&c)
+                            &mut members[mi],
+                            &options,
+                            target,
+                            &mut answers,
+                            &mut global,
+                            &mut tracker,
+                            &mut stats,
+                            &mut questions,
+                            &mut events,
+                            &mut newly_significant,
+                            tele,
+                        );
+                        if asked {
+                            // the base itself is still unanswered by this
+                            // member - revisit it later
                             // PANIC-OK: `mi` is in bounds, as above.
-                            && members[mi].personal.class(dag, c) != Class::Insignificant
-                    })
-                    .take(cfg.max_spec_options)
-                    .collect();
-                if !options.is_empty() {
-                    asked = ask_specialization(
+                            members[mi].push_hot(target);
+                        }
+                    }
+                }
+                if !asked {
+                    asked = ask_concrete(
                         dag,
                         crowd,
                         aggregator,
                         threshold,
+                        &cfg.pool,
                         &cfg.policy,
                         &mut deg,
                         // PANIC-OK: `mi` is in bounds, as above.
                         &mut members[mi],
-                        &options,
                         target,
                         &mut answers,
                         &mut global,
@@ -252,87 +353,84 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                         &mut newly_significant,
                         tele,
                     );
-                    if asked {
-                        // the base itself is still unanswered by this
-                        // member - revisit it later
-                        // PANIC-OK: `mi` is in bounds, as above.
-                        members[mi].push_hot(target);
-                    }
                 }
-            }
-            if !asked {
-                asked = ask_concrete(
-                    dag,
-                    crowd,
-                    aggregator,
-                    threshold,
-                    &cfg.pool,
-                    &cfg.policy,
-                    &mut deg,
-                    // PANIC-OK: `mi` is in bounds, as above.
-                    &mut members[mi],
-                    target,
-                    &mut answers,
-                    &mut global,
-                    &mut tracker,
-                    &mut stats,
-                    &mut questions,
-                    &mut events,
-                    &mut newly_significant,
-                    tele,
-                );
-            }
-            if asked {
-                // PANIC-OK: per_member was sized to members.len().
-                per_member[mi] += 1;
-                asked_this_round += 1;
-                // fan out the children of any node that just became
-                // globally significant to every member's queue (the
-                // QueueManager's frontier maintenance)
-                let had_transition = global_decisions != global.decisions();
-                global_decisions = global.decisions();
-                let newly: Vec<NodeId> = std::mem::take(&mut newly_significant);
-                for node in newly {
-                    let children = dag.children(node);
-                    for ms in members.iter_mut() {
-                        ms.extend_hot(children.iter().copied());
+                if asked {
+                    // PANIC-OK: per_member was sized to members.len().
+                    per_member[mi] += 1;
+                    asked_this_round += 1;
+                    if width > 1 {
+                        tele.count(
+                            if redundant {
+                                "planner.redundant_answers"
+                            } else {
+                                "planner.useful_answers"
+                            },
+                            1,
+                        );
                     }
-                }
-                // MSP entailment can only change when a global
-                // classification changed
-                if had_transition {
-                    monitor.update(dag, &mut global, questions, &mut events, &mut msp_ids);
-                    // TOP k early termination (Section 8 extension)
-                    if let Some(k) = dag.query().top_k {
-                        if !dag.query().diverse {
-                            let valid = msp_ids.iter().filter(|&&m| dag.node(m).valid).count();
-                            if valid >= k {
-                                break 'outer;
+                    // fan out the children of any node that just became
+                    // globally significant to every member's queue (the
+                    // QueueManager's frontier maintenance)
+                    let had_transition = global_decisions != global.decisions();
+                    global_decisions = global.decisions();
+                    let newly: Vec<NodeId> = std::mem::take(&mut newly_significant);
+                    for node in newly {
+                        let span = dag.ensure_children(node);
+                        // a sticky-Insignificant child would be skipped as a
+                        // pure no-op on every member's pop — drop it once here
+                        // instead of queueing it per member
+                        let fresh: Vec<NodeId> = dag
+                            .child_slice(span)
+                            .iter()
+                            .copied()
+                            .filter(|&c| global.cached_queried(c) != Some(Class::Insignificant))
+                            .collect();
+                        for ms in members.iter_mut() {
+                            ms.extend_hot(fresh.iter().copied());
+                        }
+                    }
+                    // MSP entailment can only change when a global
+                    // classification changed
+                    if had_transition {
+                        monitor.update(dag, &mut global, questions, &mut events, &mut msp_ids);
+                        // TOP k early termination (Section 8 extension)
+                        if let Some(k) = dag.query().top_k {
+                            if !dag.query().diverse {
+                                let valid = msp_ids.iter().filter(|&&m| dag.node(m).valid).count();
+                                if valid >= k {
+                                    break 'outer;
+                                }
                             }
                         }
                     }
                 }
-            }
-            if cfg.debug_checks {
-                if stats.total() != questions {
-                    panic!(
+                if cfg.debug_checks {
+                    if stats.total() != questions {
+                        panic!(
                         "simulation invariant violated: question stats total {} != questions {questions}",
                         stats.total()
                     );
-                }
-                if let Some(mx) = cfg.max_questions {
-                    assert!(
+                    }
+                    if let Some(mx) = cfg.max_questions {
+                        assert!(
                         questions <= mx,
                         "simulation invariant violated: {questions} questions exceed the budget of {mx}"
                     );
-                }
-                if let Err(e) = crate::invariants::check_classification_monotonicity(dag, &global) {
-                    panic!("simulation invariant violated: {e}");
-                }
-                if let Err(e) = crate::invariants::check_msp_maximality(dag, &global, &msp_ids) {
-                    panic!("simulation invariant violated: {e}");
+                    }
+                    if let Err(e) =
+                        crate::invariants::check_classification_monotonicity(dag, &global)
+                    {
+                        panic!("simulation invariant violated: {e}");
+                    }
+                    if let Err(e) = crate::invariants::check_msp_maximality(dag, &global, &msp_ids)
+                    {
+                        panic!("simulation invariant violated: {e}");
+                    }
                 }
             }
+        }
+        if asked_this_round > 0 {
+            rounds += 1;
         }
         if asked_this_round == 0 && deg.gave_up_this_round == 0 {
             break;
@@ -416,28 +514,39 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
         question_stats: stats,
         answers_per_member: per_member,
         undecided,
+        rounds,
     }
 }
 
-/// What a read-only emulation of [`next_target`] could determine.
-enum Peek {
-    /// The member's next question target.
-    Target(NodeId),
-    /// The member's frontier is exhausted — no question this round.
-    Nothing,
+/// What a read-only emulation of the batch planner could determine.
+struct PeekBatch {
+    /// Predicted question targets, in ask order (an antichain under ≤;
+    /// at most the batch width, empty when the frontier is exhausted).
+    targets: Vec<NodeId>,
     /// The emulation hit a significant node whose children are not yet
-    /// generated: the real traversal will mutate the DAG there, so the
-    /// target (for this and every later member) cannot be predicted.
-    Unpredictable,
+    /// generated: the real traversal will mutate the DAG there, so any
+    /// *further* target (for this and every later member) cannot be
+    /// predicted. Targets collected before the cut are still valid — the
+    /// real planner pops them before reaching the mutation point, and the
+    /// ask loop asks them first, so they remain a correct chain prefix.
+    cut: bool,
 }
 
-/// Read-only emulation of [`next_target`]: walks the member's queues
+/// Read-only emulation of the batch planner: walks the member's queues
 /// without popping, descends through significant nodes via a *virtual*
-/// descended-set, and never generates children. Value-equivalent to the
-/// real traversal whenever it returns [`Peek::Target`] and the global
-/// state does not change before the member's real turn; any divergence
-/// only costs a rolled-back speculation.
-fn peek_target(view: &crate::dag::DagView<'_>, global: &Classifier, m: &MemberState) -> Peek {
+/// descended-set, never generates children, and applies the planner's
+/// antichain rule (a candidate ≤-comparable to an accepted target is
+/// deferred, hence not asked this round). Value-equivalent to the real
+/// traversal whenever the global state does not change before the
+/// member's real turn; any divergence only costs a rolled-back
+/// speculation.
+fn peek_batch(
+    view: &crate::dag::DagView<'_>,
+    global: &Classifier,
+    m: &MemberState,
+    width: usize,
+) -> PeekBatch {
+    let mut targets: Vec<NodeId> = Vec::new();
     let mut virt_descended: HashSet<NodeId> = HashSet::new();
     for hot in [true, false] {
         let queue = if hot { &m.hot } else { &m.cold };
@@ -457,9 +566,9 @@ fn peek_target(view: &crate::dag::DagView<'_>, global: &Classifier, m: &MemberSt
                 Class::Insignificant => continue,
                 Class::Significant => {
                     if !m.descended.contains(&id) && virt_descended.insert(id) {
-                        match view.node(id).children_if_generated() {
+                        match view.children_if_generated(id) {
                             Some(children) => extra.extend_from_slice(children),
-                            None => return Peek::Unpredictable,
+                            None => return PeekBatch { targets, cut: true },
                         }
                     }
                     continue;
@@ -472,10 +581,25 @@ fn peek_target(view: &crate::dag::DagView<'_>, global: &Classifier, m: &MemberSt
             if m.answered.contains(&id) {
                 continue;
             }
-            return Peek::Target(id);
+            // the planner defers ≤-comparable pops (including duplicate
+            // queue entries — ≤ is reflexive), so they are not asked this
+            // round
+            if targets.iter().any(|&p| view.leq(p, id) || view.leq(id, p)) {
+                continue;
+            }
+            targets.push(id);
+            if targets.len() >= width {
+                return PeekBatch {
+                    targets,
+                    cut: false,
+                };
+            }
         }
     }
-    Peek::Nothing
+    PeekBatch {
+        targets,
+        cut: false,
+    }
 }
 
 /// Predicts the questions the coming round will ask — one per member at
@@ -492,55 +616,67 @@ fn predict_round(
 ) -> Vec<(MemberId, Question)> {
     let view = dag.view();
     let mut rng = policy_rng.clone();
+    let width = cfg.batch_width.max(1);
     let mut batch: Vec<(MemberId, Question)> = Vec::new();
-    for m in members {
+    'members: for m in members {
         if cfg.max_questions.is_some_and(|mx| questions >= mx) {
             break;
         }
         if !m.active {
             continue;
         }
-        let target = match peek_target(&view, global, m) {
-            Peek::Target(t) => t,
-            Peek::Nothing => continue,
-            // past this point the cloned RNG can no longer stay aligned
-            // with the real policy draws — stop predicting this round
-            Peek::Unpredictable => break,
-        };
-        let mut question: Option<Question> = None;
-        if cfg.specialization_ratio > 0.0 && rng.gen_bool(cfg.specialization_ratio) {
-            match view.node(target).children_if_generated() {
-                Some(children) => {
-                    let options: Vec<NodeId> = children
-                        .iter()
-                        .copied()
-                        .filter(|&c| {
-                            global.class_frozen(&view, c) == Class::Unknown
-                                && !m.answered.contains(&c)
-                                && m.personal.class_frozen(&view, c) != Class::Insignificant
-                        })
-                        .take(cfg.max_spec_options)
-                        .collect();
-                    if !options.is_empty() {
-                        question = Some(Question::Specialization {
-                            base: view.node(target).assignment.apply(dag.query()),
-                            options: options
-                                .iter()
-                                .map(|&o| view.node(o).assignment.apply(dag.query()))
-                                .collect(),
-                        });
+        let peek = peek_batch(&view, global, m, width);
+        for target in &peek.targets {
+            let target = *target;
+            let mut question: Option<Question> = None;
+            if cfg.specialization_ratio > 0.0 && rng.gen_bool(cfg.specialization_ratio) {
+                match view.children_if_generated(target) {
+                    Some(children) => {
+                        let options: Vec<NodeId> = children
+                            .iter()
+                            .copied()
+                            .filter(|&c| {
+                                global.class_frozen(&view, c) == Class::Unknown
+                                    && !m.answered.contains(&c)
+                                    && m.personal.class_frozen(&view, c) != Class::Insignificant
+                            })
+                            .take(cfg.max_spec_options)
+                            .collect();
+                        if !options.is_empty() {
+                            question = Some(Question::Specialization {
+                                base: view.node(target).assignment.apply(dag.query()),
+                                options: options
+                                    .iter()
+                                    .map(|&o| view.node(o).assignment.apply(dag.query()))
+                                    .collect(),
+                            });
+                        }
+                    }
+                    // the engine will generate these children on the
+                    // member's real turn; the offered options can't be
+                    // predicted (the RNG draw above still mirrors the real
+                    // loop's draw)
+                    None => {
+                        if width == 1 {
+                            continue 'members;
+                        }
+                        // mid-batch the member's remaining chain (and the
+                        // cloned RNG) can no longer stay aligned — stop
+                        // predicting this round
+                        break 'members;
                     }
                 }
-                // the engine will generate these children on the member's
-                // real turn; the offered options can't be predicted (the
-                // RNG draw above still mirrors the real loop's draw)
-                None => continue,
             }
+            let question = question.unwrap_or_else(|| Question::Concrete {
+                pattern: view.node(target).assignment.apply(dag.query()),
+            });
+            batch.push((m.id, question));
         }
-        let question = question.unwrap_or_else(|| Question::Concrete {
-            pattern: view.node(target).assignment.apply(dag.query()),
-        });
-        batch.push((m.id, question));
+        if peek.cut {
+            // past this point the cloned RNG can no longer stay aligned
+            // with the real policy draws — stop predicting this round
+            break;
+        }
     }
     batch
 }
@@ -555,7 +691,16 @@ fn predict_round(
 fn next_target(dag: &mut Dag<'_>, global: &mut Classifier, m: &mut MemberState) -> Option<NodeId> {
     for hot in [true, false] {
         while let Some(id) = m.pop(hot) {
-            match global.class(dag, id) {
+            // Most pops hit a node the crowd already classified — read the
+            // sticky verdict straight from the cache and only fall back to
+            // the full (stamping) lookup on unqueried nodes. Identical
+            // values either way; the fast path skips per-call overhead on
+            // the millions-of-pops filter.
+            let cls = match global.cached_queried(id) {
+                Some(c) => c,
+                None => global.class(dag, id),
+            };
+            match cls {
                 Class::Insignificant => continue,
                 Class::Significant => {
                     // descend lazily: a node can become significant *by
@@ -564,7 +709,12 @@ fn next_target(dag: &mut Dag<'_>, global: &mut Classifier, m: &mut MemberState) 
                     // ever fired for it — its children must still be
                     // explored.
                     if m.descended.insert(id) {
-                        let children = dag.children(id);
+                        let span = dag.ensure_children(id);
+                        // sticky-Insignificant children are pop-side no-ops
+                        let children =
+                            dag.child_slice(span).iter().copied().filter(|&c| {
+                                global.cached_queried(c) != Some(Class::Insignificant)
+                            });
                         if hot {
                             m.extend_hot(children);
                         } else {
@@ -671,8 +821,13 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
                 // personal descent (rule 4): this member may be asked
                 // about the successors — low priority, so quorum work on
                 // the shared frontier runs first
-                let children = dag.children(target);
-                m.extend_cold(children);
+                let span = dag.ensure_children(target);
+                m.extend_cold(
+                    dag.child_slice(span)
+                        .iter()
+                        .copied()
+                        .filter(|&c| global.cached_queried(c) != Some(Class::Insignificant)),
+                );
             } else {
                 m.personal.mark_insignificant(dag, target);
             }
@@ -817,8 +972,13 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
             m.answered.insert(chosen);
             if support >= threshold {
                 m.personal.mark_significant(dag, chosen);
-                let children = dag.children(chosen);
-                m.extend_cold(children);
+                let span = dag.ensure_children(chosen);
+                m.extend_cold(
+                    dag.child_slice(span)
+                        .iter()
+                        .copied()
+                        .filter(|&c| global.cached_queried(c) != Some(Class::Insignificant)),
+                );
             } else {
                 m.personal.mark_insignificant(dag, chosen);
             }

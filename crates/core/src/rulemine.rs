@@ -214,8 +214,7 @@ pub fn run_rules<C: CrowdSource>(
     let mut rules: Vec<MinedRule> = rule_sig
         .iter()
         .filter(|(&id, _)| {
-            dag.node(id)
-                .children_if_generated()
+            dag.children_if_generated(id)
                 .unwrap_or(&[])
                 .iter()
                 .all(|c| !rule_sig.contains_key(c))

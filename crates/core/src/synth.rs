@@ -105,6 +105,47 @@ pub fn synthetic_domain(width: usize, depth: usize, seed: u64) -> SyntheticDomai
     }
 }
 
+/// Builds a stress-scale synthetic domain whose product assignment DAG
+/// has close to `assignments` **total** assignments (Σ|X| × Σ|Y| — every
+/// x-taxonomy node paired with every y-taxonomy node), as opposed to
+/// [`synthetic_domain`], which targets the widest *antichain*. With
+/// `assignments = 1_000_000` this yields the 10⁶-node ontology used by
+/// the arena-layout stress benchmarks; mining stays lazy, so only the
+/// cone around the planted MSPs is ever materialized.
+pub fn stress_domain(assignments: usize, depth: usize) -> SyntheticDomain {
+    assert!(depth >= 2, "need at least one level per taxonomy");
+    let dx = depth / 2;
+    let dy = depth - dx;
+    // geometric layer growth g chosen so Σ|X| × Σ|Y| ≈ assignments
+    let mut g = 1.5f64;
+    let mut best = (f64::MAX, 2.0f64);
+    while g < 60.0 {
+        let (lx, ly) = (geo_layers(dx, g), geo_layers(dy, g));
+        let total = lx.iter().sum::<usize>() * ly.iter().sum::<usize>();
+        let err = (total as f64 - assignments as f64).abs();
+        if err < best.0 {
+            best = (err, g);
+        }
+        g *= 1.02;
+    }
+    let g = best.1;
+    let layers_x = geo_layers(dx, g);
+    let layers_y = geo_layers(dy, g);
+
+    let mut b = OntologyBuilder::new();
+    b.relation("rel");
+    layered_tree(&mut b, "X", "X", &layers_x);
+    layered_tree(&mut b, "Y", "Y", &layers_y);
+    let query = "SELECT FACT-SETS\nWHERE\n  $x subClassOf* X.\n  $y subClassOf* Y\nSATISFYING\n  $x rel $y\nWITH SUPPORT = 0.5\n"
+        .to_owned();
+    SyntheticDomain {
+        ontology: b.build().expect("acyclic"),
+        query,
+        layers_x,
+        layers_y,
+    }
+}
+
 fn geo_layers(depth: usize, g: f64) -> Vec<usize> {
     (0..=depth)
         .map(|i| (g.powi(i as i32)).round().max(1.0) as usize)
@@ -205,13 +246,12 @@ fn min_hops(dag: &Dag<'_>, from: NodeId, targets: &[NodeId]) -> Option<usize> {
         if targets.contains(&id) {
             return Some(d);
         }
-        let node = dag.node(id);
-        let neighbours: Vec<NodeId> = node
-            .children_if_generated()
+        let neighbours: Vec<NodeId> = dag
+            .children_if_generated(id)
             .unwrap_or(&[])
             .iter()
-            .chain(node.parents())
             .copied()
+            .chain(dag.parents(id))
             .collect();
         for n in neighbours {
             if seen.insert(n) {
@@ -391,8 +431,7 @@ pub fn true_msps(dag: &mut Dag<'_>, oracle: &PlantedOracle<'_>) -> Vec<NodeId> {
         .filter(|&id| {
             classes[&id]
                 && dag
-                    .node(id)
-                    .children_if_generated()
+                    .children_if_generated(id)
                     .unwrap_or(&[])
                     .iter()
                     .all(|c| !classes[c])
@@ -475,7 +514,7 @@ mod tests {
         for id in dag.node_ids() {
             if classes[&id] {
                 // every materialized parent is significant too
-                for &p in dag.node(id).parents() {
+                for p in dag.parents(id) {
                     assert!(classes[&p], "monotonicity violated");
                 }
             }

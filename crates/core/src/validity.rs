@@ -51,9 +51,21 @@ pub struct ValidityIndex {
     minimals: Vec<Vec<Value>>,
     /// Tuples in a stable indexed order (same elements as `tuples`).
     tuple_list: Vec<Vec<Value>>,
-    /// Lazily memoized cover bitsets: `cover_bits[ci][v]` has bit `t` set
-    /// iff `v ≤ tuple_list[t][ci]` — the fast path of [`Self::admits`].
-    cover_bits: RefCell<Vec<HashMap<Value, Rc<Vec<u64>>>>>,
+    /// Words per cover bitset: `tuple_list.len().div_ceil(64)`.
+    stride: usize,
+    /// Number of vocabulary elements — rel keys are offset past them.
+    num_elems: usize,
+    /// Dense value-key space: `num_elems + num_rels` (elems first).
+    key_space: usize,
+    /// Lazily memoized cover bitsets, flattened: `cover_off[ci][key(v)]`
+    /// is the block index (×`stride`) into `cover_words` of the bitset
+    /// with bit `t` set iff `v ≤ tuple_list[t][ci]` — the fast path of
+    /// [`Self::admits`]. `u32::MAX` = not built yet; columns allocate
+    /// their key table on first use.
+    cover_off: RefCell<Vec<Vec<u32>>>,
+    /// Contiguous arena of all memoized cover bitsets, `stride` words
+    /// per block.
+    cover_words: RefCell<Vec<u64>>,
     /// Lazily built per-column rest-projection grouping (the
     /// single-multiplicity-slot path of [`Self::admits`]): tuples with the
     /// same projection minus column `ci` share a group id.
@@ -141,7 +153,8 @@ impl ValidityIndex {
 
         let mut tuple_list: Vec<Vec<Value>> = tuples.iter().cloned().collect();
         tuple_list.sort();
-        let cover_bits = RefCell::new(vec![HashMap::new(); constrained.len()]);
+        let stride = tuple_list.len().div_ceil(64);
+        let cover_off = RefCell::new(vec![Vec::new(); constrained.len()]);
         ValidityIndex {
             slots,
             constrained,
@@ -150,7 +163,11 @@ impl ValidityIndex {
             closures,
             minimals,
             tuple_list,
-            cover_bits,
+            stride,
+            num_elems: vocab.num_elems(),
+            key_space: vocab.num_elems() + vocab.num_rels(),
+            cover_off,
+            cover_words: RefCell::new(Vec::new()),
             mult_groups: RefCell::new(HashMap::new()),
             group_scratch: RefCell::new(GroupScratch::default()),
         }
@@ -203,21 +220,51 @@ impl ValidityIndex {
             .collect()
     }
 
-    /// The memoized cover bitset for constrained column `ci` and value `v`.
-    fn cover_bitset(&self, vocab: &Vocabulary, ci: usize, v: Value) -> Rc<Vec<u64>> {
-        if let Some(b) = self.cover_bits.borrow()[ci].get(&v) {
-            return Rc::clone(b);
+    /// Dense key of a value: elems first, then rels.
+    fn value_key(&self, v: Value) -> usize {
+        match v {
+            Value::Elem(e) => e.index(),
+            Value::Rel(r) => self.num_elems + r.index(),
         }
-        let n = self.tuple_list.len();
-        let mut bits = vec![0u64; n.div_ceil(64)];
-        for (t, tuple) in self.tuple_list.iter().enumerate() {
-            if value_leq(vocab, v, tuple[ci]) {
-                bits[t / 64] |= 1u64 << (t % 64);
+    }
+
+    /// Word offset into `cover_words` of the memoized cover bitset for
+    /// constrained column `ci` and value `v`, building it on first use.
+    /// The returned block is `self.stride` words long and immutable once
+    /// built — callers re-borrow `cover_words` to read it.
+    fn cover_offset(&self, vocab: &Vocabulary, ci: usize, v: Value) -> usize {
+        debug_assert!(self.stride > 0, "admits bails out on an empty tuple set");
+        let key = self.value_key(v);
+        {
+            let off = self.cover_off.borrow();
+            // PANIC-OK: cover_off has one entry per constrained column.
+            if let Some(&o) = off[ci].get(key) {
+                if o != u32::MAX {
+                    return o as usize * self.stride;
+                }
             }
         }
-        let rc = Rc::new(bits);
-        self.cover_bits.borrow_mut()[ci].insert(v, Rc::clone(&rc));
-        rc
+        let mut words = self.cover_words.borrow_mut();
+        let block = words.len() / self.stride;
+        let base = words.len();
+        words.resize(base + self.stride, 0);
+        for (t, tuple) in self.tuple_list.iter().enumerate() {
+            if value_leq(vocab, v, tuple[ci]) {
+                // PANIC-OK: the resize above added a full stride of words
+                // and t/64 < stride by construction.
+                words[base + t / 64] |= 1u64 << (t % 64);
+            }
+        }
+        drop(words);
+        let mut off = self.cover_off.borrow_mut();
+        // PANIC-OK: cover_off has one entry per constrained column.
+        let col = &mut off[ci];
+        if col.is_empty() {
+            col.resize(self.key_space, u32::MAX);
+        }
+        // PANIC-OK: keys are < key_space, the length col was resized to.
+        col[key] = block as u32;
+        base
     }
 
     /// Whether `φ ∈ 𝒜`: φ is ≤ some valid (combination) assignment.
@@ -248,8 +295,11 @@ impl ValidityIndex {
             match values.len() {
                 0 => {} // unconstrained: grouping by rest pins it consistently
                 1 => {
-                    let bits = self.cover_bitset(vocab, ci, values[0]);
-                    for (w, b) in acc.iter_mut().zip(bits.iter()) {
+                    let off = self.cover_offset(vocab, ci, values[0]);
+                    let words = self.cover_words.borrow();
+                    // PANIC-OK: cover_offset returns the base of a full
+                    // stride-sized block inside cover_words.
+                    for (w, &b) in acc.iter_mut().zip(&words[off..off + self.stride]) {
                         *w &= b;
                     }
                 }
@@ -325,6 +375,13 @@ impl ValidityIndex {
         } else {
             (1u64 << values.len()) - 1
         };
+        // prefetch all offsets first: cover_offset may grow the arena, so
+        // it must run before the long immutable borrow below
+        let offs: Vec<usize> = values
+            .iter()
+            .map(|&v| self.cover_offset(vocab, ci, v))
+            .collect();
+        let cover = self.cover_words.borrow();
         let mut scratch = self.group_scratch.borrow_mut();
         let GroupScratch { mask, stamp, epoch } = &mut *scratch;
         if mask.len() < groups.num {
@@ -336,8 +393,10 @@ impl ValidityIndex {
             stamp.fill(0);
             *epoch = 1;
         }
-        for (vi, &v) in values.iter().enumerate() {
-            let bits = self.cover_bitset(vocab, ci, v);
+        for (vi, &off) in offs.iter().enumerate() {
+            // PANIC-OK: cover_offset returns the base of a full
+            // stride-sized block inside cover_words.
+            let bits = &cover[off..off + self.stride];
             let last = vi + 1 == values.len();
             for (w, (&bv, &av)) in bits.iter().zip(acc.iter()).enumerate() {
                 let mut word = bv & av;

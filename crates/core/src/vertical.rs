@@ -35,6 +35,15 @@ pub struct MiningConfig {
     pub max_spec_options: usize,
     /// RNG seed for the question-type policy.
     pub seed: u64,
+    /// Question-batch width `k` for the multi-user engine: per round each
+    /// member is planned up to `k` mutually non-redundant targets — no
+    /// pair ordered by `leq`, so no answer in the batch can classify
+    /// another's target by inference — and asked all of them, filling
+    /// crowd latency with useful parallelism. The default `1` is the
+    /// classic one-question-per-member round, bit-identical to the
+    /// pre-batching engine; `0` is treated as `1`. Single-user engines
+    /// ignore the field.
+    pub batch_width: usize,
     /// Stop after this many answered questions (`None` = run to
     /// completion).
     pub max_questions: Option<usize>,
@@ -68,6 +77,7 @@ impl Default for MiningConfig {
             specialization_ratio: 0.0,
             max_spec_options: 8,
             seed: 0,
+            batch_width: 1,
             max_questions: None,
             pool: minipool::Pool::sequential(),
             policy: CrowdPolicy::default(),

@@ -22,10 +22,12 @@ use std::sync::{Arc, Mutex};
 enum Job {
     /// A real question; the answer is sent back on the channel.
     Ask(Arc<Question>, Sender<Answer>),
-    /// A speculative question (engine prediction): the worker answers it
-    /// *now*, keeps the result pending, and rolls the member's session
-    /// state back unless the next `Ask` matches.
-    Speculate(Arc<Question>),
+    /// A speculative question chain (engine prediction — one entry per
+    /// planned batch slot): the worker answers the chain *now*, in order,
+    /// keeps the results pending, and serves them to matching `Ask`s
+    /// first-in-first-out; the member's session state is rolled back from
+    /// the first unconsumed entry on any mismatch.
+    Speculate(Vec<Arc<Question>>),
 }
 
 /// A live handle to the member worker threads. Created by
@@ -108,10 +110,20 @@ impl CrowdSource for ParallelHandle {
     /// session state are identical to the non-speculative run.
     fn prefetch(&mut self, batch: &[(MemberId, Question)]) {
         self.tele.count("crowd.speculations", batch.len() as u64);
+        // group each member's predicted questions into one ordered chain —
+        // a batch-planner round predicts several questions per member,
+        // which the worker answers ahead of time and serves FIFO
+        let mut chains: Vec<Vec<Arc<Question>>> = vec![Vec::new(); self.senders.len()];
         for (member, question) in batch {
-            // a closed channel just means the run is over — ignore
-            // PANIC-OK: one sender per member id by construction.
-            let _ = self.senders[member.index()].send(Job::Speculate(Arc::new(question.clone())));
+            // PANIC-OK: one chain slot per member id by construction.
+            chains[member.index()].push(Arc::new(question.clone()));
+        }
+        for (i, chain) in chains.into_iter().enumerate() {
+            if !chain.is_empty() {
+                // a closed channel just means the run is over — ignore
+                // PANIC-OK: one sender per member id by construction.
+                let _ = self.senders[i].send(Job::Speculate(chain));
+            }
         }
     }
 }
@@ -137,31 +149,44 @@ pub fn with_parallel_crowd<R>(
             senders.push(tx);
             let returned = Arc::clone(&returned);
             scope.spawn(move || {
-                // At most one speculation is in flight per member:
-                // (question, its answer, the pre-answer session state).
-                let mut pending: Option<(Arc<Question>, Answer, crate::SessionSnapshot)> = None;
+                // In-flight speculation chain, oldest first. Each entry
+                // stores (question, its answer, the session state *before*
+                // that answer) — so rewinding to the front entry's snapshot
+                // undoes every unconsumed speculative answer.
+                let mut pending: std::collections::VecDeque<(
+                    Arc<Question>,
+                    Answer,
+                    crate::SessionSnapshot,
+                )> = std::collections::VecDeque::new();
                 for job in rx.iter() {
                     match job {
-                        Job::Speculate(question) => {
+                        Job::Speculate(chain) => {
                             // A newer prediction supersedes an unconsumed
                             // one; rewind before re-speculating.
-                            if let Some((_, _, snap)) = pending.take() {
+                            if let Some((_, _, snap)) = pending.pop_front() {
                                 member.restore_session(snap);
+                                pending.clear();
                             }
-                            let snap = member.session_snapshot();
-                            let answer = member.answer(vocab, &question);
-                            pending = Some((question, answer, snap));
+                            for question in chain {
+                                let snap = member.session_snapshot();
+                                let answer = member.answer(vocab, &question);
+                                pending.push_back((question, answer, snap));
+                            }
                         }
                         Job::Ask(question, reply) => {
-                            let answer = match pending.take() {
+                            let answer = match pending.pop_front() {
                                 // Prediction hit: the stored answer was
                                 // computed from exactly the session state
                                 // a fresh answer would see (no real asks
-                                // intervened since the snapshot).
+                                // intervened since the snapshot). Later
+                                // chain entries stay pending for the
+                                // batch's follow-up asks.
                                 Some((spec_q, spec_a, _)) if *spec_q == *question => spec_a,
-                                // Miss: rewind, then answer for real.
+                                // Miss: rewind past every unconsumed
+                                // speculative answer, then answer for real.
                                 Some((_, _, snap)) => {
                                     member.restore_session(snap);
+                                    pending.clear();
                                     member.answer(vocab, &question)
                                 }
                                 None => member.answer(vocab, &question),
@@ -174,7 +199,7 @@ pub fn with_parallel_crowd<R>(
                 }
                 // A speculation never consumed must not leak into the
                 // member's returned session state.
-                if let Some((_, _, snap)) = pending.take() {
+                if let Some((_, _, snap)) = pending.pop_front() {
                     member.restore_session(snap);
                 }
                 // PANIC-OK: lock poisoning propagates a sibling worker's

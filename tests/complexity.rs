@@ -16,8 +16,8 @@ fn negative_border(
     dag.node_ids()
         .filter(|&id| {
             !classes[&id]
-                && dag.node(id).parents().iter().all(|p| classes[p])
-                && !dag.node(id).parents().is_empty()
+                && dag.parents(id).next().is_some()
+                && dag.parents(id).all(|p| classes[&p])
         })
         .count()
         // roots that are themselves insignificant are also border elements
