@@ -612,20 +612,19 @@ const D6_HOME: &str = "crates/core/src/engine.rs";
 /// downstream code but closed to new call sites (DESIGN.md §12.1).
 const D6_DEPRECATED: [&str; 3] = [".execute(", ".execute_concurrent(", ".execute_rules("];
 
-/// D6 — deprecated entry points: non-test code outside `engine.rs`
-/// must go through `Oassis::run` instead of the frozen wrapper
-/// methods. (String literals are blanked by the lexer, so quoting a
+/// D6 — deprecated entry points: all code outside `engine.rs` — test
+/// or otherwise — must go through `Oassis::run` instead of the frozen
+/// wrapper methods. Only the wrappers' home file (which defines them,
+/// routes them through `run`, and exercises them in its own tests) is
+/// exempt. (String literals are blanked by the lexer, so quoting a
 /// method name in a message never fires.)
 pub fn d6(scope: &FileScope, scanned: &Scanned) -> Vec<RawFinding> {
-    if scope.is_test_file || scope.path == D6_HOME {
+    if scope.path == D6_HOME {
         return Vec::new();
     }
     let mut out = Vec::new();
     for (i, line) in scanned.code.iter().enumerate() {
         let line_no = i + 1;
-        if scope.is_test_line(line_no) {
-            continue;
-        }
         for pat in D6_DEPRECATED {
             if line.contains(pat) {
                 out.push(finding(

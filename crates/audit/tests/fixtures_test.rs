@@ -147,9 +147,15 @@ fn d6_fires_on_deprecated_entry_points() {
         fired("crates/core/src/engine.rs", src).is_empty(),
         "the wrappers' home file is exempt from D6"
     );
-    assert!(
-        fired("crates/core/tests/planted.rs", src).is_empty(),
-        "test code is exempt from D6 (legacy-surface tests stay)"
+    assert_eq!(
+        fired("crates/core/tests/planted.rs", src),
+        vec![
+            ("D6".to_string(), 5),
+            ("D6".to_string(), 6),
+            ("D6".to_string(), 7),
+        ],
+        "test code is no longer exempt from D6 — only the wrappers' \
+         home file may reference them"
     );
 }
 

@@ -26,7 +26,8 @@
 //! to restart the trajectory, delete `BENCH_speed.json` and rerun.
 
 use bench::{
-    bind_domain, digest_domain_run, run_domain_at, run_domain_at_batched, run_domain_at_traced,
+    bind_domain, digest_domain_run, domain_crowd, paper_aggregator, run_domain_at,
+    run_domain_at_batched, run_domain_at_traced,
 };
 use oassis_core::synth::{
     plant_msps, stress_domain, synthetic_domain, MspDistribution, PlantedOracle,
@@ -412,6 +413,99 @@ fn batched_section(e1_digest: Option<u64>) -> Json {
     Json::Obj(entries)
 }
 
+/// Digest of a replayed outcome, field-for-field identical to
+/// [`digest_domain_run`] over the round-driven run that recorded the
+/// log — equal digests mean the replay reproduced the run bit-for-bit.
+fn digest_replay(r: &oassis_core::ReplayOutcome) -> u64 {
+    fn word(h: &mut u64, v: usize) {
+        fnv(h, &(v as u64).to_le_bytes());
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    word(&mut h, r.questions);
+    word(&mut h, r.msps.len());
+    word(&mut h, r.valid_msps.len());
+    word(&mut h, r.undecided);
+    word(&mut h, r.total_valid);
+    word(&mut h, r.nodes_materialized);
+    word(&mut h, usize::from(r.complete));
+    for e in &r.events {
+        word(&mut h, e.question);
+        fnv(&mut h, format!("{:?}", e.kind).as_bytes());
+    }
+    h
+}
+
+/// `incremental` section: the op-log replay core on E1 — every accepted
+/// answer applied as a classification delta against the post-run DAG,
+/// no round loop, no crowd. One round-driven E1 run records the log
+/// (untimed here; the timed number lives in `current`), then the replay
+/// is timed [`REPEATS`] times and the median reported. The replay
+/// digest must equal the round-driven digest bit-for-bit, or the
+/// harness exits non-zero. Returns the section plus the replay
+/// wall-clock for the regression gate.
+fn incremental_section(e1_digest: Option<u64>) -> (Json, f64) {
+    let domain = travel(DomainScale::paper());
+    let bound = bind_domain(&domain);
+    let pool = minipool::Pool::sequential();
+    let tele = telemetry::Telemetry::off();
+    let base = oassis_ql::evaluate_where_pool(&bound, &domain.ontology, MatchMode::Exact, &pool);
+    let mut dag = Dag::new(&bound, domain.ontology.vocab(), &base);
+    let crowd = domain_crowd(&domain, domain.ontology.vocab(), 248, 12, 7);
+    let mut cache = oassis_core::CrowdCache::new();
+    let mut caching = oassis_core::CachingCrowd::new(crowd, &mut cache);
+    let cfg = MiningConfig {
+        threshold: Some(0.2),
+        specialization_ratio: 0.12,
+        seed: 7,
+        ..Default::default()
+    };
+    let agg = paper_aggregator();
+    let out = run_multi(&mut dag, &mut caching, &agg, &cfg);
+    let ops = out.mining.ops.len();
+
+    let mut samples: Vec<(f64, u64)> = Vec::with_capacity(REPEATS);
+    let mut applied = 0u64;
+    let mut compensated = 0u64;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let replay = out.mining.ops.replay(&dag, &agg, &pool, &tele);
+        let wall = start.elapsed().as_secs_f64();
+        samples.push((wall, digest_replay(&replay)));
+        applied = replay.applied;
+        compensated = replay.compensated;
+    }
+    let digest = samples[0].1;
+    assert_eq!(
+        Some(digest),
+        e1_digest,
+        "op-log replay changed the E1 outcome digest — the incremental \
+         core must be bit-identical to the round-driven engine"
+    );
+    let wall_s = median_wall("incremental_E1", &samples);
+    println!(
+        "incremental E1_travel  {wall_s:>8.3}s replay (median of {REPEATS})  \
+         ops={ops} applied={applied} digest={digest:016x}{}",
+        if wall_s <= 0.050 {
+            "  — within the 50 ms single-core goal"
+        } else {
+            ""
+        }
+    );
+    let section = Json::Obj(vec![
+        ("workload".into(), Json::Str("E1_travel".into())),
+        (
+            "replay_wall_s".into(),
+            Json::Num((wall_s * 1e4).round() / 1e4),
+        ),
+        ("ops".into(), Json::Num(ops as f64)),
+        ("applied".into(), Json::Num(applied as f64)),
+        ("compensated".into(), Json::Num(compensated as f64)),
+        ("digest".into(), Json::Str(format!("{digest:016x}"))),
+        ("within_50ms_goal".into(), Json::Bool(wall_s <= 0.050)),
+    ]);
+    (section, wall_s)
+}
+
 fn workspace_root() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -448,6 +542,10 @@ fn main() {
         .map(|t| t.digest);
     let batched_json = batched_section(e1_digest);
 
+    // incremental op-log replay: digest-gated against the round-driven
+    // E1 run inside the section builder
+    let (incremental_json, incremental_wall) = incremental_section(e1_digest);
+
     let path = workspace_root().join("BENCH_speed.json");
     let previous = std::fs::read_to_string(&path)
         .ok()
@@ -468,6 +566,22 @@ fn main() {
                 prev_wall * 1.25
             );
             Some(cur > prev_wall * 1.25)
+        })
+        .unwrap_or(false);
+    // same ratchet for the incremental replay path: within 25% of the
+    // committed replay wall-clock
+    let incremental_gate = previous
+        .as_ref()
+        .and_then(|doc| doc.field("incremental").ok())
+        .and_then(|i| i.field("replay_wall_s").ok())
+        .and_then(|w| w.as_f64().ok())
+        .map(|prev_wall| {
+            println!(
+                "incremental E1 perf gate: {incremental_wall:.4}s vs committed \
+                 {prev_wall:.4}s (limit {:.4}s)",
+                prev_wall * 1.25
+            );
+            incremental_wall > prev_wall * 1.25
         })
         .unwrap_or(false);
     let baseline = previous
@@ -498,6 +612,7 @@ fn main() {
                         | "repeats"
                         | "telemetry"
                         | "batched"
+                        | "incremental"
                 )
             })
             .cloned()
@@ -548,11 +663,31 @@ fn main() {
     }
 
     history.push(Json::Obj(vec![
-        ("run".into(), Json::Num((history.len() + 1) as f64)),
+        (
+            "run".into(),
+            // monotonic even after the cap prunes old entries: one past
+            // the last recorded run, not the array length
+            Json::Num(
+                history
+                    .last()
+                    .and_then(|e| e.field("run").ok())
+                    .and_then(|r| r.as_f64().ok())
+                    .unwrap_or(0.0)
+                    + 1.0,
+            ),
+        ),
         ("cores".into(), Json::Num(cores as f64)),
         ("repeats".into(), Json::Num(REPEATS as f64)),
         ("workloads".into(), current.clone()),
     ]));
+    // bounded trajectory: the run-1 anchor plus the latest 19 entries
+    // (the full curve lives in git history; the file stays reviewable)
+    const HISTORY_CAP: usize = 20;
+    if history.len() > HISTORY_CAP {
+        let tail = history.split_off(history.len() - (HISTORY_CAP - 1));
+        history.truncate(1);
+        history.extend(tail);
+    }
 
     let mut fields = vec![
         ("schema".into(), Json::Num(1.0)),
@@ -564,6 +699,7 @@ fn main() {
         ("history".into(), Json::Arr(history)),
         ("telemetry".into(), telemetry_json),
         ("batched".into(), batched_json),
+        ("incremental".into(), incremental_json),
     ];
     fields.extend(extra_fields);
     let doc = Json::Obj(fields);
@@ -580,6 +716,10 @@ fn main() {
     }
     if e1_gate {
         eprintln!("E1_travel regressed more than 25% over the committed wall-clock — failing the smoke run");
+        std::process::exit(1);
+    }
+    if incremental_gate {
+        eprintln!("incremental E1 replay regressed more than 25% over the committed wall-clock — failing the smoke run");
         std::process::exit(1);
     }
 }

@@ -140,6 +140,7 @@ pub fn run_horizontal<C: CrowdSource>(
         rng: StdRng::seed_from_u64(cfg.seed),
         questions: 0,
         events: Vec::new(),
+        ops: crate::oplog::OpLog::new(threshold, false),
         tracker: ValidTracker::new(dag).with_telemetry(tele.clone()),
         available: true,
         threshold,
@@ -189,7 +190,16 @@ pub fn run_horizontal<C: CrowdSource>(
                 }
                 stalled = 0;
                 let sig = s.ask_concrete(dag, crowd, member, id);
+                let known = msp_ids.len();
                 monitor.update(dag, &mut s.cls, s.questions, &mut s.events, &mut msp_ids);
+                // PANIC-OK: `known` was msp_ids.len() before the update;
+                // the monitor only appends, so the range is in bounds.
+                // PANIC-OK: `known` was msp_ids.len() before the update; the
+                // monitor only appends, so the range is in bounds.
+                // PANIC-OK: `known` was msp_ids.len() before the update; the monitor
+                // only appends, so the range is in bounds.
+                s.ops
+                    .record_msps(s.questions, member, dag, &msp_ids[known..]);
                 if sig {
                     Class::Significant
                 } else {
@@ -210,7 +220,12 @@ pub fn run_horizontal<C: CrowdSource>(
         }
     }
     // final sweep for entailed MSPs
+    let known = msp_ids.len();
     monitor.update(dag, &mut s.cls, s.questions, &mut s.events, &mut msp_ids);
+    // PANIC-OK: `known` was msp_ids.len() before the update; the monitor
+    // only appends, so the range is in bounds.
+    s.ops
+        .record_msps(s.questions, member, dag, &msp_ids[known..]);
     let complete = s.available
         && !s.exhausted_budget()
         && crate::vertical::find_minimal_unclassified(dag, &mut s.cls, &cfg.pool, &HashSet::new())
@@ -234,6 +249,7 @@ pub fn run_naive<C: CrowdSource>(
         rng: StdRng::seed_from_u64(cfg.seed),
         questions: 0,
         events: Vec::new(),
+        ops: crate::oplog::OpLog::new(threshold, false),
         tracker: ValidTracker::new(dag).with_telemetry(tele.clone()),
         available: true,
         threshold,
@@ -256,12 +272,24 @@ pub fn run_naive<C: CrowdSource>(
             continue;
         }
         s.ask_concrete(dag, crowd, member, id);
+        let known = msp_ids.len();
         monitor.update(dag, &mut s.cls, s.questions, &mut s.events, &mut msp_ids);
+        // PANIC-OK: `known` was msp_ids.len() before the update; the
+        // monitor only appends, so the range is in bounds.
+        // PANIC-OK: `known` was msp_ids.len() before the update; the monitor
+        // only appends, so the range is in bounds.
+        s.ops
+            .record_msps(s.questions, member, dag, &msp_ids[known..]);
     }
     // classify leftover non-valid nodes so the MSP sweep can conclude:
     // the naive algorithm only *asks* valid assignments, but entailment
     // over the expanded DAG still applies.
+    let known = msp_ids.len();
     monitor.update(dag, &mut s.cls, s.questions, &mut s.events, &mut msp_ids);
+    // PANIC-OK: `known` was msp_ids.len() before the update; the monitor
+    // only appends, so the range is in bounds.
+    s.ops
+        .record_msps(s.questions, member, dag, &msp_ids[known..]);
     let all_resolved = {
         let view = dag.view();
         s.gave_up

@@ -114,6 +114,18 @@ pub struct Classifier {
     /// Per node: epoch at which [`Self::class`] last computed `Unknown`
     /// (`u32::MAX` = never).
     unknown_at: Vec<u32>,
+    /// Per-fingerprint-word knowledge epochs: `word_epochs[wi]` is the
+    /// epoch of the most recent witness or pruning click whose ≤-cone can
+    /// involve fingerprint word `wi`. A memoized `Unknown` stays valid as
+    /// long as no word of the node's own fingerprint was touched since —
+    /// the *delta-cone* refinement of the global epoch test, so an answer
+    /// only invalidates the memos it can actually flip.
+    word_epochs: Vec<u32>,
+    /// Epoch of the most recent knowledge addition the word index cannot
+    /// localize: a witness with an empty fingerprint (a valueless
+    /// ≤-bottom element can sit below *any* node). Invalidates every
+    /// memo, like the historical global test.
+    global_reach_epoch: u32,
     /// Skip eager cone propagation on `mark_*`. The derived stamps only
     /// accelerate lookups (the posting indexes compute the same values),
     /// so a classifier with few lookups per mark — a member's personal
@@ -150,9 +162,34 @@ impl Classifier {
         }
     }
 
+    /// Stamps the delta-cone epochs for a witness whose fingerprint is
+    /// `words`: any node this witness can classify must share a nonzero
+    /// fingerprint word with it (`F(a) ⊆ F(w)` or `F(w) ⊆ F(a)` both
+    /// force word overlap), so only those words' memos need invalidating.
+    /// A witness with no nonzero words can sit ≤-below anything —
+    /// fall back to global invalidation.
+    fn bump_word_epochs(&mut self, words: &[u64]) {
+        if self.word_epochs.len() < words.len() {
+            self.word_epochs.resize(words.len(), 0);
+        }
+        let mut any = false;
+        for (wi, &w) in words.iter().enumerate() {
+            if w != 0 {
+                any = true;
+                // PANIC-OK: the resize above sized word_epochs to
+                // words.len().
+                self.word_epochs[wi] = self.knowledge_epoch;
+            }
+        }
+        if !any {
+            self.global_reach_epoch = self.knowledge_epoch;
+        }
+    }
+
     /// Marks `id` (answered) significant; classifies all its
-    /// generalizations by inference.
-    pub fn mark_significant(&mut self, dag: &Dag<'_>, id: NodeId) {
+    /// generalizations by inference. Returns the size of the freshly
+    /// stamped cone (the witness plus every node newly derived from it).
+    pub fn mark_significant(&mut self, dag: &Dag<'_>, id: NodeId) -> usize {
         self.ensure_node(id);
         self.knowledge_epoch += 1;
         self.sig_witnesses.push(id);
@@ -162,14 +199,16 @@ impl Classifier {
             // PANIC-OK: ensure_postings just resized past `bit`.
             self.sig_postings[bit].push(id);
         }
+        self.bump_word_epochs(dag.fp_words(id));
         // PANIC-OK: ensure_node(id) at function entry sized the cache.
         self.cache[id.index()] = Some(Cached::Queried(Class::Significant));
-        self.propagate(dag, id, true);
+        1 + self.propagate(dag, id, true)
     }
 
     /// Marks `id` (answered) insignificant; classifies all its
-    /// specializations by inference.
-    pub fn mark_insignificant(&mut self, dag: &Dag<'_>, id: NodeId) {
+    /// specializations by inference. Returns the size of the freshly
+    /// stamped cone (the witness plus every node newly derived from it).
+    pub fn mark_insignificant(&mut self, dag: &Dag<'_>, id: NodeId) -> usize {
         self.ensure_node(id);
         self.knowledge_epoch += 1;
         self.insig_witnesses.push(id);
@@ -187,9 +226,10 @@ impl Classifier {
             }
             None => self.insig_bottom.push(id),
         }
+        self.bump_word_epochs(dag.fp_words(id));
         // PANIC-OK: ensure_node(id) at function entry sized the cache.
         self.cache[id.index()] = Some(Cached::Queried(Class::Insignificant));
-        self.propagate(dag, id, false);
+        1 + self.propagate(dag, id, false)
     }
 
     /// Stamps the cone of `id` along materialized edges: parent edges for
@@ -197,11 +237,13 @@ impl Classifier {
     /// an insignificant one (specializations). Queried nodes keep their
     /// sticky result but the walk continues through them; a node already
     /// carrying the same derived stamp terminates the branch (its cone
-    /// was stamped when it was).
-    fn propagate(&mut self, dag: &Dag<'_>, start: NodeId, sig: bool) {
+    /// was stamped when it was). Returns the number of freshly stamped
+    /// nodes.
+    fn propagate(&mut self, dag: &Dag<'_>, start: NodeId, sig: bool) -> usize {
         if self.lazy {
-            return;
+            return 0;
         }
+        let mut stamped = 0;
         let last = NodeId(dag.len().saturating_sub(1) as u32);
         self.ensure_node(last);
         self.visit_gen += 1;
@@ -233,6 +275,7 @@ impl Classifier {
                     } else {
                         Cached::DerivedInsig
                     });
+                    stamped += 1;
                     push_neighbors(&mut queue, n);
                 }
                 Some(Cached::DerivedSig) if sig => {}
@@ -241,10 +284,15 @@ impl Classifier {
             }
         }
         self.queue = queue;
+        stamped
     }
 
-    /// Records a user-guided pruning click on element `e`.
-    pub fn prune_elem(&mut self, e: ElemId) {
+    /// Records a user-guided pruning click on element `e`. The click's
+    /// delta cone is every node whose fingerprint carries `e`'s bit in a
+    /// slot's elem region, so only those words' `Unknown` memos are
+    /// invalidated; nodes with MORE facts are matched against vocabulary
+    /// rows instead and always recompute (see `unknown_memo_valid`).
+    pub fn prune_elem(&mut self, dag: &Dag<'_>, e: ElemId) {
         self.knowledge_epoch += 1;
         self.pruned_elems.push(e);
         let wi = e.index() / 64;
@@ -253,6 +301,17 @@ impl Classifier {
         }
         // PANIC-OK: the resize above guarantees `wi` is in bounds.
         self.pruned_words[wi] |= 1 << (e.index() % 64);
+        let space = dag.fp_space();
+        if wi < space.elem_words() {
+            let nwords = space.num_slots() * space.words_per_slot();
+            if self.word_epochs.len() < nwords {
+                self.word_epochs.resize(nwords, 0);
+            }
+            for si in 0..space.num_slots() {
+                // PANIC-OK: the resize above covers every slot's region.
+                self.word_epochs[si * space.words_per_slot() + wi] = self.knowledge_epoch;
+            }
+        }
     }
 
     /// Number of direct decisions recorded (significant + insignificant
@@ -352,9 +411,7 @@ impl Classifier {
                 c
             }
             None => {
-                if self.unknown_at.get(id.index()).copied() == Some(self.knowledge_epoch) {
-                    // Unknown was computed at this very epoch and nothing
-                    // has been learned since — still Unknown.
+                if self.unknown_memo_valid(dag, id) {
                     debug_assert_eq!(Class::Unknown, self.class_by_scan_view(dag, id));
                     return Class::Unknown;
                 }
@@ -371,6 +428,43 @@ impl Classifier {
                 c
             }
         }
+    }
+
+    /// Whether a memoized `Unknown` for `id` is still current. The fast
+    /// path is the historical global test (nothing learned at all since
+    /// the memo); past that, the memo survives as long as no knowledge
+    /// delta touched the node's own fingerprint words: a significant
+    /// witness needs `F(id) ⊆ F(w)` and an insignificant one `F(w) ⊆
+    /// F(id)`, so either direction forces a nonzero-word overlap, and a
+    /// pruning click lands on an elem-region word. Nodes whose
+    /// classification is not word-localizable — empty fingerprints
+    /// (≤ everything) and MORE facts (matched against vocabulary rows) —
+    /// keep the conservative global behavior.
+    fn unknown_memo_valid(&self, dag: &DagView<'_>, id: NodeId) -> bool {
+        let at = match self.unknown_at.get(id.index()) {
+            Some(&a) if a != u32::MAX => a,
+            _ => return false,
+        };
+        if at == self.knowledge_epoch {
+            return true;
+        }
+        if self.global_reach_epoch > at {
+            return false;
+        }
+        if !dag.node(id).assignment.more().is_empty() {
+            return false;
+        }
+        let words = dag.fp_words(id);
+        let mut any = false;
+        for (wi, &w) in words.iter().enumerate() {
+            if w != 0 {
+                any = true;
+                if self.word_epochs.get(wi).copied().unwrap_or(0) > at {
+                    return false;
+                }
+            }
+        }
+        any
     }
 
     /// Whether some significant witness `w` has `id ≤ w`, via the
@@ -610,7 +704,7 @@ mod tests {
         let biking = node(&mut dag, &ont, "Bronx Zoo", "Biking");
         // probe first so Unknown is computed (and must not stick)
         assert_eq!(cls.class(&dag, basket), Class::Unknown);
-        cls.prune_elem(ont.vocab().elem_id("Ball Game").unwrap());
+        cls.prune_elem(&dag, ont.vocab().elem_id("Ball Game").unwrap());
         assert_eq!(cls.class(&dag, ball), Class::Insignificant);
         assert_eq!(cls.class(&dag, basket), Class::Insignificant);
         assert_eq!(cls.class(&dag, biking), Class::Unknown);
@@ -653,7 +747,7 @@ mod tests {
         let g = node(&mut dag, &ont, "Park", "Sport");
         cls.mark_significant(&dag, w);
         assert_eq!(cls.class(&dag, g), Class::Significant);
-        cls.prune_elem(ont.vocab().elem_id("Sport").unwrap());
+        cls.prune_elem(&dag, ont.vocab().elem_id("Sport").unwrap());
         // g was already queried — sticks; an unqueried sibling is pruned
         assert_eq!(cls.class(&dag, g), Class::Significant);
         let fresh = node(&mut dag, &ont, "Bronx Zoo", "Sport");

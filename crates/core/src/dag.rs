@@ -28,6 +28,10 @@ use std::collections::HashMap;
 pub struct NodeId(pub u32);
 
 impl NodeId {
+    /// Placeholder id for op-log entries that carry no node payload
+    /// (never a valid index into a [`Dag`]).
+    pub const SENTINEL: NodeId = NodeId(u32::MAX);
+
     /// The id as an array index.
     #[inline]
     pub fn index(self) -> usize {

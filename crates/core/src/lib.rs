@@ -13,6 +13,9 @@
 //!   Observation 4.4, plus user-guided pruning.
 //! * [`vertical`] — Algorithm 1 (single user).
 //! * [`multi`] — the multi-user engine of Section 4.2 (`QueueManager`).
+//! * [`oplog`] — the answer-operation log: every accepted answer as a
+//!   replayable delta, permutation-invariant under the canonical merge
+//!   order.
 //! * [`aggregate`] — black-box answer aggregation.
 //! * [`baselines`] — the Horizontal (Apriori-style) and Naive comparison
 //!   algorithms of Section 6.4, and the exhaustive-baseline question count.
@@ -45,6 +48,7 @@ pub mod fingerprint;
 pub mod invariants;
 pub mod manifest;
 pub mod multi;
+pub mod oplog;
 pub mod rulemine;
 pub mod synth;
 pub mod templates;
@@ -66,6 +70,7 @@ pub use engine::{
 };
 pub use manifest::PartialManifest;
 pub use multi::{run_multi, MultiOutcome, QuestionStats};
+pub use oplog::{AnswerOp, OpLog, OpVerdict, ReplayOutcome};
 pub use rulemine::{run_rules, MinedRule, RuleMiningConfig, RuleOutcome};
 pub use synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle, SyntheticDomain};
 pub use templates::QuestionTemplates;

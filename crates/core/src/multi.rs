@@ -170,6 +170,12 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
     let mut stats = QuestionStats::default();
     let mut questions = 0usize;
     let mut rounds = 0usize;
+    let mut oplog = crate::oplog::OpLog::new(threshold, true);
+    // member of the most recent answered question: MSPs confirmed by the
+    // final monitor sweep are logged under it, keeping every tick's ops
+    // single-member (the canonical merge order then matches recording
+    // order exactly).
+    let mut last_member = MemberId(0);
     let mut newly_significant: Vec<NodeId> = Vec::new();
     let mut global_decisions = 0usize;
 
@@ -322,6 +328,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                             &mut questions,
                             &mut events,
                             &mut newly_significant,
+                            &mut oplog,
                             tele,
                         );
                         if asked {
@@ -351,6 +358,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                         &mut questions,
                         &mut events,
                         &mut newly_significant,
+                        &mut oplog,
                         tele,
                     );
                 }
@@ -358,6 +366,8 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                     // PANIC-OK: per_member was sized to members.len().
                     per_member[mi] += 1;
                     asked_this_round += 1;
+                    // PANIC-OK: `mi` is in bounds, as above.
+                    last_member = members[mi].id;
                     if width > 1 {
                         tele.count(
                             if redundant {
@@ -392,7 +402,13 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
                     // MSP entailment can only change when a global
                     // classification changed
                     if had_transition {
+                        let known = msp_ids.len();
                         monitor.update(dag, &mut global, questions, &mut events, &mut msp_ids);
+                        // PANIC-OK: `known` was msp_ids.len() before the update; the
+                        // monitor only appends, so the range is in bounds.
+                        // PANIC-OK: `known` was msp_ids.len() before the update; the monitor
+                        // only appends, so the range is in bounds.
+                        oplog.record_msps(questions, last_member, dag, &msp_ids[known..]);
                         // TOP k early termination (Section 8 extension)
                         if let Some(k) = dag.query().top_k {
                             if !dag.query().diverse {
@@ -443,7 +459,12 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
     let complete =
         crate::vertical::find_minimal_unclassified(dag, &mut global, &cfg.pool, &HashSet::new())
             .is_none();
+    let known = msp_ids.len();
     monitor.update(dag, &mut global, questions, &mut events, &mut msp_ids);
+    // PANIC-OK: `known` was msp_ids.len() before the update; the monitor
+    // only appends, so the range is in bounds.
+    oplog.record_msps(questions, last_member, dag, &msp_ids[known..]);
+    oplog.set_complete(complete);
     let manifest = {
         // frozen sweep: a gave-up node later classified through another
         // member or by inference is answered, not missing
@@ -510,6 +531,7 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
             nodes_materialized: dag.len(),
             complete,
             manifest,
+            ops: oplog,
         },
         question_stats: stats,
         answers_per_member: per_member,
@@ -751,7 +773,14 @@ fn record_answer<A: Aggregator>(
     questions: usize,
     events: &mut Vec<DiscoveryEvent>,
     newly_significant: &mut Vec<NodeId>,
+    oplog: &mut crate::oplog::OpLog,
 ) {
+    oplog.record(
+        questions,
+        member,
+        node,
+        crate::oplog::OpVerdict::Support { support },
+    );
     let entry = answers.entry(node).or_default();
     entry.push((member, support));
     let verdict = aggregator.verdict(entry, threshold);
@@ -793,6 +822,7 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
     questions: &mut usize,
     events: &mut Vec<DiscoveryEvent>,
     newly_significant: &mut Vec<NodeId>,
+    oplog: &mut crate::oplog::OpLog,
     tele: &telemetry::Telemetry,
 ) -> bool {
     let pattern = dag.node(target).assignment.apply(dag.query());
@@ -844,6 +874,7 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
                 *questions,
                 events,
                 newly_significant,
+                oplog,
             );
             true
         }
@@ -853,7 +884,13 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
             tele.count("engine.questions", 1);
             tele.count("questions.pruning", 1);
             m.answered.insert(target);
-            m.personal.prune_elem(elem);
+            oplog.record(
+                *questions,
+                m.id,
+                NodeId::SENTINEL,
+                crate::oplog::OpVerdict::NoAnswer,
+            );
+            m.personal.prune_elem(dag, elem);
             // The click answers *every* assignment involving the element
             // (or a specialization) at once for this member — feed those
             // implicit 0-answers to the aggregator for all materialized
@@ -904,6 +941,7 @@ fn ask_concrete<C: CrowdSource, A: Aggregator>(
                         *questions,
                         events,
                         newly_significant,
+                        oplog,
                     );
                 }
             }
@@ -942,6 +980,7 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
     questions: &mut usize,
     events: &mut Vec<DiscoveryEvent>,
     newly_significant: &mut Vec<NodeId>,
+    oplog: &mut crate::oplog::OpLog,
     tele: &telemetry::Telemetry,
 ) -> bool {
     let q = Question::Specialization {
@@ -995,6 +1034,7 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
                 *questions,
                 events,
                 newly_significant,
+                oplog,
             );
             true
         }
@@ -1019,6 +1059,7 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
                     *questions,
                     events,
                     newly_significant,
+                    oplog,
                 );
             }
             true
@@ -1028,7 +1069,13 @@ fn ask_specialization<C: CrowdSource, A: Aggregator>(
             stats.pruning += 1;
             tele.count("engine.questions", 1);
             tele.count("questions.pruning", 1);
-            m.personal.prune_elem(elem);
+            oplog.record(
+                *questions,
+                m.id,
+                NodeId::SENTINEL,
+                crate::oplog::OpVerdict::NoAnswer,
+            );
+            m.personal.prune_elem(dag, elem);
             true
         }
         Answer::Unavailable => {

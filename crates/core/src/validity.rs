@@ -16,6 +16,7 @@ use ontology::Vocabulary;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Static information about one slot of the assignment DAG.
 #[derive(Debug, Clone)]
@@ -73,6 +74,11 @@ pub struct ValidityIndex {
     /// Epoch-stamped scratch for the grouped cover masks (reused across
     /// `admits` calls; node expansion calls `admits` in its inner loop).
     group_scratch: RefCell<GroupScratch>,
+    /// Memoized result of [`Self::valid_base_assignments`]. Both the live
+    /// run's discovery-curve tracker and op-log replay build a
+    /// `ValidTracker` over the same DAG, so the second construction reuses
+    /// the first enumeration instead of re-sorting the tuple set.
+    base_memo: RefCell<Option<Arc<Vec<Assignment>>>>,
 }
 
 /// Tuple-index → rest-projection group id for one multiplicity column.
@@ -170,6 +176,7 @@ impl ValidityIndex {
             cover_words: RefCell::new(Vec::new()),
             mult_groups: RefCell::new(HashMap::new()),
             group_scratch: RefCell::new(GroupScratch::default()),
+            base_memo: RefCell::new(None),
         }
     }
 
@@ -202,7 +209,20 @@ impl ValidityIndex {
     /// canonical order — used by the discovery-curve tracker. Returns an
     /// empty list when the query has free slots (the valid set is then the
     /// whole vocabulary and per-assignment tracking is meaningless).
-    pub fn valid_base_assignments(&self, vocab: &Vocabulary) -> Vec<Assignment> {
+    ///
+    /// Memoized: the enumeration runs once per index; later calls (op-log
+    /// replay building a second `ValidTracker` over the same DAG) share
+    /// the same `Arc`.
+    pub fn valid_base_assignments(&self, vocab: &Vocabulary) -> Arc<Vec<Assignment>> {
+        if let Some(memo) = self.base_memo.borrow().as_ref() {
+            return Arc::clone(memo);
+        }
+        let built = Arc::new(self.build_base_assignments(vocab));
+        *self.base_memo.borrow_mut() = Some(Arc::clone(&built));
+        built
+    }
+
+    fn build_base_assignments(&self, vocab: &Vocabulary) -> Vec<Assignment> {
         if self.slots.iter().any(|s| s.free) {
             return Vec::new();
         }

@@ -16,6 +16,7 @@ use crate::assignment::Assignment;
 use crate::classify::{Class, Classifier};
 use crate::dag::{Dag, NodeId};
 use crate::manifest::{ask_with_retry, PartialManifest};
+use crate::oplog::OpVerdict;
 use crowd::{Answer, CrowdPolicy, CrowdSource, MemberId, Question};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -146,6 +147,10 @@ pub struct MiningOutcome {
     /// Degradation report: timeouts, retries, and the patterns the run
     /// gave up on that are still unclassified. Empty on fault-free runs.
     pub manifest: PartialManifest,
+    /// The run's answer-operation log: every counted interaction as a
+    /// replayable delta. Replaying any permutation of it reproduces this
+    /// outcome's digest-bearing fields (see [`crate::oplog`]).
+    pub ops: crate::oplog::OpLog,
 }
 
 /// Tracks how many *valid base* assignments are classified after each
@@ -167,7 +172,7 @@ pub struct MiningOutcome {
 /// The hit conditions are unchanged from the original scan, so the
 /// classified set (and the Figure-4d curve) is bit-identical.
 pub(crate) struct ValidTracker {
-    assignments: Vec<Assignment>,
+    assignments: std::sync::Arc<Vec<Assignment>>,
     classified: Vec<bool>,
     pub total_classified: usize,
     /// Per-base value bits, one per non-empty slot (bases are singleton
@@ -441,6 +446,7 @@ pub fn run_vertical<C: CrowdSource>(
         rng: StdRng::seed_from_u64(cfg.seed),
         questions: 0,
         events: Vec::new(),
+        ops: crate::oplog::OpLog::new(threshold, false),
         tracker: ValidTracker::new(dag)
             .with_pool(cfg.pool)
             .with_telemetry(tele.clone()),
@@ -494,6 +500,14 @@ pub fn run_vertical<C: CrowdSource>(
                             valid: dag.node(phi).valid,
                         },
                     });
+                    s.ops.record(
+                        s.questions,
+                        member,
+                        phi,
+                        crate::oplog::OpVerdict::Msp {
+                            valid: dag.node(phi).valid,
+                        },
+                    );
                     if s.cfg.debug_checks {
                         if let Err(e) =
                             crate::invariants::check_msp_maximality(dag, &s.cls, &msp_ids)
@@ -614,6 +628,8 @@ pub(crate) fn finish(
             s.tracker.total_classified as u64,
         );
     }
+    let mut ops = s.ops;
+    ops.set_complete(complete);
     MiningOutcome {
         msps,
         valid_msps,
@@ -626,6 +642,7 @@ pub(crate) fn finish(
         nodes_materialized: dag.len(),
         complete,
         manifest,
+        ops,
     }
 }
 
@@ -658,6 +675,9 @@ pub(crate) struct Session<'c> {
     pub rng: StdRng,
     pub questions: usize,
     pub events: Vec<DiscoveryEvent>,
+    /// Answer-operation log: every counted interaction as a replayable
+    /// delta (see [`crate::oplog`]).
+    pub ops: crate::oplog::OpLog,
     pub tracker: ValidTracker,
     pub available: bool,
     pub threshold: f64,
@@ -754,6 +774,8 @@ impl Session<'_> {
             Answer::Support { support, more_tip } => {
                 self.questions += 1;
                 self.count_question("questions.concrete");
+                self.ops
+                    .record(self.questions, member, id, OpVerdict::Support { support });
                 if let Some(tip) = more_tip {
                     // the *more* button: materialize the extended successor
                     dag.attach_more_tip(id, tip);
@@ -772,7 +794,13 @@ impl Session<'_> {
             Answer::Irrelevant { elem } => {
                 self.questions += 1;
                 self.count_question("questions.pruning");
-                self.cls.prune_elem(elem);
+                self.ops.record(
+                    self.questions,
+                    member,
+                    NodeId::SENTINEL,
+                    OpVerdict::Prune { elem },
+                );
+                self.cls.prune_elem(dag, elem);
                 if self.tracker.prune(dag, elem) {
                     self.record_classification_event();
                 }
@@ -829,6 +857,12 @@ impl Session<'_> {
                 // PANIC-OK: callers pass a non-empty options slice and
                 // the clamp keeps any crowd-supplied choice in bounds.
                 let chosen = options[choice.min(options.len() - 1)];
+                self.ops.record(
+                    self.questions,
+                    member,
+                    chosen,
+                    OpVerdict::Support { support },
+                );
                 let sig = support >= self.threshold;
                 if sig {
                     self.cls.mark_significant(dag, chosen);
@@ -847,6 +881,14 @@ impl Session<'_> {
             Answer::NoneOfThese => {
                 self.questions += 1;
                 self.count_question("questions.none_of_these");
+                self.ops.record(
+                    self.questions,
+                    member,
+                    NodeId::SENTINEL,
+                    OpVerdict::NoneOfThese {
+                        options: options.to_vec(),
+                    },
+                );
                 let mut changed = false;
                 for &o in options {
                     self.cls.mark_insignificant(dag, o);
@@ -860,7 +902,13 @@ impl Session<'_> {
             Answer::Irrelevant { elem } => {
                 self.questions += 1;
                 self.count_question("questions.pruning");
-                self.cls.prune_elem(elem);
+                self.ops.record(
+                    self.questions,
+                    member,
+                    NodeId::SENTINEL,
+                    OpVerdict::Prune { elem },
+                );
+                self.cls.prune_elem(dag, elem);
                 if self.tracker.prune(dag, elem) {
                     self.record_classification_event();
                 }

@@ -16,6 +16,9 @@
 //!   budget checks, and bit-identical-replay verification.
 //! * [`shrink`] — ddmin-style minimization of failing schedules to a
 //!   1-minimal, replayable counterexample.
+//! * [`permute`] — op-log permutation checking: deterministic shuffles
+//!   and the digest folds behind the golden-digest permutation oracle
+//!   (`tests/oplog_permutation.rs`).
 
 #![forbid(unsafe_code)]
 #![deny(unused_must_use)]
@@ -24,6 +27,7 @@
 pub mod clock;
 pub mod faulty;
 pub mod harness;
+pub mod permute;
 pub mod schedule;
 pub mod shrink;
 
@@ -33,5 +37,6 @@ pub use harness::{
     record_seed_trace, run_corpus, run_seed, run_with_schedule, shrink_failure, SimConfig,
     SimReport,
 };
+pub use permute::{domain_replay_digest, fig5_fold, permutation_count, shuffled};
 pub use schedule::{FaultEvent, FaultKind, Schedule};
 pub use shrink::shrink as shrink_schedule;

@@ -137,7 +137,7 @@ proptest! {
                 }
                 2 => {
                     let e = elems[(op >> 2) as usize % elems.len()];
-                    cls.prune_elem(e);
+                    cls.prune_elem(&dag, e);
                     reference.prune_elem(e);
                 }
                 _ => {

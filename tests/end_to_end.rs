@@ -28,12 +28,13 @@ fn travel_domain_end_to_end() {
         ..Default::default()
     };
     let ans = engine
-        .execute(
-            &domain.query,
-            &mut SimulatedCrowd::new(ont.vocab(), members),
+        .run(
+            &QueryRequest::new(&domain.query).with_mining(cfg.clone()),
+            CrowdBinding::single(&mut SimulatedCrowd::new(ont.vocab(), members)),
             &FixedSampleAggregator { sample_size: 5 },
-            &cfg,
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     // the strongly planted habit must surface
     assert!(
@@ -77,15 +78,16 @@ fn class_level_domains_have_only_valid_msps() {
         );
         let engine = Oassis::new(ont);
         let ans = engine
-            .execute(
-                &domain.query,
-                &mut SimulatedCrowd::new(v, members),
-                &FixedSampleAggregator { sample_size: 5 },
-                &MiningConfig {
+            .run(
+                &QueryRequest::new(&domain.query).with_mining(MiningConfig {
                     threshold: Some(0.25),
                     ..Default::default()
-                },
+                }),
+                CrowdBinding::single(&mut SimulatedCrowd::new(v, members)),
+                &FixedSampleAggregator { sample_size: 5 },
             )
+            .unwrap()
+            .into_patterns()
             .unwrap();
         let m = &ans.outcome.mining;
         assert_eq!(
@@ -116,15 +118,16 @@ fn crowd_exhaustion_reports_incomplete() {
     );
     let engine = Oassis::new(ont);
     let ans = engine
-        .execute(
-            &domain.query,
-            &mut SimulatedCrowd::new(ont.vocab(), members),
-            &FixedSampleAggregator { sample_size: 5 },
-            &MiningConfig {
+        .run(
+            &QueryRequest::new(&domain.query).with_mining(MiningConfig {
                 threshold: Some(0.2),
                 ..Default::default()
-            },
+            }),
+            CrowdBinding::single(&mut SimulatedCrowd::new(ont.vocab(), members)),
+            &FixedSampleAggregator { sample_size: 5 },
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     assert!(!ans.outcome.mining.complete);
     assert!(ans.outcome.mining.questions <= 18);
@@ -168,25 +171,28 @@ fn spammers_change_results_unless_filtered() {
         sample_size: 5,
         trust,
     };
+    let request = QueryRequest::new(&domain.query).with_mining(cfg.clone());
     let filtered = engine
-        .execute(
-            &domain.query,
-            &mut SimulatedCrowd::new(v, members.clone()),
+        .run(
+            &request,
+            CrowdBinding::single(&mut SimulatedCrowd::new(v, members.clone())),
             &weighted,
-            &cfg,
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     // unweighted: spam noise inflates/deflates the answer set
     for m in members.iter_mut() {
         m.reset_session();
     }
     let unfiltered = engine
-        .execute(
-            &domain.query,
-            &mut SimulatedCrowd::new(v, members),
+        .run(
+            &request,
+            CrowdBinding::single(&mut SimulatedCrowd::new(v, members)),
             &FixedSampleAggregator { sample_size: 5 },
-            &cfg,
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     assert!(
         filtered.answers.iter().any(|a| a.contains("RemedyKind3")),
@@ -224,14 +230,13 @@ fn cache_snapshot_survives_serialization_between_runs() {
         let crowd = SimulatedCrowd::new(v, members.clone());
         let mut caching = oassis::core::CachingCrowd::new(crowd, &mut cache);
         engine
-            .execute(
-                &domain.query,
-                &mut caching,
-                &FixedSampleAggregator { sample_size: 5 },
-                &MiningConfig {
+            .run(
+                &QueryRequest::new(&domain.query).with_mining(MiningConfig {
                     threshold: Some(0.2),
                     ..Default::default()
-                },
+                }),
+                CrowdBinding::single(&mut caching),
+                &FixedSampleAggregator { sample_size: 5 },
             )
             .unwrap();
     }
@@ -242,15 +247,16 @@ fn cache_snapshot_survives_serialization_between_runs() {
     let crowd = SimulatedCrowd::new(v, members);
     let mut caching = oassis::core::CachingCrowd::new(crowd, &mut restored);
     let ans = engine
-        .execute(
-            &domain.query,
-            &mut caching,
-            &FixedSampleAggregator { sample_size: 5 },
-            &MiningConfig {
+        .run(
+            &QueryRequest::new(&domain.query).with_mining(MiningConfig {
                 threshold: Some(0.4),
                 ..Default::default()
-            },
+            }),
+            CrowdBinding::single(&mut caching),
+            &FixedSampleAggregator { sample_size: 5 },
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     assert!(caching.fresh_questions() < caching.total_questions());
     assert!(ans.outcome.mining.questions > 0);

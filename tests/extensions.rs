@@ -34,19 +34,26 @@ fn top_k_parses_and_limits_answers() {
     let top_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS TOP 1");
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
     let top = engine
-        .execute(&top_query, &mut crowd, &agg, &MiningConfig::default())
+        .run(
+            &QueryRequest::new(&top_query),
+            CrowdBinding::single(&mut crowd),
+            &agg,
+        )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     assert_eq!(top.answers.len(), 1);
 
     // and it saves questions against the full run
     let mut crowd_full = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
     let full = engine
-        .execute(
-            figure1::SIMPLE_QUERY,
-            &mut crowd_full,
+        .run(
+            &QueryRequest::new(figure1::SIMPLE_QUERY),
+            CrowdBinding::single(&mut crowd_full),
             &agg,
-            &MiningConfig::default(),
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     assert!(
         top.outcome.mining.questions < full.outcome.mining.questions,
@@ -67,7 +74,13 @@ fn top_k_diverse_spreads_answers() {
     let q = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS TOP 2 DIVERSE");
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
     let ans = engine
-        .execute(&q, &mut crowd, &agg, &MiningConfig::default())
+        .run(
+            &QueryRequest::new(&q),
+            CrowdBinding::single(&mut crowd),
+            &agg,
+        )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     assert_eq!(ans.answers.len(), 2);
     let joined = ans.answers.join(" | ");
@@ -100,7 +113,16 @@ WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
         panel_size: 1,
         ..Default::default()
     };
-    let ans = engine.execute_rules(src, &mut crowd, &cfg).unwrap();
+    let agg = FixedSampleAggregator { sample_size: 1 };
+    let ans = engine
+        .run(
+            &QueryRequest::new(src).with_rules(cfg.clone()),
+            CrowdBinding::single(&mut crowd),
+            &agg,
+        )
+        .unwrap()
+        .into_rules()
+        .unwrap();
     assert!(!ans.answers.is_empty());
     assert!(
         ans.answers
@@ -111,12 +133,18 @@ WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
         "{:#?}",
         ans.answers
     );
-    // execute() refuses rule queries
-    let agg = FixedSampleAggregator { sample_size: 1 };
+    // run() dispatches on the IMPLYING clause — the same source through a
+    // plain request still comes back as a rule outcome, never a pattern one
     let mut crowd2 = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 2)]);
-    assert!(engine
-        .execute(src, &mut crowd2, &agg, &MiningConfig::default())
-        .is_err());
+    let outcome = engine
+        .run(
+            &QueryRequest::new(src).with_rules(cfg),
+            CrowdBinding::single(&mut crowd2),
+            &agg,
+        )
+        .unwrap();
+    assert!(outcome.as_patterns().is_none());
+    assert!(outcome.as_rules().is_some());
 }
 
 #[test]
@@ -183,7 +211,13 @@ fn asking_clause_restricts_the_crowd() {
 
     let mut crowd = SimulatedCrowd::new(v, members.clone());
     let ans = engine
-        .execute(&asking_query, &mut crowd, &agg, &MiningConfig::default())
+        .run(
+            &QueryRequest::new(&asking_query),
+            CrowdBinding::single(&mut crowd),
+            &agg,
+        )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     assert!(
         ans.answers.iter().any(|a| a == "Biking doAt Central Park"),
@@ -204,12 +238,13 @@ fn asking_clause_restricts_the_crowd() {
     let mut crowd_all = SimulatedCrowd::new(v, members);
     let agg4 = FixedSampleAggregator { sample_size: 4 };
     let all_ans = engine
-        .execute(
-            figure1::SIMPLE_QUERY,
-            &mut crowd_all,
+        .run(
+            &QueryRequest::new(figure1::SIMPLE_QUERY),
+            CrowdBinding::single(&mut crowd_all),
             &agg4,
-            &MiningConfig::default(),
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     assert!(
         !all_ans

@@ -25,15 +25,16 @@ fn everyone_leaving_immediately_yields_empty_but_sane_output() {
     );
     let engine = Oassis::new(&ont);
     let ans = engine
-        .execute(
-            figure1::SIMPLE_QUERY,
-            &mut SimulatedCrowd::new(ont.vocab(), members),
-            &FixedSampleAggregator { sample_size: 5 },
-            &MiningConfig {
+        .run(
+            &QueryRequest::new(figure1::SIMPLE_QUERY).with_mining(MiningConfig {
                 threshold: Some(0.2),
                 ..Default::default()
-            },
+            }),
+            CrowdBinding::single(&mut SimulatedCrowd::new(ont.vocab(), members)),
+            &FixedSampleAggregator { sample_size: 5 },
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     assert_eq!(ans.outcome.mining.questions, 0);
     assert!(ans.answers.is_empty());
@@ -53,15 +54,16 @@ fn quorum_larger_than_crowd_never_decides() {
     );
     let engine = Oassis::new(&ont);
     let ans = engine
-        .execute(
-            figure1::SIMPLE_QUERY,
-            &mut SimulatedCrowd::new(ont.vocab(), members),
-            &FixedSampleAggregator { sample_size: 10 }, // unreachable quorum
-            &MiningConfig {
+        .run(
+            &QueryRequest::new(figure1::SIMPLE_QUERY).with_mining(MiningConfig {
                 threshold: Some(0.2),
                 ..Default::default()
-            },
+            }),
+            CrowdBinding::single(&mut SimulatedCrowd::new(ont.vocab(), members)),
+            &FixedSampleAggregator { sample_size: 10 }, // unreachable quorum
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     assert!(!ans.outcome.mining.complete);
     assert!(ans.answers.is_empty());
@@ -89,16 +91,17 @@ fn all_spammers_produce_noise_but_never_panic() {
     }
     let engine = Oassis::new(&ont);
     let ans = engine
-        .execute(
-            figure1::SIMPLE_QUERY,
-            &mut SimulatedCrowd::new(ont.vocab(), members),
-            &FixedSampleAggregator { sample_size: 5 },
-            &MiningConfig {
+        .run(
+            &QueryRequest::new(figure1::SIMPLE_QUERY).with_mining(MiningConfig {
                 threshold: Some(0.2),
                 specialization_ratio: 0.3,
                 ..Default::default()
-            },
+            }),
+            CrowdBinding::single(&mut SimulatedCrowd::new(ont.vocab(), members)),
+            &FixedSampleAggregator { sample_size: 5 },
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     // spam produces *some* classification; results are garbage but valid
     assert!(ans.outcome.mining.questions > 0);
@@ -121,28 +124,31 @@ fn tiny_question_budget_is_respected_end_to_end() {
     );
     let engine = Oassis::new(&ont);
     for budget in [0usize, 1, 3, 7] {
-        let ans = engine
-            .execute(
-                figure1::SIMPLE_QUERY,
-                &mut SimulatedCrowd::new(
-                    ont.vocab(),
-                    generate(
-                        &profiles(&ont),
-                        &PopulationConfig {
-                            members: 10,
-                            seed: 4,
-                            ..Default::default()
-                        },
-                    ),
+        let result = engine.run(
+            &QueryRequest::new(figure1::SIMPLE_QUERY).with_mining(MiningConfig {
+                threshold: Some(0.2),
+                max_questions: Some(budget),
+                ..Default::default()
+            }),
+            CrowdBinding::single(&mut SimulatedCrowd::new(
+                ont.vocab(),
+                generate(
+                    &profiles(&ont),
+                    &PopulationConfig {
+                        members: 10,
+                        seed: 4,
+                        ..Default::default()
+                    },
                 ),
-                &FixedSampleAggregator { sample_size: 5 },
-                &MiningConfig {
-                    threshold: Some(0.2),
-                    max_questions: Some(budget),
-                    ..Default::default()
-                },
-            )
-            .unwrap();
+            )),
+            &FixedSampleAggregator { sample_size: 5 },
+        );
+        if budget == 0 {
+            // a zero budget is rejected up front by run's validation
+            assert!(result.is_err(), "budget 0 must be rejected");
+            continue;
+        }
+        let ans = result.unwrap().into_patterns().unwrap();
         assert!(ans.outcome.mining.questions <= budget, "budget {budget}");
     }
     let _ = members;
@@ -164,15 +170,16 @@ fn semantic_match_mode_mines_end_to_end() {
     );
     let engine = Oassis::new(&ont).with_match_mode(MatchMode::Semantic);
     let ans = engine
-        .execute(
-            figure1::SIMPLE_QUERY,
-            &mut SimulatedCrowd::new(ont.vocab(), members),
-            &FixedSampleAggregator { sample_size: 5 },
-            &MiningConfig {
+        .run(
+            &QueryRequest::new(figure1::SIMPLE_QUERY).with_mining(MiningConfig {
                 threshold: Some(0.2),
                 ..Default::default()
-            },
+            }),
+            CrowdBinding::single(&mut SimulatedCrowd::new(ont.vocab(), members)),
+            &FixedSampleAggregator { sample_size: 5 },
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     assert!(ans.outcome.mining.complete);
     assert!(
@@ -203,21 +210,24 @@ fn early_decision_aggregator_agrees_with_fixed_sample() {
         threshold: Some(0.2),
         ..Default::default()
     };
+    let request = QueryRequest::new(figure1::SIMPLE_QUERY).with_mining(cfg.clone());
     let fixed = engine
-        .execute(
-            figure1::SIMPLE_QUERY,
-            &mut SimulatedCrowd::new(ont.vocab(), mk_members()),
+        .run(
+            &request,
+            CrowdBinding::single(&mut SimulatedCrowd::new(ont.vocab(), mk_members())),
             &FixedSampleAggregator { sample_size: 5 },
-            &cfg,
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     let early = engine
-        .execute(
-            figure1::SIMPLE_QUERY,
-            &mut SimulatedCrowd::new(ont.vocab(), mk_members()),
+        .run(
+            &request,
+            CrowdBinding::single(&mut SimulatedCrowd::new(ont.vocab(), mk_members())),
             &EarlyDecisionAggregator { sample_size: 5 },
-            &cfg,
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     // early decision may classify from fewer answers, never more
     assert!(early.outcome.mining.questions <= fixed.outcome.mining.questions);

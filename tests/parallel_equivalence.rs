@@ -13,7 +13,8 @@
 use bench::{bind_domain, digest_domain_run, run_domain_at_pool};
 use oassis_core::synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle};
 use oassis_core::{
-    run_multi, Dag, FixedSampleAggregator, MiningConfig, MultiOutcome, Oassis, SharedCrowdCache,
+    run_multi, CrowdBinding, Dag, FixedSampleAggregator, MiningConfig, MultiOutcome, Oassis,
+    QueryRequest, SharedCrowdCache,
 };
 use oassis_ql::{bind, evaluate_where, parse, BoundQuery, MatchMode};
 use ontology::domains::{travel, DomainScale};
@@ -178,13 +179,13 @@ fn concurrent_queries_match_sequential_execution_at_every_pool_width() {
     let run_at = |width: usize| -> Vec<(Vec<String>, u64)> {
         let engine = Oassis::new(ont).with_pool(minipool::Pool::new(width));
         let cache = SharedCrowdCache::default();
-        let answers = engine.execute_concurrent(
-            &query_refs,
-            |_| bench::pure_domain_crowd(&domain, ont.vocab(), 40, 8, 7),
-            &agg,
-            &cfg,
-            &cache,
-        );
+        let request = QueryRequest::batch(&query_refs).with_mining(cfg.clone());
+        let make = |_| bench::pure_domain_crowd(&domain, ont.vocab(), 40, 8, 7);
+        let answers = engine
+            .run(&request, CrowdBinding::per_query(make, &cache), &agg)
+            .unwrap()
+            .into_batch()
+            .unwrap();
         answers
             .into_iter()
             .map(|a| {

@@ -1,7 +1,7 @@
 //! Cross-crate test: the full multi-user mining engine running over
 //! concurrent crowd sessions (crowd::parallel), agreement with the
-//! sequential crowd, and graceful degradation of the engine entry points
-//! (`execute`, `execute_concurrent`) under simulated fault schedules.
+//! sequential crowd, and graceful degradation of the single `run` entry
+//! point under simulated fault schedules.
 
 use oassis::crowd::with_parallel_crowd;
 use oassis::ontology::domains::figure1;
@@ -34,13 +34,18 @@ fn engine_results_identical_on_parallel_and_sequential_crowds() {
     let cfg = MiningConfig::default();
 
     let mut seq = SimulatedCrowd::new(ont.vocab(), members(&ont));
+    let request = QueryRequest::new(figure1::SIMPLE_QUERY).with_mining(cfg.clone());
     let seq_ans = engine
-        .execute(figure1::SIMPLE_QUERY, &mut seq, &agg, &cfg)
+        .run(&request, CrowdBinding::single(&mut seq), &agg)
+        .unwrap()
+        .into_patterns()
         .unwrap();
 
     let (par_ans, returned) = with_parallel_crowd(ont.vocab(), members(&ont), |crowd| {
         engine
-            .execute(figure1::SIMPLE_QUERY, crowd, &agg, &cfg)
+            .run(&request, CrowdBinding::single(crowd), &agg)
+            .unwrap()
+            .into_patterns()
             .unwrap()
     });
 
@@ -69,10 +74,13 @@ fn execute_degrades_gracefully_under_fault_schedules() {
     let agg = FixedSampleAggregator { sample_size: 4 };
     let cfg = MiningConfig::default();
 
+    let request = QueryRequest::new(figure1::SIMPLE_QUERY).with_mining(cfg.clone());
     let fault_free = {
         let mut crowd = SimulatedCrowd::new(ont.vocab(), members(&ont));
         let mut ans = engine
-            .execute(figure1::SIMPLE_QUERY, &mut crowd, &agg, &cfg)
+            .run(&request, CrowdBinding::single(&mut crowd), &agg)
+            .unwrap()
+            .into_patterns()
             .unwrap();
         ans.answers.sort();
         ans
@@ -85,7 +93,9 @@ fn execute_degrades_gracefully_under_fault_schedules() {
         4,
     );
     let mut ans = engine
-        .execute(figure1::SIMPLE_QUERY, &mut faulty, &agg, &cfg)
+        .run(&request, CrowdBinding::single(&mut faulty), &agg)
+        .unwrap()
+        .into_patterns()
         .unwrap();
     ans.answers.sort();
 
@@ -126,20 +136,19 @@ fn execute_concurrent_is_width_independent_under_fault_schedules() {
             .with_policy(oassis::crowd::CrowdPolicy::default())
             .with_pool(minipool::Pool::new(width));
         let cache = oassis::core::SharedCrowdCache::default();
-        engine
-            .execute_concurrent(
-                &query_refs,
-                |_| {
-                    FaultyCrowd::new(
-                        SimulatedCrowd::new(ont.vocab(), members(&ont)),
-                        &schedule,
-                        4,
-                    )
-                },
-                &agg,
-                &cfg,
-                &cache,
+        let request = QueryRequest::batch(&query_refs).with_mining(cfg.clone());
+        let make = |_| {
+            FaultyCrowd::new(
+                SimulatedCrowd::new(ont.vocab(), members(&ont)),
+                &schedule,
+                4,
             )
+        };
+        engine
+            .run(&request, CrowdBinding::per_query(make, &cache), &agg)
+            .unwrap()
+            .into_batch()
+            .unwrap()
             .into_iter()
             .map(|r| {
                 let a = r.expect("query failed under faults");

@@ -22,12 +22,13 @@ fn full_figure_2_query_with_restaurants() {
     let mut crowd = SimulatedCrowd::new(v, vec![member]);
     let engine = Oassis::new(&ont);
     let answer = engine
-        .execute(
-            figure1::SAMPLE_QUERY,
-            &mut crowd,
+        .run(
+            &QueryRequest::new(figure1::SAMPLE_QUERY),
+            CrowdBinding::single(&mut crowd),
             &FixedSampleAggregator { sample_size: 1 },
-            &MiningConfig::default(),
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     assert!(answer.outcome.mining.complete);
 
@@ -67,12 +68,13 @@ fn example_3_1_significance_decisions() {
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 0)]);
     let all_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS ALL");
     let answer = engine
-        .execute(
-            &all_query,
-            &mut crowd,
+        .run(
+            &QueryRequest::new(&all_query),
+            CrowdBinding::single(&mut crowd),
             &FixedSampleAggregator { sample_size: 1 },
-            &MiningConfig::default(),
         )
+        .unwrap()
+        .into_patterns()
         .unwrap();
     assert!(answer
         .answers
@@ -108,12 +110,13 @@ fn threshold_sweep_monotonicity_of_significant_sets() {
         };
         let all_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS ALL");
         engine
-            .execute(
-                &all_query,
-                &mut crowd,
+            .run(
+                &QueryRequest::new(&all_query).with_mining(cfg),
+                CrowdBinding::single(&mut crowd),
                 &FixedSampleAggregator { sample_size: 1 },
-                &cfg,
             )
+            .unwrap()
+            .into_patterns()
             .unwrap()
     };
     let mut prev: Option<std::collections::HashSet<String>> = None;
@@ -144,12 +147,13 @@ fn questions_scale_with_threshold_like_figure_4a() {
             ..Default::default()
         };
         let ans = engine
-            .execute(
-                figure1::SIMPLE_QUERY,
-                &mut crowd,
+            .run(
+                &QueryRequest::new(figure1::SIMPLE_QUERY).with_mining(cfg),
+                CrowdBinding::single(&mut crowd),
                 &FixedSampleAggregator { sample_size: 1 },
-                &cfg,
             )
+            .unwrap()
+            .into_patterns()
             .unwrap();
         assert!(ans.outcome.mining.complete, "Θ={theta} incomplete");
         assert!(ans.outcome.mining.questions > 0);
