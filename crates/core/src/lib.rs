@@ -21,6 +21,8 @@
 //!   algorithms of Section 6.4, and the exhaustive-baseline question count.
 //! * [`cache`] — `CrowdCache`: answer caching and threshold re-use
 //!   (Section 6.3).
+//! * [`cluster`] — sharded deployment: member partitions, wire ops and
+//!   the coordinator merge (with `crates/simtest`'s simulated network).
 //! * [`synth`] — synthetic DAGs, planted MSPs and ground-truth oracles
 //!   (Section 6.4).
 //! * [`templates`] — natural-language question rendering (Section 6.2).
@@ -41,6 +43,7 @@ pub mod assignment;
 pub mod baselines;
 pub mod cache;
 pub mod classify;
+pub mod cluster;
 pub mod dag;
 pub mod diversify;
 pub mod engine;
@@ -62,6 +65,9 @@ pub use assignment::{Assignment, Slot};
 pub use baselines::{baseline_question_count, run_horizontal, run_naive};
 pub use cache::{CachingCrowd, CrowdCache, SharedCachingCrowd, SharedCrowdCache};
 pub use classify::{Class, Classifier};
+pub use cluster::{
+    to_wire, Coordinator, SemanticOutcome, ShardCrowd, ShardMap, WireOp, WireVerdict,
+};
 pub use dag::{Dag, GenStats, Node, NodeId};
 pub use diversify::{diversify, semantic_distance};
 pub use engine::{
@@ -70,7 +76,7 @@ pub use engine::{
 };
 pub use manifest::PartialManifest;
 pub use multi::{run_multi, MultiOutcome, QuestionStats};
-pub use oplog::{AnswerOp, OpLog, OpVerdict, ReplayOutcome};
+pub use oplog::{AnswerOp, OpLog, OpVerdict, ReplayOutcome, Watermark};
 pub use rulemine::{run_rules, MinedRule, RuleMiningConfig, RuleOutcome};
 pub use synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle, SyntheticDomain};
 pub use templates::QuestionTemplates;

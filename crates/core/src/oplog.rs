@@ -114,6 +114,29 @@ pub enum OpVerdict {
     },
 }
 
+/// A position in one coordinator's op log: the `(tick, seq)` stamp of
+/// the last op a consumer has durably applied. The cluster's merge
+/// protocol acks batches by watermark, and a restarted node re-requests
+/// its peer's position to resume sending from exactly the right op —
+/// nothing is lost, and re-delivery below the watermark is idempotent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Watermark {
+    /// Tick of the last applied op (0 = nothing applied).
+    pub tick: u32,
+    /// Intra-tick sequence of the last applied op.
+    pub seq: u32,
+}
+
+impl Watermark {
+    /// The watermark of an op (the position *after* applying it).
+    pub fn of(op: &AnswerOp) -> Watermark {
+        Watermark {
+            tick: op.tick,
+            seq: op.seq,
+        }
+    }
+}
+
 /// One entry of the answer-operation log.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnswerOp {
@@ -217,6 +240,23 @@ impl OpLog {
         &self.ops
     }
 
+    /// The `(tick, seq)` watermark of the last recorded op (the position
+    /// an up-to-date consumer has acked), or the default zero watermark
+    /// for an empty log.
+    pub fn watermark(&self) -> Watermark {
+        self.ops.last().map(Watermark::of).unwrap_or_default()
+    }
+
+    /// The suffix of the log strictly after `from` — what a peer that
+    /// acked `from` still needs. Within one log the recording order is
+    /// the canonical `(tick, seq)` order, so the suffix is contiguous.
+    pub fn ops_after(&self, from: Watermark) -> &[AnswerOp] {
+        let start = self
+            .ops
+            .partition_point(|o| (o.tick, o.seq) <= (from.tick, from.seq));
+        &self.ops[start..]
+    }
+
     /// Number of recorded ops.
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -276,6 +316,45 @@ impl OpLog {
         pool: &minipool::Pool,
         tele: &telemetry::Telemetry,
     ) -> ReplayOutcome {
+        self.replay_impl(dag, aggregator, pool, tele, false)
+    }
+
+    /// The cluster coordinator's merge entry point: replays a log merged
+    /// from several nodes' streams, where the single-log invariants the
+    /// strict replay asserts can fail legitimately:
+    ///
+    /// * the same MSP is discovered independently by every shard, so
+    ///   `Msp` ops arrive duplicated — the first in canonical order wins;
+    /// * under faults a node's `Msp` op can outlive the evidence that
+    ///   justified it (a peer's stream was cut by a partition or a
+    ///   permanent crash), so each `Msp` op is *entailment-checked*
+    ///   against the merged state and silently discarded (counted in
+    ///   [`ReplayOutcome::discarded_msps`]) when the evidence is missing.
+    ///
+    /// Everything else — canonical `(tick, member, seq)` sort, aggregator
+    /// routing, delta application — is identical to [`OpLog::replay`],
+    /// which is what makes the merge commutative: ticks are per-node
+    /// question counters, members belong to exactly one node, and `seq`
+    /// orders within a tick, so the sort is a total order over any union
+    /// of per-node streams.
+    pub fn replay_merged<A: Aggregator>(
+        &self,
+        dag: &Dag<'_>,
+        aggregator: &A,
+        pool: &minipool::Pool,
+        tele: &telemetry::Telemetry,
+    ) -> ReplayOutcome {
+        self.replay_impl(dag, aggregator, pool, tele, true)
+    }
+
+    fn replay_impl<A: Aggregator>(
+        &self,
+        dag: &Dag<'_>,
+        aggregator: &A,
+        pool: &minipool::Pool,
+        tele: &telemetry::Telemetry,
+        merged: bool,
+    ) -> ReplayOutcome {
         let span = tele.span("oplog.replay");
         let tele = span.tele().clone();
         let mut ops = self.ops.clone();
@@ -293,6 +372,7 @@ impl OpLog {
         let mut entries: HashMap<NodeId, Vec<(MemberId, f64)>> = HashMap::new();
         let mut applied: u64 = 0;
         let mut compensated: u64 = 0;
+        let mut discarded_msps: u64 = 0;
         let mut questions: usize = 0;
 
         for op in &ops {
@@ -375,27 +455,49 @@ impl OpLog {
                     tele.count("oplog.applied", 1);
                 }
                 OpVerdict::Msp { valid } => {
-                    // Carried discovery; the re-derived state must still
-                    // entail it: answered below (not Unknown), no child
-                    // significant, and the recorded validity must match.
-                    #[cfg(debug_assertions)]
-                    {
+                    if merged {
+                        // Merged streams: a shard's MSP claim survives
+                        // only if the merged state entails it — evidence
+                        // present (not Unknown), no significant child,
+                        // validity matching the replica — and it is not a
+                        // duplicate of a peer shard's earlier claim.
                         let view = dag.view();
-                        debug_assert_ne!(
-                            cls.class_frozen(&view, op.node),
-                            Class::Unknown,
-                            "MSP op for a node whose cone has no answers"
-                        );
-                        if let Some(children) = dag.children_if_generated(op.node) {
-                            for &c in children {
-                                debug_assert_ne!(
-                                    cls.class_frozen(&view, c),
-                                    Class::Significant,
-                                    "MSP op for a node with a significant child"
-                                );
-                            }
+                        let entailed = cls.class_frozen(&view, op.node) != Class::Unknown
+                            && dag.children_if_generated(op.node).is_none_or(|children| {
+                                children
+                                    .iter()
+                                    .all(|&c| cls.class_frozen(&view, c) != Class::Significant)
+                            })
+                            && *valid == dag.node(op.node).valid;
+                        if !entailed || msp_ids.contains(&op.node) {
+                            discarded_msps += 1;
+                            tele.count("oplog.msp_discarded", 1);
+                            continue;
                         }
-                        debug_assert_eq!(*valid, dag.node(op.node).valid);
+                    } else {
+                        // Carried discovery; the re-derived state must
+                        // still entail it: answered below (not Unknown),
+                        // no child significant, and the recorded validity
+                        // must match.
+                        #[cfg(debug_assertions)]
+                        {
+                            let view = dag.view();
+                            debug_assert_ne!(
+                                cls.class_frozen(&view, op.node),
+                                Class::Unknown,
+                                "MSP op for a node whose cone has no answers"
+                            );
+                            if let Some(children) = dag.children_if_generated(op.node) {
+                                for &c in children {
+                                    debug_assert_ne!(
+                                        cls.class_frozen(&view, c),
+                                        Class::Significant,
+                                        "MSP op for a node with a significant child"
+                                    );
+                                }
+                            }
+                            debug_assert_eq!(*valid, dag.node(op.node).valid);
+                        }
                     }
                     msp_ids.push(op.node);
                     events.push(DiscoveryEvent {
@@ -440,6 +542,7 @@ impl OpLog {
             complete: self.complete,
             applied,
             compensated,
+            discarded_msps,
         }
     }
 }
@@ -541,6 +644,90 @@ mod tests {
     }
 
     #[test]
+    fn watermarks_slice_the_log_into_contiguous_suffixes() {
+        let mut log = OpLog::new(0.5, true);
+        log.record(
+            1,
+            MemberId(0),
+            NodeId(0),
+            OpVerdict::Support { support: 1.0 },
+        );
+        log.record(
+            1,
+            MemberId(0),
+            NodeId(1),
+            OpVerdict::Support { support: 0.0 },
+        );
+        log.record(2, MemberId(1), NodeId(2), OpVerdict::NoAnswer);
+        // zero watermark = the whole log
+        assert_eq!(log.ops_after(Watermark::default()), log.ops());
+        // mid-tick watermark = the suffix strictly after (1, 0)
+        let wm = Watermark { tick: 1, seq: 0 };
+        assert_eq!(log.ops_after(wm).len(), 2);
+        assert_eq!(log.ops_after(wm)[0].node, NodeId(1));
+        // the log's own watermark = nothing left to send
+        assert_eq!(log.watermark(), Watermark { tick: 2, seq: 0 });
+        assert!(log.ops_after(log.watermark()).is_empty());
+        assert_eq!(OpLog::new(0.5, true).watermark(), Watermark::default());
+    }
+
+    #[test]
+    fn merged_replay_dedupes_and_entails_msp_ops() {
+        // Two "shards" over the same world: duplicate the whole log with
+        // shifted member ids, as two nodes that independently mined the
+        // same planted truth would produce.
+        let d = synthetic_domain(80, 5, 1);
+        let q = parse(&d.query).unwrap();
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut full = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        full.materialize_all();
+        let planted = plant_msps(&mut full, 5, true, MspDistribution::Uniform, 3);
+        let patterns: Vec<_> = planted
+            .iter()
+            .map(|&id| full.node(id).assignment.apply(&b))
+            .collect();
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        let mut oracle = PlantedOracle::new(d.ontology.vocab(), patterns, 1, 5);
+        let agg = FixedSampleAggregator { sample_size: 1 };
+        let out = run_multi(&mut dag, &mut oracle, &agg, &MiningConfig::default());
+        let pool = minipool::Pool::sequential();
+        let tele = telemetry::Telemetry::off();
+        let ops = &out.mining.ops;
+        let single = ops.replay(&dag, &agg, &pool, &tele);
+
+        let mut doubled = ops.ops().to_vec();
+        doubled.extend(ops.ops().iter().map(|o| AnswerOp {
+            member: MemberId(o.member.0 + 1),
+            ..o.clone()
+        }));
+        let merged = ops
+            .with_ops(doubled)
+            .replay_merged(&dag, &agg, &pool, &tele);
+        // every duplicated MSP claim collapses to one discovery
+        assert_eq!(merged.msps, single.msps);
+        assert_eq!(merged.valid_msps, single.valid_msps);
+        assert_eq!(merged.total_valid, single.total_valid);
+        assert_eq!(merged.discarded_msps, single.msps.len() as u64);
+
+        // an MSP claim whose evidence never arrived is discarded, not
+        // trusted: keep only the Msp ops and drop all answers
+        let orphans: Vec<AnswerOp> = ops
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.verdict, OpVerdict::Msp { .. }))
+            .cloned()
+            .collect();
+        let n_orphans = orphans.len() as u64;
+        assert!(n_orphans > 0);
+        let starved = ops
+            .with_ops(orphans)
+            .replay_merged(&dag, &agg, &pool, &tele);
+        assert!(starved.msps.is_empty());
+        assert_eq!(starved.discarded_msps, n_orphans);
+    }
+
+    #[test]
     fn revise_ops_are_idempotent_compensations() {
         let ont = figure1::ontology();
         let q = parse(figure1::SIMPLE_QUERY).unwrap();
@@ -611,4 +798,9 @@ pub struct ReplayOutcome {
     pub applied: u64,
     /// Compensating revisions dropped under first-answer-wins.
     pub compensated: u64,
+    /// Merged-mode only: `Msp` ops discarded as duplicates (every shard
+    /// discovers the same MSP) or as unentailed by the merged evidence
+    /// (their justifying stream was cut by a fault). Always 0 for
+    /// [`OpLog::replay`].
+    pub discarded_msps: u64,
 }

@@ -1,0 +1,17 @@
+fn main() {
+    let mut failed = 0;
+    for seed in 0..30u64 {
+        for shards in [1u32, 2, 4, 8] {
+            let r = simtest::run_cluster_seed(seed, shards);
+            if !r.passed() {
+                failed += 1;
+                println!(
+                    "FAIL seed={seed} N={shards}: {:?} under {}",
+                    r.failures,
+                    r.schedule.to_line()
+                );
+            }
+        }
+    }
+    println!("sweep done, {failed} failures");
+}

@@ -1,0 +1,36 @@
+//! Prints the shard-count × fault-class table recorded in
+//! EXPERIMENTS.md: rounds, questions, merge ops, net ticks and wall
+//! clock for seed 0 under one representative schedule per fault class.
+//!
+//! Run with `cargo run --release -p simtest --example cluster_table`.
+
+use simtest::{run_cluster, ClusterConfig, Schedule, ShardMap, CLUSTER_MEMBERS};
+use std::time::Instant;
+
+fn main() {
+    println!("| N | fault class | schedule | rounds | questions | merge ops | net ticks | wall |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for shards in [1u32, 2, 4, 8] {
+        let coord = shards; // coordinator index in partition tokens
+        let classes: [(&str, String); 5] = [
+            ("fault-free", "ok".into()),
+            ("partition", format!("p0|{coord}@2(6)")),
+            ("crash+restart", "k0@3(6)".into()),
+            ("permanent kill", "k0@4".into()),
+            ("member faults", "d0@0,a1@0(6),c1@3,y0@2(9)".into()),
+        ];
+        for (class, line) in classes {
+            let cfg = ClusterConfig::from_seed(0, shards);
+            let map = ShardMap::round_robin(CLUSTER_MEMBERS, shards);
+            let schedule = Schedule::parse(&line).expect("valid schedule line");
+            let t0 = Instant::now();
+            let run = run_cluster(&cfg, &map, &schedule, &telemetry::Telemetry::off())
+                .expect("run must not panic");
+            let wall = t0.elapsed();
+            println!(
+                "| {shards} | {class} | `{line}` | {} | {} | {} | {} | {:.1?} |",
+                run.rounds, run.questions, run.merge_ops, run.net.ticks, wall
+            );
+        }
+    }
+}

@@ -141,12 +141,15 @@ impl<C: CrowdSource> FaultyCrowd<C> {
     }
 
     /// Removes and returns the first due event for `member`, if any.
+    /// Cluster faults (partitions, node crashes) share the schedule but
+    /// target node indices, not members — they are left pending for the
+    /// network scheduler and never fire here.
     fn take_due(&mut self, member: MemberId) -> Option<FaultEvent> {
         let now = self.clock.now();
         let idx = self
             .pending
             .iter()
-            .position(|e| e.member == member.0 && e.at <= now)?;
+            .position(|e| e.member == member.0 && e.at <= now && e.kind.is_member_fault())?;
         Some(self.pending.remove(idx))
     }
 }
@@ -232,7 +235,9 @@ impl<C: CrowdSource> CrowdSource for FaultyCrowd<C> {
                     .push(tick, member, "absent", format!("{q} for={d}"));
                 Answer::NoResponse
             }
-            None => {
+            // cluster faults are filtered out by `take_due`; a crowd ask
+            // proceeds normally even while the network is faulting
+            Some(FaultKind::Partition { .. } | FaultKind::Crash { .. }) | None => {
                 let ans = self.inner.ask(member, question);
                 self.trace.push(
                     tick,

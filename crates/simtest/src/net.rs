@@ -1,0 +1,488 @@
+//! The simulated cluster network: seeded delivery over a star topology.
+//!
+//! Worker nodes `0..N-1` ship their op logs (in wire form) to the
+//! coordinator at index `N`; the coordinator acks its contiguous
+//! received prefix back. Everything nondeterministic in a real network
+//! is a pure function of the seed here, on the same logical clock the
+//! rest of simtest uses:
+//!
+//! * **Latency and reordering** — every message draws a bounded jitter
+//!   from a seeded RNG, so batches from one node can overtake each
+//!   other. The coordinator's contiguous-prefix ingest rejects the
+//!   resulting gaps; periodic retransmission from the acked watermark
+//!   closes them.
+//! * **Partitions** — a [`FaultKind::Partition`] event severs one
+//!   worker↔coordinator link for a bounded window; messages crossing a
+//!   severed link are dropped at send time.
+//! * **Crash/restart** — a [`FaultKind::Crash`] event takes a worker
+//!   down. Its durable op log survives; its volatile send/ack cursors do
+//!   not. On restart it re-syncs with `SyncReq` → `SyncAck{count}` —
+//!   the coordinator's watermark — and resumes sending from there. A
+//!   crash with no restart (`down: None`) freezes the node forever; its
+//!   engine progress stops with it.
+//!
+//! The loop runs to quiescence: every live worker fully acked and the
+//! wire empty (a hard tick cap backstops pathological schedules). The
+//! returned [`NetStats`] says whether every log was fully delivered —
+//! the bit the equivalence oracle uses to decide whether a faulty run
+//! must still merge to the fault-free digest.
+
+use crate::schedule::{FaultKind, Schedule};
+use oassis_core::cluster::{Coordinator, WireOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunables for one simulated network session.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Worker count (the coordinator sits at index `nodes`).
+    pub nodes: u32,
+    /// Seed for delivery jitter (independent of the engine seed).
+    pub seed: u64,
+    /// Base one-way latency in ticks.
+    pub latency: u64,
+    /// Maximum extra seeded latency per message (draws `0..=jitter`).
+    pub jitter: u64,
+    /// Retransmit unacked ops (or an unanswered `SyncReq`) after this
+    /// many ticks of silence.
+    pub resend_every: u64,
+    /// Hard cap on simulated ticks (backstop; quiescence normally ends
+    /// the run much earlier).
+    pub max_ticks: u64,
+}
+
+impl NetConfig {
+    /// Defaults: latency 1, jitter 3 (enough to reorder adjacent
+    /// batches), resend every 4 ticks, 10 000-tick cap.
+    pub fn new(nodes: u32, seed: u64) -> NetConfig {
+        NetConfig {
+            nodes,
+            seed,
+            latency: 1,
+            jitter: 3,
+            resend_every: 4,
+            max_ticks: 10_000,
+        }
+    }
+}
+
+/// What happened on the wire — the observability face of one session.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Ticks until quiescence (or the cap).
+    pub ticks: u64,
+    /// Messages enqueued (including retransmissions and acks).
+    pub msgs_sent: u64,
+    /// Messages dropped by partitions or crashed receivers.
+    pub msgs_dropped: u64,
+    /// Messages delivered.
+    pub msgs_delivered: u64,
+    /// Batch or sync retransmissions after silence.
+    pub retransmits: u64,
+    /// One `(node, resume_from)` entry per completed crash recovery:
+    /// the coordinator watermark the node resumed sending from.
+    pub restarts: Vec<(u32, usize)>,
+    /// Whether the coordinator holds every worker's full log — true iff
+    /// the merge must equal the fault-free one.
+    pub fully_delivered: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Payload {
+    /// Ops `start..start + ops.len()` of the sender's log.
+    Batch { start: usize, ops: Vec<WireOp> },
+    /// Coordinator → worker: contiguous received prefix.
+    Ack { count: usize },
+    /// Restarted worker → coordinator: where should I resume?
+    SyncReq,
+    /// Coordinator → worker: resume from this watermark.
+    SyncAck { count: usize },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Msg {
+    src: u32,
+    dst: u32,
+    deliver_at: u64,
+    /// Tie-breaker: enqueue order. Jitter reorders across seqs; equal
+    /// `deliver_at` delivers in send order — deterministic either way.
+    seq: u64,
+    payload: Payload,
+}
+
+/// Volatile worker state; the durable log lives outside.
+#[derive(Debug)]
+struct NodeState {
+    /// Engine ticks executed so far (pauses while down).
+    progress: u64,
+    /// Ops sent so far (volatile — lost on crash).
+    sent: usize,
+    /// Ops the coordinator acked (volatile — lost on crash).
+    acked: usize,
+    up: bool,
+    /// `Some(t)`: down until tick `t`. `None` while up, or forever down
+    /// after a permanent kill.
+    down_until: Option<u64>,
+    /// After a restart the node must re-learn its watermark before
+    /// sending batches.
+    synced: bool,
+    /// Last tick this node sent anything (drives retransmission).
+    last_send: u64,
+}
+
+/// Runs the dissemination session: each worker's durable `logs[i]`
+/// flows to `coord` under the node-fault `schedule` (member faults are
+/// ignored here — [`Schedule::split_cluster`] routes those to
+/// [`crate::faulty::FaultyCrowd`]).
+pub fn run_net(
+    logs: &[Vec<WireOp>],
+    coord: &mut Coordinator,
+    schedule: &Schedule,
+    cfg: &NetConfig,
+    tele: &telemetry::Telemetry,
+) -> NetStats {
+    assert_eq!(logs.len(), cfg.nodes as usize, "one log per worker");
+    let coord_idx = cfg.nodes;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_0F7E_11E7_C0DE);
+    let mut stats = NetStats::default();
+    let span = tele.span_with("net.session", &format!("nodes={}", cfg.nodes));
+    let tele = span.tele().clone();
+
+    // Node-fault windows, precomputed. Partitions cut one
+    // worker↔coordinator link; a partition naming two workers cuts
+    // nothing (there is no such link in the star).
+    let mut partitions: Vec<(u32, u64, u64)> = Vec::new(); // (worker, from, to)
+    let mut crashes: Vec<(u32, u64, Option<u64>)> = Vec::new(); // (worker, at, up_at)
+    for e in &schedule.events {
+        match e.kind {
+            FaultKind::Partition { peer, dur } => {
+                let worker = if e.member == coord_idx {
+                    Some(peer)
+                } else if peer == coord_idx {
+                    Some(e.member)
+                } else {
+                    None
+                };
+                if let Some(w) = worker {
+                    if w < cfg.nodes {
+                        partitions.push((w, e.at, e.at.saturating_add(dur)));
+                    }
+                }
+            }
+            FaultKind::Crash { down } if e.member < cfg.nodes => {
+                crashes.push((e.member, e.at, down.map(|d| e.at.saturating_add(d))));
+            }
+            _ => {} // member faults belong to FaultyCrowd
+        }
+    }
+    let cut = |worker: u32, at: u64| {
+        partitions
+            .iter()
+            .any(|&(w, from, to)| w == worker && at >= from && at < to)
+    };
+
+    let mut nodes: Vec<NodeState> = (0..cfg.nodes)
+        .map(|_| NodeState {
+            progress: 0,
+            sent: 0,
+            acked: 0,
+            up: true,
+            down_until: None,
+            synced: true,
+            last_send: 0,
+        })
+        .collect();
+    // a node's whole log is "produced" once its engine progress passes
+    // the last op's local tick
+    let produced = |log: &[WireOp], progress: u64| -> usize {
+        log.partition_point(|op| u64::from(op.tick) <= progress)
+    };
+
+    let mut wire: Vec<Msg> = Vec::new();
+    let mut next_seq: u64 = 0;
+    let mut now: u64 = 0;
+    loop {
+        // 1 — fault events due now: crashes wipe volatile state;
+        // restarts come back amnesiac and ask for their watermark.
+        for &(w, at, up_at) in &crashes {
+            if at == now {
+                let n = &mut nodes[w as usize];
+                n.up = false;
+                n.down_until = up_at;
+                n.sent = 0;
+                n.acked = 0;
+                n.synced = false;
+                tele.labeled(&format!("net.node{w}")).mark(
+                    "crash",
+                    if up_at.is_some() {
+                        "restartable"
+                    } else {
+                        "permanent"
+                    },
+                );
+            }
+        }
+        let mut outbox: Vec<(u32, u32, Payload)> = Vec::new();
+        for (i, n) in nodes.iter_mut().enumerate() {
+            if n.down_until == Some(now) {
+                n.up = true;
+                n.down_until = None;
+                n.last_send = now;
+                outbox.push((i as u32, coord_idx, Payload::SyncReq));
+            }
+        }
+
+        // 2 — deliver everything due now, in (deliver_at, seq) order.
+        let mut due: Vec<Msg> = Vec::new();
+        wire.retain(|m| {
+            if m.deliver_at == now {
+                due.push(m.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|m| m.seq);
+        for m in due {
+            if m.dst == coord_idx {
+                match m.payload {
+                    Payload::Batch { start, ops } => {
+                        let count = coord.ingest(m.src, start, &ops);
+                        stats.msgs_delivered += 1;
+                        tele.count("net.batches_in", 1);
+                        outbox.push((coord_idx, m.src, Payload::Ack { count }));
+                    }
+                    Payload::SyncReq => {
+                        stats.msgs_delivered += 1;
+                        let count = coord.received(m.src);
+                        outbox.push((coord_idx, m.src, Payload::SyncAck { count }));
+                    }
+                    _ => unreachable!("workers never send acks"),
+                }
+            } else {
+                let n = &mut nodes[m.dst as usize];
+                if !n.up {
+                    stats.msgs_dropped += 1; // crashed receiver
+                    continue;
+                }
+                stats.msgs_delivered += 1;
+                match m.payload {
+                    Payload::Ack { count } => {
+                        n.acked = n.acked.max(count);
+                        n.sent = n.sent.max(n.acked);
+                    }
+                    Payload::SyncAck { count } => {
+                        if !n.synced {
+                            n.acked = count;
+                            n.sent = count;
+                            n.synced = true;
+                            stats.restarts.push((m.dst, count));
+                            tele.labeled(&format!("net.node{}", m.dst))
+                                .mark("resync", &format!("from={count}"));
+                        }
+                    }
+                    _ => unreachable!("only the coordinator sends batches' acks"),
+                }
+            }
+        }
+
+        // 3 — live engines make progress on their partitions.
+        for n in nodes.iter_mut().filter(|n| n.up) {
+            n.progress += 1;
+        }
+
+        // 4 — send phase: fresh batches, then silence-triggered resends.
+        for i in 0..cfg.nodes {
+            let log = &logs[i as usize];
+            let n = &mut nodes[i as usize];
+            if !n.up {
+                continue;
+            }
+            if !n.synced {
+                // SyncReq (or its answer) may itself be lost to a
+                // partition; re-ask after silence
+                if now.saturating_sub(n.last_send) >= cfg.resend_every {
+                    n.last_send = now;
+                    stats.retransmits += 1;
+                    outbox.push((i, coord_idx, Payload::SyncReq));
+                }
+                continue;
+            }
+            let avail = produced(log, n.progress);
+            if avail > n.sent {
+                outbox.push((
+                    i,
+                    coord_idx,
+                    Payload::Batch {
+                        start: n.sent,
+                        ops: log[n.sent..avail].to_vec(),
+                    },
+                ));
+                n.sent = avail;
+                n.last_send = now;
+            } else if n.acked < n.sent && now.saturating_sub(n.last_send) >= cfg.resend_every {
+                outbox.push((
+                    i,
+                    coord_idx,
+                    Payload::Batch {
+                        start: n.acked,
+                        ops: log[n.acked..n.sent].to_vec(),
+                    },
+                ));
+                stats.retransmits += 1;
+                n.last_send = now;
+            }
+        }
+
+        // 5 — enqueue the outbox; partitions drop at send time.
+        for (src, dst, payload) in outbox {
+            let worker = if src == coord_idx { dst } else { src };
+            stats.msgs_sent += 1;
+            if cut(worker, now) {
+                stats.msgs_dropped += 1;
+                tele.count("net.partition_drops", 1);
+                continue;
+            }
+            let jitter = if cfg.jitter == 0 {
+                0
+            } else {
+                rng.gen_range(0..=cfg.jitter)
+            };
+            if let Payload::Batch { ops, .. } = &payload {
+                tele.labeled(&format!("net.node{worker}"))
+                    .count("ops_sent", ops.len() as u64);
+            }
+            wire.push(Msg {
+                src,
+                dst,
+                deliver_at: now + 1 + cfg.latency.saturating_add(jitter),
+                seq: next_seq,
+                payload,
+            });
+            next_seq += 1;
+        }
+        tele.observe("net.ops_in_flight", in_flight(&wire));
+
+        // 6 — quiescence: every worker is either permanently dead or
+        // fully acked, nothing is on the wire, and no restart is pending.
+        let settled = nodes.iter().enumerate().all(|(i, n)| {
+            let killed = !n.up && n.down_until.is_none();
+            killed || (n.up && n.synced && n.acked == logs[i].len())
+        });
+        if settled && wire.is_empty() {
+            break;
+        }
+        now += 1;
+        if now >= cfg.max_ticks {
+            break;
+        }
+    }
+
+    stats.ticks = now;
+    stats.fully_delivered = (0..cfg.nodes).all(|i| coord.received(i) == logs[i as usize].len());
+    tele.count("net.msgs_sent", stats.msgs_sent);
+    tele.count("net.msgs_dropped", stats.msgs_dropped);
+    stats
+}
+
+fn in_flight(wire: &[Msg]) -> u64 {
+    wire.iter()
+        .map(|m| match &m.payload {
+            Payload::Batch { ops, .. } => ops.len() as u64,
+            _ => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd::MemberId;
+    use oassis_core::cluster::WireVerdict;
+
+    fn toy_log(node: u32, len: u32) -> Vec<WireOp> {
+        (1..=len)
+            .map(|t| WireOp {
+                tick: t,
+                seq: 0,
+                member: MemberId(node), // member ids are global; one per node here
+                node: None,
+                verdict: WireVerdict::NoAnswer,
+            })
+            .collect()
+    }
+
+    fn session(schedule: &str, seed: u64) -> (NetStats, Coordinator) {
+        let logs = vec![toy_log(0, 6), toy_log(1, 4)];
+        let mut coord = Coordinator::new(2, 0.5, true);
+        let schedule = Schedule::parse(schedule).expect("test schedule parses");
+        let cfg = NetConfig::new(2, seed);
+        let stats = run_net(
+            &logs,
+            &mut coord,
+            &schedule,
+            &cfg,
+            &telemetry::Telemetry::off(),
+        );
+        (stats, coord)
+    }
+
+    #[test]
+    fn fault_free_sessions_deliver_everything() {
+        for seed in 0..20 {
+            let (stats, coord) = session("ok", seed);
+            assert!(stats.fully_delivered, "seed {seed}: {stats:?}");
+            assert_eq!(coord.received(0), 6);
+            assert_eq!(coord.received(1), 4);
+            assert_eq!(stats.msgs_dropped, 0);
+            assert!(stats.restarts.is_empty());
+            // determinism: same seed, same session
+            let (again, _) = session("ok", seed);
+            assert_eq!(stats, again);
+        }
+    }
+
+    #[test]
+    fn partitions_drop_then_retransmission_recovers() {
+        let mut dropped_somewhere = false;
+        for seed in 0..20 {
+            let (stats, _) = session("p0|2@1(6)", seed);
+            assert!(stats.fully_delivered, "seed {seed}: {stats:?}");
+            dropped_somewhere |= stats.msgs_dropped > 0;
+        }
+        assert!(dropped_somewhere, "a 6-tick partition never cost a message");
+    }
+
+    #[test]
+    fn crash_restart_resyncs_from_the_watermark() {
+        let mut resumed_mid_log = false;
+        for seed in 0..20 {
+            let (stats, _) = session("k0@2(5)", seed);
+            assert!(stats.fully_delivered, "seed {seed}: {stats:?}");
+            let &(node, from) = stats
+                .restarts
+                .first()
+                .expect("restart must complete a resync");
+            assert_eq!(node, 0);
+            resumed_mid_log |= from > 0;
+        }
+        assert!(resumed_mid_log, "no restart ever resumed past op 0");
+    }
+
+    #[test]
+    fn permanent_kill_freezes_the_node_but_not_the_session() {
+        let (stats, coord) = session("k0@2", 7);
+        assert!(!stats.fully_delivered);
+        assert!(coord.received(0) < 6, "killed node delivered everything?");
+        assert_eq!(coord.received(1), 4, "surviving node must finish");
+        assert!(stats.restarts.is_empty());
+        assert!(stats.ticks < NetConfig::new(2, 7).max_ticks);
+    }
+
+    #[test]
+    fn worker_to_worker_partitions_cut_nothing_in_a_star() {
+        let (stats, _) = session("p0|1@1(50)", 3);
+        assert!(stats.fully_delivered);
+        assert_eq!(stats.msgs_dropped, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Fast cluster-simulation smoke corpus (CI on every push, < 60 s).
+//!
+//! A fixed range of seeds drives the shard-equivalence oracle at each
+//! shard count: the fault-free cluster merge must be bit-identical to
+//! the single-node run, generated cluster schedules (member faults ×
+//! partitions × crash/restart) must degrade gracefully and replay
+//! deterministically, and net-fault-only schedules that fully deliver
+//! must not move the digest. The nightly matrix widens both knobs via
+//! `SIM_SEEDS` and `CLUSTER_SHARDS`.
+
+use simtest::{
+    run_cluster, run_cluster_seed, shrink_cluster_failure, single_node_reference, ClusterConfig,
+    Schedule,
+};
+
+/// Seed range: `0..SIM_SEEDS` (default 8 — sized for the push-CI
+/// budget together with the shard sweep below).
+fn corpus_size() -> u64 {
+    std::env::var("SIM_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+}
+
+/// Shard counts under test: `CLUSTER_SHARDS` (comma-separated, default
+/// `2,4` on push; the nightly matrix runs each of {1, 2, 4, 8} alone).
+fn shard_counts() -> Vec<u32> {
+    std::env::var("CLUSTER_SHARDS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|n| n.trim().parse().ok()).collect())
+        .filter(|v: &Vec<u32>| !v.is_empty())
+        .unwrap_or_else(|| vec![2, 4])
+}
+
+#[test]
+fn cluster_seed_corpus_upholds_the_shard_equivalence_oracle() {
+    let mut failures = Vec::new();
+    for seed in 0..corpus_size() {
+        for &shards in &shard_counts() {
+            let report = run_cluster_seed(seed, shards);
+            if !report.passed() {
+                let report = shrink_cluster_failure(seed, shards).unwrap_or(report);
+                failures.push(format!(
+                    "  seed {} N={} schedule `{}`: {}",
+                    report.seed,
+                    report.shards,
+                    report.schedule.to_line(),
+                    report.failures.join("; ")
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "failing cluster sessions (schedules already shrunk):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn fault_free_digest_is_invariant_across_shard_counts_and_runs() {
+    for seed in [0u64, 3, 7] {
+        let mut digests = Vec::new();
+        for &shards in &shard_counts() {
+            let a = run_cluster_seed(seed, shards);
+            let b = run_cluster_seed(seed, shards);
+            assert!(a.passed(), "seed {seed} N={shards}: {:?}", a.failures);
+            assert_eq!(
+                a.fault_free_digest, b.fault_free_digest,
+                "seed {seed} N={shards} digest drifted between runs"
+            );
+            digests.push(a.fault_free_digest);
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: digest depends on the shard count: {digests:?}"
+        );
+    }
+}
+
+#[test]
+fn heavy_cluster_fault_load_degrades_gracefully() {
+    // A hand-built worst case: a member fault barrage (as in the
+    // single-node smoke), every worker partitioned at least once, one
+    // crash/restart and one permanent kill — on top of a dense
+    // generated cluster schedule.
+    let cfg = ClusterConfig::from_seed(99, 4);
+    let mut schedule = Schedule::parse(
+        "x2@0,a1@0(6),d0@0,y0@2(9),c1@3,p0|4@1(8),p1|4@4(6),p2|4@2(12),p3|4@6(4),k1@3(7),k3@5",
+    )
+    .unwrap();
+    schedule
+        .events
+        .extend(Schedule::generate_cluster(123, 8, 4, 30, 8).events);
+    schedule.events.sort_by_key(|e| (e.at, e.member));
+    let report = simtest::run_cluster_with_schedule(&cfg, &schedule);
+    assert!(
+        report.passed(),
+        "heavy cluster schedule `{}` violated: {}",
+        schedule.to_line(),
+        report.failures.join("; ")
+    );
+}
+
+#[test]
+fn crash_restart_recovers_to_the_fault_free_digest() {
+    // A pure crash/restart schedule delivers everything after resync,
+    // so the merged digest must equal the single-node one — the restart
+    // path itself is what's under test, so assert it actually resynced.
+    let cfg = ClusterConfig::from_seed(11, 2);
+    let map = simtest::ShardMap::round_robin(simtest::CLUSTER_MEMBERS, 2);
+    let off = telemetry::Telemetry::off();
+    let (reference, _) = single_node_reference(&cfg).expect("reference run");
+    let schedule = Schedule::parse("k0@3(6),k1@8(5)").unwrap();
+    let run = run_cluster(&cfg, &map, &schedule, &off).expect("cluster run");
+    assert!(
+        !run.net.restarts.is_empty(),
+        "schedule never exercised a resync: {:?}",
+        run.net
+    );
+    assert!(run.net.fully_delivered, "{:?}", run.net);
+    assert_eq!(run.outcome, reference);
+    assert_eq!(run.digest, reference.digest());
+}
+
+#[test]
+fn ddmin_shrinks_cluster_schedules_to_the_culprit_token() {
+    // Shrinking must work over the new token kinds: a predicate that
+    // fails iff a permanent kill of node 0 is present shrinks a dense
+    // mixed schedule to exactly that one event.
+    let schedule = Schedule::parse("d0@1,p0|2@2(5),k1@3(4),y1@4(2),k0@6,p1|2@7(3),c0@8").unwrap();
+    let kills_node0 = |s: &Schedule| {
+        s.events
+            .iter()
+            .any(|e| matches!(e.kind, simtest::FaultKind::Crash { down: None }) && e.member == 0)
+    };
+    let minimal = simtest::shrink_schedule(&schedule, kills_node0);
+    assert_eq!(minimal.to_line(), "k0@6");
+    assert_eq!(minimal.events.len(), 1);
+}

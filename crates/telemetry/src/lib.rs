@@ -550,6 +550,90 @@ impl Telemetry {
         let Some(sink) = &self.sink else { return };
         sink.with_state(|s| s.tick = s.tick.max(t));
     }
+
+    /// A view of this handle that prefixes every recorded name with
+    /// `label` (`"<label>.<name>"`). The cluster simulation hands each
+    /// shard node a `labeled("node3")` view so one shared sink keeps
+    /// per-node spans and counters apart without threading label strings
+    /// through every call site. Free when telemetry is off.
+    pub fn labeled(&self, label: &str) -> Labeled {
+        Labeled {
+            inner: self.clone(),
+            label: label.to_string(),
+        }
+    }
+}
+
+/// A name-prefixing view of a [`Telemetry`] handle — see
+/// [`Telemetry::labeled`]. Forwards every record with the label glued on
+/// as `"<label>.<name>"`; when the underlying handle is off, calls
+/// early-return before building the prefixed name.
+#[derive(Clone, Debug)]
+pub struct Labeled {
+    inner: Telemetry,
+    label: String,
+}
+
+impl Labeled {
+    /// The prefix applied to every name.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The unprefixed handle underneath (for records that are global,
+    /// not per-label).
+    pub fn tele(&self) -> &Telemetry {
+        &self.inner
+    }
+
+    fn prefixed(&self, name: &str) -> String {
+        format!("{}.{}", self.label, name)
+    }
+
+    /// [`Telemetry::span`] under the prefixed name.
+    pub fn span(&self, name: &str) -> Span {
+        self.span_with(name, "")
+    }
+
+    /// [`Telemetry::span_with`] under the prefixed name.
+    pub fn span_with(&self, name: &str, detail: &str) -> Span {
+        if !self.inner.is_enabled() {
+            return Span {
+                child: Telemetry::default(),
+                open: None,
+            };
+        }
+        self.inner.span_with(&self.prefixed(name), detail)
+    }
+
+    /// [`Telemetry::mark`] under the prefixed name.
+    pub fn mark(&self, name: &str, detail: &str) {
+        if !self.inner.is_enabled() {
+            return;
+        }
+        self.inner.mark(&self.prefixed(name), detail);
+    }
+
+    /// [`Telemetry::count`] under the prefixed name.
+    pub fn count(&self, name: &str, delta: u64) {
+        if !self.inner.is_enabled() {
+            return;
+        }
+        self.inner.count(&self.prefixed(name), delta);
+    }
+
+    /// [`Telemetry::observe`] under the prefixed name.
+    pub fn observe(&self, name: &str, value: u64) {
+        if !self.inner.is_enabled() {
+            return;
+        }
+        self.inner.observe(&self.prefixed(name), value);
+    }
+
+    /// [`Telemetry::sync_tick`] (labels never apply to the clock).
+    pub fn sync_tick(&self, t: u64) {
+        self.inner.sync_tick(t);
+    }
 }
 
 /// RAII guard for an open span. Dropping it records the span end;
@@ -623,6 +707,33 @@ mod tests {
         assert_eq!(snap.spans["outer"].count, 1);
         assert_eq!(snap.spans["inner"].count, 1);
         assert!(snap.spans["outer"].ticks >= snap.spans["inner"].ticks);
+    }
+
+    #[test]
+    fn labeled_views_prefix_every_name() {
+        let sink = TelemetrySink::shared();
+        let tele = Telemetry::recording(&sink);
+        let node = tele.labeled("node3");
+        {
+            let span = node.span("merge");
+            span.tele().count("plain", 1); // nested handle is unprefixed
+        }
+        node.count("ops_sent", 4);
+        node.observe("batch_len", 2);
+        node.mark("restart", "");
+        let snap = sink.snapshot();
+        assert_eq!(snap.spans["node3.merge"].count, 1);
+        assert_eq!(snap.counters["plain"], 1);
+        assert_eq!(snap.counters["node3.ops_sent"], 4);
+        assert_eq!(snap.histograms["node3.batch_len"].count, 1);
+        assert_eq!(node.label(), "node3");
+        // an off handle stays off through the view
+        let off = Telemetry::off().labeled("x");
+        off.count("c", 1);
+        off.observe("h", 1);
+        off.mark("m", "");
+        assert!(!off.tele().is_enabled());
+        drop(off.span("s"));
     }
 
     #[test]

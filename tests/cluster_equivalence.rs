@@ -1,0 +1,109 @@
+//! Property tests for the sharded cluster (`core::cluster` +
+//! `simtest::net`): arbitrary member→shard assignments and shuffled
+//! delivery orders must reproduce the single-node MSP/valid sets and
+//! digests bit-for-bit, and crash-at-tick + restart must recover to the
+//! same digest through the watermark resync.
+#![recursion_limit = "256"]
+
+use proptest::prelude::*;
+use simtest::{
+    run_cluster, single_node_reference, ClusterConfig, Schedule, ShardMap, CLUSTER_MEMBERS,
+};
+
+/// `(shards, arbitrary member→shard assignment over that many shards)`.
+fn arb_shard_map() -> impl Strategy<Value = (u32, Vec<u32>)> {
+    let members = CLUSTER_MEMBERS as usize;
+    // the vendored proptest has no prop_flat_map; draw raw u32s and fold
+    // them into range with a mod (uniform enough for coverage here)
+    (
+        1u32..=8,
+        prop::collection::vec(0u32..8, members..members + 1),
+    )
+        .prop_map(|(shards, raw)| {
+            let assign = raw.into_iter().map(|v| v % shards).collect();
+            (shards, assign)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The headline oracle, quantified over maps and delivery orders:
+    // however the members are spread (skewed maps and empty shards
+    // included) and however the network interleaves the op streams,
+    // the fault-free merge IS the single-node outcome.
+    #[test]
+    fn arbitrary_maps_and_delivery_orders_reproduce_the_single_node_run(
+        seed in 0u64..24,
+        shard_map in arb_shard_map(),
+        net_seed in any::<u64>(),
+    ) {
+        let (shards, assign) = shard_map;
+        let mut cfg = ClusterConfig::from_seed(seed, shards);
+        cfg.net_seed = net_seed;
+        let map = ShardMap::from_assignments(assign, shards).expect("strategy respects bounds");
+        let (reference, planted) = single_node_reference(&cfg).map_err(
+            |p| TestCaseError::fail(format!("reference panicked: {p}")))?;
+        prop_assert_eq!(&reference.msps, &planted, "single node must find the planted truth");
+        let run = run_cluster(&cfg, &map, &Schedule::fault_free(), &telemetry::Telemetry::off())
+            .map_err(|p| TestCaseError::fail(format!("cluster panicked: {p}")))?;
+        prop_assert!(run.net.fully_delivered, "fault-free net lost ops: {:?}", run.net);
+        prop_assert_eq!(&run.outcome, &reference);
+        prop_assert_eq!(run.digest, reference.digest());
+    }
+
+    // Crash-at-tick + restart: the node comes back amnesiac, resyncs
+    // from the coordinator watermark, and the merge still lands on the
+    // single-node digest.
+    #[test]
+    fn crash_and_restart_recover_to_the_single_node_digest(
+        seed in 0u64..16,
+        node in 0u32..2,
+        at in 0u64..20,
+        down in 1u64..12,
+        net_seed in any::<u64>(),
+    ) {
+        let mut cfg = ClusterConfig::from_seed(seed, 2);
+        cfg.net_seed = net_seed;
+        let map = ShardMap::round_robin(CLUSTER_MEMBERS, 2);
+        let (reference, _) = single_node_reference(&cfg).map_err(
+            |p| TestCaseError::fail(format!("reference panicked: {p}")))?;
+        let schedule = Schedule::parse(&format!("k{node}@{at}({down})")).expect("valid token");
+        let run = run_cluster(&cfg, &map, &schedule, &telemetry::Telemetry::off())
+            .map_err(|p| TestCaseError::fail(format!("cluster panicked: {p}")))?;
+        prop_assert!(
+            run.net.fully_delivered,
+            "restartable crash must not lose ops: {:?}", run.net
+        );
+        prop_assert_eq!(&run.outcome, &reference);
+        prop_assert_eq!(run.digest, reference.digest());
+    }
+
+    // Permanent kills may only shrink the answer, never corrupt it:
+    // the merged MSP/valid sets stay inside the fault-free ones.
+    #[test]
+    fn permanent_kills_degrade_to_a_subset(
+        seed in 0u64..16,
+        node in 0u32..4,
+        at in 0u64..12,
+        net_seed in any::<u64>(),
+    ) {
+        let mut cfg = ClusterConfig::from_seed(seed, 4);
+        cfg.net_seed = net_seed;
+        let map = ShardMap::round_robin(CLUSTER_MEMBERS, 4);
+        let (reference, _) = single_node_reference(&cfg).map_err(
+            |p| TestCaseError::fail(format!("reference panicked: {p}")))?;
+        let schedule = Schedule::parse(&format!("k{node}@{at}")).expect("valid token");
+        let run = run_cluster(&cfg, &map, &schedule, &telemetry::Telemetry::off())
+            .map_err(|p| TestCaseError::fail(format!("cluster panicked: {p}")))?;
+        prop_assert!(
+            run.outcome.msps.iter().all(|m| reference.msps.binary_search(m).is_ok()),
+            "merged MSPs {:?} escape fault-free {:?}", run.outcome.msps, reference.msps
+        );
+        prop_assert!(
+            run.outcome.valid_msps.iter().all(|m| reference.valid_msps.binary_search(m).is_ok()),
+            "merged valid MSPs escape the fault-free set"
+        );
+        prop_assert!(run.outcome.total_valid <= reference.total_valid);
+    }
+}

@@ -271,6 +271,68 @@ fn duplicated_contradiction_revisions_are_idempotent() {
     assert_eq!(revised.events, baseline.events);
 }
 
+#[test]
+fn replay_against_a_stale_replica_reproduces_the_semantic_outcome() {
+    // Every other replay in this file runs against the post-run DAG,
+    // whose nodes were materialized at the ops' own ticks — so replay
+    // never had to face an op referencing a node the replica had not
+    // generated yet. A merging coordinator (and a restarted node
+    // re-applying its durable log) does: its replica is fresh, and every
+    // node is interned at merge time, long after the op's tick. Wire the
+    // log through assignment addressing into a fresh replica and demand
+    // the same semantic outcome.
+    use oassis_core::cluster::{to_wire, Coordinator, SemanticOutcome};
+
+    let dom = synthetic_domain(90, 5, 2);
+    let q = parse(&dom.query).unwrap();
+    let b = bind(&q, &dom.ontology).unwrap();
+    let base = evaluate_where(&b, &dom.ontology, MatchMode::Exact);
+    let mut full = Dag::new(&b, dom.ontology.vocab(), &base).without_multiplicities();
+    full.materialize_all();
+    let planted = plant_msps(&mut full, 5, true, MspDistribution::Uniform, 17);
+    let patterns: Vec<_> = planted
+        .iter()
+        .map(|&id| full.node(id).assignment.apply(&b))
+        .collect();
+    let mut dag = Dag::new(&b, dom.ontology.vocab(), &base).without_multiplicities();
+    let mut oracle = PlantedOracle::new(dom.ontology.vocab(), patterns, 3, 23);
+    oracle.pruning_prob = 0.15; // prune ops must survive the trip too
+    let agg = FixedSampleAggregator { sample_size: 2 };
+    let out = run_multi(&mut dag, &mut oracle, &agg, &MiningConfig::default());
+    assert!(!out.mining.ops.is_empty());
+
+    let wire = to_wire(&out.mining.ops, &dag);
+    let mut coord = Coordinator::new(1, out.mining.ops.threshold(), true);
+    assert_eq!(coord.ingest(0, 0, &wire), wire.len());
+    let mut fresh = Dag::new(&b, dom.ontology.vocab(), &base).without_multiplicities();
+    let pool = minipool::Pool::sequential();
+    let tele = telemetry::Telemetry::off();
+    let merged = coord.merge(&mut fresh, &agg, &pool, &tele, out.mining.complete);
+
+    // assignments are replica-portable, so the semantic fields compare
+    // directly even though every NodeId differs between the replicas
+    assert_eq!(merged.msps, out.mining.msps);
+    assert_eq!(merged.valid_msps, out.mining.valid_msps);
+    assert_eq!(merged.total_valid, out.mining.total_valid);
+    assert_eq!(merged.complete, out.mining.complete);
+    assert_eq!(
+        merged.discarded_msps, 0,
+        "a single stream has no duplicates"
+    );
+    assert_eq!(
+        SemanticOutcome::from_replay(&merged, &b, dom.ontology.vocab()),
+        SemanticOutcome::from_mining(&out.mining, &b, dom.ontology.vocab()),
+    );
+    // the stale replica materialized only what the ops forced it to —
+    // if these were equal the test would not be exercising staleness
+    assert!(
+        merged.nodes_materialized < out.mining.nodes_materialized,
+        "fresh replica materialized {} >= engine's {}",
+        merged.nodes_materialized,
+        out.mining.nodes_materialized
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
