@@ -1,0 +1,228 @@
+//! The intra-repo call graph over the symbol table.
+//!
+//! Edges are name-resolved, not type-resolved: a call token binds to a
+//! repo fn only when the binding is unambiguous — `Type::name(` when
+//! exactly one `impl Type` defines `name`, `self.name(` when the
+//! enclosing impl type defines it, and bare `name(` / `.name(` when
+//! exactly one fn in the whole workspace has that name. Everything
+//! else (trait dispatch, closures, shadowed names, std methods that
+//! collide with repo names) resolves to *no* edge; D7 propagates
+//! held-lock facts only along edges that exist, so the approximation
+//! under-reports rather than false-positives. DESIGN.md §16 lists the
+//! blind spots; the fixture corpus pins the covered shapes.
+
+use crate::symbols::{find_word_from, SourceFile, SymbolTable};
+
+/// Ubiquitous std method names never treated as repo calls in the
+/// `.name(` form — a unique repo fn with one of these names would
+/// otherwise swallow every `HashMap::get`/`Vec::push` in the tree.
+const STD_METHODS: [&str; 30] = [
+    "get", "len", "push", "pop", "insert", "remove", "contains", "clone", "iter", "next", "lock",
+    "read", "write", "new", "default", "from", "into", "unwrap", "expect", "min", "max", "map",
+    "and_then", "filter", "collect", "sort", "extend", "join", "clear", "take",
+];
+
+/// One resolved call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee fn index in the symbol table.
+    pub callee: usize,
+    /// 1-based line of the call token.
+    pub line: usize,
+    /// Byte column of the call token in the code channel (for
+    /// ordering against lock sites on the same line).
+    pub col: usize,
+}
+
+/// Resolved call sites per caller fn (indexed like `SymbolTable::fns`).
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// `calls[f]` = resolved call sites inside fn `f`'s body, in
+    /// (line, col) order.
+    pub calls: Vec<Vec<CallSite>>,
+}
+
+impl CallGraph {
+    /// Builds the graph for every fn in `table`.
+    pub fn build(files: &[SourceFile], table: &SymbolTable) -> CallGraph {
+        let mut calls = Vec::with_capacity(table.fns.len());
+        for f in &table.fns {
+            calls.push(fn_calls(files, table, f));
+        }
+        CallGraph { calls }
+    }
+}
+
+/// Lines of `f`'s body, excluding the extents of fns nested inside it
+/// (their calls belong to the nested fn, and the nested header itself
+/// would read as a call token).
+pub(crate) fn body_lines(table: &SymbolTable, f: &crate::symbols::FnDef) -> Vec<usize> {
+    let nested: Vec<(usize, usize)> = table
+        .fns
+        .iter()
+        .filter(|g| g.file == f.file && g.line > f.line && g.end_line <= f.end_line)
+        .map(|g| (g.line, g.end_line))
+        .collect();
+    (f.line..=f.end_line)
+        .filter(|l| !nested.iter().any(|(a, b)| a <= l && l <= b))
+        .collect()
+}
+
+fn fn_calls(files: &[SourceFile], table: &SymbolTable, f: &crate::symbols::FnDef) -> Vec<CallSite> {
+    let scanned = &files[f.file].scanned;
+    let mut out = Vec::new();
+    for line_no in body_lines(table, f) {
+        let line = scanned.line(line_no);
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if !(c.is_alphabetic() || c == '_') {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            // A call token is an ident directly followed by `(` —
+            // `name!(` (macros) and `name (` never match.
+            if i >= bytes.len() || bytes[i] != b'(' {
+                continue;
+            }
+            let name = &line[start..i];
+            let before = &line[..start];
+            if before.trim_end().ends_with("fn") {
+                continue; // definition header, not a call
+            }
+            let resolved = resolve(table, f, name, before);
+            if let Some(callee) = resolved {
+                out.push(CallSite {
+                    callee,
+                    line: line_no,
+                    col: start,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Resolves one call token to a fn index, or `None` when ambiguous.
+fn resolve(
+    table: &SymbolTable,
+    caller: &crate::symbols::FnDef,
+    name: &str,
+    before: &str,
+) -> Option<usize> {
+    if let Some(path) = before.strip_suffix("::") {
+        // `Type::name(` — bind through the impl when the qualifier is
+        // a type; module paths (lowercase) fall back to unique-name.
+        let seg: String = path
+            .chars()
+            .rev()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        if seg.chars().next().is_some_and(char::is_uppercase) {
+            return table.method_of(&seg, name);
+        }
+        return unique(table, name);
+    }
+    if before.ends_with("self.") {
+        if let Some(ty) = &caller.impl_type {
+            if let Some(i) = table.method_of(ty, name) {
+                return Some(i);
+            }
+        }
+        return unique(table, name);
+    }
+    if before.ends_with('.') {
+        // `.name(` — method position; std collisions are the main
+        // false-edge source, so common std names never bind here.
+        if STD_METHODS.contains(&name) {
+            return None;
+        }
+        return unique(table, name);
+    }
+    unique(table, name)
+}
+
+fn unique(table: &SymbolTable, name: &str) -> Option<usize> {
+    match table.fns_named(name) {
+        [i] => Some(*i),
+        _ => None,
+    }
+}
+
+/// Whether `line` contains the member reference `recv.member` with
+/// identifier boundaries on both ends (the inner `.` is literal).
+pub(crate) fn contains_member_ref(line: &str, recv: &str, member: &str) -> bool {
+    find_word_from(line, &format!("{recv}.{member}"), 0).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::SourceFile;
+
+    fn graph(src: &str) -> (SymbolTable, CallGraph) {
+        let files = vec![SourceFile::prepare("crates/core/src/planted.rs", src)];
+        let t = SymbolTable::build(&files);
+        let g = CallGraph::build(&files, &t);
+        (t, g)
+    }
+
+    #[test]
+    fn unique_free_fn_and_method_edges() {
+        let src = "fn helper(x: u32) -> u32 { x }\n\
+                   pub struct A;\n\
+                   impl A {\n    fn inner(&self) {}\n    fn outer(&self) {\n        \
+                   self.inner();\n        helper(3);\n    }\n}\n";
+        let (t, g) = graph(src);
+        let outer = t.fns.iter().position(|f| f.name == "outer").unwrap();
+        let callees: Vec<&str> = g.calls[outer]
+            .iter()
+            .map(|c| t.fns[c.callee].name.as_str())
+            .collect();
+        assert_eq!(callees, vec!["inner", "helper"]);
+    }
+
+    #[test]
+    fn ambiguous_names_and_std_methods_do_not_bind() {
+        let src = "pub struct A;\npub struct B;\n\
+                   impl A {\n    fn get(&self) {}\n}\n\
+                   impl B {\n    fn get(&self) {}\n}\n\
+                   fn caller(m: std::collections::HashMap<u32, u32>) {\n    m.get(&1);\n    \
+                   A::get(&A);\n}\n";
+        let (t, g) = graph(src);
+        let caller = t.fns.iter().position(|f| f.name == "caller").unwrap();
+        // `.get(` is a std-method position; `A::get(` resolves via the
+        // impl even though the bare name is ambiguous.
+        let callees: Vec<String> = g.calls[caller]
+            .iter()
+            .map(|c| t.fns[c.callee].qual())
+            .collect();
+        assert_eq!(callees, vec!["A::get".to_string()]);
+    }
+
+    #[test]
+    fn macros_and_nested_fn_headers_are_not_calls() {
+        let src = "fn target() {}\n\
+                   fn caller() {\n    println!(\"target()\");\n    fn target2() { target(); }\n    \
+                   target2();\n}\n";
+        let (t, g) = graph(src);
+        let caller = t.fns.iter().position(|f| f.name == "caller").unwrap();
+        let callees: Vec<&str> = g.calls[caller]
+            .iter()
+            .map(|c| t.fns[c.callee].name.as_str())
+            .collect();
+        // The nested fn's body (and its call to `target`) belongs to
+        // `target2`, not `caller`; the string literal is blanked.
+        assert_eq!(callees, vec!["target2"]);
+        let target2 = t.fns.iter().position(|f| f.name == "target2").unwrap();
+        assert_eq!(g.calls[target2].len(), 1);
+    }
+}

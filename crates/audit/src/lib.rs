@@ -3,7 +3,7 @@
 //! Every correctness claim this repo makes (golden outcome digests,
 //! width-independent parallel equivalence, bit-identical sim replays)
 //! rests on the engine being deterministic. This crate enforces that
-//! invariant mechanically, as five named rules over the source tree:
+//! invariant mechanically, as nine named rules over the source tree:
 //!
 //! * **D1** — hash-order leaks: `HashMap`/`HashSet` iteration in
 //!   `crates/{core,crowd,simtest}` must not feed ordered results
@@ -13,12 +13,23 @@
 //!   and test code.
 //! * **D3** — unsafe inventory: every `unsafe` needs `// SAFETY:`;
 //!   a per-crate census is emitted.
-//! * **D4** — panic surface: `unwrap`/`expect`/indexing in the named
-//!   engine files needs `// PANIC-OK:`.
+//! * **D4** — panic surface: `unwrap`/`expect`/indexing in engine
+//!   source under the audited path patterns needs `// PANIC-OK:`.
 //! * **D5** — lint hygiene: crate roots carry the agreed
 //!   `#![deny]`/`#![forbid]` set.
+//! * **D6** — deprecated entry points route through `Oassis::run`.
+//! * **D7** — lock discipline: acquisition-order cycles, double
+//!   locks and fork-joins under a held guard, propagated over the
+//!   intra-repo call graph ([`locks`]).
+//! * **D8** — digest coverage: every struct feeding a digest fn has
+//!   all fields folded in, or each omission is justified.
+//! * **D9** — wire-op exhaustiveness: `match`es over the wire/fault
+//!   enums name every variant, no catch-all arms.
 //!
-//! Exemptions use the grepable grammar `// audit: allow(D1, reason)` /
+//! D1–D6 are per-file lexical passes; D7–D9 are whole-repo semantic
+//! passes over a symbol table ([`symbols`]) and name-resolved call
+//! graph ([`callgraph`]) built from the same token stream. Exemptions
+//! use the grepable grammar `// audit: allow(D1, reason)` /
 //! `// audit: allow-file(D2, reason)` (see [`suppress`]); a reason is
 //! mandatory. Findings print as `file:line rule message`; the binary
 //! exits non-zero on any unsuppressed finding and writes a
@@ -26,25 +37,29 @@
 //!
 //! There is no `syn` (the registry is unreachable): the scanner is a
 //! hand-rolled comment/string-aware token pass, like the vendored
-//! shims. DESIGN.md §11 documents each rule with before/after
+//! shims. DESIGN.md §11 and §16 document each rule with before/after
 //! examples and the known blind spots of the heuristics.
 
 #![forbid(unsafe_code)]
 #![deny(unused_must_use)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod locks;
 pub mod report;
 pub mod rules;
 pub mod scope;
 pub mod segment;
 pub mod suppress;
+pub mod symbols;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use report::{Report, SuppressionRecord};
-use scope::FileScope;
+use rules::RawFinding;
+use symbols::{SourceFile, SymbolTable};
 
 /// One unsuppressed finding, ready to print as `file:line rule message`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -53,7 +68,7 @@ pub struct Finding {
     pub path: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule id (`D1`…`D5`, `SUP`).
+    /// Rule id (`D1`…`D9`, `SUP`).
     pub rule: String,
     /// Human-readable message.
     pub message: String,
@@ -70,7 +85,7 @@ impl std::fmt::Display for Finding {
 }
 
 /// The known rule ids (used to validate suppression markers).
-pub const RULE_IDS: [&str; 6] = ["D1", "D2", "D3", "D4", "D5", "D6"];
+pub const RULE_IDS: [&str; 9] = ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9"];
 
 /// The audit result of a single source file.
 #[derive(Debug, Clone, Default)]
@@ -87,25 +102,41 @@ pub struct FileAudit {
 
 /// Audits one file's source text under its workspace-relative `path`.
 ///
-/// This is the in-process API the fixture tests and the workspace
-/// golden test use; `crate_has_unsafe` (for D5's either/or) defaults
-/// to "this file contains `unsafe`" when `None`.
+/// This is the in-process API the single-file fixture tests use;
+/// `crate_has_unsafe` (for D5's either/or) defaults to "this file
+/// contains `unsafe`" when `None`. Only the per-file rules D1–D6 run
+/// here — the cross-file rules D7–D9 need the whole file set and run
+/// in [`audit_files`].
 pub fn audit_source(path: &str, src: &str, crate_has_unsafe: Option<bool>) -> FileAudit {
-    let scanned = lexer::scan(src);
-    let scope = FileScope::new(path, &scanned);
-    let stmts = segment::statements(&scanned);
+    let file = SourceFile::prepare(path, src);
+    let has_unsafe = crate_has_unsafe.unwrap_or_else(|| {
+        file.scanned
+            .code
+            .iter()
+            .any(|l| rules::contains_word(l, "unsafe"))
+    });
+    audit_prepared(&file, has_unsafe, &[])
+}
+
+/// The per-file half of the audit: runs D1–D6 on a prepared file,
+/// merges in any cross-file findings attributed to it, and applies
+/// the suppression grammar to the combined set.
+fn audit_prepared(file: &SourceFile, crate_has_unsafe: bool, extra: &[RawFinding]) -> FileAudit {
+    let scanned = &file.scanned;
+    let scope = &file.scope;
+    let stmts = &file.stmts;
 
     let mut raw = Vec::new();
-    raw.extend(rules::d1(&scope, &stmts));
-    raw.extend(rules::d2(&scope, &scanned));
-    let (d3_findings, unsafe_sites) = rules::d3(&scanned);
+    raw.extend(rules::d1(scope, stmts));
+    raw.extend(rules::d2(scope, scanned));
+    let (d3_findings, unsafe_sites) = rules::d3(scanned);
     raw.extend(d3_findings);
-    raw.extend(rules::d4(&scope, &scanned));
-    let has_unsafe = crate_has_unsafe.unwrap_or(!unsafe_sites.is_empty());
-    raw.extend(rules::d5(&scope, &scanned, has_unsafe));
-    raw.extend(rules::d6(&scope, &scanned));
+    raw.extend(rules::d4(scope, scanned));
+    raw.extend(rules::d5(scope, scanned, crate_has_unsafe));
+    raw.extend(rules::d6(scope, scanned));
+    raw.extend(extra.iter().cloned());
 
-    let sups = suppress::collect(&scanned);
+    let sups = suppress::collect(scanned);
     let mut used = vec![false; sups.len()];
 
     let mut findings = Vec::new();
@@ -117,7 +148,7 @@ pub fn audit_source(path: &str, src: &str, crate_has_unsafe: Option<bool>) -> Fi
             rule: rf.rule.to_string(),
             message: rf.message,
         };
-        match suppress::matches(&sups, &scanned, rf.rule, rf.line) {
+        match suppress::matches(&sups, scanned, rf.rule, rf.line) {
             Some(i) if !sups[i].reason.is_empty() => {
                 used[i] = true;
                 suppressed.push(f);
@@ -168,6 +199,77 @@ pub fn audit_source(path: &str, src: &str, crate_has_unsafe: Option<bool>) -> Fi
     }
 }
 
+/// Audits a set of `(path, source)` pairs as one workspace: per-file
+/// rules plus the cross-file D7–D9 passes, fanned out over `threads`
+/// minipool workers. The report is byte-identical at any width: file
+/// preparation and per-file auditing use order-preserving `par_map`,
+/// and every cross-file pass runs on the deterministic symbol table.
+///
+/// This is the API both [`audit_workspace`] and the multi-file
+/// fixture tests go through.
+pub fn audit_files(sources: &[(String, String)], threads: usize) -> Report {
+    let prepared: Vec<SourceFile> = minipool::par_map(threads, sources, |(path, src)| {
+        SourceFile::prepare(path, src)
+    });
+
+    // Which crates contain `unsafe` at all (for D5's either/or).
+    let mut crate_unsafe: BTreeMap<String, bool> = BTreeMap::new();
+    for f in &prepared {
+        let has = f
+            .scanned
+            .code
+            .iter()
+            .any(|l| rules::contains_word(l, "unsafe"));
+        *crate_unsafe
+            .entry(f.scope.crate_name.clone())
+            .or_insert(false) |= has;
+    }
+
+    // Cross-file passes (serial: they need the whole table).
+    let table = SymbolTable::build(&prepared);
+    let graph = callgraph::CallGraph::build(&prepared, &table);
+    let mut extra: Vec<Vec<RawFinding>> = vec![Vec::new(); prepared.len()];
+    for (fi, rf) in locks::d7(&prepared, &table, &graph)
+        .into_iter()
+        .chain(rules::d8(&prepared, &table))
+        .chain(rules::d9(&prepared, &table))
+    {
+        extra[fi].push(rf);
+    }
+
+    let idx: Vec<usize> = (0..prepared.len()).collect();
+    let audits: Vec<FileAudit> = minipool::par_map(threads, &idx, |&i| {
+        let f = &prepared[i];
+        let has = *crate_unsafe.get(&f.scope.crate_name).unwrap_or(&false);
+        audit_prepared(f, has, &extra[i])
+    });
+
+    let mut report = Report::default();
+    for (f, fa) in prepared.iter().zip(&audits) {
+        report.add_file(&f.scope.crate_name, fa);
+    }
+    report.files_scanned = prepared.len();
+    report
+}
+
+/// The statically derived lock acquisition-order edges for the whole
+/// workspace, as sorted `(held, acquired)` lock-id pairs. The runtime
+/// lock-order sanitizer's agreement test checks a sim run's observed
+/// orders against these.
+pub fn lock_order_edges(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let files = workspace_files(root)?;
+    let mut prepared: Vec<SourceFile> = Vec::with_capacity(files.len());
+    for rel in &files {
+        prepared.push(SourceFile::prepare(
+            rel,
+            &std::fs::read_to_string(root.join(rel))?,
+        ));
+    }
+    let table = SymbolTable::build(&prepared);
+    let graph = callgraph::CallGraph::build(&prepared, &table);
+    Ok(locks::order_edges(&prepared, &table, &graph))
+}
+
 /// Directories (workspace-relative) never scanned: build output, VCS
 /// metadata, and the audit's own planted-violation fixtures.
 const SKIP_DIRS: [&str; 3] = ["target", ".git", "crates/audit/tests/fixtures"];
@@ -203,38 +305,15 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .replace('\\', "/")
 }
 
-/// Audits the whole workspace rooted at `root`.
+/// Audits the whole workspace rooted at `root`, fanned out over the
+/// default minipool width (`MINIPOOL_THREADS` respected).
 pub fn audit_workspace(root: &Path) -> std::io::Result<Report> {
     let files = workspace_files(root)?;
-    // First pass: which crates contain `unsafe` at all (for D5's
-    // either/or on crate roots).
-    let mut sources: Vec<(String, String)> = Vec::new();
-    let mut crate_unsafe: BTreeMap<String, bool> = BTreeMap::new();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for rel in &files {
-        let src = std::fs::read_to_string(root.join(rel))?;
-        let scanned = lexer::scan(&src);
-        let scope = FileScope::new(rel, &scanned);
-        let has = scanned
-            .code
-            .iter()
-            .any(|l| rules::contains_word(l, "unsafe"));
-        *crate_unsafe.entry(scope.crate_name).or_insert(false) |= has;
-        sources.push((rel.clone(), src));
+        sources.push((rel.clone(), std::fs::read_to_string(root.join(rel))?));
     }
-
-    let mut report = Report::default();
-    for (rel, src) in &sources {
-        let scanned = lexer::scan(src);
-        let scope = FileScope::new(rel, &scanned);
-        let fa = audit_source(
-            rel,
-            src,
-            Some(*crate_unsafe.get(&scope.crate_name).unwrap_or(&false)),
-        );
-        report.add_file(&scope.crate_name, &fa);
-    }
-    report.files_scanned = sources.len();
-    Ok(report)
+    Ok(audit_files(&sources, minipool::default_threads()))
 }
 
 /// Finds the workspace root: the nearest ancestor of `start` whose

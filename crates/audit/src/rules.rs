@@ -1,24 +1,31 @@
-//! The rule catalogue: D1–D6.
+//! The rule catalogue: D1–D6 (per-file) and D8–D9 (cross-file; D7
+//! lives in [`crate::locks`]).
 //!
-//! Each rule takes the scanned file, its scope facts and (for D1) the
-//! statement segmentation, and returns raw findings; the orchestrator
-//! in `lib.rs` then applies the suppression grammar. The analyses are
+//! Each per-file rule takes the scanned file, its scope facts and (for
+//! D1) the statement segmentation, and returns raw findings; the
+//! orchestrator in `lib.rs` then applies the suppression grammar. The
+//! cross-file rules run once over the prepared file set and the symbol
+//! table and attribute findings to whichever file owns the defect (a
+//! digest-drifted *field*, not the digest fn). The analyses are
 //! deliberately token-level heuristics — no type information exists
 //! without `syn` — tuned so that every firing is either a genuine
-//! invariant risk or a one-line, documented suppression. DESIGN.md §11
-//! records the exact patterns and their known blind spots.
+//! invariant risk or a one-line, documented suppression. DESIGN.md
+//! §11 and §16 record the exact patterns and their known blind spots.
 
+use crate::callgraph::{body_lines, contains_member_ref};
 use crate::lexer::Scanned;
+use crate::locks::CrossFinding;
 use crate::scope::FileScope;
 use crate::segment::{stmts_in_block, Stmt};
 use crate::suppress;
+use crate::symbols::{find_word_from, SourceFile, SymbolTable};
 
 /// One raw rule firing (pre-suppression).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct RawFinding {
     /// 1-based line.
     pub line: usize,
-    /// Rule id (`D1`…`D6`, `SUP`).
+    /// Rule id (`D1`…`D9`, `SUP`).
     pub rule: &'static str,
     /// Human message (no file:line prefix; the printer adds it).
     pub message: String,
@@ -474,15 +481,15 @@ pub fn d3(scanned: &Scanned) -> (Vec<RawFinding>, Vec<UnsafeSite>) {
 
 // ---------------------------------------------------------------- D4
 
-/// Engine files whose non-test panic surface must be justified.
-const D4_FILES: [&str; 7] = [
-    "crates/core/src/engine.rs",
-    "crates/core/src/multi.rs",
-    "crates/core/src/vertical.rs",
-    "crates/core/src/classify.rs",
-    "crates/core/src/manifest.rs",
-    "crates/crowd/src/policy.rs",
-    "crates/crowd/src/parallel.rs",
+/// Path prefixes whose non-test panic surface must be justified: all
+/// engine source in the three deterministic crates. A prefix match
+/// (not a file list) means files added later — `oplog.rs`,
+/// `cluster.rs`, `net.rs`, whatever comes next — are audited the day
+/// they land instead of silently exempt.
+const D4_PATHS: [&str; 3] = [
+    "crates/core/src/",
+    "crates/crowd/src/",
+    "crates/simtest/src/",
 ];
 
 /// Explicit, intentional panic contexts: an assertion line is already
@@ -496,10 +503,11 @@ const ASSERT_MACROS: [&str; 5] = [
     "unreachable!(",
 ];
 
-/// D4 — panic surface: `unwrap`/`expect`/slice indexing in the named
-/// engine files (non-test code) requires `// PANIC-OK: reason`.
+/// D4 — panic surface: `unwrap`/`expect`/slice indexing in engine
+/// source under [`D4_PATHS`] (non-test code) requires
+/// `// PANIC-OK: reason`.
 pub fn d4(scope: &FileScope, scanned: &Scanned) -> Vec<RawFinding> {
-    if !D4_FILES.contains(&scope.path.as_str()) {
+    if !D4_PATHS.iter().any(|p| scope.path.starts_with(p)) {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -638,5 +646,385 @@ pub fn d6(scope: &FileScope, scanned: &Scanned) -> Vec<RawFinding> {
             }
         }
     }
+    out
+}
+
+// ---------------------------------------------------------------- D8
+
+/// D8 — digest coverage: every fn whose name contains `digest`
+/// (non-test) is a replica-equality contract; the struct it digests
+/// must have *every* field folded in, or the field carries a reasoned
+/// `audit: allow(D8, …)`. The "added a field, forgot the digest"
+/// drift class fires at the *field's* declaration line, so a newly
+/// added field is never masked by a suppression on an older sibling.
+pub fn d8(files: &[SourceFile], table: &SymbolTable) -> Vec<CrossFinding> {
+    let mut out: Vec<CrossFinding> = Vec::new();
+    for f in &table.fns {
+        if f.is_test || files[f.file].scope.is_test_file || files[f.file].scope.is_vendor {
+            continue;
+        }
+        if !f.name.to_lowercase().contains("digest") {
+            continue;
+        }
+        let Some((recv, st)) = fold_target(table, f) else {
+            continue;
+        };
+        if st.is_test {
+            continue;
+        }
+        let body: Vec<&str> = body_lines(table, f)
+            .into_iter()
+            .map(|l| files[f.file].scanned.line(l))
+            .collect();
+        for field in &st.fields {
+            let folded = body
+                .iter()
+                .any(|l| contains_member_ref(l, &recv, &field.name));
+            if !folded {
+                out.push((
+                    st.file,
+                    finding(
+                        field.line,
+                        "D8",
+                        format!(
+                            "field `{}` of `{}` is not folded into digest fn `{}` \
+                             ({}:{}) — replicas can silently diverge; fold it or \
+                             annotate `audit: allow(D8, ...)`",
+                            field.name,
+                            st.name,
+                            f.qual(),
+                            files[f.file].path,
+                            f.line
+                        ),
+                    ),
+                ));
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    out.dedup();
+    out
+}
+
+/// The (receiver name, struct) a digest fn folds: the impl type for
+/// `&self` methods, else the first parameter whose type is a uniquely
+/// named repo struct. `None` (primitive/ambiguous inputs) skips the fn.
+fn fold_target<'t>(
+    table: &'t SymbolTable,
+    f: &crate::symbols::FnDef,
+) -> Option<(String, &'t crate::symbols::StructDef)> {
+    for (i, param) in header_params(&f.header).into_iter().enumerate() {
+        let p = param.trim();
+        if i == 0 && (p == "self" || p == "&self" || p == "&mut self") {
+            if let Some(st) = f.impl_type.as_deref().and_then(|t| table.struct_named(t)) {
+                return Some(("self".to_string(), st));
+            }
+            continue;
+        }
+        let Some((name, ty)) = p.split_once(':') else {
+            continue;
+        };
+        let base = ty
+            .trim()
+            .trim_start_matches('&')
+            .trim_start_matches("mut ")
+            .trim();
+        let base = base.split('<').next().unwrap_or(base).trim();
+        let base = base.rsplit("::").next().unwrap_or(base).trim();
+        if let Some(st) = table.struct_named(base) {
+            return Some((name.trim().to_string(), st));
+        }
+    }
+    None
+}
+
+/// The comma-split parameter list of a normalized fn header (top-level
+/// commas only; generics and nested parens are depth-tracked).
+fn header_params(header: &str) -> Vec<String> {
+    let open = match header.find('(') {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    let mut depth_paren = 0i32;
+    let mut depth_angle = 0i32;
+    let mut prev = '\0';
+    let mut cur = String::new();
+    let mut out = Vec::new();
+    for c in header[open..].chars() {
+        match c {
+            '(' | '[' => {
+                depth_paren += 1;
+                if depth_paren > 1 {
+                    cur.push(c);
+                }
+            }
+            ')' | ']' => {
+                depth_paren -= 1;
+                if depth_paren == 0 {
+                    break;
+                }
+                cur.push(c);
+            }
+            '<' => {
+                depth_angle += 1;
+                cur.push(c);
+            }
+            '>' if prev != '-' => {
+                depth_angle -= 1;
+                cur.push(c);
+            }
+            ',' if depth_paren == 1 && depth_angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+        prev = c;
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+// ---------------------------------------------------------------- D9
+
+/// The wire/fault enums whose `match`es must be exhaustive by name: a
+/// new protocol op or fault kind must *fail to compile* at every
+/// dispatch site, never fall into a `_` arm that silently drops it.
+const D9_ENUMS: [&str; 4] = ["WireVerdict", "OpVerdict", "Payload", "FaultKind"];
+
+/// D9 — wire-op exhaustiveness: every non-test `match` whose arms name
+/// a [`D9_ENUMS`] variant must (a) have no catch-all arm (`_`, a bare
+/// binding, or an or/`Some`-wrapped one) and (b) name every variant of
+/// the enum. Variants are recognized in qualified `Enum::Variant`
+/// pattern position only; `if let` chains are out of scope (DESIGN.md
+/// §16).
+pub fn d9(files: &[SourceFile], table: &SymbolTable) -> Vec<CrossFinding> {
+    let mut out: Vec<CrossFinding> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        if file.scope.is_test_file || file.scope.is_vendor {
+            continue;
+        }
+        for st in &file.stmts {
+            let Some(close) = st.body_close_line else {
+                continue;
+            };
+            if !st.text.ends_with('{')
+                || !contains_word(&st.text, "match")
+                || file.scope.is_test_line(st.first_line)
+            {
+                continue;
+            }
+            let arms = match_arms(&file.scanned, st.last_line, close);
+            // Which audited enum does this match dispatch on?
+            let mut named: Vec<(&str, String)> = Vec::new(); // (enum, variant)
+            for (_, pat) in &arms {
+                for e in D9_ENUMS {
+                    let marker = format!("{e}::");
+                    let mut from = 0;
+                    while let Some(p) = find_word_from(pat, e, from) {
+                        from = p + e.len();
+                        if !pat[from..].starts_with("::") {
+                            continue;
+                        }
+                        let variant: String = pat[p + marker.len()..]
+                            .chars()
+                            .take_while(|c| c.is_alphanumeric() || *c == '_')
+                            .collect();
+                        if !variant.is_empty() {
+                            named.push((e, variant));
+                        }
+                    }
+                }
+            }
+            if named.is_empty() {
+                continue;
+            }
+            let enum_name = named[0].0;
+            for (line, pat) in &arms {
+                if is_catch_all_arm(pat) {
+                    out.push((
+                        fi,
+                        finding(
+                            *line,
+                            "D9",
+                            format!(
+                                "catch-all arm in `match` over `{enum_name}` — name every \
+                                 variant so a new wire op fails to compile instead of \
+                                 silently falling through"
+                            ),
+                        ),
+                    ));
+                }
+            }
+            if let Some(def) = table.enum_named(enum_name) {
+                let covered: Vec<&String> = named
+                    .iter()
+                    .filter(|(e, _)| *e == enum_name)
+                    .map(|(_, v)| v)
+                    .collect();
+                let missing: Vec<&str> = def
+                    .variants
+                    .iter()
+                    .filter(|v| !covered.contains(v))
+                    .map(String::as_str)
+                    .collect();
+                if !missing.is_empty() && !arms.iter().any(|(_, p)| is_catch_all_arm(p)) {
+                    out.push((
+                        fi,
+                        finding(
+                            st.first_line,
+                            "D9",
+                            format!(
+                                "`match` over `{enum_name}` does not name variant(s) {} — \
+                                 wire/fault dispatch must be exhaustive by name",
+                                missing.join(", ")
+                            ),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    out.dedup();
+    out
+}
+
+/// The arms of a `match` block: (first line, normalized pattern text)
+/// per arm, with guards stripped. The walker starts at the block's
+/// opening `{` (last `{` on the header's closing line) and splits on
+/// depth-1 `=>`; arm bodies (block or comma-terminated expression) are
+/// consumed at depth so nested matches never leak arms outward.
+fn match_arms(scanned: &Scanned, open_line: usize, close_line: usize) -> Vec<(usize, String)> {
+    let mut arms = Vec::new();
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    let mut in_body = false;
+    let mut pat = String::new();
+    let mut pat_line = 0usize;
+    for line_no in open_line..=close_line {
+        let line = scanned.line(line_no);
+        let bytes = line.as_bytes();
+        let mut i = if line_no == open_line {
+            match line.rfind('{') {
+                Some(p) => {
+                    brace = 1;
+                    p + 1
+                }
+                None => continue,
+            }
+        } else {
+            0
+        };
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match c {
+                '{' => brace += 1,
+                '}' => {
+                    brace -= 1;
+                    if brace == 0 {
+                        return arms; // match closed
+                    }
+                    if in_body && brace == 1 {
+                        in_body = false; // block body closed
+                    }
+                }
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren -= 1,
+                // The comma terminating an expression body must not
+                // leak into the next arm's pattern text.
+                ',' if in_body && brace == 1 && paren == 0 => {
+                    in_body = false;
+                    i += 1;
+                    continue;
+                }
+                '=' if !in_body && brace == 1 && paren == 0 && bytes.get(i + 1) == Some(&b'>') => {
+                    let text = normalize_pattern(&pat);
+                    if !text.is_empty() {
+                        arms.push((pat_line, text));
+                    }
+                    pat.clear();
+                    in_body = true;
+                    i += 2;
+                    continue;
+                }
+                _ => {}
+            }
+            // `{`/`}` never join the pattern text: a struct pattern's
+            // closing brace lands back at depth 1 and would otherwise
+            // leak into the next arm's pattern.
+            if !in_body && brace == 1 && c != '{' && c != '}' {
+                if pat.trim().is_empty() && !c.is_whitespace() {
+                    pat_line = line_no;
+                }
+                pat.push(c);
+            }
+            i += 1;
+        }
+        if !in_body && brace >= 1 {
+            pat.push(' ');
+        }
+    }
+    arms
+}
+
+/// Collapses whitespace and strips a trailing ` if GUARD`.
+fn normalize_pattern(pat: &str) -> String {
+    let collapsed = pat.split_whitespace().collect::<Vec<_>>().join(" ");
+    match collapsed.find(" if ") {
+        Some(p) => collapsed[..p].trim().to_string(),
+        None => collapsed,
+    }
+}
+
+/// Whether an arm pattern is a catch-all: any top-level `|` alternative
+/// that — unwrapped through `&`/`Some`/`Ok`/`Err` — is `_` or a bare
+/// lowercase binding. Capitalized bare idents (`None`, unit variants)
+/// are named patterns, not catch-alls.
+fn is_catch_all_arm(pat: &str) -> bool {
+    split_top_level(pat, '|').into_iter().any(|alt| {
+        let mut p = alt.trim();
+        loop {
+            p = p.trim().trim_start_matches('&').trim();
+            let mut unwrapped = false;
+            for w in ["Some(", "Ok(", "Err("] {
+                if p.starts_with(w) && p.ends_with(')') {
+                    p = &p[w.len()..p.len() - 1];
+                    unwrapped = true;
+                    break;
+                }
+            }
+            if !unwrapped {
+                break;
+            }
+        }
+        if p == "_" {
+            return true;
+        }
+        p.chars().all(|c| c.is_alphanumeric() || c == '_')
+            && p.chars()
+                .next()
+                .is_some_and(|c| c.is_lowercase() || c == '_')
+    })
+}
+
+/// Splits on `sep` at paren/bracket depth 0.
+fn split_top_level(s: &str, sep: char) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            c if c == sep && depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
     out
 }

@@ -1,0 +1,597 @@
+//! The whole-repo symbol table: functions, structs (with fields) and
+//! enums (with variants), extracted from the token stream.
+//!
+//! This is the foundation the cross-file rules (D7–D9) stand on. There
+//! is still no `syn` — declarations are recognized from the
+//! comment-stripped statement segmentation, and struct/enum bodies are
+//! walked with a small depth-tracking character scanner (the statement
+//! segmenter splits brace-bodied declarations, so field and variant
+//! extraction works on raw code lines instead). The table is built
+//! once per workspace pass and shared by every cross-file rule.
+//!
+//! Known approximations (documented in DESIGN.md §16): types are
+//! matched by *name*, not by resolution — two structs with the same
+//! name make that name unresolvable (the rules skip it rather than
+//! guess); tuple structs carry no named fields and are not recorded;
+//! a field's type text is taken from its declaration line only.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{self, Scanned};
+use crate::scope::FileScope;
+use crate::segment::{self, Stmt};
+
+/// One source file prepared for whole-repo analysis: the scanned
+/// channels, scope facts and statement segmentation, computed once and
+/// shared by the per-file rules, the symbol table and the cross-file
+/// rules.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Code/comment channels.
+    pub scanned: Scanned,
+    /// Location facts (crate, test/vendor/root flags, cfg(test) map).
+    pub scope: FileScope,
+    /// Flat statement segmentation of the code channel.
+    pub stmts: Vec<Stmt>,
+}
+
+impl SourceFile {
+    /// Scans and segments `src` under its workspace-relative `path`.
+    pub fn prepare(path: &str, src: &str) -> SourceFile {
+        let scanned = lexer::scan(src);
+        let scope = FileScope::new(path, &scanned);
+        let stmts = segment::statements(&scanned);
+        SourceFile {
+            path: scope.path.clone(),
+            scanned,
+            scope,
+            stmts,
+        }
+    }
+}
+
+/// A function definition (free fn or method) with its body extent.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Index of the defining file in the `SourceFile` slice.
+    pub file: usize,
+    /// 1-based line of the header's first token.
+    pub line: usize,
+    /// 1-based line of the body's closing `}`.
+    pub end_line: usize,
+    /// Bare name (`digest`, `run_engine`).
+    pub name: String,
+    /// Enclosing `impl` type, when the fn is a method (`SimTrace` for
+    /// `impl SimTrace { fn digest … }`; trait impls record the
+    /// implementing type, not the trait).
+    pub impl_type: Option<String>,
+    /// Whole normalized header text (for parameter parsing).
+    pub header: String,
+    /// Defined in test code (test file or `#[cfg(test)]` region).
+    pub is_test: bool,
+}
+
+impl FnDef {
+    /// `Type::name` for methods, bare `name` for free fns.
+    pub fn qual(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One named struct field.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// Declared type text (same-line remainder after the `:`).
+    pub ty: String,
+}
+
+impl Field {
+    /// Whether the declared type is a lock (`Mutex`/`RwLock`,
+    /// including instrumented wrappers like `TrackedMutex`).
+    pub fn is_lock(&self) -> bool {
+        self.ty.contains("Mutex") || self.ty.contains("RwLock")
+    }
+}
+
+/// A brace-bodied struct definition with its named fields.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Index of the defining file.
+    pub file: usize,
+    /// 1-based line of the `struct` header.
+    pub line: usize,
+    /// Type name.
+    pub name: String,
+    /// Named fields in declaration order.
+    pub fields: Vec<Field>,
+    /// Defined in test code.
+    pub is_test: bool,
+}
+
+/// An enum definition with its variant names.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Index of the defining file.
+    pub file: usize,
+    /// 1-based line of the `enum` header.
+    pub line: usize,
+    /// Type name.
+    pub name: String,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+    /// Defined in test code.
+    pub is_test: bool,
+}
+
+/// The whole-repo symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    /// Every fn definition, in (file, line) order.
+    pub fns: Vec<FnDef>,
+    /// Every brace-bodied struct, in (file, line) order.
+    pub structs: Vec<StructDef>,
+    /// Every enum, in (file, line) order.
+    pub enums: Vec<EnumDef>,
+    fn_by_name: BTreeMap<String, Vec<usize>>,
+    struct_by_name: BTreeMap<String, Vec<usize>>,
+    enum_by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Builds the table over every prepared file, in slice order (the
+    /// caller passes files sorted by path, so the table — and every
+    /// rule that iterates it — is deterministic).
+    pub fn build(files: &[SourceFile]) -> SymbolTable {
+        let mut t = SymbolTable::default();
+        for (fi, f) in files.iter().enumerate() {
+            collect_file(&mut t, fi, f);
+        }
+        for (i, d) in t.fns.iter().enumerate() {
+            t.fn_by_name.entry(d.name.clone()).or_default().push(i);
+        }
+        for (i, d) in t.structs.iter().enumerate() {
+            t.struct_by_name.entry(d.name.clone()).or_default().push(i);
+        }
+        for (i, d) in t.enums.iter().enumerate() {
+            t.enum_by_name.entry(d.name.clone()).or_default().push(i);
+        }
+        t
+    }
+
+    /// Indices of every fn with this bare name.
+    pub fn fns_named(&self, name: &str) -> &[usize] {
+        self.fn_by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The method `ty::name`, when exactly one exists.
+    pub fn method_of(&self, ty: &str, name: &str) -> Option<usize> {
+        let mut found = None;
+        for &i in self.fns_named(name) {
+            if self.fns[i].impl_type.as_deref() == Some(ty) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(i);
+            }
+        }
+        found
+    }
+
+    /// The struct with this name, when exactly one exists.
+    pub fn struct_named(&self, name: &str) -> Option<&StructDef> {
+        match self.struct_by_name.get(name).map(Vec::as_slice) {
+            Some([i]) => Some(&self.structs[*i]),
+            _ => None,
+        }
+    }
+
+    /// The enum with this name, when exactly one exists.
+    pub fn enum_named(&self, name: &str) -> Option<&EnumDef> {
+        match self.enum_by_name.get(name).map(Vec::as_slice) {
+            Some([i]) => Some(&self.enums[*i]),
+            _ => None,
+        }
+    }
+}
+
+/// Word-boundary find of `needle` in `hay` starting at `from`;
+/// returns the byte offset of the match.
+pub(crate) fn find_word_from(hay: &str, needle: &str, from: usize) -> Option<usize> {
+    let mut start = from;
+    while let Some(pos) = hay[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = !hay[..abs]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + needle.len();
+        let after_ok = !hay[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        start = abs + needle.len();
+    }
+    None
+}
+
+/// The leading identifier of `s`, if any.
+fn leading_ident(s: &str) -> Option<String> {
+    let ident: String = s
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!ident.is_empty() && !ident.chars().next().unwrap().is_numeric()).then_some(ident)
+}
+
+fn collect_file(t: &mut SymbolTable, fi: usize, f: &SourceFile) {
+    // `impl` extents first, so fn→impl attribution is one containment
+    // lookup. (Innermost wins, though Rust has no nested impls.)
+    let mut impls: Vec<(usize, usize, String)> = Vec::new();
+    for st in &f.stmts {
+        let Some(close) = st.body_close_line else {
+            continue;
+        };
+        if let Some(ty) = impl_header_type(&st.text) {
+            impls.push((st.first_line, close, ty));
+        }
+    }
+
+    for st in &f.stmts {
+        let Some(close) = st.body_close_line else {
+            continue;
+        };
+        let is_test = f.scope.is_test_line(st.first_line);
+        if let Some(name) = fn_header_name(&st.text) {
+            let impl_type = impls
+                .iter()
+                .filter(|(open, end, _)| *open < st.first_line && st.first_line <= *end)
+                .max_by_key(|(open, _, _)| *open)
+                .map(|(_, _, ty)| ty.clone());
+            t.fns.push(FnDef {
+                file: fi,
+                line: st.first_line,
+                end_line: close,
+                name,
+                impl_type,
+                header: strip_attrs(&st.text).to_string(),
+                is_test,
+            });
+        } else if let Some(name) = decl_header_name(&st.text, "struct") {
+            t.structs.push(StructDef {
+                file: fi,
+                line: st.first_line,
+                name,
+                fields: struct_fields(&f.scanned, st.last_line, close),
+                is_test,
+            });
+        } else if let Some(name) = decl_header_name(&st.text, "enum") {
+            t.enums.push(EnumDef {
+                file: fi,
+                line: st.first_line,
+                name,
+                variants: enum_variants(&f.scanned, st.last_line, close),
+                is_test,
+            });
+        }
+    }
+}
+
+/// Strips leading attribute groups (`#[derive(…)] #[cfg(…)] …`) from
+/// a normalized header text — the segmenter folds attribute lines
+/// into the declaration statement they decorate.
+fn strip_attrs(text: &str) -> &str {
+    let mut rest = text.trim_start();
+    while rest.starts_with("#[") {
+        let mut depth = 0i32;
+        let mut end = None;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        match end {
+            Some(i) => rest = rest[i + 1..].trim_start(),
+            None => break,
+        }
+    }
+    rest
+}
+
+/// Tokens allowed before `fn` in a definition header.
+fn is_fn_qualifier(tok: &str) -> bool {
+    matches!(
+        tok,
+        "pub" | "const" | "async" | "unsafe" | "extern" | "default"
+    ) || tok.starts_with("pub(")
+        || tok.starts_with('"') // blanked `extern "C"` ABI string
+}
+
+/// The name of a fn definition header (`[quals] fn NAME … {`), if the
+/// statement is one.
+fn fn_header_name(text: &str) -> Option<String> {
+    let text = strip_attrs(text);
+    if !text.ends_with('{') {
+        return None;
+    }
+    let pos = find_word_from(text, "fn", 0)?;
+    if !text[..pos].split_whitespace().all(is_fn_qualifier) {
+        return None;
+    }
+    leading_ident(text[pos + 2..].trim_start())
+}
+
+/// The name of a `struct`/`enum` definition header with a brace body.
+fn decl_header_name(text: &str, kw: &str) -> Option<String> {
+    let text = strip_attrs(text);
+    if !text.ends_with('{') {
+        return None;
+    }
+    let pos = find_word_from(text, kw, 0)?;
+    let prefix_ok = text[..pos]
+        .split_whitespace()
+        .all(|tok| tok == "pub" || tok.starts_with("pub("));
+    if !prefix_ok {
+        return None;
+    }
+    leading_ident(text[pos + kw.len()..].trim_start())
+}
+
+/// The implementing type of an `impl` header (`Bar` for both
+/// `impl Bar {` and `impl<T> Foo<T> for Bar<T> where … {`).
+fn impl_header_type(text: &str) -> Option<String> {
+    let rest = strip_attrs(text).strip_prefix("impl")?;
+    // `impl` must be followed by a generic group, whitespace or a type.
+    if rest
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    {
+        return None;
+    }
+    let rest = rest.strip_suffix('{')?.trim();
+    let rest = skip_angle_group(rest).trim_start();
+    let rest = rest.split(" where ").next().unwrap_or(rest).trim();
+    // Top-level ` for ` separates trait from type.
+    let ty = match find_top_level_for(rest) {
+        Some(p) => rest[p + 3..].trim(),
+        None => rest,
+    };
+    let base = ty.split('<').next()?.trim();
+    let name = base.rsplit("::").next()?.trim();
+    leading_ident(name).filter(|n| n.chars().next().is_some_and(char::is_uppercase))
+}
+
+/// Skips a leading `<…>` generics group (angle-bracket balanced).
+fn skip_angle_group(s: &str) -> &str {
+    if !s.starts_with('<') {
+        return s;
+    }
+    let mut depth = 0i32;
+    let mut prev = '\0';
+    for (i, c) in s.char_indices() {
+        match c {
+            '<' => depth += 1,
+            '>' if prev != '-' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &s[i + 1..];
+                }
+            }
+            _ => {}
+        }
+        prev = c;
+    }
+    s
+}
+
+/// Byte offset of the word `for` at angle depth 0, if present.
+fn find_top_level_for(s: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut prev = '\0';
+    let mut i = 0;
+    let bytes = s.as_bytes();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '<' => depth += 1,
+            '>' if prev != '-' => depth -= 1,
+            'f' if depth == 0
+                && s[i..].starts_with("for")
+                && !s[..i]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|p| p.is_alphanumeric() || p == '_')
+                && !s[i + 3..]
+                    .chars()
+                    .next()
+                    .is_some_and(|n| n.is_alphanumeric() || n == '_') =>
+            {
+                return Some(i);
+            }
+            _ => {}
+        }
+        prev = c;
+        i += 1;
+    }
+    None
+}
+
+/// Depth-tracking walk over a declaration body shared by field and
+/// variant extraction. Calls `emit(name, line, rest_of_line)` for each
+/// top-level (depth-1) member name.
+fn walk_decl_body(
+    scanned: &Scanned,
+    open_line: usize,
+    close_line: usize,
+    mut emit: impl FnMut(String, usize, &str),
+) {
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    // A member name is expected right after the opening `{` and after
+    // every top-level `,`.
+    let mut expecting = false;
+    for line_no in open_line..=close_line {
+        let line = scanned.line(line_no);
+        let chars: Vec<char> = line.chars().collect();
+        // Attribute lines inside the body (`#[cfg(…)]`) never carry
+        // the member name; skip them wholesale.
+        if brace >= 1 && line.trim_start().starts_with("#[") {
+            continue;
+        }
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match c {
+                '{' => {
+                    brace += 1;
+                    if brace == 1 {
+                        expecting = true;
+                    }
+                }
+                '}' => brace -= 1,
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren -= 1,
+                ',' if brace == 1 && paren == 0 => expecting = true,
+                c if expecting && brace == 1 && paren == 0 && (c.is_alphabetic() || c == '_') => {
+                    let start = i;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    let word: String = chars[start..i].iter().collect();
+                    if word == "pub" {
+                        // Visibility, possibly with a `(crate)` group
+                        // the paren counter will skip for us.
+                        continue;
+                    }
+                    let rest: String = chars[i..].iter().collect();
+                    emit(word, line_no, &rest);
+                    expecting = false;
+                    continue;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Named fields of a struct body (tuple/unit structs never get here:
+/// only brace headers are segmented with a body extent).
+fn struct_fields(scanned: &Scanned, open_line: usize, close_line: usize) -> Vec<Field> {
+    let mut fields = Vec::new();
+    walk_decl_body(scanned, open_line, close_line, |name, line, rest| {
+        // A field is `name: Type`; anything else (e.g. the macro-free
+        // grammar has no other shapes at depth 1) is skipped.
+        let rest = rest.trim_start();
+        if let Some(ty) = rest.strip_prefix(':') {
+            if !ty.starts_with(':') {
+                let ty = ty.split(',').next().unwrap_or(ty).trim().to_string();
+                fields.push(Field { name, line, ty });
+            }
+        }
+    });
+    fields
+}
+
+/// Variant names of an enum body.
+fn enum_variants(scanned: &Scanned, open_line: usize, close_line: usize) -> Vec<String> {
+    let mut variants = Vec::new();
+    walk_decl_body(scanned, open_line, close_line, |name, _line, _rest| {
+        variants.push(name);
+    });
+    variants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(src: &str) -> (SymbolTable, Vec<SourceFile>) {
+        let files = vec![SourceFile::prepare("crates/core/src/planted.rs", src)];
+        (SymbolTable::build(&files), files)
+    }
+
+    #[test]
+    fn fns_and_impl_attribution() {
+        let src = "pub struct A {\n    pub x: u32,\n}\n\
+                   impl A {\n    pub fn get_x(&self) -> u32 {\n        self.x\n    }\n}\n\
+                   impl std::fmt::Display for A {\n    fn fmt(&self) -> u32 { 0 }\n}\n\
+                   fn free() {}\n";
+        let (t, _) = table(src);
+        assert_eq!(t.fns.len(), 3);
+        assert_eq!(t.fns[0].qual(), "A::get_x");
+        assert_eq!((t.fns[0].line, t.fns[0].end_line), (5, 7));
+        assert_eq!(t.fns[1].qual(), "A::fmt");
+        assert_eq!(t.fns[2].qual(), "free");
+        assert!(t.method_of("A", "get_x").is_some());
+        assert!(t.method_of("A", "free").is_none());
+    }
+
+    #[test]
+    fn struct_fields_with_visibility_attributes_and_locks() {
+        let src = "pub struct S {\n    /// doc\n    pub a: u32,\n    #[allow(dead_code)]\n    \
+                   b: Vec<(u32, u64)>,\n    pub(crate) inner: std::sync::Mutex<u64>,\n}\n";
+        let (t, _) = table(src);
+        let s = t.struct_named("S").expect("unique struct");
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "inner"]);
+        assert_eq!(s.fields[0].line, 3);
+        assert!(s.fields[2].is_lock());
+        assert!(!s.fields[1].is_lock());
+    }
+
+    #[test]
+    fn enum_variants_with_payloads() {
+        let src = "pub enum E {\n    Plain,\n    Tuple(u64, u32),\n    \
+                   Struct { peer: u32, dur: u64 },\n    Last(Option<u64>),\n}\n";
+        let (t, _) = table(src);
+        let e = t.enum_named("E").expect("unique enum");
+        assert_eq!(e.variants, vec!["Plain", "Tuple", "Struct", "Last"]);
+    }
+
+    #[test]
+    fn generic_trait_impl_resolves_the_implementing_type() {
+        let src = "pub struct W<C> {\n    c: C,\n}\n\
+                   impl<C: Clone> Iterator for W<C> {\n    fn next(&mut self) -> Option<C> {\n        \
+                   None\n    }\n}\n";
+        let (t, _) = table(src);
+        assert_eq!(t.fns[0].impl_type.as_deref(), Some("W"));
+    }
+
+    #[test]
+    fn duplicate_names_are_unresolvable() {
+        let src = "mod a {\n    pub struct D {\n        pub x: u32,\n    }\n}\n\
+                   mod b {\n    pub struct D {\n        pub y: u32,\n    }\n}\n";
+        let (t, _) = table(src);
+        assert_eq!(t.structs.len(), 2);
+        assert!(t.struct_named("D").is_none());
+    }
+
+    #[test]
+    fn test_code_is_flagged() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let (t, _) = table(src);
+        assert!(!t.fns[0].is_test);
+        assert!(t.fns[1].is_test);
+    }
+}

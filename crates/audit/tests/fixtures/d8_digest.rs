@@ -1,0 +1,10 @@
+// The digest half of the planted D8 pair — folds `msps`, forgets
+// `flags`. Never compiled; fixture text only.
+
+/// FNV-folds the outcome (incompletely — that is the point).
+pub fn planted_outcome_digest(o: &PlantedOutcome) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h ^= o.msps;
+    h = h.wrapping_mul(0x0100_0000_01b3);
+    h
+}

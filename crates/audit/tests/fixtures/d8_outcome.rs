@@ -1,0 +1,8 @@
+// Planted D8 drift: `flags` is engine state but never folded into the
+// digest in `d8_digest.rs`. Never compiled; fixture text only.
+
+/// A planted semantic outcome with one field the digest misses.
+pub struct PlantedOutcome {
+    pub msps: u64,
+    pub flags: u32,
+}

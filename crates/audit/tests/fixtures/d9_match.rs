@@ -1,0 +1,24 @@
+// Planted D9 violations: a catch-all arm and a match missing a
+// variant, both over an enum on the wire-exhaustiveness list. Never
+// compiled; fixture text only.
+
+/// A planted fault-schedule token enum.
+pub enum FaultKind {
+    Drop,
+    Delay,
+    Depart,
+}
+
+pub fn score(k: &FaultKind) -> u32 {
+    match k {
+        FaultKind::Drop => 1,
+        _ => 0,
+    }
+}
+
+pub fn partial(k: &FaultKind) -> u32 {
+    match k {
+        FaultKind::Drop => 1,
+        FaultKind::Delay => 2,
+    }
+}

@@ -219,6 +219,7 @@ pub fn domain_crowd<'v>(
 #[derive(Debug, Clone)]
 pub struct DomainRun {
     /// Support threshold Θ.
+    // audit: allow(D8, run input not an outcome; the caller keys runs by threshold already)
     pub threshold: f64,
     /// Total MSPs.
     pub msps: usize,
@@ -227,12 +228,14 @@ pub struct DomainRun {
     /// Answers used by the algorithm at this threshold.
     pub questions: usize,
     /// Exhaustive-baseline answer count (5 per valid assignment).
+    // audit: allow(D8, derived 5x from total_valid which the digest already folds)
     pub baseline_questions: usize,
     /// Whether the run converged.
     pub complete: bool,
     /// Unclassified materialized nodes at the end.
     pub undecided: usize,
     /// Answer-type mix.
+    // audit: allow(D8, reporting breakdown of questions; the digest folds the authoritative total)
     pub question_stats: QuestionStats,
     /// Full event stream (for pace curves).
     pub outcome_events: Vec<oassis_core::DiscoveryEvent>,
@@ -241,10 +244,12 @@ pub struct DomainRun {
     /// Nodes materialized by the lazy generator.
     pub nodes_materialized: usize,
     /// Validity-oracle calls (lazy-generation cost measure).
+    // audit: allow(D8, cost instrumentation; not part of the semantic outcome)
     pub admits_calls: usize,
     /// Rounds in which at least one question was asked (deliberately
     /// excluded from [`digest_domain_run`]: the round count is what
     /// batching is *supposed* to change).
+    // audit: allow(D8, deliberately excluded - the round count is what batching is supposed to change)
     pub rounds: usize,
 }
 

@@ -9,6 +9,7 @@
 //! Definition 4.1 (`{Sport, Biking}` ≡ `{Biking}`), so canonical form
 //! removes it — making equality and hashing semantic.
 
+// audit: allow-file(D4, slot indices are bounded by the query arity fixed at parse time)
 use oassis_ql::{BoundQuery, FactTerm, RelTerm, Value, VarId};
 use ontology::{Fact, PatternFact, PatternSet, Vocabulary};
 

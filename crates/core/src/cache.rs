@@ -14,7 +14,7 @@ use crowd::{Answer, CrowdSource, MemberId, Question};
 use ontology::json::{self, Json, JsonError};
 use ontology::{PatternFact, PatternSet};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use telemetry::lockorder::TrackedMutex;
 
 /// A serializable store of concrete-question answers.
 ///
@@ -336,9 +336,15 @@ impl<C: CrowdSource> CrowdSource for CachingCrowd<'_, C> {
 /// A single mutex guards the store. Lookups clone the cached answer out
 /// under the lock; the lock is never held across a crowd call, so worker
 /// threads only contend for the duration of a hash-map probe.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SharedCrowdCache {
-    inner: Mutex<CrowdCache>,
+    inner: TrackedMutex<CrowdCache>,
+}
+
+impl Default for SharedCrowdCache {
+    fn default() -> SharedCrowdCache {
+        SharedCrowdCache::new(CrowdCache::default())
+    }
 }
 
 impl SharedCrowdCache {
@@ -346,18 +352,18 @@ impl SharedCrowdCache {
     /// empty one).
     pub fn new(cache: CrowdCache) -> Self {
         SharedCrowdCache {
-            inner: Mutex::new(cache),
+            inner: TrackedMutex::new("core.cache.inner", cache),
         }
     }
 
     /// Unwraps the inner cache.
     pub fn into_inner(self) -> CrowdCache {
-        self.inner.into_inner().expect("cache mutex poisoned")
+        self.inner.into_inner().expect("cache mutex poisoned") // PANIC-OK: poisoning means a worker already panicked; propagate it
     }
 
     /// Number of cached answers.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache mutex poisoned").len()
+        self.inner.lock().expect("cache mutex poisoned").len() // PANIC-OK: poisoning means a worker already panicked; propagate it
     }
 
     /// Whether the cache is empty.
@@ -369,7 +375,7 @@ impl SharedCrowdCache {
     pub fn get(&self, member: MemberId, pattern: &PatternSet) -> Option<CachedAnswer> {
         self.inner
             .lock()
-            .expect("cache mutex poisoned")
+            .expect("cache mutex poisoned") // PANIC-OK: poisoning means a worker already panicked; propagate it
             .get(member, pattern)
             .cloned()
     }
@@ -378,7 +384,7 @@ impl SharedCrowdCache {
     pub fn put(&self, member: MemberId, pattern: PatternSet, answer: CachedAnswer) {
         self.inner
             .lock()
-            .expect("cache mutex poisoned")
+            .expect("cache mutex poisoned") // PANIC-OK: poisoning means a worker already panicked; propagate it
             .put(member, pattern, answer)
     }
 }

@@ -97,7 +97,7 @@ impl ShardMap {
 
     /// The shard owning `member`.
     pub fn shard_of(&self, member: MemberId) -> u32 {
-        self.assign[member.0 as usize]
+        self.assign[member.0 as usize] // PANIC-OK: assign is sized to the member universe at construction
     }
 
     /// The (global) member ids living on `shard`, in id order.
@@ -292,13 +292,13 @@ impl Coordinator {
     /// gap. Returns the new prefix length (the count acked back to the
     /// node).
     pub fn ingest(&mut self, node: u32, start: usize, ops: &[WireOp]) -> usize {
-        let stream = &mut self.streams[node as usize];
+        let stream = &mut self.streams[node as usize]; // PANIC-OK: streams is sized to the node count at construction
         let have = stream.len();
         if start > have {
             return have; // gap — wait for retransmission
         }
         if start + ops.len() > have {
-            let fresh = &ops[have - start..];
+            let fresh = &ops[have - start..]; // PANIC-OK: have >= start is guaranteed by the watermark check above
             self.merge_ops += fresh.len() as u64;
             stream.extend_from_slice(fresh);
         }
@@ -307,13 +307,13 @@ impl Coordinator {
 
     /// The contiguous received prefix length for `node` — the ack value.
     pub fn received(&self, node: u32) -> usize {
-        self.streams[node as usize].len()
+        self.streams[node as usize].len() // PANIC-OK: streams is sized to the node count at construction
     }
 
     /// The `(tick, seq)` watermark of `node`'s received prefix — what a
     /// restarted node re-requests to resume sending from the right op.
     pub fn watermark_of(&self, node: u32) -> Watermark {
-        self.streams[node as usize]
+        self.streams[node as usize] // PANIC-OK: streams is sized to the node count at construction
             .last()
             .map(WireOp::watermark)
             .unwrap_or_default()

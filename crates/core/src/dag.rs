@@ -16,6 +16,7 @@
 //!    facts themselves enter the DAG only through crowd-volunteered tips
 //!    ([`Dag::attach_more_tip`]), mirroring the prototype's *more* button.
 
+// audit: allow-file(D4, node ids are arena indices minted by this module; every access goes through a handle the same arena produced)
 use crate::assignment::{value_leq, Assignment, Slot};
 use crate::fingerprint::{self, FingerprintSpace};
 use crate::validity::ValidityIndex;

@@ -89,13 +89,13 @@ pub fn diversify(vocab: &Vocabulary, candidates: &[Assignment], k: usize) -> Vec
             None => break,
         }
     }
-    picked.into_iter().map(|i| candidates[i].clone()).collect()
+    picked.into_iter().map(|i| candidates[i].clone()).collect() // PANIC-OK: picked indices come from iterating candidates
 }
 
 fn min_dist(vocab: &Vocabulary, candidates: &[Assignment], picked: &[usize], i: usize) -> f64 {
     picked
         .iter()
-        .map(|&p| semantic_distance(vocab, &candidates[p], &candidates[i]))
+        .map(|&p| semantic_distance(vocab, &candidates[p], &candidates[i])) // PANIC-OK: pair indices come from iterating candidates
         .fold(f64::INFINITY, f64::min)
 }
 

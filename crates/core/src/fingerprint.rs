@@ -101,11 +101,11 @@ impl FingerprintSpace {
             for &v in a.slot(Slot(si as u16)) {
                 match v {
                     Value::Elem(e) => or_into(
-                        &mut out[base..base + self.elem_words],
+                        &mut out[base..base + self.elem_words], // PANIC-OK: base arithmetic is bounded by the layout sizes fixed at construction
                         vocab.elem_ancestor_words(e),
                     ),
                     Value::Rel(r) => or_into(
-                        &mut out[base + self.elem_words..base + self.words_per_slot],
+                        &mut out[base + self.elem_words..base + self.words_per_slot], // PANIC-OK: base arithmetic is bounded by the layout sizes fixed at construction
                         vocab.rel_ancestor_words(r),
                     ),
                 }

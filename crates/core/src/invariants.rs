@@ -83,6 +83,7 @@ pub fn check_msp_maximality(
         }
     }
     for (i, &a) in msp_ids.iter().enumerate() {
+        // PANIC-OK: slicing from i+1 where i < len is always in range
         for &b in &msp_ids[i + 1..] {
             if view.leq(a, b) || view.leq(b, a) {
                 return Err(format!(

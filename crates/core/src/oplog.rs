@@ -254,7 +254,7 @@ impl OpLog {
         let start = self
             .ops
             .partition_point(|o| (o.tick, o.seq) <= (from.tick, from.seq));
-        &self.ops[start..]
+        &self.ops[start..] // PANIC-OK: start is a watermark previously returned by this log hence <= ops.len()
     }
 
     /// Number of recorded ops.
@@ -781,6 +781,7 @@ pub struct ReplayOutcome {
     /// The valid MSPs — the query answer.
     pub valid_msps: Vec<Assignment>,
     /// The MSP node ids, in discovery order.
+    // audit: allow(D8, derived 1:1 from msps which the digest already folds)
     pub msp_ids: Vec<NodeId>,
     /// Questions the recording run counted (distinct non-revise ticks).
     pub questions: usize,
@@ -795,12 +796,15 @@ pub struct ReplayOutcome {
     /// Carried from the log footer (environmental, not derivable).
     pub complete: bool,
     /// Ops applied (everything but revisions).
+    // audit: allow(D8, replay-cost instrumentation; not part of the semantic outcome replicas compare)
     pub applied: u64,
     /// Compensating revisions dropped under first-answer-wins.
+    // audit: allow(D8, replay-cost instrumentation; not part of the semantic outcome replicas compare)
     pub compensated: u64,
     /// Merged-mode only: `Msp` ops discarded as duplicates (every shard
     /// discovers the same MSP) or as unentailed by the merged evidence
     /// (their justifying stream was cut by a fault). Always 0 for
     /// [`OpLog::replay`].
+    // audit: allow(D8, merge bookkeeping that varies with shard count by design; the folded msps/events prove equivalence)
     pub discarded_msps: u64,
 }

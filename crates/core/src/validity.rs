@@ -10,6 +10,7 @@
 //! the covering tuples are simultaneously valid — which this module decides
 //! by recursive search with intersection-filtered tuple sets.
 
+// audit: allow-file(D4, assignment/level indexing is bounded by the vertical-domain sizes fixed at construction)
 use crate::assignment::{value_leq, Assignment, Slot};
 use oassis_ql::{BaseAssignment, BoundQuery, Multiplicity, Value};
 use ontology::Vocabulary;

@@ -273,7 +273,7 @@ impl<'a> SimulatedCrowd<'a> {
 
     /// Access to a member (e.g. to inspect ground truth in tests).
     pub fn member(&self, id: MemberId) -> &SimulatedMember {
-        &self.members[id.index()]
+        &self.members[id.index()] // PANIC-OK: member ids are minted by this registry and stay in range
     }
 
     /// Number of members.
@@ -313,7 +313,7 @@ impl CrowdSource for SimulatedCrowd<'_> {
 
     fn ask(&mut self, member: MemberId, question: &Question) -> Answer {
         self.questions += 1;
-        self.members[member.index()].answer(self.vocab, question)
+        self.members[member.index()].answer(self.vocab, question) // PANIC-OK: member ids are minted by this registry and stay in range
     }
 
     fn questions_asked(&self) -> usize {
@@ -321,7 +321,7 @@ impl CrowdSource for SimulatedCrowd<'_> {
     }
 
     fn member_has_profile(&self, member: MemberId, label: &str) -> bool {
-        self.members[member.index()]
+        self.members[member.index()] // PANIC-OK: member ids are minted by this registry and stay in range
             .profile
             .iter()
             .any(|l| l == label)

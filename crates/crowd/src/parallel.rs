@@ -15,7 +15,8 @@ use crate::question::{Answer, CrowdSource, MemberId, Question};
 use ontology::Vocabulary;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+use telemetry::lockorder::TrackedMutex;
 
 /// A unit of work for a member worker. The question travels as an
 /// [`Arc`] so a batch fan-out allocates it once, not once per member.
@@ -138,8 +139,10 @@ pub fn with_parallel_crowd<R>(
     f: impl FnOnce(&mut ParallelHandle) -> R,
 ) -> (R, Vec<SimulatedMember>) {
     let n = members.len();
-    let returned: Arc<Mutex<Vec<Option<SimulatedMember>>>> =
-        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let returned: Arc<TrackedMutex<Vec<Option<SimulatedMember>>>> = Arc::new(TrackedMutex::new(
+        "crowd.parallel.returned",
+        (0..n).map(|_| None).collect(),
+    ));
     let questions = Arc::new(AtomicUsize::new(0));
 
     let result = std::thread::scope(|scope| {

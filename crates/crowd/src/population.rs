@@ -93,10 +93,11 @@ pub fn generate(profiles: &[HabitProfile], cfg: &PopulationConfig) -> Vec<Simula
                 let mut facts: Vec<Fact> = Vec::new();
                 for &(pi, freq) in &personal {
                     if rng.gen_bool(freq) {
-                        facts.extend_from_slice(&profiles[pi].facts);
+                        facts.extend_from_slice(&profiles[pi].facts); // PANIC-OK: pi is drawn in 0..profiles.len() above
                     }
                 }
                 if !cfg.noise_facts.is_empty() && rng.gen_bool(cfg.noise_prob.clamp(0.0, 1.0)) {
+                    // PANIC-OK: index drawn in 0..noise_facts.len() below
                     facts.push(cfg.noise_facts[rng.gen_range(0..cfg.noise_facts.len())]);
                 }
                 db.push(FactSet::from_iter(facts));

@@ -49,6 +49,7 @@ pub fn check_consistency(
     let mut comparable_pairs = 0;
     let mut violations = 0;
     for (i, a) in observations.iter().enumerate() {
+        // PANIC-OK: slicing from i+1 where i < len is always in range
         for b in &observations[i + 1..] {
             let (gen_obs, spec_obs) = if a.pattern.leq(vocab, &b.pattern) {
                 (a, b)

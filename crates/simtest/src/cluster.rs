@@ -103,8 +103,8 @@ pub fn run_cluster(
     let result = catch_unwind(AssertUnwindSafe(|| {
         let (world, patterns) = build_world(&cfg.sim);
         let vocab = world.dom.ontology.vocab();
-        let q = parse(&world.dom.query).expect("synthetic query parses");
-        let b = bind(&q, &world.dom.ontology).expect("synthetic query binds");
+        let q = parse(&world.dom.query).expect("synthetic query parses"); // PANIC-OK: synthetic domain built by this module always parses
+        let b = bind(&q, &world.dom.ontology).expect("synthetic query binds"); // PANIC-OK: synthetic domain built by this module always binds
         let base = evaluate_where(&b, &world.dom.ontology, MatchMode::Exact);
         let (member_faults, node_faults) = schedule.split_cluster();
         let agg = FixedSampleAggregator { sample_size: 1 };
@@ -194,8 +194,8 @@ pub fn single_node_reference(
     let result = catch_unwind(AssertUnwindSafe(|| {
         let (world, patterns) = build_world(&cfg.sim);
         let vocab = world.dom.ontology.vocab();
-        let q = parse(&world.dom.query).expect("synthetic query parses");
-        let b = bind(&q, &world.dom.ontology).expect("synthetic query binds");
+        let q = parse(&world.dom.query).expect("synthetic query parses"); // PANIC-OK: synthetic domain built by this module always parses
+        let b = bind(&q, &world.dom.ontology).expect("synthetic query binds"); // PANIC-OK: synthetic domain built by this module always binds
         let base = evaluate_where(&b, &world.dom.ontology, MatchMode::Exact);
         let mut dag = Dag::new(&b, vocab, &base).without_multiplicities();
         let oracle = PlantedOracle::new(

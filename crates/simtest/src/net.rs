@@ -27,6 +27,7 @@
 //! the bit the equivalence oracle uses to decide whether a faulty run
 //! must still merge to the fault-free digest.
 
+// audit: allow-file(D4, node vectors are sized to cfg.nodes and member ids are range-checked before use)
 use crate::schedule::{FaultKind, Schedule};
 use oassis_core::cluster::{Coordinator, WireOp};
 use rand::rngs::StdRng;
@@ -172,7 +173,15 @@ pub fn run_net(
             FaultKind::Crash { down } if e.member < cfg.nodes => {
                 crashes.push((e.member, e.at, down.map(|d| e.at.saturating_add(d))));
             }
-            _ => {} // member faults belong to FaultyCrowd
+            // A crash naming the coordinator (or an out-of-range member)
+            // has no node to take down in the star.
+            FaultKind::Crash { .. } => {}
+            // Member faults belong to FaultyCrowd, not the network.
+            FaultKind::Drop
+            | FaultKind::Delay(_)
+            | FaultKind::Contradict
+            | FaultKind::Depart
+            | FaultKind::Absent(_) => {}
         }
     }
     let cut = |worker: u32, at: u64| {
@@ -257,7 +266,9 @@ pub fn run_net(
                         let count = coord.received(m.src);
                         outbox.push((coord_idx, m.src, Payload::SyncAck { count }));
                     }
-                    _ => unreachable!("workers never send acks"),
+                    Payload::Ack { .. } | Payload::SyncAck { .. } => {
+                        unreachable!("workers never send acks")
+                    }
                 }
             } else {
                 let n = &mut nodes[m.dst as usize];
@@ -281,7 +292,9 @@ pub fn run_net(
                                 .mark("resync", &format!("from={count}"));
                         }
                     }
-                    _ => unreachable!("only the coordinator sends batches' acks"),
+                    Payload::Batch { .. } | Payload::SyncReq => {
+                        unreachable!("only the coordinator sends batches' acks")
+                    }
                 }
             }
         }

@@ -56,7 +56,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+pub mod lockorder;
 
 /// Number of histogram buckets: bucket 0 holds zeros, bucket `i` holds
 /// values whose bit length is `i` (i.e. `2^(i-1) ..= 2^i - 1`), and the
@@ -239,9 +241,17 @@ struct SinkState {
 /// The recording collector: trace events in order, plus counter and
 /// histogram aggregates. Shared across the engine via `Arc`; see the
 /// module docs for the determinism contract.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TelemetrySink {
-    state: Mutex<SinkState>,
+    state: lockorder::TrackedMutex<SinkState>,
+}
+
+impl Default for TelemetrySink {
+    fn default() -> TelemetrySink {
+        TelemetrySink {
+            state: lockorder::TrackedMutex::new("telemetry.sink.state", SinkState::default()),
+        }
+    }
 }
 
 /// Aggregate totals for all spans sharing a name.
