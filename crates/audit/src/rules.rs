@@ -486,9 +486,10 @@ pub fn d3(scanned: &Scanned) -> (Vec<RawFinding>, Vec<UnsafeSite>) {
 /// (not a file list) means files added later — `oplog.rs`,
 /// `cluster.rs`, `net.rs`, whatever comes next — are audited the day
 /// they land instead of silently exempt.
-const D4_PATHS: [&str; 3] = [
+const D4_PATHS: [&str; 4] = [
     "crates/core/src/",
     "crates/crowd/src/",
+    "crates/server/src/",
     "crates/simtest/src/",
 ];
 
@@ -611,36 +612,45 @@ pub fn d5(scope: &FileScope, scanned: &Scanned, crate_has_unsafe: bool) -> Vec<R
 
 // ---------------------------------------------------------------- D6
 
-/// The wrappers' home: the only non-test file allowed to reference
-/// the deprecated entry points (it defines them and routes them
-/// through `run`).
-const D6_HOME: &str = "crates/core/src/engine.rs";
+/// The retired `Oassis` entry points: call-site patterns and, since
+/// the wrappers were deleted outright, definition patterns too — a
+/// reintroduced `fn execute` is the same regression as a call site.
+const D6_CALLS: [&str; 3] = [".execute(", ".execute_concurrent(", ".execute_rules("];
 
-/// The deprecated `Oassis` entry points, kept compiling for
-/// downstream code but closed to new call sites (DESIGN.md §12.1).
-const D6_DEPRECATED: [&str; 3] = [".execute(", ".execute_concurrent(", ".execute_rules("];
+/// Definition-level patterns: declaring any of the retired wrappers
+/// anywhere (including their old home in `engine.rs`) fires.
+const D6_DEFS: [&str; 3] = ["fn execute(", "fn execute_concurrent(", "fn execute_rules("];
 
-/// D6 — deprecated entry points: all code outside `engine.rs` — test
-/// or otherwise — must go through `Oassis::run` instead of the frozen
-/// wrapper methods. Only the wrappers' home file (which defines them,
-/// routes them through `run`, and exercises them in its own tests) is
-/// exempt. (String literals are blanked by the lexer, so quoting a
-/// method name in a message never fires.)
-pub fn d6(scope: &FileScope, scanned: &Scanned) -> Vec<RawFinding> {
-    if scope.path == D6_HOME {
-        return Vec::new();
-    }
+/// D6 — retired entry points: the `execute*` wrappers are gone, not
+/// frozen. No file anywhere — `engine.rs`, tests, benches — may call
+/// them *or define them again*; everything goes through `Oassis::run`
+/// (DESIGN.md §12.1). (String literals are blanked by the lexer, so
+/// quoting a method name in a message never fires.)
+pub fn d6(_scope: &FileScope, scanned: &Scanned) -> Vec<RawFinding> {
     let mut out = Vec::new();
     for (i, line) in scanned.code.iter().enumerate() {
         let line_no = i + 1;
-        for pat in D6_DEPRECATED {
+        for pat in D6_CALLS {
             if line.contains(pat) {
                 out.push(finding(
                     line_no,
                     "D6",
                     format!(
-                        "deprecated entry point `{}` — use `Oassis::run` (DESIGN.md §12.1)",
+                        "retired entry point `{}` — use `Oassis::run` (DESIGN.md §12.1)",
                         &pat[1..pat.len() - 1]
+                    ),
+                ));
+            }
+        }
+        for pat in D6_DEFS {
+            if line.contains(pat) {
+                out.push(finding(
+                    line_no,
+                    "D6",
+                    format!(
+                        "retired entry point redefined (`{}`) — the wrappers were \
+                         deleted; route through `Oassis::run` (DESIGN.md §12.1)",
+                        &pat[..pat.len() - 1]
                     ),
                 ));
             }

@@ -1,6 +1,6 @@
-// Planted D6 violations: calls to the deprecated `Oassis` entry
-// points outside their home in engine.rs. The string literal and the
-// `run` call must not fire.
+// Planted D6 violations: calls to the retired `Oassis` entry points,
+// and a re-declaration of one of the deleted wrappers. The string
+// literal and the `run` call must not fire.
 pub fn legacy_calls(engine: &Oassis, crowd: &mut C) {
     let a = engine.execute(SRC, crowd, &agg, &cfg);
     let b = engine.execute_concurrent(&srcs, make, &cache, &agg, &cfg);
@@ -8,4 +8,9 @@ pub fn legacy_calls(engine: &Oassis, crowd: &mut C) {
     let msg = "call .execute( somewhere else";
     let ok = engine.run(&request, binding, &agg);
     let _ = (a, b, c, msg, ok);
+}
+
+pub fn execute_rules(engine: &Oassis) -> u32 {
+    let _ = engine;
+    0
 }

@@ -130,32 +130,31 @@ fn d5_fires_on_a_bare_crate_root() {
 }
 
 #[test]
-fn d6_fires_on_deprecated_entry_points() {
+fn d6_fires_on_retired_entry_points() {
     let src = include_str!("fixtures/d6_deprecated.rs");
+    let want = vec![
+        ("D6".to_string(), 5),
+        ("D6".to_string(), 6),
+        ("D6".to_string(), 7),
+        ("D6".to_string(), 13),
+    ];
     let got = fired("crates/bench/src/planted.rs", src);
     assert_eq!(
-        got,
-        vec![
-            ("D6".to_string(), 5),
-            ("D6".to_string(), 6),
-            ("D6".to_string(), 7),
-        ],
-        "execute@5, execute_concurrent@6, execute_rules@7 fire; the \
-         string literal and the `run` call do not"
+        got, want,
+        "execute@5, execute_concurrent@6, execute_rules@7 and the \
+         redefinition@13 fire; the string literal and the `run` call \
+         do not"
     );
-    assert!(
-        fired("crates/core/src/engine.rs", src).is_empty(),
-        "the wrappers' home file is exempt from D6"
+    assert_eq!(
+        fired("crates/core/src/engine.rs", src),
+        want,
+        "the wrappers' old home file is no longer exempt — D6 enforces \
+         at the definition level everywhere"
     );
     assert_eq!(
         fired("crates/core/tests/planted.rs", src),
-        vec![
-            ("D6".to_string(), 5),
-            ("D6".to_string(), 6),
-            ("D6".to_string(), 7),
-        ],
-        "test code is no longer exempt from D6 — only the wrappers' \
-         home file may reference them"
+        want,
+        "test code is not exempt from D6 either"
     );
 }
 

@@ -603,6 +603,117 @@ fn cluster_section() -> (Json, bool) {
     (section, ok)
 }
 
+/// `server` section, digest-gated: the persistent-session service on
+/// the Figure-1 domain. One query mines live over loopback TCP, a
+/// burst of repeat requests (all answer-cache hits) measures protocol
+/// and session overhead in requests/s, and a cold restart over the
+/// same WAL root measures recovery latency — page-in plus op-log
+/// replay. The recovered digest must equal the live digest, or the
+/// harness exits non-zero (recovery that changes the outcome is not a
+/// latency number worth recording).
+fn server_section() -> (Json, bool) {
+    use oassis_server::{
+        Client, Figure1Provider, QuerySpec, Request, Response, Server, ServerConfig,
+        SessionManager, SessionSpec,
+    };
+    use ontology::domains::figure1;
+    use std::sync::Arc;
+
+    let ont = Arc::new(figure1::ontology());
+    let root = std::env::temp_dir().join(format!("oassis-bench-server-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let session = SessionSpec {
+        name: "bench".into(),
+        seed: 7,
+        members: 2,
+    };
+    let qspec = QuerySpec {
+        src: figure1::SIMPLE_QUERY.to_string(),
+        threshold: None,
+        batch_width: 1,
+        max_questions: None,
+        seed: 3,
+    };
+    let manager = |ont: &Arc<ontology::Ontology>| {
+        SessionManager::new(
+            ont.clone(),
+            Box::new(Figure1Provider::new(ont.clone())),
+            &root,
+        )
+    };
+
+    // live lifetime over loopback TCP: mine once, then a repeat burst
+    let server = Server::spawn(manager(&ont), &ServerConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let call =
+        |client: &mut Client, req: &Request| -> Response { client.call(req).expect("server call") };
+    call(&mut client, &Request::Open(session.clone()));
+    let query = Request::Query {
+        session: "bench".into(),
+        spec: qspec.clone(),
+    };
+    let Response::Result { reply, .. } = call(&mut client, &query) else {
+        panic!("live query failed")
+    };
+    let live_digest = reply.digest;
+    const REQUESTS: usize = 200;
+    let start = Instant::now();
+    let mut ok = true;
+    for _ in 0..REQUESTS {
+        let Response::Result { reply, .. } = call(&mut client, &query) else {
+            panic!("repeat query failed")
+        };
+        ok &= reply.digest == live_digest;
+    }
+    let burst_wall = start.elapsed().as_secs_f64();
+    let requests_per_s = REQUESTS as f64 / burst_wall;
+    client.bye().expect("bye");
+    server.shutdown();
+
+    // recovery latency: cold restarts over the same WAL root — session
+    // page-in plus a full op-log replay of the recorded query
+    let mut samples: Vec<(f64, u64)> = Vec::with_capacity(REPEATS);
+    let mut recovered_ops = 0usize;
+    for _ in 0..REPEATS {
+        let mut mgr = manager(&ont);
+        let start = Instant::now();
+        mgr.open(&session).expect("resume");
+        let recovered = mgr.recover("bench").expect("recover");
+        let wall = start.elapsed().as_secs_f64();
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for r in &recovered {
+            ok &= r.verified == Some(true) && r.digest == live_digest;
+            recovered_ops = r.ops;
+            fnv(&mut digest, r.digest.as_bytes());
+        }
+        samples.push((wall, digest));
+    }
+    let recovery_wall_s = median_wall("server_recovery", &samples);
+    let _ = std::fs::remove_dir_all(&root);
+    println!(
+        "server E0_figure1     {requests_per_s:>8.0} req/s over TCP; recovery \
+         {recovery_wall_s:.4}s (median of {REPEATS}, {recovered_ops} ops)  outcomes {}",
+        if ok {
+            "identical"
+        } else {
+            "DIFFER from the live run!"
+        }
+    );
+    let section = Json::Obj(vec![
+        ("workload".into(), Json::Str("figure1_simple".into())),
+        ("requests".into(), Json::Num(REQUESTS as f64)),
+        ("requests_per_s".into(), Json::Num(requests_per_s.round())),
+        (
+            "recovery_wall_s".into(),
+            Json::Num((recovery_wall_s * 1e4).round() / 1e4),
+        ),
+        ("recovered_ops".into(), Json::Num(recovered_ops as f64)),
+        ("digest".into(), Json::Str(live_digest)),
+        ("matches_live".into(), Json::Bool(ok)),
+    ]);
+    (section, ok)
+}
+
 fn workspace_root() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -646,6 +757,10 @@ fn main() {
     // sharded coordinator merge at N ∈ {1, 2, 4, 8}: every shard count
     // must land on the single-node semantic digest
     let (cluster_json, cluster_ok) = cluster_section();
+
+    // persistent-session service: requests/s over loopback TCP plus
+    // cold-restart recovery latency, gated on the recovered digest
+    let (server_json, server_ok) = server_section();
 
     let path = workspace_root().join("BENCH_speed.json");
     let previous = std::fs::read_to_string(&path)
@@ -715,6 +830,7 @@ fn main() {
                         | "batched"
                         | "incremental"
                         | "cluster"
+                        | "server"
                 )
             })
             .cloned()
@@ -803,6 +919,7 @@ fn main() {
         ("batched".into(), batched_json),
         ("incremental".into(), incremental_json),
         ("cluster".into(), cluster_json),
+        ("server".into(), server_json),
     ];
     fields.extend(extra_fields);
     let doc = Json::Obj(fields);
@@ -827,6 +944,10 @@ fn main() {
     }
     if !cluster_ok {
         eprintln!("a sharded merge diverged from the single-node digest — failing the smoke run");
+        std::process::exit(1);
+    }
+    if !server_ok {
+        eprintln!("server recovery diverged from the live digest — failing the smoke run");
         std::process::exit(1);
     }
 }

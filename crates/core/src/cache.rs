@@ -95,6 +95,31 @@ impl CrowdCache {
         Json::Obj(vec![("entries".into(), Json::Arr(entries))]).to_string()
     }
 
+    /// The members holding cached answers, in id order (the WAL store
+    /// shards its answer log by member).
+    pub fn members(&self) -> Vec<MemberId> {
+        let mut ids: Vec<MemberId> = self
+            .answers
+            .iter()
+            .filter(|(_, inner)| !inner.is_empty())
+            .map(|(&m, _)| m)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// One member's cached entries, sorted by pattern for determinism —
+    /// the per-member answer database a WAL snapshot persists.
+    pub fn entries_of(&self, member: MemberId) -> Vec<(&PatternSet, &CachedAnswer)> {
+        let mut entries: Vec<(&PatternSet, &CachedAnswer)> = self
+            .answers
+            .get(&member)
+            .map(|inner| inner.iter().collect())
+            .unwrap_or_default();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries
+    }
+
     /// Restores from JSON.
     pub fn from_json(s: &str) -> Result<Self, JsonError> {
         let doc = json::parse(s)?;
@@ -113,6 +138,20 @@ impl CrowdCache {
         }
         Ok(cache)
     }
+}
+
+/// Serializes one `(pattern, answer)` cache entry — the WAL's `answer`
+/// record payload, reusing the snapshot encoding of [`CrowdCache::to_json`].
+pub fn entry_to_json(pattern: &PatternSet, answer: &CachedAnswer) -> Json {
+    Json::Arr(vec![pattern_to_json(pattern), answer_to_json(answer)])
+}
+
+/// Restores a cache entry serialized by [`entry_to_json`].
+pub fn entry_from_json(v: &Json) -> Result<(PatternSet, CachedAnswer), JsonError> {
+    let [p, a] = v.as_arr()? else {
+        return Err(JsonError::shape("expected a [pattern, answer] entry"));
+    };
+    Ok((pattern_from_json(p)?, answer_from_json(a)?))
 }
 
 fn opt_id_to_json(id: Option<u32>) -> Json {
@@ -328,10 +367,11 @@ impl<C: CrowdSource> CrowdSource for CachingCrowd<'_, C> {
     }
 }
 
-/// A thread-safe [`CrowdCache`] for concurrent query execution
-/// ([`Oassis::execute_concurrent`](crate::Oassis::execute_concurrent)):
-/// several queries running on different threads share one answer store, so
-/// a pattern any query already asked a member about is never re-asked.
+/// A thread-safe [`CrowdCache`] for concurrent query execution (batch
+/// requests through [`Oassis::run`](crate::Oassis::run) and the serving
+/// layer's sessions): several queries running on different threads share
+/// one answer store, so a pattern any query already asked a member about
+/// is never re-asked.
 ///
 /// A single mutex guards the store. Lookups clone the cached answer out
 /// under the lock; the lock is never held across a crowd call, so worker

@@ -52,8 +52,9 @@ use crate::dag::{Dag, NodeId};
 use crate::oplog::{AnswerOp, OpLog, OpVerdict, ReplayOutcome, Watermark};
 use crate::vertical::MiningOutcome;
 use crowd::{Answer, CrowdSource, MemberId, Question};
-use oassis_ql::BoundQuery;
-use ontology::{ElemId, Vocabulary};
+use oassis_ql::{BoundQuery, Value};
+use ontology::json::{Json, JsonError};
+use ontology::{ElemId, Fact, RelId, Vocabulary};
 
 /// A deterministic member → shard-node assignment over `shards` nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -223,37 +224,238 @@ impl WireOp {
     }
 }
 
-/// Renders a node's op log in wire form, resolving the node-local
-/// [`NodeId`]s against the replica `dag` the log was recorded on.
-pub fn to_wire(log: &OpLog, dag: &Dag<'_>) -> Vec<WireOp> {
+/// Renders one op in wire form, resolving its node-local [`NodeId`]s
+/// against the replica `dag` it was recorded on — the per-op unit of
+/// [`to_wire`], used by streaming consumers ([`crate::oplog::OpTap`]
+/// implementations) that ship ops before the run's log is finished.
+pub fn op_to_wire(op: &AnswerOp, dag: &Dag<'_>) -> WireOp {
     let assignment = |id: NodeId| -> Option<Assignment> {
         (id != NodeId::SENTINEL).then(|| dag.node(id).assignment.clone())
     };
-    log.ops()
-        .iter()
-        .map(|op| {
-            let verdict = match &op.verdict {
-                OpVerdict::Support { support } => WireVerdict::Support { support: *support },
-                OpVerdict::NoneOfThese { options } => WireVerdict::NoneOfThese {
-                    options: options
-                        .iter()
-                        .map(|&o| dag.node(o).assignment.clone())
-                        .collect(),
-                },
-                OpVerdict::Prune { elem } => WireVerdict::Prune { elem: *elem },
-                OpVerdict::NoAnswer => WireVerdict::NoAnswer,
-                OpVerdict::Msp { valid } => WireVerdict::Msp { valid: *valid },
-                OpVerdict::Revise { support } => WireVerdict::Revise { support: *support },
-            };
-            WireOp {
-                tick: op.tick,
-                seq: op.seq,
-                member: op.member,
-                node: assignment(op.node),
-                verdict,
-            }
+    let verdict = match &op.verdict {
+        OpVerdict::Support { support } => WireVerdict::Support { support: *support },
+        OpVerdict::NoneOfThese { options } => WireVerdict::NoneOfThese {
+            options: options
+                .iter()
+                .map(|&o| dag.node(o).assignment.clone())
+                .collect(),
+        },
+        OpVerdict::Prune { elem } => WireVerdict::Prune { elem: *elem },
+        OpVerdict::NoAnswer => WireVerdict::NoAnswer,
+        OpVerdict::Msp { valid } => WireVerdict::Msp { valid: *valid },
+        OpVerdict::Revise { support } => WireVerdict::Revise { support: *support },
+    };
+    WireOp {
+        tick: op.tick,
+        seq: op.seq,
+        member: op.member,
+        node: assignment(op.node),
+        verdict,
+    }
+}
+
+/// Renders a node's op log in wire form, resolving the node-local
+/// [`NodeId`]s against the replica `dag` the log was recorded on.
+pub fn to_wire(log: &OpLog, dag: &Dag<'_>) -> Vec<WireOp> {
+    log.ops().iter().map(|op| op_to_wire(op, dag)).collect()
+}
+
+fn value_to_json(v: Value) -> Json {
+    match v {
+        Value::Elem(e) => Json::Arr(vec![Json::Str("e".into()), Json::Num(e.0 as f64)]),
+        Value::Rel(r) => Json::Arr(vec![Json::Str("r".into()), Json::Num(r.0 as f64)]),
+    }
+}
+
+fn value_from_json(j: &Json) -> Result<Value, JsonError> {
+    let [kind, id] = j.as_arr()? else {
+        return Err(JsonError::shape("expected a [kind, id] value"));
+    };
+    match kind.as_str()? {
+        "e" => Ok(Value::Elem(ElemId(id.as_u32()?))),
+        "r" => Ok(Value::Rel(RelId(id.as_u32()?))),
+        other => Err(JsonError::shape(format!("unknown value kind {other:?}"))),
+    }
+}
+
+/// Serializes an assignment for the wire/WAL: per-slot value arrays plus
+/// MORE facts, element and relation ids vocabulary-global.
+pub fn assignment_to_json(a: &Assignment) -> Json {
+    let slots = (0..a.num_slots())
+        .map(|si| {
+            Json::Arr(
+                a.slot(crate::assignment::Slot(si as u16))
+                    .iter()
+                    .map(|&v| value_to_json(v))
+                    .collect(),
+            )
         })
-        .collect()
+        .collect();
+    let more = a
+        .more()
+        .iter()
+        .map(|f| {
+            Json::Arr(vec![
+                Json::Num(f.subject.0 as f64),
+                Json::Num(f.rel.0 as f64),
+                Json::Num(f.object.0 as f64),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("slots".into(), Json::Arr(slots)),
+        ("more".into(), Json::Arr(more)),
+    ])
+}
+
+/// Restores an assignment serialized by [`assignment_to_json`],
+/// re-canonicalizing against `vocab` (a no-op for well-formed input —
+/// wire assignments are canonical by construction).
+pub fn assignment_from_json(vocab: &Vocabulary, j: &Json) -> Result<Assignment, JsonError> {
+    let values = j
+        .field("slots")?
+        .as_arr()?
+        .iter()
+        .map(|s| s.as_arr()?.iter().map(value_from_json).collect())
+        .collect::<Result<Vec<Vec<Value>>, _>>()?;
+    let more = j
+        .field("more")?
+        .as_arr()?
+        .iter()
+        .map(|f| {
+            let [s, r, o] = f.as_arr()? else {
+                return Err(JsonError::shape("expected a [s, r, o] fact"));
+            };
+            Ok(Fact::new(
+                ElemId(s.as_u32()?),
+                RelId(r.as_u32()?),
+                ElemId(o.as_u32()?),
+            ))
+        })
+        .collect::<Result<Vec<Fact>, _>>()?;
+    Ok(Assignment::new(vocab, values, more))
+}
+
+/// Serializes a wire op for the WAL / wire protocol. The verdict is a
+/// single-variant object mirroring [`WireVerdict`]; decoders ignore
+/// fields they don't know, so frames can grow.
+pub fn wire_to_json(op: &WireOp) -> Json {
+    let verdict = match &op.verdict {
+        WireVerdict::Support { support } => Json::Obj(vec![(
+            "Support".into(),
+            Json::Obj(vec![("support".into(), Json::Num(*support))]),
+        )]),
+        WireVerdict::NoneOfThese { options } => Json::Obj(vec![(
+            "NoneOfThese".into(),
+            Json::Obj(vec![(
+                "options".into(),
+                Json::Arr(options.iter().map(assignment_to_json).collect()),
+            )]),
+        )]),
+        WireVerdict::Prune { elem } => Json::Obj(vec![(
+            "Prune".into(),
+            Json::Obj(vec![("elem".into(), Json::Num(elem.0 as f64))]),
+        )]),
+        WireVerdict::NoAnswer => Json::Obj(vec![("NoAnswer".into(), Json::Obj(vec![]))]),
+        WireVerdict::Msp { valid } => Json::Obj(vec![(
+            "Msp".into(),
+            Json::Obj(vec![("valid".into(), Json::Bool(*valid))]),
+        )]),
+        WireVerdict::Revise { support } => Json::Obj(vec![(
+            "Revise".into(),
+            Json::Obj(vec![("support".into(), Json::Num(*support))]),
+        )]),
+    };
+    Json::Obj(vec![
+        ("tick".into(), Json::Num(op.tick as f64)),
+        ("seq".into(), Json::Num(op.seq as f64)),
+        ("member".into(), Json::Num(op.member.0 as f64)),
+        (
+            "node".into(),
+            op.node.as_ref().map_or(Json::Null, assignment_to_json),
+        ),
+        ("verdict".into(), verdict),
+    ])
+}
+
+/// Restores a wire op serialized by [`wire_to_json`].
+pub fn wire_from_json(vocab: &Vocabulary, j: &Json) -> Result<WireOp, JsonError> {
+    let node = match j.field("node")? {
+        Json::Null => None,
+        a => Some(assignment_from_json(vocab, a)?),
+    };
+    let [(tag, body)] = j.field("verdict")?.as_obj()? else {
+        return Err(JsonError::shape("expected a single-variant verdict object"));
+    };
+    let verdict = match tag.as_str() {
+        "Support" => WireVerdict::Support {
+            support: body.field("support")?.as_f64()?,
+        },
+        "NoneOfThese" => WireVerdict::NoneOfThese {
+            options: body
+                .field("options")?
+                .as_arr()?
+                .iter()
+                .map(|a| assignment_from_json(vocab, a))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        "Prune" => WireVerdict::Prune {
+            elem: ElemId(body.field("elem")?.as_u32()?),
+        },
+        "NoAnswer" => WireVerdict::NoAnswer,
+        "Msp" => WireVerdict::Msp {
+            valid: match body.field("valid")? {
+                Json::Bool(b) => *b,
+                other => {
+                    return Err(JsonError::shape(format!(
+                        "expected bool valid, got {other}"
+                    )))
+                }
+            },
+        },
+        "Revise" => WireVerdict::Revise {
+            support: body.field("support")?.as_f64()?,
+        },
+        other => Err(JsonError::shape(format!(
+            "unknown verdict variant {other:?}"
+        )))?,
+    };
+    Ok(WireOp {
+        tick: j.field("tick")?.as_u32()?,
+        seq: j.field("seq")?.as_u32()?,
+        member: MemberId(j.field("member")?.as_u32()?),
+        node,
+        verdict,
+    })
+}
+
+/// Interns one wire op into `dag` (assignment → local [`NodeId`]) — the
+/// stale-DAG replay shape shared by the coordinator merge and crash
+/// recovery: the target replica materializes nodes at intern time, long
+/// after the op's tick.
+pub fn intern_wire_op(dag: &mut Dag<'_>, w: &WireOp) -> AnswerOp {
+    let node = w
+        .node
+        .as_ref()
+        .map(|a| dag.intern(a.clone()))
+        .unwrap_or(NodeId::SENTINEL);
+    let verdict = match &w.verdict {
+        WireVerdict::Support { support } => OpVerdict::Support { support: *support },
+        WireVerdict::NoneOfThese { options } => OpVerdict::NoneOfThese {
+            options: options.iter().map(|a| dag.intern(a.clone())).collect(),
+        },
+        WireVerdict::Prune { elem } => OpVerdict::Prune { elem: *elem },
+        WireVerdict::NoAnswer => OpVerdict::NoAnswer,
+        WireVerdict::Msp { valid } => OpVerdict::Msp { valid: *valid },
+        WireVerdict::Revise { support } => OpVerdict::Revise { support: *support },
+    };
+    AnswerOp {
+        tick: w.tick,
+        seq: w.seq,
+        member: w.member,
+        node,
+        verdict,
+    }
 }
 
 /// The merge side of the cluster: per-node contiguous op streams,
@@ -347,28 +549,7 @@ impl Coordinator {
         let mut ops: Vec<AnswerOp> = Vec::with_capacity(self.merge_ops as usize);
         for stream in &self.streams {
             for w in stream {
-                let node = w
-                    .node
-                    .as_ref()
-                    .map(|a| dag.intern(a.clone()))
-                    .unwrap_or(NodeId::SENTINEL);
-                let verdict = match &w.verdict {
-                    WireVerdict::Support { support } => OpVerdict::Support { support: *support },
-                    WireVerdict::NoneOfThese { options } => OpVerdict::NoneOfThese {
-                        options: options.iter().map(|a| dag.intern(a.clone())).collect(),
-                    },
-                    WireVerdict::Prune { elem } => OpVerdict::Prune { elem: *elem },
-                    WireVerdict::NoAnswer => OpVerdict::NoAnswer,
-                    WireVerdict::Msp { valid } => OpVerdict::Msp { valid: *valid },
-                    WireVerdict::Revise { support } => OpVerdict::Revise { support: *support },
-                };
-                ops.push(AnswerOp {
-                    tick: w.tick,
-                    seq: w.seq,
-                    member: w.member,
-                    node,
-                    verdict,
-                });
+                ops.push(intern_wire_op(dag, w));
             }
         }
         tele.count("cluster.merge_ops", ops.len() as u64);
@@ -501,6 +682,79 @@ mod tests {
         assert_eq!(c.received(1), 0);
         assert_eq!(c.watermark_of(0), Watermark { tick: 4, seq: 0 });
         assert_eq!(c.watermark_of(1), Watermark::default());
+    }
+
+    /// Every wire-op verdict survives the JSON round trip bit-identically
+    /// (assignments re-canonicalize to themselves, floats are exact).
+    #[test]
+    fn wire_ops_roundtrip_through_json() {
+        let d = synthetic_domain(30, 4, 2);
+        let q = parse(&d.query).unwrap();
+        let b = bind(&q, &d.ontology).unwrap();
+        let base = evaluate_where(&b, &d.ontology, MatchMode::Exact);
+        let mut dag = Dag::new(&b, d.ontology.vocab(), &base).without_multiplicities();
+        dag.materialize_all();
+        let vocab = d.ontology.vocab();
+        let a0 = dag.node(crate::dag::NodeId(0)).assignment.clone();
+        let a1 = dag.node(crate::dag::NodeId(1)).assignment.clone();
+        let ops = vec![
+            WireOp {
+                tick: 1,
+                seq: 0,
+                member: MemberId(2),
+                node: Some(a0.clone()),
+                verdict: WireVerdict::Support { support: 1.0 / 3.0 },
+            },
+            WireOp {
+                tick: 1,
+                seq: 1,
+                member: MemberId(2),
+                node: None,
+                verdict: WireVerdict::NoneOfThese {
+                    options: vec![a0.clone(), a1],
+                },
+            },
+            WireOp {
+                tick: 2,
+                seq: 0,
+                member: MemberId(0),
+                node: None,
+                verdict: WireVerdict::Prune { elem: ElemId(3) },
+            },
+            WireOp {
+                tick: 3,
+                seq: 0,
+                member: MemberId(1),
+                node: None,
+                verdict: WireVerdict::NoAnswer,
+            },
+            WireOp {
+                tick: 3,
+                seq: 1,
+                member: MemberId(1),
+                node: Some(a0),
+                verdict: WireVerdict::Msp { valid: true },
+            },
+            WireOp {
+                tick: 4,
+                seq: 0,
+                member: MemberId(3),
+                node: None,
+                verdict: WireVerdict::Revise { support: 0.125 },
+            },
+        ];
+        for op in &ops {
+            let text = wire_to_json(op).to_string();
+            let back = wire_from_json(vocab, &ontology::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(&back, op, "{text}");
+        }
+        // decoding tolerates unknown fields (frame evolution)
+        let mut j = wire_to_json(&ops[0]);
+        if let Json::Obj(fields) = &mut j {
+            fields.push(("future_field".into(), Json::Str("ignored".into())));
+        }
+        let back = wire_from_json(vocab, &j).unwrap();
+        assert_eq!(back, ops[0]);
     }
 
     /// Two shards mine their member partitions independently; the

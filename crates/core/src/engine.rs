@@ -12,10 +12,10 @@
 //! described by a [`QueryRequest`] with [`ExecuteOptions`], against a
 //! [`CrowdBinding`], and returns a [`QueryOutcome`]. Errors unify under
 //! [`OassisError`]. The historical entry points `execute`,
-//! `execute_concurrent` and `execute_rules` remain as thin wrappers
-//! (flagged by audit rule D6 at every call site outside the wrappers
-//! themselves) so existing callers compile, but no in-tree code — test
-//! or otherwise — may call them anymore.
+//! `execute_concurrent` and `execute_rules` are gone — audit rule D6
+//! bans both their definitions and any call site, so the single entry
+//! point cannot regrow wrappers silently. Requests are built fluently:
+//! `QueryRequest::pattern(src).threshold(0.4).batch_width(2)`.
 
 use crate::aggregate::Aggregator;
 use crate::cache::{SharedCachingCrowd, SharedCrowdCache};
@@ -71,17 +71,6 @@ impl From<QlError> for OassisError {
     }
 }
 
-impl OassisError {
-    /// Collapses back to the legacy [`QlError`] surface (used by the
-    /// deprecated wrapper entry points, whose signatures are frozen).
-    pub fn into_ql(self) -> QlError {
-        match self {
-            OassisError::Ql(e) => e,
-            other => QlError::Invalid(other.to_string()),
-        }
-    }
-}
-
 /// Options governing one [`QueryRequest`].
 #[derive(Debug, Clone, Default)]
 pub struct ExecuteOptions {
@@ -124,6 +113,43 @@ impl<'q> QueryRequest<'q> {
             queries: queries.to_vec(),
             options: ExecuteOptions::default(),
         }
+    }
+
+    /// Builder entry point for a single pattern query; chain the fluent
+    /// setters to shape the mining configuration:
+    /// `QueryRequest::pattern(src).threshold(0.4).batch_width(2)`.
+    ///
+    /// Equivalent to [`QueryRequest::new`] — rule queries still dispatch
+    /// on their `IMPLYING` clause, so `pattern` is about intent, not a
+    /// restriction.
+    pub fn pattern(src: &'q str) -> Self {
+        QueryRequest::new(src)
+    }
+
+    /// Sets the minimum support threshold in `(0, 1]` (overrides the
+    /// query's `WITH SUPPORT` clause).
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.options.mining.threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the question batch width `k ≥ 1`: up to `k` questions are
+    /// planned per member interaction.
+    pub fn batch_width(mut self, width: usize) -> Self {
+        self.options.mining.batch_width = width;
+        self
+    }
+
+    /// Caps the total number of crowd questions the run may ask.
+    pub fn max_questions(mut self, budget: usize) -> Self {
+        self.options.mining.max_questions = Some(budget);
+        self
+    }
+
+    /// Sets the deterministic mining seed (tie-breaking, sampling).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.mining.seed = seed;
+        self
     }
 
     /// Replaces the full option block.
@@ -301,9 +327,8 @@ impl<'o> Oassis<'o> {
     }
 
     /// Installs a crowd-access policy (per-question timeout, retry cap,
-    /// deterministic backoff) that overrides the one in the
-    /// [`MiningConfig`] passed to [`Self::execute`] /
-    /// [`Self::execute_concurrent`].
+    /// deterministic backoff) that overrides the one in the request's
+    /// [`MiningConfig`] on every [`Self::run`].
     pub fn with_policy(mut self, policy: crowd::CrowdPolicy) -> Self {
         self.policy = Some(policy);
         self
@@ -315,10 +340,9 @@ impl<'o> Oassis<'o> {
         self
     }
 
-    /// Installs a fork-join pool. [`Self::execute`] uses it for WHERE
-    /// evaluation; [`Self::execute_concurrent`] uses it to run whole
-    /// queries on parallel threads. Answers are bit-identical at any pool
-    /// width.
+    /// Installs a fork-join pool. Single queries use it for WHERE
+    /// evaluation; batch requests use it to run whole queries on parallel
+    /// threads. Answers are bit-identical at any pool width.
     pub fn with_pool(mut self, pool: minipool::Pool) -> Self {
         self.pool = pool;
         self
@@ -355,8 +379,7 @@ impl<'o> Oassis<'o> {
 
     /// Executes any [`QueryRequest`] — a pattern query, a rule query, or
     /// a batch — against the given [`CrowdBinding`] and aggregator. The
-    /// single entry point subsuming the deprecated `execute`,
-    /// `execute_concurrent` and `execute_rules` wrappers.
+    /// single entry point of the engine.
     ///
     /// Validation performed up front:
     /// * the request must carry at least one query;
@@ -481,7 +504,7 @@ impl<'o> Oassis<'o> {
         };
         if !bound.imp_meta.is_empty() {
             return Err(OassisError::Ql(QlError::Invalid(
-                "query has an IMPLYING clause; use execute_rules".into(),
+                "query has an IMPLYING clause; rule queries dispatch through Oassis::run".into(),
             )));
         }
         let base = {
@@ -624,79 +647,6 @@ impl<'o> Oassis<'o> {
             .collect();
         Ok(RuleAnswer { answers, outcome })
     }
-
-    /// Executes a (pattern) query against a crowd, with the given
-    /// aggregation black-box and mining configuration. `TOP k` queries
-    /// terminate early once `k` valid MSPs are confirmed; `TOP k DIVERSE`
-    /// queries mine the full answer set and return `k` mutually diverse
-    /// answers. Rule queries (`IMPLYING`) must use
-    /// [`execute_rules`](Self::execute_rules).
-    ///
-    /// **Deprecated**: use [`Oassis::run`] with a [`QueryRequest`] — this
-    /// thin wrapper (kept so historical callers compile unchanged) is
-    /// flagged by audit rule D6 at every in-tree call site.
-    pub fn execute<C: CrowdSource, A: Aggregator>(
-        &self,
-        src: &str,
-        crowd: &mut C,
-        aggregator: &A,
-        cfg: &MiningConfig,
-    ) -> Result<QueryAnswer, QlError> {
-        self.run_pattern_query(src, crowd, aggregator, cfg)
-            .map_err(OassisError::into_ql)
-    }
-
-    /// Executes `queries` concurrently over this engine's shared ontology,
-    /// one query per pool slot, all consulting (and filling) one shared
-    /// [`SharedCrowdCache`]. `make_crowd(i)` builds the `i`-th query's
-    /// crowd on whichever worker thread picks it up.
-    ///
-    /// Results come back in query order regardless of which thread ran
-    /// what. Each query's mining outcome depends only on its own crowd and
-    /// the crowd's answers, never on scheduling — provided the crowd
-    /// members are *pure* (their answers don't depend on how many
-    /// questions the shared cache absorbed; e.g. [`crowd::AnswerModel::Exact`]
-    /// or [`crowd::AnswerModel::Bucketed5`] members with default
-    /// behavior). With such crowds the answer set at any thread count is
-    /// bit-identical to running the queries one after another.
-    ///
-    /// **Deprecated**: use [`Oassis::run`] with [`QueryRequest::batch`]
-    /// and [`CrowdBinding::per_query`] — this thin wrapper is flagged by
-    /// audit rule D6 at every in-tree call site.
-    pub fn execute_concurrent<C, A, F>(
-        &self,
-        queries: &[&str],
-        make_crowd: F,
-        aggregator: &A,
-        cfg: &MiningConfig,
-        cache: &SharedCrowdCache,
-    ) -> Vec<Result<QueryAnswer, QlError>>
-    where
-        C: CrowdSource,
-        A: Aggregator + Sync,
-        F: Fn(usize) -> C + Sync,
-    {
-        self.run_batch(queries, &make_crowd, aggregator, cfg, cache)
-            .into_iter()
-            .map(|r| r.map_err(OassisError::into_ql))
-            .collect()
-    }
-
-    /// Executes an association-rule query (one with `IMPLYING … AND
-    /// CONFIDENCE`). Answers render as `body ⇒ head (supp, conf)`.
-    ///
-    /// **Deprecated**: use [`Oassis::run`] — rule queries dispatch on
-    /// their `IMPLYING` clause automatically. This thin wrapper is
-    /// flagged by audit rule D6 at every in-tree call site.
-    pub fn execute_rules<C: CrowdSource>(
-        &self,
-        src: &str,
-        crowd: &mut C,
-        cfg: &RuleMiningConfig,
-    ) -> Result<RuleAnswer, QlError> {
-        self.run_rule_query(src, crowd, cfg, &telemetry::Telemetry::off())
-            .map_err(OassisError::into_ql)
-    }
 }
 
 /// The answer to an OASSIS-QL rule query.
@@ -736,12 +686,13 @@ mod tests {
         let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
         let agg = FixedSampleAggregator { sample_size: 1 };
         let ans = engine
-            .execute(
-                figure1::SIMPLE_QUERY,
-                &mut crowd,
+            .run(
+                &QueryRequest::pattern(figure1::SIMPLE_QUERY),
+                CrowdBinding::single(&mut crowd),
                 &agg,
-                &MiningConfig::default(),
             )
+            .unwrap()
+            .into_patterns()
             .unwrap();
         assert!(
             ans.answers.iter().any(|a| a == "Biking doAt Central Park"),
@@ -763,16 +714,23 @@ mod tests {
         let all_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT FACT-SETS ALL");
         let mut crowd1 = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
         let msp_ans = engine
-            .execute(
-                figure1::SIMPLE_QUERY,
-                &mut crowd1,
+            .run(
+                &QueryRequest::pattern(figure1::SIMPLE_QUERY),
+                CrowdBinding::single(&mut crowd1),
                 &agg,
-                &MiningConfig::default(),
             )
+            .unwrap()
+            .into_patterns()
             .unwrap();
         let mut crowd2 = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
         let all_ans = engine
-            .execute(&all_query, &mut crowd2, &agg, &MiningConfig::default())
+            .run(
+                &QueryRequest::pattern(&all_query),
+                CrowdBinding::single(&mut crowd2),
+                &agg,
+            )
+            .unwrap()
+            .into_patterns()
             .unwrap();
         assert!(all_ans.answers.len() >= msp_ans.answers.len());
         // e.g. the generalization "Sport doAt Central Park" is significant
@@ -799,7 +757,13 @@ mod tests {
         let var_query = figure1::SIMPLE_QUERY.replace("SELECT FACT-SETS", "SELECT VARIABLES");
         let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
         let ans = engine
-            .execute(&var_query, &mut crowd, &agg, &MiningConfig::default())
+            .run(
+                &QueryRequest::pattern(&var_query),
+                CrowdBinding::single(&mut crowd),
+                &agg,
+            )
+            .unwrap()
+            .into_patterns()
             .unwrap();
         assert!(
             ans.answers
@@ -809,6 +773,37 @@ mod tests {
             ans.answers
         );
         assert!(ans.answers.iter().any(|a| a.contains("$y ↦ {Biking}")));
+    }
+
+    #[test]
+    fn builder_sets_mining_fields() {
+        let req = QueryRequest::pattern("q")
+            .threshold(0.4)
+            .batch_width(3)
+            .max_questions(77)
+            .seed(9);
+        let m = &req.options().mining;
+        assert_eq!(m.threshold, Some(0.4));
+        assert_eq!(m.batch_width, 3);
+        assert_eq!(m.max_questions, Some(77));
+        assert_eq!(m.seed, 9);
+        assert_eq!(req.queries(), ["q"]);
+    }
+
+    #[test]
+    fn builder_threshold_validated_by_run() {
+        let ont = figure1::ontology();
+        let engine = Oassis::new(&ont);
+        let agg = FixedSampleAggregator { sample_size: 1 };
+        let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
+        let err = engine
+            .run(
+                &QueryRequest::pattern(figure1::SIMPLE_QUERY).threshold(1.5),
+                CrowdBinding::single(&mut crowd),
+                &agg,
+            )
+            .unwrap_err();
+        assert!(matches!(err, OassisError::Budget(_)), "{err}");
     }
 
     #[test]

@@ -63,10 +63,11 @@ pub use aggregate::{
 };
 pub use assignment::{Assignment, Slot};
 pub use baselines::{baseline_question_count, run_horizontal, run_naive};
-pub use cache::{CachingCrowd, CrowdCache, SharedCachingCrowd, SharedCrowdCache};
+pub use cache::{CachedAnswer, CachingCrowd, CrowdCache, SharedCachingCrowd, SharedCrowdCache};
 pub use classify::{Class, Classifier};
 pub use cluster::{
-    to_wire, Coordinator, SemanticOutcome, ShardCrowd, ShardMap, WireOp, WireVerdict,
+    assignment_from_json, assignment_to_json, intern_wire_op, op_to_wire, to_wire, wire_from_json,
+    wire_to_json, Coordinator, SemanticOutcome, ShardCrowd, ShardMap, WireOp, WireVerdict,
 };
 pub use dag::{Dag, GenStats, Node, NodeId};
 pub use diversify::{diversify, semantic_distance};
@@ -76,7 +77,7 @@ pub use engine::{
 };
 pub use manifest::PartialManifest;
 pub use multi::{run_multi, MultiOutcome, QuestionStats};
-pub use oplog::{AnswerOp, OpLog, OpVerdict, ReplayOutcome, Watermark};
+pub use oplog::{AnswerOp, OpLog, OpTap, OpTapHandle, OpVerdict, ReplayOutcome, Watermark};
 pub use rulemine::{run_rules, MinedRule, RuleMiningConfig, RuleOutcome};
 pub use synth::{plant_msps, synthetic_domain, MspDistribution, PlantedOracle, SyntheticDomain};
 pub use templates::QuestionTemplates;

@@ -171,6 +171,8 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
     let mut questions = 0usize;
     let mut rounds = 0usize;
     let mut oplog = crate::oplog::OpLog::new(threshold, true);
+    // ops already handed to cfg.op_tap (a prefix of oplog.ops())
+    let mut tap_flushed = 0usize;
     // member of the most recent answered question: MSPs confirmed by the
     // final monitor sweep are logged under it, keeping every tick's ops
     // single-member (the canonical merge order then matches recording
@@ -448,6 +450,16 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
         if asked_this_round > 0 {
             rounds += 1;
         }
+        // round-boundary durability: hand freshly recorded ops to the
+        // serving layer's tap — a crash after this point replays the
+        // round, a crash before it loses only this round
+        if let Some(tap) = &cfg.op_tap {
+            let ops = oplog.ops();
+            if tap_flushed < ops.len() {
+                tap.append(dag, &ops[tap_flushed..]); // PANIC-OK: tap_flushed only ever takes values of ops.len(), which never shrinks.
+                tap_flushed = ops.len();
+            }
+        }
         if asked_this_round == 0 && deg.gave_up_this_round == 0 {
             break;
         }
@@ -465,6 +477,14 @@ pub fn run_multi<C: CrowdSource, A: Aggregator>(
     // only appends, so the range is in bounds.
     oplog.record_msps(questions, last_member, dag, &msp_ids[known..]);
     oplog.set_complete(complete);
+    // final tap flush: the completeness sweep may have confirmed MSPs
+    // after the last round boundary
+    if let Some(tap) = &cfg.op_tap {
+        let ops = oplog.ops();
+        if tap_flushed < ops.len() {
+            tap.append(dag, &ops[tap_flushed..]); // PANIC-OK: tap_flushed only ever takes values of ops.len(), which never shrinks.
+        }
+    }
     let manifest = {
         // frozen sweep: a gave-up node later classified through another
         // member or by inference is answered, not missing

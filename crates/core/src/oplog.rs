@@ -154,6 +154,43 @@ pub struct AnswerOp {
     pub verdict: OpVerdict,
 }
 
+/// A streaming consumer of freshly recorded ops — the serving layer's
+/// durability hook. The multi-user engine calls [`OpTap::append`] at
+/// round boundaries (and once more at run end) with the ops recorded
+/// since the previous call and the DAG that resolves their [`NodeId`]s,
+/// so a write-ahead log can persist the run *as it progresses*: a crash
+/// loses at most the current round, never a flushed one.
+pub trait OpTap {
+    /// Consumes `ops` (a contiguous, in-order slice of the run's log) in
+    /// the context of `dag`. Called on the engine thread; implementations
+    /// should hand off quickly (e.g. buffered WAL appends).
+    fn append(&self, dag: &Dag<'_>, ops: &[AnswerOp]);
+}
+
+/// A cloneable, debuggable handle around a shared [`OpTap`] — the form
+/// [`crate::vertical::MiningConfig`] carries (the config is `Clone` +
+/// `Debug`; trait objects are neither).
+#[derive(Clone)]
+pub struct OpTapHandle(std::sync::Arc<dyn OpTap + Send + Sync>);
+
+impl OpTapHandle {
+    /// Wraps a tap implementation.
+    pub fn new(tap: impl OpTap + Send + Sync + 'static) -> OpTapHandle {
+        OpTapHandle(std::sync::Arc::new(tap))
+    }
+
+    /// Forwards to the wrapped tap.
+    pub fn append(&self, dag: &Dag<'_>, ops: &[AnswerOp]) {
+        self.0.append(dag, ops);
+    }
+}
+
+impl std::fmt::Debug for OpTapHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OpTapHandle(..)")
+    }
+}
+
 /// The per-run monotone operation log: every accepted answer as an
 /// [`AnswerOp`], plus the footer facts replay cannot derive from the ops
 /// themselves (threshold, aggregation mode, completion).

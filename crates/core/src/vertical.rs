@@ -69,6 +69,12 @@ pub struct MiningConfig {
     /// [`telemetry::Telemetry::recording`] to capture spans, counters and
     /// histograms for the run.
     pub telemetry: telemetry::Telemetry,
+    /// Streaming op-log consumer ([`crate::oplog::OpTap`]): the
+    /// multi-user engine flushes freshly recorded ops to it at round
+    /// boundaries and at run end, giving a serving layer write-ahead
+    /// durability mid-run. `None` (the default) records nothing extra and
+    /// changes no outcome — the tap only *observes* the log.
+    pub op_tap: Option<crate::oplog::OpTapHandle>,
 }
 
 impl Default for MiningConfig {
@@ -84,6 +90,7 @@ impl Default for MiningConfig {
             policy: CrowdPolicy::default(),
             debug_checks: false,
             telemetry: telemetry::Telemetry::off(),
+            op_tap: None,
         }
     }
 }

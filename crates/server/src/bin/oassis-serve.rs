@@ -1,0 +1,48 @@
+//! `oassis-serve` — the crowd-mining server over the Figure-1 domain.
+//!
+//! Binds a TCP listener, serves the line-delimited JSON protocol of
+//! `oassis_server::proto`, and persists every session under a WAL root
+//! directory — kill it and restart it over the same root, and sessions
+//! recover by replay.
+//!
+//! ```sh
+//! oassis-serve [ADDR] [WAL_ROOT]
+//! # defaults: 127.0.0.1:7464 ./oassis-sessions
+//! ```
+//!
+//! The crowd is simulated: `members` seeded members per session (from
+//! the `open` frame), each backed by the Table-3 personal databases of
+//! the paper's running example, answering exactly. Every session with
+//! the same `(seed, members)` spec answers identically — which is what
+//! makes kill/restart/verify cycles deterministic end to end.
+
+use oassis_server::{Figure1Provider, Server, ServerConfig, SessionManager};
+use ontology::domains::figure1;
+use std::sync::Arc;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7464".into());
+    let root = args.next().unwrap_or_else(|| "./oassis-sessions".into());
+
+    let ont = Arc::new(figure1::ontology());
+    let provider = Figure1Provider::new(ont.clone());
+    let manager = SessionManager::new(ont, Box::new(provider), &root);
+    let cfg = ServerConfig {
+        addr,
+        ..ServerConfig::default()
+    };
+    match Server::spawn(manager, &cfg) {
+        Ok(server) => {
+            println!(
+                "oassis-serve listening on {} (wal root {root})",
+                server.addr()
+            );
+            server.join();
+        }
+        Err(e) => {
+            eprintln!("oassis-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic crowd providers shared by the serve binary, the
+//! integration tests and the simtest crash-recovery harness.
+//!
+//! The recovery oracle's bedrock is that equal session specs answer
+//! identically across process lifetimes, so the canonical provider is
+//! fully seeded: every member's database and rng derive from the
+//! session's `(seed, members)` alone.
+
+use crate::session::{CrowdProvider, SessionSpec};
+use crowd::{
+    AnswerModel, CrowdSource, MemberBehavior, PersonalDb, SimulatedCrowd, SimulatedMember,
+};
+use ontology::domains::figure1;
+use ontology::Ontology;
+use std::sync::Arc;
+
+/// Seeded Figure-1 crowds: member `i` gets the concatenated Table-3
+/// history (`D_u1 + 3×D_u2`, the quickstart's `u_avg` construction),
+/// answers exactly, and derives its rng seed from the session seed, so
+/// equal specs answer identically across restarts.
+pub struct Figure1Provider {
+    ont: Arc<Ontology>,
+}
+
+impl Figure1Provider {
+    /// A provider over `ont`, which must be the Figure-1 ontology (the
+    /// personal databases are its Table-3 transactions).
+    pub fn new(ont: Arc<Ontology>) -> Self {
+        Figure1Provider { ont }
+    }
+}
+
+impl CrowdProvider for Figure1Provider {
+    fn provide<'a>(&'a self, spec: &SessionSpec) -> Box<dyn CrowdSource + Send + 'a> {
+        let [d1, d2] = figure1::personal_dbs(&self.ont);
+        let mut tx = d1;
+        for _ in 0..3 {
+            tx.extend(d2.iter().cloned());
+        }
+        let members = (0..spec.members.max(1))
+            .map(|i| {
+                SimulatedMember::new(
+                    PersonalDb::from_transactions(tx.clone()),
+                    MemberBehavior::default(),
+                    AnswerModel::Exact,
+                    spec.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(i),
+                )
+            })
+            .collect();
+        Box::new(SimulatedCrowd::new(self.ont.vocab(), members))
+    }
+}

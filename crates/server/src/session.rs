@@ -1,0 +1,703 @@
+//! # Sessions: long-lived crowd-mining state over the engine
+//!
+//! A *session* is the server's unit of persistence: one named scope
+//! owning a shared answer cache (the members' "virtual personal
+//! databases" of the paper), a [`SessionWal`] directory, and a query
+//! registry. The [`SessionManager`] pages sessions in and out of
+//! memory: everything a session knows is already durable by the time
+//! any call returns, so paging out is just dropping resident state and
+//! paging in is WAL recovery.
+//!
+//! Queries execute through the single engine entry point
+//! [`Oassis::run`] with two durability hooks installed:
+//!
+//! * a [`WalTap`] on [`MiningConfig::op_tap`] streams every accepted
+//!   answer op to its member's log at round boundaries;
+//! * a [`DurableCrowd`](self) wrapper persists every fresh cached
+//!   answer at ask time (and serves repeats from the session cache
+//!   without asking the crowd at all).
+//!
+//! Recovery replays the union of member logs against a freshly built
+//! DAG with [`OpLog::replay_merged`] and compares the replayed
+//! [`SemanticOutcome`] digest against the one the `done` meta record
+//! stored — bit-identical or it's a finding.
+
+use crate::digest_hex;
+use crate::wal::{DoneMeta, KillSwitch, QueryMeta, QuerySpec, SessionWal, WalTap};
+use crowd::{Answer, CrowdSource, MemberId, Question};
+use oassis_core::cache::CachedAnswer;
+use oassis_core::oplog::OpTapHandle;
+use oassis_core::{
+    intern_wire_op, CrowdBinding, FixedSampleAggregator, MiningConfig, Oassis, OpLog, QueryRequest,
+    SemanticOutcome, SharedCrowdCache,
+};
+use oassis_ql::{bind, evaluate_where_pool, parse, MatchMode};
+use ontology::Ontology;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use telemetry::lockorder::TrackedMutex;
+use telemetry::Telemetry;
+
+/// Errors of the serving layer.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The engine rejected or failed the query.
+    Engine(String),
+    /// The embedded store failed (io or a damaged record).
+    Wal(String),
+    /// The request is invalid at the session level (bad name, rule
+    /// query over the wire, unknown qid, …).
+    Protocol(String),
+    /// No such session (not resident and no WAL directory).
+    UnknownSession(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Engine(m) => write!(f, "engine error: {m}"),
+            ServerError::Wal(m) => write!(f, "wal error: {m}"),
+            ServerError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServerError::UnknownSession(n) => write!(f, "unknown session {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// What a session was opened with (the `open` frame's payload); the
+/// crowd provider builds the session's crowd from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// Session name — also the WAL directory name, so restricted to
+    /// `[A-Za-z0-9_-]`.
+    pub name: String,
+    /// Crowd seed (deterministic simulated members).
+    pub seed: u64,
+    /// Crowd size.
+    pub members: u32,
+}
+
+/// Builds the crowd a session asks. The server binary plugs in seeded
+/// simulated members; tests plug in oracles.
+///
+/// The returned crowd may borrow from the provider (simulated crowds
+/// borrow the vocabulary), so implementors typically own an
+/// `Arc<Ontology>` and hand out crowds scoped to `&self`.
+pub trait CrowdProvider: Send + Sync {
+    /// A fresh crowd for (each query of) `spec`'s session. Determinism
+    /// contract: for the same spec the returned crowd must answer
+    /// identically — recovery and resumption lean on it.
+    fn provide<'a>(&'a self, spec: &SessionSpec) -> Box<dyn CrowdSource + Send + 'a>;
+}
+
+/// A [`CrowdProvider`] from a closure (for crowds that own their data;
+/// borrowing crowds implement the trait on an owning struct instead).
+pub struct FnProvider<F>(pub F);
+
+impl<F> CrowdProvider for FnProvider<F>
+where
+    F: Fn(&SessionSpec) -> Box<dyn CrowdSource + Send> + Send + Sync,
+{
+    fn provide<'a>(&'a self, spec: &SessionSpec) -> Box<dyn CrowdSource + Send + 'a> {
+        (self.0)(spec)
+    }
+}
+
+/// The reply to one executed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Session-scoped query id (1-based).
+    pub qid: u32,
+    /// Rendered answer rows (the valid MSPs).
+    pub answers: Vec<String>,
+    /// Questions the engine posed (cache hits included).
+    pub questions: usize,
+    /// Questions that actually reached the crowd (cache misses).
+    pub fresh: usize,
+    /// Whether the run classified everything.
+    pub complete: bool,
+    /// The `SemanticOutcome` digest, 16 hex digits.
+    pub digest: String,
+    /// The resolved support threshold the run mined under.
+    pub threshold: f64,
+}
+
+/// One query's recovered state: the WAL replay and its verification
+/// against the recorded digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredQuery {
+    /// Session-scoped query id.
+    pub qid: u32,
+    /// The spec the query was registered with.
+    pub spec: QuerySpec,
+    /// Replayed answer rows (valid MSP displays).
+    pub answers: Vec<String>,
+    /// Completion flag carried from the `done` record (`false` for a
+    /// query the crash cut down mid-run).
+    pub complete: bool,
+    /// The replayed digest.
+    pub digest: String,
+    /// The digest the `done` record stored, when the query finished
+    /// before the crash.
+    pub recorded_digest: Option<String>,
+    /// `Some(replayed == recorded)` when there is a recorded digest —
+    /// the recovery oracle.
+    pub verified: Option<bool>,
+    /// Ops replayed (the union of the member logs' durable prefixes).
+    pub ops: usize,
+}
+
+/// The reply to opening (or re-opening) a session.
+#[derive(Debug, Clone)]
+pub struct OpenReply {
+    /// Whether durable state existed and was paged in.
+    pub resumed: bool,
+    /// Registered queries (qids) found in the WAL, in qid order.
+    pub known_queries: Vec<u32>,
+    /// Cached answers paged in from the member databases.
+    pub cached_answers: usize,
+}
+
+/// Resident state of one paged-in session.
+struct Session {
+    spec: SessionSpec,
+    cache: Arc<SharedCrowdCache>,
+    wal: Arc<TrackedMutex<SessionWal>>,
+    next_qid: u32,
+    /// Logical LRU stamp (manager-wide use counter).
+    last_used: u64,
+}
+
+/// Owns the shared ontology, the crowd provider, and every resident
+/// session. One manager per server process; the service layer guards it
+/// with the `server.sessions` mutex, so queries serialize per process —
+/// the engine itself parallelizes internally via its pool.
+pub struct SessionManager {
+    ont: Arc<Ontology>,
+    provider: Box<dyn CrowdProvider>,
+    root: PathBuf,
+    resident_limit: usize,
+    snapshot_every: u32,
+    kill: KillSwitch,
+    tele: Telemetry,
+    sessions: BTreeMap<String, Session>,
+    use_counter: u64,
+}
+
+impl SessionManager {
+    /// A manager over `ont` and `provider`, persisting under `root`
+    /// (one subdirectory per session).
+    pub fn new(
+        ont: Arc<Ontology>,
+        provider: Box<dyn CrowdProvider>,
+        root: impl Into<PathBuf>,
+    ) -> SessionManager {
+        SessionManager {
+            ont,
+            provider,
+            root: root.into(),
+            resident_limit: 8,
+            snapshot_every: 64,
+            kill: KillSwitch::new(),
+            tele: Telemetry::off(),
+            sessions: BTreeMap::new(),
+            use_counter: 0,
+        }
+    }
+
+    /// Caps resident sessions; the least recently used is paged out
+    /// (dropped — its state is already durable) past the cap.
+    pub fn with_resident_limit(mut self, limit: usize) -> SessionManager {
+        self.resident_limit = limit.max(1);
+        self
+    }
+
+    /// Member-WAL records between snapshot compactions (0 disables).
+    pub fn with_snapshot_every(mut self, every: u32) -> SessionManager {
+        self.snapshot_every = every;
+        self
+    }
+
+    /// Installs the process-death model (simtest's kill-at-tick fault):
+    /// every session WAL opened from now on shares this switch.
+    pub fn with_kill(mut self, kill: KillSwitch) -> SessionManager {
+        self.kill = kill;
+        self
+    }
+
+    /// Installs a telemetry handle; sessions record under
+    /// `session.<name>.*` labeled views.
+    pub fn with_telemetry(mut self, tele: Telemetry) -> SessionManager {
+        self.tele = tele;
+        self
+    }
+
+    /// The shared ontology.
+    pub fn ontology(&self) -> &Arc<Ontology> {
+        &self.ont
+    }
+
+    /// Names of the currently resident sessions (paging diagnostics).
+    pub fn resident(&self) -> Vec<String> {
+        self.sessions.keys().cloned().collect()
+    }
+
+    fn check_name(name: &str) -> Result<(), ServerError> {
+        let ok = !name.is_empty()
+            && name.len() <= 64
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_');
+        if ok {
+            Ok(())
+        } else {
+            Err(ServerError::Protocol(format!(
+                "session name {name:?} must be 1-64 chars of [A-Za-z0-9_-]"
+            )))
+        }
+    }
+
+    fn stamp(&mut self) -> u64 {
+        self.use_counter += 1;
+        self.use_counter
+    }
+
+    /// Opens a session: pages durable state in when its WAL directory
+    /// exists, otherwise creates it fresh. Idempotent for resident
+    /// sessions (a reconnecting client re-sends `open`).
+    pub fn open(&mut self, spec: &SessionSpec) -> Result<OpenReply, ServerError> {
+        Self::check_name(&spec.name)?;
+        if let Some(s) = self.sessions.get(&spec.name) {
+            let reply = OpenReply {
+                resumed: true,
+                known_queries: (1..s.next_qid).collect(),
+                cached_answers: s.cache.len(),
+            };
+            let stamp = self.stamp();
+            // PANIC-OK: the get above proved the key is present.
+            self.sessions.get_mut(&spec.name).unwrap().last_used = stamp;
+            return Ok(reply);
+        }
+        let dir = self.root.join(&spec.name);
+        let existed = dir.join("meta.wal").exists();
+        let mut wal = SessionWal::open(&dir, self.snapshot_every)
+            .map_err(|e| ServerError::Wal(e.to_string()))?
+            .with_kill(self.kill.clone());
+        let mut spec = spec.clone();
+        let (cache, next_qid, known) = if existed {
+            let rec = wal
+                .recover(self.ont.vocab())
+                .map_err(|e| ServerError::Wal(e.to_string()))?;
+            let next = rec.queries.iter().map(|q| q.qid).max().unwrap_or(0) + 1;
+            let known: Vec<u32> = rec.queries.iter().map(|q| q.qid).collect();
+            // the durable header is the source of truth for the crowd
+            // spec: the provider must rebuild the exact same crowd the
+            // recorded answers came from, whatever a later open claims
+            if rec.session.is_some() {
+                spec.seed = rec.seed;
+                spec.members = rec.members;
+            }
+            (rec.cache, next, known)
+        } else {
+            wal.record_session(
+                &spec.name,
+                crate::proto::PROTO_VERSION,
+                spec.seed,
+                spec.members,
+            )
+            .map_err(|e| ServerError::Wal(e.to_string()))?;
+            (Default::default(), 1, Vec::new())
+        };
+        let cached_answers = cache.len();
+        let stamp = self.stamp();
+        self.sessions.insert(
+            spec.name.clone(),
+            Session {
+                spec: spec.clone(),
+                cache: Arc::new(SharedCrowdCache::new(cache)),
+                wal: Arc::new(TrackedMutex::new("server.wal", wal)),
+                next_qid,
+                last_used: stamp,
+            },
+        );
+        self.evict_over_limit(&spec.name);
+        self.tele
+            .labeled(&format!("session.{}", spec.name))
+            .mark("open", if existed { "resumed" } else { "fresh" });
+        Ok(OpenReply {
+            resumed: existed,
+            known_queries: known,
+            cached_answers,
+        })
+    }
+
+    /// Pages out least-recently-used sessions past the resident cap,
+    /// never the one named `keep`.
+    fn evict_over_limit(&mut self, keep: &str) {
+        while self.sessions.len() > self.resident_limit {
+            let victim = self
+                .sessions
+                .iter()
+                .filter(|(name, _)| name.as_str() != keep)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    self.tele
+                        .labeled(&format!("session.{name}"))
+                        .mark("page_out", "lru");
+                    self.sessions.remove(&name);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Ensures `name` is resident (paging in from its WAL directory if
+    /// needed) and bumps its LRU stamp.
+    fn touch(&mut self, name: &str) -> Result<(), ServerError> {
+        if !self.sessions.contains_key(name) {
+            Self::check_name(name)?;
+            if !self.root.join(name).join("meta.wal").exists() {
+                return Err(ServerError::UnknownSession(name.to_string()));
+            }
+            // a bare touch pages in with placeholder crowd fields; open
+            // overrides them from the durable session header, which is
+            // authoritative for seed and member count
+            let rec_spec = SessionSpec {
+                name: name.to_string(),
+                seed: 0,
+                members: 0,
+            };
+            let _ = self.open(&rec_spec)?;
+            return Ok(());
+        }
+        let stamp = self.stamp();
+        // PANIC-OK: the contains_key branch above returned already.
+        self.sessions.get_mut(name).unwrap().last_used = stamp;
+        Ok(())
+    }
+
+    /// Runs one pattern query in `name`'s session through
+    /// [`Oassis::run`], streaming ops and fresh answers to the WAL as it
+    /// goes, and records the outcome digest in the `done` footer.
+    pub fn query(&mut self, name: &str, spec: &QuerySpec) -> Result<QueryReply, ServerError> {
+        self.touch(name)?;
+        let (wal, cache, sess_spec, qid) = {
+            // PANIC-OK: touch above paged the session in.
+            let s = self.sessions.get_mut(name).unwrap();
+            let qid = s.next_qid;
+            s.next_qid += 1;
+            (s.wal.clone(), s.cache.clone(), s.spec.clone(), qid)
+        };
+        let tele = self.tele.labeled(&format!("session.{name}"));
+        let span = tele.span_with("query", &spec.src);
+        let engine = Oassis::new(&self.ont);
+        // rule queries would dispatch fine in-process, but their mined
+        // rules have no op-log form, so the WAL could not recover them —
+        // reject rather than persist something replay can't rebuild
+        let bound = engine
+            .prepare(&spec.src)
+            .map_err(|e| ServerError::Engine(e.to_string()))?;
+        if !bound.imp_meta.is_empty() {
+            return Err(ServerError::Protocol(
+                "rule queries (IMPLYING) are not served over sessions; use the library API".into(),
+            ));
+        }
+        wal.lock()
+            .expect("wal mutex poisoned") // PANIC-OK: poisoning means a holder already panicked; propagate it
+            .record_query(qid, spec)
+            .map_err(|e| ServerError::Wal(e.to_string()))?;
+        let cfg = MiningConfig {
+            threshold: spec.threshold,
+            batch_width: spec.batch_width as usize,
+            max_questions: spec.max_questions.map(|m| m as usize),
+            seed: spec.seed,
+            op_tap: Some(OpTapHandle::new(WalTap::new(wal.clone(), qid))),
+            ..Default::default()
+        };
+        let req = QueryRequest::pattern(&spec.src).with_mining(cfg);
+        let agg = FixedSampleAggregator { sample_size: 1 };
+        let inner = self.provider.provide(&sess_spec);
+        let mut crowd = DurableCrowd::new(inner, cache, wal.clone());
+        let outcome = engine
+            .run(&req, CrowdBinding::single(&mut crowd), &agg)
+            .map_err(|e| ServerError::Engine(e.to_string()))?;
+        let (questions, fresh) = (crowd.total_questions(), crowd.fresh_questions());
+        // PANIC-OK: a single non-IMPLYING query always yields Patterns.
+        let answer = outcome.into_patterns().unwrap();
+        let sem = SemanticOutcome::from_mining(&answer.outcome.mining, &bound, self.ont.vocab());
+        let digest = digest_hex(sem.digest());
+        let threshold = answer.outcome.mining.ops.threshold();
+        let complete = answer.outcome.mining.complete;
+        wal.lock()
+            .expect("wal mutex poisoned") // PANIC-OK: poisoning means a holder already panicked; propagate it
+            .record_done(
+                qid,
+                &DoneMeta {
+                    complete,
+                    digest: digest.clone(),
+                    threshold,
+                },
+            )
+            .map_err(|e| ServerError::Wal(e.to_string()))?;
+        drop(span);
+        tele.count("queries", 1);
+        Ok(QueryReply {
+            qid,
+            answers: answer.answers,
+            questions,
+            fresh,
+            complete,
+            digest,
+            threshold,
+        })
+    }
+
+    /// Recovers every registered query of `name`'s session from its WAL:
+    /// fresh DAG, interned wire ops, [`OpLog::replay_merged`], and a
+    /// digest comparison against the recorded `done` footer.
+    pub fn recover(&mut self, name: &str) -> Result<Vec<RecoveredQuery>, ServerError> {
+        self.touch(name)?;
+        // PANIC-OK: touch above paged the session in.
+        let wal = self.sessions.get(name).unwrap().wal.clone();
+        let rec = {
+            let wal = wal.lock().expect("wal mutex poisoned"); // PANIC-OK: poisoning means a holder already panicked; propagate it
+            wal.recover(self.ont.vocab())
+                .map_err(|e| ServerError::Wal(e.to_string()))?
+        };
+        let tele = self.tele.labeled(&format!("session.{name}"));
+        let _span = tele.span("recover");
+        let mut out = Vec::new();
+        for q in &rec.queries {
+            let ops = rec.ops.get(&q.qid).cloned().unwrap_or_default();
+            out.push(self.replay_one(q, ops)?);
+        }
+        Ok(out)
+    }
+
+    /// Replays one recovered query against a freshly built DAG — the
+    /// stale-DAG shape of `core::cluster`: wire ops address nodes by
+    /// assignment and are interned into the new replica.
+    fn replay_one(
+        &self,
+        meta: &QueryMeta,
+        wire: Vec<oassis_core::WireOp>,
+    ) -> Result<RecoveredQuery, ServerError> {
+        let q = parse(&meta.spec.src).map_err(|e| ServerError::Engine(e.to_string()))?;
+        let bound = bind(&q, &self.ont).map_err(|e| ServerError::Engine(e.to_string()))?;
+        let pool = minipool::Pool::sequential();
+        let base = evaluate_where_pool(&bound, &self.ont, MatchMode::Exact, &pool);
+        let mut dag = oassis_core::Dag::new(&bound, self.ont.vocab(), &base);
+        let ops: Vec<_> = wire.iter().map(|w| intern_wire_op(&mut dag, w)).collect();
+        let threshold = match &meta.done {
+            Some(d) => d.threshold,
+            // the run never finished: resolve exactly as run_multi does
+            None => meta.spec.threshold.unwrap_or(bound.threshold),
+        };
+        let n_ops = ops.len();
+        let mut log = OpLog::new(threshold, true).with_ops(ops);
+        log.set_complete(meta.done.as_ref().is_some_and(|d| d.complete));
+        let replay = log.replay_merged(
+            &dag,
+            &FixedSampleAggregator { sample_size: 1 },
+            &pool,
+            &Telemetry::off(),
+        );
+        let sem = SemanticOutcome::from_replay(&replay, &bound, self.ont.vocab());
+        let digest = digest_hex(sem.digest());
+        let recorded = meta.done.as_ref().map(|d| d.digest.clone());
+        let verified = recorded.as_ref().map(|want| *want == digest);
+        Ok(RecoveredQuery {
+            qid: meta.qid,
+            spec: meta.spec.clone(),
+            answers: sem.valid_msps,
+            complete: sem.complete,
+            digest,
+            recorded_digest: recorded,
+            verified,
+            ops: n_ops,
+        })
+    }
+
+    /// Closes a session: pages it out (state stays durable on disk).
+    pub fn close(&mut self, name: &str) -> Result<(), ServerError> {
+        if self.sessions.remove(name).is_none() {
+            return Err(ServerError::UnknownSession(name.to_string()));
+        }
+        self.tele
+            .labeled(&format!("session.{name}"))
+            .mark("page_out", "close");
+        Ok(())
+    }
+
+    /// A borrowing façade over one session — the library-user face of
+    /// the same request surface the wire protocol drives.
+    pub fn session<'m>(&'m mut self, name: &str) -> Result<SessionHandle<'m>, ServerError> {
+        self.touch(name)?;
+        Ok(SessionHandle {
+            mgr: self,
+            name: name.to_string(),
+        })
+    }
+}
+
+/// A borrowing façade over one open session: library users build a
+/// [`QueryRequest`] with the fluent builder and run it here; the wire
+/// protocol lowers its `query` frame onto the same [`QuerySpec`]
+/// surface, so both faces execute identically.
+pub struct SessionHandle<'m> {
+    mgr: &'m mut SessionManager,
+    name: String,
+}
+
+impl SessionHandle<'_> {
+    /// The session name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs a [`QueryRequest`] (single pattern query) in this session.
+    pub fn query(&mut self, req: &QueryRequest<'_>) -> Result<QueryReply, ServerError> {
+        let queries = req.queries();
+        let [src] = queries else {
+            return Err(ServerError::Protocol(
+                "sessions run one query per request; batch requests go through Oassis::run".into(),
+            ));
+        };
+        let mining = &req.options().mining;
+        let spec = QuerySpec {
+            src: (*src).to_string(),
+            threshold: mining.threshold,
+            batch_width: mining.batch_width as u32,
+            max_questions: mining.max_questions.map(|m| m as u32),
+            seed: mining.seed,
+        };
+        self.mgr.query(&self.name, &spec)
+    }
+
+    /// Recovers (replays and verifies) every query of this session.
+    pub fn recover(&mut self) -> Result<Vec<RecoveredQuery>, ServerError> {
+        self.mgr.recover(&self.name)
+    }
+
+    /// Closes the session (pages it out; durable state remains).
+    pub fn close(self) -> Result<(), ServerError> {
+        self.mgr.close(&self.name)
+    }
+}
+
+/// The session's crowd wrapper: consults the shared cache first (a hit
+/// never reaches the crowd), and persists every fresh cacheable answer
+/// to the member's WAL *at ask time* — so a crash loses at most the
+/// in-flight question, and a recovered session never re-asks what any
+/// earlier query already learned.
+struct DurableCrowd<'p> {
+    inner: Box<dyn CrowdSource + Send + 'p>,
+    cache: Arc<SharedCrowdCache>,
+    wal: Arc<TrackedMutex<SessionWal>>,
+    asked: usize,
+    fresh: usize,
+}
+
+impl<'p> DurableCrowd<'p> {
+    fn new(
+        inner: Box<dyn CrowdSource + Send + 'p>,
+        cache: Arc<SharedCrowdCache>,
+        wal: Arc<TrackedMutex<SessionWal>>,
+    ) -> DurableCrowd<'p> {
+        DurableCrowd {
+            inner,
+            cache,
+            wal,
+            asked: 0,
+            fresh: 0,
+        }
+    }
+
+    fn total_questions(&self) -> usize {
+        self.asked
+    }
+
+    fn fresh_questions(&self) -> usize {
+        self.fresh
+    }
+
+    fn persist(&self, member: MemberId, pattern: &ontology::PatternSet, answer: &CachedAnswer) {
+        let mut wal = self.wal.lock().expect("wal mutex poisoned"); // PANIC-OK: poisoning means a holder already panicked; propagate it
+                                                                    // the ask counter is the engine's question tick, so the kill
+                                                                    // switch cuts answers and ops at the same logical instant
+        if let Err(e) = wal.append_answer(member, self.asked as u32, pattern, answer) {
+            eprintln!("wal answer append failed: {e}");
+        }
+    }
+}
+
+impl CrowdSource for DurableCrowd<'_> {
+    fn members(&self) -> Vec<MemberId> {
+        self.inner.members()
+    }
+
+    fn ask(&mut self, member: MemberId, question: &Question) -> Answer {
+        self.asked += 1;
+        if let Question::Concrete { pattern } = question {
+            if let Some(hit) = self.cache.get(member, pattern) {
+                return match hit {
+                    CachedAnswer::Support { support, more_tip } => {
+                        Answer::Support { support, more_tip }
+                    }
+                    CachedAnswer::Irrelevant { elem } => Answer::Irrelevant { elem },
+                };
+            }
+            self.fresh += 1;
+            let answer = self.inner.ask(member, question);
+            let cached = match &answer {
+                Answer::Support { support, more_tip } => Some(CachedAnswer::Support {
+                    support: *support,
+                    more_tip: *more_tip,
+                }),
+                Answer::Irrelevant { elem } => Some(CachedAnswer::Irrelevant { elem: *elem }),
+                _ => None,
+            };
+            if let Some(c) = cached {
+                self.persist(member, pattern, &c);
+                self.cache.put(member, pattern.clone(), c);
+            }
+            return answer;
+        }
+        self.fresh += 1;
+        self.inner.ask(member, question)
+    }
+
+    fn questions_asked(&self) -> usize {
+        self.asked
+    }
+
+    fn member_has_profile(&self, member: MemberId, label: &str) -> bool {
+        self.inner.member_has_profile(member, label)
+    }
+
+    fn supports_prefetch(&self) -> bool {
+        self.inner.supports_prefetch()
+    }
+
+    fn prefetch(&mut self, batch: &[(MemberId, Question)]) {
+        let misses: Vec<(MemberId, Question)> = batch
+            .iter()
+            .filter(|(m, q)| match q {
+                Question::Concrete { pattern } => self.cache.get(*m, pattern).is_none(),
+                _ => true,
+            })
+            .cloned()
+            .collect();
+        if !misses.is_empty() {
+            self.inner.prefetch(&misses);
+        }
+    }
+
+    fn advance_clock(&mut self, ticks: u64) {
+        self.inner.advance_clock(ticks);
+    }
+}

@@ -1,0 +1,870 @@
+//! # The WAL-backed embedded store
+//!
+//! One directory per session. The paper's prototype kept each member's
+//! "virtual personal database" in MySQL; here every member gets an
+//! **append-only answer-op log** in wire form (`member-<id>.wal`) plus a
+//! periodic **snapshot** (`member-<id>.snap`), and the session's query
+//! registry lives in `meta.wal`. Everything is line-delimited JSON over
+//! [`ontology::json`], one record per line, each line guarded by an
+//! FNV-1a crc of its payload:
+//!
+//! ```text
+//! {"crc":"<16 hex>","rec":{"kind":"op","qid":3,"op":{…wire op…}}}
+//! ```
+//!
+//! ## Record kinds
+//!
+//! * `meta.wal` — `session` (name + protocol version, first record),
+//!   `query` (qid + the request spec), `done` (qid + completion flag,
+//!   resolved threshold, and the recorded `SemanticOutcome` digest).
+//! * `member-<id>.wal` — `op` (qid + one [`WireOp`] of that member) and
+//!   `answer` (one cached `(pattern, answer)` entry of that member's
+//!   personal database).
+//! * `member-<id>.snap` — a single `snap` record folding every op and
+//!   answer compacted so far.
+//!
+//! ## Why per-member logs merge safely
+//!
+//! A member's ops are appended in recording order, so each file always
+//! holds a contiguous *prefix* of that member's subsequence of the
+//! run's log — the same per-node prefix property the cluster's
+//! coordinator relies on. Recovery takes the union of member prefixes
+//! and replays it under the canonical `(tick, member, seq)` order with
+//! `OpLog::replay_merged`, whose entailment filter absorbs MSP claims
+//! whose cross-member evidence was cut by a crash.
+//!
+//! ## Torn tails
+//!
+//! A crash can cut the last line short (or corrupt it). Recovery stops
+//! at the first line that fails to parse or fails its crc, truncates
+//! the file back to the last complete record, and carries on — never a
+//! panic, never a lost *complete* record.
+//!
+//! ## Compaction invariant
+//!
+//! `compact` folds a member's WAL into its snapshot and truncates the
+//! WAL; recovery over `snapshot + WAL tail` reconstructs exactly the
+//! state recovery over the uncompacted stream would have — checked by
+//! the snapshot-vs-no-snapshot digests of the crash-recovery suite.
+
+use crowd::MemberId;
+use oassis_core::cache::{entry_from_json, entry_to_json, CachedAnswer};
+use oassis_core::oplog::{AnswerOp, OpTap};
+use oassis_core::{op_to_wire, wire_from_json, wire_to_json, CrowdCache, Dag, WireOp};
+use ontology::json::{self, Json, JsonError};
+use ontology::{PatternSet, Vocabulary};
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use telemetry::lockorder::TrackedMutex;
+
+/// FNV-1a over `bytes` — the same fold `SemanticOutcome::digest` uses,
+/// here guarding WAL lines against torn or bit-rotted tails.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The process-death model for the simtest kill-at-tick fault class.
+///
+/// Armed with a tick `T`, the switch trips on the first durability
+/// attempt stamped `tick >= T`; from that moment **every** append is
+/// dropped — exactly the durable state of a process killed at tick `T`:
+/// whatever was flushed before is on disk, nothing after ever is.
+/// The live server runs with a disarmed switch, which never trips.
+#[derive(Clone, Debug, Default)]
+pub struct KillSwitch {
+    /// `(arm tick, killed flag)` — `arm == 0` means disarmed.
+    state: Arc<(AtomicU32, AtomicU64)>,
+}
+
+impl KillSwitch {
+    /// A disarmed switch (the live server's).
+    pub fn new() -> KillSwitch {
+        KillSwitch::default()
+    }
+
+    /// Arms the switch: the first append stamped `tick >= at` (1-based
+    /// engine ticks) trips it.
+    pub fn arm(&self, at: u32) {
+        self.state.0.store(at, Ordering::SeqCst);
+    }
+
+    /// Whether the process model has died.
+    pub fn killed(&self) -> bool {
+        self.state.1.load(Ordering::SeqCst) != 0
+    }
+
+    /// Records a durability attempt stamped `tick`; returns `true` if
+    /// the process is still alive (the append may proceed).
+    pub fn admit(&self, tick: Option<u32>) -> bool {
+        if self.killed() {
+            return false;
+        }
+        let arm = self.state.0.load(Ordering::SeqCst);
+        if arm != 0 {
+            if let Some(t) = tick {
+                if t >= arm {
+                    self.state.1.store(1, Ordering::SeqCst);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A parsed request spec as the `query` meta record carries it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// The OASSIS-QL source.
+    pub src: String,
+    /// Threshold override (`None` = the query's `WITH SUPPORT`).
+    pub threshold: Option<f64>,
+    /// Question-batch width.
+    pub batch_width: u32,
+    /// Question budget.
+    pub max_questions: Option<u32>,
+    /// Mining seed.
+    pub seed: u64,
+}
+
+/// The `done` footer of a completed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoneMeta {
+    /// Whether the run classified everything.
+    pub complete: bool,
+    /// The recorded `SemanticOutcome` digest (16 hex digits).
+    pub digest: String,
+    /// The resolved support threshold the run mined under.
+    pub threshold: f64,
+}
+
+/// One query of the session registry, recovered from `meta.wal`.
+#[derive(Debug, Clone)]
+pub struct QueryMeta {
+    /// Session-scoped query id (1-based, in issue order).
+    pub qid: u32,
+    /// The request spec.
+    pub spec: QuerySpec,
+    /// The completion footer — `None` for a query cut down mid-run.
+    pub done: Option<DoneMeta>,
+}
+
+/// Everything a session directory reconstructs to.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// Session name from the header record, if one was durably written.
+    pub session: Option<String>,
+    /// Protocol version of the header record.
+    pub proto: u32,
+    /// Crowd seed from the header record.
+    pub seed: u64,
+    /// Crowd size from the header record.
+    pub members: u32,
+    /// The query registry, in qid order.
+    pub queries: Vec<QueryMeta>,
+    /// Per-query merged member ops (each member's contiguous durable
+    /// prefix, deduplicated by `(member, tick, seq)`).
+    pub ops: BTreeMap<u32, Vec<WireOp>>,
+    /// The union of the per-member answer databases.
+    pub cache: CrowdCache,
+    /// Whether any torn tail was truncated during recovery.
+    pub truncated: bool,
+}
+
+/// The append side of one session's directory.
+#[derive(Debug)]
+pub struct SessionWal {
+    dir: PathBuf,
+    /// Member-WAL records between snapshot compactions; `0` disables
+    /// compaction.
+    snapshot_every: u32,
+    /// Live record count per member WAL since its last compaction.
+    wal_records: BTreeMap<u32, u32>,
+    kill: KillSwitch,
+}
+
+impl SessionWal {
+    /// Opens (creating if needed) the WAL directory of one session.
+    pub fn open(dir: impl Into<PathBuf>, snapshot_every: u32) -> io::Result<SessionWal> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut wal = SessionWal {
+            dir,
+            snapshot_every,
+            wal_records: BTreeMap::new(),
+            kill: KillSwitch::new(),
+        };
+        // count live WAL records so compaction cadence survives restarts
+        for (member, path) in wal.member_wals()? {
+            let (records, _) = read_records(&path)?;
+            wal.wal_records.insert(member, records.len() as u32);
+        }
+        Ok(wal)
+    }
+
+    /// Installs a kill switch (simtest's process-death model). The
+    /// default switch is disarmed and never drops anything.
+    pub fn with_kill(mut self, kill: KillSwitch) -> SessionWal {
+        self.kill = kill;
+        self
+    }
+
+    /// The directory this WAL writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn meta_path(&self) -> PathBuf {
+        self.dir.join("meta.wal")
+    }
+
+    fn wal_path(&self, member: u32) -> PathBuf {
+        self.dir.join(format!("member-{member}.wal"))
+    }
+
+    fn snap_path(&self, member: u32) -> PathBuf {
+        self.dir.join(format!("member-{member}.snap"))
+    }
+
+    /// The member ids with a WAL file on disk.
+    fn member_wals(&self) -> io::Result<Vec<(u32, PathBuf)>> {
+        let mut out = Vec::new();
+        if !self.dir.exists() {
+            return Ok(out);
+        }
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name
+                .strip_prefix("member-")
+                .and_then(|s| s.strip_suffix(".wal"))
+            {
+                if let Ok(id) = id.parse::<u32>() {
+                    out.push((id, entry.path()));
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// The member ids with any durable state (snapshot or WAL).
+    fn member_ids(&self) -> io::Result<Vec<u32>> {
+        let mut ids: Vec<u32> = Vec::new();
+        if !self.dir.exists() {
+            return Ok(ids);
+        }
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix("member-") {
+                let id = rest
+                    .strip_suffix(".wal")
+                    .or_else(|| rest.strip_suffix(".snap"));
+                if let Some(Ok(id)) = id.map(|s| s.parse::<u32>()) {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        Ok(ids)
+    }
+
+    /// Writes the session header (first record of a fresh `meta.wal`).
+    /// The crowd spec (seed, member count) is part of the header: paging
+    /// a session in must rebuild the *same* deterministic crowd, so the
+    /// durable header — not whatever a later `open` frame claims — is
+    /// the source of truth.
+    pub fn record_session(
+        &mut self,
+        name: &str,
+        proto: u32,
+        seed: u64,
+        members: u32,
+    ) -> io::Result<()> {
+        let rec = Json::Obj(vec![
+            ("kind".into(), Json::Str("session".into())),
+            ("name".into(), Json::Str(name.into())),
+            ("proto".into(), Json::Num(proto as f64)),
+            ("seed".into(), Json::Num(seed as f64)),
+            ("members".into(), Json::Num(members as f64)),
+        ]);
+        self.append_line(&self.meta_path(), &rec)
+    }
+
+    /// Registers a query before it runs (so a crash mid-run still knows
+    /// what was running and how to rebuild its DAG).
+    pub fn record_query(&mut self, qid: u32, spec: &QuerySpec) -> io::Result<()> {
+        if !self.kill.admit(None) {
+            return Ok(());
+        }
+        let rec = Json::Obj(vec![
+            ("kind".into(), Json::Str("query".into())),
+            ("qid".into(), Json::Num(qid as f64)),
+            ("src".into(), Json::Str(spec.src.clone())),
+            (
+                "threshold".into(),
+                spec.threshold.map_or(Json::Null, Json::Num),
+            ),
+            ("batch_width".into(), Json::Num(spec.batch_width as f64)),
+            (
+                "max_questions".into(),
+                spec.max_questions
+                    .map_or(Json::Null, |m| Json::Num(m as f64)),
+            ),
+            ("seed".into(), Json::Num(spec.seed as f64)),
+        ]);
+        self.append_line(&self.meta_path(), &rec)
+    }
+
+    /// Records a query's completion footer: the resolved threshold and
+    /// the `SemanticOutcome` digest recovery must reproduce.
+    pub fn record_done(&mut self, qid: u32, done: &DoneMeta) -> io::Result<()> {
+        if !self.kill.admit(None) {
+            return Ok(());
+        }
+        let rec = Json::Obj(vec![
+            ("kind".into(), Json::Str("done".into())),
+            ("qid".into(), Json::Num(qid as f64)),
+            ("complete".into(), Json::Bool(done.complete)),
+            ("digest".into(), Json::Str(done.digest.clone())),
+            ("threshold".into(), Json::Num(done.threshold)),
+        ]);
+        self.append_line(&self.meta_path(), &rec)
+    }
+
+    /// Appends one wire op to its member's log. Returns `false` when the
+    /// kill switch dropped it (the process model is dead).
+    pub fn append_op(&mut self, qid: u32, op: &WireOp) -> io::Result<bool> {
+        if !self.kill.admit(Some(op.tick)) {
+            return Ok(false);
+        }
+        let member = op.member.0;
+        let rec = Json::Obj(vec![
+            ("kind".into(), Json::Str("op".into())),
+            ("qid".into(), Json::Num(qid as f64)),
+            ("op".into(), wire_to_json(op)),
+        ]);
+        self.append_line(&self.wal_path(member), &rec)?;
+        self.bump(member)
+    }
+
+    /// Appends one cached `(pattern, answer)` entry to its member's
+    /// answer database. `tick` is the question counter at ask time (the
+    /// kill model uses it). Returns `false` when dropped.
+    pub fn append_answer(
+        &mut self,
+        member: MemberId,
+        tick: u32,
+        pattern: &PatternSet,
+        answer: &CachedAnswer,
+    ) -> io::Result<bool> {
+        if !self.kill.admit(Some(tick)) {
+            return Ok(false);
+        }
+        let rec = Json::Obj(vec![
+            ("kind".into(), Json::Str("answer".into())),
+            ("entry".into(), entry_to_json(pattern, answer)),
+        ]);
+        self.append_line(&self.wal_path(member.0), &rec)?;
+        self.bump(member.0)
+    }
+
+    /// Post-append bookkeeping: count the record, compact when due.
+    fn bump(&mut self, member: u32) -> io::Result<bool> {
+        let count = self.wal_records.entry(member).or_insert(0);
+        *count += 1;
+        if self.snapshot_every > 0 && *count >= self.snapshot_every {
+            self.compact(member)?;
+        }
+        Ok(true)
+    }
+
+    /// Folds `member`'s WAL into its snapshot and truncates the WAL.
+    ///
+    /// Purely textual: ops are concatenated in arrival order (the
+    /// member-prefix property is preserved), answers are last-wins per
+    /// pattern — the same state recovery would build from the
+    /// uncompacted stream. The snapshot is written to a temp file and
+    /// renamed over the old one, so a crash leaves either the old or
+    /// the new snapshot, never a torn one.
+    pub fn compact(&mut self, member: u32) -> io::Result<()> {
+        let (mut ops, mut answers) = (Vec::new(), Vec::new());
+        if let Some(snap) = read_snapshot(&self.snap_path(member))? {
+            collect_member_records(&snap, &mut ops, &mut answers);
+        }
+        let (records, _) = read_records(&self.wal_path(member))?;
+        for rec in &records {
+            collect_member_records(rec, &mut ops, &mut answers);
+        }
+        // last-wins per pattern, in first-seen order (matches the put
+        // order recovery would apply)
+        let mut dedup: Vec<(String, Json)> = Vec::new();
+        for entry in answers {
+            let key = entry
+                .as_arr()
+                .ok()
+                .and_then(|e| e.first())
+                .map(|p| p.to_string())
+                .unwrap_or_default();
+            if let Some(slot) = dedup.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = entry;
+            } else {
+                dedup.push((key, entry));
+            }
+        }
+        let snap = Json::Obj(vec![
+            ("kind".into(), Json::Str("snap".into())),
+            ("ops".into(), Json::Arr(ops)),
+            (
+                "answers".into(),
+                Json::Arr(dedup.into_iter().map(|(_, e)| e).collect()),
+            ),
+        ]);
+        let tmp = self.snap_path(member).with_extension("snap.tmp");
+        let mut f = File::create(&tmp)?;
+        f.write_all(frame(&snap).as_bytes())?;
+        f.flush()?;
+        fs::rename(&tmp, self.snap_path(member))?;
+        // the WAL's content now lives in the snapshot
+        File::create(self.wal_path(member))?;
+        self.wal_records.insert(member, 0);
+        Ok(())
+    }
+
+    /// Reconstructs the session from disk: query registry, per-query
+    /// merged member ops, and the union answer cache. Torn tails are
+    /// truncated to the last complete record; nothing here panics on a
+    /// damaged directory.
+    pub fn recover(&self, vocab: &Vocabulary) -> Result<Recovered, JsonError> {
+        let mut out = Recovered::default();
+        // --- meta.wal: session header + query registry
+        let (meta, torn) = read_records(&self.meta_path()).map_err(io_shape)?;
+        out.truncated |= torn;
+        for rec in &meta {
+            match rec.field("kind").and_then(|k| k.as_str().map(String::from)) {
+                Ok(kind) if kind == "session" => {
+                    out.session = Some(rec.field("name")?.as_str()?.to_string());
+                    out.proto = rec.field("proto")?.as_u32()?;
+                    out.seed = rec.field("seed")?.as_f64()? as u64;
+                    out.members = rec.field("members")?.as_u32()?;
+                }
+                Ok(kind) if kind == "query" => {
+                    let spec = QuerySpec {
+                        src: rec.field("src")?.as_str()?.to_string(),
+                        threshold: opt_f64(rec.field("threshold")?)?,
+                        batch_width: rec.field("batch_width")?.as_u32()?,
+                        max_questions: opt_u32(rec.field("max_questions")?)?,
+                        seed: rec.field("seed")?.as_f64()? as u64,
+                    };
+                    out.queries.push(QueryMeta {
+                        qid: rec.field("qid")?.as_u32()?,
+                        spec,
+                        done: None,
+                    });
+                }
+                Ok(kind) if kind == "done" => {
+                    let qid = rec.field("qid")?.as_u32()?;
+                    let done = DoneMeta {
+                        complete: as_bool(rec.field("complete")?)?,
+                        digest: rec.field("digest")?.as_str()?.to_string(),
+                        threshold: rec.field("threshold")?.as_f64()?,
+                    };
+                    if let Some(q) = out.queries.iter_mut().find(|q| q.qid == qid) {
+                        q.done = Some(done);
+                    }
+                }
+                // unknown kinds are future records — skip, don't fail
+                _ => {}
+            }
+        }
+        out.queries.sort_by_key(|q| q.qid);
+        // --- member files: snapshot first, then the WAL tail
+        for member in self.member_ids().map_err(io_shape)? {
+            let mut records = Vec::new();
+            if let Some(snap) = read_snapshot(&self.snap_path(member)).map_err(io_shape)? {
+                records.push(snap);
+            }
+            let (wal, torn) = read_records(&self.wal_path(member)).map_err(io_shape)?;
+            out.truncated |= torn;
+            records.extend(wal);
+            let (mut ops, mut answers) = (Vec::new(), Vec::new());
+            for rec in &records {
+                collect_member_records(rec, &mut ops, &mut answers);
+            }
+            // idempotent re-delivery: a crash between snapshot rename and
+            // WAL truncation can double a record — (tick, seq) is unique
+            // within one member, so dedup is exact
+            let mut seen: Vec<(u32, u32, u32)> = Vec::new();
+            for op_rec in ops {
+                let qid = op_rec.field("qid")?.as_u32()?;
+                let op = wire_from_json(vocab, op_rec.field("op")?)?;
+                let key = (qid, op.tick, op.seq);
+                if seen.contains(&key) {
+                    continue;
+                }
+                seen.push(key);
+                out.ops.entry(qid).or_default().push(op);
+            }
+            for entry in answers {
+                let (pattern, answer) = entry_from_json(&entry)?;
+                out.cache.put(MemberId(member), pattern, answer);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Maps an io error into the recovery error surface.
+fn io_shape(e: io::Error) -> JsonError {
+    JsonError::shape(format!("wal io error: {e}"))
+}
+
+fn opt_f64(v: &Json) -> Result<Option<f64>, JsonError> {
+    match v {
+        Json::Null => Ok(None),
+        other => other.as_f64().map(Some),
+    }
+}
+
+fn opt_u32(v: &Json) -> Result<Option<u32>, JsonError> {
+    match v {
+        Json::Null => Ok(None),
+        other => other.as_u32().map(Some),
+    }
+}
+
+fn as_bool(v: &Json) -> Result<bool, JsonError> {
+    match v {
+        Json::Bool(b) => Ok(*b),
+        other => Err(JsonError::shape(format!("expected bool, got {other}"))),
+    }
+}
+
+/// Splits a member record (or a whole snapshot) into its op records and
+/// answer entries, appending to `ops` / `answers`. Unknown kinds are
+/// skipped — a future record kind must not break recovery.
+fn collect_member_records(rec: &Json, ops: &mut Vec<Json>, answers: &mut Vec<Json>) {
+    let Ok(kind) = rec.field("kind").and_then(|k| k.as_str()) else {
+        return;
+    };
+    match kind {
+        "op" => ops.push(rec.clone()),
+        "answer" => {
+            if let Ok(entry) = rec.field("entry") {
+                answers.push(entry.clone());
+            }
+        }
+        "snap" => {
+            if let Ok(snap_ops) = rec.field("ops").and_then(|o| o.as_arr()) {
+                ops.extend(snap_ops.iter().cloned());
+            }
+            if let Ok(snap_answers) = rec.field("answers").and_then(|a| a.as_arr()) {
+                answers.extend(snap_answers.iter().cloned());
+            }
+        }
+        _ => {}
+    }
+}
+
+impl SessionWal {
+    /// Appends one crc-framed record line to `path`, flushing before
+    /// returning — the record is durable (modulo OS buffering) once the
+    /// call succeeds.
+    fn append_line(&self, path: &Path, rec: &Json) -> io::Result<()> {
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(frame(rec).as_bytes())?;
+        f.flush()
+    }
+}
+
+/// Frames one record as a crc-guarded line.
+fn frame(rec: &Json) -> String {
+    let body = rec.to_string();
+    format!(
+        "{{\"crc\":\"{:016x}\",\"rec\":{}}}\n",
+        fnv64(body.as_bytes()),
+        body
+    )
+}
+
+/// Reads every complete, crc-valid record of `path`, truncating the
+/// file at the first bad line (torn tail). Returns the records and
+/// whether a truncation happened. A missing file is an empty log.
+fn read_records(path: &Path) -> io::Result<(Vec<Json>, bool)> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), false)),
+        Err(e) => return Err(e),
+    }
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let line_start = offset;
+        // PANIC-OK: offset < bytes.len() is the loop guard.
+        let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+            // no trailing newline: the line was cut mid-write
+            truncate_to(path, line_start)?;
+            return Ok((records, true));
+        };
+        // PANIC-OK: nl is an in-bounds position within bytes[offset..].
+        let line = &bytes[offset..offset + nl];
+        offset += nl + 1;
+        match decode_line(line) {
+            Some(rec) => records.push(rec),
+            None => {
+                // a bad line invalidates it and everything after it —
+                // appends are strictly ordered, so nothing beyond the
+                // first tear is trustworthy
+                truncate_to(path, line_start)?;
+                return Ok((records, true));
+            }
+        }
+    }
+    Ok((records, false))
+}
+
+/// Parses and crc-checks one framed line.
+fn decode_line(line: &[u8]) -> Option<Json> {
+    let text = std::str::from_utf8(line).ok()?;
+    let doc = json::parse(text).ok()?;
+    let crc = doc.field("crc").ok()?.as_str().ok()?.to_string();
+    let rec = doc.field("rec").ok()?;
+    let body = rec.to_string();
+    if format!("{:016x}", fnv64(body.as_bytes())) != crc {
+        return None;
+    }
+    Some(rec.clone())
+}
+
+/// Cuts `path` back to `len` bytes (tear repair).
+fn truncate_to(path: &Path, len: usize) -> io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len as u64)
+}
+
+/// Reads a snapshot file: a single framed `snap` record, or `None` when
+/// absent or damaged (the rename protocol makes damage mean "the old
+/// snapshot", i.e. nothing, not data loss).
+fn read_snapshot(path: &Path) -> io::Result<Option<Json>> {
+    let (records, _) = read_records(path)?;
+    Ok(records.into_iter().next())
+}
+
+/// The [`OpTap`] the session manager installs on every query run: each
+/// flushed op is rendered to wire form against the run's DAG and
+/// appended to its member's log, stamped with the query id.
+pub struct WalTap {
+    wal: Arc<TrackedMutex<SessionWal>>,
+    qid: u32,
+    /// Ops appended (not dropped by the kill switch).
+    appended: Arc<AtomicU64>,
+}
+
+impl WalTap {
+    /// A tap appending `qid`'s ops through `wal`.
+    pub fn new(wal: Arc<TrackedMutex<SessionWal>>, qid: u32) -> WalTap {
+        WalTap {
+            wal,
+            qid,
+            appended: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A counter view of how many ops the tap durably appended.
+    pub fn appended(&self) -> Arc<AtomicU64> {
+        self.appended.clone()
+    }
+}
+
+impl OpTap for WalTap {
+    fn append(&self, dag: &Dag<'_>, ops: &[AnswerOp]) {
+        let mut wal = self.wal.lock().expect("wal mutex poisoned"); // PANIC-OK: poisoning means a holder already panicked; propagate it
+        for op in ops {
+            let wire = op_to_wire(op, dag);
+            match wal.append_op(self.qid, &wire) {
+                Ok(true) => {
+                    self.appended.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(false) => {} // kill switch: the process model is dead
+                Err(e) => {
+                    // an undropped io error would poison the engine run;
+                    // surface loudly instead — the recovery oracle treats
+                    // missing suffixes as a crash anyway
+                    eprintln!("wal append failed: {e}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd::MemberId;
+    use oassis_core::WireVerdict;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("oassis-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn op(tick: u32, member: u32) -> WireOp {
+        WireOp {
+            tick,
+            seq: 0,
+            member: MemberId(member),
+            node: None,
+            verdict: WireVerdict::NoAnswer,
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_and_survive_reopen() {
+        let dir = tmp_dir("roundtrip");
+        let ont = ontology::domains::figure1::ontology();
+        let mut wal = SessionWal::open(&dir, 0).unwrap();
+        wal.record_session("s1", 1, 7, 2).unwrap();
+        let spec = QuerySpec {
+            src: "SELECT".into(),
+            threshold: Some(0.4),
+            batch_width: 2,
+            max_questions: None,
+            seed: 7,
+        };
+        wal.record_query(1, &spec).unwrap();
+        assert!(wal.append_op(1, &op(1, 0)).unwrap());
+        assert!(wal.append_op(1, &op(2, 1)).unwrap());
+        wal.record_done(
+            1,
+            &DoneMeta {
+                complete: true,
+                digest: "00000000000000ff".into(),
+                threshold: 0.4,
+            },
+        )
+        .unwrap();
+        drop(wal);
+        let wal = SessionWal::open(&dir, 0).unwrap();
+        let rec = wal.recover(ont.vocab()).unwrap();
+        assert_eq!(rec.session.as_deref(), Some("s1"));
+        assert_eq!(rec.proto, 1);
+        assert_eq!(rec.queries.len(), 1);
+        assert_eq!(rec.queries[0].spec, spec);
+        assert_eq!(
+            rec.queries[0].done.as_ref().unwrap().digest,
+            "00000000000000ff"
+        );
+        assert_eq!(rec.ops[&1].len(), 2);
+        assert!(!rec.truncated);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_complete_record() {
+        let dir = tmp_dir("torn");
+        let ont = ontology::domains::figure1::ontology();
+        let mut wal = SessionWal::open(&dir, 0).unwrap();
+        wal.record_session("s1", 1, 7, 2).unwrap();
+        assert!(wal.append_op(1, &op(1, 0)).unwrap());
+        assert!(wal.append_op(1, &op(2, 0)).unwrap());
+        // tear the member WAL mid-record
+        let path = dir.join("member-0.wal");
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let rec = wal.recover(ont.vocab()).unwrap();
+        assert!(rec.truncated);
+        assert_eq!(rec.ops[&1].len(), 1, "only the complete record survives");
+        // the tear was repaired in place: recovering again is clean
+        let rec2 = wal.recover(ont.vocab()).unwrap();
+        assert!(!rec2.truncated);
+        assert_eq!(rec2.ops[&1].len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_invalidates_the_suffix() {
+        let dir = tmp_dir("crc");
+        let ont = ontology::domains::figure1::ontology();
+        let mut wal = SessionWal::open(&dir, 0).unwrap();
+        for t in 1..=3 {
+            assert!(wal.append_op(1, &op(t, 0)).unwrap());
+        }
+        let path = dir.join("member-0.wal");
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        // flip a byte inside the second record's payload
+        lines[1] = lines[1].replace("\"tick\":2", "\"tick\":9");
+        fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        let rec = wal.recover(ont.vocab()).unwrap();
+        assert!(rec.truncated);
+        assert_eq!(rec.ops[&1].len(), 1, "suffix after the bad line is gone");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_recovery_state() {
+        let dir_a = tmp_dir("compact-a");
+        let dir_b = tmp_dir("compact-b");
+        let ont = ontology::domains::figure1::ontology();
+        // identical streams; `a` compacts every 2 records, `b` never
+        let mut a = SessionWal::open(&dir_a, 2).unwrap();
+        let mut b = SessionWal::open(&dir_b, 0).unwrap();
+        for t in 1..=5 {
+            assert!(a.append_op(1, &op(t, 0)).unwrap());
+            assert!(b.append_op(1, &op(t, 0)).unwrap());
+        }
+        assert!(dir_a.join("member-0.snap").exists());
+        let ra = a.recover(ont.vocab()).unwrap();
+        let rb = b.recover(ont.vocab()).unwrap();
+        assert_eq!(ra.ops[&1], rb.ops[&1]);
+        fs::remove_dir_all(&dir_a).unwrap();
+        fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn kill_switch_drops_everything_after_the_armed_tick() {
+        let dir = tmp_dir("kill");
+        let ont = ontology::domains::figure1::ontology();
+        let kill = KillSwitch::new();
+        let mut wal = SessionWal::open(&dir, 0).unwrap().with_kill(kill.clone());
+        kill.arm(3);
+        assert!(wal.append_op(1, &op(1, 0)).unwrap());
+        assert!(wal.append_op(1, &op(2, 1)).unwrap());
+        assert!(
+            !wal.append_op(1, &op(3, 0)).unwrap(),
+            "tick 3 trips the switch"
+        );
+        assert!(kill.killed());
+        // even earlier-stamped appends are dead now: the process is gone
+        assert!(!wal.append_op(1, &op(2, 0)).unwrap());
+        wal.record_done(
+            1,
+            &DoneMeta {
+                complete: true,
+                digest: "aa".into(),
+                threshold: 0.5,
+            },
+        )
+        .unwrap();
+        let rec = wal.recover(ont.vocab()).unwrap();
+        assert_eq!(rec.ops[&1].len(), 2);
+        assert!(rec.queries.is_empty(), "the done record was dropped too");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,182 @@
+//! End-to-end smoke over loopback TCP: hello negotiation, session
+//! open, queries, kill/restart/verify — the same cycle the CI
+//! `server-smoke` job drives.
+
+mod common;
+
+use common::{manager, temp_root};
+use oassis_server::{
+    digest_hex, Client, QuerySpec, Request, Response, Server, ServerConfig, SessionSpec,
+    PROTO_VERSION,
+};
+use ontology::domains::figure1;
+use std::sync::Arc;
+
+fn qspec(seed: u64) -> QuerySpec {
+    QuerySpec {
+        src: figure1::SIMPLE_QUERY.to_string(),
+        threshold: None,
+        batch_width: 1,
+        max_questions: None,
+        seed,
+    }
+}
+
+fn spawn(ont: &Arc<ontology::Ontology>, root: &std::path::PathBuf) -> Server {
+    Server::spawn(manager(ont, root), &ServerConfig::default()).expect("bind loopback")
+}
+
+#[test]
+fn three_queries_then_kill_restart_verify() {
+    let ont = Arc::new(figure1::ontology());
+    let root = temp_root("smoke");
+    let session = SessionSpec {
+        name: "smoke".into(),
+        seed: 7,
+        members: 2,
+    };
+
+    // --- first server lifetime: open + 3 queries
+    let server = spawn(&ont, &root);
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(client.proto, PROTO_VERSION);
+
+    let opened = client.call(&Request::Open(session.clone())).unwrap();
+    let Response::Opened { resumed, .. } = opened else {
+        panic!("expected opened, got {opened:?}")
+    };
+    assert!(!resumed, "fresh root must not resume");
+
+    let mut digests = Vec::new();
+    for seed in [3u64, 3, 5] {
+        let resp = client
+            .call(&Request::Query {
+                session: "smoke".into(),
+                spec: qspec(seed),
+            })
+            .unwrap();
+        let Response::Result { reply, .. } = resp else {
+            panic!("expected result, got {resp:?}")
+        };
+        assert!(reply.complete);
+        assert!(!reply.answers.is_empty(), "the running example has MSPs");
+        digests.push(reply.digest);
+    }
+    // identical spec → identical digest; the repeat is served from cache
+    assert_eq!(digests[0], digests[1]);
+    client.bye().unwrap();
+    // kill the server process model
+    server.shutdown();
+
+    // --- second lifetime over the same WAL root: recover and verify
+    let server = spawn(&ont, &root);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let opened = client.call(&Request::Open(session)).unwrap();
+    let Response::Opened {
+        resumed, queries, ..
+    } = opened
+    else {
+        panic!("expected opened, got {opened:?}")
+    };
+    assert!(resumed);
+    assert_eq!(queries, vec![1, 2, 3]);
+
+    let resp = client
+        .call(&Request::Recover {
+            session: "smoke".into(),
+        })
+        .unwrap();
+    let Response::Recovered { queries, .. } = resp else {
+        panic!("expected recovered, got {resp:?}")
+    };
+    assert_eq!(queries.len(), 3);
+    for q in &queries {
+        assert_eq!(
+            q.verified,
+            Some(true),
+            "qid {} replayed {} but recorded {:?}",
+            q.qid,
+            q.digest,
+            q.recorded_digest
+        );
+    }
+    assert_eq!(queries[0].digest, digests[0]);
+    assert_eq!(queries[2].digest, digests[2]);
+
+    // close pages the session out; a follow-up query pages it back in
+    let resp = client
+        .call(&Request::Close {
+            session: "smoke".into(),
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::Closed { .. }));
+    let resp = client
+        .call(&Request::Query {
+            session: "smoke".into(),
+            spec: qspec(3),
+        })
+        .unwrap();
+    let Response::Result { reply, .. } = resp else {
+        panic!("expected result, got {resp:?}")
+    };
+    assert_eq!(reply.digest, digests[0]);
+    assert_eq!(reply.fresh, 0, "paged-in cache serves every repeat");
+
+    client.bye().unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn protocol_errors_keep_the_connection_alive() {
+    let ont = Arc::new(figure1::ontology());
+    let root = temp_root("errors");
+    let server = spawn(&ont, &root);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // unknown session
+    let resp = client
+        .call(&Request::Query {
+            session: "ghost".into(),
+            spec: qspec(1),
+        })
+        .unwrap();
+    let Response::Error { code, .. } = resp else {
+        panic!("expected error, got {resp:?}")
+    };
+    assert_eq!(code, "unknown_session");
+
+    // bad session name
+    let resp = client
+        .call(&Request::Open(SessionSpec {
+            name: "../escape".into(),
+            seed: 0,
+            members: 1,
+        }))
+        .unwrap();
+    let Response::Error { code, .. } = resp else {
+        panic!("expected error, got {resp:?}")
+    };
+    assert_eq!(code, "protocol");
+
+    // the connection still works afterwards
+    let resp = client
+        .call(&Request::Open(SessionSpec {
+            name: "ok".into(),
+            seed: 1,
+            members: 1,
+        }))
+        .unwrap();
+    assert!(matches!(resp, Response::Opened { .. }));
+
+    client.bye().unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn digest_hex_is_sixteen_lowercase_digits() {
+    assert_eq!(digest_hex(0), "0000000000000000");
+    assert_eq!(digest_hex(u64::MAX), "ffffffffffffffff");
+    assert_eq!(digest_hex(0xABCD), "000000000000abcd");
+}

@@ -235,9 +235,11 @@ impl<C: CrowdSource> CrowdSource for FaultyCrowd<C> {
                     .push(tick, member, "absent", format!("{q} for={d}"));
                 Answer::NoResponse
             }
-            // cluster faults are filtered out by `take_due`; a crowd ask
-            // proceeds normally even while the network is faulting
-            Some(FaultKind::Partition { .. } | FaultKind::Crash { .. }) | None => {
+            // cluster and server faults are filtered out by `take_due`; a
+            // crowd ask proceeds normally even while the network or the
+            // server process is faulting
+            Some(FaultKind::Partition { .. } | FaultKind::Crash { .. } | FaultKind::ServerKill)
+            | None => {
                 let ans = self.inner.ask(member, question);
                 self.trace.push(
                     tick,

@@ -20,6 +20,10 @@
 //! * [`cluster`] — the differential shard-equivalence oracle: sharded
 //!   engines + simulated network + coordinator merge vs the single-node
 //!   run, bit-identical fault-free, bounded under faults.
+//! * [`recovery`] — the kill-at-tick crash-recovery harness: the
+//!   crowd-mining server process model killed mid-run at scheduled
+//!   ticks, restarted over the surviving WAL prefix, and verified to
+//!   replay pre-crash `SemanticOutcome` digests bit-identically.
 //! * [`shrink`] — ddmin-style minimization of failing schedules to a
 //!   1-minimal, replayable counterexample.
 //! * [`permute`] — op-log permutation checking: deterministic shuffles
@@ -36,6 +40,7 @@ pub mod faulty;
 pub mod harness;
 pub mod net;
 pub mod permute;
+pub mod recovery;
 pub mod schedule;
 pub mod shrink;
 
@@ -52,5 +57,9 @@ pub use harness::{
 pub use net::{run_net, NetConfig, NetStats};
 pub use oassis_core::cluster::{SemanticOutcome, ShardMap};
 pub use permute::{domain_replay_digest, fig5_fold, permutation_count, shuffled};
+pub use recovery::{
+    run_recovery_corpus, run_recovery_seed, run_recovery_with_schedule, shrink_recovery_failure,
+    RecoveryConfig, RecoveryReport,
+};
 pub use schedule::{FaultEvent, FaultKind, Schedule};
 pub use shrink::shrink as shrink_schedule;

@@ -182,6 +182,9 @@ pub fn run_net(
             | FaultKind::Contradict
             | FaultKind::Depart
             | FaultKind::Absent(_) => {}
+            // Server kills belong to the crash-recovery harness
+            // (`crate::recovery`), not the cluster star.
+            FaultKind::ServerKill => {}
         }
     }
     let cut = |worker: u32, at: u64| {

@@ -16,15 +16,18 @@
 //! p<a>|<b>@<tick>(<d>)      cluster link a↔b severed for d ticks (partition)
 //! k<node>@<tick>            cluster node crashes and never restarts
 //! k<node>@<tick>(<d>)       cluster node crashes, restarts after d ticks
+//! s<srv>@<tick>             crowd-mining server process killed at the tick
 //! ```
 //!
 //! The first five classes target crowd *members* and are interpreted by
 //! [`crate::faulty::FaultyCrowd`]; the partition/crash classes target
 //! cluster *nodes* (the index field is a node index, with the
 //! coordinator at index `N` for an `N`-worker cluster) and are
-//! interpreted by [`crate::net`]'s message scheduler. Both kinds share
-//! one schedule line so a shrunk counterexample replays the whole
-//! failure, crowd faults and network faults together.
+//! interpreted by [`crate::net`]'s message scheduler; the server-kill
+//! class targets the long-lived crowd-mining *server* process model and
+//! is interpreted by [`crate::recovery`]'s kill/restart/verify harness.
+//! All kinds share one schedule line so a shrunk counterexample replays
+//! the whole failure, crowd faults and process faults together.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -69,14 +72,32 @@ pub enum FaultKind {
         /// Ticks until restart, or `None` for a permanent kill.
         down: Option<u64>,
     },
+    /// Server fault: the crowd-mining server process (the event's index
+    /// field names the server instance; the single-server harness uses
+    /// `0`) dies at the event tick — every durable WAL append at or
+    /// after it is lost mid-run. The crash-recovery harness
+    /// ([`crate::recovery`]) then restarts the process model over the
+    /// surviving WAL prefix, replays it, and checks the recovered
+    /// `SemanticOutcome` digests bit-identically.
+    ServerKill,
 }
 
 impl FaultKind {
     /// Whether this fault targets a crowd member (interpreted by
     /// [`crate::faulty::FaultyCrowd`]) rather than a cluster node
-    /// (interpreted by [`crate::net`]).
+    /// (interpreted by [`crate::net`]) or the server process model
+    /// (interpreted by [`crate::recovery`]).
     pub fn is_member_fault(&self) -> bool {
-        !matches!(self, FaultKind::Partition { .. } | FaultKind::Crash { .. })
+        !matches!(
+            self,
+            FaultKind::Partition { .. } | FaultKind::Crash { .. } | FaultKind::ServerKill
+        )
+    }
+
+    /// Whether this fault kills the server process model (interpreted
+    /// by [`crate::recovery`]'s kill/restart/verify harness).
+    pub fn is_server_fault(&self) -> bool {
+        matches!(self, FaultKind::ServerKill)
     }
 }
 
@@ -208,6 +229,41 @@ impl Schedule {
         Schedule { events }
     }
 
+    /// Generates a crash-recovery schedule from `seed`: up to
+    /// `max_events` server-kill events at distinct ticks within
+    /// `horizon` (each kill cuts one process lifetime, so duplicate
+    /// ticks would be redundant). Same seed ⇒ same schedule, forever.
+    pub fn generate_recovery(seed: u64, horizon: u64, max_events: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5E4E_C0DE_5E4E_C0DE);
+        let n = if max_events == 0 {
+            0
+        } else {
+            rng.gen_range(0..=max_events)
+        };
+        let mut ticks: Vec<u64> = (0..n).map(|_| rng.gen_range(1..horizon.max(2))).collect();
+        ticks.sort_unstable();
+        ticks.dedup();
+        let events = ticks
+            .into_iter()
+            .map(|at| FaultEvent {
+                at,
+                member: 0,
+                kind: FaultKind::ServerKill,
+            })
+            .collect();
+        Schedule { events }
+    }
+
+    /// The ticks at which the server process model is killed (for
+    /// [`crate::recovery`]), in schedule order.
+    pub fn server_kills(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter(|e| e.kind.is_server_fault())
+            .map(|e| e.at)
+            .collect()
+    }
+
     /// Splits the schedule into its member-fault part (for
     /// [`crate::faulty::FaultyCrowd`]) and its node-fault part (for
     /// [`crate::net`]'s message scheduler).
@@ -238,6 +294,7 @@ impl Schedule {
                 }
                 FaultKind::Crash { down: Some(d) } => format!("k{}@{}({d})", e.member, e.at),
                 FaultKind::Crash { down: None } => format!("k{}@{}", e.member, e.at),
+                FaultKind::ServerKill => format!("s{}@{}", e.member, e.at),
             })
             .collect::<Vec<_>>()
             .join(",")
@@ -280,6 +337,7 @@ impl Schedule {
                     down: Some(a.parse().ok()?),
                 },
                 ("k", None, None) => FaultKind::Crash { down: None },
+                ("s", None, None) => FaultKind::ServerKill,
                 _ => return None,
             };
             events.push(FaultEvent { at, member, kind });
@@ -336,6 +394,29 @@ mod tests {
         assert!(Schedule::parse("p0|1@3").is_none()); // partition without duration
         assert!(Schedule::parse("k1|2@3").is_none()); // crash with a peer
         assert!(Schedule::parse("d0|1@3").is_none()); // member fault with a peer
+    }
+
+    #[test]
+    fn recovery_schedules_round_trip_as_pure_server_kills() {
+        for seed in 0..50 {
+            let s = Schedule::generate_recovery(seed, 14, 4);
+            assert_eq!(s, Schedule::generate_recovery(seed, 14, 4));
+            let line = s.to_line();
+            assert_eq!(Schedule::parse(&line).expect(&line), s, "{line}");
+            assert!(s.events.iter().all(|e| e.kind.is_server_fault()));
+            assert!(s.events.iter().all(|e| !e.kind.is_member_fault()));
+            // one kill per distinct tick: every lifetime cut is real
+            let ticks = s.server_kills();
+            assert!(ticks.windows(2).all(|w| w[0] < w[1]), "{line}");
+        }
+        // hand-written mixed lines keep the server kills addressable
+        let s = Schedule::parse("s0@3,d1@2,s0@7,k1@4").unwrap();
+        assert_eq!(s.server_kills(), vec![3, 7]);
+        assert_eq!(Schedule::parse(&s.to_line()).unwrap(), s);
+        // malformed server-kill tokens must not half-parse
+        assert!(Schedule::parse("s0@3(2)").is_none()); // kill with a duration
+        assert!(Schedule::parse("s0|1@3").is_none()); // kill with a peer
+        assert!(Schedule::parse("s@3").is_none()); // kill without an index
     }
 
     #[test]

@@ -62,12 +62,7 @@ fn main() {
 
     let engine = Oassis::new(ont);
     println!("query:\n{}\n", domain.query);
-    let cfg_mine = MiningConfig {
-        threshold: Some(0.25),
-        seed: 3,
-        ..Default::default()
-    };
-    let request = QueryRequest::new(&domain.query).with_mining(cfg_mine);
+    let request = QueryRequest::pattern(&domain.query).threshold(0.25).seed(3);
     let answer = engine
         .run(
             &request,

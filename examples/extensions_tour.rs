@@ -35,7 +35,7 @@ fn main() {
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
     let top = engine
         .run(
-            &QueryRequest::new(&top_query),
+            &QueryRequest::pattern(&top_query),
             CrowdBinding::single(&mut crowd),
             &agg,
         )
@@ -45,7 +45,7 @@ fn main() {
     let mut crowd_full = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
     let full = engine
         .run(
-            &QueryRequest::new(figure1::SIMPLE_QUERY),
+            &QueryRequest::pattern(figure1::SIMPLE_QUERY),
             CrowdBinding::single(&mut crowd_full),
             &agg,
         )
@@ -66,7 +66,7 @@ fn main() {
     let mut crowd = SimulatedCrowd::new(ont.vocab(), vec![u_avg(&ont, 1)]);
     let div = engine
         .run(
-            &QueryRequest::new(&div_query),
+            &QueryRequest::pattern(&div_query),
             CrowdBinding::single(&mut crowd),
             &agg,
         )
@@ -134,7 +134,7 @@ WITH SUPPORT = 0.3 AND CONFIDENCE = 0.75
     let agg2 = FixedSampleAggregator { sample_size: 2 };
     let asked = engine
         .run(
-            &QueryRequest::new(&asking_query),
+            &QueryRequest::pattern(&asking_query),
             CrowdBinding::single(&mut crowd),
             &agg2,
         )

@@ -102,7 +102,7 @@ fn main() {
     let query = "SELECT FACT-SETS\nWHERE\nSATISFYING\n  $x+ did it\nWITH SUPPORT = 0.375\n";
     println!("FIM query:\n{query}");
     let engine = Oassis::new(&ont);
-    let request = QueryRequest::new(query);
+    let request = QueryRequest::pattern(query);
     let answer = engine
         .run(
             &request,

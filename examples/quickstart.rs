@@ -63,7 +63,7 @@ fn main() {
     );
 
     // 4. Mine the crowd.
-    let request = QueryRequest::new(figure1::SIMPLE_QUERY);
+    let request = QueryRequest::pattern(figure1::SIMPLE_QUERY);
     let answer = engine
         .run(
             &request,

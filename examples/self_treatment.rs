@@ -99,12 +99,7 @@ fn main() {
         trust,
     };
     let engine = Oassis::new(ont);
-    let cfg_mine = MiningConfig {
-        threshold: Some(0.25),
-        seed: 1,
-        ..Default::default()
-    };
-    let request = QueryRequest::new(&domain.query).with_mining(cfg_mine);
+    let request = QueryRequest::pattern(&domain.query).threshold(0.25).seed(1);
     let answer = engine
         .run(
             &request,

@@ -88,7 +88,7 @@ fn main() {
         seed: 7,
         ..Default::default()
     };
-    let request = QueryRequest::new(&domain.query).with_mining(mining.clone());
+    let request = QueryRequest::pattern(&domain.query).with_mining(mining.clone());
     let (answers_02, used_02, fresh_02) = {
         let crowd = SimulatedCrowd::new(v, members.clone());
         let mut caching = oassis::core::CachingCrowd::new(crowd, &mut cache);
@@ -118,12 +118,11 @@ fn main() {
         qs.concrete, qs.specialization, qs.none_of_these, qs.pruning
     );
 
-    // Re-evaluate at Θ = 0.4 — cached answers are reused.
-    let mining_04 = MiningConfig {
-        threshold: Some(0.4),
-        ..mining.clone()
-    };
-    let request_04 = QueryRequest::new(&domain.query).with_mining(mining_04);
+    // Re-evaluate at Θ = 0.4 — cached answers are reused; the builder
+    // override keeps every other mining knob from the first run.
+    let request_04 = QueryRequest::pattern(&domain.query)
+        .with_mining(mining.clone())
+        .threshold(0.4);
     let (answers_04, used_04, fresh_04) = {
         let mut fresh_members = members.clone();
         for m in &mut fresh_members {

@@ -26,7 +26,7 @@
 //! // the query of Figure 2 (simplified): activities at child-friendly
 //! // NYC attractions, mined at support threshold 0.4
 //! let engine = Oassis::new(&ont);
-//! let request = QueryRequest::new(oassis::ontology::domains::figure1::SIMPLE_QUERY);
+//! let request = QueryRequest::pattern(oassis::ontology::domains::figure1::SIMPLE_QUERY);
 //! let answer = engine
 //!     .run(&request, CrowdBinding::single(&mut crowd),
 //!          &FixedSampleAggregator { sample_size: 1 })
@@ -45,6 +45,7 @@
 //! | [`crowd`] | personal databases, the question/answer protocol, answer models, simulated members, population generation, quality filtering (§2, §4.2, §6.2) |
 //! | [`core`] | the assignment DAG, the vertical algorithm, multi-user engine, aggregators, baselines, CrowdCache, synthetic workloads, NL templates (§4–§6) |
 //! | [`rules`] | the SIGMOD'13 association-rule crowd-mining framework (the paper's reference \[3\]) |
+//! | [`server`] | the long-lived crowd-mining service: line-delimited JSON over TCP, WAL-backed persistent sessions, recovery by replay (DESIGN.md §17) |
 
 #![forbid(unsafe_code)]
 #![deny(unused_must_use)]
@@ -52,6 +53,7 @@
 pub use crowd;
 pub use oassis_core as core;
 pub use oassis_ql as ql;
+pub use oassis_server as server;
 pub use ontology;
 pub use telemetry;
 
@@ -63,8 +65,11 @@ pub use crowdrules as rules;
 /// Covers the single-entry query API ([`Oassis::run`](crate::core::Oassis::run)
 /// with [`QueryRequest`](crate::core::QueryRequest) /
 /// [`CrowdBinding`](crate::core::CrowdBinding)), its error and outcome
-/// types, the telemetry handles, and the crowd/ontology vocabulary most
-/// applications need.
+/// types, the persistent-session façade
+/// ([`SessionManager`](crate::server::SessionManager) /
+/// [`SessionHandle`](crate::server::SessionHandle) — the same request
+/// surface over a WAL-backed session), the telemetry handles, and the
+/// crowd/ontology vocabulary most applications need.
 pub mod prelude {
     pub use crate::core::{
         run_horizontal, run_multi, run_naive, run_vertical, Assignment, Class, Classifier,
@@ -74,6 +79,10 @@ pub mod prelude {
         RuleMiningConfig, SharedCrowdCache,
     };
     pub use crate::ql::{bind, evaluate_where, parse, BoundQuery, MatchMode, Value};
+    pub use crate::server::{
+        CrowdProvider, QueryReply, RecoveredQuery, ServerError, SessionHandle, SessionManager,
+        SessionSpec,
+    };
     pub use crowd::{
         Answer, AnswerModel, CrowdPolicy, CrowdSource, MemberBehavior, MemberId, PersonalDb,
         Question, SimulatedCrowd, SimulatedMember,
